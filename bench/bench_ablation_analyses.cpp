@@ -1,0 +1,142 @@
+// Section IV analyses: the closed-form optimization-effect formulas
+// (Eq. 13, 14, 15) against measured (simulated) deltas.
+#include "kernels/bfs.h"
+#include "kernels/kmeans.h"
+#include "kernels/nbody.h"
+#include "kernels/pathfinder.h"
+#include "model/analysis.h"
+
+#include "bench_common.h"
+
+namespace {
+
+using swperf::sw::Table;
+namespace bench = swperf::bench;
+
+void eq13_granularity(const swperf::sw::ArchParams& arch) {
+  // K-Means: halve the request granularity, compare Eq. 13's saving with
+  // the measured delta.
+  const auto spec = swperf::kernels::kmeans();
+  Table t("Eq. 13 — smaller DMA granularity saving (kmeans)");
+  t.header({"tile before", "tile after", "Eq.13 saving us", "measured us",
+            "measured saving us"});
+  for (const std::uint64_t tile : {256u, 128u, 64u}) {
+    auto before = spec.tuned;
+    before.tile = tile;
+    auto after = before;
+    after.tile = tile / 2;
+    const auto eb = bench::evaluate(spec.desc, before, arch);
+    const auto ea = bench::evaluate(spec.desc, after, arch);
+    const double closed = swperf::model::granularity_saving(
+        eb.predicted, eb.lowered.summary.n_dma_reqs(),
+        2 * eb.lowered.summary.n_dma_reqs());
+    t.row({std::to_string(tile), std::to_string(tile / 2),
+           Table::num(swperf::sw::cycles_to_us(closed, arch.freq_ghz), 1),
+           Table::num(ea.actual_us(arch), 1),
+           Table::num(eb.actual_us(arch) - ea.actual_us(arch), 1)});
+  }
+  t.print(std::cout);
+}
+
+void eq14_double_buffer(const swperf::sw::ArchParams& arch) {
+  const auto spec = swperf::kernels::nbody();
+  auto plain = spec.tuned;
+  auto db = spec.tuned;
+  db.double_buffer = true;
+  const auto ep = bench::evaluate(spec.desc, plain, arch);
+  const auto ed = bench::evaluate(spec.desc, db, arch);
+  Table t("Eq. 14 — double-buffer saving bound (nbody)");
+  t.header({"quantity", "cycles"});
+  t.row({"T_DMA / NG_DMA (first term)",
+         Table::num(ep.predicted.t_dma / ep.predicted.ng_dma, 0)});
+  t.row({"T_comp - T_overlap (second term)",
+         Table::num(ep.predicted.t_comp - ep.predicted.t_overlap, 0)});
+  t.row({"Eq.14 saving = min(...)",
+         Table::num(swperf::model::double_buffer_saving(ep.predicted), 0)});
+  t.row({"measured saving",
+         Table::num(ep.actual_cycles() - ed.actual_cycles(), 0)});
+  t.print(std::cout);
+}
+
+void eq15_fewer_cpes(const swperf::sw::ArchParams& arch) {
+  // Pathfinder with deliberately small column tiles: transaction waste
+  // makes T_DMA dominate, so fewer CPEs (with proportionally larger
+  // chunks) win — the Section IV-3 effect on a Rodinia kernel.
+  const auto spec = swperf::kernels::pathfinder();
+  Table t("Eq. 15 — fewer active CPEs under transaction waste (pathfinder)");
+  t.header({"#CPEs", "tile", "DMA efficiency", "actual us", "pred us"});
+  for (const auto& [cpes, tile] :
+       std::vector<std::pair<std::uint32_t, std::uint64_t>>{
+           {64, 8}, {48, 11}, {32, 16}, {16, 32}}) {
+    auto params = spec.tuned;
+    params.requested_cpes = cpes;
+    params.tile = tile;
+    const auto e = bench::evaluate(spec.desc, params, arch);
+    t.row({std::to_string(cpes), std::to_string(tile),
+           Table::num(e.lowered.summary.dma_efficiency(), 2),
+           Table::num(e.actual_us(arch), 1),
+           Table::num(e.predicted_us(arch), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "(Eq.15: the benefit appears only while T_DMA > T_comp)\n";
+}
+
+void gload_coalescing(const swperf::sw::ArchParams& arch) {
+  // Section V-B's prescription for irregular kernels: coalesce memory
+  // accesses. BFS's sorted neighbour lists pack 4 adjacent 8-byte loads
+  // into one 32-byte Gload on the coalesceable fraction.
+  const auto spec = swperf::kernels::bfs();
+  auto plain = spec.tuned;
+  auto coal = spec.tuned;
+  coal.coalesce_gloads = true;
+  const auto ep = bench::evaluate(spec.desc, plain, arch);
+  const auto ec = bench::evaluate(spec.desc, coal, arch);
+  Table t("Gload coalescing on bfs (coalesceable fraction 0.6)");
+  t.header({"variant", "gloads/CPE", "actual us", "pred us", "error"});
+  t.row({"plain", std::to_string(ep.lowered.summary.n_gloads),
+         Table::num(ep.actual_us(arch), 1),
+         Table::num(ep.predicted_us(arch), 1),
+         Table::pct(std::abs(ep.error()))});
+  t.row({"coalesced", std::to_string(ec.lowered.summary.n_gloads),
+         Table::num(ec.actual_us(arch), 1),
+         Table::num(ec.predicted_us(arch), 1),
+         Table::pct(std::abs(ec.error()))});
+  t.print(std::cout);
+  std::cout << "speedup from coalescing: "
+            << Table::times(ep.actual_cycles() / ec.actual_cycles())
+            << "\n";
+}
+
+void advisor_demo(const swperf::sw::ArchParams& arch) {
+  const swperf::model::PerfModel m(arch);
+  const auto spec = swperf::kernels::kmeans();
+  auto params = spec.tuned;
+  params.tile = 128;
+  Table t("Advisor output (kmeans @ tile=128)");
+  t.header({"optimization", "closed-form us", "full-model us", "saving"});
+  for (const auto& a : swperf::model::advise(m, spec.desc, params)) {
+    t.row({a.optimization,
+           Table::num(swperf::sw::cycles_to_us(a.closed_form_saving,
+                                               arch.freq_ghz),
+                      1),
+           Table::num(swperf::sw::cycles_to_us(a.model_saving,
+                                               arch.freq_ghz),
+                      1),
+           Table::pct(a.saving_fraction)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const auto arch = swperf::sw::ArchParams::sw26010();
+  bench::print_header("Closed-form optimization analyses",
+                      "Section IV (Eq. 13-15)");
+  eq13_granularity(arch);
+  eq14_double_buffer(arch);
+  eq15_fewer_cpes(arch);
+  gload_coalescing(arch);
+  advisor_demo(arch);
+  return 0;
+}

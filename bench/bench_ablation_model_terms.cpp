@@ -1,0 +1,49 @@
+// Ablation: which terms of the model buy its accuracy.
+//
+// The paper argues its precision comes from (a) modelling contention via
+// memory request transactions and bandwidth, and (b) the virtual-grouping
+// overlap treatment (MRP/NG). Disabling each term and re-running the
+// Fig. 6 accuracy study quantifies that claim.
+#include "kernels/suite.h"
+
+#include "bench_common.h"
+
+int main() {
+  using swperf::sw::Table;
+  namespace bench = swperf::bench;
+  namespace model = swperf::model;
+  const auto arch = swperf::sw::ArchParams::sw26010();
+
+  bench::print_header("Model-term ablations over the full suite",
+                      "design ablation for Section III");
+
+  struct Variant {
+    const char* name;
+    model::ModelOptions opts;
+  };
+  const Variant variants[] = {
+      {"full model", {}},
+      {"no overlap (Eq.7-12 off)", {.overlap = false}},
+      {"no virtual grouping (GPU-style)", {.virtual_grouping = false}},
+      {"no bandwidth contention",
+       {.overlap = true, .virtual_grouping = true,
+        .bandwidth_contention = false}},
+  };
+
+  Table t("Prediction error by model variant");
+  t.header({"variant", "avg |error|", "max |error|"});
+  for (const auto& v : variants) {
+    swperf::sw::ErrorAccumulator acc;
+    for (const auto& spec :
+         swperf::kernels::fig6_suite(swperf::kernels::Scale::kFull)) {
+      const auto e = bench::evaluate(spec.desc, spec.tuned, arch, v.opts);
+      acc.add(e.predicted.t_total, e.actual_cycles());
+    }
+    t.row({v.name, Table::pct(acc.mean_error()),
+           Table::pct(acc.max_error())});
+  }
+  t.print(std::cout);
+  std::cout << "(every disabled term should degrade accuracy, motivating "
+               "the paper's design)\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// How Table I's memory parameters are obtained: microbenchmark
+// calibration, reproduced against the simulated machine.
+#include "model/calibrate.h"
+
+#include "bench_common.h"
+
+int main() {
+  using swperf::sw::Table;
+  namespace bench = swperf::bench;
+  const auto machine = swperf::sw::ArchParams::sw26010();
+
+  bench::print_header("Microbenchmark calibration of Table I",
+                      "methodology behind Table I's measured rows");
+
+  const auto c = swperf::model::calibrate(machine);
+  Table t("Recovered vs configured parameters");
+  t.header({"parameter", "probe", "recovered", "configured"});
+  t.row({"L_base", "1 CPE, 1-transaction DMA",
+         Table::num(c.l_base_cycles, 1) + " cyc",
+         std::to_string(machine.l_base_cycles) + " cyc"});
+  t.row({"Delta_delay", "1 CPE, latency slope over MRT",
+         Table::num(c.delta_delay_cycles, 1) + " cyc",
+         std::to_string(machine.delta_delay_cycles) + " cyc"});
+  t.row({"mem_bw", "64 CPEs, streaming saturation",
+         Table::num(c.mem_bw_gbps, 1) + " GB/s",
+         Table::num(machine.mem_bw_gbps, 1) + " GB/s"});
+  t.row({"trans service", "derived",
+         Table::num(c.trans_service_cycles, 2) + " cyc",
+         Table::num(machine.trans_service_cycles(), 2) + " cyc"});
+  t.print(std::cout);
+
+  // A what-if machine: the probes measure, not assume.
+  swperf::sw::ArchParams next_gen = machine;
+  next_gen.mem_bw_gbps = 64.0;
+  next_gen.l_base_cycles = 180;
+  const auto c2 = swperf::model::calibrate(next_gen);
+  Table w("Same probes on a hypothetical 64 GB/s machine");
+  w.header({"parameter", "recovered", "configured"});
+  w.row({"L_base", Table::num(c2.l_base_cycles, 1) + " cyc", "180 cyc"});
+  w.row({"mem_bw", Table::num(c2.mem_bw_gbps, 1) + " GB/s", "64.0 GB/s"});
+  w.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the paper-reproduction bench harnesses.
+//
+// Every bench_* binary regenerates one table or figure of the paper: it
+// runs the relevant kernels through the simulator ("actual") and the
+// static model ("predicted") and prints the same rows/series the paper
+// reports. Binaries take no arguments and run in seconds.
+#pragma once
+
+#include <iostream>
+
+#include "model/model.h"
+#include "sim/machine.h"
+#include "sw/arch.h"
+#include "sw/stats.h"
+#include "sw/table.h"
+#include "swacc/lower.h"
+
+namespace swperf::bench {
+
+/// One kernel launch evaluated both ways.
+struct Evaluation {
+  swacc::LoweredKernel lowered;
+  sim::SimResult actual;
+  model::Prediction predicted;
+
+  double actual_cycles() const { return actual.total_cycles(); }
+  double error() const {
+    return (predicted.t_total - actual_cycles()) / actual_cycles();
+  }
+  double actual_us(const sw::ArchParams& arch) const {
+    return sw::cycles_to_us(actual_cycles(), arch.freq_ghz);
+  }
+  double predicted_us(const sw::ArchParams& arch) const {
+    return predicted.total_us(arch.freq_ghz);
+  }
+};
+
+/// Lowers, simulates and predicts one launch.
+inline Evaluation evaluate(const swacc::KernelDesc& kernel,
+                           const swacc::LaunchParams& params,
+                           const sw::ArchParams& arch,
+                           const model::ModelOptions& opts = {}) {
+  Evaluation e;
+  e.lowered = swacc::lower(kernel, params, arch);
+  e.actual = sim::simulate(e.lowered.sim_config, e.lowered.binary,
+                           e.lowered.programs);
+  e.predicted = model::PerfModel(arch, opts).predict(e.lowered.summary);
+  return e;
+}
+
+inline void print_header(const char* what, const char* paper_ref) {
+  std::cout << "\n################################################\n"
+            << "# " << what << "\n"
+            << "# Reproduces: " << paper_ref << "\n"
+            << "# Machine: simulated SW26010 core group(s), Table I "
+               "parameters\n"
+            << "################################################\n\n";
+}
+
+}  // namespace swperf::bench

@@ -1,0 +1,59 @@
+// Figure 10: measured execution-time breakdown of the WRF kernels as
+// #active_CPEs varies.
+//
+// The simulator's per-CPE accounting provides what the paper measured on
+// hardware: computation time vs DMA wait (and Gloads, none for WRF).  The
+// dynamics kernel shows T_DMA growing with the CPE count (transaction
+// waste) against shrinking T_comp — the trade-off behind Fig. 9's optimum.
+#include "kernels/wrf.h"
+
+#include "bench_common.h"
+
+namespace {
+
+using swperf::sw::Table;
+namespace bench = swperf::bench;
+
+template <typename Factory>
+void breakdown(const char* title, Factory make_spec,
+               const swperf::sw::ArchParams& arch) {
+  Table t(title);
+  t.header({"#active_CPEs", "comp us", "dma wait us", "total us",
+            "comp share", "mem idle share"});
+  for (const std::uint32_t cpes : {8u, 16u, 32u, 48u, 64u, 96u, 128u}) {
+    const auto spec = make_spec(cpes);
+    const auto e = bench::evaluate(spec.desc, spec.tuned, arch);
+    const double comp = swperf::sw::cycles_to_us(
+        e.actual.avg_comp_cycles(), arch.freq_ghz);
+    const double dma = swperf::sw::cycles_to_us(
+        e.actual.avg_dma_wait_cycles(), arch.freq_ghz);
+    const double total = e.actual_us(arch);
+    const double idle =
+        static_cast<double>(e.actual.mem_idle_ticks) /
+        (static_cast<double>(e.actual.total_ticks) *
+         static_cast<double>(e.lowered.sim_config.core_groups));
+    t.row({std::to_string(cpes), Table::num(comp, 1), Table::num(dma, 1),
+           Table::num(total, 1), Table::pct(comp / total),
+           Table::pct(idle)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  const auto arch = swperf::sw::ArchParams::sw26010();
+  bench::print_header("Measured time breakdown across #active_CPEs",
+                      "Figure 10 (Section V-C3)");
+
+  breakdown("Fig. 10 (left) — WRF dynamics breakdown",
+            [](std::uint32_t c) { return swperf::kernels::wrf_dynamics(c); },
+            arch);
+  std::cout << "(paper: T_comp shrinks, T_DMA grows with more CPEs)\n\n";
+
+  breakdown("Fig. 10 (right) — WRF physics breakdown",
+            [](std::uint32_t c) { return swperf::kernels::wrf_physics(c); },
+            arch);
+  std::cout << "(paper: computation dominates at every CPE count)\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 6: predicted-time breakdown and prediction error per benchmark.
+//
+// For every kernel of the suite (tuned configuration, like the paper's
+// ported-and-tuned benchmarks), prints the predicted T_comp / T_DMA / T_g /
+// T_overlap normalized by the *actual* (simulated) execution time, plus the
+// prediction error. Paper headline: 5% average error, 9.6% max (bfs).
+#include "kernels/suite.h"
+
+#include "bench_common.h"
+
+int main() {
+  using swperf::sw::Table;
+  namespace bench = swperf::bench;
+  const auto arch = swperf::sw::ArchParams::sw26010();
+
+  bench::print_header("Static performance model accuracy",
+                      "Figure 6 (Section V-B)");
+
+  Table t("Fig. 6 — predicted breakdown (normalized by actual) and error");
+  t.header({"kernel", "class", "T_comp", "T_DMA", "T_g", "T_overlap",
+            "scenario", "actual us", "pred us", "|error|"});
+
+  swperf::sw::ErrorAccumulator acc;
+  std::string worst;
+  double worst_err = -1.0;
+  for (const auto& spec :
+       swperf::kernels::fig6_suite(swperf::kernels::Scale::kFull)) {
+    const auto e = bench::evaluate(spec.desc, spec.tuned, arch);
+    const double a = e.actual_cycles();
+    acc.add(e.predicted.t_total, a);
+    const double err = std::abs(e.error());
+    if (err > worst_err) {
+      worst_err = err;
+      worst = spec.desc.name;
+    }
+    t.row({spec.desc.name, spec.irregular ? "irregular" : "regular",
+           Table::num(e.predicted.t_comp / a, 2),
+           Table::num(e.predicted.t_dma / a, 2),
+           Table::num(e.predicted.t_g / a, 2),
+           Table::num(e.predicted.t_overlap / a, 2),
+           std::to_string(e.predicted.scenario),
+           Table::num(e.actual_us(arch), 1),
+           Table::num(e.predicted_us(arch), 1), Table::pct(err)});
+  }
+  t.print(std::cout);
+
+  Table s("Headline (paper: avg 5%, max 9.6% on bfs)");
+  s.header({"metric", "value"});
+  s.row({"average |error|", Table::pct(acc.mean_error())});
+  s.row({"max |error|", Table::pct(acc.max_error()) + " (" + worst + ")"});
+  s.row({"kernels", std::to_string(acc.count())});
+  s.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// google-benchmark micro benchmarks of the library itself: how fast the
+// static model evaluates (the quantity that makes static tuning 26-43x
+// cheaper), and the costs of its supporting passes.
+#include <benchmark/benchmark.h>
+
+#include "isa/reorder.h"
+#include "isa/schedule.h"
+#include "isa/unroll.h"
+#include "kernels/kmeans.h"
+#include "kernels/suite.h"
+#include "model/model.h"
+#include "sim/machine.h"
+#include "swacc/lower.h"
+#include "tuning/tuner.h"
+
+namespace {
+
+using namespace swperf;  // NOLINT: bench-local convenience
+
+const sw::ArchParams kArch = sw::ArchParams::sw26010();
+
+void BM_ModelPredict(benchmark::State& state) {
+  const auto spec = kernels::kmeans(kernels::Scale::kSmall);
+  const auto lowered = swacc::lower(spec.desc, spec.tuned, kArch);
+  const model::PerfModel m(kArch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.predict(lowered.summary).t_total);
+  }
+}
+BENCHMARK(BM_ModelPredict);
+
+void BM_Lowering(benchmark::State& state) {
+  const auto spec = kernels::kmeans(kernels::Scale::kSmall);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        swacc::lower(spec.desc, spec.tuned, kArch).summary.comp_cycles);
+  }
+}
+BENCHMARK(BM_Lowering);
+
+void BM_StaticSchedule(benchmark::State& state) {
+  const auto spec = kernels::kmeans(kernels::Scale::kSmall);
+  const auto body = isa::unroll(
+      spec.desc.body, isa::UnrollOptions{static_cast<int>(state.range(0)),
+                                         true, true});
+  for (auto _ : state) {
+    isa::LoopSchedule ls(body, kArch);
+    benchmark::DoNotOptimize(ls.steady_ii());
+  }
+}
+BENCHMARK(BM_StaticSchedule)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_ListScheduler(benchmark::State& state) {
+  const auto spec = kernels::kmeans(kernels::Scale::kSmall);
+  const auto body = isa::unroll(
+      spec.desc.body, isa::UnrollOptions{static_cast<int>(state.range(0)),
+                                         true, true});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        isa::reorder_for_ilp(body, kArch).instrs.size());
+  }
+}
+BENCHMARK(BM_ListScheduler)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_SimulateKernel(benchmark::State& state) {
+  const auto spec = kernels::kmeans(kernels::Scale::kSmall);
+  const auto lowered = swacc::lower(spec.desc, spec.tuned, kArch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::simulate(lowered.sim_config, lowered.binary, lowered.programs)
+            .total_ticks);
+  }
+  // Report simulated cycles per host second.
+  const auto r =
+      sim::simulate(lowered.sim_config, lowered.binary, lowered.programs);
+  state.counters["sim_cycles"] =
+      benchmark::Counter(r.total_cycles(), benchmark::Counter::kDefaults);
+}
+BENCHMARK(BM_SimulateKernel);
+
+void BM_StaticTunerCampaign(benchmark::State& state) {
+  const auto spec = kernels::kmeans(kernels::Scale::kSmall);
+  const auto space = tuning::SearchSpace::standard(spec.desc, kArch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tuning::StaticTuner(kArch).tune(spec.desc, space).variants);
+  }
+}
+BENCHMARK(BM_StaticTunerCampaign);
+
+void BM_EmpiricalTunerCampaign(benchmark::State& state) {
+  const auto spec = kernels::kmeans(kernels::Scale::kSmall);
+  const auto space = tuning::SearchSpace::standard(spec.desc, kArch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tuning::EmpiricalTuner(kArch).tune(spec.desc, space).variants);
+  }
+}
+BENCHMARK(BM_EmpiricalTunerCampaign);
+
+}  // namespace
+
+BENCHMARK_MAIN();

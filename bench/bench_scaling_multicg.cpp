@@ -1,0 +1,51 @@
+// Multi-core-group scaling through cross-section memory (Section V-C3).
+//
+// The paper scales programs beyond one CG by allocating data on
+// cross-section memory, interleaved round-robin over the CGs' physical
+// memory, and measures that (a) cross-section bandwidth is "only slightly
+// lower than the local memory" and (b) effective bandwidth grows linearly
+// with the number of CGs — which is how the model treats mem_bw in Eq. 4
+// and 10 for multi-CG runs.
+#include "kernels/vecadd.h"
+
+#include "bench_common.h"
+
+int main() {
+  using swperf::sw::Table;
+  namespace bench = swperf::bench;
+  const auto arch = swperf::sw::ArchParams::sw26010();
+
+  bench::print_header("Cross-section memory scaling over core groups",
+                      "Section V-C3 (multi-CG modelling)");
+
+  // A purely bandwidth-bound kernel; work grows with the CPE count so
+  // per-CG traffic is constant (weak scaling).
+  Table t("Weak scaling of a bandwidth-bound stream");
+  t.header({"CGs", "CPEs", "elements", "actual us", "pred us", "error",
+            "effective GB/s", "scaling"});
+  double base_bw = 0.0;
+  for (const std::uint32_t cgs : {1u, 2u, 3u, 4u}) {
+    const std::uint64_t n = static_cast<std::uint64_t>(cgs) << 20;
+    const auto spec = swperf::kernels::vecadd_n(n);
+    auto params = spec.tuned;
+    params.requested_cpes = cgs * arch.cpes_per_cg;
+    params.double_buffer = false;
+    const auto e = bench::evaluate(spec.desc, params, arch);
+    const double secs =
+        swperf::sw::cycles_to_seconds(e.actual_cycles(), arch.freq_ghz);
+    const double bytes = 3.0 * 8.0 * static_cast<double>(n);
+    const double gbps = bytes / secs / 1e9;
+    if (base_bw == 0.0) base_bw = gbps;
+    t.row({std::to_string(cgs), std::to_string(params.requested_cpes),
+           std::to_string(n), Table::num(e.actual_us(arch), 1),
+           Table::num(e.predicted_us(arch), 1),
+           Table::pct(std::abs(e.error())), Table::num(gbps, 1),
+           Table::times(gbps / base_bw)});
+  }
+  t.print(std::cout);
+  std::cout << "(paper: cross-section bandwidth scales linearly with CGs, "
+               "slightly below local;\n our cross-section efficiency "
+               "parameter is "
+            << arch.cross_section_bw_efficiency << ")\n";
+  return 0;
+}

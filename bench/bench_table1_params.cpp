@@ -1,0 +1,46 @@
+// Table I: the summary of model parameters.
+#include "bench_common.h"
+
+int main() {
+  using swperf::sw::Table;
+  const auto p = swperf::sw::ArchParams::sw26010();
+  swperf::bench::print_header("Model input parameters",
+                              "Table I (input rows)");
+
+  Table t("Table I — model parameters (SW26010)");
+  t.header({"parameter", "definition", "value"});
+  t.row({"mem_bw", "memory bandwidth per core group",
+         Table::num(p.mem_bw_gbps, 0) + " GB/s"});
+  t.row({"Freq", "processor frequency", Table::num(p.freq_ghz, 2) + " GHz"});
+  t.row({"Trans_size", "DRAM transaction size",
+         std::to_string(p.trans_size_bytes) + " B"});
+  t.row({"Delta_delay", "extra delay per transaction of a request",
+         std::to_string(p.delta_delay_cycles) + " cycles"});
+  t.row({"L_base", "baseline memory access latency",
+         std::to_string(p.l_base_cycles) + " cycles"});
+  t.row({"L_float", "floating point operation latency",
+         std::to_string(p.l_float_cycles) + " cycles"});
+  t.row({"L_fixed", "fixed point operation latency",
+         std::to_string(p.l_fixed_cycles) + " cycle"});
+  t.row({"L_SPM", "SPM access latency",
+         std::to_string(p.l_spm_cycles) + " cycles"});
+  t.row({"L_div/sqrt", "divide / sqrt latency (unpipelined)",
+         std::to_string(p.l_div_sqrt_cycles) + " cycles"});
+  t.row({"#CPEs/CG", "compute processing elements per core group",
+         std::to_string(p.cpes_per_cg)});
+  t.row({"SPM", "scratch pad memory per CPE",
+         std::to_string(p.spm_bytes / 1024) + " KiB"});
+  t.row({"gload_max", "max bytes per Gload request",
+         std::to_string(p.gload_max_bytes) + " B"});
+  t.print(std::cout);
+
+  Table d("Derived quantities");
+  d.header({"quantity", "value"});
+  d.row({"transaction service time",
+         Table::num(p.trans_service_cycles(), 2) + " cycles"});
+  d.row({"bytes per cycle", Table::num(p.bytes_per_cycle(), 2) + " B"});
+  d.row({"peak DP per core group",
+         Table::num(p.peak_gflops_per_cg(), 1) + " GFLOPS"});
+  d.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// WRF physics: auto-tuned vs hand-tuned configuration (Section V-D).
+//
+// The paper compares its model-driven auto-tuning against prior hand-tuned
+// WRF physics ports [17]: 421 -> 500 GFLOPS (micro_mg0.I) and 127 -> 148
+// GFLOPS (mcica_subcol.hw) on one core group — the auto-tuner finds a
+// better configuration within the same SWACC implementation, ~1.17x.
+//
+// Our reproduction: the wrf_physics proxy with a plausible hand choice
+// (small conservative tile, no unrolling) vs the static tuner's pick over
+// the same tile x unroll space.  GFLOPS are scalar-issue numbers: this
+// reproduction does not model the 256-bit vector unit, so absolute GFLOPS
+// are ~4x below the paper's; the improvement *ratio* is the target.
+#include "kernels/wrf.h"
+#include "tuning/tuner.h"
+
+#include "bench_common.h"
+
+int main() {
+  using swperf::sw::Table;
+  namespace bench = swperf::bench;
+  const auto arch = swperf::sw::ArchParams::sw26010();
+
+  bench::print_header("Auto-tuned vs hand-tuned WRF physics",
+                      "Section V-D hand-tuning comparison");
+
+  const auto spec = swperf::kernels::wrf_physics(64);
+  const double flops = spec.desc.total_flops();
+
+  // A good hand configuration — what a careful porter lands on after a
+  // few rounds of manual tiling/unrolling (the paper's [17] ports were
+  // already optimized; auto-tuning still found ~1.17x more).
+  swperf::swacc::LaunchParams hand;
+  hand.tile = 16;
+  hand.unroll = 2;
+  hand.vector_width = 4;  // hand ports are vectorized too
+  const auto eh = bench::evaluate(spec.desc, hand, arch);
+
+  // Model-driven static tuning over the standard space.
+  const auto space =
+      swperf::tuning::SearchSpace::with_vectorization(spec.desc, arch);
+  const auto rs = swperf::tuning::StaticTuner(arch).tune(spec.desc, space);
+  const auto ea = bench::evaluate(spec.desc, rs.best, arch);
+
+  const double peak = arch.peak_gflops_per_cg();  // 4-wide FMA/cycle/CPE
+
+  Table t("WRF physics on one core group");
+  t.header({"configuration", "params", "time us", "GFLOPS",
+            "% of peak"});
+  const double g_hand = flops / (eh.actual_cycles() / arch.freq_ghz);
+  const double g_auto = flops / (ea.actual_cycles() / arch.freq_ghz);
+  t.row({"hand-tuned", hand.to_string(),
+         Table::num(eh.actual_us(arch), 1), Table::num(g_hand, 1),
+         Table::pct(g_hand / peak)});
+  t.row({"static auto-tuned", rs.best.to_string(),
+         Table::num(ea.actual_us(arch), 1), Table::num(g_auto, 1),
+         Table::pct(g_auto / peak)});
+  t.print(std::cout);
+
+  std::cout << "improvement: " << Table::times(g_auto / g_hand)
+            << "   (paper: 421 -> 500 GFLOPS = 1.19x and 127 -> 148 = "
+               "1.17x; our microphysics proxy is div/sqrt-bound, hence "
+               "the lower absolute GFLOPS)\n";
+  return 0;
+}

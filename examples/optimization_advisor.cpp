@@ -1,0 +1,92 @@
+// The optimization advisor on a user-written kernel: a 2D Jacobi stencil
+// a domain scientist might port to SW26010.  Shows how the Section IV
+// closed-form analyses turn the model into actionable advice, and verifies
+// each suggestion in the simulator.
+#include <cstdio>
+
+#include "model/analysis.h"
+#include "sim/machine.h"
+#include "swacc/lower.h"
+
+using namespace swperf;
+
+namespace {
+
+swacc::KernelDesc jacobi(std::uint32_t rows, std::uint32_t cols) {
+  isa::BlockBuilder b("jacobi");
+  const auto c = b.spm_load();
+  const auto n = b.spm_load();
+  const auto s = b.spm_load();
+  const auto quarter = b.reg();
+  auto sum = b.fadd(n, s);
+  sum = b.fadd(sum, c);
+  sum = b.fadd(sum, c);
+  b.spm_store(b.fmul(sum, quarter));
+  b.loop_overhead(2);
+
+  swacc::KernelDesc k;
+  k.name = "jacobi2d";
+  k.n_outer = rows;
+  k.inner_iters = cols;
+  k.body = std::move(b).build();
+  k.arrays = {
+      {"grid_in", swacc::Dir::kIn, swacc::Access::kContiguous,
+       4ull * cols},
+      {"grid_out", swacc::Dir::kOut, swacc::Access::kContiguous,
+       4ull * cols},
+  };
+  k.dma_min_tile = 1;
+  return k;
+}
+
+double simulate_us(const swacc::KernelDesc& k,
+                   const swacc::LaunchParams& p,
+                   const sw::ArchParams& arch) {
+  const auto lowered = swacc::lower(k, p, arch);
+  const auto r =
+      sim::simulate(lowered.sim_config, lowered.binary, lowered.programs);
+  return sw::cycles_to_us(r.total_cycles(), arch.freq_ghz);
+}
+
+}  // namespace
+
+int main() {
+  const auto arch = sw::ArchParams::sw26010();
+  const model::PerfModel pm(arch);
+
+  const auto kernel = jacobi(2048, 2048);
+  swacc::LaunchParams params;  // a first-attempt configuration
+  params.tile = 2;
+  params.unroll = 1;
+
+  double current_us = simulate_us(kernel, params, arch);
+  std::printf("jacobi2d @ %s: %.1f us simulated\n\n",
+              params.to_string().c_str(), current_us);
+
+  // Iteratively apply the advisor's best suggestion until it has none.
+  for (int round = 1; round <= 4; ++round) {
+    const auto advice = model::advise(pm, kernel, params);
+    if (advice.empty()) {
+      std::printf("round %d: advisor has no further profitable change\n",
+                  round);
+      break;
+    }
+    const auto& best = advice.front();
+    const double new_us = simulate_us(kernel, best.suggested, arch);
+    std::printf("round %d: %s\n"
+                "         rationale: %s\n"
+                "         model: -%.1f%%   simulated: %.1f us -> %.1f us\n",
+                round, best.optimization.c_str(), best.rationale.c_str(),
+                100.0 * best.saving_fraction, current_us, new_us);
+    if (new_us >= current_us) {
+      std::printf("         (no measured gain; stopping)\n");
+      break;
+    }
+    params = best.suggested;
+    current_us = new_us;
+  }
+
+  std::printf("\nfinal configuration: %s (%.1f us)\n",
+              params.to_string().c_str(), current_us);
+  return 0;
+}

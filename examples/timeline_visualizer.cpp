@@ -1,0 +1,55 @@
+// Visualizing memory/computation overlap: the paper's Figure 4, drawn
+// from an actual simulation trace.
+//
+// Eight CPEs run a chunked copy-in / compute / copy-out loop.  In the
+// compute-heavy variant (Scenario 1) the memory lane shows idle gaps; in
+// the memory-heavy variant (Scenario 2) the memory lane is saturated and
+// the CPEs' computation hides entirely under other CPEs' transfers.
+#include <cstdio>
+#include <iostream>
+
+#include "sim/machine.h"
+#include "sim/trace.h"
+
+using namespace swperf;
+
+namespace {
+
+sim::SimResult run_variant(std::uint64_t iters, std::uint64_t bytes) {
+  isa::BlockBuilder b("body");
+  const auto x = b.reg();
+  for (int i = 0; i < 12; ++i) b.fmul(x, x);
+  sim::KernelBinary bin;
+  bin.add_block(std::move(b).build());
+
+  std::vector<sim::CpeProgram> ps(8);
+  for (auto& p : ps) {
+    for (int c = 0; c < 4; ++c) {
+      p.dma(mem::DmaRequest::contiguous(bytes));
+      p.compute(0, iters);
+      p.dma(mem::DmaRequest::contiguous(bytes, mem::Direction::kWrite));
+    }
+  }
+  sim::SimConfig cfg;
+  cfg.trace = true;
+  return sim::simulate(cfg, bin, ps);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Scenario 1 — computation-bound (memory idles between "
+              "requests):\n\n");
+  const auto s1 = run_variant(/*iters=*/2000, /*bytes=*/4096);
+  std::cout << sim::render_timeline(s1.trace, 100) << '\n';
+  std::printf("memory idle: %.0f of %.0f cycles\n\n",
+              sw::ticks_to_cycles(s1.mem_idle_ticks), s1.total_cycles());
+
+  std::printf("Scenario 2 — memory-bound (compute fully hidden under "
+              "other CPEs' transfers):\n\n");
+  const auto s2 = run_variant(/*iters=*/100, /*bytes=*/16384);
+  std::cout << sim::render_timeline(s2.trace, 100) << '\n';
+  std::printf("memory idle: %.0f of %.0f cycles\n",
+              sw::ticks_to_cycles(s2.mem_idle_ticks), s2.total_cycles());
+  return 0;
+}

@@ -1,0 +1,134 @@
+#include "isa/block.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sw/error.h"
+
+namespace swperf::isa {
+
+OpClassCounts BasicBlock::class_counts() const {
+  OpClassCounts c;
+  for (const auto& i : instrs) ++c[i.cls];
+  return c;
+}
+
+std::vector<Reg> BasicBlock::live_in() const {
+  std::set<Reg> written;
+  std::set<Reg> live;
+  for (const auto& i : instrs) {
+    for (Reg s : i.srcs) {
+      if (s != kNoReg && written.count(s) == 0) live.insert(s);
+    }
+    if (i.dst != kNoReg) written.insert(i.dst);
+  }
+  return {live.begin(), live.end()};
+}
+
+std::vector<Reg> BasicBlock::carried() const {
+  std::set<Reg> written;
+  for (const auto& i : instrs) {
+    if (i.dst != kNoReg) written.insert(i.dst);
+  }
+  std::vector<Reg> out;
+  for (Reg r : live_in()) {
+    if (written.count(r) != 0) out.push_back(r);
+  }
+  return out;
+}
+
+void BasicBlock::validate() const {
+  for (const auto& i : instrs) {
+    if (i.dst != kNoReg) {
+      SWPERF_CHECK(i.dst >= 0 && i.dst < num_regs,
+                   "dst register " << i.dst << " out of range in block '"
+                                   << name << "'");
+    }
+    SWPERF_CHECK(i.cls != OpClass::kSpmStore || i.dst == kNoReg,
+                 "spm_store must not have a destination");
+    for (Reg s : i.srcs) {
+      SWPERF_CHECK(s == kNoReg || (s >= 0 && s < num_regs),
+                   "src register " << s << " out of range in block '" << name
+                                   << "'");
+    }
+  }
+}
+
+BlockBuilder::BlockBuilder(std::string name) { block_.name = std::move(name); }
+
+Reg BlockBuilder::reg() { return block_.num_regs++; }
+
+Reg BlockBuilder::emit(OpClass cls, Reg a, Reg b, Reg c, bool has_dst) {
+  Instr i;
+  i.cls = cls;
+  i.srcs = {a, b, c};
+  i.dst = has_dst ? reg() : kNoReg;
+  block_.instrs.push_back(i);
+  return i.dst;
+}
+
+Reg BlockBuilder::fadd(Reg a, Reg b) { return emit(OpClass::kFloatAdd, a, b); }
+Reg BlockBuilder::fmul(Reg a, Reg b) { return emit(OpClass::kFloatMul, a, b); }
+Reg BlockBuilder::fma(Reg a, Reg b, Reg c) {
+  return emit(OpClass::kFloatFma, a, b, c);
+}
+Reg BlockBuilder::fdiv(Reg a, Reg b) { return emit(OpClass::kFloatDiv, a, b); }
+Reg BlockBuilder::fsqrt(Reg a) { return emit(OpClass::kFloatSqrt, a); }
+Reg BlockBuilder::fixed(Reg a, Reg b) { return emit(OpClass::kFixed, a, b); }
+
+Reg BlockBuilder::spm_load(Reg addr) {
+  return emit(OpClass::kSpmLoad, addr);
+}
+
+void BlockBuilder::spm_store(Reg value, Reg addr) {
+  emit(OpClass::kSpmStore, value, addr, kNoReg, /*has_dst=*/false);
+}
+
+void BlockBuilder::accumulate_add(Reg acc, Reg x) {
+  Instr i;
+  i.cls = OpClass::kFloatAdd;
+  i.srcs = {acc, x, kNoReg};
+  i.dst = acc;  // read-modify-write: loop-carried when repeated
+  block_.instrs.push_back(i);
+}
+
+void BlockBuilder::carry_fixed(Reg carried, Reg x) {
+  Instr i;
+  i.cls = OpClass::kFixed;
+  i.srcs = {carried, x, kNoReg};
+  i.dst = carried;
+  block_.instrs.push_back(i);
+}
+
+void BlockBuilder::accumulate_fma(Reg acc, Reg a, Reg b) {
+  Instr i;
+  i.cls = OpClass::kFloatFma;
+  i.srcs = {a, b, acc};
+  i.dst = acc;
+  block_.instrs.push_back(i);
+}
+
+void BlockBuilder::loop_overhead(int n_fixed_ops) {
+  for (int k = 0; k < n_fixed_ops; ++k) {
+    Instr i;
+    i.cls = OpClass::kFixed;
+    i.dst = reg();
+    i.loop_overhead = true;
+    block_.instrs.push_back(i);
+  }
+}
+
+Reg BlockBuilder::independent_flops(Reg seed, int n) {
+  Reg last = seed;
+  for (int k = 0; k < n; ++k) {
+    last = fmul(seed, seed);  // all depend only on seed: fully parallel
+  }
+  return last;
+}
+
+BasicBlock BlockBuilder::build() && {
+  block_.validate();
+  return std::move(block_);
+}
+
+}  // namespace swperf::isa

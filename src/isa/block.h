@@ -1,0 +1,94 @@
+// Basic blocks and a builder API for writing CPE kernel bodies.
+//
+// Kernel definitions (src/kernels) construct one basic block describing the
+// loop body that runs once per innermost iteration (or per element).  The
+// builder hands out virtual registers; writing an expression like
+//   acc = b.fadd(acc, x)
+// with the *same* register on both sides creates a loop-carried dependence
+// when the block is executed repeatedly — exactly how a reduction serialises
+// a real in-order pipeline (and why unrolling with reduction splitting
+// helps; see unroll.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instr.h"
+
+namespace swperf::isa {
+
+/// A straight-line sequence of IR instructions plus its register universe.
+struct BasicBlock {
+  std::string name;
+  std::vector<Instr> instrs;
+  /// Number of virtual registers; register ids are in [0, num_regs).
+  Reg num_regs = 0;
+  /// Source iterations covered per execution: 1 for scalar code, 2/4 when
+  /// the block has been vectorized (see isa/vectorize.h). The instruction
+  /// stream itself is width-agnostic — vector ops share scalar latencies.
+  std::uint32_t lanes = 1;
+
+  OpClassCounts class_counts() const;
+
+  /// Registers read before they are written in this block (live-in).
+  std::vector<Reg> live_in() const;
+  /// Live-in registers that the block also writes: loop-carried values
+  /// (reduction accumulators, running indices).
+  std::vector<Reg> carried() const;
+
+  /// Structural validation (register ids in range, dst present where
+  /// required); throws sw::Error on malformed blocks.
+  void validate() const;
+};
+
+/// Fluent builder for BasicBlock.
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(std::string name);
+
+  /// Allocates a fresh virtual register (e.g. for live-in values).
+  Reg reg();
+
+  // -- pipeline 0: compute ------------------------------------------------
+  Reg fadd(Reg a, Reg b);
+  Reg fsub(Reg a, Reg b) { return fadd(a, b); }  // same class/latency
+  Reg fmul(Reg a, Reg b);
+  Reg fma(Reg a, Reg b, Reg c);
+  Reg fdiv(Reg a, Reg b);
+  Reg fsqrt(Reg a);
+  Reg fixed(Reg a, Reg b = kNoReg);
+  Reg cmp(Reg a, Reg b) { return fixed(a, b); }
+
+  // -- pipeline 1: SPM access ----------------------------------------------
+  /// SPM load producing a value; `addr` is the (fixed-point) address source.
+  Reg spm_load(Reg addr = kNoReg);
+  void spm_store(Reg value, Reg addr = kNoReg);
+
+  /// Accumulate into an existing register: dst = op(dst, src).
+  void accumulate_add(Reg acc, Reg x);
+  void accumulate_fma(Reg acc, Reg a, Reg b);
+  /// Fixed-point carried update: dst = fixed(dst, x) — e.g. a DP cell's
+  /// west-neighbour dependence.
+  void carry_fixed(Reg carried, Reg x);
+
+  /// Emits the canonical per-iteration loop overhead (index increment +
+  /// bound compare/branch), marked so unrolling collapses it.
+  void loop_overhead(int n_fixed_ops = 2);
+
+  /// Repeats: returns `n` fresh mutually-independent FP chains feeding from
+  /// `seed` — convenience for writing synthetic compute-heavy bodies.
+  Reg independent_flops(Reg seed, int n);
+
+  BasicBlock build() &&;
+
+  const BasicBlock& peek() const { return block_; }
+
+ private:
+  Reg emit(OpClass cls, Reg a, Reg b = kNoReg, Reg c = kNoReg,
+           bool has_dst = true);
+
+  BasicBlock block_;
+};
+
+}  // namespace swperf::isa

@@ -1,0 +1,70 @@
+#include "isa/instr.h"
+
+#include <sstream>
+
+namespace swperf::isa {
+
+const char* op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::kFloatAdd: return "fadd";
+    case OpClass::kFloatMul: return "fmul";
+    case OpClass::kFloatFma: return "fma";
+    case OpClass::kFloatDiv: return "fdiv";
+    case OpClass::kFloatSqrt: return "fsqrt";
+    case OpClass::kFixed: return "fixed";
+    case OpClass::kSpmLoad: return "spm_ld";
+    case OpClass::kSpmStore: return "spm_st";
+  }
+  return "?";
+}
+
+std::uint64_t OpClassCounts::total() const {
+  std::uint64_t s = 0;
+  for (auto c : counts) s += c;
+  return s;
+}
+
+std::uint64_t OpClassCounts::total_flops() const {
+  std::uint64_t s = 0;
+  for (int i = 0; i < kNumOpClasses; ++i) {
+    s += counts[static_cast<std::size_t>(i)] *
+         flops_of(static_cast<OpClass>(i));
+  }
+  return s;
+}
+
+double OpClassCounts::weighted_latency(const sw::ArchParams& p) const {
+  double s = 0.0;
+  for (int i = 0; i < kNumOpClasses; ++i) {
+    const auto c = static_cast<OpClass>(i);
+    s += static_cast<double>(counts[static_cast<std::size_t>(i)]) *
+         static_cast<double>(latency_of(c, p));
+  }
+  return s;
+}
+
+OpClassCounts& OpClassCounts::operator+=(const OpClassCounts& o) {
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += o.counts[i];
+  return *this;
+}
+
+OpClassCounts OpClassCounts::scaled(std::uint64_t factor) const {
+  OpClassCounts r = *this;
+  for (auto& c : r.counts) c *= factor;
+  return r;
+}
+
+std::string OpClassCounts::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (int i = 0; i < kNumOpClasses; ++i) {
+    const auto n = counts[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    if (!first) os << ' ';
+    os << op_class_name(static_cast<OpClass>(i)) << ':' << n;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace swperf::isa

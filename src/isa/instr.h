@@ -1,0 +1,144 @@
+// Instruction IR for CPE kernel bodies.
+//
+// The paper's model consumes the *statically scheduled assembly* of a CPE
+// kernel: the native SW26010 compiler annotates predicted issue cycles,
+// dependencies and basic blocks, from which the authors count retired
+// instructions per class and compute avg_ILP (Section III-D).  We reproduce
+// that toolchain artefact with a small SSA-like instruction IR over virtual
+// registers plus a static scheduler (schedule.h).
+//
+// A CPE issues in order, up to two instructions per cycle: pipeline 0
+// executes float/fixed computation, pipeline 1 executes data motion (SPM
+// load/store and memory-request issue).  Latencies come from Table I.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sw/arch.h"
+
+namespace swperf::isa {
+
+/// Virtual register id. Values are assigned by BlockBuilder.
+using Reg = std::int32_t;
+inline constexpr Reg kNoReg = -1;
+
+/// Instruction classes distinguished by the model (Table I latencies).
+enum class OpClass : std::uint8_t {
+  kFloatAdd,   // pipelined FP add/sub
+  kFloatMul,   // pipelined FP multiply
+  kFloatFma,   // pipelined fused multiply-add (counted as one instruction)
+  kFloatDiv,   // unpipelined divide (footnote 1)
+  kFloatSqrt,  // unpipelined square root (footnote 1)
+  kFixed,      // fixed-point / address arithmetic / branch
+  kSpmLoad,    // scratch-pad load
+  kSpmStore,   // scratch-pad store
+};
+inline constexpr int kNumOpClasses = 8;
+
+/// Execution pipeline an instruction class issues on.
+enum class Pipe : std::uint8_t {
+  kCompute = 0,  // pipeline 0
+  kMemory = 1,   // pipeline 1
+};
+
+constexpr Pipe pipe_of(OpClass c) {
+  switch (c) {
+    case OpClass::kSpmLoad:
+    case OpClass::kSpmStore:
+      return Pipe::kMemory;
+    default:
+      return Pipe::kCompute;
+  }
+}
+
+/// True for div/sqrt, which occupy the FP unit for their whole latency.
+constexpr bool is_unpipelined(OpClass c) {
+  return c == OpClass::kFloatDiv || c == OpClass::kFloatSqrt;
+}
+
+/// True for floating-point arithmetic classes.
+constexpr bool is_float(OpClass c) {
+  return c == OpClass::kFloatAdd || c == OpClass::kFloatMul ||
+         c == OpClass::kFloatFma || c == OpClass::kFloatDiv ||
+         c == OpClass::kFloatSqrt;
+}
+
+/// Table I latency of an instruction class, in cycles.
+constexpr std::uint32_t latency_of(OpClass c, const sw::ArchParams& p) {
+  switch (c) {
+    case OpClass::kFloatAdd:
+    case OpClass::kFloatMul:
+    case OpClass::kFloatFma:
+      return p.l_float_cycles;
+    case OpClass::kFloatDiv:
+    case OpClass::kFloatSqrt:
+      return p.l_div_sqrt_cycles;
+    case OpClass::kFixed:
+      return p.l_fixed_cycles;
+    case OpClass::kSpmLoad:
+    case OpClass::kSpmStore:
+      return p.l_spm_cycles;
+  }
+  return 1;  // unreachable
+}
+
+/// Double-precision flops contributed by one retired instruction of class c
+/// (FMA counts 2), used for GFLOPS reporting like the paper's Section V-D.
+constexpr std::uint32_t flops_of(OpClass c) {
+  switch (c) {
+    case OpClass::kFloatAdd:
+    case OpClass::kFloatMul:
+    case OpClass::kFloatDiv:
+    case OpClass::kFloatSqrt:
+      return 1;
+    case OpClass::kFloatFma:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+const char* op_class_name(OpClass c);
+
+/// One IR instruction: dst <- cls(srcs...). Up to three sources (FMA).
+struct Instr {
+  OpClass cls = OpClass::kFixed;
+  Reg dst = kNoReg;
+  std::array<Reg, 3> srcs = {kNoReg, kNoReg, kNoReg};
+  /// Loop-overhead instructions (index increment, bound compare, branch)
+  /// are emitted once per *source* iteration and collapse under unrolling.
+  bool loop_overhead = false;
+
+  int num_srcs() const {
+    int n = 0;
+    for (Reg s : srcs) n += (s != kNoReg) ? 1 : 0;
+    return n;
+  }
+};
+
+/// Per-class instruction counts of a block or a whole kernel execution.
+struct OpClassCounts {
+  std::array<std::uint64_t, kNumOpClasses> counts{};
+
+  std::uint64_t& operator[](OpClass c) {
+    return counts[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t operator[](OpClass c) const {
+    return counts[static_cast<std::size_t>(c)];
+  }
+
+  std::uint64_t total() const;
+  std::uint64_t total_flops() const;
+  /// Sum over classes of #instructions × latency — the numerator of the
+  /// paper's Eq. 6.
+  double weighted_latency(const sw::ArchParams& p) const;
+
+  OpClassCounts& operator+=(const OpClassCounts& o);
+  OpClassCounts scaled(std::uint64_t factor) const;
+
+  std::string to_string() const;
+};
+
+}  // namespace swperf::isa

@@ -1,0 +1,135 @@
+#include "isa/reorder.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sw/error.h"
+
+namespace swperf::isa {
+
+namespace {
+
+struct Edge {
+  std::uint32_t from;
+  bool carries_latency;  // RAW: true; WAW/WAR (order only): false
+};
+
+}  // namespace
+
+BasicBlock reorder_for_ilp(const BasicBlock& block, const sw::ArchParams& p) {
+  block.validate();
+  const std::size_t n = block.instrs.size();
+  if (n <= 2) return block;
+
+  // ---- Dependence edges ----------------------------------------------------
+  std::vector<std::vector<Edge>> preds(n);
+  std::vector<std::vector<std::uint32_t>> succs(n);
+  {
+    std::vector<std::int32_t> last_writer(
+        static_cast<std::size_t>(block.num_regs), -1);
+    std::vector<std::vector<std::uint32_t>> readers(
+        static_cast<std::size_t>(block.num_regs));
+    auto add_edge = [&](std::uint32_t from, std::uint32_t to, bool lat) {
+      preds[to].push_back(Edge{from, lat});
+      succs[from].push_back(to);
+    };
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const Instr& in = block.instrs[i];
+      for (Reg s : in.srcs) {
+        if (s == kNoReg) continue;
+        const auto w = last_writer[static_cast<std::size_t>(s)];
+        if (w >= 0) add_edge(static_cast<std::uint32_t>(w), i, true);  // RAW
+        readers[static_cast<std::size_t>(s)].push_back(i);
+      }
+      if (in.dst != kNoReg) {
+        const auto d = static_cast<std::size_t>(in.dst);
+        if (last_writer[d] >= 0) {
+          add_edge(static_cast<std::uint32_t>(last_writer[d]), i, false);
+        }
+        for (std::uint32_t r : readers[d]) {
+          if (r != i) add_edge(r, i, false);  // WAR
+        }
+        readers[d].clear();
+        last_writer[d] = static_cast<std::int32_t>(i);
+      }
+    }
+  }
+
+  // ---- Criticality: longest latency path to any exit ------------------------
+  std::vector<std::uint64_t> height(n, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    const std::uint64_t lat = latency_of(block.instrs[i].cls, p);
+    std::uint64_t h = lat;
+    for (std::uint32_t s : succs[i]) {
+      h = std::max(h, lat + height[s]);
+    }
+    height[i] = h;
+  }
+
+  // ---- Greedy list scheduling under the dual-issue scoreboard ---------------
+  std::vector<std::uint32_t> unscheduled_preds(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    unscheduled_preds[i] = static_cast<std::uint32_t>(preds[i].size());
+  }
+  std::vector<std::uint64_t> issue(n, 0);
+  std::vector<bool> done(n, false);
+  std::vector<std::uint32_t> ready;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (unscheduled_preds[i] == 0) ready.push_back(i);
+  }
+
+  BasicBlock out;
+  out.name = block.name;
+  out.lanes = block.lanes;
+  out.num_regs = block.num_regs;
+  out.instrs.reserve(n);
+
+  std::uint64_t prev_issue = 0;
+  std::array<std::uint64_t, 2> pipe_next{0, 0};
+
+  while (!ready.empty()) {
+    // Earliest feasible issue per ready instruction.
+    std::size_t best = 0;
+    std::uint64_t best_issue = ~std::uint64_t{0};
+    for (std::size_t k = 0; k < ready.size(); ++k) {
+      const std::uint32_t i = ready[k];
+      const Instr& in = block.instrs[i];
+      std::uint64_t t = std::max(
+          prev_issue, pipe_next[static_cast<std::size_t>(pipe_of(in.cls))]);
+      for (const Edge& e : preds[i]) {
+        const std::uint64_t lat =
+            e.carries_latency ? latency_of(block.instrs[e.from].cls, p) : 0;
+        t = std::max(t, issue[e.from] + lat);
+      }
+      const bool better =
+          t < best_issue ||
+          (t == best_issue &&
+           (height[i] > height[ready[best]] ||
+            (height[i] == height[ready[best]] && i < ready[best])));
+      if (k == 0 || better) {
+        best = k;
+        best_issue = t;
+      }
+    }
+
+    const std::uint32_t pick = ready[best];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+    const Instr& in = block.instrs[pick];
+    const auto pipe = static_cast<std::size_t>(pipe_of(in.cls));
+    issue[pick] = best_issue;
+    prev_issue = best_issue;
+    pipe_next[pipe] =
+        best_issue + (is_unpipelined(in.cls) ? latency_of(in.cls, p) : 1);
+    done[pick] = true;
+    out.instrs.push_back(in);
+    for (std::uint32_t s : succs[pick]) {
+      if (--unscheduled_preds[s] == 0) ready.push_back(s);
+    }
+  }
+
+  SWPERF_ASSERT(out.instrs.size() == n);
+  out.validate();
+  return out;
+}
+
+}  // namespace swperf::isa

@@ -1,0 +1,22 @@
+// Instruction scheduling (list scheduling) for basic blocks.
+//
+// The CPE issues strictly in order, so the *static instruction order*
+// determines ILP — exactly why the paper reads the native compiler's
+// predicted issue cycles off the annotated assembly: that compiler has
+// already list-scheduled the block.  This pass reproduces it: a greedy
+// earliest-issue topological reordering under the dual-issue scoreboard,
+// honouring RAW/WAW/WAR register dependencies.  Kernel bodies can then be
+// written in natural (source) order; lowering schedules them like the
+// toolchain would.
+#pragma once
+
+#include "isa/block.h"
+#include "sw/arch.h"
+
+namespace swperf::isa {
+
+/// Returns a semantically equivalent block whose instruction order
+/// minimises (greedily) the in-order dual-issue schedule length.
+BasicBlock reorder_for_ilp(const BasicBlock& block, const sw::ArchParams& p);
+
+}  // namespace swperf::isa

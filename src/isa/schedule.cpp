@@ -1,0 +1,118 @@
+#include "isa/schedule.h"
+
+#include <algorithm>
+
+#include "sw/error.h"
+
+namespace swperf::isa {
+
+namespace {
+
+/// In-order dual-issue scoreboard. State persists across block repetitions
+/// so loop-carried register dependencies serialise naturally.
+class Scoreboard {
+ public:
+  Scoreboard(const BasicBlock& block, const sw::ArchParams& p)
+      : block_(block), params_(p), ready_(block.num_regs, 0) {}
+
+  /// Runs one execution of the block; returns (issue cycle of last
+  /// instruction, max retirement cycle so far). Optionally records the
+  /// per-instruction issue cycles of this execution.
+  void run_once(std::vector<std::uint32_t>* issue_out) {
+    for (const auto& i : block_.instrs) {
+      const auto pipe = static_cast<std::size_t>(pipe_of(i.cls));
+      std::uint64_t t = std::max(prev_issue_, pipe_next_[pipe]);
+      for (Reg s : i.srcs) {
+        if (s != kNoReg) t = std::max(t, ready_[static_cast<std::size_t>(s)]);
+      }
+      const std::uint64_t lat = latency_of(i.cls, params_);
+      prev_issue_ = t;
+      pipe_next_[pipe] = t + (is_unpipelined(i.cls) ? lat : 1);
+      if (i.dst != kNoReg) ready_[static_cast<std::size_t>(i.dst)] = t + lat;
+      retire_ = std::max(retire_, t + lat);
+      if (issue_out != nullptr) {
+        issue_out->push_back(static_cast<std::uint32_t>(t));
+      }
+    }
+  }
+
+  std::uint64_t retire() const { return retire_; }
+
+ private:
+  const BasicBlock& block_;
+  const sw::ArchParams& params_;
+  std::vector<std::uint64_t> ready_;       // per-register availability cycle
+  std::array<std::uint64_t, 2> pipe_next_{0, 0};  // next free cycle per pipe
+  std::uint64_t prev_issue_ = 0;           // in-order issue constraint
+  std::uint64_t retire_ = 0;
+};
+
+}  // namespace
+
+double BlockSchedule::avg_ilp(const sw::ArchParams& p) const {
+  if (span_cycles == 0) return 0.0;
+  return counts.weighted_latency(p) / static_cast<double>(span_cycles);
+}
+
+BlockSchedule schedule_block(const BasicBlock& block, const sw::ArchParams& p) {
+  block.validate();
+  BlockSchedule s;
+  s.counts = block.class_counts();
+  Scoreboard sb(block, p);
+  sb.run_once(&s.issue_cycle);
+  s.span_cycles = sb.retire();
+  return s;
+}
+
+LoopSchedule::LoopSchedule(const BasicBlock& block, const sw::ArchParams& p) {
+  block.validate();
+  counts_ = block.class_counts();
+  if (block.instrs.empty()) {
+    steady_ii_ = 0;
+    return;
+  }
+
+  // Replay iterations until three consecutive retirement deltas agree —
+  // with fixed latencies and in-order issue the schedule always settles
+  // into a linear steady state, normally within a couple of iterations.
+  constexpr std::size_t kMaxWarmup = 64;
+  Scoreboard sb(block, p);
+  std::uint64_t stable_delta = 0;
+  int stable_count = 0;
+  for (std::size_t it = 0; it < kMaxWarmup; ++it) {
+    sb.run_once(nullptr);
+    retire_prefix_.push_back(sb.retire());
+    const std::size_t n = retire_prefix_.size();
+    if (n >= 2) {
+      const std::uint64_t delta = retire_prefix_[n - 1] - retire_prefix_[n - 2];
+      if (delta == stable_delta) {
+        if (++stable_count >= 3) break;
+      } else {
+        stable_delta = delta;
+        stable_count = 1;
+      }
+    }
+  }
+  steady_ii_ = stable_delta;
+  SWPERF_ASSERT(steady_ii_ > 0 || retire_prefix_.size() == 1);
+  if (steady_ii_ == 0) steady_ii_ = retire_prefix_.back();
+}
+
+std::uint64_t LoopSchedule::cycles(std::uint64_t iters) const {
+  if (iters == 0 || retire_prefix_.empty()) return 0;
+  if (iters <= retire_prefix_.size()) {
+    return retire_prefix_[static_cast<std::size_t>(iters) - 1];
+  }
+  const std::uint64_t warm = retire_prefix_.size();
+  return retire_prefix_.back() + (iters - warm) * steady_ii_;
+}
+
+double LoopSchedule::avg_ilp(const sw::ArchParams& p,
+                             std::uint64_t iters) const {
+  const std::uint64_t c = cycles(iters);
+  if (c == 0) return 0.0;
+  return counts_.weighted_latency(p) * static_cast<double>(iters) /
+         static_cast<double>(c);
+}
+
+}  // namespace swperf::isa

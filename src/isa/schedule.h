@@ -1,0 +1,72 @@
+// Static instruction scheduling for CPE basic blocks.
+//
+// Reproduces what the paper extracts from the native compiler's annotated
+// assembly (Section III-D): the predicted issue cycle of each instruction
+// under the CPE's in-order dual-issue pipeline, from which the per-block
+// execution time and the average instruction-level parallelism (avg_ILP,
+// the denominator of Eq. 6) follow.
+//
+// The machine model: instructions issue strictly in program order; in one
+// cycle at most one instruction issues on pipeline 0 (compute) and one on
+// pipeline 1 (SPM access).  An instruction issues when its pipeline is free
+// and all source registers are ready; a register becomes ready
+// `latency(class)` cycles after its producer issues.  Divide/sqrt are
+// unpipelined and occupy pipeline 0 for their full latency (footnote 1 of
+// the paper).  Because the architecture is cache-less, these latencies are
+// exact, which is precisely why static modeling works on SW26010.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/block.h"
+#include "sw/arch.h"
+
+namespace swperf::isa {
+
+/// Schedule of one standalone execution of a block.
+struct BlockSchedule {
+  /// Issue cycle of each instruction (index-parallel with block.instrs).
+  std::vector<std::uint32_t> issue_cycle;
+  /// Cycles from first issue to last retirement.
+  std::uint64_t span_cycles = 0;
+  /// Instruction-class histogram of the block.
+  OpClassCounts counts;
+
+  /// avg_ILP of a single execution: Σ(#t × L_t) / span (Eq. 6 rearranged).
+  double avg_ilp(const sw::ArchParams& p) const;
+};
+
+/// Schedules one standalone execution of `block`.
+BlockSchedule schedule_block(const BasicBlock& block, const sw::ArchParams& p);
+
+/// Timing of a block executed back-to-back `iters` times (an innermost
+/// loop).  The scoreboard is replayed iteration by iteration, carrying
+/// register-ready state across iterations — so a reduction written as
+/// `acc = fadd(acc, x)` serialises exactly as on hardware — until the
+/// initiation interval stabilises; the steady state is then extrapolated.
+class LoopSchedule {
+ public:
+  LoopSchedule(const BasicBlock& block, const sw::ArchParams& p);
+
+  /// Total cycles to execute `iters` repetitions (0 for 0 iterations).
+  std::uint64_t cycles(std::uint64_t iters) const;
+
+  /// Steady-state initiation interval in cycles.
+  std::uint64_t steady_ii() const { return steady_ii_; }
+
+  /// Instruction-class histogram of one iteration.
+  const OpClassCounts& counts_per_iter() const { return counts_; }
+
+  /// avg_ILP over `iters` iterations (→ Eq. 6's avg_ILP as iters grows).
+  double avg_ilp(const sw::ArchParams& p, std::uint64_t iters) const;
+
+ private:
+  /// retire_prefix_[i] = total cycles after i+1 iterations, for the
+  /// simulated warm-up iterations.
+  std::vector<std::uint64_t> retire_prefix_;
+  std::uint64_t steady_ii_ = 0;
+  OpClassCounts counts_;
+};
+
+}  // namespace swperf::isa

@@ -1,0 +1,67 @@
+#include "isa/unroll.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sw/error.h"
+
+namespace swperf::isa {
+
+BasicBlock unroll(const BasicBlock& block, const UnrollOptions& opts) {
+  block.validate();
+  SWPERF_CHECK(opts.factor >= 1, "unroll factor must be >= 1, got "
+                                     << opts.factor);
+  if (opts.factor == 1) return block;
+
+  const std::vector<Reg> carried_vec = block.carried();
+  const std::set<Reg> carried(carried_vec.begin(), carried_vec.end());
+
+  BasicBlock out;
+  out.name = block.name + "_x" + std::to_string(opts.factor);
+  out.lanes = block.lanes;
+  out.num_regs = block.num_regs;
+
+  for (int k = 0; k < opts.factor; ++k) {
+    // Per-copy register map, initialised to identity: live-in invariants
+    // stay shared across copies.
+    std::vector<Reg> map(static_cast<std::size_t>(block.num_regs));
+    for (Reg r = 0; r < block.num_regs; ++r) {
+      map[static_cast<std::size_t>(r)] = r;
+    }
+    if (k > 0 && opts.split_reductions) {
+      // Each copy accumulates into its own alias of every carried register,
+      // making the k chains mutually independent.
+      for (Reg r : carried_vec) {
+        map[static_cast<std::size_t>(r)] = out.num_regs++;
+      }
+    }
+
+    for (const auto& instr : block.instrs) {
+      if (instr.loop_overhead && opts.collapse_loop_overhead && k > 0) {
+        continue;
+      }
+      Instr ni = instr;
+      for (auto& s : ni.srcs) {
+        if (s != kNoReg) s = map[static_cast<std::size_t>(s)];
+      }
+      if (instr.dst != kNoReg) {
+        if (carried.count(instr.dst) != 0) {
+          // Writes to a carried register stay on that copy's alias so the
+          // chain persists across repetitions of the unrolled body.
+          ni.dst = map[static_cast<std::size_t>(instr.dst)];
+        } else if (k == 0) {
+          ni.dst = instr.dst;  // identity for the first copy
+        } else {
+          ni.dst = out.num_regs++;
+          map[static_cast<std::size_t>(instr.dst)] = ni.dst;
+        }
+      }
+      out.instrs.push_back(ni);
+    }
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace swperf::isa

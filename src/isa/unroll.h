@@ -1,0 +1,34 @@
+// Loop unrolling on basic blocks.
+//
+// Unrolling is one of the two code transformations the paper's auto-tuners
+// search over (Section V-D).  On an in-order cache-less CPE its effect is
+// purely static and therefore fully visible to the scheduler:
+//   * per-iteration loop overhead (index/branch fixed-point ops) collapses
+//     to once per unrolled body;
+//   * with reduction splitting, a loop-carried accumulator chain is renamed
+//     into `factor` independent chains, raising avg_ILP toward the pipeline
+//     depth (the paper's ILP "can be as many as 8").
+// The epilogue that re-combines split accumulators ((factor-1) adds once per
+// loop, not per iteration) is negligible and not emitted.
+#pragma once
+
+#include "isa/block.h"
+
+namespace swperf::isa {
+
+struct UnrollOptions {
+  /// Number of source iterations per unrolled body. 1 = no change.
+  int factor = 1;
+  /// Rename loop-carried registers per copy (independent reduction chains).
+  bool split_reductions = true;
+  /// Emit loop-overhead instructions once per unrolled body instead of once
+  /// per source iteration.
+  bool collapse_loop_overhead = true;
+};
+
+/// Returns a block representing `factor` consecutive source iterations.
+/// Executing the result N/factor times is equivalent to executing `block`
+/// N times.
+BasicBlock unroll(const BasicBlock& block, const UnrollOptions& opts);
+
+}  // namespace swperf::isa

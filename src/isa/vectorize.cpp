@@ -1,0 +1,22 @@
+#include "isa/vectorize.h"
+
+#include <string>
+
+#include "sw/error.h"
+
+namespace swperf::isa {
+
+BasicBlock vectorize(const BasicBlock& block, std::uint32_t lanes) {
+  block.validate();
+  SWPERF_CHECK(lanes == 1 || lanes == 2 || lanes == kMaxVectorLanes,
+               "vector width must be 1, 2 or 4, got " << lanes);
+  SWPERF_CHECK(block.lanes == 1,
+               "block '" << block.name << "' is already vectorized");
+  if (lanes == 1) return block;
+  BasicBlock out = block;
+  out.lanes = lanes;
+  out.name = block.name + "_v" + std::to_string(lanes);
+  return out;
+}
+
+}  // namespace swperf::isa

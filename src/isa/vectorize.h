@@ -1,0 +1,30 @@
+// SIMD vectorization of basic blocks.
+//
+// Each CPE of SW26010 has a 256-bit vector unit: one vector instruction
+// processes 4 double-precision lanes at the same issue cost and latency as
+// its scalar form (that is where the chip's 8 flops/cycle/CPE — 742 GFLOPS
+// per core group — come from; a scalar port reaches at most a quarter of
+// peak).  A vectorized block therefore keeps the *same* instruction
+// sequence but covers `lanes` source iterations per execution:
+// BasicBlock::lanes records the widening, and lowering divides the trip
+// count accordingly (with a scalar remainder loop).
+//
+// Legality is the kernel author's contract (KernelDesc::vectorizable):
+// stride-1 SPM accesses and lane-independent arithmetic. Reductions
+// vectorize into per-lane accumulators; the final horizontal reduction
+// (once per loop, not per iteration) is negligible and not emitted — the
+// same convention as unrolling's accumulator merge.
+#pragma once
+
+#include "isa/block.h"
+
+namespace swperf::isa {
+
+/// Maximum lanes of the 256-bit vector unit on doubles.
+inline constexpr std::uint32_t kMaxVectorLanes = 4;
+
+/// Returns `block` widened to `lanes` source iterations per execution.
+/// lanes must be 1, 2 or 4 and blocks must not be re-vectorized.
+BasicBlock vectorize(const BasicBlock& block, std::uint32_t lanes);
+
+}  // namespace swperf::isa

@@ -1,0 +1,70 @@
+#include "kernels/backprop.h"
+
+#include <cmath>
+
+#include "sw/error.h"
+
+namespace swperf::kernels {
+
+KernelSpec backprop_cfg(const BackpropConfig& cfg) {
+  // Per (input, hidden) connection: partial[j] += in[i] * w[i][j].
+  isa::BlockBuilder b("backprop_body");
+  const auto w = b.spm_load();
+  const auto x = b.spm_load();
+  const auto acc = b.reg();
+  b.accumulate_fma(acc, w, x);  // loop-carried reduction chain
+  b.spm_store(acc);
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "backprop";
+  spec.desc.n_outer = cfg.n_input;
+  spec.desc.inner_iters = cfg.n_hidden;
+  spec.desc.body = std::move(b).build();
+  spec.desc.arrays = {
+      {"weights", swacc::Dir::kIn, swacc::Access::kContiguous,
+       4ull * cfg.n_hidden},
+      {"partials", swacc::Dir::kOut, swacc::Access::kContiguous, 8},
+      {.name = "input",
+       .dir = swacc::Dir::kIn,
+       .access = swacc::Access::kBroadcast,
+       .broadcast_bytes = 4ull * cfg.n_hidden},
+  };
+  spec.desc.vectorizable = true;
+  spec.tuned = {.tile = 128, .unroll = 4, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.naive = {.tile = 1, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.notes =
+      "Loop-carried FMA reduction; unrolling splits the chain. Paper size "
+      "1048576*64 scaled.";
+  return spec;
+}
+
+KernelSpec backprop(Scale scale) {
+  BackpropConfig cfg;
+  if (scale == Scale::kSmall) cfg.n_input = 1u << 12;
+  return backprop_cfg(cfg);
+}
+
+namespace host {
+
+std::vector<double> backprop_forward(std::span<const double> input,
+                                     std::span<const double> weights,
+                                     std::uint32_t n_hidden) {
+  SWPERF_CHECK(n_hidden > 0 &&
+                   weights.size() == input.size() * n_hidden,
+               "backprop: size mismatch");
+  std::vector<double> hidden(n_hidden, 0.0);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    for (std::uint32_t j = 0; j < n_hidden; ++j) {
+      hidden[j] += input[i] * weights[i * n_hidden + j];
+    }
+  }
+  for (auto& h : hidden) h = 1.0 / (1.0 + std::exp(-h));
+  return hidden;
+}
+
+}  // namespace host
+
+}  // namespace swperf::kernels

@@ -1,0 +1,36 @@
+// Back-propagation (Rodinia backprop) forward-pass proxy.
+//
+// Weighted-sum accumulation of a wide input layer into a hidden layer: the
+// weight rows stream through SPM while the input vector stays broadcast-
+// resident.  The inner loop is a single loop-carried FMA reduction — the
+// strongest unrolling candidate in the suite (the paper's Table II finds
+// differing static/dynamic picks here, within 6%).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/spec.h"
+
+namespace swperf::kernels {
+
+struct BackpropConfig {
+  std::uint64_t n_input = 1u << 16;  // paper: 1048576*64, scaled /16
+  std::uint32_t n_hidden = 64;
+};
+
+KernelSpec backprop(Scale scale = Scale::kFull);
+KernelSpec backprop_cfg(const BackpropConfig& cfg);
+
+namespace host {
+
+/// hidden[j] = sigmoid(sum_i input[i] * w[i][j]) for a row-major
+/// (n_input x n_hidden) weight matrix.
+std::vector<double> backprop_forward(std::span<const double> input,
+                                     std::span<const double> weights,
+                                     std::uint32_t n_hidden);
+
+}  // namespace host
+
+}  // namespace swperf::kernels

@@ -1,0 +1,99 @@
+#include "kernels/bfs.h"
+
+#include <deque>
+#include <limits>
+
+#include "sw/error.h"
+
+namespace swperf::kernels {
+
+KernelSpec bfs_cfg(const BfsConfig& cfg) {
+  // Per visited node: integer frontier bookkeeping only.
+  isa::BlockBuilder b("bfs_body");
+  const auto off = b.spm_load();
+  auto t = b.fixed(off);
+  t = b.fixed(t);
+  b.cmp(t, off);
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "bfs";
+  spec.desc.n_outer = cfg.n_nodes;
+  spec.desc.inner_iters = 1;
+  spec.desc.body = std::move(b).build();
+  spec.desc.arrays = {
+      {"row_offsets", swacc::Dir::kIn, swacc::Access::kContiguous, 8},
+      {.name = "columns",
+       .dir = swacc::Dir::kIn,
+       .access = swacc::Access::kIndirect,
+       .gloads_per_inner = cfg.avg_degree,
+       .gload_bytes = 8},
+      {.name = "visited",
+       .dir = swacc::Dir::kInOut,
+       .access = swacc::Access::kIndirect,
+       .gloads_per_inner = 1.0,
+       .gload_bytes = 4},
+  };
+  spec.desc.gload_imbalance = 0.15;  // frontier skew across CPEs
+  spec.desc.gload_coalesceable = 0.6;  // CSR neighbour lists are sorted
+  spec.irregular = true;
+  spec.tuned = {.tile = 256, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.naive = {.tile = 64, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.notes =
+      "Gload-dominated; the paper's max-error case. Paper used 1M nodes, "
+      "scaled to 256k.";
+  return spec;
+}
+
+KernelSpec bfs(Scale scale) {
+  BfsConfig cfg;
+  if (scale == Scale::kSmall) cfg.n_nodes = 1u << 14;
+  return bfs_cfg(cfg);
+}
+
+namespace host {
+
+Graph random_graph(std::uint32_t n, double avg_degree, sw::Rng& rng) {
+  SWPERF_CHECK(n >= 2, "random_graph: need at least two nodes");
+  SWPERF_CHECK(avg_degree >= 1.0, "random_graph: avg_degree < 1");
+  Graph g;
+  g.row_offsets.reserve(n + 1);
+  g.row_offsets.push_back(0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (i + 1 < n) g.columns.push_back(i + 1);  // connectivity backbone
+    const auto extra = static_cast<std::uint32_t>(
+        rng.next_below(static_cast<std::uint64_t>(2.0 * avg_degree - 1.0)));
+    for (std::uint32_t e = 0; e < extra; ++e) {
+      g.columns.push_back(static_cast<std::uint32_t>(rng.next_below(n)));
+    }
+    g.row_offsets.push_back(static_cast<std::uint32_t>(g.columns.size()));
+  }
+  return g;
+}
+
+std::vector<std::uint32_t> bfs(const Graph& g, std::uint32_t source) {
+  const std::uint32_t n = g.nodes();
+  SWPERF_CHECK(source < n, "bfs: source out of range");
+  std::vector<std::uint32_t> dist(
+      n, std::numeric_limits<std::uint32_t>::max());
+  std::deque<std::uint32_t> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    const std::uint32_t u = frontier.front();
+    frontier.pop_front();
+    for (std::uint32_t e = g.row_offsets[u]; e < g.row_offsets[u + 1]; ++e) {
+      const std::uint32_t v = g.columns[e];
+      if (dist[v] == std::numeric_limits<std::uint32_t>::max()) {
+        dist[v] = dist[u] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace host
+
+}  // namespace swperf::kernels

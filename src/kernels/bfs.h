@@ -1,0 +1,49 @@
+// Breadth-first search (Rodinia bfs) — the paper's canonical irregular
+// kernel and its worst prediction case (9.6% error, Fig. 6).
+//
+// Neighbour lists and the visited map are data-dependent: conventional
+// blocking cannot stage them, so nearly every access is a Gload consuming a
+// whole 256-B transaction for 8 bytes of payload — Gload waste dominates
+// the execution time.  Frontier sizes also skew per-CPE work (modelled as
+// gload imbalance; the model takes the longest path, as the paper does).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/spec.h"
+#include "sw/rng.h"
+
+namespace swperf::kernels {
+
+struct BfsConfig {
+  std::uint64_t n_nodes = 1u << 18;
+  double avg_degree = 4.0;
+};
+
+KernelSpec bfs(Scale scale = Scale::kFull);
+KernelSpec bfs_cfg(const BfsConfig& cfg);
+
+namespace host {
+
+/// Compressed-sparse-row graph.
+struct Graph {
+  std::vector<std::uint32_t> row_offsets;  // n+1 entries
+  std::vector<std::uint32_t> columns;
+
+  std::uint32_t nodes() const {
+    return static_cast<std::uint32_t>(row_offsets.size() - 1);
+  }
+};
+
+/// Deterministic random graph with ~avg_degree out-edges per node, always
+/// including edge i -> i+1 so the graph is connected from node 0.
+Graph random_graph(std::uint32_t n, double avg_degree, sw::Rng& rng);
+
+/// BFS distances from `source` (UINT32_MAX = unreachable).
+std::vector<std::uint32_t> bfs(const Graph& g, std::uint32_t source);
+
+}  // namespace host
+
+}  // namespace swperf::kernels

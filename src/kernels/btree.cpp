@@ -1,0 +1,57 @@
+#include "kernels/btree.h"
+
+#include <algorithm>
+
+namespace swperf::kernels {
+
+KernelSpec btree_cfg(const BtreeConfig& cfg) {
+  // Per tree level: key compare + child-pointer arithmetic.
+  isa::BlockBuilder b("btree_body");
+  const auto key = b.spm_load();
+  auto t = b.cmp(key, key);
+  t = b.fixed(t);
+  b.fixed(t);
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "b+tree";
+  spec.desc.n_outer = cfg.n_queries;
+  spec.desc.inner_iters = cfg.depth;
+  spec.desc.body = std::move(b).build();
+  spec.desc.arrays = {
+      {"queries", swacc::Dir::kIn, swacc::Access::kContiguous, 8},
+      {"results", swacc::Dir::kOut, swacc::Access::kContiguous, 8},
+      {.name = "tree_nodes",
+       .dir = swacc::Dir::kIn,
+       .access = swacc::Access::kIndirect,
+       .gloads_per_inner = 1.0,  // one node fetch per level
+       .gload_bytes = 16},
+  };
+  spec.desc.gload_imbalance = 0.08;
+  spec.desc.gload_coalesceable = 0.05;  // pointer chasing barely coalesces
+  spec.irregular = true;
+  spec.tuned = {.tile = 512, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.naive = {.tile = 64, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.notes = "Pointer chasing: one Gload per level per query.";
+  return spec;
+}
+
+KernelSpec btree(Scale scale) {
+  BtreeConfig cfg;
+  if (scale == Scale::kSmall) cfg.n_queries = 1u << 13;
+  return btree_cfg(cfg);
+}
+
+namespace host {
+
+std::size_t lower_bound_search(std::span<const std::uint64_t> sorted,
+                               std::uint64_t key) {
+  return static_cast<std::size_t>(
+      std::lower_bound(sorted.begin(), sorted.end(), key) - sorted.begin());
+}
+
+}  // namespace host
+
+}  // namespace swperf::kernels

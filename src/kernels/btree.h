@@ -1,0 +1,34 @@
+// B+tree lookups (Rodinia b+tree) — pointer-chasing irregular kernel.
+//
+// Each query walks root-to-leaf through nodes whose addresses depend on the
+// previous comparison: every level is a Gload, nothing can be staged (the
+// paper groups it with bfs/leukocyte/streamcluster as "difficult to
+// leverage SPM", Section V-B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/spec.h"
+
+namespace swperf::kernels {
+
+struct BtreeConfig {
+  std::uint64_t n_queries = 1u << 17;
+  std::uint32_t depth = 8;  // tree levels walked per query
+};
+
+KernelSpec btree(Scale scale = Scale::kFull);
+KernelSpec btree_cfg(const BtreeConfig& cfg);
+
+namespace host {
+
+/// Sorted-array binary search standing in for the B+tree walk: returns the
+/// index of the first element >= key (== size if none).
+std::size_t lower_bound_search(std::span<const std::uint64_t> sorted,
+                               std::uint64_t key);
+
+}  // namespace host
+
+}  // namespace swperf::kernels

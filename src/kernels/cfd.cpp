@@ -1,0 +1,57 @@
+#include "kernels/cfd.h"
+
+namespace swperf::kernels {
+
+KernelSpec cfd_cfg(const CfdConfig& cfg) {
+  // One face's flux contribution: momentum/energy FMAs plus the pressure
+  // division (unpipelined on the CPE).
+  isa::BlockBuilder b("cfd_body");
+  const auto rho = b.spm_load();
+  const auto mom = b.spm_load();
+  const auto ene = b.spm_load();
+  const auto nrm = b.spm_load();
+  const auto vel = b.fdiv(mom, rho);                 // velocity = momentum/density
+  const auto ke = b.fmul(vel, vel);
+  const auto pres = b.fma(ene, ke, rho);             // pressure proxy
+  auto fl = b.fmul(pres, nrm);
+  fl = b.fma(vel, mom, fl);
+  fl = b.fma(vel, ene, fl);
+  fl = b.fadd(fl, ke);
+  b.spm_store(fl);
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "cfd";
+  spec.desc.n_outer = cfg.n_cells;
+  spec.desc.inner_iters = cfg.n_faces;
+  spec.desc.body = std::move(b).build();
+  spec.desc.arrays = {
+      {"variables", swacc::Dir::kIn, swacc::Access::kContiguous, 20},
+      {"normals", swacc::Dir::kIn, swacc::Access::kContiguous, 48},
+      {"fluxes", swacc::Dir::kOut, swacc::Access::kContiguous, 20},
+      {.name = "nb_variables",
+       .dir = swacc::Dir::kIn,
+       .access = swacc::Access::kIndirect,
+       .gloads_per_inner = 0.25,  // unstructured-mesh gather
+       .gload_bytes = 20},
+  };
+  spec.desc.gload_imbalance = 0.1;
+  spec.desc.dma_min_tile = 1;  // mesh ports always stage cell data via DMA
+  spec.desc.vectorizable = true;
+  spec.tuned = {.tile = 128, .unroll = 2, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.naive = {.tile = 1, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.notes =
+      "Division-heavy per-face fluxes; light indirect neighbour gather. "
+      "Paper size 193474*4 scaled.";
+  return spec;
+}
+
+KernelSpec cfd(Scale scale) {
+  CfdConfig cfg;
+  if (scale == Scale::kSmall) cfg.n_cells = 12144;
+  return cfd_cfg(cfg);
+}
+
+}  // namespace swperf::kernels

@@ -1,0 +1,23 @@
+// CFD Euler solver (Rodinia euler3d) proxy.
+//
+// Per-cell flux computation over an unstructured mesh: the five
+// conservative variables stream through SPM, per-face normals are staged,
+// and the neighbour gather — unpredictable on an unstructured mesh —
+// appears as a light Gload stream.  Division-heavy (pressure), so its
+// compute time is sensitive to unpipelined fdiv, one of the reasons it
+// profits less from tuning in the paper's Table II (1.67x).
+#pragma once
+
+#include "kernels/spec.h"
+
+namespace swperf::kernels {
+
+struct CfdConfig {
+  std::uint64_t n_cells = 97152;  // paper: 193474*4, scaled /8
+  std::uint32_t n_faces = 4;
+};
+
+KernelSpec cfd(Scale scale = Scale::kFull);
+KernelSpec cfd_cfg(const CfdConfig& cfg);
+
+}  // namespace swperf::kernels

@@ -1,0 +1,84 @@
+#include "kernels/gaussian.h"
+
+#include <cmath>
+
+#include "sw/error.h"
+
+namespace swperf::kernels {
+
+KernelSpec gaussian_cfg(const GaussianConfig& cfg) {
+  // Per trailing element: a[i][j] -= m_i * pivot[j].
+  isa::BlockBuilder b("gaussian_body");
+  const auto aij = b.spm_load();
+  const auto pj = b.spm_load();
+  const auto mi = b.reg();  // row multiplier, register-resident
+  const auto prod = b.fmul(mi, pj);
+  b.spm_store(b.fsub(aij, prod));
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "gaussian";
+  spec.desc.n_outer = cfg.n;             // trailing rows
+  spec.desc.inner_iters = cfg.n / 2;     // triangular average
+  spec.desc.body = std::move(b).build();
+  const std::uint64_t row_bytes = 4ull * cfg.n;
+  spec.desc.arrays = {
+      {"rows", swacc::Dir::kInOut, swacc::Access::kContiguous, row_bytes},
+      {.name = "pivot_row",
+       .dir = swacc::Dir::kIn,
+       .access = swacc::Access::kBroadcast,
+       .broadcast_bytes = row_bytes},
+  };
+  spec.desc.dma_min_tile = 2;
+  spec.desc.comp_imbalance = 0.25;  // triangular workload skew
+  spec.desc.vectorizable = true;
+  spec.tuned = {.tile = 8, .unroll = 4, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.naive = {.tile = 1, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.notes = "Trailing-matrix elimination; lud's leaner sibling.";
+  return spec;
+}
+
+KernelSpec gaussian(Scale scale) {
+  GaussianConfig cfg;
+  if (scale == Scale::kSmall) cfg.n = 256;
+  return gaussian_cfg(cfg);
+}
+
+namespace host {
+
+std::vector<double> gaussian_solve(std::span<const double> a,
+                                   std::span<const double> b,
+                                   std::uint32_t n) {
+  SWPERF_CHECK(a.size() == static_cast<std::size_t>(n) * n &&
+                   b.size() == n,
+               "gaussian: bad dimensions");
+  std::vector<double> m(a.begin(), a.end());
+  std::vector<double> rhs(b.begin(), b.end());
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const double piv = m[static_cast<std::size_t>(k) * n + k];
+    SWPERF_CHECK(std::abs(piv) > 1e-12, "gaussian: zero pivot at " << k);
+    for (std::uint32_t i = k + 1; i < n; ++i) {
+      const double f = m[static_cast<std::size_t>(i) * n + k] / piv;
+      for (std::uint32_t j = k; j < n; ++j) {
+        m[static_cast<std::size_t>(i) * n + j] -=
+            f * m[static_cast<std::size_t>(k) * n + j];
+      }
+      rhs[i] -= f * rhs[k];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::uint32_t i = n; i-- > 0;) {
+    double s = rhs[i];
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      s -= m[static_cast<std::size_t>(i) * n + j] * x[j];
+    }
+    x[i] = s / m[static_cast<std::size_t>(i) * n + i];
+  }
+  return x;
+}
+
+}  // namespace host
+
+}  // namespace swperf::kernels

@@ -1,0 +1,34 @@
+// Gaussian elimination (Rodinia gaussian).
+//
+// Trailing-submatrix update against the current pivot row: matrix rows
+// stream through SPM, the pivot row is broadcast, and per-row multipliers
+// stay in registers — structurally lud's sibling with a leaner body,
+// included to round out the suite's dense-linear-algebra coverage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/spec.h"
+
+namespace swperf::kernels {
+
+struct GaussianConfig {
+  std::uint32_t n = 1024;
+};
+
+KernelSpec gaussian(Scale scale = Scale::kFull);
+KernelSpec gaussian_cfg(const GaussianConfig& cfg);
+
+namespace host {
+
+/// Forward elimination of [A|b] (n x n matrix, rhs) followed by back
+/// substitution; returns x with A x = b. Requires nonzero pivots.
+std::vector<double> gaussian_solve(std::span<const double> a,
+                                   std::span<const double> b,
+                                   std::uint32_t n);
+
+}  // namespace host
+
+}  // namespace swperf::kernels

@@ -1,0 +1,95 @@
+#include "kernels/hotspot.h"
+
+#include "sw/error.h"
+
+namespace swperf::kernels {
+
+KernelSpec hotspot_cfg(const HotspotConfig& cfg) {
+  // Per-column update: the Rodinia expression is one long dependent chain
+  //   t' = t + (step/Cap) * (power + (n+s-2t)/Ry + (e+w-2t)/Rx + (amb-t)/Rz)
+  // with the 1/R* factors folded into constants; on the in-order CPE its
+  // serial latency is what unrolling (interleaving neighbouring columns)
+  // recovers — the core of hotspot's Table II speedup.
+  isa::BlockBuilder b("hotspot_body");
+  const auto tc = b.spm_load();
+  const auto tn = b.spm_load();
+  const auto ts = b.spm_load();
+  const auto pw = b.spm_load();
+  const auto ry = b.reg();
+  const auto rx = b.reg();
+  const auto rz = b.reg();
+  const auto cap = b.reg();
+  auto s = b.fadd(tn, ts);      // dependent chain start
+  s = b.fma(tc, ry, s);
+  s = b.fadd(s, pw);
+  s = b.fma(tc, rx, s);
+  s = b.fadd(s, tc);
+  s = b.fma(s, rz, s);
+  s = b.fadd(s, pw);
+  s = b.fma(s, cap, tc);
+  s = b.fadd(s, tc);
+  b.spm_store(s);
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "hotspot";
+  spec.desc.n_outer = cfg.rows;
+  spec.desc.inner_iters = cfg.cols;
+  spec.desc.body = std::move(b).build();
+  const std::uint64_t row_bytes = 4ull * cfg.cols;
+  spec.desc.arrays = {
+      // Temperature rows (halo rows are kept across consecutive chunks, so
+      // each row crosses the DMA once), the power map, and the output.
+      {"temp_rows", swacc::Dir::kIn, swacc::Access::kContiguous, row_bytes},
+      {"power", swacc::Dir::kIn, swacc::Access::kContiguous, row_bytes},
+      {"temp_out", swacc::Dir::kOut, swacc::Access::kContiguous, row_bytes},
+  };
+  spec.desc.dma_min_tile = 1;  // rows are huge; staging always pays
+  spec.desc.vectorizable = true;
+  spec.tuned = {.tile = 2, .unroll = 8, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.naive = {.tile = 1, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.notes =
+      "Five-point stencil, SPM-tight row staging; paper Table II size "
+      "1024x1024.";
+  return spec;
+}
+
+KernelSpec hotspot(Scale scale) {
+  HotspotConfig cfg;
+  if (scale == Scale::kSmall) cfg.rows = cfg.cols = 256;
+  return hotspot_cfg(cfg);
+}
+
+namespace host {
+
+std::vector<double> hotspot_step(std::span<const double> temp,
+                                 std::span<const double> power,
+                                 std::uint32_t rows, std::uint32_t cols,
+                                 double cap) {
+  SWPERF_CHECK(temp.size() == static_cast<std::size_t>(rows) * cols &&
+                   power.size() == temp.size(),
+               "hotspot: bad grid size");
+  std::vector<double> out(temp.size());
+  auto at = [&](std::uint32_t r, std::uint32_t c) {
+    return temp[static_cast<std::size_t>(r) * cols + c];
+  };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      const double tc = at(r, c);
+      const double tn = r > 0 ? at(r - 1, c) : tc;
+      const double ts = r + 1 < rows ? at(r + 1, c) : tc;
+      const double tw = c > 0 ? at(r, c - 1) : tc;
+      const double te = c + 1 < cols ? at(r, c + 1) : tc;
+      const double p = power[static_cast<std::size_t>(r) * cols + c];
+      out[static_cast<std::size_t>(r) * cols + c] =
+          tc + cap * (tn + ts + tw + te - 4.0 * tc + p);
+    }
+  }
+  return out;
+}
+
+}  // namespace host
+
+}  // namespace swperf::kernels

@@ -1,0 +1,39 @@
+// HotSpot thermal simulation (Rodinia), 1024x1024 — the paper's Table II
+// size.
+//
+// Five-point stencil over the temperature grid plus the power map.  The
+// SWACC port stages each output row together with its north/south halo
+// rows, so the per-row SPM footprint is large (3 temperature rows + power +
+// output) and feasible copy granularities are small — tiling choices are
+// tight against SPM capacity, which is what makes it an interesting tuning
+// subject (2.41x in Table II).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/spec.h"
+
+namespace swperf::kernels {
+
+struct HotspotConfig {
+  std::uint32_t rows = 1024;
+  std::uint32_t cols = 1024;
+};
+
+KernelSpec hotspot(Scale scale = Scale::kFull);
+KernelSpec hotspot_cfg(const HotspotConfig& cfg);
+
+namespace host {
+
+/// One explicit step of the HotSpot update on a rows x cols grid
+/// (row-major); boundary cells clamp to their own temperature.
+std::vector<double> hotspot_step(std::span<const double> temp,
+                                 std::span<const double> power,
+                                 std::uint32_t rows, std::uint32_t cols,
+                                 double cap = 0.5);
+
+}  // namespace host
+
+}  // namespace swperf::kernels

@@ -1,0 +1,134 @@
+#include "kernels/kmeans.h"
+
+#include <limits>
+
+#include "sw/error.h"
+
+namespace swperf::kernels {
+
+KernelSpec kmeans_cfg(const KmeansConfig& cfg) {
+  SWPERF_CHECK(cfg.n_clusters >= 1 && cfg.n_features >= 1,
+               "kmeans: bad config");
+  // Body of one (point, feature) step: load the point's feature, then for
+  // each cluster subtract the centroid feature and accumulate the squared
+  // difference — k loop-carried accumulator chains.
+  isa::BlockBuilder b("kmeans_body");
+  const auto x = b.spm_load();
+  std::vector<isa::Reg> accs(cfg.n_clusters);
+  for (auto& acc : accs) acc = b.reg();
+  for (std::uint32_t c = 0; c < cfg.n_clusters; ++c) {
+    const auto cf = b.spm_load();     // centroid feature (SPM-resident)
+    const auto d = b.fsub(x, cf);
+    b.accumulate_fma(accs[c], d, d);  // acc += d*d (carried)
+  }
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "kmeans";
+  spec.desc.n_outer = cfg.n_points;
+  spec.desc.inner_iters = cfg.n_features;
+  spec.desc.body = std::move(b).build();
+  const std::uint64_t point_bytes = 4ull * cfg.n_features;  // float features
+  spec.desc.arrays = {
+      {"points", swacc::Dir::kIn, swacc::Access::kContiguous, point_bytes},
+      {"membership", swacc::Dir::kOut, swacc::Access::kContiguous, 4},
+      {.name = "centroids",
+       .dir = swacc::Dir::kIn,
+       .access = swacc::Access::kBroadcast,
+       .broadcast_bytes = 4ull * cfg.n_features * cfg.n_clusters},
+  };
+  spec.desc.dma_min_tile = 16;  // Fig. 7(a): Gloads appear below 16 elem/req
+  spec.desc.vectorizable = true;
+  spec.tuned = {.tile = 256, .unroll = 2, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.naive = {.tile = 1, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.notes =
+      "Regular, predictable accesses; granularity study of Fig. 7. Paper "
+      "size 395216x32 scaled to 262144x32.";
+  return spec;
+}
+
+KernelSpec kmeans(Scale scale) {
+  KmeansConfig cfg;
+  if (scale == Scale::kSmall) cfg.n_points = 1u << 14;
+  return kmeans_cfg(cfg);
+}
+
+namespace host {
+
+std::vector<double> kmeans_step(std::span<const double> points,
+                                std::span<const double> centroids,
+                                std::uint32_t dim,
+                                std::span<std::uint32_t> assignments) {
+  SWPERF_CHECK(dim > 0 && points.size() % dim == 0, "kmeans: bad points");
+  SWPERF_CHECK(centroids.size() % dim == 0, "kmeans: bad centroids");
+  const std::size_t n = points.size() / dim;
+  const std::size_t k = centroids.size() / dim;
+  SWPERF_CHECK(assignments.size() == n, "kmeans: bad assignments span");
+
+  std::vector<double> next(centroids.size(), 0.0);
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      double d2 = 0.0;
+      for (std::uint32_t f = 0; f < dim; ++f) {
+        const double d = points[i * dim + f] - centroids[c * dim + f];
+        d2 += d * d;
+      }
+      if (d2 < best) {
+        best = d2;
+        best_c = c;
+      }
+    }
+    assignments[i] = static_cast<std::uint32_t>(best_c);
+    ++counts[best_c];
+    for (std::uint32_t f = 0; f < dim; ++f) {
+      next[best_c * dim + f] += points[i * dim + f];
+    }
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) {
+      // Keep empty clusters where they were.
+      for (std::uint32_t f = 0; f < dim; ++f) {
+        next[c * dim + f] = centroids[c * dim + f];
+      }
+    } else {
+      for (std::uint32_t f = 0; f < dim; ++f) {
+        next[c * dim + f] /= static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return next;
+}
+
+std::vector<double> kmeans(std::span<const double> points, std::uint32_t dim,
+                           std::uint32_t k, int iters,
+                           std::span<std::uint32_t> assignments) {
+  SWPERF_CHECK(points.size() >= static_cast<std::size_t>(k) * dim,
+               "kmeans: fewer points than clusters");
+  // Spread the initial centroids across the data set (k points at evenly
+  // strided indices) — seeding from the first k points collapses when the
+  // input is ordered by cluster.
+  const std::size_t n = points.size() / dim;
+  std::vector<double> centroids;
+  centroids.reserve(static_cast<std::size_t>(k) * dim);
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const std::size_t idx = (static_cast<std::size_t>(c) * n) / k;
+    for (std::uint32_t f = 0; f < dim; ++f) {
+      centroids.push_back(points[idx * dim + f]);
+    }
+  }
+  for (int it = 0; it < iters; ++it) {
+    centroids = kmeans_step(points, centroids, dim, assignments);
+  }
+  // Final assignment against the converged centroids.
+  kmeans_step(points, centroids, dim, assignments);
+  return centroids;
+}
+
+}  // namespace host
+
+}  // namespace swperf::kernels

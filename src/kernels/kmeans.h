@@ -1,0 +1,45 @@
+// K-Means clustering (Rodinia) — the paper's showcase regular kernel.
+//
+// The assignment step is distributed over points: each CPE stages a tile of
+// points through SPM, keeps the k centroids SPM-resident (broadcast), and
+// accumulates per-cluster squared distances — k independent reduction
+// chains, making unrolling/ILP matter.  Its fully predictable accesses give
+// the paper's near-perfect prediction (Section V-B) and its DMA granularity
+// sweep is Figure 7.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/spec.h"
+
+namespace swperf::kernels {
+
+struct KmeansConfig {
+  std::uint64_t n_points = 1u << 18;  // paper used 395216 x 32 features
+  std::uint32_t n_features = 32;
+  std::uint32_t n_clusters = 8;
+};
+
+KernelSpec kmeans(Scale scale = Scale::kFull);
+KernelSpec kmeans_cfg(const KmeansConfig& cfg);
+
+namespace host {
+
+/// One Lloyd iteration: assigns each point (row-major n x dim) to the
+/// nearest centroid and returns the new centroids. `assignments` receives
+/// the nearest-centroid index per point.
+std::vector<double> kmeans_step(std::span<const double> points,
+                                std::span<const double> centroids,
+                                std::uint32_t dim,
+                                std::span<std::uint32_t> assignments);
+
+/// Full Lloyd's algorithm for `iters` iterations from the first k points.
+std::vector<double> kmeans(std::span<const double> points, std::uint32_t dim,
+                           std::uint32_t k, int iters,
+                           std::span<std::uint32_t> assignments);
+
+}  // namespace host
+
+}  // namespace swperf::kernels

@@ -1,0 +1,59 @@
+#include "kernels/leukocyte.h"
+
+namespace swperf::kernels {
+
+KernelSpec leukocyte_cfg(const LeukocyteConfig& cfg) {
+  // Per contour sample: gradient projection with normalisation (div+sqrt).
+  isa::BlockBuilder b("leukocyte_body");
+  const auto gx = b.spm_load();
+  const auto gy = b.spm_load();
+  const auto nx = b.spm_load();
+  auto g2 = b.fmul(gx, gx);
+  g2 = b.fma(gy, gy, g2);
+  const auto norm = b.fsqrt(g2);
+  const auto proj = b.fdiv(gx, norm);
+  auto s = b.fma(proj, nx, gy);
+  s = b.fadd(s, g2);
+  const auto acc = b.reg();
+  b.accumulate_add(acc, s);
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "leukocyte";
+  spec.desc.n_outer = cfg.n_cells;
+  spec.desc.inner_iters = cfg.n_samples;
+  spec.desc.body = std::move(b).build();
+  spec.desc.arrays = {
+      {.name = "patch",
+       .dir = swacc::Dir::kIn,
+       .access = swacc::Access::kStrided,
+       .bytes_per_outer = 1024,
+       .segments_per_outer = 8},  // 8 image rows per candidate window
+      {"gicov", swacc::Dir::kOut, swacc::Access::kContiguous, 8},
+      {.name = "gradient",
+       .dir = swacc::Dir::kIn,
+       .access = swacc::Access::kIndirect,
+       .gloads_per_inner = 0.3,  // off-window gradient lookups
+       .gload_bytes = 8},
+  };
+  spec.desc.comp_imbalance = 0.15;  // branch-dependent sample counts
+  spec.desc.gload_imbalance = 0.08;
+  spec.desc.dma_min_tile = 2;
+  spec.irregular = true;
+  spec.tuned = {.tile = 16, .unroll = 2, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.naive = {.tile = 2, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.notes =
+      "Unpipelined div/sqrt chains + branch-imbalanced sampling; strided "
+      "image windows.";
+  return spec;
+}
+
+KernelSpec leukocyte(Scale scale) {
+  LeukocyteConfig cfg;
+  if (scale == Scale::kSmall) cfg.n_cells = 512;
+  return leukocyte_cfg(cfg);
+}
+
+}  // namespace swperf::kernels

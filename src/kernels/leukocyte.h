@@ -1,0 +1,21 @@
+// Leukocyte tracking (Rodinia) — GICOV ellipse-fitting proxy.
+//
+// Per candidate cell position, the kernel samples an ellipse contour over
+// the image gradient: heavy div/sqrt chains (unpipelined on the CPE) plus
+// data-dependent gradient lookups, with per-cell branching that skews CPE
+// workloads.  Grouped by the paper with the SPM-resistant kernels.
+#pragma once
+
+#include "kernels/spec.h"
+
+namespace swperf::kernels {
+
+struct LeukocyteConfig {
+  std::uint64_t n_cells = 4096;    // candidate positions
+  std::uint32_t n_samples = 150;   // contour samples per candidate
+};
+
+KernelSpec leukocyte(Scale scale = Scale::kFull);
+KernelSpec leukocyte_cfg(const LeukocyteConfig& cfg);
+
+}  // namespace swperf::kernels

@@ -1,0 +1,107 @@
+#include "kernels/lud.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sw/error.h"
+
+namespace swperf::kernels {
+
+KernelSpec lud_cfg(const LudConfig& cfg) {
+  // Per trailing-row element: the perimeter-block elimination applies a
+  // short panel of pivots in sequence — a dependent update chain per
+  // element (a[i][j] -= l0*p0; -= l1*p1; ...) that unrolling across j
+  // interleaves.
+  isa::BlockBuilder b("lud_body");
+  const auto aij = b.spm_load();
+  const auto pkj = b.spm_load();
+  const auto l0 = b.reg();
+  const auto l1 = b.reg();
+  const auto l2 = b.reg();
+  const auto l3 = b.reg();
+  auto v = b.fma(l0, pkj, aij);  // dependent pivot-panel chain
+  v = b.fma(l1, pkj, v);
+  v = b.fma(l2, pkj, v);
+  v = b.fma(l3, pkj, v);
+  v = b.fsub(v, aij);
+  b.spm_store(v);
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "lud";
+  spec.desc.n_outer = cfg.n;               // trailing rows
+  spec.desc.inner_iters = cfg.n / 2;       // triangular: avg row length
+  spec.desc.body = std::move(b).build();
+  const std::uint64_t row_bytes = 4ull * cfg.n;  // float row
+  spec.desc.arrays = {
+      {"trailing_rows", swacc::Dir::kInOut, swacc::Access::kContiguous,
+       row_bytes},
+      {.name = "pivot_block",
+       .dir = swacc::Dir::kIn,
+       .access = swacc::Access::kBroadcast,
+       .broadcast_bytes = row_bytes},
+  };
+  spec.desc.dma_min_tile = 2;
+  spec.desc.comp_imbalance = 0.3;  // triangular workload skew
+  spec.desc.vectorizable = true;
+  spec.tuned = {.tile = 4, .unroll = 4, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.naive = {.tile = 1, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.notes =
+      "Triangular elimination; paper Table II size 1600x1600, padded to "
+      "2048 so copy-granularity chunks divide the CPE count evenly.";
+  return spec;
+}
+
+KernelSpec lud(Scale scale) {
+  LudConfig cfg;
+  if (scale == Scale::kSmall) cfg.n = 512;
+  return lud_cfg(cfg);
+}
+
+namespace host {
+
+void lud(std::span<double> a, std::uint32_t n) {
+  SWPERF_CHECK(a.size() == static_cast<std::size_t>(n) * n,
+               "lud: bad matrix size");
+  for (std::uint32_t k = 0; k < n; ++k) {
+    const double piv = a[static_cast<std::size_t>(k) * n + k];
+    SWPERF_CHECK(std::abs(piv) > 1e-12, "lud: zero pivot at " << k);
+    for (std::uint32_t i = k + 1; i < n; ++i) {
+      const double lik = a[static_cast<std::size_t>(i) * n + k] / piv;
+      a[static_cast<std::size_t>(i) * n + k] = lik;
+      for (std::uint32_t j = k + 1; j < n; ++j) {
+        a[static_cast<std::size_t>(i) * n + j] -=
+            lik * a[static_cast<std::size_t>(k) * n + j];
+      }
+    }
+  }
+}
+
+double lud_residual(std::span<const double> lu,
+                    std::span<const double> original, std::uint32_t n) {
+  SWPERF_CHECK(lu.size() == original.size() &&
+                   lu.size() == static_cast<std::size_t>(n) * n,
+               "lud_residual: size mismatch");
+  double worst = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      const std::uint32_t kmax = std::min(i, j);
+      for (std::uint32_t k = 0; k <= kmax; ++k) {
+        const double l =
+            (k == i) ? 1.0 : lu[static_cast<std::size_t>(i) * n + k];
+        const double u = lu[static_cast<std::size_t>(k) * n + j];
+        s += l * u;
+      }
+      worst = std::max(
+          worst, std::abs(s - original[static_cast<std::size_t>(i) * n + j]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace host
+
+}  // namespace swperf::kernels

@@ -1,0 +1,38 @@
+// LU decomposition (Rodinia lud), 1600x1600 — the paper's Table II size.
+//
+// Row elimination against a pivot block: the pivot row block is broadcast
+// to every CPE's SPM, trailing rows stream through at the copy granularity.
+// The triangular iteration space makes per-CPE work shrink with the row
+// index — genuine load imbalance the model handles by taking the longest
+// path (Section III-F).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/spec.h"
+
+namespace swperf::kernels {
+
+struct LudConfig {
+  std::uint32_t n = 2048;  // paper size 1600, padded to a power of two
+};
+
+KernelSpec lud(Scale scale = Scale::kFull);
+KernelSpec lud_cfg(const LudConfig& cfg);
+
+namespace host {
+
+/// In-place LU decomposition without pivoting (Doolittle): on return, `a`
+/// holds L (unit diagonal, below) and U (on/above the diagonal).
+/// Requires a nonsingular leading principal minors matrix.
+void lud(std::span<double> a, std::uint32_t n);
+
+/// Max |(L*U - original)| element for verification.
+double lud_residual(std::span<const double> lu,
+                    std::span<const double> original, std::uint32_t n);
+
+}  // namespace host
+
+}  // namespace swperf::kernels

@@ -1,0 +1,127 @@
+#include "kernels/nbody.h"
+
+#include <cmath>
+
+#include "sw/error.h"
+
+namespace swperf::kernels {
+
+KernelSpec nbody_cfg(const NbodyConfig& cfg) {
+  SWPERF_CHECK(cfg.n_bodies % cfg.j_tile == 0 &&
+                   cfg.n_bodies % cfg.i_block == 0,
+               "nbody: j_tile and i_block must divide n_bodies");
+  // One i-j interaction: displacement, r^2, 1/r^3, accumulate.
+  isa::BlockBuilder b("nbody_body");
+  const auto xi = b.reg();
+  const auto yi = b.reg();
+  const auto zi = b.reg();
+  const auto xj = b.spm_load();
+  const auto yj = b.spm_load();
+  const auto zj = b.spm_load();
+  const auto dx = b.fsub(xj, xi);
+  const auto dy = b.fsub(yj, yi);
+  const auto dz = b.fsub(zj, zi);
+  auto r2 = b.fmul(dx, dx);
+  r2 = b.fma(dy, dy, r2);
+  r2 = b.fma(dz, dz, r2);
+  const auto r = b.fsqrt(r2);
+  const auto inv3 = b.fdiv(r, r2);  // ~ 1/r^3 scaling chain
+  const auto ax = b.reg();
+  const auto ay = b.reg();
+  const auto az = b.reg();
+  b.accumulate_fma(ax, dx, inv3);
+  b.accumulate_fma(ay, dy, inv3);
+  b.accumulate_fma(az, dz, inv3);
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "nbody";
+  // Flattened outer space: one element per (i-block, j-tile) pair. Each
+  // outer element stages the j-tile's positions through SPM and computes
+  // i_block x j_tile interactions against the SPM-resident i-block.
+  spec.desc.n_outer = static_cast<std::uint64_t>(cfg.n_bodies / cfg.i_block) *
+                      (cfg.n_bodies / cfg.j_tile);
+  spec.desc.inner_iters =
+      static_cast<std::uint64_t>(cfg.i_block) * cfg.j_tile;
+  spec.desc.body = std::move(b).build();
+  spec.desc.arrays = {
+      {"j_pos", swacc::Dir::kIn, swacc::Access::kContiguous,
+       16ull * cfg.j_tile},
+      {"i_acc", swacc::Dir::kOut, swacc::Access::kContiguous,
+       24ull * cfg.i_block},
+      {.name = "i_pos",
+       .dir = swacc::Dir::kIn,
+       .access = swacc::Access::kBroadcast,
+       .broadcast_bytes = 16ull * cfg.i_block},
+  };
+  spec.desc.dma_min_tile = 1;
+  spec.desc.vectorizable = true;
+  spec.tuned = {.tile = 1, .unroll = 2, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.naive = {.tile = 1, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.notes =
+      "All-pairs with SPM j-tile streaming; double-buffer study of Fig. 8 "
+      "toggles double_buffer on the tuned configuration.";
+  return spec;
+}
+
+KernelSpec nbody(Scale scale) {
+  NbodyConfig cfg;
+  if (scale == Scale::kSmall) {
+    cfg.n_bodies = 512;
+    cfg.j_tile = 16;
+    cfg.i_block = 8;
+  }
+  return nbody_cfg(cfg);
+}
+
+namespace host {
+
+void nbody_step(std::span<double> pos, std::span<double> vel, double dt,
+                double softening) {
+  SWPERF_CHECK(pos.size() % 3 == 0 && pos.size() == vel.size(),
+               "nbody: bad spans");
+  const std::size_t n = pos.size() / 3;
+  std::vector<double> acc(pos.size(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double dx = pos[3 * j] - pos[3 * i];
+      const double dy = pos[3 * j + 1] - pos[3 * i + 1];
+      const double dz = pos[3 * j + 2] - pos[3 * i + 2];
+      const double r2 = dx * dx + dy * dy + dz * dz + softening;
+      const double inv3 = 1.0 / (r2 * std::sqrt(r2));
+      acc[3 * i] += dx * inv3;
+      acc[3 * i + 1] += dy * inv3;
+      acc[3 * i + 2] += dz * inv3;
+    }
+  }
+  for (std::size_t k = 0; k < pos.size(); ++k) {
+    vel[k] += dt * acc[k];
+    pos[k] += dt * vel[k];
+  }
+}
+
+double nbody_energy(std::span<const double> pos, std::span<const double> vel,
+                    double softening) {
+  SWPERF_CHECK(pos.size() % 3 == 0 && pos.size() == vel.size(),
+               "nbody: bad spans");
+  const std::size_t n = pos.size() / 3;
+  double e = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    e += 0.5 * (vel[3 * i] * vel[3 * i] + vel[3 * i + 1] * vel[3 * i + 1] +
+                vel[3 * i + 2] * vel[3 * i + 2]);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = pos[3 * j] - pos[3 * i];
+      const double dy = pos[3 * j + 1] - pos[3 * i + 1];
+      const double dz = pos[3 * j + 2] - pos[3 * i + 2];
+      e -= 1.0 / std::sqrt(dx * dx + dy * dy + dz * dz + softening);
+    }
+  }
+  return e;
+}
+
+}  // namespace host
+
+}  // namespace swperf::kernels

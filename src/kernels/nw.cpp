@@ -1,0 +1,78 @@
+#include "kernels/nw.h"
+
+#include <algorithm>
+
+#include "sw/error.h"
+
+namespace swperf::kernels {
+
+KernelSpec nw_cfg(const NwConfig& cfg) {
+  // Per cell: max of north+gap, west+gap, northwest+score — the west
+  // dependence makes the chain loop-carried.
+  isa::BlockBuilder b("nw_body");
+  const auto north = b.spm_load();
+  const auto nw_ = b.spm_load();
+  const auto sub = b.spm_load();   // substitution score
+  const auto west = b.reg();       // carried along the row
+  auto best = b.cmp(north, west);
+  best = b.fixed(best, nw_);
+  best = b.fixed(best, sub);
+  b.carry_fixed(west, best);       // west = f(west, best): carried
+  b.spm_store(best);
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "nw";
+  spec.desc.n_outer = cfg.seq_len;       // DP rows
+  spec.desc.inner_iters = cfg.seq_len;   // cells per row
+  spec.desc.body = std::move(b).build();
+  const std::uint64_t row_bytes = 4ull * cfg.seq_len;
+  spec.desc.arrays = {
+      {"prev_row", swacc::Dir::kIn, swacc::Access::kContiguous, row_bytes},
+      {"subst_row", swacc::Dir::kIn, swacc::Access::kContiguous, row_bytes},
+      {"this_row", swacc::Dir::kOut, swacc::Access::kContiguous, row_bytes},
+      {.name = "seq_b",
+       .dir = swacc::Dir::kIn,
+       .access = swacc::Access::kBroadcast,
+       .broadcast_bytes = cfg.seq_len},
+  };
+  spec.desc.dma_min_tile = 1;
+  spec.tuned = {.tile = 2, .unroll = 4, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.naive = {.tile = 1, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.notes =
+      "Alignment DP with a west-neighbour carried dependence; rows stream "
+      "through SPM.";
+  return spec;
+}
+
+KernelSpec nw(Scale scale) {
+  NwConfig cfg;
+  if (scale == Scale::kSmall) cfg.seq_len = 512;
+  return nw_cfg(cfg);
+}
+
+namespace host {
+
+std::vector<int> nw_last_row(std::span<const char> a,
+                             std::span<const char> b) {
+  SWPERF_CHECK(!a.empty() && !b.empty(), "nw: empty sequences");
+  std::vector<int> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) {
+    prev[j] = -static_cast<int>(j);
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = -static_cast<int>(i);
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const int match = a[i - 1] == b[j - 1] ? 1 : -1;
+      cur[j] = std::max({prev[j] - 1, cur[j - 1] - 1, prev[j - 1] + match});
+    }
+    std::swap(prev, cur);
+  }
+  return prev;
+}
+
+}  // namespace host
+
+}  // namespace swperf::kernels

@@ -1,0 +1,32 @@
+// Needleman-Wunsch (Rodinia nw) — sequence-alignment dynamic programming.
+//
+// Row-by-row DP with a hard loop-carried dependence along the row (each
+// cell needs its west neighbour), so the body cannot vectorize; the port
+// streams score rows and the reference sequence through SPM.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/spec.h"
+
+namespace swperf::kernels {
+
+struct NwConfig {
+  std::uint32_t seq_len = 2048;  // alignment matrix dimension
+};
+
+KernelSpec nw(Scale scale = Scale::kFull);
+KernelSpec nw_cfg(const NwConfig& cfg);
+
+namespace host {
+
+/// Global alignment score matrix (last row returned) for sequences a and b
+/// under +1 match / -1 mismatch / -1 gap scoring.
+std::vector<int> nw_last_row(std::span<const char> a,
+                             std::span<const char> b);
+
+}  // namespace host
+
+}  // namespace swperf::kernels

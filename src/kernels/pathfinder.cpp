@@ -1,0 +1,79 @@
+#include "kernels/pathfinder.h"
+
+#include <algorithm>
+
+#include "sw/error.h"
+
+namespace swperf::kernels {
+
+KernelSpec pathfinder_cfg(const PathfinderConfig& cfg) {
+  // Per cell: min of three predecessors plus the wall cost.
+  isa::BlockBuilder b("pathfinder_body");
+  const auto left = b.spm_load();
+  const auto mid = b.spm_load();
+  const auto right = b.spm_load();
+  const auto wall = b.spm_load();
+  auto m = b.cmp(left, mid);
+  m = b.cmp(m, right);
+  const auto sum = b.fixed(m, wall);
+  b.spm_store(sum);
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "pathfinder";
+  spec.desc.n_outer = cfg.n_cols;
+  spec.desc.inner_iters = cfg.n_rows;
+  spec.desc.body = std::move(b).build();
+  spec.desc.arrays = {
+      {.name = "wall",
+       .dir = swacc::Dir::kIn,
+       .access = swacc::Access::kBlock2D,
+       .bytes_per_outer = 4ull * cfg.n_rows,
+       .segments_per_outer = cfg.n_rows},  // one segment per grid row
+      {"result", swacc::Dir::kOut, swacc::Access::kContiguous, 4},
+  };
+  spec.desc.dma_min_tile = 1;
+  spec.desc.vectorizable = true;
+  spec.tuned = {.tile = 128, .unroll = 4, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.naive = {.tile = 1, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.notes =
+      "Column-tiled DP; naive 1-column tiles move one 256-B transaction "
+      "per 4-B cell per row.";
+  return spec;
+}
+
+KernelSpec pathfinder(Scale scale) {
+  PathfinderConfig cfg;
+  if (scale == Scale::kSmall) {
+    cfg.n_cols = 10000;
+    cfg.n_rows = 50;
+  }
+  return pathfinder_cfg(cfg);
+}
+
+namespace host {
+
+std::vector<int> pathfinder(std::span<const int> wall, std::uint32_t rows,
+                            std::uint32_t cols) {
+  SWPERF_CHECK(rows >= 1 && cols >= 1 &&
+                   wall.size() == static_cast<std::size_t>(rows) * cols,
+               "pathfinder: bad grid");
+  std::vector<int> cur(wall.begin(), wall.begin() + cols);
+  std::vector<int> next(cols);
+  for (std::uint32_t r = 1; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      int best = cur[c];
+      if (c > 0) best = std::min(best, cur[c - 1]);
+      if (c + 1 < cols) best = std::min(best, cur[c + 1]);
+      next[c] = best + wall[static_cast<std::size_t>(r) * cols + c];
+    }
+    std::swap(cur, next);
+  }
+  return cur;
+}
+
+}  // namespace host
+
+}  // namespace swperf::kernels

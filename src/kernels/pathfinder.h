@@ -1,0 +1,35 @@
+// PathFinder (Rodinia) — dynamic programming over a wide grid.
+//
+// Row-by-row minimum-path DP distributed along columns: each CPE's column
+// block is a 2D sub-block of the row-major grid (kBlock2D), so the DMA
+// segment length shrinks with finer column tiles — transaction waste makes
+// the naive configuration dramatically slower than the tuned one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/spec.h"
+
+namespace swperf::kernels {
+
+struct PathfinderConfig {
+  std::uint64_t n_cols = 100000;
+  std::uint32_t n_rows = 100;
+};
+
+KernelSpec pathfinder(Scale scale = Scale::kFull);
+KernelSpec pathfinder_cfg(const PathfinderConfig& cfg);
+
+namespace host {
+
+/// Min-cost path DP: returns the final cost row for a row-major
+/// (rows x cols) wall, where each step moves down and at most one column
+/// sideways.
+std::vector<int> pathfinder(std::span<const int> wall, std::uint32_t rows,
+                            std::uint32_t cols);
+
+}  // namespace host
+
+}  // namespace swperf::kernels

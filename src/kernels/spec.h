@@ -1,0 +1,36 @@
+// Common kernel-specification type for the benchmark suite.
+//
+// Each kernel module provides (a) a factory building its SWACC description
+// at a configurable problem size, (b) launch-parameter presets — `naive` is
+// the SWACC default configuration the paper's Table II speedups are
+// measured against, `tuned` is a hand-reasoned good configuration used by
+// the Fig. 6 accuracy study (the paper ported and tuned its benchmarks
+// before evaluating the model) — and usually (c) a host reference
+// implementation of the actual algorithm, so examples and tests exercise
+// real computations rather than stubs.
+#pragma once
+
+#include <string>
+
+#include "swacc/kernel.h"
+
+namespace swperf::kernels {
+
+/// A kernel plus its launch presets.
+struct KernelSpec {
+  swacc::KernelDesc desc;
+  /// Hand-tuned configuration (Fig. 6 accuracy study).
+  swacc::LaunchParams tuned;
+  /// SWACC default configuration (Table II speedup baseline).
+  swacc::LaunchParams naive;
+  /// Irregular kernels (Gload-dominated / imbalanced), per Section V-A.
+  bool irregular = false;
+  std::string notes;
+};
+
+/// Problem-size scale for the suite: kFull mirrors the paper's data sizes
+/// (scaled to simulator-feasible magnitudes, documented per kernel), kSmall
+/// is for fast tests and auto-tuning studies.
+enum class Scale { kSmall, kFull };
+
+}  // namespace swperf::kernels

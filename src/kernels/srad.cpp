@@ -1,0 +1,89 @@
+#include "kernels/srad.h"
+
+#include <cmath>
+
+#include "sw/error.h"
+
+namespace swperf::kernels {
+
+KernelSpec srad_cfg(const SradConfig& cfg) {
+  // Per pixel: gradient magnitude, laplacian, q statistic, coefficient.
+  isa::BlockBuilder b("srad_body");
+  const auto jc = b.spm_load();
+  const auto jn = b.spm_load();
+  const auto js = b.spm_load();
+  const auto dn = b.fsub(jn, jc);
+  const auto ds = b.fsub(js, jc);
+  auto g2 = b.fmul(dn, dn);
+  g2 = b.fma(ds, ds, g2);
+  const auto l = b.fadd(dn, ds);
+  const auto jc2 = b.fmul(jc, jc);
+  const auto g2n = b.fdiv(g2, jc2);      // normalised gradient
+  const auto ln = b.fdiv(l, jc);         // normalised laplacian
+  auto q = b.fma(ln, ln, g2n);
+  q = b.fsqrt(q);
+  const auto coef = b.fdiv(q, jc2);
+  b.spm_store(coef);
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "srad";
+  spec.desc.n_outer = cfg.rows;
+  spec.desc.inner_iters = cfg.cols;
+  spec.desc.body = std::move(b).build();
+  const std::uint64_t row_bytes = 4ull * cfg.cols;
+  spec.desc.arrays = {
+      {"img_halo", swacc::Dir::kIn, swacc::Access::kContiguous,
+       3 * row_bytes},
+      {"coeff", swacc::Dir::kOut, swacc::Access::kContiguous, row_bytes},
+  };
+  spec.desc.dma_min_tile = 1;
+  spec.desc.vectorizable = true;
+  spec.tuned = {.tile = 4, .unroll = 2, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.naive = {.tile = 1, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.notes = "Division/sqrt-heavy stencil; Rodinia image padded to 512^2.";
+  return spec;
+}
+
+KernelSpec srad(Scale scale) {
+  SradConfig cfg;
+  if (scale == Scale::kSmall) cfg.rows = cfg.cols = 128;
+  return srad_cfg(cfg);
+}
+
+namespace host {
+
+std::vector<double> srad_coefficients(std::span<const double> img,
+                                      std::uint32_t rows, std::uint32_t cols,
+                                      double q0sq) {
+  SWPERF_CHECK(img.size() == static_cast<std::size_t>(rows) * cols,
+               "srad: bad image size");
+  std::vector<double> coef(img.size());
+  auto at = [&](std::uint32_t r, std::uint32_t c) {
+    return img[static_cast<std::size_t>(r) * cols + c];
+  };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      const double jc = at(r, c);
+      SWPERF_CHECK(jc != 0.0, "srad: zero pixel");
+      const double dn = (r > 0 ? at(r - 1, c) : jc) - jc;
+      const double ds = (r + 1 < rows ? at(r + 1, c) : jc) - jc;
+      const double dw = (c > 0 ? at(r, c - 1) : jc) - jc;
+      const double de = (c + 1 < cols ? at(r, c + 1) : jc) - jc;
+      const double g2 = (dn * dn + ds * ds + dw * dw + de * de) / (jc * jc);
+      const double lap = (dn + ds + dw + de) / jc;
+      const double num = 0.5 * g2 - (1.0 / 16.0) * lap * lap;
+      const double den = 1.0 + 0.25 * lap;
+      const double qsq = num / (den * den);
+      coef[static_cast<std::size_t>(r) * cols + c] =
+          1.0 / (1.0 + (qsq - q0sq) / (q0sq * (1.0 + q0sq)));
+    }
+  }
+  return coef;
+}
+
+}  // namespace host
+
+}  // namespace swperf::kernels

@@ -1,0 +1,34 @@
+// SRAD (Rodinia) — speckle-reducing anisotropic diffusion.
+//
+// Image-processing stencil with a division/sqrt-rich diffusion coefficient:
+// regular row staging like hotspot but with a much heavier, partially
+// unpipelined compute body.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/spec.h"
+
+namespace swperf::kernels {
+
+struct SradConfig {
+  std::uint32_t rows = 512;  // Rodinia's 502x458 padded to 512x512
+  std::uint32_t cols = 512;
+};
+
+KernelSpec srad(Scale scale = Scale::kFull);
+KernelSpec srad_cfg(const SradConfig& cfg);
+
+namespace host {
+
+/// One SRAD diffusion-coefficient pass over a row-major image; returns the
+/// coefficient grid. `q0sq` is the speckle-scale parameter.
+std::vector<double> srad_coefficients(std::span<const double> img,
+                                      std::uint32_t rows, std::uint32_t cols,
+                                      double q0sq = 0.05);
+
+}  // namespace host
+
+}  // namespace swperf::kernels

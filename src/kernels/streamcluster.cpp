@@ -1,0 +1,79 @@
+#include "kernels/streamcluster.h"
+
+#include <limits>
+
+#include "sw/error.h"
+
+namespace swperf::kernels {
+
+KernelSpec streamcluster_cfg(const StreamclusterConfig& cfg) {
+  // Per (point, dimension): squared-distance accumulation to the candidate
+  // centre.
+  isa::BlockBuilder b("streamcluster_body");
+  const auto x = b.spm_load();
+  const auto c = b.spm_load();
+  const auto acc = b.reg();
+  const auto d = b.fsub(x, c);
+  b.accumulate_fma(acc, d, d);
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "streamcluster";
+  spec.desc.n_outer = cfg.n_points;
+  spec.desc.inner_iters = cfg.dim;
+  spec.desc.body = std::move(b).build();
+  spec.desc.arrays = {
+      {"points", swacc::Dir::kIn, swacc::Access::kContiguous,
+       4ull * cfg.dim},
+      {"assign", swacc::Dir::kOut, swacc::Access::kContiguous, 4},
+      {.name = "centers",
+       .dir = swacc::Dir::kIn,
+       .access = swacc::Access::kIndirect,
+       .gloads_per_inner = 0.5,  // open-facility membership tests
+       .gload_bytes = 32},
+  };
+  spec.desc.gload_imbalance = 0.1;
+  spec.desc.gload_coalesceable = 0.4;
+  spec.irregular = true;
+  spec.tuned = {.tile = 64, .unroll = 2, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.naive = {.tile = 16, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.notes = "Mixed DMA streaming + irregular centre Gloads.";
+  return spec;
+}
+
+KernelSpec streamcluster(Scale scale) {
+  StreamclusterConfig cfg;
+  if (scale == Scale::kSmall) cfg.n_points = 1u << 12;
+  return streamcluster_cfg(cfg);
+}
+
+namespace host {
+
+double assignment_cost(std::span<const double> points,
+                       std::span<const double> centers, std::uint32_t dim) {
+  SWPERF_CHECK(dim > 0 && points.size() % dim == 0 &&
+                   centers.size() % dim == 0 && !centers.empty(),
+               "assignment_cost: bad spans");
+  const std::size_t n = points.size() / dim;
+  const std::size_t k = centers.size() / dim;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      double d2 = 0.0;
+      for (std::uint32_t f = 0; f < dim; ++f) {
+        const double d = points[i * dim + f] - centers[c * dim + f];
+        d2 += d * d;
+      }
+      best = std::min(best, d2);
+    }
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace host
+
+}  // namespace swperf::kernels

@@ -1,0 +1,34 @@
+// Streamcluster (Rodinia) — online clustering with irregular centre access.
+//
+// Points stream through SPM, but the evolving centre set is accessed
+// data-dependently (membership tests against the open facilities), which
+// the SW26010 port cannot stage — a mixed DMA + Gload profile, listed by
+// the paper among the kernels where SPM is hard to leverage.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/spec.h"
+
+namespace swperf::kernels {
+
+struct StreamclusterConfig {
+  std::uint64_t n_points = 1u << 15;
+  std::uint32_t dim = 64;
+};
+
+KernelSpec streamcluster(Scale scale = Scale::kFull);
+KernelSpec streamcluster_cfg(const StreamclusterConfig& cfg);
+
+namespace host {
+
+/// Total cost of assigning each point (row-major n x dim) to its nearest
+/// centre — the gain function streamcluster evaluates.
+double assignment_cost(std::span<const double> points,
+                       std::span<const double> centers, std::uint32_t dim);
+
+}  // namespace host
+
+}  // namespace swperf::kernels

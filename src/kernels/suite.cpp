@@ -1,0 +1,80 @@
+#include "kernels/suite.h"
+
+#include <map>
+
+#include "kernels/backprop.h"
+#include "kernels/bfs.h"
+#include "kernels/btree.h"
+#include "kernels/cfd.h"
+#include "kernels/gaussian.h"
+#include "kernels/hotspot.h"
+#include "kernels/kmeans.h"
+#include "kernels/leukocyte.h"
+#include "kernels/lud.h"
+#include "kernels/nbody.h"
+#include "kernels/nw.h"
+#include "kernels/pathfinder.h"
+#include "kernels/srad.h"
+#include "kernels/streamcluster.h"
+#include "kernels/vecadd.h"
+#include "kernels/wrf.h"
+#include "sw/error.h"
+
+namespace swperf::kernels {
+
+namespace {
+
+using Factory = KernelSpec (*)(Scale);
+
+const std::vector<std::pair<std::string, Factory>>& registry() {
+  static const std::vector<std::pair<std::string, Factory>> reg = {
+      {"vecadd", &vecadd},
+      {"kmeans", &kmeans},
+      {"cfd", &cfd},
+      {"lud", &lud},
+      {"hotspot", &hotspot},
+      {"backprop", &backprop},
+      {"nbody", &nbody},
+      {"bfs", &bfs},
+      {"b+tree", &btree},
+      {"streamcluster", &streamcluster},
+      {"leukocyte", &leukocyte},
+      {"pathfinder", &pathfinder},
+      {"srad", &srad},
+      {"nw", &nw},
+      {"gaussian", &gaussian},
+      {"wrf_dynamics", [](Scale s) { return wrf_dynamics(64, s); }},
+      {"wrf_physics", [](Scale s) { return wrf_physics(64, s); }},
+  };
+  return reg;
+}
+
+}  // namespace
+
+std::vector<std::string> suite_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, _] : registry()) names.push_back(name);
+  return names;
+}
+
+KernelSpec make(const std::string& name, Scale scale) {
+  for (const auto& [n, factory] : registry()) {
+    if (n == name) return factory(scale);
+  }
+  SWPERF_CHECK(false, "unknown kernel '" << name << "'");
+  return {};  // unreachable
+}
+
+std::vector<KernelSpec> fig6_suite(Scale scale) {
+  std::vector<KernelSpec> out;
+  out.reserve(registry().size());
+  for (const auto& [_, factory] : registry()) out.push_back(factory(scale));
+  return out;
+}
+
+std::vector<std::string> table2_kernels() {
+  return {"kmeans", "cfd", "lud", "hotspot", "backprop"};
+}
+
+}  // namespace swperf::kernels

@@ -1,0 +1,31 @@
+// The benchmark-suite registry.
+//
+// Mirrors the paper's evaluation set (Section V-A): the named Rodinia
+// kernels ported to the SWACC model, a few extra Rodinia members, and the
+// two WRF proxies. fig6_suite() is the accuracy-study population;
+// table2_kernels() are the five loop-rich programs the auto-tuning study
+// uses.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernels/spec.h"
+
+namespace swperf::kernels {
+
+/// All registered kernel names, in the suite's canonical order.
+std::vector<std::string> suite_names();
+
+/// Builds a kernel by registry name; throws sw::Error for unknown names.
+KernelSpec make(const std::string& name, Scale scale = Scale::kFull);
+
+/// The Fig. 6 accuracy-study population: every registered kernel (with the
+/// WRF proxies at 64 CPEs), in its tuned configuration.
+std::vector<KernelSpec> fig6_suite(Scale scale = Scale::kFull);
+
+/// The five Table II auto-tuning kernels.
+std::vector<std::string> table2_kernels();
+
+}  // namespace swperf::kernels

@@ -1,0 +1,48 @@
+#include "kernels/vecadd.h"
+
+#include "sw/error.h"
+
+namespace swperf::kernels {
+
+KernelSpec vecadd_n(std::uint64_t n) {
+  isa::BlockBuilder b("vecadd_body");
+  const auto a = b.spm_load();
+  const auto c = b.spm_load();
+  b.spm_store(b.fadd(a, c));
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "vecadd";
+  spec.desc.n_outer = n;
+  spec.desc.inner_iters = 1;
+  spec.desc.body = std::move(b).build();
+  spec.desc.arrays = {
+      {"A", swacc::Dir::kIn, swacc::Access::kContiguous, 8},
+      {"B", swacc::Dir::kIn, swacc::Access::kContiguous, 8},
+      {"C", swacc::Dir::kOut, swacc::Access::kContiguous, 8},
+  };
+  spec.desc.vectorizable = true;
+  spec.tuned = {.tile = 512, .unroll = 4, .requested_cpes = 64,
+                .double_buffer = true};
+  spec.naive = {.tile = 1, .unroll = 1, .requested_cpes = 64,
+                .double_buffer = false};
+  spec.notes = "Fig.3 running example; bandwidth-bound streaming.";
+  return spec;
+}
+
+KernelSpec vecadd(Scale scale) {
+  return vecadd_n(scale == Scale::kFull ? (1u << 20) : (1u << 16));
+}
+
+namespace host {
+
+void vecadd(std::span<const double> a, std::span<const double> b,
+            std::span<double> c) {
+  SWPERF_CHECK(a.size() == b.size() && a.size() == c.size(),
+               "vecadd size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[i] + b[i];
+}
+
+}  // namespace host
+
+}  // namespace swperf::kernels

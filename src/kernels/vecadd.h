@@ -1,0 +1,26 @@
+// Vector addition — the paper's running example (Figure 3).
+//
+// C[i][j] = A[i][j] + B[i][j] over a 1024-wide inner dimension: the
+// simplest fully regular, bandwidth-bound kernel. Used by the quickstart
+// example and as the canonical regular data point of the accuracy study.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/spec.h"
+
+namespace swperf::kernels {
+
+/// SWACC description of vector add over `n` double elements.
+KernelSpec vecadd(Scale scale = Scale::kFull);
+KernelSpec vecadd_n(std::uint64_t n);
+
+namespace host {
+/// Reference implementation: c = a + b.
+void vecadd(std::span<const double> a, std::span<const double> b,
+            std::span<double> c);
+}  // namespace host
+
+}  // namespace swperf::kernels

@@ -1,0 +1,137 @@
+#include "kernels/wrf.h"
+
+#include <algorithm>
+
+#include "sw/error.h"
+
+namespace swperf::kernels {
+
+KernelSpec wrf_dynamics_cfg(std::uint32_t active_cpes,
+                            const WrfDynamicsConfig& cfg) {
+  SWPERF_CHECK(active_cpes >= 1, "wrf_dynamics: active_cpes=0");
+  SWPERF_CHECK(cfg.nz % cfg.z_chunk == 0,
+               "wrf_dynamics: z_chunk must divide nz");
+  // Each CPE owns an x-slice of width nx/active. At low CPE counts the
+  // slice's z-chunk would overflow SPM, so the slice is split into several
+  // sub-slices processed one after another (extra outer elements), exactly
+  // as a real port would re-block the domain.
+  const std::uint64_t width_total =
+      std::max<std::uint64_t>(1, cfg.nx / active_cpes);
+  const std::uint64_t width_max =
+      (sw::ArchParams{}.spm_bytes / 2) /
+      (4ull * cfg.z_chunk * cfg.n_fields);
+  const std::uint64_t slices = (width_total + width_max - 1) / width_max;
+  const std::uint64_t width = width_total / slices;
+
+  // Per grid point: upwind advection + pressure-gradient update. Enough
+  // arithmetic that the kernel is compute-limited below ~32 CPEs and
+  // memory-limited above — the trade-off Fig. 9/10 turn on.
+  isa::BlockBuilder b("wrf_dyn_body");
+  const auto u = b.spm_load();
+  const auto v = b.spm_load();
+  const auto w = b.spm_load();
+  const auto dtx = b.reg();
+  const auto dtz = b.reg();
+  auto flux = b.fsub(u, v);
+  flux = b.fmul(flux, dtx);
+  auto grad = b.fsub(w, u);
+  grad = b.fmul(grad, dtz);
+  auto s = b.fadd(flux, grad);
+  s = b.fma(s, dtx, u);
+  s = b.fma(grad, flux, s);
+  s = b.fadd(s, v);
+  b.spm_store(s);
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "wrf_dynamics";
+  // Flattened outer space: one element per (CPE sub-slice, z-chunk) pair,
+  // dealt round-robin so each CPE gets exactly its slice's z-chunks.
+  spec.desc.n_outer = static_cast<std::uint64_t>(active_cpes) * slices *
+                      (cfg.nz / cfg.z_chunk);
+  spec.desc.inner_iters = width * cfg.z_chunk;  // grid points per chunk
+  spec.desc.body = std::move(b).build();
+  for (std::uint32_t f = 0; f < cfg.n_fields; ++f) {
+    swacc::ArrayRef ar;
+    ar.name = "field" + std::to_string(f);
+    ar.dir = f < cfg.n_fields / 2 ? swacc::Dir::kIn : swacc::Dir::kInOut;
+    ar.access = swacc::Access::kStrided;
+    ar.bytes_per_outer = static_cast<std::uint64_t>(cfg.z_chunk) * width * 4;
+    ar.segments_per_outer = cfg.z_chunk;  // one DMA call per level row
+    spec.desc.arrays.push_back(ar);
+  }
+  spec.desc.dma_min_tile = 1;
+  spec.desc.vectorizable = true;
+  spec.tuned = {.tile = 1, .unroll = 2, .requested_cpes = active_cpes,
+                .double_buffer = false};
+  spec.naive = {.tile = 1, .unroll = 1, .requested_cpes = active_cpes,
+                .double_buffer = false};
+  spec.notes =
+      "Memory-intensive 2D advection proxy; DMA row length = 4*nx/active "
+      "bytes, so transaction waste grows with #active_CPEs.";
+  return spec;
+}
+
+KernelSpec wrf_dynamics(std::uint32_t active_cpes, Scale scale) {
+  WrfDynamicsConfig cfg;
+  if (scale == Scale::kSmall) {
+    cfg.nx = 1536;
+    cfg.nz = 32;
+  }
+  return wrf_dynamics_cfg(active_cpes, cfg);
+}
+
+KernelSpec wrf_physics_cfg(std::uint32_t active_cpes,
+                           const WrfPhysicsConfig& cfg) {
+  // Per level per pass: saturation adjustment with div/sqrt chains.
+  isa::BlockBuilder b("wrf_phys_body");
+  const auto t = b.spm_load();
+  const auto qv = b.spm_load();
+  const auto qc = b.spm_load();
+  auto es = b.fma(t, t, qv);          // saturation pressure proxy
+  es = b.fadd(es, qc);
+  const auto rs = b.fdiv(qv, es);
+  const auto ex = b.fsqrt(rs);
+  auto cond = b.fsub(qv, rs);
+  cond = b.fmul(cond, ex);
+  auto tn = b.fma(cond, es, t);
+  tn = b.fadd(tn, cond);
+  auto qn = b.fsub(qv, cond);
+  qn = b.fma(qn, rs, qc);
+  b.spm_store(tn);
+  b.spm_store(qn);
+  b.loop_overhead(2);
+
+  KernelSpec spec;
+  spec.desc.name = "wrf_physics";
+  spec.desc.n_outer = cfg.n_columns;
+  spec.desc.inner_iters =
+      static_cast<std::uint64_t>(cfg.nz) * cfg.passes;
+  spec.desc.body = std::move(b).build();
+  const std::uint64_t col_bytes = 8ull * cfg.nz;  // double-precision column
+  spec.desc.arrays = {
+      {"state", swacc::Dir::kInOut, swacc::Access::kContiguous, col_bytes},
+      {"forcing", swacc::Dir::kIn, swacc::Access::kContiguous, col_bytes},
+      {.name = "coeffs",
+       .dir = swacc::Dir::kIn,
+       .access = swacc::Access::kBroadcast,
+       .broadcast_bytes = 2048},
+  };
+  spec.desc.dma_min_tile = 1;
+  spec.desc.vectorizable = true;
+  spec.tuned = {.tile = 16, .unroll = 2, .requested_cpes = active_cpes,
+                .double_buffer = false};
+  spec.naive = {.tile = 1, .unroll = 1, .requested_cpes = active_cpes,
+                .double_buffer = false};
+  spec.notes =
+      "Computation-intensive column microphysics proxy; scales with CPEs.";
+  return spec;
+}
+
+KernelSpec wrf_physics(std::uint32_t active_cpes, Scale scale) {
+  WrfPhysicsConfig cfg;
+  if (scale == Scale::kSmall) cfg.n_columns = 1024;
+  return wrf_physics_cfg(active_cpes, cfg);
+}
+
+}  // namespace swperf::kernels

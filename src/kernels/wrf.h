@@ -1,0 +1,52 @@
+// WRF weather-model kernel proxies (Section V-C3 / Figures 9 and 10).
+//
+// The paper evaluates its #active_CPEs analysis on two kernels of the WRF
+// production weather code: a memory-intensive *dynamics* kernel and a
+// computation-intensive *physics* kernel.  The originals are proprietary
+// Fortran; these proxies reproduce their documented structure:
+//
+//   * dynamics: 2D [nz x nx] float fields distributed along x.  Each CPE
+//     owns an x-slice of width nx/active and DMAs it in z-chunks, so each
+//     DMA segment is width*4 bytes — with more CPEs the segment shrinks
+//     below the 256-B DRAM transaction and bandwidth is wasted, which is
+//     why 48 CPEs beat 64 (Section IV-3).  Because the per-CPE slice width
+//     depends on the CPE count, the kernel factory is parameterised by the
+//     number of active CPEs (like re-generating the SWACC code per
+//     configuration).
+//
+//   * physics: independent column microphysics — div/sqrt-heavy compute on
+//     a modest column state, scaling almost linearly with CPEs.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/spec.h"
+
+namespace swperf::kernels {
+
+struct WrfDynamicsConfig {
+  std::uint64_t nx = 6144;      // horizontal extent (contiguous dimension)
+  std::uint32_t nz = 64;        // vertical levels
+  std::uint32_t z_chunk = 4;    // levels per DMA chunk
+  std::uint32_t n_fields = 8;   // prognostic fields
+};
+
+/// Builds the dynamics proxy for a given CPE count. The returned spec's
+/// presets request exactly `active_cpes`.
+KernelSpec wrf_dynamics(std::uint32_t active_cpes,
+                        Scale scale = Scale::kFull);
+KernelSpec wrf_dynamics_cfg(std::uint32_t active_cpes,
+                            const WrfDynamicsConfig& cfg);
+
+struct WrfPhysicsConfig {
+  std::uint64_t n_columns = 8192;
+  std::uint32_t nz = 40;
+  std::uint32_t passes = 3;  // microphysics sweeps per column
+};
+
+KernelSpec wrf_physics(std::uint32_t active_cpes = 64,
+                       Scale scale = Scale::kFull);
+KernelSpec wrf_physics_cfg(std::uint32_t active_cpes,
+                           const WrfPhysicsConfig& cfg);
+
+}  // namespace swperf::kernels

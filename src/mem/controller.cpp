@@ -1,0 +1,74 @@
+#include "mem/controller.h"
+
+#include <algorithm>
+
+#include "sw/error.h"
+
+namespace swperf::mem {
+
+MemoryController::MemoryController(const sw::ArchParams& params,
+                                   double bw_scale) {
+  SWPERF_CHECK(bw_scale > 0.0, "bw_scale=" << bw_scale);
+  service_ticks_ = sw::fractional_cycles_to_ticks(
+      params.trans_service_cycles() / bw_scale);
+  service_ticks_ = std::max<sw::Tick>(service_ticks_, 1);
+  l_base_ticks_ = sw::cycles_to_ticks(params.l_base_cycles);
+}
+
+MemoryController::Grant MemoryController::start(sw::Tick t,
+                                                std::uint64_t stream) {
+  if (ever_busy_ && t > busy_until_) idle_ticks_ += t - busy_until_;
+  ever_busy_ = true;
+  busy_until_ = t + service_ticks_;
+  busy_ticks_ += service_ticks_;
+  ++transactions_;
+  last_stream_ = stream;
+  has_last_ = true;
+  service_pending_ = true;
+  return Grant{stream, t + l_base_ticks_};
+}
+
+std::optional<MemoryController::Grant> MemoryController::arrive(
+    sw::Tick t, std::uint64_t stream) {
+  if (!service_pending_ && t >= busy_until_ && queued_ == 0) {
+    return start(t, stream);
+  }
+  const std::uint64_t s = seq_++;
+  per_stream_[stream].push_back(Entry{t, s});
+  order_.emplace(std::make_pair(t, s), stream);
+  ++queued_;
+  return std::nullopt;
+}
+
+std::optional<MemoryController::Grant> MemoryController::service(sw::Tick t) {
+  SWPERF_CHECK(t >= busy_until_,
+               "service() called at " << t << " before busy_until "
+                                      << busy_until_);
+  service_pending_ = false;
+  if (queued_ == 0) return std::nullopt;
+
+  // Stream affinity: keep draining the last-served stream while it has
+  // queued transactions; otherwise take the globally oldest.
+  std::uint64_t stream;
+  if (has_last_) {
+    auto it = per_stream_.find(last_stream_);
+    if (it != per_stream_.end() && !it->second.empty()) {
+      stream = last_stream_;
+    } else {
+      stream = order_.begin()->second;
+    }
+  } else {
+    stream = order_.begin()->second;
+  }
+
+  auto& dq = per_stream_[stream];
+  SWPERF_ASSERT(!dq.empty());
+  const Entry e = dq.front();
+  dq.pop_front();
+  if (dq.empty()) per_stream_.erase(stream);
+  order_.erase(std::make_pair(e.arrival, e.seq));
+  --queued_;
+  return start(t, stream);
+}
+
+}  // namespace swperf::mem

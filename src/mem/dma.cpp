@@ -1,0 +1,44 @@
+#include "mem/dma.h"
+
+#include <algorithm>
+
+#include "sw/error.h"
+
+namespace swperf::mem {
+
+std::vector<sw::Tick> DmaEngine::plan(const DmaRequest& req) const {
+  const std::uint64_t mrt = req.transactions(*params_);
+  std::vector<sw::Tick> offsets;
+  offsets.reserve(static_cast<std::size_t>(mrt));
+  for (std::uint64_t i = 0; i < mrt; ++i) {
+    offsets.push_back(i * delta_ticks_);
+  }
+  return offsets;
+}
+
+sw::Tick DmaEngine::complete_request(MemoryController& mc, sw::Tick issue,
+                                     const DmaRequest& req) const {
+  SWPERF_CHECK(!req.empty(), "empty DMA request");
+  // Single-requester event loop: interleave transaction arrivals with the
+  // controller's service slots in time order.
+  const auto offsets = plan(req);
+  sw::Tick done = issue;
+  std::size_t next = 0;
+  while (next < offsets.size() || mc.service_pending()) {
+    const sw::Tick ta =
+        next < offsets.size() ? issue + offsets[next] : sw::kTickNever;
+    const sw::Tick ts =
+        mc.service_pending() ? mc.busy_until() : sw::kTickNever;
+    std::optional<MemoryController::Grant> g;
+    if (ta <= ts) {
+      g = mc.arrive(ta, /*stream=*/1);
+      ++next;
+    } else {
+      g = mc.service(ts);
+    }
+    if (g) done = std::max(done, g->data_ready);
+  }
+  return done;
+}
+
+}  // namespace swperf::mem

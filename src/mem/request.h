@@ -1,0 +1,98 @@
+// Memory request descriptions: DMA and Gload/Gstore.
+//
+// SW26010 supports two ways for a CPE to reach main memory
+// (Section II-A):
+//   * DMA between main memory and SPM, in blocks (efficient, long latency);
+//   * Gload/Gstore: normal ld/st between main memory and registers, up to
+//     32 bytes per request — but each such request still consumes a whole
+//     256-B DRAM transaction, wasting most of the bandwidth.
+//
+// A *DMA request* here corresponds to one SWACC copy intrinsic.  The SWACC
+// compiler emits one DMA call per contiguous segment (several arrays,
+// and/or several rows of a strided copy) and the CPE halts only at the last
+// call, so the whole intrinsic behaves as a single request whose MRT is the
+// sum over segments (Section III-C).  Each segment is rounded up to whole
+// DRAM transactions separately — the transaction waste that drives the
+// paper's #active_CPEs analysis (Section IV-3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sw/arch.h"
+
+namespace swperf::mem {
+
+enum class Direction : std::uint8_t {
+  kRead,   // main memory -> SPM / registers (copy-in, gload)
+  kWrite,  // SPM / registers -> main memory (copy-out, gstore)
+};
+
+/// `count` contiguous segments of `bytes` each.
+struct DmaSeg {
+  std::uint64_t bytes = 0;
+  std::uint32_t count = 1;
+};
+
+/// One DMA request (one copy intrinsic): a bag of contiguous segments.
+struct DmaRequest {
+  std::vector<DmaSeg> segs;
+  Direction dir = Direction::kRead;
+
+  /// A single contiguous copy of `bytes`.
+  static DmaRequest contiguous(std::uint64_t bytes,
+                               Direction d = Direction::kRead) {
+    return DmaRequest{{DmaSeg{bytes, 1}}, d};
+  }
+
+  /// A strided copy: `count` segments of `seg_bytes` each.
+  static DmaRequest strided(std::uint64_t seg_bytes, std::uint32_t count,
+                            Direction d = Direction::kRead) {
+    return DmaRequest{{DmaSeg{seg_bytes, count}}, d};
+  }
+
+  DmaRequest& add(std::uint64_t seg_bytes, std::uint32_t count = 1) {
+    if (seg_bytes > 0 && count > 0) segs.push_back(DmaSeg{seg_bytes, count});
+    return *this;
+  }
+
+  /// Bytes the program asked to move.
+  std::uint64_t total_bytes() const {
+    std::uint64_t s = 0;
+    for (const auto& seg : segs) s += seg.bytes * seg.count;
+    return s;
+  }
+
+  /// MRT of this request (Eq. 5, summed over segments).
+  std::uint64_t transactions(const sw::ArchParams& p) const {
+    std::uint64_t s = 0;
+    for (const auto& seg : segs) {
+      s += p.transactions_for(seg.bytes) * seg.count;
+    }
+    return s;
+  }
+
+  /// Bytes actually moved over the DRAM interface (whole transactions).
+  std::uint64_t transferred_bytes(const sw::ArchParams& p) const {
+    return transactions(p) * p.trans_size_bytes;
+  }
+
+  /// Fraction of moved bytes that were requested (1.0 = no waste).
+  double efficiency(const sw::ArchParams& p) const {
+    const auto moved = transferred_bytes(p);
+    return moved == 0 ? 1.0
+                      : static_cast<double>(total_bytes()) /
+                            static_cast<double>(moved);
+  }
+
+  bool empty() const { return total_bytes() == 0; }
+};
+
+/// One Gload/Gstore request: at most gload_max_bytes (32 B), exactly one
+/// DRAM transaction regardless of size.
+struct GloadRequest {
+  std::uint32_t bytes = 8;
+  Direction dir = Direction::kRead;
+};
+
+}  // namespace swperf::mem

@@ -1,0 +1,35 @@
+#include "mem/spm.h"
+
+#include "sw/error.h"
+
+namespace swperf::mem {
+
+std::uint32_t SpmAllocator::align_up(std::uint32_t v, std::uint32_t align) {
+  SWPERF_CHECK(align != 0 && (align & (align - 1)) == 0,
+               "alignment must be a power of two, got " << align);
+  return (v + align - 1) & ~(align - 1);
+}
+
+std::uint32_t SpmAllocator::allocate(std::string name, std::uint32_t bytes,
+                                     std::uint32_t align) {
+  const std::uint32_t offset = align_up(top_, align);
+  SWPERF_CHECK(bytes <= capacity_ && offset <= capacity_ - bytes,
+               "SPM overflow allocating '"
+                   << name << "' (" << bytes << " B at offset " << offset
+                   << ", capacity " << capacity_ << " B)");
+  top_ = offset + bytes;
+  buffers_.push_back(Buffer{std::move(name), offset, bytes});
+  return offset;
+}
+
+bool SpmAllocator::would_fit(std::uint32_t bytes, std::uint32_t align) const {
+  const std::uint32_t offset = align_up(top_, align);
+  return bytes <= capacity_ && offset <= capacity_ - bytes;
+}
+
+void SpmAllocator::reset() {
+  top_ = 0;
+  buffers_.clear();
+}
+
+}  // namespace swperf::mem

@@ -1,0 +1,55 @@
+// Scratch-pad memory (SPM) allocator.
+//
+// Each CPE has 64 KiB of software-managed SPM and no data cache; all data a
+// kernel touches through fast loads/stores must be staged there explicitly.
+// The allocator is a simple bump allocator with alignment — what the SWACC
+// compiler effectively does for copyin/copyout buffers — and its capacity
+// check is the binding constraint that prunes tile sizes in the auto-tuners
+// (a tile's working set must fit, twice when double buffering).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sw/arch.h"
+
+namespace swperf::mem {
+
+/// Bump allocator over one CPE's scratch-pad memory.
+class SpmAllocator {
+ public:
+  explicit SpmAllocator(std::uint32_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// A named region of SPM.
+  struct Buffer {
+    std::string name;
+    std::uint32_t offset = 0;
+    std::uint32_t bytes = 0;
+  };
+
+  /// Allocates `bytes` aligned to `align` (power of two); throws sw::Error
+  /// on overflow. Returns the byte offset of the buffer.
+  std::uint32_t allocate(std::string name, std::uint32_t bytes,
+                         std::uint32_t align = 32);
+
+  /// True if `bytes` more (aligned) would still fit.
+  bool would_fit(std::uint32_t bytes, std::uint32_t align = 32) const;
+
+  std::uint32_t used() const { return top_; }
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t remaining() const { return capacity_ - top_; }
+  const std::vector<Buffer>& buffers() const { return buffers_; }
+
+  void reset();
+
+ private:
+  static std::uint32_t align_up(std::uint32_t v, std::uint32_t align);
+
+  std::uint32_t capacity_;
+  std::uint32_t top_ = 0;
+  std::vector<Buffer> buffers_;
+};
+
+}  // namespace swperf::mem

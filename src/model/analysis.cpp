@@ -1,0 +1,120 @@
+#include "model/analysis.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sw/error.h"
+#include "swacc/lower.h"
+#include "swacc/validate.h"
+
+namespace swperf::model {
+
+double granularity_saving(const Prediction& p, std::uint64_t n_reqs_before,
+                          std::uint64_t n_reqs_after) {
+  SWPERF_CHECK(n_reqs_before >= 1 && n_reqs_after >= n_reqs_before,
+               "granularity_saving: request count must grow ("
+                   << n_reqs_before << " -> " << n_reqs_after << ")");
+  // Eq. 13: the overlapable share grows from (1 − 1/#DMA_1) to
+  // (1 − 1/#DMA_2) of T_DMA.
+  return (1.0 / static_cast<double>(n_reqs_before) -
+          1.0 / static_cast<double>(n_reqs_after)) *
+         p.t_dma;
+}
+
+double double_buffer_saving(const Prediction& p) {
+  if (p.ng_dma <= 0.0) return 0.0;
+  // Eq. 14: at best the copy-in duration of one virtual group is hidden,
+  // and never more than the not-yet-overlapped computation.
+  return std::min(p.t_dma / p.ng_dma, std::max(0.0, p.t_comp - p.t_overlap));
+}
+
+double fewer_cpes_saving(const Prediction& p, double reduction_fraction) {
+  SWPERF_CHECK(reduction_fraction >= 0.0 && reduction_fraction < 1.0,
+               "reduction_fraction=" << reduction_fraction);
+  // Eq. 15: pays off only when DMA dominates compute.
+  return reduction_fraction * std::max(0.0, p.t_dma - p.t_comp);
+}
+
+namespace {
+
+/// Full-model saving of `variant` relative to `base_total`; negative means
+/// the variant is slower.
+double model_saving(const PerfModel& model, const swacc::KernelDesc& kernel,
+                    const swacc::LaunchParams& variant, double base_total) {
+  const auto lowered = swacc::lower(kernel, variant, model.arch());
+  return base_total - model.predict(lowered.summary).t_total;
+}
+
+}  // namespace
+
+std::vector<Advice> advise(const PerfModel& model,
+                           const swacc::KernelDesc& kernel,
+                           const swacc::LaunchParams& params) {
+  const auto base = swacc::lower(kernel, params, model.arch());
+  const Prediction p = model.predict(base.summary);
+  std::vector<Advice> out;
+
+  auto consider = [&](std::string what, swacc::LaunchParams v,
+                      double closed_form, std::string why) {
+    if (!swacc::validate_launch(kernel, v, model.arch()).ok) return;
+    const double saving = model_saving(model, kernel, v, p.t_total);
+    if (saving <= 0.0) return;
+    out.push_back(Advice{std::move(what), v, closed_form, saving,
+                         saving / p.t_total, std::move(why)});
+  };
+
+  // Section IV-1: smaller DMA request granularity, as long as requests stay
+  // at least one transaction and above the compiler's staging threshold.
+  if (params.tile / 2 >= kernel.dma_min_tile &&
+      base.summary.n_dma_reqs() > 0) {
+    swacc::LaunchParams v = params;
+    v.tile = params.tile / 2;
+    std::ostringstream why;
+    why << "Eq.13: doubling #DMA_reqs raises the overlapable share "
+        << "(1 - 1/#DMA_reqs) of T_DMA";
+    consider("halve DMA granularity (tile " + std::to_string(params.tile) +
+                 " -> " + std::to_string(v.tile) + ")",
+             v,
+             granularity_saving(p, base.summary.n_dma_reqs(),
+                                2 * base.summary.n_dma_reqs()),
+             why.str());
+  }
+
+  // Section IV-2: double buffering.
+  if (!params.double_buffer && base.summary.n_dma_reqs() > 0) {
+    swacc::LaunchParams v = params;
+    v.double_buffer = true;
+    std::ostringstream why;
+    why << "Eq.14: benefit capped at T_DMA/NG_DMA = one virtual group's "
+        << "copy-in (NG=" << p.ng_dma << ")";
+    consider("enable double buffering", v, double_buffer_saving(p),
+             why.str());
+  }
+
+  // Section IV-3: fewer active CPEs when DMA dominates.  Per-CPE data
+  // shares grow when fewer CPEs split the work, so the copy granularity is
+  // scaled up with the reduction — that is what shrinks per-request
+  // transaction waste (DMA_req_size vs Trans_size) in blocked ports.
+  if (params.requested_cpes > 8 && p.t_dma > p.t_comp) {
+    swacc::LaunchParams v = params;
+    v.requested_cpes = params.requested_cpes * 3 / 4;
+    v.tile = std::max<std::uint64_t>(
+        1, params.tile * params.requested_cpes / v.requested_cpes);
+    const double frac =
+        1.0 - static_cast<double>(v.requested_cpes) /
+                  static_cast<double>(params.requested_cpes);
+    std::ostringstream why;
+    why << "Eq.15: T_DMA > T_comp and small requests waste transactions; "
+        << "fewer CPEs (with proportionally larger chunks) shrink the waste";
+    consider("reduce #active_CPEs (" + std::to_string(params.requested_cpes) +
+                 " -> " + std::to_string(v.requested_cpes) + ")",
+             v, fewer_cpes_saving(p, frac), why.str());
+  }
+
+  std::sort(out.begin(), out.end(), [](const Advice& a, const Advice& b) {
+    return a.model_saving > b.model_saving;
+  });
+  return out;
+}
+
+}  // namespace swperf::model

@@ -1,0 +1,52 @@
+// Closed-form optimization-effect analyses (Section IV of the paper).
+//
+// The precise model permits analysing an optimization's payoff *before*
+// applying it — including the paper's findings that contradict prior
+// guidelines: smaller DMA granularity beats larger (as long as requests
+// stay >= one transaction), double buffering is capped at T_DMA/NG (often
+// a mere 1/16), and fewer active CPEs can win when small requests waste
+// transactions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/model.h"
+#include "swacc/kernel.h"
+
+namespace swperf::model {
+
+/// Eq. 13: time saved by shrinking DMA request granularity so the per-CPE
+/// request count grows from `n_reqs_before` to `n_reqs_after` (> before).
+/// Valid while requests stay >= one transaction.
+double granularity_saving(const Prediction& p, std::uint64_t n_reqs_before,
+                          std::uint64_t n_reqs_after);
+
+/// Eq. 14: upper bound on the double-buffering benefit —
+/// min(T_DMA / NG_DMA, T_comp − T_overlap).
+double double_buffer_saving(const Prediction& p);
+
+/// Eq. 15: time saved by reducing #active_CPEs by `reduction_fraction`
+/// (e.g. 0.25 for 64 → 48): Δ × max(0, T_DMA − T_comp).
+double fewer_cpes_saving(const Prediction& p, double reduction_fraction);
+
+/// A recommendation produced by the advisor.
+struct Advice {
+  std::string optimization;      // e.g. "halve DMA granularity"
+  swacc::LaunchParams suggested; // concrete parameters to apply
+  double closed_form_saving;     // Eq. 13/14/15 estimate, cycles
+  double model_saving;           // full-model re-evaluation, cycles
+  double saving_fraction;        // model_saving / baseline t_total
+  std::string rationale;
+};
+
+/// Evaluates the three Section-IV optimizations against `kernel` at
+/// `params`: for each, reports both the closed-form estimate and the full
+/// model's prediction of the changed variant. Only profitable, feasible
+/// (SPM-fitting) changes are returned, best first.
+std::vector<Advice> advise(const PerfModel& model,
+                           const swacc::KernelDesc& kernel,
+                           const swacc::LaunchParams& params);
+
+}  // namespace swperf::model

@@ -1,0 +1,79 @@
+#include "model/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/machine.h"
+#include "sw/error.h"
+
+namespace swperf::model {
+
+namespace {
+
+double run_cycles(const sw::ArchParams& machine,
+                  const std::vector<sim::CpeProgram>& programs) {
+  sim::KernelBinary empty;
+  return sim::simulate(sim::SimConfig{machine, 1}, empty, programs)
+      .total_cycles();
+}
+
+}  // namespace
+
+sw::ArchParams CalibratedParams::apply_to(sw::ArchParams base) const {
+  base.l_base_cycles =
+      static_cast<std::uint32_t>(std::llround(l_base_cycles));
+  base.delta_delay_cycles =
+      static_cast<std::uint32_t>(std::llround(delta_delay_cycles));
+  base.mem_bw_gbps = mem_bw_gbps;
+  base.validate();
+  return base;
+}
+
+CalibratedParams calibrate(const sw::ArchParams& machine) {
+  machine.validate();
+  CalibratedParams out;
+
+  // ---- Probe 1: uncontended single-transaction latency -> L_base. --------
+  {
+    sim::CpeProgram p;
+    p.dma(mem::DmaRequest::contiguous(machine.trans_size_bytes));
+    out.l_base_cycles = run_cycles(machine, {p});
+  }
+
+  // ---- Probe 2: request latency vs MRT -> Δdelay (slope of Eq. 11). ------
+  {
+    constexpr std::uint64_t kLoMrt = 1, kHiMrt = 33;
+    sim::CpeProgram lo;
+    lo.dma(mem::DmaRequest::contiguous(machine.trans_size_bytes * kLoMrt));
+    sim::CpeProgram hi;
+    hi.dma(mem::DmaRequest::contiguous(machine.trans_size_bytes * kHiMrt));
+    const double t_lo = run_cycles(machine, {lo});
+    const double t_hi = run_cycles(machine, {hi});
+    out.delta_delay_cycles =
+        (t_hi - t_lo) / static_cast<double>(kHiMrt - kLoMrt);
+  }
+
+  // ---- Probe 3: saturation -> bandwidth and transaction service time. ----
+  {
+    constexpr int kChunks = 16;
+    const std::uint64_t block = 16 * 1024;  // 16 KiB per request
+    std::vector<sim::CpeProgram> ps(machine.cpes_per_cg);
+    for (auto& p : ps) {
+      for (int c = 0; c < kChunks; ++c) {
+        p.dma(mem::DmaRequest::contiguous(block));
+      }
+    }
+    const double cycles = run_cycles(machine, ps);
+    const double bytes = static_cast<double>(machine.cpes_per_cg) *
+                         kChunks * static_cast<double>(block);
+    const double seconds = sw::cycles_to_seconds(cycles, machine.freq_ghz);
+    out.mem_bw_gbps = bytes / seconds / 1e9;
+    out.trans_service_cycles =
+        static_cast<double>(machine.trans_size_bytes) /
+        (out.mem_bw_gbps / machine.freq_ghz);
+  }
+
+  return out;
+}
+
+}  // namespace swperf::model

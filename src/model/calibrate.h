@@ -1,0 +1,38 @@
+// Microbenchmark calibration of the model's machine parameters.
+//
+// The paper's Table I values (L_base 220, Δdelay 50, 32 GB/s per CG) are
+// measured properties of SW26010, not datasheet numbers.  This module
+// reproduces the measurement methodology against any machine the simulator
+// can represent:
+//   * latency probe: one CPE, one single-transaction DMA → L_base;
+//   * issue-rate probe: one CPE, requests of growing MRT → the slope is
+//     Δdelay (Eq. 11);
+//   * saturation probe: all 64 CPEs streaming large blocks → effective
+//     bandwidth, hence the per-transaction service time.
+//
+// Besides documenting how Table I comes about, calibration closes the
+// loop: a PerfModel built from *recovered* parameters must predict as well
+// as one built from the configured ones (tested), so the model could be
+// stood up on a machine whose parameters are unknown.
+#pragma once
+
+#include "sw/arch.h"
+
+namespace swperf::model {
+
+struct CalibratedParams {
+  double l_base_cycles = 0.0;
+  double delta_delay_cycles = 0.0;
+  double trans_service_cycles = 0.0;
+  double mem_bw_gbps = 0.0;
+
+  /// Folds the recovered values into an ArchParams (other fields from
+  /// `base`).
+  sw::ArchParams apply_to(sw::ArchParams base) const;
+};
+
+/// Runs the three probes against a machine with the given true parameters
+/// and returns what the microbenchmarks measure.
+CalibratedParams calibrate(const sw::ArchParams& machine);
+
+}  // namespace swperf::model

@@ -1,0 +1,112 @@
+#include "model/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sw/error.h"
+
+namespace swperf::model {
+
+PerfModel::PerfModel(const sw::ArchParams& arch, ModelOptions opts)
+    : arch_(arch), opts_(opts) {
+  arch_.validate();
+}
+
+double PerfModel::trans_cycles(std::uint32_t core_groups) const {
+  SWPERF_CHECK(core_groups >= 1, "core_groups=" << core_groups);
+  const double scale =
+      core_groups > 1
+          ? static_cast<double>(core_groups) *
+                arch_.cross_section_bw_efficiency
+          : 1.0;
+  return arch_.trans_service_cycles() / scale;
+}
+
+Prediction PerfModel::predict(const swacc::StaticSummary& s) const {
+  SWPERF_CHECK(s.active_cpes >= 1, "summary has no active CPEs");
+  Prediction p;
+  const double active = static_cast<double>(s.active_cpes);
+  const double tc = trans_cycles(s.core_groups);
+  const double l_base = static_cast<double>(arch_.l_base_cycles);
+  const double ddelay = static_cast<double>(arch_.delta_delay_cycles);
+
+  // ---- T_comp (Eq. 6) ----------------------------------------------------
+  // comp_cycles is Σ(#t × L_t) / avg_ILP evaluated through the static
+  // per-block schedule, for the longest-path CPE.
+  p.t_comp = s.comp_cycles;
+  p.avg_ilp = s.avg_ilp(arch_);
+
+  // ---- T_DMA (Eq. 3–5, 11) -----------------------------------------------
+  for (const std::uint64_t mrt_u : s.dma_req_mrt) {
+    const double mrt = static_cast<double>(mrt_u);
+    if (mrt <= 0.0) continue;
+    const double l_avg = l_base + (mrt - 1.0) * ddelay;         // Eq. 11
+    const double l_bw = active * mrt * tc;                      // Eq. 4
+    p.t_dma += opts_.bandwidth_contention ? std::max(l_avg, l_bw) : l_avg;
+  }
+
+  // ---- T_g (Eq. 3–4 with MRT_g = 1) ---------------------------------------
+  if (s.n_gloads > 0) {
+    const double l_bw_g = active * tc;
+    const double per_req =
+        opts_.bandwidth_contention ? std::max(l_base, l_bw_g) : l_base;
+    p.t_g = static_cast<double>(s.n_gloads) * per_req;
+  }
+
+  p.t_mem = p.t_g + p.t_dma;  // Eq. 2
+
+  // ---- Virtual grouping (Eq. 9–12) ----------------------------------------
+  const std::uint64_t n_dma_reqs = s.n_dma_reqs();
+  if (n_dma_reqs > 0) {
+    p.avg_mrt_dma = s.avg_mrt();                                 // Eq. 12
+    p.l_avg_dma = l_base + (p.avg_mrt_dma - 1.0) * ddelay;       // Eq. 11
+    p.mrp_dma = p.l_avg_dma / (tc * p.avg_mrt_dma);              // Eq. 10
+    p.mrp_dma = std::clamp(p.mrp_dma, 1.0, active);
+    p.ng_dma = active / p.mrp_dma;                               // Eq. 9
+  }
+  if (s.n_gloads > 0) {
+    p.mrp_g = std::clamp(l_base / tc, 1.0, active);              // Eq. 10
+    p.ng_g = active / p.mrp_g;                                   // Eq. 9
+  }
+
+  // ---- T_overlap (Eq. 7–8) -------------------------------------------------
+  if (opts_.overlap) {
+    if (n_dma_reqs > 0 && p.t_dma > 0.0) {
+      const double group_term =
+          opts_.virtual_grouping ? 1.0 - 1.0 / p.ng_dma : 1.0;
+      const double req_term =
+          1.0 - 1.0 / static_cast<double>(n_dma_reqs);
+      p.t_dma_overlap = group_term * req_term * p.t_dma;         // Eq. 8
+    }
+    if (s.n_gloads > 0 && p.t_g > 0.0) {
+      const double group_term =
+          opts_.virtual_grouping ? 1.0 - 1.0 / p.ng_g : 1.0;
+      const double req_term =
+          1.0 - 1.0 / static_cast<double>(s.n_gloads);
+      p.t_g_overlap = group_term * req_term * p.t_g;             // Eq. 8
+    }
+    p.t_overlap = std::min(p.t_comp, p.t_dma_overlap + p.t_g_overlap);
+  }
+
+  // Scenario classification (Section III-A): in scenario 2 the computation
+  // is fully hidden behind memory accesses.
+  if (p.t_mem <= 0.0) {
+    p.scenario = 0;
+  } else {
+    p.scenario =
+        (p.t_comp <= p.t_dma_overlap + p.t_g_overlap) ? 2 : 1;
+  }
+
+  p.t_total = p.t_mem + p.t_comp - p.t_overlap;  // Eq. 1
+
+  // ---- Double buffering (Eq. 14, Section IV-2) -----------------------------
+  if (s.double_buffer && n_dma_reqs > 0 && p.ng_dma > 0.0) {
+    p.double_buffer_saving =
+        std::min(p.t_dma / p.ng_dma, std::max(0.0, p.t_comp - p.t_overlap));
+    p.t_total -= p.double_buffer_saving;
+  }
+
+  return p;
+}
+
+}  // namespace swperf::model

@@ -1,0 +1,120 @@
+// The static performance model for SW26010 (Section III of the paper).
+//
+// Predicts the execution time of a CPE kernel from purely static inputs
+// (swacc::StaticSummary) and machine parameters (Table I):
+//
+//   T_total = T_mem + T_comp − T_overlap                      (Eq. 1)
+//   T_mem   = T_g + T_DMA                                     (Eq. 2)
+//   T_g/DMA = Σ_r max(L_avg_r, L_mem_bw_r)                    (Eq. 3)
+//   L_mem_bw_r = #active_CPEs × MRT_r × TransSize × Freq / mem_bw  (Eq. 4)
+//   MRT_r   = ⌈req_size / TransSize⌉                          (Eq. 5)
+//   T_comp  = Σ_t #t × L_t / avg_ILP                          (Eq. 6)
+//   T_overlap = min(T_comp, T_DMA_ov + T_g_ov)                (Eq. 7)
+//   T_x_ov  = (1 − 1/NG_x)(1 − 1/#x_reqs) × T_x               (Eq. 8)
+//   NG_x    = #active_CPEs / MRP_x                            (Eq. 9)
+//   MRP_x   = L_avg_x × mem_bw / (Freq × TransSize × avg_MRT_x)  (Eq. 10)
+//   L_avg_x = L_base + (avg_MRT_x − 1) × Δdelay               (Eq. 11)
+//   avg_MRT_DMA = Σ_r MRT_r / #DMA_reqs                       (Eq. 12)
+//
+// The key abstraction is *virtual grouping*: the #active_CPEs are treated
+// as NG lock-step groups of MRP CPEs each, where MRP is the number of
+// concurrent requests that exactly saturate memory bandwidth for one
+// request latency.  Memory/computation overlap happens between the memory
+// accesses of one group and the computation of the others.
+//
+// One refinement over the paper's Eq. 3 as printed: the uncontended bound
+// uses the full request latency L_avg_r = L_base + (MRT_r−1)Δdelay
+// (the paper's own "Req_Latency" of Figure 4) rather than bare L_base,
+// which keeps the model accurate at low CPE counts where the per-CPE DMA
+// issue rate, not bandwidth, limits throughput.
+//
+// Double buffering is modelled by subtracting the paper's Eq. 14 saving
+// (Section IV-2).
+#pragma once
+
+#include <string>
+
+#include "sw/arch.h"
+#include "swacc/summary.h"
+
+namespace swperf::model {
+
+/// Which terms of the model are active — the defaults are the paper's
+/// model; switching terms off supports the ablation benches that motivate
+/// each term.
+struct ModelOptions {
+  /// Eq. 7–12: memory/computation overlap via virtual grouping.
+  bool overlap = true;
+  /// The (1 − 1/NG) term of Eq. 8. Off = treat CPEs like independent GPU
+  /// SMs (every group's accesses overlapable), the contrast the paper
+  /// draws with MWP/CWP-style GPU models.
+  bool virtual_grouping = true;
+  /// The bandwidth term of Eq. 3–4. Off = every request at its uncontended
+  /// latency.
+  bool bandwidth_contention = true;
+};
+
+/// Model output: total time plus every intermediate quantity of Table I's
+/// output rows, so analyses and tests can inspect the internals.
+struct Prediction {
+  // Primary outputs, in cycles (per the busiest CPE / core-group view).
+  double t_total = 0.0;
+  double t_mem = 0.0;
+  double t_dma = 0.0;
+  double t_g = 0.0;
+  double t_comp = 0.0;
+  double t_overlap = 0.0;
+
+  // Overlap decomposition (Eq. 8).
+  double t_dma_overlap = 0.0;
+  double t_g_overlap = 0.0;
+  /// Eq. 14 saving applied when the launch double-buffers.
+  double double_buffer_saving = 0.0;
+
+  // Virtual-grouping internals.
+  double avg_mrt_dma = 0.0;  // Eq. 12
+  double l_avg_dma = 0.0;    // Eq. 11
+  double mrp_dma = 0.0;      // Eq. 10
+  double ng_dma = 0.0;       // Eq. 9
+  double mrp_g = 0.0;
+  double ng_g = 0.0;
+
+  /// Section III-A execution scenario: 1 = memory idles during compute,
+  /// 2 = computation fully hidden by memory accesses. 0 = no memory phase.
+  int scenario = 0;
+
+  double avg_ilp = 0.0;
+
+  /// Time in microseconds at frequency `freq_ghz`.
+  double total_us(double freq_ghz) const {
+    return sw::cycles_to_us(t_total, freq_ghz);
+  }
+  /// Achieved GFLOPS given the launch-wide flop count (cycles / GHz is
+  /// nanoseconds, so flops-per-ns is GFLOPS directly).
+  double gflops(double total_flops, double freq_ghz) const {
+    return t_total <= 0.0 ? 0.0 : total_flops / (t_total / freq_ghz);
+  }
+};
+
+/// The static performance model.
+class PerfModel {
+ public:
+  explicit PerfModel(const sw::ArchParams& arch, ModelOptions opts = {});
+
+  /// Predicts the execution time of one lowered launch.
+  Prediction predict(const swacc::StaticSummary& s) const;
+
+  const sw::ArchParams& arch() const { return arch_; }
+  const ModelOptions& options() const { return opts_; }
+
+  /// Effective per-transaction service time in cycles for a launch on
+  /// `core_groups` CGs: bandwidth scales linearly with CGs (Section V-C3),
+  /// at slightly reduced cross-section efficiency when more than one.
+  double trans_cycles(std::uint32_t core_groups) const;
+
+ private:
+  sw::ArchParams arch_;
+  ModelOptions opts_;
+};
+
+}  // namespace swperf::model

@@ -1,0 +1,92 @@
+#include "model/report.h"
+
+#include <sstream>
+
+#include "sw/error.h"
+#include "swacc/lower.h"
+
+namespace swperf::model {
+
+const char* bottleneck_name(Bottleneck b) {
+  switch (b) {
+    case Bottleneck::kMemoryBandwidth: return "memory bandwidth (DMA)";
+    case Bottleneck::kGload: return "Gload requests (irregular access)";
+    case Bottleneck::kCompute: return "computation";
+    case Bottleneck::kLatency: return "memory latency (small requests)";
+  }
+  return "?";
+}
+
+KernelReport analyze(const PerfModel& model, const swacc::KernelDesc& kernel,
+                     const swacc::LaunchParams& params) {
+  const auto lowered = swacc::lower(kernel, params, model.arch());
+  const auto& s = lowered.summary;
+
+  KernelReport r;
+  r.kernel = kernel.name;
+  r.params = params;
+  r.prediction = model.predict(s);
+  r.roofline = RooflineModel(model.arch()).predict(s);
+
+  const double total = r.prediction.t_total;
+  SWPERF_ASSERT(total > 0.0);
+  r.dma_fraction = r.prediction.t_dma / total;
+  r.gload_fraction = r.prediction.t_g / total;
+  r.comp_fraction = r.prediction.t_comp / total;
+  r.overlap_fraction = r.prediction.t_overlap / total;
+  r.dma_efficiency = s.dma_efficiency();
+  r.gflops = r.prediction.gflops(s.total_flops, model.arch().freq_ghz);
+  r.roofline_fraction = r.roofline.attainable_gflops > 0.0
+                            ? r.gflops / r.roofline.attainable_gflops
+                            : 0.0;
+
+  // Classify the binding resource.
+  if (r.prediction.scenario == 1) {
+    r.bottleneck = Bottleneck::kCompute;
+  } else if (r.prediction.t_g > r.prediction.t_dma) {
+    r.bottleneck = Bottleneck::kGload;
+  } else {
+    // Memory-bound: distinguish bandwidth saturation from latency.
+    const double bw_time =
+        static_cast<double>(s.sum_mrt()) * s.active_cpes *
+        model.trans_cycles(s.core_groups);
+    r.bottleneck = r.prediction.t_dma >= 0.9 * bw_time
+                       ? Bottleneck::kMemoryBandwidth
+                       : Bottleneck::kLatency;
+  }
+
+  r.advice = advise(model, kernel, params);
+  return r;
+}
+
+std::string KernelReport::to_string(const sw::ArchParams& arch) const {
+  std::ostringstream os;
+  os << "=== " << kernel << " @ " << params.to_string() << " ===\n";
+  os << "predicted time : " << prediction.total_us(arch.freq_ghz)
+     << " us (" << prediction.t_total << " cycles, scenario "
+     << prediction.scenario << ")\n";
+  os << "bottleneck     : " << bottleneck_name(bottleneck) << "\n";
+  os << "breakdown      : comp " << static_cast<int>(100 * comp_fraction)
+     << "%  dma " << static_cast<int>(100 * dma_fraction) << "%  gload "
+     << static_cast<int>(100 * gload_fraction) << "%  (overlap "
+     << static_cast<int>(100 * overlap_fraction) << "%)\n";
+  os << "dma efficiency : " << static_cast<int>(100 * dma_efficiency)
+     << "% of moved bytes useful\n";
+  if (gflops > 0.0) {
+    os << "throughput     : " << gflops << " GFLOPS ("
+       << static_cast<int>(100 * roofline_fraction)
+       << "% of the Roofline-attainable "
+       << roofline.attainable_gflops << ")\n";
+  }
+  if (advice.empty()) {
+    os << "advice         : none — configuration is model-optimal\n";
+  } else {
+    for (const auto& a : advice) {
+      os << "advice         : " << a.optimization << " (saves "
+         << static_cast<int>(100 * a.saving_fraction) << "%)\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace swperf::model

@@ -1,0 +1,60 @@
+// Kernel performance reports: the model as a profiler replacement.
+//
+// One of the paper's motivations is that on SW26010 "insights on the
+// applications' performance and the interplay with underlying architecture
+// are rarely revealed".  This module packages everything the model knows
+// about a launch — time breakdown, scenario, bottleneck, transaction
+// efficiency, achieved vs attainable GFLOPS, and the Section-IV advice —
+// into a single structured report, computable in microseconds without any
+// execution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/analysis.h"
+#include "model/model.h"
+#include "model/roofline.h"
+#include "swacc/kernel.h"
+
+namespace swperf::model {
+
+enum class Bottleneck {
+  kMemoryBandwidth,  // T_DMA-dominated, scenario 2
+  kGload,            // T_g-dominated (irregular access)
+  kCompute,          // T_comp-dominated, scenario 1
+  kLatency,          // few CPEs / small requests: L_avg-bound
+};
+
+const char* bottleneck_name(Bottleneck b);
+
+/// A complete static assessment of one launch.
+struct KernelReport {
+  std::string kernel;
+  swacc::LaunchParams params;
+  Prediction prediction;
+  RooflinePrediction roofline;
+
+  Bottleneck bottleneck = Bottleneck::kCompute;
+  /// Fractions of predicted total time (can exceed 1 before overlap).
+  double dma_fraction = 0.0;
+  double gload_fraction = 0.0;
+  double comp_fraction = 0.0;
+  double overlap_fraction = 0.0;
+  /// Requested bytes / transferred bytes (1 = no transaction waste).
+  double dma_efficiency = 1.0;
+  /// Achieved GFLOPS and fraction of the Roofline-attainable rate.
+  double gflops = 0.0;
+  double roofline_fraction = 0.0;
+
+  std::vector<Advice> advice;
+
+  /// Multi-line human-readable rendering.
+  std::string to_string(const sw::ArchParams& arch) const;
+};
+
+/// Builds the full report for `kernel` at `params`.
+KernelReport analyze(const PerfModel& model, const swacc::KernelDesc& kernel,
+                     const swacc::LaunchParams& params);
+
+}  // namespace swperf::model

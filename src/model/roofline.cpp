@@ -1,0 +1,48 @@
+#include "model/roofline.h"
+
+#include <algorithm>
+
+#include "sw/error.h"
+
+namespace swperf::model {
+
+RooflinePrediction RooflineModel::predict(
+    const swacc::StaticSummary& s) const {
+  SWPERF_CHECK(s.active_cpes >= 1, "summary has no active CPEs");
+  RooflinePrediction p;
+
+  // Launch-wide traffic. Gloads move gload-sized payloads but always
+  // occupy a whole transaction; the classic model counts payloads.
+  const double gload_total =
+      static_cast<double>(s.n_gloads) * static_cast<double>(s.active_cpes);
+  double bytes = static_cast<double>(s.dma_bytes_requested) +
+                 gload_total * 8.0;  // payload bytes
+  if (transaction_aware_) {
+    bytes = static_cast<double>(s.dma_bytes_transferred) +
+            gload_total * arch_.trans_size_bytes;
+  }
+
+  const double flops = s.total_flops;
+  p.arithmetic_intensity = bytes > 0.0 ? flops / bytes : 0.0;
+
+  // Compute roof: 8 flops/cycle per active CPE (FMA on the vector unit).
+  const double flops_per_cycle = 8.0 * static_cast<double>(s.active_cpes);
+  const double comp_roof_cycles =
+      flops_per_cycle > 0.0 ? flops / flops_per_cycle : 0.0;
+  // Memory roof: launch bytes over aggregate bandwidth.
+  const double cg_scale =
+      s.core_groups > 1 ? static_cast<double>(s.core_groups) *
+                              arch_.cross_section_bw_efficiency
+                        : 1.0;
+  const double bytes_per_cycle = arch_.bytes_per_cycle() * cg_scale;
+  const double mem_roof_cycles = bytes / bytes_per_cycle;
+
+  p.t_cycles = std::max(comp_roof_cycles, mem_roof_cycles);
+  p.memory_bound = mem_roof_cycles >= comp_roof_cycles;
+  if (p.t_cycles > 0.0 && flops > 0.0) {
+    p.attainable_gflops = flops / (p.t_cycles / arch_.freq_ghz);
+  }
+  return p;
+}
+
+}  // namespace swperf::model

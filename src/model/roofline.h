@@ -1,0 +1,48 @@
+// Roofline comparison model (related work, Section VI).
+//
+// The paper contrasts its precise model against Roofline [24]: Roofline
+// bounds attainable performance by min(peak compute, arithmetic intensity
+// × bandwidth) and therefore cannot see effects that leave arithmetic
+// intensity unchanged — DMA request granularity, double buffering, or the
+// #active_CPEs transaction-waste trade-off.  This implementation exists to
+// quantify that argument on the same kernels (bench_comparison_roofline).
+//
+// Two variants:
+//   * algorithmic: bytes = what the program asked to move (classic
+//     Roofline);
+//   * transaction-aware: bytes = whole DRAM transactions actually occupied
+//     (a Roofline that at least knows about Eq. 5's waste).
+#pragma once
+
+#include "sw/arch.h"
+#include "swacc/summary.h"
+
+namespace swperf::model {
+
+struct RooflinePrediction {
+  /// Flops per byte moved.
+  double arithmetic_intensity = 0.0;
+  /// min(peak, AI x BW), in GFLOPS (0 for flop-free kernels).
+  double attainable_gflops = 0.0;
+  /// Lower-bound execution time: max(compute roof, memory roof), cycles.
+  double t_cycles = 0.0;
+  /// True when the memory roof binds.
+  bool memory_bound = false;
+};
+
+class RooflineModel {
+ public:
+  explicit RooflineModel(const sw::ArchParams& arch,
+                         bool transaction_aware = false)
+      : arch_(arch), transaction_aware_(transaction_aware) {
+    arch_.validate();
+  }
+
+  RooflinePrediction predict(const swacc::StaticSummary& s) const;
+
+ private:
+  sw::ArchParams arch_;
+  bool transaction_aware_;
+};
+
+}  // namespace swperf::model

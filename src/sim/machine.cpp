@@ -1,0 +1,397 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "isa/schedule.h"
+#include "mem/controller.h"
+#include "mem/dma.h"
+#include "sw/error.h"
+#include "sw/stats.h"
+
+namespace swperf::sim {
+
+namespace {
+
+constexpr int kBlockingHandle = -2;
+constexpr int kMaxHandles = 16;
+
+// Memory streams, for the controller's burst affinity: one stream per
+// in-flight request source.  Slot codes: 0 = blocking DMA, 1..16 = async
+// handles, 17 = gload.
+constexpr std::uint64_t kSlotBlocking = 0;
+constexpr std::uint64_t kSlotGload = 17;
+constexpr std::uint64_t kSlotsPerCpe = 18;
+
+std::uint64_t stream_id(std::uint32_t cpe, std::uint64_t slot) {
+  return static_cast<std::uint64_t>(cpe) * kSlotsPerCpe + slot;
+}
+
+enum class EvKind : std::uint8_t {
+  kResume = 0,
+  kDmaArrival = 1,
+  kGloadArrival = 2,
+  kMcService = 3,
+};
+
+struct Ev {
+  sw::Tick tick;
+  std::uint64_t seq;  // insertion order: deterministic tie-break
+  EvKind kind;
+  std::uint32_t cpe;  // or controller index for kMcService
+  int handle;         // for kDmaArrival
+};
+
+struct EvLater {
+  bool operator()(const Ev& a, const Ev& b) const {
+    if (a.tick != b.tick) return a.tick > b.tick;
+    return a.seq > b.seq;
+  }
+};
+
+/// In-flight DMA request state (one per handle slot, plus a blocking slot).
+struct Request {
+  std::uint64_t remaining = 0;  // transactions whose data is not back yet
+  sw::Tick latest_done = 0;     // completion = max over transaction returns
+  bool complete = true;
+};
+
+struct Cpe {
+  const CpeProgram* prog = nullptr;
+  std::size_t pc = 0;
+  bool done = false;
+
+  // Gload loop progress at the current op.
+  bool in_gload = false;
+  std::uint64_t gload_remaining = 0;
+  sw::Tick gload_issue = 0;
+
+  // Waiting state: kNoWait, kBlockingHandle, or an async handle id.
+  static constexpr int kNoWait = -1;
+  int wait_handle = kNoWait;
+  sw::Tick wait_start = 0;
+
+  Request blocking;
+  std::vector<Request> handles;
+
+  CpeStats stats;
+};
+
+class Engine {
+ public:
+  Engine(const SimConfig& cfg, const KernelBinary& binary,
+         const std::vector<CpeProgram>& programs)
+      : cfg_(cfg), dma_(cfg.arch) {
+    cfg_.arch.validate();
+    SWPERF_CHECK(cfg_.core_groups >= 1 &&
+                     cfg_.core_groups <= cfg_.arch.core_groups,
+                 "core_groups=" << cfg_.core_groups);
+    const std::size_t capacity =
+        static_cast<std::size_t>(cfg_.arch.cpes_per_cg) * cfg_.core_groups;
+    SWPERF_CHECK(!programs.empty() && programs.size() <= capacity,
+                 programs.size() << " programs for " << capacity << " CPEs");
+
+    // Cross-section memory (multi-CG) runs at slightly reduced efficiency.
+    const double bw_scale =
+        cfg_.core_groups > 1 ? cfg_.arch.cross_section_bw_efficiency : 1.0;
+    controllers_.reserve(cfg_.core_groups);
+    for (std::uint32_t g = 0; g < cfg_.core_groups; ++g) {
+      controllers_.emplace_back(cfg_.arch, bw_scale);
+    }
+
+    schedules_.reserve(binary.blocks.size());
+    for (const auto& b : binary.blocks) {
+      schedules_.emplace_back(b, cfg_.arch);
+    }
+
+    cpes_.resize(programs.size());
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+      cpes_[i].prog = &programs[i];
+      cpes_[i].handles.resize(kMaxHandles);
+    }
+  }
+
+  SimResult run() {
+    trace_.n_cpes = static_cast<std::uint32_t>(cpes_.size());
+    trace_.n_controllers = static_cast<std::uint32_t>(controllers_.size());
+    for (std::uint32_t i = 0; i < cpes_.size(); ++i) step(i, 0);
+
+    while (!events_.empty()) {
+      const Ev ev = events_.top();
+      events_.pop();
+      switch (ev.kind) {
+        case EvKind::kResume:
+          step(ev.cpe, ev.tick);
+          break;
+        case EvKind::kDmaArrival: {
+          const std::uint64_t slot =
+              ev.handle == kBlockingHandle
+                  ? kSlotBlocking
+                  : static_cast<std::uint64_t>(ev.handle) + 1;
+          submit_transaction(ev.tick, stream_id(ev.cpe, slot));
+          break;
+        }
+        case EvKind::kGloadArrival:
+          submit_transaction(ev.tick, stream_id(ev.cpe, kSlotGload));
+          break;
+        case EvKind::kMcService: {
+          auto& mc = controllers_[ev.cpe];
+          if (auto g = mc.service(ev.tick)) {
+            deliver(ev.cpe, *g);
+          }
+          break;
+        }
+      }
+    }
+
+    std::size_t finished = 0;
+    for (const auto& c : cpes_) finished += c.done ? 1 : 0;
+    SWPERF_CHECK(finished == cpes_.size(),
+                 "simulation deadlocked: " << cpes_.size() - finished
+                                           << " CPEs blocked (barrier "
+                                              "mismatch or missing dma_wait)");
+
+    SimResult r;
+    for (auto& c : cpes_) {
+      r.total_ticks = std::max(r.total_ticks, c.stats.finish);
+      r.cpes.push_back(c.stats);
+    }
+    for (auto& mc : controllers_) {
+      r.transactions += mc.transactions();
+      r.mem_busy_ticks += mc.busy_ticks();
+      r.mem_idle_ticks += mc.idle_ticks();
+    }
+    if (cfg_.trace) r.trace = std::move(trace_);
+    return r;
+  }
+
+ private:
+  void schedule(sw::Tick tick, EvKind kind, std::uint32_t cpe,
+                int handle = 0) {
+    events_.push(Ev{tick, seq_++, kind, cpe, handle});
+  }
+
+  void record(std::uint32_t lane, Activity what, sw::Tick begin,
+              sw::Tick end) {
+    if (cfg_.trace && end > begin) {
+      trace_.intervals.push_back(Interval{lane, what, begin, end});
+    }
+  }
+
+  /// Routes a transaction to a controller (cross-section memory interleaves
+  /// round-robin over the participating CGs) and drives the service chain.
+  void submit_transaction(sw::Tick t, std::uint64_t stream) {
+    const std::uint32_t mc_idx = static_cast<std::uint32_t>(rr_);
+    rr_ = (rr_ + 1) % controllers_.size();
+    if (auto g = controllers_[mc_idx].arrive(t, stream)) {
+      deliver(mc_idx, *g);
+    }
+  }
+
+  /// Handles a granted transaction: schedules the controller's next service
+  /// slot and routes the data-return to the owning request/gload.
+  void deliver(std::uint32_t mc_idx, const mem::MemoryController::Grant& g) {
+    auto& mc = controllers_[mc_idx];
+    schedule(mc.busy_until(), EvKind::kMcService, mc_idx);
+    record(trace_.n_cpes + mc_idx, Activity::kMemService,
+           mc.busy_until() - mc.service_ticks(), mc.busy_until());
+
+    const auto cpe_id = static_cast<std::uint32_t>(g.stream / kSlotsPerCpe);
+    const std::uint64_t slot = g.stream % kSlotsPerCpe;
+    Cpe& c = cpes_[cpe_id];
+
+    if (slot == kSlotGload) {
+      SWPERF_ASSERT(c.in_gload && c.gload_remaining > 0);
+      const auto& op = std::get<GloadLoopOp>(c.prog->ops[c.pc]);
+      c.stats.gload_wait += g.data_ready - c.gload_issue;
+      c.stats.comp += op.compute_ticks_per_elem;
+      record(cpe_id, Activity::kGloadWait, c.gload_issue, g.data_ready);
+      record(cpe_id, Activity::kCompute, g.data_ready,
+             g.data_ready + op.compute_ticks_per_elem);
+      --c.gload_remaining;
+      schedule(g.data_ready + op.compute_ticks_per_elem, EvKind::kResume,
+               cpe_id);
+      return;
+    }
+
+    const int handle =
+        slot == kSlotBlocking ? kBlockingHandle : static_cast<int>(slot) - 1;
+    Request& r = request_slot(c, handle);
+    r.latest_done = std::max(r.latest_done, g.data_ready);
+    SWPERF_ASSERT(r.remaining > 0);
+    if (--r.remaining == 0) {
+      r.complete = true;
+      if (c.wait_handle == handle) {
+        // The waiter's local clock may already be past the completion (it
+        // ran ahead through compute before blocking on an async handle).
+        const sw::Tick resume = std::max(r.latest_done, c.wait_start);
+        c.stats.dma_wait += resume - c.wait_start;
+        record(cpe_id, Activity::kDmaWait, c.wait_start, resume);
+        c.wait_handle = Cpe::kNoWait;
+        schedule(resume, EvKind::kResume, cpe_id);
+      }
+    }
+  }
+
+  Request& request_slot(Cpe& c, int handle) {
+    if (handle == kBlockingHandle) return c.blocking;
+    SWPERF_ASSERT(handle >= 0 && handle < kMaxHandles);
+    return c.handles[static_cast<std::size_t>(handle)];
+  }
+
+  sw::Tick block_ticks(std::uint32_t block_id, std::uint64_t iters) const {
+    SWPERF_CHECK(block_id < schedules_.size(),
+                 "compute op references unknown block " << block_id);
+    return sw::cycles_to_ticks(schedules_[block_id].cycles(iters));
+  }
+
+  /// Executes ops for CPE `cpe_id` starting at tick `t` until it blocks,
+  /// finishes, or joins a barrier.
+  void step(std::uint32_t cpe_id, sw::Tick t) {
+    Cpe& c = cpes_[cpe_id];
+    const auto& ops = c.prog->ops;
+    while (true) {
+      if (c.in_gload) {
+        if (c.gload_remaining > 0) {
+          // Issue the next serial Gload; its data-return resumes us.
+          c.gload_issue = t;
+          schedule(t, EvKind::kGloadArrival, cpe_id);
+          ++c.stats.gload_requests;
+          return;
+        }
+        c.in_gload = false;
+        ++c.pc;
+      }
+      if (c.pc >= ops.size()) {
+        c.done = true;
+        c.stats.finish = t;
+        return;
+      }
+
+      const Op& op = ops[c.pc];
+      if (const auto* comp = std::get_if<ComputeOp>(&op)) {
+        const sw::Tick dur = block_ticks(comp->block_id, comp->iters);
+        c.stats.comp += dur;
+        record(cpe_id, Activity::kCompute, t, t + dur);
+        t += dur;
+        ++c.pc;
+      } else if (const auto* delay = std::get_if<DelayOp>(&op)) {
+        t += delay->ticks;
+        ++c.pc;
+      } else if (const auto* dma = std::get_if<DmaOp>(&op)) {
+        const std::uint64_t mrt = dma->req.transactions(cfg_.arch);
+        const int slot = dma->handle < 0 ? kBlockingHandle : dma->handle;
+        SWPERF_CHECK(dma->handle < kMaxHandles,
+                     "dma handle " << dma->handle << " out of range");
+        Request& r = request_slot(c, slot);
+        SWPERF_CHECK(r.complete,
+                     "dma issued on handle " << dma->handle
+                                             << " while still in flight");
+        ++c.stats.dma_requests;
+        ++c.pc;
+        if (mrt == 0) continue;
+        r = Request{mrt, 0, false};
+        for (sw::Tick off : dma_.plan(dma->req)) {
+          schedule(t + off, EvKind::kDmaArrival, cpe_id, slot);
+        }
+        if (slot == kBlockingHandle) {
+          c.wait_handle = kBlockingHandle;
+          c.wait_start = t;
+          return;
+        }
+      } else if (const auto* wait = std::get_if<DmaWaitOp>(&op)) {
+        SWPERF_CHECK(wait->handle >= 0 && wait->handle < kMaxHandles,
+                     "dma_wait handle " << wait->handle << " out of range");
+        Request& r = c.handles[static_cast<std::size_t>(wait->handle)];
+        ++c.pc;
+        if (!r.complete) {
+          c.wait_handle = wait->handle;
+          c.wait_start = t;
+          return;
+        }
+        if (r.latest_done > t) {
+          c.stats.dma_wait += r.latest_done - t;
+          record(cpe_id, Activity::kDmaWait, t, r.latest_done);
+          t = r.latest_done;
+        }
+      } else if (const auto* gl = std::get_if<GloadLoopOp>(&op)) {
+        SWPERF_CHECK(gl->bytes > 0 && gl->bytes <= cfg_.arch.gload_max_bytes,
+                     "gload of " << gl->bytes << " bytes exceeds max "
+                                 << cfg_.arch.gload_max_bytes);
+        c.in_gload = true;
+        c.gload_remaining = gl->count;
+      } else if (std::get_if<BarrierOp>(&op)) {
+        ++c.pc;
+        barrier_waiters_.push_back({cpe_id, t});
+        if (barrier_waiters_.size() == cpes_.size()) {
+          // CPEs may run ahead of the event clock through local compute, so
+          // the release time is the max arrival tick, not this event's tick.
+          sw::Tick release = 0;
+          for (const auto& [wid, arrive] : barrier_waiters_) {
+            release = std::max(release, arrive);
+          }
+          for (const auto& [wid, arrive] : barrier_waiters_) {
+            cpes_[wid].stats.barrier_wait += release - arrive;
+            record(wid, Activity::kBarrier, arrive, release);
+            schedule(release, EvKind::kResume, wid);
+          }
+          barrier_waiters_.clear();
+        }
+        return;
+      } else {
+        SWPERF_ASSERT(false);
+      }
+    }
+  }
+
+  SimConfig cfg_;
+  mem::DmaEngine dma_;
+  std::vector<mem::MemoryController> controllers_;
+  std::vector<isa::LoopSchedule> schedules_;
+  std::vector<Cpe> cpes_;
+  std::vector<std::pair<std::uint32_t, sw::Tick>> barrier_waiters_;
+  std::priority_queue<Ev, std::vector<Ev>, EvLater> events_;
+  std::uint64_t seq_ = 0;
+  std::size_t rr_ = 0;
+  Trace trace_;
+};
+
+double avg_over(const std::vector<CpeStats>& cpes,
+                sw::Tick CpeStats::* field) {
+  if (cpes.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& c : cpes) s += sw::ticks_to_cycles(c.*field);
+  return s / static_cast<double>(cpes.size());
+}
+
+}  // namespace
+
+double SimResult::avg_comp_cycles() const {
+  return avg_over(cpes, &CpeStats::comp);
+}
+
+double SimResult::max_comp_cycles() const {
+  sw::Tick m = 0;
+  for (const auto& c : cpes) m = std::max(m, c.comp);
+  return sw::ticks_to_cycles(m);
+}
+
+double SimResult::avg_dma_wait_cycles() const {
+  return avg_over(cpes, &CpeStats::dma_wait);
+}
+
+double SimResult::avg_gload_wait_cycles() const {
+  return avg_over(cpes, &CpeStats::gload_wait);
+}
+
+double SimResult::avg_barrier_wait_cycles() const {
+  return avg_over(cpes, &CpeStats::barrier_wait);
+}
+
+SimResult simulate(const SimConfig& cfg, const KernelBinary& binary,
+                   const std::vector<CpeProgram>& programs) {
+  Engine engine(cfg, binary, programs);
+  return engine.run();
+}
+
+}  // namespace swperf::sim

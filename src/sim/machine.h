@@ -1,0 +1,85 @@
+// Discrete-event simulator of SW26010 core groups.
+//
+// This is the "hardware" of the reproduction: the ground truth the paper's
+// static model is evaluated against (the real SW26010 being unobtainable).
+// It simulates, at DRAM-transaction granularity with exact instruction
+// schedules:
+//   * per-CPE in-order execution of CpeProgram ops;
+//   * per-CPE DMA engines issuing a request's transactions Δdelay apart;
+//   * a FIFO bandwidth-limited memory controller per core group;
+//   * serial blocking Gloads, each consuming a whole transaction;
+//   * athread-style barriers across active CPEs;
+//   * multi-CG runs with cross-section memory: transactions interleave
+//     round-robin across the CGs' controllers at slightly reduced
+//     efficiency, as the paper measured (Section V-C3).
+//
+// The simulation is fully deterministic: events are ordered by
+// (tick, insertion sequence), and all latencies are fixed (cache-less
+// architecture).  Crucially it shares *parameters* but not *structure*
+// with the analytical model: contention and memory/compute overlap emerge
+// from queueing here, while the model approximates them in closed form via
+// virtual grouping (MRP/NG) — the gap between the two is the paper's
+// prediction error.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/program.h"
+#include "sim/trace.h"
+#include "sw/arch.h"
+#include "sw/time.h"
+
+namespace swperf::sim {
+
+/// Machine configuration for one simulation.
+struct SimConfig {
+  sw::ArchParams arch = sw::ArchParams::sw26010();
+  /// Core groups participating. With >1, memory is cross-section
+  /// (interleaved round-robin across the CGs' controllers).
+  std::uint32_t core_groups = 1;
+  /// Record an execution trace (see trace.h); costs memory, off by default.
+  bool trace = false;
+};
+
+/// Per-CPE timing account (in ticks).
+struct CpeStats {
+  sw::Tick finish = 0;        // tick the program completed
+  sw::Tick comp = 0;          // computing (ComputeOps + gload-interleaved)
+  sw::Tick dma_wait = 0;      // blocked on DMA completion
+  sw::Tick gload_wait = 0;    // blocked on Gload round-trips
+  sw::Tick barrier_wait = 0;  // waiting at barriers
+  std::uint64_t dma_requests = 0;
+  std::uint64_t gload_requests = 0;
+};
+
+/// Aggregate result of one simulated kernel launch.
+struct SimResult {
+  sw::Tick total_ticks = 0;
+  std::vector<CpeStats> cpes;
+
+  // Memory-system aggregates (summed over controllers).
+  std::uint64_t transactions = 0;
+  sw::Tick mem_busy_ticks = 0;
+  sw::Tick mem_idle_ticks = 0;  // idle gaps between transactions
+
+  /// Populated when SimConfig::trace is set.
+  Trace trace;
+
+  double total_cycles() const { return sw::ticks_to_cycles(total_ticks); }
+
+  // Measured breakdown in cycles (averages over active CPEs) — the
+  // quantities plotted in the paper's Figure 10.
+  double avg_comp_cycles() const;
+  double max_comp_cycles() const;
+  double avg_dma_wait_cycles() const;
+  double avg_gload_wait_cycles() const;
+  double avg_barrier_wait_cycles() const;
+};
+
+/// Runs `programs` (one per active CPE) against the machine `cfg`.
+/// Programs beyond cfg.arch.cpes_per_cg * cfg.core_groups are rejected.
+SimResult simulate(const SimConfig& cfg, const KernelBinary& binary,
+                   const std::vector<CpeProgram>& programs);
+
+}  // namespace swperf::sim

@@ -1,0 +1,102 @@
+// Per-CPE programs consumed by the discrete-event simulator.
+//
+// A lowered SWACC kernel (src/swacc) becomes one CpeProgram per active CPE:
+// the three-part structure the paper describes in Section II-B — copy data
+// to SPM (DMA), execute (computation and Gload requests), copy data back —
+// expressed as an op sequence.  Async DMA ops plus explicit waits express
+// the double-buffer optimization (Section IV-2).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "isa/block.h"
+#include "mem/request.h"
+#include "sw/time.h"
+
+namespace swperf::sim {
+
+/// Executes basic block `block_id` of the KernelBinary `iters` times
+/// back-to-back (an innermost loop over SPM-resident data).
+struct ComputeOp {
+  std::uint32_t block_id = 0;
+  std::uint64_t iters = 1;
+};
+
+/// Issues one DMA request. `handle < 0` means blocking: the CPE stalls
+/// until the last transaction's data returns. `handle >= 0` issues
+/// asynchronously into that reply slot; pair with DmaWaitOp.
+struct DmaOp {
+  mem::DmaRequest req;
+  int handle = -1;
+};
+
+/// Blocks until the async DMA previously issued on `handle` completes.
+struct DmaWaitOp {
+  int handle = 0;
+};
+
+/// `count` serial Gload/Gstore requests, each followed by
+/// `compute_ticks_per_elem` of dependent computation — the access pattern
+/// of irregular kernels (BFS, B+tree, ...) that cannot stage data in SPM.
+/// Each request occupies one full DRAM transaction and blocks the CPE.
+struct GloadLoopOp {
+  std::uint64_t count = 0;
+  std::uint32_t bytes = 8;
+  mem::Direction dir = mem::Direction::kRead;
+  sw::Tick compute_ticks_per_elem = 0;
+};
+
+/// Synchronises all active CPEs (athread barrier).
+struct BarrierOp {};
+
+/// Fixed-duration stall (kernel launch overhead, MPE interaction).
+struct DelayOp {
+  sw::Tick ticks = 0;
+};
+
+using Op = std::variant<ComputeOp, DmaOp, DmaWaitOp, GloadLoopOp, BarrierOp,
+                        DelayOp>;
+
+/// The op stream of one CPE.
+struct CpeProgram {
+  std::vector<Op> ops;
+
+  CpeProgram& compute(std::uint32_t block_id, std::uint64_t iters) {
+    if (iters > 0) ops.push_back(ComputeOp{block_id, iters});
+    return *this;
+  }
+  CpeProgram& dma(mem::DmaRequest req, int handle = -1) {
+    ops.push_back(DmaOp{req, handle});
+    return *this;
+  }
+  CpeProgram& dma_wait(int handle) {
+    ops.push_back(DmaWaitOp{handle});
+    return *this;
+  }
+  CpeProgram& gload_loop(GloadLoopOp g) {
+    if (g.count > 0) ops.push_back(g);
+    return *this;
+  }
+  CpeProgram& barrier() {
+    ops.push_back(BarrierOp{});
+    return *this;
+  }
+  CpeProgram& delay(sw::Tick t) {
+    if (t > 0) ops.push_back(DelayOp{t});
+    return *this;
+  }
+};
+
+/// Shared code object: the basic blocks referenced by ComputeOps.
+struct KernelBinary {
+  std::vector<isa::BasicBlock> blocks;
+
+  std::uint32_t add_block(isa::BasicBlock b) {
+    blocks.push_back(std::move(b));
+    return static_cast<std::uint32_t>(blocks.size() - 1);
+  }
+};
+
+}  // namespace swperf::sim

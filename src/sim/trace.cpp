@@ -1,0 +1,105 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "sw/error.h"
+
+namespace swperf::sim {
+
+char activity_glyph(Activity a) {
+  switch (a) {
+    case Activity::kCompute: return '#';
+    case Activity::kDmaWait: return 'D';
+    case Activity::kGloadWait: return 'G';
+    case Activity::kBarrier: return 'B';
+    case Activity::kMemService: return '=';
+  }
+  return '?';
+}
+
+sw::Tick Trace::span() const {
+  sw::Tick m = 0;
+  for (const auto& i : intervals) m = std::max(m, i.end);
+  return m;
+}
+
+std::string render_timeline(const Trace& trace, std::size_t width,
+                            std::uint32_t max_cpe_rows) {
+  SWPERF_CHECK(width >= 10, "timeline width too small");
+  const sw::Tick span = trace.span();
+  if (span == 0) return "(empty trace)\n";
+
+  const std::uint32_t cpe_rows = std::min(trace.n_cpes, max_cpe_rows);
+  const std::uint32_t lanes = trace.n_cpes + trace.n_controllers;
+
+  // Per visible lane, per column: ticks of each activity; densest wins.
+  std::vector<std::vector<std::map<Activity, sw::Tick>>> cells(
+      lanes, std::vector<std::map<Activity, sw::Tick>>(width));
+  const double ticks_per_col =
+      static_cast<double>(span) / static_cast<double>(width);
+
+  for (const auto& iv : trace.intervals) {
+    if (iv.lane >= lanes || iv.end <= iv.begin) continue;
+    const auto c0 = static_cast<std::size_t>(
+        static_cast<double>(iv.begin) / ticks_per_col);
+    const auto c1 = std::min<std::size_t>(
+        width - 1,
+        static_cast<std::size_t>(static_cast<double>(iv.end - 1) /
+                                 ticks_per_col));
+    for (std::size_t c = c0; c <= c1; ++c) {
+      const sw::Tick col_begin =
+          static_cast<sw::Tick>(static_cast<double>(c) * ticks_per_col);
+      const sw::Tick col_end = static_cast<sw::Tick>(
+          static_cast<double>(c + 1) * ticks_per_col);
+      const sw::Tick overlap = std::min(iv.end, col_end) -
+                               std::max(iv.begin, col_begin);
+      cells[iv.lane][c][iv.what] += overlap;
+    }
+  }
+
+  std::ostringstream os;
+  os << "timeline: " << sw::ticks_to_cycles(span) << " cycles, "
+     << "one column = " << sw::ticks_to_cycles(static_cast<sw::Tick>(
+                               ticks_per_col))
+     << " cycles   [#]=compute [D]=dma wait [G]=gload [B]=barrier "
+        "[=]=memory busy\n";
+  auto emit_lane = [&](std::uint32_t lane, const std::string& label) {
+    os << label;
+    for (std::size_t c = 0; c < width; ++c) {
+      const auto& m = cells[lane][c];
+      if (m.empty()) {
+        os << '.';
+        continue;
+      }
+      auto best = m.begin();
+      for (auto it = m.begin(); it != m.end(); ++it) {
+        if (it->second > best->second) best = it;
+      }
+      os << activity_glyph(best->first);
+    }
+    os << '\n';
+  };
+
+  for (std::uint32_t cpe = 0; cpe < cpe_rows; ++cpe) {
+    std::ostringstream label;
+    label << "cpe" << cpe;
+    std::string l = label.str();
+    l.resize(7, ' ');
+    emit_lane(cpe, l);
+  }
+  if (cpe_rows < trace.n_cpes) {
+    os << "  ... (" << trace.n_cpes - cpe_rows << " more CPEs)\n";
+  }
+  for (std::uint32_t mc = 0; mc < trace.n_controllers; ++mc) {
+    std::ostringstream label;
+    label << "mem" << mc;
+    std::string l = label.str();
+    l.resize(7, ' ');
+    emit_lane(trace.n_cpes + mc, l);
+  }
+  return os.str();
+}
+
+}  // namespace swperf::sim

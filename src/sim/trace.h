@@ -1,0 +1,54 @@
+// Execution traces and timeline rendering.
+//
+// When enabled (SimConfig::trace), the simulator records every interval a
+// CPE spends computing, waiting on DMA, waiting on Gloads, or parked at a
+// barrier, plus every memory controller's service busy intervals.  The
+// renderer turns the trace into an ASCII Gantt chart — the picture of the
+// paper's Figure 4 (virtual groups' staggered requests overlapping other
+// groups' computation), regenerated from an actual simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sw/time.h"
+
+namespace swperf::sim {
+
+enum class Activity : std::uint8_t {
+  kCompute,     // '#'
+  kDmaWait,     // 'D'
+  kGloadWait,   // 'G'
+  kBarrier,     // 'B'
+  kMemService,  // '=' (controller lanes)
+};
+
+char activity_glyph(Activity a);
+
+/// One traced interval on one lane.
+struct Interval {
+  std::uint32_t lane = 0;  // CPE id, or n_cpes + controller index
+  Activity what = Activity::kCompute;
+  sw::Tick begin = 0;
+  sw::Tick end = 0;
+};
+
+/// A complete trace of one simulation.
+struct Trace {
+  std::uint32_t n_cpes = 0;
+  std::uint32_t n_controllers = 0;
+  std::vector<Interval> intervals;
+
+  bool empty() const { return intervals.empty(); }
+  sw::Tick span() const;
+};
+
+/// Renders `trace` as an ASCII Gantt chart `width` columns wide covering
+/// [0, trace.span()]. One row per CPE lane (capped at `max_cpe_rows`, the
+/// rest elided) plus one row per memory controller. When activities share
+/// a cell, the busier one wins.
+std::string render_timeline(const Trace& trace, std::size_t width = 100,
+                            std::uint32_t max_cpe_rows = 16);
+
+}  // namespace swperf::sim

@@ -1,0 +1,28 @@
+#include "sw/arch.h"
+
+#include "sw/error.h"
+
+namespace swperf::sw {
+
+void ArchParams::validate() const {
+  SWPERF_CHECK(mem_bw_gbps > 0.0, "mem_bw_gbps=" << mem_bw_gbps);
+  SWPERF_CHECK(freq_ghz > 0.0, "freq_ghz=" << freq_ghz);
+  SWPERF_CHECK(trans_size_bytes > 0 && (trans_size_bytes & (trans_size_bytes - 1)) == 0,
+               "trans_size_bytes must be a power of two, got " << trans_size_bytes);
+  SWPERF_CHECK(l_base_cycles > 0, "l_base_cycles=" << l_base_cycles);
+  SWPERF_CHECK(cpes_per_cg > 0, "cpes_per_cg=" << cpes_per_cg);
+  SWPERF_CHECK(core_groups >= 1 && core_groups <= 16,
+               "core_groups=" << core_groups);
+  SWPERF_CHECK(spm_bytes >= 1024, "spm_bytes=" << spm_bytes);
+  SWPERF_CHECK(gload_max_bytes > 0 && gload_max_bytes <= trans_size_bytes,
+               "gload_max_bytes=" << gload_max_bytes);
+  SWPERF_CHECK(cross_section_bw_efficiency > 0.0 &&
+                   cross_section_bw_efficiency <= 1.0,
+               "cross_section_bw_efficiency=" << cross_section_bw_efficiency);
+  // The simulator requires the transaction service time to be at least one
+  // tick, otherwise bandwidth contention would vanish.
+  SWPERF_CHECK(trans_service_ticks() >= 1,
+               "transaction service time below simulator resolution");
+}
+
+}  // namespace swperf::sw

@@ -1,0 +1,103 @@
+// Architecture parameters of an SW26010-class processor.
+//
+// These are the *input parameters* of the paper's performance model
+// (Table I) plus the structural constants of the processor (Section II-A):
+// 4 core groups (CG), each with 64 compute processing elements (CPE), a
+// 64 KiB scratch-pad memory (SPM) per CPE, and a memory controller per CG.
+//
+// Both the discrete-event simulator (src/sim) and the analytical model
+// (src/model) are parameterised by the same ArchParams instance, so
+// model-vs-simulator comparisons isolate the modelling abstraction (virtual
+// grouping, closed-form contention) rather than parameter mismatches.
+#pragma once
+
+#include <cstdint>
+
+#include "sw/time.h"
+
+namespace swperf::sw {
+
+/// Model/simulator parameters. Defaults reproduce Table I of the paper.
+struct ArchParams {
+  // ---- Table I: input parameters ----------------------------------------
+  /// Memory bandwidth per core group, in GB/s (1 GB = 1e9 bytes).
+  double mem_bw_gbps = 32.0;
+  /// Processor frequency in GHz.
+  double freq_ghz = 1.45;
+  /// DRAM transaction size in bytes. CPEs access main memory in whole
+  /// transactions; partially used transactions waste bandwidth.
+  std::uint32_t trans_size_bytes = 256;
+  /// Extra issue delay contributed by each additional transaction of a DMA
+  /// request (Δdelay, cycles): transactions of one request leave the DMA
+  /// engine this far apart.
+  std::uint32_t delta_delay_cycles = 50;
+  /// Baseline (uncontended) round-trip latency of a memory access (cycles).
+  std::uint32_t l_base_cycles = 220;
+  /// Floating point operation latency (cycles), fully pipelined.
+  std::uint32_t l_float_cycles = 9;
+  /// Fixed point operation latency (cycles).
+  std::uint32_t l_fixed_cycles = 1;
+  /// SPM (scratch-pad) access latency (cycles).
+  std::uint32_t l_spm_cycles = 3;
+  /// Divide / square-root latency (cycles); not pipelined (footnote 1).
+  std::uint32_t l_div_sqrt_cycles = 34;
+
+  // ---- Structural constants (Section II-A) ------------------------------
+  /// Compute processing elements per core group.
+  std::uint32_t cpes_per_cg = 64;
+  /// Core groups per processor.
+  std::uint32_t core_groups = 4;
+  /// Scratch-pad memory per CPE, bytes.
+  std::uint32_t spm_bytes = 64 * 1024;
+  /// Maximum bytes a single Gload/Gstore request can move.
+  std::uint32_t gload_max_bytes = 32;
+  /// Cross-section memory bandwidth efficiency when data is interleaved
+  /// across CGs through the NoC; the paper measured it "only slightly
+  /// lower than the local memory".
+  double cross_section_bw_efficiency = 0.95;
+
+  // ---- Derived quantities ------------------------------------------------
+  /// Bytes the memory controller can move per cycle.
+  double bytes_per_cycle() const { return mem_bw_gbps / freq_ghz; }
+
+  /// Cycles the memory controller is occupied by one DRAM transaction
+  /// (bandwidth component). 11.6 cycles with Table I defaults.
+  double trans_service_cycles() const {
+    return static_cast<double>(trans_size_bytes) / bytes_per_cycle();
+  }
+
+  /// Transaction service time in simulator ticks (116 with defaults).
+  Tick trans_service_ticks() const {
+    return fractional_cycles_to_ticks(trans_service_cycles());
+  }
+
+  /// Number of DRAM transactions needed to move `bytes` (Eq. 5): partially
+  /// used transactions still occupy a whole one.
+  std::uint64_t transactions_for(std::uint64_t bytes) const {
+    if (bytes == 0) return 0;
+    return (bytes + trans_size_bytes - 1) / trans_size_bytes;
+  }
+
+  /// Uncontended completion latency of a request of `mrt` transactions
+  /// (Eq. 11): L_base + (MRT - 1) * Δdelay.
+  double request_latency_cycles(double mrt) const {
+    if (mrt < 1.0) return 0.0;
+    return static_cast<double>(l_base_cycles) +
+           (mrt - 1.0) * static_cast<double>(delta_delay_cycles);
+  }
+
+  /// Peak double-precision FLOP/s of one core group, assuming each CPE can
+  /// retire one 4-wide FMA per cycle (8 flops/cycle), as on SW26010
+  /// (765 GFLOPS per CG / 3.06 TFLOPS per processor).
+  double peak_gflops_per_cg() const {
+    return freq_ghz * 8.0 * static_cast<double>(cpes_per_cg);
+  }
+
+  /// Validates parameter sanity; throws sw::Error on nonsense values.
+  void validate() const;
+
+  /// The default SW26010 configuration (Table I).
+  static ArchParams sw26010() { return ArchParams{}; }
+};
+
+}  // namespace swperf::sw

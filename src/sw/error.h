@@ -1,0 +1,52 @@
+// Error handling helpers.
+//
+// SWPERF_CHECK is for user-facing precondition violations (bad kernel
+// descriptions, SPM overflow, invalid tuning parameters): it throws
+// swperf::sw::Error so callers (tests, tuners exploring invalid variants)
+// can recover.  SWPERF_ASSERT is for internal invariants and aborts.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace swperf::sw {
+
+/// Exception thrown on violated user-facing preconditions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "swperf check failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace swperf::sw
+
+/// Throws swperf::sw::Error when `cond` is false. `msg` is streamed, so
+/// SWPERF_CHECK(x > 0, "x=" << x) works.
+#define SWPERF_CHECK(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream swperf_check_os;                                  \
+      swperf_check_os << msg;                                              \
+      ::swperf::sw::detail::throw_error(#cond, __FILE__, __LINE__,         \
+                                        swperf_check_os.str());            \
+    }                                                                      \
+  } while (false)
+
+/// Internal invariant; violation is a bug in swperf itself.
+#define SWPERF_ASSERT(cond)                                                \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::swperf::sw::detail::throw_error(#cond, __FILE__, __LINE__,         \
+                                        "internal invariant violated");    \
+    }                                                                      \
+  } while (false)

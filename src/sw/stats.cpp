@@ -1,0 +1,66 @@
+#include "sw/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sw/error.h"
+
+namespace swperf::sw {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) {
+    SWPERF_CHECK(x > 0.0, "geomean requires positive inputs, got " << x);
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double stdev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double rel_error(double predicted, double actual) {
+  SWPERF_CHECK(actual != 0.0, "rel_error with zero actual");
+  return std::abs(predicted - actual) / std::abs(actual);
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return (n % 2 == 1) ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+void ErrorAccumulator::add(double predicted, double actual) {
+  errors_.push_back(rel_error(predicted, actual));
+}
+
+double ErrorAccumulator::mean_error() const { return mean(errors_); }
+
+double ErrorAccumulator::max_error() const { return max_of(errors_); }
+
+}  // namespace swperf::sw

@@ -1,0 +1,46 @@
+// Small summary-statistics helpers used by benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace swperf::sw {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Geometric mean; requires all inputs > 0. 0 for empty input.
+double geomean(std::span<const double> xs);
+
+/// Population standard deviation; 0 for fewer than 2 elements.
+double stdev(std::span<const double> xs);
+
+/// Maximum; 0 for empty input.
+double max_of(std::span<const double> xs);
+
+/// Minimum; 0 for empty input.
+double min_of(std::span<const double> xs);
+
+/// Relative error |predicted - actual| / actual (actual must be nonzero).
+double rel_error(double predicted, double actual);
+
+/// Median (of a copy); 0 for empty input.
+double median(std::span<const double> xs);
+
+/// Accumulates relative errors over a series of (predicted, actual) pairs
+/// and reports the aggregate statistics that Figure 6 of the paper uses.
+class ErrorAccumulator {
+ public:
+  void add(double predicted, double actual);
+
+  double mean_error() const;
+  double max_error() const;
+  std::size_t count() const { return errors_.size(); }
+  std::span<const double> errors() const { return errors_; }
+
+ private:
+  std::vector<double> errors_;
+};
+
+}  // namespace swperf::sw

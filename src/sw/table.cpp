@@ -1,0 +1,77 @@
+#include "sw/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sw/error.h"
+
+namespace swperf::sw {
+
+Table& Table::header(std::vector<std::string> cols) {
+  SWPERF_CHECK(rows_.empty(), "header must precede rows");
+  header_ = std::move(cols);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  SWPERF_CHECK(cells.size() == header_.size(),
+               "row has " << cells.size() << " cells, header has "
+                          << header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << '\n';
+  };
+
+  os << "== " << title_ << " ==\n";
+  rule();
+  line(header_);
+  rule();
+  for (const auto& r : rows_) line(r);
+  rule();
+}
+
+std::string Table::num(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+std::string Table::times(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v << 'x';
+  return os.str();
+}
+
+}  // namespace swperf::sw

@@ -1,0 +1,43 @@
+// ASCII table formatting for bench harness output.
+//
+// Every bench binary reproduces a paper table/figure as rows of text; this
+// keeps them aligned and uniform.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace swperf::sw {
+
+/// Column-aligned ASCII table with a title and header row.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header; must be called before adding rows.
+  Table& header(std::vector<std::string> cols);
+
+  /// Adds a row of pre-formatted cells; size must match the header.
+  Table& row(std::vector<std::string> cells);
+
+  /// Renders the table.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` significant decimals.
+  static std::string num(double v, int digits = 2);
+  /// Formats a value as a percentage ("4.3%").
+  static std::string pct(double fraction, int digits = 1);
+  /// Formats a speedup ("2.41x").
+  static std::string times(double v, int digits = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace swperf::sw

@@ -1,0 +1,50 @@
+// Time base shared by the simulator and the analytical model.
+//
+// The simulator needs sub-cycle resolution: the DRAM transaction service
+// time implied by Table I of the paper is 256 B / (32 GB/s / 1.45 GHz) =
+// 11.6 CPE cycles, which is not an integer.  All simulated time is therefore
+// kept in integer *ticks* with 10 ticks per CPE cycle, making every quantity
+// derived from Table I exactly representable and the simulation fully
+// deterministic.  The analytical model works in (double) cycles.
+#pragma once
+
+#include <cstdint>
+
+namespace swperf::sw {
+
+/// Simulated time in ticks (1 cycle == kTicksPerCycle ticks).
+using Tick = std::uint64_t;
+
+/// Sub-cycle resolution of the simulator time base.
+inline constexpr Tick kTicksPerCycle = 10;
+
+/// Sentinel for "never" / unset times.
+inline constexpr Tick kTickNever = ~Tick{0};
+
+/// Converts a whole number of cycles to ticks.
+constexpr Tick cycles_to_ticks(std::uint64_t cycles) {
+  return cycles * kTicksPerCycle;
+}
+
+/// Converts ticks to cycles, as a double (model-facing).
+constexpr double ticks_to_cycles(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerCycle);
+}
+
+/// Converts a fractional number of cycles to ticks, rounding to nearest.
+constexpr Tick fractional_cycles_to_ticks(double cycles) {
+  const double t = cycles * static_cast<double>(kTicksPerCycle);
+  return static_cast<Tick>(t + 0.5);
+}
+
+/// Converts simulated cycles to seconds at the given frequency (GHz).
+constexpr double cycles_to_seconds(double cycles, double freq_ghz) {
+  return cycles / (freq_ghz * 1e9);
+}
+
+/// Converts simulated cycles to microseconds at the given frequency (GHz).
+constexpr double cycles_to_us(double cycles, double freq_ghz) {
+  return cycles / (freq_ghz * 1e3);
+}
+
+}  // namespace swperf::sw

@@ -1,0 +1,44 @@
+#include "swacc/decompose.h"
+
+#include <algorithm>
+
+#include "sw/error.h"
+
+namespace swperf::swacc {
+
+std::uint64_t Decomposition::chunk_size(std::uint64_t c) const {
+  SWPERF_ASSERT(c < n_chunks);
+  const std::uint64_t begin = c * tile;
+  return std::min(tile, n_outer - begin);
+}
+
+std::vector<std::uint64_t> Decomposition::chunks_of(std::uint32_t cpe) const {
+  std::vector<std::uint64_t> out;
+  if (cpe >= active_cpes) return out;
+  for (std::uint64_t c = cpe; c < n_chunks; c += active_cpes) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::uint64_t Decomposition::elements_of(std::uint32_t cpe) const {
+  std::uint64_t s = 0;
+  for (std::uint64_t c : chunks_of(cpe)) s += chunk_size(c);
+  return s;
+}
+
+Decomposition decompose(std::uint64_t n_outer, std::uint64_t tile,
+                        std::uint32_t requested_cpes) {
+  SWPERF_CHECK(n_outer >= 1, "decompose: n_outer=" << n_outer);
+  SWPERF_CHECK(tile >= 1, "decompose: tile must be >= 1");
+  SWPERF_CHECK(requested_cpes >= 1, "decompose: no CPEs requested");
+  Decomposition d;
+  d.n_outer = n_outer;
+  d.tile = tile;
+  d.n_chunks = (n_outer + tile - 1) / tile;
+  d.active_cpes = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(requested_cpes, d.n_chunks));
+  return d;
+}
+
+}  // namespace swperf::swacc

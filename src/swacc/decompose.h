@@ -1,0 +1,48 @@
+// Data decomposition: how outer elements map to CPEs.
+//
+// Reproduces the SWACC semantics of Section II-B: the outer dimension is
+// split into chunks of `tile` elements (the copy granularity); chunks are
+// dealt round-robin to CPEs.  When there are fewer chunks than requested
+// CPEs, only #chunks CPEs actively participate — the paper's example where
+// tile(i:32) on a 1024-element outer loop leaves #active_CPEs = 32.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sw/arch.h"
+
+namespace swperf::swacc {
+
+/// The chunk → CPE mapping of one launch.
+struct Decomposition {
+  std::uint64_t n_outer = 0;
+  std::uint64_t tile = 1;
+  std::uint64_t n_chunks = 0;
+  std::uint32_t active_cpes = 0;
+
+  /// Size (in outer elements) of chunk `c`; `tile`, except a smaller tail.
+  std::uint64_t chunk_size(std::uint64_t c) const;
+
+  /// First outer element of chunk `c`.
+  std::uint64_t chunk_begin(std::uint64_t c) const { return c * tile; }
+
+  /// Chunk ids assigned to CPE `cpe` (round-robin dealing).
+  std::vector<std::uint64_t> chunks_of(std::uint32_t cpe) const;
+
+  /// Outer elements CPE `cpe` processes in total.
+  std::uint64_t elements_of(std::uint32_t cpe) const;
+
+  /// Core groups needed to supply `active_cpes` CPEs.
+  std::uint32_t core_groups_needed(const sw::ArchParams& p) const {
+    return (active_cpes + p.cpes_per_cg - 1) / p.cpes_per_cg;
+  }
+};
+
+/// Builds the decomposition for `n_outer` elements at copy granularity
+/// `tile` over at most `requested_cpes` CPEs. Throws sw::Error on invalid
+/// arguments (tile == 0, no CPEs).
+Decomposition decompose(std::uint64_t n_outer, std::uint64_t tile,
+                        std::uint32_t requested_cpes);
+
+}  // namespace swperf::swacc

@@ -1,0 +1,111 @@
+#include "swacc/kernel.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sw/error.h"
+
+namespace swperf::swacc {
+
+std::uint64_t KernelDesc::spm_bytes_per_outer() const {
+  std::uint64_t s = 0;
+  for (const auto& a : arrays) {
+    if (a.staged()) s += a.bytes_per_outer;
+  }
+  return s;
+}
+
+std::uint64_t KernelDesc::broadcast_bytes_total() const {
+  std::uint64_t s = 0;
+  for (const auto& a : arrays) {
+    if (a.access == Access::kBroadcast) s += a.broadcast_bytes;
+  }
+  return s;
+}
+
+double KernelDesc::gloads_per_inner_total() const {
+  double s = 0.0;
+  for (const auto& a : arrays) {
+    if (a.access == Access::kIndirect) s += a.gloads_per_inner;
+  }
+  return s;
+}
+
+std::uint32_t KernelDesc::gload_bytes_max() const {
+  std::uint32_t m = 8;
+  for (const auto& a : arrays) {
+    if (a.access == Access::kIndirect) m = std::max(m, a.gload_bytes);
+  }
+  return m;
+}
+
+double KernelDesc::total_flops() const {
+  const auto per_iter =
+      static_cast<double>(body.class_counts().total_flops());
+  return per_iter * static_cast<double>(inner_iters) *
+         static_cast<double>(n_outer);
+}
+
+bool KernelDesc::has_indirect() const {
+  return std::any_of(arrays.begin(), arrays.end(), [](const ArrayRef& a) {
+    return a.access == Access::kIndirect;
+  });
+}
+
+void KernelDesc::validate() const {
+  SWPERF_CHECK(!name.empty(), "kernel has no name");
+  SWPERF_CHECK(n_outer >= 1, "kernel '" << name << "': n_outer must be >= 1");
+  SWPERF_CHECK(inner_iters >= 1,
+               "kernel '" << name << "': inner_iters must be >= 1");
+  SWPERF_CHECK(!body.instrs.empty(),
+               "kernel '" << name << "': empty compute body");
+  body.validate();
+  for (const auto& a : arrays) {
+    SWPERF_CHECK(!a.name.empty(), "kernel '" << name << "': unnamed array");
+    switch (a.access) {
+      case Access::kContiguous:
+      case Access::kStrided:
+      case Access::kBlock2D:
+        SWPERF_CHECK(a.bytes_per_outer > 0,
+                     "array '" << a.name << "': staged arrays need "
+                               << "bytes_per_outer > 0");
+        SWPERF_CHECK(a.segments_per_outer >= 1 &&
+                         a.bytes_per_outer % a.segments_per_outer == 0,
+                     "array '" << a.name
+                               << "': segments_per_outer must divide "
+                               << "bytes_per_outer");
+        break;
+      case Access::kBroadcast:
+        SWPERF_CHECK(a.broadcast_bytes > 0,
+                     "array '" << a.name << "': broadcast needs bytes");
+        SWPERF_CHECK(a.dir == Dir::kIn,
+                     "array '" << a.name << "': broadcast arrays are "
+                               << "read-only per launch");
+        break;
+      case Access::kIndirect:
+        SWPERF_CHECK(a.gloads_per_inner > 0.0,
+                     "array '" << a.name << "': indirect arrays need "
+                               << "gloads_per_inner > 0");
+        SWPERF_CHECK(a.gload_bytes >= 1 && a.gload_bytes <= 32,
+                     "array '" << a.name << "': gload_bytes must be 1..32");
+        break;
+    }
+  }
+  SWPERF_CHECK(gload_coalesceable >= 0.0 && gload_coalesceable <= 1.0,
+               "kernel '" << name << "': gload_coalesceable out of [0,1]");
+  SWPERF_CHECK(gload_imbalance >= 0.0 && gload_imbalance < 1.0,
+               "kernel '" << name << "': gload_imbalance out of [0,1)");
+  SWPERF_CHECK(comp_imbalance >= 0.0 && comp_imbalance < 1.0,
+               "kernel '" << name << "': comp_imbalance out of [0,1)");
+}
+
+std::string LaunchParams::to_string() const {
+  std::ostringstream os;
+  os << "tile=" << tile << " unroll=" << unroll
+     << " cpes=" << requested_cpes << (double_buffer ? " db" : "");
+  if (vector_width > 1) os << " v" << vector_width;
+  if (coalesce_gloads) os << " coal";
+  return os.str();
+}
+
+}  // namespace swperf::swacc

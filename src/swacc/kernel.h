@@ -1,0 +1,156 @@
+// SWACC-style kernel descriptions.
+//
+// The paper's programming model (Section II-B) describes a kernel by
+//   * a data decomposition: an outer loop dimension distributed over CPEs,
+//     an inner loop each CPE executes fully;
+//   * SPM data placement: copyin/copyout/copy intrinsics naming the arrays
+//     staged through the scratch pad;
+//   * the `tile` intrinsic, which does NOT tile the loop but sets the *copy
+//     granularity* — how many outer elements move per DMA request — and,
+//     when the granularity exceeds n_outer / #CPEs, reduces the number of
+//     CPEs that actively participate.
+//
+// KernelDesc captures exactly that, plus the per-inner-iteration compute
+// body as an isa::BasicBlock (what the native compiler's annotated assembly
+// exposes) and Gload traffic for irregular arrays that cannot be staged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/block.h"
+#include "sw/arch.h"
+
+namespace swperf::swacc {
+
+/// How an array is accessed relative to the distributed outer dimension.
+enum class Access : std::uint8_t {
+  /// A CPE's share is contiguous in main memory: one DMA segment per
+  /// request.
+  kContiguous,
+  /// A CPE's share is `segments_per_outer` separate rows per outer element
+  /// (e.g. a column block of a row-major matrix): each row is a separate
+  /// DMA segment, each rounded up to whole transactions.
+  kStrided,
+  /// A CPE's share is a 2D sub-block: `segments_per_outer` rows spanning
+  /// the whole chunk, so one chunk of g outer elements copies
+  /// `segments_per_outer` segments of g × bytes_per_outer /
+  /// segments_per_outer bytes each.  Segment size *shrinks* as more CPEs
+  /// split the outer dimension — the transaction-waste mechanism behind
+  /// the paper's WRF-dynamics #active_CPEs study (Section IV-3, Fig. 9).
+  kBlock2D,
+  /// The whole array is copied once into every CPE's SPM (e.g. k-means
+  /// centroids, n-body positions).
+  kBroadcast,
+  /// Data-dependent addressing: cannot be staged; every touch is a Gload
+  /// consuming a full DRAM transaction (BFS neighbours, B+tree nodes...).
+  kIndirect,
+};
+
+enum class Dir : std::uint8_t { kIn, kOut, kInOut };
+
+/// One array named by a copy intrinsic (or accessed indirectly).
+struct ArrayRef {
+  std::string name;
+  Dir dir = Dir::kIn;
+  Access access = Access::kContiguous;
+
+  /// kContiguous/kStrided/kBlock2D: bytes contributed per outer element.
+  std::uint64_t bytes_per_outer = 0;
+  /// kStrided: contiguous segments composing one outer element's bytes.
+  /// kBlock2D: rows of the 2D sub-block (see Access::kBlock2D).
+  std::uint32_t segments_per_outer = 1;
+  /// kBroadcast: total bytes copied to each CPE once per launch.
+  std::uint64_t broadcast_bytes = 0;
+  /// kIndirect: gload requests per inner iteration.
+  double gloads_per_inner = 0.0;
+  /// kIndirect: bytes per gload request (<= 32).
+  std::uint32_t gload_bytes = 8;
+
+  bool staged() const {
+    return access == Access::kContiguous || access == Access::kStrided ||
+           access == Access::kBlock2D;
+  }
+  bool copies_in() const { return dir == Dir::kIn || dir == Dir::kInOut; }
+  bool copies_out() const { return dir == Dir::kOut || dir == Dir::kInOut; }
+};
+
+/// A complete SWACC kernel description.
+struct KernelDesc {
+  std::string name;
+  /// Extent of the distributed (outer) dimension.
+  std::uint64_t n_outer = 1;
+  /// Inner-loop iterations executed per outer element.
+  std::uint64_t inner_iters = 1;
+  /// Compute body of one inner iteration.
+  isa::BasicBlock body;
+  std::vector<ArrayRef> arrays;
+
+  /// Below this copy granularity the compiler stops staging arrays and
+  /// falls back to Gloads — the sharp Gload increase the paper observed in
+  /// Fig. 7(a) when elements/request drops under 16.
+  std::uint64_t dma_min_tile = 16;
+
+  /// Fraction of Gload accesses that target adjacent addresses and can be
+  /// merged into wider requests when LaunchParams::coalesce_gloads is set
+  /// (the "coalesce memory accesses" optimization the paper's Section V-B
+  /// prescribes for irregular kernels). A data property: sorted neighbour
+  /// lists coalesce well, pointer chases do not.
+  double gload_coalesceable = 0.0;
+
+  /// True when the body is legal to vectorize (stride-1 SPM accesses,
+  /// lane-independent arithmetic): enables LaunchParams::vector_width > 1,
+  /// engaging the CPE's 256-bit vector unit (4 doubles per instruction).
+  bool vectorizable = false;
+
+  /// Deterministic per-CPE workload skew for irregular kernels: each CPE's
+  /// gload count / inner iterations are scaled by up to ±this fraction.
+  /// The model (like the paper's) uses the longest path, so imbalance is a
+  /// genuine source of prediction error (Section III-F).
+  double gload_imbalance = 0.0;
+  double comp_imbalance = 0.0;
+
+  // ---- Derived helpers ---------------------------------------------------
+  /// SPM bytes needed per outer element of copy granularity (staged arrays).
+  std::uint64_t spm_bytes_per_outer() const;
+  /// SPM bytes of broadcast arrays (copied once, never double-buffered).
+  std::uint64_t broadcast_bytes_total() const;
+  /// Total gloads per inner iteration over all indirect arrays.
+  double gloads_per_inner_total() const;
+  /// Largest gload request size among indirect arrays.
+  std::uint32_t gload_bytes_max() const;
+  /// Double-precision flops of the whole kernel (all outer × inner).
+  double total_flops() const;
+  /// True if any array is accessed indirectly.
+  bool has_indirect() const;
+
+  /// Structural validation; throws sw::Error on malformed descriptions.
+  void validate() const;
+};
+
+/// Tunable launch parameters — the search space of the paper's auto-tuners
+/// (tile size, unroll factor, Section V-D) plus #active_CPEs (Section IV-3)
+/// and double buffering (Section IV-2).
+struct LaunchParams {
+  /// Copy granularity in outer elements (the `tile` intrinsic). 1 is the
+  /// SWACC default (round-robin by single outer element).
+  std::uint64_t tile = 1;
+  /// Unroll factor of the inner loop body.
+  std::uint32_t unroll = 1;
+  /// CPEs requested; >64 engages multiple core groups (cross-section
+  /// memory). The decomposition may activate fewer (tile intrinsic).
+  std::uint32_t requested_cpes = 64;
+  /// Overlap DMA of the next chunk with compute of the current one.
+  bool double_buffer = false;
+  /// SIMD lanes of the compute body (1, 2 or 4); >1 requires
+  /// KernelDesc::vectorizable.
+  std::uint32_t vector_width = 1;
+  /// Merge adjacent Gloads up to the 32-byte request limit (effective only
+  /// on the kernel's gload_coalesceable fraction).
+  bool coalesce_gloads = false;
+
+  std::string to_string() const;
+};
+
+}  // namespace swperf::swacc

@@ -1,0 +1,55 @@
+// Lowering: KernelDesc × LaunchParams → per-CPE simulator programs plus the
+// StaticSummary the analytical model reads.
+//
+// Mirrors the SWACC compiler workflow of Figure 3: the kernel description
+// is decomposed over CPEs, copy intrinsics become DMA requests (one request
+// per intrinsic; strided copies become multiple segments of one request),
+// the compute body is unrolled and statically scheduled, and indirect
+// accesses become serial Gload loops.  Double buffering restructures each
+// CPE's program to prefetch chunk c+1 during the computation on chunk c
+// (Section IV-2).
+//
+// SPM capacity is enforced exactly: staged buffers (×2 under double
+// buffering) plus broadcast arrays must fit in 64 KiB, or lowering throws —
+// this is the constraint that prunes the auto-tuners' search space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/program.h"
+#include "sw/arch.h"
+#include "swacc/decompose.h"
+#include "swacc/kernel.h"
+#include "swacc/summary.h"
+
+namespace swperf::swacc {
+
+/// A fully lowered kernel launch, ready to simulate and to model.
+struct LoweredKernel {
+  sim::KernelBinary binary;
+  std::vector<sim::CpeProgram> programs;  // one per active CPE
+  StaticSummary summary;
+  sim::SimConfig sim_config;
+  Decomposition decomp;
+  std::uint32_t spm_bytes_used = 0;
+};
+
+/// Lowers `kernel` under `params` for the machine `arch`.
+/// Throws sw::Error on invalid kernels, invalid parameters, or SPM
+/// overflow.
+LoweredKernel lower(const KernelDesc& kernel, const LaunchParams& params,
+                    const sw::ArchParams& arch);
+
+/// SPM bytes a launch would use, without building programs (cheap check
+/// used by search-space pruning). Throws only on malformed kernels.
+std::uint64_t spm_bytes_required(const KernelDesc& kernel,
+                                 const LaunchParams& params);
+
+/// Convenience: lower + simulate in one step.
+sim::SimResult simulate_kernel(const KernelDesc& kernel,
+                               const LaunchParams& params,
+                               const sw::ArchParams& arch);
+
+}  // namespace swperf::swacc

@@ -1,0 +1,175 @@
+#include "swacc/runtime.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mem/spm.h"
+#include "sw/error.h"
+
+namespace swperf::swacc {
+
+void ArrayBindings::bind(const std::string& name,
+                         std::span<std::byte> data) {
+  rw_[name] = data;
+}
+
+void ArrayBindings::bind_const(const std::string& name,
+                               std::span<const std::byte> data) {
+  ro_[name] = data;
+}
+
+std::span<std::byte> ArrayBindings::writable(const std::string& name) const {
+  const auto it = rw_.find(name);
+  SWPERF_CHECK(it != rw_.end(),
+               "no writable binding for array '" << name << "'");
+  return it->second;
+}
+
+std::span<const std::byte> ArrayBindings::readable(
+    const std::string& name) const {
+  if (const auto it = ro_.find(name); it != ro_.end()) return it->second;
+  const auto it = rw_.find(name);
+  SWPERF_CHECK(it != rw_.end(), "no binding for array '" << name << "'");
+  return it->second;
+}
+
+bool ArrayBindings::has(const std::string& name) const {
+  return ro_.count(name) != 0 || rw_.count(name) != 0;
+}
+
+std::span<std::byte> ChunkContext::spm_bytes(const std::string& array) {
+  const auto& buf = rt_->buffer_of(array);
+  SWPERF_CHECK(buf.array->staged(),
+               "array '" << array << "' is not staged in SPM");
+  const std::size_t bytes =
+      static_cast<std::size_t>(size_) * buf.array->bytes_per_outer;
+  return {rt_->spm_.data() + buf.offset, bytes};
+}
+
+std::span<const std::byte> ChunkContext::broadcast_bytes_of(
+    const std::string& array) {
+  const auto& buf = rt_->buffer_of(array);
+  SWPERF_CHECK(buf.array->access == Access::kBroadcast,
+               "array '" << array << "' is not broadcast");
+  return {rt_->spm_.data() + buf.offset, buf.bytes};
+}
+
+std::span<const std::byte> ChunkContext::global_bytes(
+    const std::string& array) {
+  // Gload semantics: the data never enters SPM.
+  return rt_->bindings_->readable(array);
+}
+
+Runtime::Runtime(const KernelDesc& kernel, const LaunchParams& params,
+                 const sw::ArchParams& arch)
+    : kernel_(&kernel), params_(params) {
+  kernel.validate();
+  decomp_ = decompose(kernel.n_outer, params.tile, params.requested_cpes);
+
+  // Mirror the lowering's SPM layout (single-buffered: double buffering
+  // changes timing, not which bytes land where).
+  mem::SpmAllocator spm(arch.spm_bytes);
+  for (const auto& a : kernel.arrays) {
+    if (a.access == Access::kBroadcast) {
+      Buffer b;
+      b.array = &a;
+      b.bytes = static_cast<std::uint32_t>(a.broadcast_bytes);
+      b.offset = spm.allocate("bcast:" + a.name, b.bytes);
+      broadcast_.push_back(b);
+    }
+  }
+  const std::uint64_t eff_tile = std::min(params.tile, kernel.n_outer);
+  for (const auto& a : kernel.arrays) {
+    if (!a.staged()) continue;
+    Buffer b;
+    b.array = &a;
+    b.bytes = static_cast<std::uint32_t>(eff_tile * a.bytes_per_outer);
+    b.offset = spm.allocate(a.name, b.bytes);
+    staged_.push_back(b);
+  }
+  spm_used_ = spm.used();
+  spm_.resize(arch.spm_bytes);
+}
+
+const Runtime::Buffer& Runtime::buffer_of(const std::string& name) const {
+  for (const auto& b : staged_) {
+    if (b.array->name == name) return b;
+  }
+  for (const auto& b : broadcast_) {
+    if (b.array->name == name) return b;
+  }
+  SWPERF_CHECK(false, "kernel '" << kernel_->name << "' has no SPM array '"
+                                 << name << "'");
+  return staged_.front();  // unreachable
+}
+
+void Runtime::run(const ArrayBindings& bindings,
+                  const std::function<void(ChunkContext&)>& body) {
+  bindings_ = &bindings;
+  bytes_in_ = bytes_out_ = 0;
+
+  // Validate binding sizes up front.
+  for (const auto& a : kernel_->arrays) {
+    if (a.access == Access::kIndirect) {
+      SWPERF_CHECK(bindings.has(a.name),
+                   "indirect array '" << a.name << "' not bound");
+      continue;
+    }
+    const auto span = a.copies_out() ? bindings.writable(a.name)
+                                     : bindings.readable(a.name);
+    const std::uint64_t expect =
+        a.access == Access::kBroadcast
+            ? a.broadcast_bytes
+            : kernel_->n_outer * a.bytes_per_outer;
+    SWPERF_CHECK(span.size() == expect,
+                 "array '" << a.name << "': bound " << span.size()
+                           << " B, kernel needs " << expect << " B");
+  }
+
+  for (std::uint32_t cpe = 0; cpe < decomp_.active_cpes; ++cpe) {
+    // Stage broadcast arrays for this CPE.
+    for (const auto& b : broadcast_) {
+      const auto src = bindings.readable(b.array->name);
+      std::memcpy(spm_.data() + b.offset, src.data(), b.bytes);
+      bytes_in_ += b.bytes;
+    }
+
+    for (const std::uint64_t chunk : decomp_.chunks_of(cpe)) {
+      ChunkContext ctx;
+      ctx.rt_ = this;
+      ctx.cpe_ = cpe;
+      ctx.chunk_ = chunk;
+      ctx.begin_ = decomp_.chunk_begin(chunk);
+      ctx.size_ = decomp_.chunk_size(chunk);
+
+      // Copy-in.
+      for (const auto& b : staged_) {
+        if (!b.array->copies_in()) continue;
+        const auto src = bindings.readable(b.array->name);
+        const std::size_t off =
+            static_cast<std::size_t>(ctx.begin_) * b.array->bytes_per_outer;
+        const std::size_t n =
+            static_cast<std::size_t>(ctx.size_) * b.array->bytes_per_outer;
+        std::memcpy(spm_.data() + b.offset, src.data() + off, n);
+        bytes_in_ += n;
+      }
+
+      body(ctx);
+
+      // Copy-out.
+      for (const auto& b : staged_) {
+        if (!b.array->copies_out()) continue;
+        const auto dst = bindings.writable(b.array->name);
+        const std::size_t off =
+            static_cast<std::size_t>(ctx.begin_) * b.array->bytes_per_outer;
+        const std::size_t n =
+            static_cast<std::size_t>(ctx.size_) * b.array->bytes_per_outer;
+        std::memcpy(dst.data() + off, spm_.data() + b.offset, n);
+        bytes_out_ += n;
+      }
+    }
+  }
+  bindings_ = nullptr;
+}
+
+}  // namespace swperf::swacc

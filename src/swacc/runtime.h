@@ -1,0 +1,155 @@
+// Functional execution of SWACC kernels: the semantic complement of the
+// timing simulator.
+//
+// The timing simulator (src/sim) answers "how long does this lowered
+// kernel take"; this runtime answers "does the lowering move the right
+// bytes".  It executes a kernel's data movement for real on host memory:
+// per CPE, per chunk, the staged arrays are copied into an emulated 64-KiB
+// SPM at the same offsets the lowering allocates, a user-supplied compute
+// body runs over the SPM-resident views, and outputs are copied back.
+// Broadcast arrays are staged once per CPE; indirect arrays are exposed as
+// raw main-memory views (Gload semantics).
+//
+// Because it reuses the same decomposition and SPM layout as lowering,
+// it verifies end-to-end that tile granularity, chunk dealing, and buffer
+// placement preserve the source program's semantics — e.g. running the
+// k-means assignment step through it must reproduce the host reference
+// implementation exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sw/arch.h"
+#include "swacc/decompose.h"
+#include "swacc/kernel.h"
+
+namespace swperf::swacc {
+
+/// Main-memory images of the kernel's arrays, by name.
+///
+/// Layout convention: staged arrays (contiguous / strided / block-2D) are
+/// logically [n_outer][bytes_per_outer] row-major — the access kinds
+/// differ in how the DMA engine *times* the copy, not in which bytes
+/// belong to which outer element. Broadcast arrays are broadcast_bytes
+/// flat; indirect arrays are arbitrary blobs read via global().
+class ArrayBindings {
+ public:
+  /// Binds a writable buffer to array `name`.
+  void bind(const std::string& name, std::span<std::byte> data);
+  /// Binds a read-only buffer (valid only for kIn / indirect arrays).
+  void bind_const(const std::string& name, std::span<const std::byte> data);
+
+  /// Typed convenience binders.
+  template <typename T>
+  void bind(const std::string& name, std::span<T> data) {
+    bind(name, std::as_writable_bytes(data));
+  }
+  template <typename T>
+  void bind_const(const std::string& name, std::span<const T> data) {
+    bind_const(name, std::as_bytes(data));
+  }
+
+  std::span<std::byte> writable(const std::string& name) const;
+  std::span<const std::byte> readable(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::span<std::byte>> rw_;
+  std::map<std::string, std::span<const std::byte>> ro_;
+};
+
+/// Per-chunk execution context handed to the compute body.
+class ChunkContext {
+ public:
+  std::uint32_t cpe() const { return cpe_; }
+  std::uint64_t chunk() const { return chunk_; }
+  /// First outer element and element count of this chunk.
+  std::uint64_t begin() const { return begin_; }
+  std::uint64_t size() const { return size_; }
+
+  /// SPM-resident view of a staged array's bytes for this chunk
+  /// (size() * bytes_per_outer bytes).
+  std::span<std::byte> spm_bytes(const std::string& array);
+  /// SPM-resident view of a broadcast array.
+  std::span<const std::byte> broadcast_bytes_of(const std::string& array);
+  /// Raw main-memory view of an indirect array (Gload access).
+  std::span<const std::byte> global_bytes(const std::string& array);
+
+  /// Typed views.
+  template <typename T>
+  std::span<T> spm(const std::string& array) {
+    auto b = spm_bytes(array);
+    return {reinterpret_cast<T*>(b.data()), b.size() / sizeof(T)};
+  }
+  template <typename T>
+  std::span<const T> broadcast(const std::string& array) {
+    auto b = broadcast_bytes_of(array);
+    return {reinterpret_cast<const T*>(b.data()), b.size() / sizeof(T)};
+  }
+  template <typename T>
+  std::span<const T> global(const std::string& array) {
+    auto b = global_bytes(array);
+    return {reinterpret_cast<const T*>(b.data()), b.size() / sizeof(T)};
+  }
+
+ private:
+  friend class Runtime;
+  std::uint32_t cpe_ = 0;
+  std::uint64_t chunk_ = 0;
+  std::uint64_t begin_ = 0;
+  std::uint64_t size_ = 0;
+  class Runtime* rt_ = nullptr;
+};
+
+/// Functional executor for one (kernel, launch-parameters) pair.
+class Runtime {
+ public:
+  Runtime(const KernelDesc& kernel, const LaunchParams& params,
+          const sw::ArchParams& arch);
+
+  /// Executes the kernel: for every active CPE, stages broadcast arrays,
+  /// then per assigned chunk copies staged inputs into the emulated SPM,
+  /// invokes `body`, and copies staged outputs back. Throws sw::Error on
+  /// missing/missized bindings.
+  void run(const ArrayBindings& bindings,
+           const std::function<void(ChunkContext&)>& body);
+
+  const Decomposition& decomposition() const { return decomp_; }
+  std::uint32_t spm_bytes_used() const { return spm_used_; }
+
+  /// Bytes moved by DMA during the last run() (copy-in + copy-out),
+  /// for cross-checking against the timing path's accounting.
+  std::uint64_t bytes_staged_in() const { return bytes_in_; }
+  std::uint64_t bytes_staged_out() const { return bytes_out_; }
+
+ private:
+  friend class ChunkContext;
+
+  struct Buffer {
+    const ArrayRef* array = nullptr;
+    std::uint32_t offset = 0;   // SPM offset
+    std::uint32_t bytes = 0;    // capacity (tile-sized)
+  };
+
+  const Buffer& buffer_of(const std::string& name) const;
+
+  const KernelDesc* kernel_;
+  LaunchParams params_;
+  Decomposition decomp_;
+  std::vector<Buffer> staged_;
+  std::vector<Buffer> broadcast_;
+  std::vector<std::byte> spm_;  // the emulated scratch pad (one CPE at a
+                                // time; CPEs execute sequentially)
+  std::uint32_t spm_used_ = 0;
+  const ArrayBindings* bindings_ = nullptr;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+};
+
+}  // namespace swperf::swacc

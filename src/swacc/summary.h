@@ -1,0 +1,84 @@
+// StaticSummary: everything the analytical model is allowed to know.
+//
+// The paper's model is *static*: its inputs come from source-code analysis
+// (request structure, decomposition — Table I's starred rows) and from the
+// native compiler's annotated assembly (instruction counts, predicted issue
+// cycles — the daggered rows).  Lowering produces this summary alongside
+// the simulator programs; the model consumes ONLY the summary, never the
+// simulation, keeping the two independent.
+//
+// Per the paper, the longest execution path is used when CPEs are
+// imbalanced (Section III-B/F): the summary describes the busiest CPE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instr.h"
+#include "sw/arch.h"
+#include "swacc/kernel.h"
+
+namespace swperf::swacc {
+
+/// Static description of one lowered kernel launch.
+struct StaticSummary {
+  std::string kernel;
+  LaunchParams params;
+
+  std::uint32_t active_cpes = 0;
+  std::uint32_t core_groups = 1;
+  bool double_buffer = false;
+
+  // ---- Busiest CPE's memory-request sequence -----------------------------
+  /// MRT (Eq. 5) of each DMA request that CPE issues, in program order
+  /// (broadcast, then per chunk: copy-in, copy-out, ...).
+  std::vector<std::uint64_t> dma_req_mrt;
+  /// Gload/Gstore requests that CPE issues (MRT_g = 1 each).
+  std::uint64_t n_gloads = 0;
+
+  // ---- Busiest CPE's compute ---------------------------------------------
+  /// Statically scheduled computation cycles (Eq. 6 evaluated through the
+  /// per-block schedule, like the paper reads block times off assembly).
+  double comp_cycles = 0.0;
+  /// Retired instructions by class.
+  isa::OpClassCounts inst_counts;
+
+  // ---- Launch-wide aggregates (reporting) --------------------------------
+  std::uint64_t dma_bytes_requested = 0;
+  std::uint64_t dma_bytes_transferred = 0;
+  double total_flops = 0.0;
+
+  // ---- Helpers ------------------------------------------------------------
+  std::uint64_t n_dma_reqs() const { return dma_req_mrt.size(); }
+
+  std::uint64_t sum_mrt() const {
+    std::uint64_t s = 0;
+    for (auto m : dma_req_mrt) s += m;
+    return s;
+  }
+
+  /// avg_MRT_DMA of Eq. 12.
+  double avg_mrt() const {
+    return dma_req_mrt.empty()
+               ? 0.0
+               : static_cast<double>(sum_mrt()) /
+                     static_cast<double>(dma_req_mrt.size());
+  }
+
+  /// avg_ILP of Eq. 6 (weighted instruction latency over scheduled time).
+  double avg_ilp(const sw::ArchParams& p) const {
+    return comp_cycles <= 0.0 ? 0.0
+                              : inst_counts.weighted_latency(p) / comp_cycles;
+  }
+
+  /// DMA transfer efficiency: requested bytes / bytes moved (1 = no waste).
+  double dma_efficiency() const {
+    return dma_bytes_transferred == 0
+               ? 1.0
+               : static_cast<double>(dma_bytes_requested) /
+                     static_cast<double>(dma_bytes_transferred);
+  }
+};
+
+}  // namespace swperf::swacc

@@ -1,0 +1,68 @@
+#include "swacc/validate.h"
+
+#include <sstream>
+#include <vector>
+
+#include "sw/error.h"
+#include "swacc/lower.h"
+
+namespace swperf::swacc {
+
+CoverageReport validate_coverage(const Decomposition& d) {
+  std::vector<std::uint32_t> chunk_owners(d.n_chunks, 0);
+  std::uint64_t covered = 0;
+  for (std::uint32_t cpe = 0; cpe < d.active_cpes; ++cpe) {
+    for (std::uint64_t c : d.chunks_of(cpe)) {
+      if (c >= d.n_chunks) {
+        return {false, "chunk id out of range"};
+      }
+      ++chunk_owners[static_cast<std::size_t>(c)];
+      covered += d.chunk_size(c);
+    }
+  }
+  for (std::uint64_t c = 0; c < d.n_chunks; ++c) {
+    if (chunk_owners[static_cast<std::size_t>(c)] != 1) {
+      std::ostringstream os;
+      os << "chunk " << c << " owned by "
+         << chunk_owners[static_cast<std::size_t>(c)] << " CPEs";
+      return {false, os.str()};
+    }
+  }
+  if (covered != d.n_outer) {
+    std::ostringstream os;
+    os << "coverage " << covered << " != n_outer " << d.n_outer;
+    return {false, os.str()};
+  }
+  return {};
+}
+
+CoverageReport validate_launch(const KernelDesc& kernel,
+                               const LaunchParams& params,
+                               const sw::ArchParams& arch) {
+  try {
+    kernel.validate();
+    arch.validate();
+    SWPERF_CHECK(params.tile >= 1, "tile must be >= 1");
+    SWPERF_CHECK(params.unroll >= 1 && params.unroll <= 64,
+                 "unroll out of range");
+    SWPERF_CHECK(params.vector_width == 1 || params.vector_width == 2 ||
+                     params.vector_width == 4,
+                 "vector_width must be 1, 2 or 4");
+    SWPERF_CHECK(params.vector_width == 1 || kernel.vectorizable,
+                 "kernel is not vectorizable");
+    SWPERF_CHECK(params.requested_cpes >= 1 &&
+                     params.requested_cpes <=
+                         arch.cpes_per_cg * arch.core_groups,
+                 "requested_cpes out of range");
+    const std::uint64_t spm = spm_bytes_required(kernel, params);
+    SWPERF_CHECK(spm <= arch.spm_bytes,
+                 "SPM overflow: needs " << spm << " B of "
+                                        << arch.spm_bytes);
+  } catch (const sw::Error& e) {
+    return {false, e.what()};
+  }
+  return validate_coverage(
+      decompose(kernel.n_outer, params.tile, params.requested_cpes));
+}
+
+}  // namespace swperf::swacc

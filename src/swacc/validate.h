@@ -1,0 +1,33 @@
+// Launch validation helpers.
+//
+// The decomposition must partition the outer iteration space exactly —
+// every element processed by exactly one CPE — for a lowered kernel to be
+// semantically equivalent to the source loop nest.  This validator checks
+// that property from the chunk→CPE mapping alone, so it also guards any
+// future custom decomposition strategies.
+#pragma once
+
+#include <string>
+
+#include "sw/arch.h"
+#include "swacc/decompose.h"
+#include "swacc/kernel.h"
+
+namespace swperf::swacc {
+
+struct CoverageReport {
+  bool ok = true;
+  std::string message;  // empty when ok
+};
+
+/// Checks that the chunks of all active CPEs partition [0, n_outer).
+CoverageReport validate_coverage(const Decomposition& d);
+
+/// Full pre-flight check of a launch: kernel validity, SPM fit, parameter
+/// sanity. Returns false (with message) instead of throwing, so tuners can
+/// probe candidate variants cheaply.
+CoverageReport validate_launch(const KernelDesc& kernel,
+                               const LaunchParams& params,
+                               const sw::ArchParams& arch);
+
+}  // namespace swperf::swacc

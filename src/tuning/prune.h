@@ -1,0 +1,46 @@
+// Search-space pruning for the auto-tuners.
+//
+// The paper positions pruning methods [13-16] as orthogonal to the
+// static-vs-empirical assessment question: "they can benefit both the
+// static and dynamic methods".  This module provides a model-derived
+// pruner: each variant gets a cheap closed-form *lower bound* — the
+// greater of its DRAM bandwidth floor (every transaction it must move)
+// and its issue/ILP-limited compute floor — computable without lowering
+// or compiling.  Variants whose lower bound already exceeds the best
+// lower bound by `slack` cannot win and are dropped before either tuner
+// spends a compilation on them.
+//
+// Soundness invariant (tested): the bound never exceeds the precise
+// model's prediction or the simulated time of the same variant, so
+// pruning with slack >= 1 never discards the true optimum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sw/arch.h"
+#include "swacc/kernel.h"
+
+namespace swperf::tuning {
+
+/// Closed-form lower bound on the execution time of `kernel` under
+/// `params`, in cycles. Throws sw::Error on invalid parameters.
+double variant_lower_bound_cycles(const swacc::KernelDesc& kernel,
+                                  const swacc::LaunchParams& params,
+                                  const sw::ArchParams& arch);
+
+struct PruneStats {
+  std::size_t considered = 0;
+  std::size_t kept = 0;
+  std::size_t pruned() const { return considered - kept; }
+};
+
+/// Filters `variants`, keeping those whose lower bound is within
+/// `slack` x the best lower bound. Preserves order. slack >= 1.
+std::vector<swacc::LaunchParams> prune_variants(
+    const swacc::KernelDesc& kernel,
+    const std::vector<swacc::LaunchParams>& variants,
+    const sw::ArchParams& arch, double slack = 1.3,
+    PruneStats* stats = nullptr);
+
+}  // namespace swperf::tuning

@@ -1,0 +1,57 @@
+#include "tuning/space.h"
+
+#include "sw/error.h"
+#include "swacc/lower.h"
+#include "swacc/validate.h"
+
+namespace swperf::tuning {
+
+SearchSpace SearchSpace::standard(const swacc::KernelDesc& kernel,
+                                  const sw::ArchParams& arch) {
+  SearchSpace s;
+  for (std::uint64_t t = 1; t <= kernel.n_outer; t *= 2) {
+    swacc::LaunchParams probe;
+    probe.tile = t;
+    if (swacc::spm_bytes_required(kernel, probe) > arch.spm_bytes) break;
+    s.tiles.push_back(t);
+  }
+  SWPERF_CHECK(!s.tiles.empty(),
+               "kernel '" << kernel.name << "' fits no tile in SPM");
+  return s;
+}
+
+SearchSpace SearchSpace::with_vectorization(const swacc::KernelDesc& kernel,
+                                            const sw::ArchParams& arch) {
+  SearchSpace s = standard(kernel, arch);
+  if (kernel.vectorizable) s.vector_widths = {1, 4};
+  return s;
+}
+
+std::vector<swacc::LaunchParams> SearchSpace::enumerate(
+    const swacc::KernelDesc& kernel, const sw::ArchParams& arch) const {
+  std::vector<swacc::LaunchParams> out;
+  for (const std::uint64_t tile : tiles) {
+    for (const std::uint32_t unroll : unrolls) {
+      for (const std::uint32_t ncpe : cpes) {
+        for (const bool db : double_buffer) {
+          for (const std::uint32_t vw : vector_widths) {
+            swacc::LaunchParams p;
+            p.tile = tile;
+            p.unroll = unroll;
+            p.requested_cpes = ncpe;
+            p.double_buffer = db;
+            p.vector_width = vw;
+            if (swacc::validate_launch(kernel, p, arch).ok) {
+              out.push_back(p);
+            }
+          }
+        }
+      }
+    }
+  }
+  SWPERF_CHECK(!out.empty(), "search space for '" << kernel.name
+                                                  << "' pruned to nothing");
+  return out;
+}
+
+}  // namespace swperf::tuning

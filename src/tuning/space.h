@@ -1,0 +1,48 @@
+// Search spaces for loop tiling / unrolling auto-tuning (Section V-D).
+//
+// The paper tunes the `tile` copy granularity and the unroll factor of
+// SWACC kernels; both tuners (static and empirical) explore the SAME space
+// for a fair comparison, with infeasible variants (SPM overflow) pruned up
+// front.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sw/arch.h"
+#include "swacc/kernel.h"
+
+namespace swperf::tuning {
+
+/// Cartesian tuning space over launch parameters.
+struct SearchSpace {
+  std::vector<std::uint64_t> tiles;
+  std::vector<std::uint32_t> unrolls = {1, 2, 4, 8};
+  std::vector<std::uint32_t> cpes = {64};
+  std::vector<bool> double_buffer = {false};
+  std::vector<std::uint32_t> vector_widths = {1};
+
+  /// The standard tile/unroll space for `kernel`: power-of-two tiles from 1
+  /// up to the largest that fits SPM, unroll in {1,2,4,8}.
+  static SearchSpace standard(const swacc::KernelDesc& kernel,
+                              const sw::ArchParams& arch);
+
+  /// The standard space extended with the vector unit (widths {1,4}) when
+  /// the kernel is vectorizable. The paper's Table II space is tile x
+  /// unroll only; vectorization is the natural third dimension on SW26010.
+  static SearchSpace with_vectorization(const swacc::KernelDesc& kernel,
+                                        const sw::ArchParams& arch);
+
+  /// All feasible variants (SPM-fitting, valid decomposition), in
+  /// deterministic order. Throws if the space is empty after pruning.
+  std::vector<swacc::LaunchParams> enumerate(
+      const swacc::KernelDesc& kernel, const sw::ArchParams& arch) const;
+
+  /// Cardinality before pruning.
+  std::size_t raw_size() const {
+    return tiles.size() * unrolls.size() * cpes.size() *
+           double_buffer.size() * vector_widths.size();
+  }
+};
+
+}  // namespace swperf::tuning

@@ -1,0 +1,108 @@
+#include "tuning/tuner.h"
+
+#include <chrono>
+#include <tuple>
+#include <limits>
+
+#include "sim/machine.h"
+#include "sw/error.h"
+#include "swacc/lower.h"
+
+namespace swperf::tuning {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double run_seconds(double kernel_cycles, const sw::ArchParams& arch,
+                   const TuningCosts& costs) {
+  return costs.program_overhead_seconds +
+         static_cast<double>(costs.kernel_invocations) *
+             sw::cycles_to_seconds(kernel_cycles, arch.freq_ghz);
+}
+
+}  // namespace
+
+TuningResult StaticTuner::tune(const swacc::KernelDesc& kernel,
+                               const SearchSpace& space) const {
+  const double t0 = now_seconds();
+  const auto variants = space.enumerate(kernel, model_.arch());
+
+  TuningResult r;
+  double best_pred = std::numeric_limits<double>::infinity();
+  for (const auto& params : variants) {
+    const auto lowered = swacc::lower(kernel, params, model_.arch());
+    const double pred = model_.predict(lowered.summary).t_total;
+    r.explored.push_back(VariantResult{params, pred, 0.0});
+    best_pred = std::min(best_pred, pred);
+  }
+  r.variants = variants.size();
+
+  // Variants within the model's resolution (1%) of the optimum are tied:
+  // in fully-overlapped launches (Scenario 2) T_total collapses to T_mem,
+  // which many tile/unroll pairs share exactly.  Break ties by the paper's
+  // own secondary analyses: smaller copy granularity (Eq. 13: more
+  // requests, more overlap headroom), then deeper unrolling (never hurts a
+  // bandwidth-bound launch), then no double buffering (saves SPM).
+  constexpr double kResolution = 1.01;
+  bool first = true;
+  for (const auto& v : r.explored) {
+    if (v.predicted_cycles > best_pred * kResolution) continue;
+    if (first) {
+      r.best = v.params;
+      first = false;
+      continue;
+    }
+    const auto& b = r.best;
+    const auto rank = [](const swacc::LaunchParams& p) {
+      return std::make_tuple(p.tile, ~p.vector_width, ~p.unroll,
+                             p.double_buffer);
+    };
+    if (rank(v.params) < rank(b)) r.best = v.params;
+  }
+  // The static analysis needs each variant compiled (for the annotated
+  // assembly) but never run.
+  r.tuning_seconds =
+      static_cast<double>(r.variants) * costs_.compile_seconds;
+
+  // One validation run of the winner, so quality is comparable.
+  const auto lowered = swacc::lower(kernel, r.best, model_.arch());
+  r.best_measured_cycles =
+      sim::simulate(lowered.sim_config, lowered.binary, lowered.programs)
+          .total_cycles();
+  r.host_seconds = now_seconds() - t0;
+  return r;
+}
+
+TuningResult EmpiricalTuner::tune(const swacc::KernelDesc& kernel,
+                                  const SearchSpace& space) const {
+  const double t0 = now_seconds();
+  const auto variants = space.enumerate(kernel, arch_);
+
+  TuningResult r;
+  double best_measured = std::numeric_limits<double>::infinity();
+  for (const auto& params : variants) {
+    const auto lowered = swacc::lower(kernel, params, arch_);
+    const double cycles =
+        sim::simulate(lowered.sim_config, lowered.binary, lowered.programs)
+            .total_cycles();
+    r.explored.push_back(VariantResult{params, 0.0, cycles});
+    r.tuning_seconds += costs_.compile_seconds +
+                        costs_.runs_per_variant *
+                            run_seconds(cycles, arch_, costs_);
+    if (cycles < best_measured) {
+      best_measured = cycles;
+      r.best = params;
+    }
+  }
+  r.variants = variants.size();
+  r.best_measured_cycles = best_measured;
+  r.host_seconds = now_seconds() - t0;
+  return r;
+}
+
+}  // namespace swperf::tuning

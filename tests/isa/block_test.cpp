@@ -1,0 +1,136 @@
+#include "isa/block.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sw/error.h"
+
+namespace swperf::isa {
+namespace {
+
+TEST(BlockBuilder, EmitsInstructionsWithFreshRegisters) {
+  BlockBuilder b("t");
+  const Reg x = b.reg();
+  const Reg y = b.fadd(x, x);
+  const Reg z = b.fmul(y, x);
+  b.spm_store(z);
+  const BasicBlock blk = std::move(b).build();
+  ASSERT_EQ(blk.instrs.size(), 3u);
+  EXPECT_EQ(blk.instrs[0].cls, OpClass::kFloatAdd);
+  EXPECT_EQ(blk.instrs[1].cls, OpClass::kFloatMul);
+  EXPECT_EQ(blk.instrs[2].cls, OpClass::kSpmStore);
+  EXPECT_EQ(blk.instrs[2].dst, kNoReg);
+  EXPECT_NE(y, z);
+  EXPECT_EQ(blk.num_regs, 3);
+}
+
+TEST(BasicBlock, LiveInAndCarried) {
+  BlockBuilder b("t");
+  const Reg invariant = b.reg();   // read, never written
+  const Reg acc = b.reg();         // read and written: carried
+  const Reg x = b.spm_load();
+  const Reg y = b.fmul(x, invariant);
+  b.accumulate_add(acc, y);
+  const BasicBlock blk = std::move(b).build();
+
+  const auto live = blk.live_in();
+  EXPECT_TRUE(std::count(live.begin(), live.end(), invariant));
+  EXPECT_TRUE(std::count(live.begin(), live.end(), acc));
+  EXPECT_FALSE(std::count(live.begin(), live.end(), x));
+
+  const auto carried = blk.carried();
+  ASSERT_EQ(carried.size(), 1u);
+  EXPECT_EQ(carried[0], acc);
+}
+
+TEST(BasicBlock, ValueDefinedInBlockIsNotLiveIn) {
+  BlockBuilder b("t");
+  const Reg x = b.spm_load();
+  b.fadd(x, x);
+  const BasicBlock blk = std::move(b).build();
+  EXPECT_TRUE(blk.live_in().empty());
+  EXPECT_TRUE(blk.carried().empty());
+}
+
+TEST(BasicBlock, ValidateCatchesOutOfRangeRegisters) {
+  BasicBlock blk;
+  blk.name = "bad";
+  blk.num_regs = 1;
+  Instr i;
+  i.cls = OpClass::kFloatAdd;
+  i.dst = 5;  // out of range
+  blk.instrs.push_back(i);
+  EXPECT_THROW(blk.validate(), sw::Error);
+}
+
+TEST(BasicBlock, ValidateRejectsStoreWithDestination) {
+  BasicBlock blk;
+  blk.name = "bad";
+  blk.num_regs = 2;
+  Instr i;
+  i.cls = OpClass::kSpmStore;
+  i.dst = 1;
+  i.srcs = {0, kNoReg, kNoReg};
+  blk.instrs.push_back(i);
+  EXPECT_THROW(blk.validate(), sw::Error);
+}
+
+TEST(BasicBlock, ClassCountsAndFlops) {
+  BlockBuilder b("t");
+  const Reg x = b.reg();
+  const Reg y = b.fma(x, x, x);
+  b.fdiv(y, x);
+  b.fixed(x);
+  const BasicBlock blk = std::move(b).build();
+  const auto c = blk.class_counts();
+  EXPECT_EQ(c[OpClass::kFloatFma], 1u);
+  EXPECT_EQ(c[OpClass::kFloatDiv], 1u);
+  EXPECT_EQ(c[OpClass::kFixed], 1u);
+  EXPECT_EQ(c.total(), 3u);
+  EXPECT_EQ(c.total_flops(), 3u);  // fma counts 2, div counts 1
+}
+
+TEST(BasicBlock, LoopOverheadMarked) {
+  BlockBuilder b("t");
+  b.loop_overhead(2);
+  const BasicBlock blk = std::move(b).build();
+  ASSERT_EQ(blk.instrs.size(), 2u);
+  EXPECT_TRUE(blk.instrs[0].loop_overhead);
+  EXPECT_TRUE(blk.instrs[1].loop_overhead);
+}
+
+TEST(OpClassCounts, ArithmeticHelpers) {
+  OpClassCounts a;
+  a[OpClass::kFloatAdd] = 2;
+  OpClassCounts b;
+  b[OpClass::kFloatAdd] = 1;
+  b[OpClass::kFixed] = 3;
+  a += b;
+  EXPECT_EQ(a[OpClass::kFloatAdd], 3u);
+  EXPECT_EQ(a[OpClass::kFixed], 3u);
+  const auto s = a.scaled(2);
+  EXPECT_EQ(s[OpClass::kFloatAdd], 6u);
+  EXPECT_NE(a.to_string().find("fadd:3"), std::string::npos);
+}
+
+TEST(Instr, PipelineAssignment) {
+  EXPECT_EQ(pipe_of(OpClass::kFloatAdd), Pipe::kCompute);
+  EXPECT_EQ(pipe_of(OpClass::kFixed), Pipe::kCompute);
+  EXPECT_EQ(pipe_of(OpClass::kSpmLoad), Pipe::kMemory);
+  EXPECT_EQ(pipe_of(OpClass::kSpmStore), Pipe::kMemory);
+  EXPECT_TRUE(is_unpipelined(OpClass::kFloatDiv));
+  EXPECT_TRUE(is_unpipelined(OpClass::kFloatSqrt));
+  EXPECT_FALSE(is_unpipelined(OpClass::kFloatFma));
+}
+
+TEST(Instr, TableILatencies) {
+  const sw::ArchParams p;
+  EXPECT_EQ(latency_of(OpClass::kFloatAdd, p), 9u);
+  EXPECT_EQ(latency_of(OpClass::kFloatDiv, p), 34u);
+  EXPECT_EQ(latency_of(OpClass::kFixed, p), 1u);
+  EXPECT_EQ(latency_of(OpClass::kSpmLoad, p), 3u);
+}
+
+}  // namespace
+}  // namespace swperf::isa

@@ -1,0 +1,57 @@
+#include "isa/vectorize.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/schedule.h"
+#include "isa/unroll.h"
+#include "sw/error.h"
+
+namespace swperf::isa {
+namespace {
+
+const sw::ArchParams kArch;
+
+BasicBlock stream_body() {
+  BlockBuilder b("body");
+  const auto x = b.spm_load();
+  const auto y = b.spm_load();
+  b.spm_store(b.fma(x, y, x));
+  b.loop_overhead(2);
+  return std::move(b).build();
+}
+
+TEST(Vectorize, WidthOneIsIdentity) {
+  const auto blk = stream_body();
+  const auto v = vectorize(blk, 1);
+  EXPECT_EQ(v.lanes, 1u);
+  EXPECT_EQ(v.name, blk.name);
+}
+
+TEST(Vectorize, KeepsInstructionStreamWidensCoverage) {
+  const auto blk = stream_body();
+  const auto v = vectorize(blk, 4);
+  EXPECT_EQ(v.lanes, 4u);
+  EXPECT_EQ(v.instrs.size(), blk.instrs.size());
+  EXPECT_EQ(v.name, "body_v4");
+  // Same static schedule per execution: 4x fewer executions = ~4x faster.
+  LoopSchedule scalar(blk, kArch);
+  LoopSchedule vec(v, kArch);
+  EXPECT_EQ(scalar.steady_ii(), vec.steady_ii());
+}
+
+TEST(Vectorize, RejectsBadWidths) {
+  EXPECT_THROW(vectorize(stream_body(), 3), sw::Error);
+  EXPECT_THROW(vectorize(stream_body(), 8), sw::Error);
+  EXPECT_THROW(vectorize(vectorize(stream_body(), 4), 4), sw::Error);
+}
+
+TEST(Vectorize, ComposesWithUnroll) {
+  const auto v = vectorize(stream_body(), 4);
+  const auto u = unroll(v, UnrollOptions{2, true, true});
+  EXPECT_EQ(u.lanes, 4u);  // lanes survive unrolling
+  // 2 copies of the 4 real instructions + collapsed overhead.
+  EXPECT_EQ(u.instrs.size(), 2u * 4u + 2u);
+}
+
+}  // namespace
+}  // namespace swperf::isa

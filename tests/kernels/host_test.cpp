@@ -1,0 +1,322 @@
+// Functional tests of the host reference implementations: the suite's
+// kernels are real algorithms, not just performance descriptions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+
+#include "kernels/backprop.h"
+#include "kernels/bfs.h"
+#include "kernels/btree.h"
+#include "kernels/gaussian.h"
+#include "kernels/hotspot.h"
+#include "kernels/kmeans.h"
+#include "kernels/lud.h"
+#include "kernels/nbody.h"
+#include "kernels/nw.h"
+#include "kernels/pathfinder.h"
+#include "kernels/srad.h"
+#include "kernels/streamcluster.h"
+#include "kernels/vecadd.h"
+#include "sw/error.h"
+#include "sw/rng.h"
+
+namespace swperf::kernels::host {
+namespace {
+
+TEST(HostVecadd, AddsElementwise) {
+  const std::vector<double> a{1, 2, 3}, b{10, 20, 30};
+  std::vector<double> c(3);
+  vecadd(a, b, c);
+  EXPECT_EQ(c, (std::vector<double>{11, 22, 33}));
+  std::vector<double> wrong(2);
+  EXPECT_THROW(vecadd(a, b, wrong), sw::Error);
+}
+
+TEST(HostKmeans, RecoversSeparatedClusters) {
+  // Three well-separated blobs in 4 dimensions.
+  sw::Rng rng(1);
+  constexpr std::uint32_t kDim = 4;
+  constexpr std::size_t kPer = 100;
+  std::vector<double> pts;
+  for (int c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < kPer; ++i) {
+      for (std::uint32_t f = 0; f < kDim; ++f) {
+        pts.push_back(10.0 * c + rng.uniform(-0.5, 0.5));
+      }
+    }
+  }
+  std::vector<std::uint32_t> assign(3 * kPer);
+  const auto centroids = kmeans(pts, kDim, 3, 10, assign);
+  ASSERT_EQ(centroids.size(), 3u * kDim);
+  // Every blob is internally consistent and distinct from the others.
+  for (std::size_t i = 1; i < kPer; ++i) {
+    EXPECT_EQ(assign[i], assign[0]);
+    EXPECT_EQ(assign[kPer + i], assign[kPer]);
+    EXPECT_EQ(assign[2 * kPer + i], assign[2 * kPer]);
+  }
+  EXPECT_NE(assign[0], assign[kPer]);
+  EXPECT_NE(assign[kPer], assign[2 * kPer]);
+  // Centroids sit near the blob centres.
+  for (int c = 0; c < 3; ++c) {
+    const auto id = assign[static_cast<std::size_t>(c) * kPer];
+    for (std::uint32_t f = 0; f < kDim; ++f) {
+      EXPECT_NEAR(centroids[id * kDim + f], 10.0 * c, 0.2);
+    }
+  }
+}
+
+TEST(HostKmeans, StepReducesOrKeepsCost) {
+  sw::Rng rng(2);
+  constexpr std::uint32_t kDim = 8;
+  std::vector<double> pts(64 * kDim);
+  for (auto& p : pts) p = rng.uniform(0, 1);
+  std::vector<double> cents(pts.begin(), pts.begin() + 4 * kDim);
+  std::vector<std::uint32_t> assign(64);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int it = 0; it < 5; ++it) {
+    cents = kmeans_step(pts, cents, kDim, assign);
+    const double cost = assignment_cost(pts, cents, kDim);
+    EXPECT_LE(cost, prev * (1.0 + 1e-9));
+    prev = cost;
+  }
+}
+
+TEST(HostLud, FactorisationReconstructsMatrix) {
+  sw::Rng rng(3);
+  constexpr std::uint32_t n = 24;
+  std::vector<double> a(n * n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      a[i * n + j] = rng.uniform(0, 1) + (i == j ? n : 0.0);  // diag dominant
+    }
+  }
+  const auto original = a;
+  lud(a, n);
+  EXPECT_LT(lud_residual(a, original, n), 1e-9);
+}
+
+TEST(HostLud, RejectsSingularPivot) {
+  std::vector<double> a{0.0, 1.0, 1.0, 0.0};  // zero leading pivot
+  EXPECT_THROW(lud(a, 2), sw::Error);
+}
+
+TEST(HostHotspot, UniformGridWithoutPowerIsSteady) {
+  const std::vector<double> temp(16 * 16, 300.0);
+  const std::vector<double> power(16 * 16, 0.0);
+  const auto out = hotspot_step(temp, power, 16, 16);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 300.0);
+}
+
+TEST(HostHotspot, HeatSourceWarmsNeighbours) {
+  std::vector<double> temp(9 * 9, 300.0);
+  std::vector<double> power(9 * 9, 0.0);
+  power[4 * 9 + 4] = 10.0;
+  auto out = hotspot_step(temp, power, 9, 9);
+  EXPECT_GT(out[4 * 9 + 4], 300.0);
+  out = hotspot_step(out, power, 9, 9);
+  EXPECT_GT(out[4 * 9 + 3], 300.0);  // diffused west
+  EXPECT_GT(out[3 * 9 + 4], 300.0);  // diffused north
+}
+
+TEST(HostNbody, EnergyApproximatelyConserved) {
+  sw::Rng rng(4);
+  constexpr std::size_t n = 24;
+  std::vector<double> pos(3 * n), vel(3 * n, 0.0);
+  for (auto& p : pos) p = rng.uniform(-1, 1);
+  const double e0 = nbody_energy(pos, vel);
+  for (int s = 0; s < 20; ++s) nbody_step(pos, vel, 1e-4);
+  const double e1 = nbody_energy(pos, vel);
+  EXPECT_NEAR(e1, e0, std::abs(e0) * 0.02);
+}
+
+TEST(HostNbody, TwoBodiesAttract) {
+  std::vector<double> pos{-1, 0, 0, 1, 0, 0};
+  std::vector<double> vel(6, 0.0);
+  nbody_step(pos, vel, 1e-2);
+  EXPECT_GT(pos[0], -1.0);  // moved toward each other
+  EXPECT_LT(pos[3], 1.0);
+  EXPECT_GT(vel[0], 0.0);
+  EXPECT_LT(vel[3], 0.0);
+}
+
+TEST(HostBfs, KnownGraphDistances) {
+  // 0 -> 1 -> 2 -> 3 with a shortcut 0 -> 2.
+  Graph g;
+  g.row_offsets = {0, 2, 3, 4, 4};
+  g.columns = {1, 2, 2, 3};
+  const auto d = bfs(g, 0);
+  EXPECT_EQ(d, (std::vector<std::uint32_t>{0, 1, 1, 2}));
+}
+
+TEST(HostBfs, RandomGraphFullyReachableFromZero) {
+  sw::Rng rng(5);
+  const auto g = random_graph(500, 4.0, rng);
+  EXPECT_EQ(g.nodes(), 500u);
+  const auto d = bfs(g, 0);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    // The i -> i+1 backbone guarantees reachability with distance <= i.
+    ASSERT_NE(d[i], std::numeric_limits<std::uint32_t>::max());
+    EXPECT_LE(d[i], i);
+  }
+}
+
+TEST(HostBfs, DistancesAreBfsConsistent) {
+  sw::Rng rng(6);
+  const auto g = random_graph(200, 3.0, rng);
+  const auto d = bfs(g, 0);
+  // Every edge (u,v) satisfies d[v] <= d[u] + 1 (triangle property).
+  for (std::uint32_t u = 0; u < g.nodes(); ++u) {
+    if (d[u] == std::numeric_limits<std::uint32_t>::max()) continue;
+    for (std::uint32_t e = g.row_offsets[u]; e < g.row_offsets[u + 1]; ++e) {
+      EXPECT_LE(d[g.columns[e]], d[u] + 1);
+    }
+  }
+}
+
+TEST(HostBtree, LowerBoundSearch) {
+  const std::vector<std::uint64_t> keys{2, 4, 4, 8, 16};
+  EXPECT_EQ(lower_bound_search(keys, 1), 0u);
+  EXPECT_EQ(lower_bound_search(keys, 4), 1u);
+  EXPECT_EQ(lower_bound_search(keys, 5), 3u);
+  EXPECT_EQ(lower_bound_search(keys, 100), 5u);
+}
+
+TEST(HostPathfinder, MatchesBruteForceOnSmallGrid) {
+  const std::uint32_t rows = 4, cols = 5;
+  sw::Rng rng(7);
+  std::vector<int> wall(rows * cols);
+  for (auto& w : wall) w = static_cast<int>(rng.next_below(10));
+
+  const auto dp = pathfinder(wall, rows, cols);
+
+  // Brute force over all monotone paths.
+  std::vector<int> best(cols, std::numeric_limits<int>::max());
+  struct Walk {
+    std::uint32_t col;
+    int cost;
+  };
+  std::vector<Walk> frontier;
+  for (std::uint32_t c = 0; c < cols; ++c) {
+    frontier.push_back({c, wall[c]});
+  }
+  for (std::uint32_t r = 1; r < rows; ++r) {
+    std::vector<Walk> next;
+    for (const auto& w : frontier) {
+      for (int dc = -1; dc <= 1; ++dc) {
+        const auto nc = static_cast<std::int64_t>(w.col) + dc;
+        if (nc < 0 || nc >= cols) continue;
+        next.push_back({static_cast<std::uint32_t>(nc),
+                        w.cost + wall[r * cols + nc]});
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (const auto& w : frontier) {
+    best[w.col] = std::min(best[w.col], w.cost);
+  }
+  for (std::uint32_t c = 0; c < cols; ++c) {
+    EXPECT_EQ(dp[c], best[c]) << "col " << c;
+  }
+}
+
+TEST(HostBackprop, ForwardPassIsSigmoidOfWeightedSum) {
+  const std::vector<double> input{1.0, 2.0};
+  const std::vector<double> weights{0.5, -0.5, 0.25, 0.5};  // 2x2
+  const auto h = backprop_forward(input, weights, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_NEAR(h[0], 1.0 / (1.0 + std::exp(-(1.0 * 0.5 + 2.0 * 0.25))),
+              1e-12);
+  EXPECT_NEAR(h[1], 1.0 / (1.0 + std::exp(-(1.0 * -0.5 + 2.0 * 0.5))),
+              1e-12);
+  for (double v : h) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(HostSrad, UniformImageGivesUnitCoefficients) {
+  const std::vector<double> img(32 * 32, 2.0);
+  const auto c = srad_coefficients(img, 32, 32);
+  // No gradients anywhere: q == 0 and the coefficient is maximal/finite.
+  for (double v : c) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(HostSrad, EdgesReduceDiffusion) {
+  std::vector<double> img(16 * 16, 1.0);
+  for (std::uint32_t r = 0; r < 16; ++r) {
+    for (std::uint32_t c = 8; c < 16; ++c) img[r * 16 + c] = 5.0;  // edge
+  }
+  const auto coef = srad_coefficients(img, 16, 16);
+  // The diffusion coefficient at the edge is below the flat-region value.
+  EXPECT_LT(coef[8 * 16 + 8], coef[8 * 16 + 2]);
+}
+
+TEST(HostNw, KnownAlignmentScores) {
+  // Identical sequences: perfect score along the diagonal.
+  const std::string a = "ACGTACGT";
+  const auto same = nw_last_row(std::span<const char>(a.data(), a.size()),
+                                std::span<const char>(a.data(), a.size()));
+  EXPECT_EQ(same.back(), 8);  // 8 matches at +1
+  // Completely different: all mismatches (-1 each) is the best alignment.
+  const std::string b = "TTTTTTTT";
+  const std::string c = "AAAAAAAA";
+  const auto diff = nw_last_row(std::span<const char>(b.data(), b.size()),
+                                std::span<const char>(c.data(), c.size()));
+  EXPECT_EQ(diff.back(), -8);
+}
+
+TEST(HostNw, GapBeatsLongMismatchRun) {
+  const std::string a = "AAAA";
+  const std::string b = "AA";
+  const auto row = nw_last_row(std::span<const char>(a.data(), a.size()),
+                               std::span<const char>(b.data(), b.size()));
+  EXPECT_EQ(row.back(), 0);  // 2 matches, 2 gaps
+}
+
+TEST(HostGaussian, SolvesLinearSystem) {
+  // 3x3 system with known solution x = (1, -2, 3).
+  const std::vector<double> a{2, 1, -1, -3, -1, 2, -2, 1, 2};
+  const std::vector<double> x_true{1, -2, 3};
+  std::vector<double> b(3, 0.0);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) b[i] += a[i * 3 + j] * x_true[j];
+  }
+  const auto x = gaussian_solve(a, b, 3);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(HostGaussian, RandomSystemResidualIsTiny) {
+  sw::Rng rng(11);
+  constexpr std::uint32_t n = 32;
+  std::vector<double> a(n * n), b(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    b[i] = rng.uniform(-1, 1);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      a[i * n + j] = rng.uniform(-1, 1) + (i == j ? n : 0.0);
+    }
+  }
+  const auto x = gaussian_solve(a, b, n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double s = 0;
+    for (std::uint32_t j = 0; j < n; ++j) s += a[i * n + j] * x[j];
+    EXPECT_NEAR(s, b[i], 1e-8);
+  }
+}
+
+TEST(HostStreamcluster, CostIsNearestCenterSum) {
+  const std::vector<double> pts{0, 0, 10, 10};  // two 2-d points
+  const std::vector<double> centers{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(assignment_cost(pts, centers, 2), 0.0);
+  const std::vector<double> one{0, 0};
+  EXPECT_DOUBLE_EQ(assignment_cost(pts, one, 2), 200.0);
+}
+
+}  // namespace
+}  // namespace swperf::kernels::host

@@ -1,0 +1,142 @@
+// Structural tests over every registered kernel: valid descriptions,
+// SPM-feasible presets, end-to-end lowering and simulation.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "kernels/suite.h"
+#include "kernels/wrf.h"
+#include "sim/machine.h"
+#include "sw/error.h"
+#include "swacc/lower.h"
+#include "swacc/validate.h"
+
+namespace swperf::kernels {
+namespace {
+
+const sw::ArchParams kArch;
+
+TEST(Suite, NamesAreUniqueAndResolvable) {
+  const auto names = suite_names();
+  EXPECT_GE(names.size(), 15u);
+  const std::set<std::string> uniq(names.begin(), names.end());
+  EXPECT_EQ(uniq.size(), names.size());
+  for (const auto& n : names) {
+    EXPECT_NO_THROW(make(n)) << n;
+  }
+  EXPECT_THROW(make("no-such-kernel"), sw::Error);
+}
+
+TEST(Suite, Table2KernelsAreRegistered) {
+  const auto names = suite_names();
+  for (const auto& n : table2_kernels()) {
+    EXPECT_NE(std::find(names.begin(), names.end(), n), names.end()) << n;
+  }
+  EXPECT_EQ(table2_kernels().size(), 5u);  // the paper's five
+}
+
+class EveryKernel : public ::testing::TestWithParam<std::string> {
+ protected:
+  static std::string sanitize(std::string name) {
+    for (auto& c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    }
+    return name;
+  }
+};
+
+TEST_P(EveryKernel, DescriptionValidates) {
+  for (const auto scale : {Scale::kSmall, Scale::kFull}) {
+    const auto spec = make(GetParam(), scale);
+    EXPECT_NO_THROW(spec.desc.validate());
+    EXPECT_EQ(spec.desc.name, GetParam());
+    EXPECT_FALSE(spec.notes.empty());
+    // Pure-integer kernels (bfs, b+tree, pathfinder) have zero flops but
+    // must still carry a non-empty compute body.
+    EXPECT_FALSE(spec.desc.body.instrs.empty());
+    EXPECT_GE(spec.desc.total_flops(), 0.0);
+  }
+}
+
+TEST_P(EveryKernel, PresetsAreFeasible) {
+  const auto spec = make(GetParam());
+  for (const auto* params : {&spec.tuned, &spec.naive}) {
+    const auto r = swacc::validate_launch(spec.desc, *params, kArch);
+    EXPECT_TRUE(r.ok) << GetParam() << ": " << r.message;
+  }
+}
+
+TEST_P(EveryKernel, SmallScaleSimulatesEndToEnd) {
+  const auto spec = make(GetParam(), Scale::kSmall);
+  const auto lk = swacc::lower(spec.desc, spec.tuned, kArch);
+  const auto r = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+  EXPECT_GT(r.total_ticks, 0u);
+  EXPECT_EQ(r.cpes.size(), lk.summary.active_cpes);
+  // Every CPE finished and the breakdown is self-consistent.
+  for (const auto& c : r.cpes) {
+    EXPECT_GT(c.finish, 0u);
+    EXPECT_LE(c.comp, c.finish);
+  }
+}
+
+TEST_P(EveryKernel, SmallIsSmallerThanFull) {
+  const auto small = make(GetParam(), Scale::kSmall);
+  const auto full = make(GetParam(), Scale::kFull);
+  EXPECT_LE(small.desc.n_outer * small.desc.inner_iters,
+            full.desc.n_outer * full.desc.inner_iters);
+}
+
+TEST_P(EveryKernel, IrregularityMatchesGloadProfile) {
+  const auto spec = make(GetParam());
+  if (spec.irregular) {
+    EXPECT_TRUE(spec.desc.has_indirect() ||
+                spec.desc.comp_imbalance > 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, EveryKernel, ::testing::ValuesIn(suite_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(WrfFactories, DynamicsSegmentsShrinkWithCpes) {
+  const auto few = wrf_dynamics(16);
+  const auto many = wrf_dynamics(64);
+  // The DMA segment (one z-row of the x-slice) shrinks with more CPEs:
+  // the transaction-waste mechanism of Fig. 9.
+  const auto seg_bytes = [](const KernelSpec& s) {
+    return s.desc.arrays[0].bytes_per_outer /
+           s.desc.arrays[0].segments_per_outer;
+  };
+  // (Not exactly 4x: low CPE counts split their wide slices into SPM-sized
+  // sub-slices, which shortens their segments again.)
+  EXPECT_GE(seg_bytes(few), 2 * seg_bytes(many));
+
+  const auto lk_few = swacc::lower(few.desc, few.tuned, kArch);
+  const auto lk_many = swacc::lower(many.desc, many.tuned, kArch);
+  EXPECT_GT(lk_few.summary.dma_efficiency(),
+            lk_many.summary.dma_efficiency());
+}
+
+TEST(WrfFactories, PhysicsIsComputeBound) {
+  const auto spec = wrf_physics(64, Scale::kSmall);
+  const auto lk = swacc::lower(spec.desc, spec.tuned, kArch);
+  const auto r = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+  EXPECT_GT(r.avg_comp_cycles(), 3.0 * r.avg_dma_wait_cycles());
+}
+
+TEST(WrfFactories, RejectsBadConfig) {
+  WrfDynamicsConfig cfg;
+  cfg.z_chunk = 3;  // does not divide nz=64
+  EXPECT_THROW(wrf_dynamics_cfg(64, cfg), sw::Error);
+  EXPECT_THROW(wrf_dynamics_cfg(0, WrfDynamicsConfig{}), sw::Error);
+}
+
+}  // namespace
+}  // namespace swperf::kernels

@@ -1,0 +1,136 @@
+// Randomized invariant tests of the memory controller: for arbitrary
+// arrival sequences, service must be work-conserving, non-overlapping,
+// exhaustive, and deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mem/controller.h"
+#include "sw/rng.h"
+
+namespace swperf::mem {
+namespace {
+
+const sw::ArchParams kArch;
+
+struct GrantRecord {
+  std::uint64_t stream;
+  sw::Tick start;  // data_ready - L_base
+  sw::Tick ready;
+};
+
+std::vector<GrantRecord> drive(MemoryController& mc,
+                               std::vector<std::pair<sw::Tick, std::uint64_t>>
+                                   arrivals) {
+  std::sort(arrivals.begin(), arrivals.end());
+  std::vector<GrantRecord> grants;
+  const sw::Tick l_base = sw::cycles_to_ticks(kArch.l_base_cycles);
+  std::size_t next = 0;
+  while (next < arrivals.size() || mc.service_pending()) {
+    const sw::Tick ta =
+        next < arrivals.size() ? arrivals[next].first : sw::kTickNever;
+    const sw::Tick ts =
+        mc.service_pending() ? mc.busy_until() : sw::kTickNever;
+    std::optional<MemoryController::Grant> g;
+    if (ta <= ts) {
+      g = mc.arrive(ta, arrivals[next].second);
+      ++next;
+    } else {
+      g = mc.service(ts);
+    }
+    if (g) grants.push_back({g->stream, g->data_ready - l_base,
+                             g->data_ready});
+  }
+  return grants;
+}
+
+std::vector<std::pair<sw::Tick, std::uint64_t>> random_arrivals(
+    sw::Rng& rng, std::size_t n) {
+  std::vector<std::pair<sw::Tick, std::uint64_t>> arr;
+  sw::Tick t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.next_below(200);  // bursts and gaps
+    arr.emplace_back(t, rng.next_below(8));
+  }
+  return arr;
+}
+
+class ControllerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ControllerProperty, ServiceIsExhaustiveAndNonOverlapping) {
+  sw::Rng rng(GetParam());
+  const auto arrivals = random_arrivals(rng, 300);
+  MemoryController mc(kArch);
+  const auto grants = drive(mc, arrivals);
+
+  // Every transaction served exactly once.
+  ASSERT_EQ(grants.size(), arrivals.size());
+  EXPECT_EQ(mc.transactions(), arrivals.size());
+  EXPECT_EQ(mc.queued(), 0u);
+  std::map<std::uint64_t, int> per_stream_in, per_stream_out;
+  for (const auto& [t, s] : arrivals) ++per_stream_in[s];
+  for (const auto& g : grants) ++per_stream_out[g.stream];
+  EXPECT_EQ(per_stream_in, per_stream_out);
+
+  // Service periods do not overlap and are spaced by the service time.
+  for (std::size_t i = 1; i < grants.size(); ++i) {
+    EXPECT_GE(grants[i].start, grants[i - 1].start + mc.service_ticks());
+  }
+
+  // Work conservation: from the first service start to the last service
+  // end, every tick is either busy or an accounted idle gap.
+  EXPECT_EQ(mc.busy_ticks() + mc.idle_ticks(),
+            mc.busy_until() - arrivals.front().first);
+}
+
+TEST_P(ControllerProperty, NoGrantBeforeArrival) {
+  sw::Rng rng(GetParam() ^ 0xabc);
+  const auto arrivals = random_arrivals(rng, 200);
+  MemoryController mc(kArch);
+  const auto grants = drive(mc, arrivals);
+  // Count per stream: the k-th grant of a stream cannot start before the
+  // k-th arrival of that stream (affinity reorders across streams only).
+  std::map<std::uint64_t, std::vector<sw::Tick>> arr_by_stream;
+  for (const auto& [t, s] : arrivals) arr_by_stream[s].push_back(t);
+  std::map<std::uint64_t, std::size_t> seen;
+  for (const auto& g : grants) {
+    const auto k = seen[g.stream]++;
+    EXPECT_GE(g.start, arr_by_stream[g.stream][k]);
+  }
+}
+
+TEST_P(ControllerProperty, Deterministic) {
+  sw::Rng rng(GetParam() ^ 0x123);
+  const auto arrivals = random_arrivals(rng, 250);
+  MemoryController a(kArch), b(kArch);
+  const auto ga = drive(a, arrivals);
+  const auto gb = drive(b, arrivals);
+  ASSERT_EQ(ga.size(), gb.size());
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    EXPECT_EQ(ga[i].stream, gb[i].stream);
+    EXPECT_EQ(ga[i].ready, gb[i].ready);
+  }
+}
+
+TEST_P(ControllerProperty, MakespanBoundedByBandwidthAndLatency) {
+  sw::Rng rng(GetParam() ^ 0x777);
+  const auto arrivals = random_arrivals(rng, 300);
+  MemoryController mc(kArch);
+  const auto grants = drive(mc, arrivals);
+  const sw::Tick last_arrival = arrivals.back().first;
+  const sw::Tick makespan = grants.back().ready;
+  // Lower bound: all transactions through the pipe from t=0.
+  EXPECT_GE(makespan, arrivals.size() * mc.service_ticks());
+  // Upper bound: even if everything queued behind the last arrival.
+  EXPECT_LE(makespan, last_arrival + arrivals.size() * mc.service_ticks() +
+                          sw::cycles_to_ticks(kArch.l_base_cycles));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace swperf::mem

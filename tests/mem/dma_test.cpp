@@ -1,0 +1,84 @@
+#include "mem/dma.h"
+
+#include <gtest/gtest.h>
+
+#include "mem/request.h"
+#include "sw/error.h"
+
+namespace swperf::mem {
+namespace {
+
+const sw::ArchParams kArch;
+
+TEST(DmaRequest, TransactionsRoundUpPerSegment_Eq5) {
+  EXPECT_EQ(DmaRequest::contiguous(256).transactions(kArch), 1u);
+  EXPECT_EQ(DmaRequest::contiguous(257).transactions(kArch), 2u);
+  EXPECT_EQ(DmaRequest::contiguous(8192).transactions(kArch), 32u);
+  // Strided: every segment rounds up separately -> transaction waste.
+  EXPECT_EQ(DmaRequest::strided(8, 32).transactions(kArch), 32u);
+  EXPECT_EQ(DmaRequest::contiguous(8 * 32).transactions(kArch), 1u);
+}
+
+TEST(DmaRequest, EfficiencyReflectsWaste) {
+  EXPECT_DOUBLE_EQ(DmaRequest::contiguous(256).efficiency(kArch), 1.0);
+  EXPECT_DOUBLE_EQ(DmaRequest::strided(64, 4).efficiency(kArch), 0.25);
+  EXPECT_DOUBLE_EQ(DmaRequest{}.efficiency(kArch), 1.0);
+}
+
+TEST(DmaRequest, MultiSegmentComposition) {
+  DmaRequest req;
+  req.add(1000, 1).add(100, 3);
+  EXPECT_EQ(req.total_bytes(), 1300u);
+  EXPECT_EQ(req.transactions(kArch), 4u + 3u);
+  EXPECT_EQ(req.transferred_bytes(kArch), 7u * 256u);
+  EXPECT_FALSE(req.empty());
+  EXPECT_TRUE(DmaRequest{}.empty());
+  // Zero-byte segments are dropped.
+  DmaRequest z;
+  z.add(0, 5);
+  EXPECT_TRUE(z.empty());
+}
+
+TEST(DmaEngine, PlanSpacesTransactionsByDeltaDelay) {
+  DmaEngine eng(kArch);
+  const auto offsets = eng.plan(DmaRequest::contiguous(1024));  // 4 trans
+  ASSERT_EQ(offsets.size(), 4u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], 500u);  // 50 cycles
+  EXPECT_EQ(offsets[3], 1500u);
+  EXPECT_EQ(eng.delta_ticks(), 500u);
+}
+
+TEST(DmaEngine, UncontendedRequestLatencyIsEq11) {
+  // L_avg = L_base + (MRT - 1) * delta: the paper's Eq. 11.
+  for (const std::uint64_t bytes : {256u, 1024u, 8192u}) {
+    MemoryController mc(kArch);
+    DmaEngine eng(kArch);
+    const auto req = DmaRequest::contiguous(bytes);
+    const auto mrt = req.transactions(kArch);
+    const sw::Tick done = eng.complete_request(mc, 0, req);
+    EXPECT_EQ(done, sw::cycles_to_ticks(220 + (mrt - 1) * 50))
+        << bytes << " bytes";
+  }
+}
+
+TEST(DmaEngine, EmptyRequestRejected) {
+  MemoryController mc(kArch);
+  DmaEngine eng(kArch);
+  EXPECT_THROW(eng.complete_request(mc, 0, DmaRequest{}), sw::Error);
+}
+
+TEST(DmaEngine, StridedAndContiguousSameBytesDifferentCost) {
+  MemoryController mc1(kArch), mc2(kArch);
+  DmaEngine eng(kArch);
+  const auto contig = DmaRequest::contiguous(2048);   // 8 transactions
+  const auto strided = DmaRequest::strided(64, 32);   // 32 transactions
+  EXPECT_EQ(contig.total_bytes(), strided.total_bytes());
+  const sw::Tick tc = eng.complete_request(mc1, 0, contig);
+  const sw::Tick ts = eng.complete_request(mc2, 0, strided);
+  EXPECT_LT(tc, ts);
+  EXPECT_EQ(mc2.transactions(), 32u);
+}
+
+}  // namespace
+}  // namespace swperf::mem

@@ -1,0 +1,63 @@
+#include "mem/spm.h"
+
+#include <gtest/gtest.h>
+
+#include "sw/error.h"
+
+namespace swperf::mem {
+namespace {
+
+TEST(Spm, BumpAllocationWithAlignment) {
+  SpmAllocator spm(1024);
+  EXPECT_EQ(spm.allocate("a", 10), 0u);
+  EXPECT_EQ(spm.allocate("b", 20, 32), 32u);  // aligned past the 10 bytes
+  EXPECT_EQ(spm.used(), 52u);
+  EXPECT_EQ(spm.remaining(), 1024u - 52u);
+  ASSERT_EQ(spm.buffers().size(), 2u);
+  EXPECT_EQ(spm.buffers()[1].name, "b");
+  EXPECT_EQ(spm.buffers()[1].offset, 32u);
+}
+
+TEST(Spm, OverflowThrowsWithDiagnostics) {
+  SpmAllocator spm(100);
+  spm.allocate("a", 64);
+  try {
+    spm.allocate("big", 64);
+    FAIL() << "expected overflow";
+  } catch (const sw::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("big"), std::string::npos);
+  }
+}
+
+TEST(Spm, WouldFitPredictsAllocate) {
+  SpmAllocator spm(256);
+  EXPECT_TRUE(spm.would_fit(256));
+  spm.allocate("a", 200);
+  EXPECT_TRUE(spm.would_fit(32));
+  EXPECT_FALSE(spm.would_fit(64));  // 200 aligns to 224, 224+64 > 256
+}
+
+TEST(Spm, ExactFitIsAccepted) {
+  SpmAllocator spm(128);
+  EXPECT_NO_THROW(spm.allocate("a", 128));
+  EXPECT_EQ(spm.remaining(), 0u);
+  EXPECT_FALSE(spm.would_fit(1));
+}
+
+TEST(Spm, ResetClears) {
+  SpmAllocator spm(128);
+  spm.allocate("a", 100);
+  spm.reset();
+  EXPECT_EQ(spm.used(), 0u);
+  EXPECT_TRUE(spm.buffers().empty());
+  EXPECT_NO_THROW(spm.allocate("b", 128));
+}
+
+TEST(Spm, BadAlignmentRejected) {
+  SpmAllocator spm(128);
+  EXPECT_THROW(spm.allocate("a", 8, 3), sw::Error);
+  EXPECT_THROW(spm.allocate("a", 8, 0), sw::Error);
+}
+
+}  // namespace
+}  // namespace swperf::mem

@@ -1,0 +1,123 @@
+// The headline integration property: the static model predicts the
+// simulator within paper-like error bounds across the whole suite
+// (Fig. 6: 5% average, 9.6% max; we allow modest slack at small scales).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+
+#include "kernels/kmeans.h"
+#include "kernels/suite.h"
+#include "kernels/wrf.h"
+#include "model/model.h"
+#include "sim/machine.h"
+#include "sw/stats.h"
+#include "swacc/lower.h"
+
+namespace swperf::model {
+namespace {
+
+const sw::ArchParams kArch;
+
+double prediction_error(const kernels::KernelSpec& spec,
+                        const swacc::LaunchParams& params) {
+  const auto lk = swacc::lower(spec.desc, params, kArch);
+  const auto sim = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+  const PerfModel m(kArch);
+  const auto pred = m.predict(lk.summary);
+  return sw::rel_error(pred.t_total, sim.total_cycles());
+}
+
+class SuiteAccuracy : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteAccuracy, TunedConfigWithinPerKernelBound) {
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kFull);
+  // Irregular kernels carry unmodelled imbalance (the paper's max error is
+  // on BFS); regular kernels must be tight.
+  const double bound = spec.irregular ? 0.16 : 0.09;
+  EXPECT_LT(prediction_error(spec, spec.tuned), bound);
+}
+
+TEST_P(SuiteAccuracy, NaiveConfigStillPredicted) {
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kSmall);
+  EXPECT_LT(prediction_error(spec, spec.naive), 0.30);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, SuiteAccuracy,
+    ::testing::ValuesIn(kernels::suite_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(SuiteAccuracy, AverageErrorMatchesPaperHeadline) {
+  sw::ErrorAccumulator acc;
+  const PerfModel m(kArch);
+  for (const auto& spec : kernels::fig6_suite(kernels::Scale::kFull)) {
+    const auto lk = swacc::lower(spec.desc, spec.tuned, kArch);
+    const auto sim = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+    acc.add(m.predict(lk.summary).t_total, sim.total_cycles());
+  }
+  // Paper: "less than 5% average errors". Allow a point of slack.
+  EXPECT_LT(acc.mean_error(), 0.06);
+  EXPECT_LT(acc.max_error(), 0.16);
+}
+
+TEST(SuiteAccuracy, AblationsDegradeAccuracy) {
+  // Each model term must earn its keep on the regular suite.
+  const PerfModel full(kArch);
+  const PerfModel no_overlap(kArch, ModelOptions{.overlap = false});
+  const PerfModel no_contention(
+      kArch, ModelOptions{.overlap = true,
+                          .virtual_grouping = true,
+                          .bandwidth_contention = false});
+  sw::ErrorAccumulator e_full, e_noov, e_nobw;
+  for (const auto& spec : kernels::fig6_suite(kernels::Scale::kSmall)) {
+    const auto lk = swacc::lower(spec.desc, spec.tuned, kArch);
+    const auto sim = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+    e_full.add(full.predict(lk.summary).t_total, sim.total_cycles());
+    e_noov.add(no_overlap.predict(lk.summary).t_total, sim.total_cycles());
+    e_nobw.add(no_contention.predict(lk.summary).t_total,
+               sim.total_cycles());
+  }
+  EXPECT_LT(e_full.mean_error(), e_noov.mean_error());
+  EXPECT_LT(e_full.mean_error(), e_nobw.mean_error());
+}
+
+class WrfCpeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WrfCpeSweep, DynamicsPredictedAcrossCpeCounts) {
+  const auto spec = kernels::wrf_dynamics(GetParam());
+  EXPECT_LT(prediction_error(spec, spec.tuned), 0.10)
+      << "active_cpes=" << GetParam();
+}
+
+TEST_P(WrfCpeSweep, PhysicsPredictedAcrossCpeCounts) {
+  const auto spec = kernels::wrf_physics(GetParam());
+  EXPECT_LT(prediction_error(spec, spec.tuned), 0.10)
+      << "active_cpes=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig9, WrfCpeSweep,
+                         ::testing::Values(8, 16, 32, 48, 64, 96, 128));
+
+TEST(SuiteAccuracy, InputSizeDoesNotBreakAccuracy) {
+  // Section V-D: "input size does not affect the accuracy of our model".
+  // The copy granularity scales with the input so every size keeps several
+  // chunks per CPE, as any sane configuration (or tuner) would.
+  for (const std::uint64_t n : {1u << 14, 1u << 16, 1u << 18}) {
+    kernels::KmeansConfig cfg;
+    cfg.n_points = n;
+    const auto spec = kernels::kmeans_cfg(cfg);
+    auto params = spec.tuned;
+    params.tile = std::clamp<std::uint64_t>(n / 64 / 8, 16, 256);
+    EXPECT_LT(prediction_error(spec, params), 0.09) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace swperf::model

@@ -1,0 +1,131 @@
+#include "model/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/kmeans.h"
+#include "kernels/suite.h"
+#include "kernels/vecadd.h"
+#include "kernels/wrf.h"
+#include "sw/error.h"
+#include "swacc/lower.h"
+
+namespace swperf::model {
+namespace {
+
+const sw::ArchParams kArch;
+
+Prediction synthetic_prediction() {
+  Prediction p;
+  p.t_dma = 10000.0;
+  p.t_comp = 8000.0;
+  p.t_overlap = 5000.0;
+  p.ng_dma = 16.0;
+  p.t_mem = 10000.0;
+  p.t_total = p.t_mem + p.t_comp - p.t_overlap;
+  return p;
+}
+
+TEST(Analysis, GranularitySavingEq13) {
+  const auto p = synthetic_prediction();
+  // (1/4 - 1/8) * T_DMA.
+  EXPECT_NEAR(granularity_saving(p, 4, 8), 0.125 * 10000.0, 1e-9);
+  // No change, no saving.
+  EXPECT_DOUBLE_EQ(granularity_saving(p, 4, 4), 0.0);
+  // Saving grows monotonically with the request-count increase.
+  EXPECT_LT(granularity_saving(p, 4, 8), granularity_saving(p, 4, 16));
+  // Shrinking the count is invalid.
+  EXPECT_THROW(granularity_saving(p, 8, 4), sw::Error);
+}
+
+TEST(Analysis, DoubleBufferSavingEq14) {
+  auto p = synthetic_prediction();
+  // min(T_DMA/NG, T_comp - T_overlap) = min(625, 3000).
+  EXPECT_NEAR(double_buffer_saving(p), 625.0, 1e-9);
+  // Fully overlapped compute: nothing left to save.
+  p.t_overlap = p.t_comp;
+  p.ng_dma = 2.0;
+  EXPECT_DOUBLE_EQ(double_buffer_saving(p), 0.0);
+  // No DMA at all.
+  p.ng_dma = 0.0;
+  EXPECT_DOUBLE_EQ(double_buffer_saving(p), 0.0);
+}
+
+TEST(Analysis, PaperCommonCaseOneSixteenth) {
+  // Section IV-2: with 64 CPEs and large DMA blocks, NG = 16 and the
+  // double-buffer benefit is at most T_DMA/16.
+  Prediction p;
+  p.t_dma = 16000.0;
+  p.ng_dma = 16.0;
+  p.t_comp = 1e9;
+  p.t_overlap = 0.0;
+  EXPECT_NEAR(double_buffer_saving(p), 1000.0, 1e-9);
+}
+
+TEST(Analysis, FewerCpesSavingEq15) {
+  auto p = synthetic_prediction();
+  // T_DMA(10000) > T_comp(8000): saving = 0.25 * 2000.
+  EXPECT_NEAR(fewer_cpes_saving(p, 0.25), 500.0, 1e-9);
+  // Compute-bound: no benefit.
+  p.t_comp = 20000.0;
+  EXPECT_DOUBLE_EQ(fewer_cpes_saving(p, 0.25), 0.0);
+  EXPECT_THROW(fewer_cpes_saving(p, 1.5), sw::Error);
+}
+
+TEST(Advisor, RecommendsDoubleBufferForScenario1Kernel) {
+  const PerfModel m(kArch);
+  const auto spec = kernels::kmeans(kernels::Scale::kSmall);
+  auto params = spec.tuned;
+  params.tile = 64;  // leave SPM headroom for the second buffer
+  const auto advice = advise(m, spec.desc, params);
+  bool has_db = false;
+  for (const auto& a : advice) {
+    EXPECT_GT(a.model_saving, 0.0);
+    EXPECT_GT(a.saving_fraction, 0.0);
+    EXPECT_FALSE(a.rationale.empty());
+    if (a.suggested.double_buffer) has_db = true;
+  }
+  EXPECT_TRUE(has_db);
+}
+
+TEST(Advisor, RecommendsFewerCpesForTransactionWaste) {
+  // A pathfinder-style kBlock2D launch with small column tiles wastes most
+  // of every transaction; fewer CPEs with proportionally larger chunks is
+  // the Section IV-3 remedy.
+  const PerfModel m(kArch);
+  auto spec = kernels::make("pathfinder", kernels::Scale::kSmall);
+  auto params = spec.tuned;
+  params.tile = 8;  // 32-B row segments: 87% of each transaction wasted
+  const auto advice = advise(m, spec.desc, params);
+  bool fewer = false;
+  for (const auto& a : advice) {
+    if (a.suggested.requested_cpes < params.requested_cpes) {
+      fewer = true;
+      EXPECT_GT(a.suggested.tile, params.tile);
+      EXPECT_GT(a.model_saving, 0.0);
+    }
+  }
+  EXPECT_TRUE(fewer);
+}
+
+TEST(Advisor, AdviceSortedByModelSaving) {
+  const PerfModel m(kArch);
+  const auto spec = kernels::vecadd(kernels::Scale::kSmall);
+  const auto advice = advise(m, spec.desc, spec.naive);
+  for (std::size_t i = 1; i < advice.size(); ++i) {
+    EXPECT_GE(advice[i - 1].model_saving, advice[i].model_saving);
+  }
+}
+
+TEST(Advisor, SuggestionsAreFeasible) {
+  const PerfModel m(kArch);
+  for (const auto* name : {"kmeans", "vecadd"}) {
+    const auto spec = kernels::make(name, kernels::Scale::kSmall);
+    for (const auto& a : advise(m, spec.desc, spec.tuned)) {
+      EXPECT_NO_THROW(swacc::lower(spec.desc, a.suggested, kArch))
+          << name << ": " << a.optimization;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swperf::model

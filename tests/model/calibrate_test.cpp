@@ -1,0 +1,63 @@
+#include "model/calibrate.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/suite.h"
+#include "model/model.h"
+#include "sim/machine.h"
+#include "sw/stats.h"
+#include "swacc/lower.h"
+
+namespace swperf::model {
+namespace {
+
+TEST(Calibrate, RecoversTableIOnSw26010) {
+  const auto machine = sw::ArchParams::sw26010();
+  const auto c = calibrate(machine);
+  EXPECT_NEAR(c.l_base_cycles, 220.0, 1.0);
+  EXPECT_NEAR(c.delta_delay_cycles, 50.0, 1.0);
+  EXPECT_NEAR(c.trans_service_cycles, 11.6, 0.2);
+  EXPECT_NEAR(c.mem_bw_gbps, 32.0, 0.5);
+}
+
+TEST(Calibrate, RecoversModifiedMachines) {
+  // The probes must measure whatever machine they run on, not assume
+  // SW26010 constants.
+  sw::ArchParams weird;
+  weird.l_base_cycles = 300;
+  weird.delta_delay_cycles = 80;
+  weird.mem_bw_gbps = 16.0;
+  const auto c = calibrate(weird);
+  EXPECT_NEAR(c.l_base_cycles, 300.0, 1.0);
+  EXPECT_NEAR(c.delta_delay_cycles, 80.0, 1.0);
+  EXPECT_NEAR(c.mem_bw_gbps, 16.0, 0.3);
+}
+
+TEST(Calibrate, AppliedParamsRoundTrip) {
+  const auto machine = sw::ArchParams::sw26010();
+  const auto applied = calibrate(machine).apply_to(machine);
+  EXPECT_EQ(applied.l_base_cycles, machine.l_base_cycles);
+  EXPECT_EQ(applied.delta_delay_cycles, machine.delta_delay_cycles);
+  EXPECT_NEAR(applied.mem_bw_gbps, machine.mem_bw_gbps, 0.5);
+}
+
+TEST(Calibrate, ModelFromRecoveredParamsPredictsAsWell) {
+  // Stand the model up from measured parameters only: accuracy across the
+  // suite must match the configured-parameter model closely.
+  const auto machine = sw::ArchParams::sw26010();
+  const auto recovered = calibrate(machine).apply_to(machine);
+  const PerfModel configured(machine);
+  const PerfModel measured(recovered);
+  sw::ErrorAccumulator e_conf, e_meas;
+  for (const auto& spec : kernels::fig6_suite(kernels::Scale::kSmall)) {
+    const auto lk = swacc::lower(spec.desc, spec.tuned, machine);
+    const auto sim =
+        sim::simulate(lk.sim_config, lk.binary, lk.programs);
+    e_conf.add(configured.predict(lk.summary).t_total, sim.total_cycles());
+    e_meas.add(measured.predict(lk.summary).t_total, sim.total_cycles());
+  }
+  EXPECT_LT(std::abs(e_meas.mean_error() - e_conf.mean_error()), 0.01);
+}
+
+}  // namespace
+}  // namespace swperf::model

@@ -1,0 +1,106 @@
+// Monotonicity and sanity properties of the analytical model over random
+// but well-formed StaticSummaries.
+#include <gtest/gtest.h>
+
+#include "model/model.h"
+#include "sw/rng.h"
+
+namespace swperf::model {
+namespace {
+
+const sw::ArchParams kArch;
+
+swacc::StaticSummary random_summary(sw::Rng& rng) {
+  swacc::StaticSummary s;
+  s.kernel = "prop";
+  s.active_cpes = static_cast<std::uint32_t>(1 + rng.next_below(64));
+  s.core_groups = 1;
+  const auto n_reqs = 1 + rng.next_below(64);
+  for (std::uint64_t i = 0; i < n_reqs; ++i) {
+    s.dma_req_mrt.push_back(1 + rng.next_below(64));
+  }
+  s.n_gloads = rng.next_below(2000);
+  s.comp_cycles = static_cast<double>(rng.next_below(2000000));
+  s.inst_counts[isa::OpClass::kFloatFma] = rng.next_below(100000);
+  return s;
+}
+
+class ModelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelProperty, OutputsAreWellFormed) {
+  sw::Rng rng(GetParam());
+  const PerfModel m(kArch);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = random_summary(rng);
+    const auto p = m.predict(s);
+    EXPECT_GE(p.t_total, 0.0);
+    EXPECT_GE(p.t_overlap, 0.0);
+    EXPECT_LE(p.t_overlap, p.t_comp + 1e-9);
+    EXPECT_LE(p.t_overlap, p.t_mem + 1e-9);
+    EXPECT_NEAR(p.t_mem, p.t_g + p.t_dma, 1e-9);
+    // Eq. 1 reassembles (before the double-buffer correction).
+    EXPECT_NEAR(p.t_total + p.double_buffer_saving,
+                p.t_mem + p.t_comp - p.t_overlap, 1e-6);
+    // T_total is bounded below by each exclusive resource.
+    EXPECT_GE(p.t_total + 1e-9, p.t_comp - p.t_overlap);
+    EXPECT_GE(p.t_total + 1e-9, p.t_mem - p.t_overlap);
+    if (!s.dma_req_mrt.empty()) {
+      EXPECT_GE(p.mrp_dma, 1.0);
+      EXPECT_LE(p.mrp_dma, static_cast<double>(s.active_cpes));
+      EXPECT_GE(p.ng_dma, 1.0);
+    }
+  }
+}
+
+TEST_P(ModelProperty, MonotoneInWork) {
+  sw::Rng rng(GetParam() ^ 0x51);
+  const PerfModel m(kArch);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto s = random_summary(rng);
+    const auto base = m.predict(s);
+
+    auto more_comp = s;
+    more_comp.comp_cycles *= 2.0;
+    EXPECT_GE(m.predict(more_comp).t_total, base.t_total - 1e-6);
+
+    auto more_gloads = s;
+    more_gloads.n_gloads = s.n_gloads * 2 + 1;
+    EXPECT_GE(m.predict(more_gloads).t_g, base.t_g);
+
+    auto more_dma = s;
+    more_dma.dma_req_mrt.push_back(32);
+    EXPECT_GT(m.predict(more_dma).t_dma, base.t_dma);
+  }
+}
+
+TEST_P(ModelProperty, DoubleBufferNeverPredictedSlower) {
+  sw::Rng rng(GetParam() ^ 0xd8);
+  const PerfModel m(kArch);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto s = random_summary(rng);
+    s.double_buffer = false;
+    const auto plain = m.predict(s);
+    s.double_buffer = true;
+    const auto db = m.predict(s);
+    EXPECT_LE(db.t_total, plain.t_total + 1e-6);
+    EXPECT_GE(db.double_buffer_saving, 0.0);
+  }
+}
+
+TEST_P(ModelProperty, MoreBandwidthNeverHurts) {
+  sw::Rng rng(GetParam() ^ 0xbb);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto s = random_summary(rng);
+    sw::ArchParams fast = kArch;
+    fast.mem_bw_gbps = 64.0;
+    const auto slow_p = PerfModel(kArch).predict(s);
+    const auto fast_p = PerfModel(fast).predict(s);
+    EXPECT_LE(fast_p.t_mem, slow_p.t_mem + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperty,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace swperf::model

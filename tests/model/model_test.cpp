@@ -1,0 +1,190 @@
+#include "model/model.h"
+
+#include <gtest/gtest.h>
+
+#include "sw/error.h"
+
+namespace swperf::model {
+namespace {
+
+const sw::ArchParams kArch;
+
+swacc::StaticSummary base_summary() {
+  swacc::StaticSummary s;
+  s.kernel = "synthetic";
+  s.active_cpes = 64;
+  s.core_groups = 1;
+  s.comp_cycles = 0.0;
+  return s;
+}
+
+TEST(PerfModel, ComputeOnlyPassesThroughEq6) {
+  auto s = base_summary();
+  s.comp_cycles = 12345.0;
+  s.inst_counts[isa::OpClass::kFloatAdd] = 1000;
+  const PerfModel m(kArch);
+  const auto p = m.predict(s);
+  EXPECT_DOUBLE_EQ(p.t_comp, 12345.0);
+  EXPECT_DOUBLE_EQ(p.t_total, 12345.0);
+  EXPECT_DOUBLE_EQ(p.t_mem, 0.0);
+  EXPECT_EQ(p.scenario, 0);
+  EXPECT_NEAR(p.avg_ilp, 1000.0 * 9.0 / 12345.0, 1e-12);
+}
+
+TEST(PerfModel, DmaTimeEq3To5HandComputed) {
+  auto s = base_summary();
+  s.dma_req_mrt = {8};  // one request of 8 transactions per CPE
+  const PerfModel m(kArch);
+  const auto p = m.predict(s);
+  // Bandwidth term: 64 CPEs x 8 MRT x 11.6 cycles = 5939.2; uncontended
+  // term L_avg = 220 + 7*50 = 570. Bandwidth dominates.
+  EXPECT_NEAR(p.t_dma, 64 * 8 * 11.6, 1e-6);
+  EXPECT_DOUBLE_EQ(p.t_mem, p.t_dma);
+  EXPECT_NEAR(p.avg_mrt_dma, 8.0, 1e-12);
+  EXPECT_NEAR(p.l_avg_dma, 570.0, 1e-12);
+  // Eq. 10: MRP = 570 / (11.6 * 8) = 6.14; Eq. 9: NG = 64 / MRP.
+  EXPECT_NEAR(p.mrp_dma, 570.0 / (11.6 * 8.0), 1e-9);
+  EXPECT_NEAR(p.ng_dma, 64.0 / p.mrp_dma, 1e-9);
+}
+
+TEST(PerfModel, UncontendedTermWinsAtLowCpeCounts) {
+  auto s = base_summary();
+  s.active_cpes = 2;
+  s.dma_req_mrt = {8};
+  const PerfModel m(kArch);
+  const auto p = m.predict(s);
+  // 2 x 8 x 11.6 = 185.6 < L_avg 570: latency-bound.
+  EXPECT_NEAR(p.t_dma, 570.0, 1e-9);
+}
+
+TEST(PerfModel, GloadTimeUsesOneTransactionPerRequest) {
+  auto s = base_summary();
+  s.n_gloads = 100;
+  const PerfModel m(kArch);
+  const auto p = m.predict(s);
+  // max(220, 64 * 11.6) = 742.4 per gload.
+  EXPECT_NEAR(p.t_g, 100 * 742.4, 1e-6);
+  // MRP_g = 220 / 11.6 = 18.97.
+  EXPECT_NEAR(p.mrp_g, 220.0 / 11.6, 1e-9);
+}
+
+TEST(PerfModel, OverlapEq7And8) {
+  auto s = base_summary();
+  s.dma_req_mrt = {8, 8, 8, 8};  // 4 requests
+  s.comp_cycles = 1e9;           // compute-dominated: Scenario 1
+  const PerfModel m(kArch);
+  const auto p = m.predict(s);
+  const double expected_ov =
+      (1.0 - 1.0 / p.ng_dma) * (1.0 - 1.0 / 4.0) * p.t_dma;
+  EXPECT_NEAR(p.t_dma_overlap, expected_ov, 1e-6);
+  EXPECT_NEAR(p.t_overlap, expected_ov, 1e-6);
+  EXPECT_EQ(p.scenario, 1);
+  EXPECT_NEAR(p.t_total, p.t_mem + p.t_comp - p.t_overlap, 1e-6);
+}
+
+TEST(PerfModel, Scenario2FullyHidesCompute) {
+  auto s = base_summary();
+  s.dma_req_mrt.assign(64, 8);  // lots of DMA
+  s.comp_cycles = 1000.0;       // tiny compute
+  const PerfModel m(kArch);
+  const auto p = m.predict(s);
+  EXPECT_EQ(p.scenario, 2);
+  EXPECT_DOUBLE_EQ(p.t_overlap, p.t_comp);
+  EXPECT_DOUBLE_EQ(p.t_total, p.t_mem);
+}
+
+TEST(PerfModel, SingleRequestHasNoOverlap) {
+  auto s = base_summary();
+  s.dma_req_mrt = {8};
+  s.comp_cycles = 1e6;
+  const PerfModel m(kArch);
+  const auto p = m.predict(s);
+  // (1 - 1/#reqs) with one request: nothing overlaps.
+  EXPECT_DOUBLE_EQ(p.t_dma_overlap, 0.0);
+}
+
+TEST(PerfModel, DoubleBufferSavingEq14) {
+  auto s = base_summary();
+  s.dma_req_mrt.assign(8, 8);
+  s.comp_cycles = 1e7;  // Scenario 1, plenty of unhidden compute
+  const PerfModel m(kArch);
+  const auto base = m.predict(s);
+  s.double_buffer = true;
+  const auto db = m.predict(s);
+  EXPECT_NEAR(db.double_buffer_saving,
+              std::min(base.t_dma / base.ng_dma,
+                       base.t_comp - base.t_overlap),
+              1e-6);
+  EXPECT_NEAR(db.t_total, base.t_total - db.double_buffer_saving, 1e-6);
+  EXPECT_LT(db.t_total, base.t_total);
+}
+
+TEST(PerfModel, MultiCgScalesBandwidthLinearly) {
+  auto s = base_summary();
+  s.dma_req_mrt.assign(16, 8);
+  const PerfModel m(kArch);
+  const auto one = m.predict(s);
+  s.core_groups = 2;
+  s.active_cpes = 128;
+  const auto two = m.predict(s);
+  // Twice the CPEs on twice the bandwidth (with cross-section efficiency):
+  // per-CPE DMA time is nearly unchanged.
+  EXPECT_NEAR(two.t_dma, one.t_dma / kArch.cross_section_bw_efficiency,
+              1e-6);
+  EXPECT_NEAR(m.trans_cycles(2),
+              kArch.trans_service_cycles() /
+                  (2.0 * kArch.cross_section_bw_efficiency),
+              1e-12);
+}
+
+TEST(PerfModel, AblationNoOverlap) {
+  auto s = base_summary();
+  s.dma_req_mrt.assign(8, 8);
+  s.comp_cycles = 1e6;
+  const PerfModel full(kArch);
+  const PerfModel crippled(kArch, ModelOptions{.overlap = false});
+  EXPECT_GT(crippled.predict(s).t_total, full.predict(s).t_total);
+  EXPECT_DOUBLE_EQ(crippled.predict(s).t_overlap, 0.0);
+}
+
+TEST(PerfModel, AblationNoVirtualGrouping) {
+  auto s = base_summary();
+  s.dma_req_mrt.assign(8, 8);
+  s.comp_cycles = 1e9;  // scenario 1 so the overlap term matters
+  const PerfModel full(kArch);
+  const PerfModel gpu_style(kArch,
+                            ModelOptions{.virtual_grouping = false});
+  // Treating CPEs like independent SMs inflates the overlap estimate.
+  EXPECT_GT(gpu_style.predict(s).t_overlap, full.predict(s).t_overlap);
+  EXPECT_LT(gpu_style.predict(s).t_total, full.predict(s).t_total);
+}
+
+TEST(PerfModel, AblationNoBandwidthContention) {
+  auto s = base_summary();
+  s.dma_req_mrt.assign(8, 8);
+  const PerfModel full(kArch);
+  const PerfModel naive(kArch,
+                        ModelOptions{.overlap = true,
+                                     .virtual_grouping = true,
+                                     .bandwidth_contention = false});
+  // Without contention each request costs only L_avg.
+  EXPECT_NEAR(naive.predict(s).t_dma, 8 * 570.0, 1e-9);
+  EXPECT_LT(naive.predict(s).t_dma, full.predict(s).t_dma);
+}
+
+TEST(PerfModel, RejectsEmptySummary) {
+  swacc::StaticSummary s;
+  const PerfModel m(kArch);
+  EXPECT_THROW(m.predict(s), sw::Error);
+}
+
+TEST(Prediction, WallClockAndGflops) {
+  Prediction p;
+  p.t_total = 1.45e6;  // 1 ms at 1.45 GHz
+  EXPECT_NEAR(p.total_us(1.45), 1000.0, 1e-9);
+  // 1e6 flops in 1 ms -> 1 GFLOPS.
+  EXPECT_NEAR(p.gflops(1e6, 1.45), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace swperf::model

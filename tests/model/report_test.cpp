@@ -1,0 +1,75 @@
+#include "model/report.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/suite.h"
+
+namespace swperf::model {
+namespace {
+
+const sw::ArchParams kArch;
+
+TEST(Report, ClassifiesMemoryBoundKernel) {
+  const PerfModel m(kArch);
+  const auto spec = kernels::make("vecadd", kernels::Scale::kSmall);
+  const auto r = analyze(m, spec.desc, spec.tuned);
+  EXPECT_EQ(r.bottleneck, Bottleneck::kMemoryBandwidth);
+  EXPECT_GT(r.dma_fraction, 0.9);
+  EXPECT_DOUBLE_EQ(r.dma_efficiency, 1.0);
+}
+
+TEST(Report, ClassifiesComputeBoundKernel) {
+  const PerfModel m(kArch);
+  const auto spec = kernels::make("wrf_physics", kernels::Scale::kSmall);
+  const auto r = analyze(m, spec.desc, spec.tuned);
+  EXPECT_EQ(r.bottleneck, Bottleneck::kCompute);
+  EXPECT_GT(r.comp_fraction, 0.5);
+  EXPECT_EQ(r.prediction.scenario, 1);
+}
+
+TEST(Report, ClassifiesGloadBoundKernel) {
+  const PerfModel m(kArch);
+  const auto spec = kernels::make("bfs", kernels::Scale::kSmall);
+  const auto r = analyze(m, spec.desc, spec.tuned);
+  EXPECT_EQ(r.bottleneck, Bottleneck::kGload);
+  EXPECT_GT(r.gload_fraction, 0.9);
+}
+
+TEST(Report, FractionsAreConsistent) {
+  const PerfModel m(kArch);
+  for (const auto& spec : kernels::fig6_suite(kernels::Scale::kSmall)) {
+    const auto r = analyze(m, spec.desc, spec.tuned);
+    // T_total = T_mem + T_comp - T_overlap, so the fractions reassemble.
+    EXPECT_NEAR(r.dma_fraction + r.gload_fraction + r.comp_fraction -
+                    r.overlap_fraction,
+                1.0, 1e-6)
+        << spec.desc.name;
+    EXPECT_GE(r.dma_efficiency, 0.0);
+    EXPECT_LE(r.dma_efficiency, 1.0);
+    EXPECT_LE(r.roofline_fraction, 1.001) << spec.desc.name;
+  }
+}
+
+TEST(Report, RendersReadableText) {
+  const PerfModel m(kArch);
+  const auto spec = kernels::make("kmeans", kernels::Scale::kSmall);
+  const auto r = analyze(m, spec.desc, spec.tuned);
+  const auto s = r.to_string(kArch);
+  EXPECT_NE(s.find("kmeans"), std::string::npos);
+  EXPECT_NE(s.find("bottleneck"), std::string::npos);
+  EXPECT_NE(s.find("breakdown"), std::string::npos);
+  EXPECT_NE(s.find("GFLOPS"), std::string::npos);
+}
+
+TEST(Report, WastefulLaunchReportsLowEfficiency) {
+  const PerfModel m(kArch);
+  const auto spec = kernels::make("pathfinder", kernels::Scale::kSmall);
+  auto params = spec.tuned;
+  params.tile = 4;  // 16-B row segments: massive waste
+  const auto r = analyze(m, spec.desc, params);
+  EXPECT_LT(r.dma_efficiency, 0.1);
+  EXPECT_FALSE(r.advice.empty());
+}
+
+}  // namespace
+}  // namespace swperf::model

@@ -1,0 +1,99 @@
+#include "model/roofline.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/suite.h"
+#include "model/model.h"
+#include "sim/machine.h"
+#include "swacc/lower.h"
+
+namespace swperf::model {
+namespace {
+
+const sw::ArchParams kArch;
+
+swacc::StaticSummary summary_of(const kernels::KernelSpec& spec,
+                                const swacc::LaunchParams& p) {
+  return swacc::lower(spec.desc, p, kArch).summary;
+}
+
+TEST(Roofline, HandComputedMemoryBoundCase) {
+  swacc::StaticSummary s;
+  s.active_cpes = 64;
+  s.core_groups = 1;
+  s.total_flops = 1e6;
+  s.dma_bytes_requested = 100 * 1000 * 1000;  // 100 MB: memory roof binds
+  s.dma_bytes_transferred = s.dma_bytes_requested;
+  const RooflineModel m(kArch);
+  const auto p = m.predict(s);
+  EXPECT_TRUE(p.memory_bound);
+  EXPECT_NEAR(p.arithmetic_intensity, 0.01, 1e-9);
+  // Memory roof: 1e8 B / (32/1.45 B per cycle).
+  EXPECT_NEAR(p.t_cycles, 1e8 / (32.0 / 1.45), 1.0);
+}
+
+TEST(Roofline, HandComputedComputeBoundCase) {
+  swacc::StaticSummary s;
+  s.active_cpes = 64;
+  s.core_groups = 1;
+  s.total_flops = 1e9;
+  s.dma_bytes_requested = 1000;
+  s.dma_bytes_transferred = 1000;
+  const RooflineModel m(kArch);
+  const auto p = m.predict(s);
+  EXPECT_FALSE(p.memory_bound);
+  EXPECT_NEAR(p.t_cycles, 1e9 / (8.0 * 64.0), 1.0);
+  // Attainable = peak: 742.4 GFLOPS.
+  EXPECT_NEAR(p.attainable_gflops, kArch.peak_gflops_per_cg(), 1.0);
+}
+
+TEST(Roofline, IsALowerBoundOnSimulatedTime) {
+  const RooflineModel m(kArch);
+  for (const auto& spec :
+       kernels::fig6_suite(kernels::Scale::kSmall)) {
+    const auto lowered = swacc::lower(spec.desc, spec.tuned, kArch);
+    const auto sim =
+        sim::simulate(lowered.sim_config, lowered.binary, lowered.programs);
+    const auto p = m.predict(lowered.summary);
+    EXPECT_LE(p.t_cycles, sim.total_cycles() * 1.001) << spec.desc.name;
+  }
+}
+
+TEST(Roofline, TransactionAwareVariantTightensGloadKernels) {
+  const auto spec = kernels::make("bfs", kernels::Scale::kSmall);
+  const auto s = summary_of(spec, spec.tuned);
+  const RooflineModel classic(kArch);
+  const RooflineModel tx(kArch, /*transaction_aware=*/true);
+  // Counting whole transactions for 8-byte gloads raises the memory roof
+  // (bytes) by ~32x on a gload-dominated kernel.
+  EXPECT_GT(tx.predict(s).t_cycles, 10.0 * classic.predict(s).t_cycles);
+}
+
+TEST(Roofline, BlindToGranularity) {
+  // Same traffic at different granularity: identical Roofline prediction,
+  // different precise-model prediction (Eq. 13's point).
+  const auto spec = kernels::make("kmeans", kernels::Scale::kSmall);
+  auto coarse = spec.tuned;
+  coarse.tile = 256;
+  auto fine = spec.tuned;
+  fine.tile = 32;
+  const RooflineModel roof(kArch);
+  const PerfModel precise(kArch);
+  const auto sc = summary_of(spec, coarse);
+  const auto sf = summary_of(spec, fine);
+  EXPECT_DOUBLE_EQ(roof.predict(sc).t_cycles, roof.predict(sf).t_cycles);
+  EXPECT_NE(precise.predict(sc).t_total, precise.predict(sf).t_total);
+}
+
+TEST(Roofline, FlopFreeKernelStillGetsMemoryRoof) {
+  const auto spec = kernels::make("pathfinder", kernels::Scale::kSmall);
+  const auto s = summary_of(spec, spec.tuned);
+  const RooflineModel m(kArch);
+  const auto p = m.predict(s);
+  EXPECT_TRUE(p.memory_bound);
+  EXPECT_GT(p.t_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(p.attainable_gflops, 0.0);
+}
+
+}  // namespace
+}  // namespace swperf::model

@@ -1,0 +1,93 @@
+// Golden regression tests: the simulator and the model are fully
+// deterministic, so every kernel's cycle counts are pinned exactly.
+//
+// Purpose: any change to the scheduler, the memory controller's
+// arbitration, the lowering, or the model equations that shifts timing —
+// intentionally or not — must show up here and be re-baselined
+// consciously (the EXPERIMENTS.md numbers depend on these behaviours).
+//
+// Regenerate after an intentional change with:
+//   for k in $(build/tools/swperf list | cut -d' ' -f1); do
+//     build/tools/swperf simulate $k --small; done
+// or the snippet in this file's history.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "kernels/suite.h"
+#include "model/model.h"
+#include "sim/machine.h"
+#include "swacc/lower.h"
+
+namespace swperf {
+namespace {
+
+struct Golden {
+  const char* kernel;
+  std::uint64_t sim_ticks;   // exact
+  double model_cycles;       // to 0.1 cycles
+};
+
+// Baselines: tuned presets at Scale::kSmall, Table I parameters.
+constexpr Golden kGolden[] = {
+    {"vecadd", 714788ull, 71270.4},
+    {"kmeans", 2460402ull, 185993.8},
+    {"cfd", 2145902ull, 242022.4},
+    {"lud", 1024584ull, 100966.4},
+    {"hotspot", 382684ull, 35635.2},
+    {"backprop", 894252ull, 62191.9},
+    {"nbody", 3858732ull, 383750.4},
+    {"bfs", 9791364ull, 1098752.0},
+    {"b+tree", 9939646ull, 990880.6},
+    {"streamcluster", 15839554ull, 1717913.6},
+    {"leukocyte", 5145415ull, 462965.6},
+    {"pathfinder", 1417192ull, 104586.4},
+    {"srad", 882812ull, 85503.2},
+    {"nw", 1442340ull, 144025.6},
+    {"gaussian", 254500ull, 25241.6},
+    {"wrf_dynamics", 2852900ull, 285081.6},
+    {"wrf_physics", 2270956ull, 209516.4},
+};
+
+class GoldenRegression : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenRegression, SimulatedTicksPinned) {
+  const auto& g = GetParam();
+  const auto spec = kernels::make(g.kernel, kernels::Scale::kSmall);
+  const auto lk =
+      swacc::lower(spec.desc, spec.tuned, sw::ArchParams::sw26010());
+  const auto r = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+  EXPECT_EQ(r.total_ticks, g.sim_ticks)
+      << g.kernel << ": simulator behaviour changed — re-baseline "
+      << "consciously (EXPERIMENTS.md numbers depend on it)";
+}
+
+TEST_P(GoldenRegression, ModelCyclesPinned) {
+  const auto& g = GetParam();
+  const auto spec = kernels::make(g.kernel, kernels::Scale::kSmall);
+  const auto lk =
+      swacc::lower(spec.desc, spec.tuned, sw::ArchParams::sw26010());
+  const auto p =
+      model::PerfModel(sw::ArchParams::sw26010()).predict(lk.summary);
+  EXPECT_NEAR(p.t_total, g.model_cycles, 0.05)
+      << g.kernel << ": model output changed — re-baseline consciously";
+}
+
+TEST(GoldenRegression, CoversTheWholeRegistry) {
+  // A kernel added to the registry must be baselined here too.
+  EXPECT_EQ(std::size(kGolden), kernels::suite_names().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, GoldenRegression, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<Golden>& info) {
+      std::string name = info.param.kernel;
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace swperf

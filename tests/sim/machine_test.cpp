@@ -1,0 +1,227 @@
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/schedule.h"
+#include "sw/error.h"
+
+namespace swperf::sim {
+namespace {
+
+const sw::ArchParams kArch;
+
+isa::BasicBlock flops_block(int n) {
+  isa::BlockBuilder b("flops");
+  const auto x = b.reg();
+  for (int i = 0; i < n; ++i) b.fmul(x, x);
+  return std::move(b).build();
+}
+
+SimConfig cfg1() { return SimConfig{kArch, 1}; }
+
+TEST(Machine, ComputeOnlyMatchesStaticSchedule) {
+  KernelBinary bin;
+  const auto blk = flops_block(10);
+  isa::LoopSchedule ls(blk, kArch);
+  bin.add_block(blk);
+  CpeProgram p;
+  p.compute(0, 1000);
+  const auto r = simulate(cfg1(), bin, {p});
+  EXPECT_EQ(r.total_ticks, sw::cycles_to_ticks(ls.cycles(1000)));
+  EXPECT_EQ(r.cpes[0].comp, r.total_ticks);
+  EXPECT_EQ(r.transactions, 0u);
+}
+
+TEST(Machine, BlockingDmaUncontendedLatency) {
+  KernelBinary bin;
+  CpeProgram p;
+  p.dma(mem::DmaRequest::contiguous(1024));  // 4 transactions
+  const auto r = simulate(cfg1(), bin, {p});
+  // Eq. 11: 220 + 3*50 cycles.
+  EXPECT_EQ(r.total_ticks, sw::cycles_to_ticks(220 + 3 * 50));
+  EXPECT_EQ(r.cpes[0].dma_wait, r.total_ticks);
+  EXPECT_EQ(r.transactions, 4u);
+}
+
+TEST(Machine, SixtyFourCpeDmaContentionIsBandwidthBound) {
+  KernelBinary bin;
+  std::vector<CpeProgram> ps(64);
+  for (auto& p : ps) p.dma(mem::DmaRequest::contiguous(4096));  // 16 trans
+  const auto r = simulate(cfg1(), bin, ps);
+  // 1024 transactions at 11.6 cycles each dominate.
+  const double total = r.total_cycles();
+  EXPECT_GT(total, 1024 * 11.6);
+  EXPECT_LT(total, 1024 * 11.6 * 1.15 + 220);
+  EXPECT_EQ(r.transactions, 1024u);
+}
+
+TEST(Machine, AsyncDmaOverlapsCompute) {
+  KernelBinary bin;
+  bin.add_block(flops_block(10));
+  isa::LoopSchedule ls(flops_block(10), kArch);
+  const std::uint64_t comp_ticks = sw::cycles_to_ticks(ls.cycles(500));
+
+  CpeProgram serial;
+  serial.dma(mem::DmaRequest::contiguous(8192));
+  serial.compute(0, 500);
+  const auto rs = simulate(cfg1(), bin, {serial});
+
+  CpeProgram overlapped;
+  overlapped.dma(mem::DmaRequest::contiguous(8192), /*handle=*/0);
+  overlapped.compute(0, 500);
+  overlapped.dma_wait(0);
+  const auto ro = simulate(cfg1(), bin, {overlapped});
+
+  EXPECT_LT(ro.total_ticks, rs.total_ticks);
+  // Full overlap: total is max(dma, comp), not the sum.
+  const std::uint64_t dma_ticks = rs.total_ticks - comp_ticks;
+  EXPECT_NEAR(static_cast<double>(ro.total_ticks),
+              static_cast<double>(std::max(dma_ticks, comp_ticks)),
+              static_cast<double>(sw::cycles_to_ticks(5)));
+}
+
+TEST(Machine, DmaWaitOnCompletedRequestIsFree) {
+  KernelBinary bin;
+  bin.add_block(flops_block(10));
+  CpeProgram p;
+  p.dma(mem::DmaRequest::contiguous(256), 0);
+  p.compute(0, 10000);  // far longer than the DMA
+  p.dma_wait(0);
+  const auto r = simulate(cfg1(), bin, {p});
+  EXPECT_EQ(r.cpes[0].dma_wait, 0u);
+}
+
+TEST(Machine, GloadLoopUncontended) {
+  KernelBinary bin;
+  CpeProgram p;
+  GloadLoopOp g;
+  g.count = 10;
+  g.bytes = 8;
+  g.compute_ticks_per_elem = 100;
+  p.gload_loop(g);
+  const auto r = simulate(cfg1(), bin, {p});
+  // Serial: each gload takes L_base, then its compute.
+  EXPECT_EQ(r.total_ticks, 10 * (sw::cycles_to_ticks(220) + 100));
+  EXPECT_EQ(r.cpes[0].gload_requests, 10u);
+  EXPECT_EQ(r.cpes[0].comp, 1000u);
+  EXPECT_EQ(r.transactions, 10u);
+}
+
+TEST(Machine, GloadRejectsOversizedRequests) {
+  KernelBinary bin;
+  CpeProgram p;
+  GloadLoopOp g;
+  g.count = 1;
+  g.bytes = 64;  // > 32-byte gload limit
+  p.gload_loop(g);
+  EXPECT_THROW(simulate(cfg1(), bin, {p}), sw::Error);
+}
+
+TEST(Machine, BarrierSynchronisesCpes) {
+  KernelBinary bin;
+  bin.add_block(flops_block(10));
+  std::vector<CpeProgram> ps(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ps[i].compute(0, 100 * (i + 1));  // staggered arrival
+    ps[i].barrier();
+    ps[i].compute(0, 10);
+  }
+  const auto r = simulate(cfg1(), bin, ps);
+  // Everyone leaves the barrier at the slowest CPE's arrival time.
+  isa::LoopSchedule ls(flops_block(10), kArch);
+  const sw::Tick slowest = sw::cycles_to_ticks(ls.cycles(400));
+  const sw::Tick tail = sw::cycles_to_ticks(ls.cycles(10));
+  for (const auto& c : r.cpes) {
+    EXPECT_EQ(c.finish, slowest + tail);
+  }
+  EXPECT_EQ(r.cpes[0].barrier_wait,
+            slowest - sw::cycles_to_ticks(ls.cycles(100)));
+  EXPECT_EQ(r.cpes[3].barrier_wait, 0u);
+}
+
+TEST(Machine, BarrierMismatchDeadlocksWithDiagnostic) {
+  KernelBinary bin;
+  bin.add_block(flops_block(2));
+  std::vector<CpeProgram> ps(2);
+  ps[0].barrier();
+  ps[1].compute(0, 1);  // never reaches a barrier
+  EXPECT_THROW(simulate(cfg1(), bin, ps), sw::Error);
+}
+
+TEST(Machine, DoubleIssueOnBusyHandleRejected) {
+  KernelBinary bin;
+  CpeProgram p;
+  p.dma(mem::DmaRequest::contiguous(65536), 0);
+  p.dma(mem::DmaRequest::contiguous(65536), 0);  // handle still in flight
+  EXPECT_THROW(simulate(cfg1(), bin, {p}), sw::Error);
+}
+
+TEST(Machine, Deterministic) {
+  KernelBinary bin;
+  bin.add_block(flops_block(6));
+  std::vector<CpeProgram> ps(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (int c = 0; c < 4; ++c) {
+      ps[i].dma(mem::DmaRequest::contiguous(2048 + 256 * (i % 3)));
+      ps[i].compute(0, 64);
+      ps[i].dma(mem::DmaRequest::contiguous(1024, mem::Direction::kWrite));
+    }
+  }
+  const auto a = simulate(cfg1(), bin, ps);
+  const auto b = simulate(cfg1(), bin, ps);
+  EXPECT_EQ(a.total_ticks, b.total_ticks);
+  for (std::size_t i = 0; i < a.cpes.size(); ++i) {
+    EXPECT_EQ(a.cpes[i].finish, b.cpes[i].finish);
+    EXPECT_EQ(a.cpes[i].dma_wait, b.cpes[i].dma_wait);
+  }
+}
+
+TEST(Machine, MultiCgScalesBandwidth) {
+  KernelBinary bin;
+  auto make = [&](std::size_t n) {
+    std::vector<CpeProgram> ps(n);
+    for (auto& p : ps) {
+      for (int c = 0; c < 8; ++c) p.dma(mem::DmaRequest::contiguous(8192));
+    }
+    return ps;
+  };
+  const auto r1 = simulate(SimConfig{kArch, 1}, bin, make(64));
+  const auto r2 = simulate(SimConfig{kArch, 2}, bin, make(128));
+  // Twice the CPEs and twice the traffic on twice the controllers: total
+  // time stays within cross-section efficiency of the single-CG run.
+  EXPECT_LT(r2.total_cycles(), r1.total_cycles() * 1.15);
+  EXPECT_GT(r2.total_cycles(), r1.total_cycles() * 0.95);
+}
+
+TEST(Machine, RejectsTooManyPrograms) {
+  KernelBinary bin;
+  std::vector<CpeProgram> ps(65);
+  for (auto& p : ps) p.delay(1);
+  EXPECT_THROW(simulate(SimConfig{kArch, 1}, bin, ps), sw::Error);
+  EXPECT_NO_THROW(simulate(SimConfig{kArch, 2}, bin, ps));
+}
+
+TEST(Machine, DelayOpAdvancesTime) {
+  KernelBinary bin;
+  CpeProgram p;
+  p.delay(12345);
+  const auto r = simulate(cfg1(), bin, {p});
+  EXPECT_EQ(r.total_ticks, 12345u);
+}
+
+TEST(Machine, StatsBreakdownConsistent) {
+  KernelBinary bin;
+  bin.add_block(flops_block(8));
+  CpeProgram p;
+  p.dma(mem::DmaRequest::contiguous(4096));
+  p.compute(0, 200);
+  p.dma(mem::DmaRequest::contiguous(4096, mem::Direction::kWrite));
+  const auto r = simulate(cfg1(), bin, {p});
+  const auto& c = r.cpes[0];
+  // A fully serial program's finish time decomposes exactly.
+  EXPECT_EQ(c.finish, c.comp + c.dma_wait + c.gload_wait + c.barrier_wait);
+  EXPECT_EQ(c.dma_requests, 2u);
+}
+
+}  // namespace
+}  // namespace swperf::sim

@@ -1,0 +1,132 @@
+// Integration tests of the memory/computation overlap phenomena the paper
+// models in Section III-A and exploits in Section IV.
+#include <gtest/gtest.h>
+
+#include "isa/schedule.h"
+#include "sim/machine.h"
+
+namespace swperf::sim {
+namespace {
+
+const sw::ArchParams kArch;
+
+isa::BasicBlock flops_block(int n) {
+  isa::BlockBuilder b("flops");
+  const auto x = b.reg();
+  for (int i = 0; i < n; ++i) b.fmul(x, x);
+  return std::move(b).build();
+}
+
+/// Chunked get-compute-put program over `chunks` chunks.
+std::vector<CpeProgram> chunked(std::size_t n_cpes, int chunks,
+                                std::uint64_t bytes, std::uint64_t iters,
+                                bool double_buffer) {
+  std::vector<CpeProgram> ps(n_cpes);
+  for (auto& p : ps) {
+    if (!double_buffer) {
+      for (int c = 0; c < chunks; ++c) {
+        p.dma(mem::DmaRequest::contiguous(bytes));
+        p.compute(0, iters);
+        p.dma(mem::DmaRequest::contiguous(bytes, mem::Direction::kWrite));
+      }
+    } else {
+      p.dma(mem::DmaRequest::contiguous(bytes), 0);
+      for (int c = 0; c < chunks; ++c) {
+        p.dma_wait(c % 2);
+        if (c + 1 < chunks) {
+          p.dma(mem::DmaRequest::contiguous(bytes),
+                (c + 1) % 2);
+        }
+        p.compute(0, iters);
+        if (c >= 2) p.dma_wait(2 + c % 2);
+        p.dma(mem::DmaRequest::contiguous(bytes, mem::Direction::kWrite),
+              2 + c % 2);
+      }
+      p.dma_wait(2 + (chunks - 1) % 2);
+      if (chunks >= 2) p.dma_wait(2 + (chunks - 2) % 2);
+    }
+  }
+  return ps;
+}
+
+KernelBinary bin_with_flops(int n) {
+  KernelBinary bin;
+  bin.add_block(flops_block(n));
+  return bin;
+}
+
+TEST(Overlap, CrossCpeStaggeringHidesCompute) {
+  // 64 CPEs looping get-compute-put: computation of one CPE overlaps the
+  // DMA of others, so total << serial sum.
+  const auto bin = bin_with_flops(16);
+  const auto ps = chunked(64, 8, 4096, 256, false);
+  const auto r = simulate(SimConfig{kArch, 1}, bin, ps);
+
+  double serial_one = 0;  // single CPE, no contention
+  const auto r1 =
+      simulate(SimConfig{kArch, 1}, bin, chunked(1, 8, 4096, 256, false));
+  serial_one = r1.total_cycles();
+
+  // Bandwidth floor: 64 CPEs x 8 chunks x 32 transactions x 2 directions.
+  const double floor = 64 * 8 * 16 * 2 * 11.6;
+  EXPECT_GT(r.total_cycles(), floor * 0.98);
+  // Overlap: total is far less than 64 serialised CPEs, and less than
+  // bandwidth + compute stacked end to end.
+  const auto& c = r.cpes[0];
+  EXPECT_LT(r.total_cycles(), floor + serial_one);
+  EXPECT_GT(c.comp, 0u);
+}
+
+TEST(Overlap, SmallerGranularityNeverMuchWorse) {
+  // Eq. 13: splitting the same traffic into more requests increases
+  // overlap. Compare 4 chunks vs 16 chunks of proportionally smaller size.
+  const auto bin = bin_with_flops(64);
+  const auto coarse =
+      simulate(SimConfig{kArch, 1}, bin, chunked(64, 4, 16384, 512, false));
+  const auto fine =
+      simulate(SimConfig{kArch, 1}, bin, chunked(64, 16, 4096, 128, false));
+  EXPECT_LT(fine.total_cycles(), coarse.total_cycles() * 1.02);
+}
+
+TEST(Overlap, DoubleBufferNeverSlower) {
+  const auto bin = bin_with_flops(64);
+  for (const std::uint64_t iters : {64u, 256u, 1024u}) {
+    const auto plain =
+        simulate(SimConfig{kArch, 1}, bin, chunked(64, 8, 8192, iters, false));
+    const auto db =
+        simulate(SimConfig{kArch, 1}, bin, chunked(64, 8, 8192, iters, true));
+    EXPECT_LE(db.total_cycles(), plain.total_cycles() * 1.005)
+        << "iters=" << iters;
+  }
+}
+
+TEST(Overlap, DoubleBufferBoundedByMemoryFloor) {
+  // Even perfect prefetching cannot beat the bandwidth floor (Section
+  // IV-2: the benefit is capped).
+  const auto bin = bin_with_flops(16);
+  const auto db =
+      simulate(SimConfig{kArch, 1}, bin, chunked(64, 8, 8192, 64, true));
+  const double floor = 64 * 8 * 32 * 2 * 11.6;
+  EXPECT_GT(db.total_cycles(), floor * 0.98);
+}
+
+TEST(Overlap, MemoryIdleOnlyWhenComputeBound) {
+  const auto bin = bin_with_flops(16);
+  // Scenario 2 (memory-bound): no idle gaps between transactions.
+  const auto mem_bound =
+      simulate(SimConfig{kArch, 1}, bin, chunked(64, 8, 8192, 16, false));
+  // Scenario 1 (compute-bound): memory idles while CPEs compute.
+  const auto comp_bound =
+      simulate(SimConfig{kArch, 1}, bin, chunked(64, 8, 512, 4096, false));
+  const double idle_frac_mem =
+      static_cast<double>(mem_bound.mem_idle_ticks) /
+      static_cast<double>(mem_bound.total_ticks);
+  const double idle_frac_comp =
+      static_cast<double>(comp_bound.mem_idle_ticks) /
+      static_cast<double>(comp_bound.total_ticks);
+  EXPECT_LT(idle_frac_mem, 0.25);
+  EXPECT_GT(idle_frac_comp, 0.5);
+}
+
+}  // namespace
+}  // namespace swperf::sim

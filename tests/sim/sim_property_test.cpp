@@ -1,0 +1,144 @@
+// Randomized invariant tests of the full simulator: arbitrary well-formed
+// program mixes must respect conservation bounds, determinism, and
+// breakdown consistency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "isa/schedule.h"
+#include "mem/controller.h"
+#include "sim/machine.h"
+#include "sw/rng.h"
+
+namespace swperf::sim {
+namespace {
+
+const sw::ArchParams kArch;
+
+struct RandomLaunch {
+  KernelBinary bin;
+  std::vector<CpeProgram> programs;
+  std::uint64_t total_transactions = 0;
+  sw::Tick serial_comp_max = 0;  // busiest CPE's compute, ticks
+};
+
+RandomLaunch make_launch(std::uint64_t seed) {
+  sw::Rng rng(seed);
+  RandomLaunch l;
+  isa::BlockBuilder b("body");
+  const auto x = b.reg();
+  const int n_ops = 4 + static_cast<int>(rng.next_below(12));
+  for (int i = 0; i < n_ops; ++i) b.fmul(x, x);
+  const auto blk = std::move(b).build();
+  isa::LoopSchedule ls(blk, kArch);
+  l.bin.add_block(blk);
+
+  const std::size_t n_cpes = 8 + rng.next_below(57);  // 8..64
+  l.programs.resize(n_cpes);
+  for (auto& p : l.programs) {
+    sw::Tick comp = 0;
+    const int chunks = 1 + static_cast<int>(rng.next_below(6));
+    for (int c = 0; c < chunks; ++c) {
+      const std::uint64_t bytes = 256 * (1 + rng.next_below(32));
+      const auto req = mem::DmaRequest::contiguous(bytes);
+      l.total_transactions += req.transactions(kArch);
+      p.dma(req);
+      const std::uint64_t iters = 16 + rng.next_below(256);
+      p.compute(0, iters);
+      comp += sw::cycles_to_ticks(ls.cycles(iters));
+      if (rng.next_below(2) == 0) {
+        const auto out =
+            mem::DmaRequest::contiguous(bytes, mem::Direction::kWrite);
+        l.total_transactions += out.transactions(kArch);
+        p.dma(out);
+      }
+    }
+    if (rng.next_below(3) == 0) {
+      GloadLoopOp g;
+      g.count = 1 + rng.next_below(64);
+      g.bytes = 8;
+      g.compute_ticks_per_elem = rng.next_below(50);
+      l.total_transactions += g.count;
+      p.gload_loop(g);
+      comp += g.count * g.compute_ticks_per_elem;
+    }
+    l.serial_comp_max = std::max(l.serial_comp_max, comp);
+  }
+  return l;
+}
+
+class SimProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimProperty, ConservationBounds) {
+  const auto l = make_launch(GetParam());
+  const auto r = simulate(SimConfig{kArch, 1}, l.bin, l.programs);
+
+  // Exactly the planned transactions hit the DRAM.
+  EXPECT_EQ(r.transactions, l.total_transactions);
+
+  // Lower bounds: bandwidth floor and the busiest CPE's compute.
+  const double bw_floor =
+      static_cast<double>(l.total_transactions) *
+      kArch.trans_service_cycles();
+  EXPECT_GE(r.total_cycles(), bw_floor * 0.999);
+  EXPECT_GE(r.total_ticks, l.serial_comp_max);
+
+  // Upper bound: complete serialisation of everything.
+  const double serial_all =
+      bw_floor + sw::ticks_to_cycles(l.serial_comp_max) *
+                     static_cast<double>(l.programs.size()) +
+      static_cast<double>(l.total_transactions) *
+          (kArch.l_base_cycles + kArch.delta_delay_cycles);
+  EXPECT_LE(r.total_cycles(), serial_all);
+
+  // Per-CPE breakdown is self-consistent for serial programs.
+  for (const auto& c : r.cpes) {
+    EXPECT_EQ(c.finish,
+              c.comp + c.dma_wait + c.gload_wait + c.barrier_wait);
+  }
+
+  // Memory accounting: busy time equals transactions x service time.
+  EXPECT_EQ(r.mem_busy_ticks,
+            l.total_transactions *
+                mem::MemoryController(kArch).service_ticks());
+}
+
+TEST_P(SimProperty, DeterministicAcrossRuns) {
+  const auto l = make_launch(GetParam() ^ 0xdead);
+  const auto a = simulate(SimConfig{kArch, 1}, l.bin, l.programs);
+  const auto b = simulate(SimConfig{kArch, 1}, l.bin, l.programs);
+  ASSERT_EQ(a.cpes.size(), b.cpes.size());
+  EXPECT_EQ(a.total_ticks, b.total_ticks);
+  for (std::size_t i = 0; i < a.cpes.size(); ++i) {
+    EXPECT_EQ(a.cpes[i].finish, b.cpes[i].finish);
+    EXPECT_EQ(a.cpes[i].dma_wait, b.cpes[i].dma_wait);
+    EXPECT_EQ(a.cpes[i].gload_wait, b.cpes[i].gload_wait);
+  }
+}
+
+TEST_P(SimProperty, TraceDurationsMatchStats) {
+  auto l = make_launch(GetParam() ^ 0xbeef);
+  SimConfig cfg{kArch, 1};
+  cfg.trace = true;
+  const auto r = simulate(cfg, l.bin, l.programs);
+  std::vector<sw::Tick> comp(r.cpes.size(), 0), dma(r.cpes.size(), 0),
+      gload(r.cpes.size(), 0);
+  for (const auto& iv : r.trace.intervals) {
+    if (iv.lane >= r.cpes.size()) continue;
+    const auto d = iv.end - iv.begin;
+    if (iv.what == Activity::kCompute) comp[iv.lane] += d;
+    if (iv.what == Activity::kDmaWait) dma[iv.lane] += d;
+    if (iv.what == Activity::kGloadWait) gload[iv.lane] += d;
+  }
+  for (std::size_t i = 0; i < r.cpes.size(); ++i) {
+    EXPECT_EQ(comp[i], r.cpes[i].comp);
+    EXPECT_EQ(dma[i], r.cpes[i].dma_wait);
+    EXPECT_EQ(gload[i], r.cpes[i].gload_wait);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace swperf::sim

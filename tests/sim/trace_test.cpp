@@ -1,0 +1,112 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "sw/error.h"
+
+namespace swperf::sim {
+namespace {
+
+const sw::ArchParams kArch;
+
+isa::BasicBlock flops_block(int n) {
+  isa::BlockBuilder b("flops");
+  const auto x = b.reg();
+  for (int i = 0; i < n; ++i) b.fmul(x, x);
+  return std::move(b).build();
+}
+
+SimResult traced_run(std::size_t n_cpes) {
+  KernelBinary bin;
+  bin.add_block(flops_block(8));
+  std::vector<CpeProgram> ps(n_cpes);
+  for (auto& p : ps) {
+    for (int c = 0; c < 3; ++c) {
+      p.dma(mem::DmaRequest::contiguous(4096));
+      p.compute(0, 128);
+      p.dma(mem::DmaRequest::contiguous(4096, mem::Direction::kWrite));
+    }
+  }
+  SimConfig cfg{kArch, 1};
+  cfg.trace = true;
+  return simulate(cfg, bin, ps);
+}
+
+TEST(Trace, RecordsAllActivityClasses) {
+  const auto r = traced_run(8);
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_EQ(r.trace.n_cpes, 8u);
+  EXPECT_EQ(r.trace.n_controllers, 1u);
+  bool has_comp = false, has_dma = false, has_mem = false;
+  for (const auto& iv : r.trace.intervals) {
+    EXPECT_LT(iv.begin, iv.end);
+    EXPECT_LE(iv.end, r.total_ticks);
+    has_comp |= iv.what == Activity::kCompute;
+    has_dma |= iv.what == Activity::kDmaWait;
+    has_mem |= iv.what == Activity::kMemService;
+  }
+  EXPECT_TRUE(has_comp);
+  EXPECT_TRUE(has_dma);
+  EXPECT_TRUE(has_mem);
+  EXPECT_EQ(r.trace.span(), r.total_ticks);
+}
+
+TEST(Trace, IntervalDurationsMatchStats) {
+  const auto r = traced_run(4);
+  std::vector<sw::Tick> comp(4, 0), dma(4, 0);
+  for (const auto& iv : r.trace.intervals) {
+    if (iv.lane >= 4) continue;
+    if (iv.what == Activity::kCompute) comp[iv.lane] += iv.end - iv.begin;
+    if (iv.what == Activity::kDmaWait) dma[iv.lane] += iv.end - iv.begin;
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(comp[i], r.cpes[i].comp);
+    EXPECT_EQ(dma[i], r.cpes[i].dma_wait);
+  }
+}
+
+TEST(Trace, MemServiceCoversAllTransactions) {
+  const auto r = traced_run(8);
+  sw::Tick service = 0;
+  for (const auto& iv : r.trace.intervals) {
+    if (iv.what == Activity::kMemService) service += iv.end - iv.begin;
+  }
+  EXPECT_EQ(service, r.mem_busy_ticks);
+}
+
+TEST(Trace, OffByDefault) {
+  KernelBinary bin;
+  CpeProgram p;
+  p.dma(mem::DmaRequest::contiguous(1024));
+  const auto r = simulate(SimConfig{kArch, 1}, bin, {p});
+  EXPECT_TRUE(r.trace.empty());
+}
+
+TEST(Timeline, RendersLanesAndGlyphs) {
+  const auto r = traced_run(4);
+  const auto s = render_timeline(r.trace, 60);
+  EXPECT_NE(s.find("cpe0"), std::string::npos);
+  EXPECT_NE(s.find("cpe3"), std::string::npos);
+  EXPECT_NE(s.find("mem0"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);  // compute
+  EXPECT_NE(s.find('D'), std::string::npos);  // dma wait
+  EXPECT_NE(s.find('='), std::string::npos);  // memory busy
+}
+
+TEST(Timeline, ElidesExcessCpeRows) {
+  const auto r = traced_run(32);
+  const auto s = render_timeline(r.trace, 60, /*max_cpe_rows=*/8);
+  EXPECT_NE(s.find("cpe7"), std::string::npos);
+  EXPECT_EQ(s.find("cpe8 "), std::string::npos);
+  EXPECT_NE(s.find("24 more CPEs"), std::string::npos);
+}
+
+TEST(Timeline, EmptyTraceHandled) {
+  Trace t;
+  EXPECT_EQ(render_timeline(t), "(empty trace)\n");
+  EXPECT_THROW(render_timeline(t, 2), sw::Error);
+}
+
+}  // namespace
+}  // namespace swperf::sim

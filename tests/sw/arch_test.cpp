@@ -1,0 +1,77 @@
+#include "sw/arch.h"
+
+#include <gtest/gtest.h>
+
+#include "sw/error.h"
+
+namespace swperf::sw {
+namespace {
+
+TEST(ArchParams, TableIDefaults) {
+  const ArchParams p = ArchParams::sw26010();
+  EXPECT_DOUBLE_EQ(p.mem_bw_gbps, 32.0);
+  EXPECT_DOUBLE_EQ(p.freq_ghz, 1.45);
+  EXPECT_EQ(p.trans_size_bytes, 256u);
+  EXPECT_EQ(p.delta_delay_cycles, 50u);
+  EXPECT_EQ(p.l_base_cycles, 220u);
+  EXPECT_EQ(p.l_float_cycles, 9u);
+  EXPECT_EQ(p.l_fixed_cycles, 1u);
+  EXPECT_EQ(p.l_spm_cycles, 3u);
+  EXPECT_EQ(p.l_div_sqrt_cycles, 34u);
+  EXPECT_EQ(p.cpes_per_cg, 64u);
+  EXPECT_EQ(p.core_groups, 4u);
+  EXPECT_EQ(p.spm_bytes, 64u * 1024u);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ArchParams, TransactionServiceTime) {
+  const ArchParams p;
+  // 256 B at 32 GB/s on a 1.45 GHz clock: 11.6 cycles per transaction.
+  EXPECT_NEAR(p.trans_service_cycles(), 11.6, 1e-9);
+  EXPECT_EQ(p.trans_service_ticks(), 116u);
+  EXPECT_NEAR(p.bytes_per_cycle(), 32.0 / 1.45, 1e-12);
+}
+
+TEST(ArchParams, TransactionsForRoundsUp) {
+  const ArchParams p;
+  EXPECT_EQ(p.transactions_for(0), 0u);
+  EXPECT_EQ(p.transactions_for(1), 1u);
+  EXPECT_EQ(p.transactions_for(256), 1u);
+  EXPECT_EQ(p.transactions_for(257), 2u);
+  EXPECT_EQ(p.transactions_for(8192), 32u);
+}
+
+TEST(ArchParams, RequestLatencyEq11) {
+  const ArchParams p;
+  EXPECT_DOUBLE_EQ(p.request_latency_cycles(1), 220.0);
+  EXPECT_DOUBLE_EQ(p.request_latency_cycles(5), 220.0 + 4 * 50.0);
+  EXPECT_DOUBLE_EQ(p.request_latency_cycles(0), 0.0);
+}
+
+TEST(ArchParams, PeakGflopsMatchesSW26010) {
+  const ArchParams p;
+  // 765 GFLOPS per core group, 3.06 TFLOPS per processor (paper, Sec. II).
+  EXPECT_NEAR(p.peak_gflops_per_cg(), 742.4, 1.0);
+  EXPECT_NEAR(p.peak_gflops_per_cg() * 4 / 1000.0, 2.97, 0.1);
+}
+
+TEST(ArchParams, ValidateRejectsNonsense) {
+  ArchParams p;
+  p.mem_bw_gbps = 0.0;
+  EXPECT_THROW(p.validate(), Error);
+  p = ArchParams{};
+  p.trans_size_bytes = 100;  // not a power of two
+  EXPECT_THROW(p.validate(), Error);
+  p = ArchParams{};
+  p.gload_max_bytes = 512;  // larger than a transaction
+  EXPECT_THROW(p.validate(), Error);
+  p = ArchParams{};
+  p.core_groups = 0;
+  EXPECT_THROW(p.validate(), Error);
+  p = ArchParams{};
+  p.cross_section_bw_efficiency = 1.5;
+  EXPECT_THROW(p.validate(), Error);
+}
+
+}  // namespace
+}  // namespace swperf::sw

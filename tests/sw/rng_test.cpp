@@ -1,0 +1,67 @@
+#include "sw/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace swperf::sw {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsProduceDistinctStreams) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(r.uniform(-2.0, 3.0), -2.0);
+    EXPECT_LT(r.uniform(-2.0, 3.0), 3.0);
+    const auto v = r.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);  // all residues hit
+  EXPECT_LE(*seen.rbegin(), 7u);
+}
+
+TEST(Rng, RoughlyUniformMean) {
+  Rng r(13);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 a(0), b(0);
+  EXPECT_EQ(a.next(), b.next());
+  SplitMix64 c(123);
+  const auto first = c.next();
+  EXPECT_NE(first, SplitMix64(124).next());
+}
+
+}  // namespace
+}  // namespace swperf::sw

@@ -1,0 +1,52 @@
+#include "sw/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sw/error.h"
+
+namespace swperf::sw {
+namespace {
+
+TEST(Stats, MeanAndStdev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stdev(xs), 1.118033988749895, 1e-12);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stdev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Stats, Geomean) {
+  const std::vector<double> xs{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+  const std::vector<double> bad{1.0, 0.0};
+  EXPECT_THROW(geomean(bad), Error);
+}
+
+TEST(Stats, MinMaxMedian) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(max_of(xs), 3.0);
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(median(xs), 2.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, RelError) {
+  EXPECT_DOUBLE_EQ(rel_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(rel_error(90.0, 100.0), 0.1);
+  EXPECT_THROW(rel_error(1.0, 0.0), Error);
+}
+
+TEST(Stats, ErrorAccumulatorAggregates) {
+  ErrorAccumulator acc;
+  acc.add(105.0, 100.0);
+  acc.add(100.0, 80.0);  // 25%
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_NEAR(acc.mean_error(), (0.05 + 0.25) / 2.0, 1e-12);
+  EXPECT_NEAR(acc.max_error(), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace swperf::sw

@@ -1,0 +1,39 @@
+#include "sw/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sw/error.h"
+
+namespace swperf::sw {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22    |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t("demo");
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), Error);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.0534, 1), "5.3%");
+  EXPECT_EQ(Table::times(2.407, 2), "2.41x");
+}
+
+}  // namespace
+}  // namespace swperf::sw

@@ -1,0 +1,28 @@
+#include "sw/time.h"
+
+#include <gtest/gtest.h>
+
+namespace swperf::sw {
+namespace {
+
+TEST(Time, CycleTickRoundTrip) {
+  EXPECT_EQ(cycles_to_ticks(0), 0u);
+  EXPECT_EQ(cycles_to_ticks(220), 2200u);
+  EXPECT_DOUBLE_EQ(ticks_to_cycles(2200), 220.0);
+  EXPECT_DOUBLE_EQ(ticks_to_cycles(5), 0.5);
+}
+
+TEST(Time, FractionalCyclesRoundToNearestTick) {
+  EXPECT_EQ(fractional_cycles_to_ticks(11.6), 116u);
+  EXPECT_EQ(fractional_cycles_to_ticks(0.04), 0u);
+  EXPECT_EQ(fractional_cycles_to_ticks(0.06), 1u);
+}
+
+TEST(Time, WallClockConversions) {
+  // 1.45e9 cycles at 1.45 GHz is exactly one second.
+  EXPECT_DOUBLE_EQ(cycles_to_seconds(1.45e9, 1.45), 1.0);
+  EXPECT_DOUBLE_EQ(cycles_to_us(1450.0, 1.45), 1.0);
+}
+
+}  // namespace
+}  // namespace swperf::sw

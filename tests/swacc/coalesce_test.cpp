@@ -1,0 +1,92 @@
+// Gload coalescing lowering option.
+#include <gtest/gtest.h>
+
+#include "kernels/suite.h"
+#include "kernels/wrf.h"
+#include "model/model.h"
+#include "sim/machine.h"
+#include "swacc/lower.h"
+
+namespace swperf::swacc {
+namespace {
+
+const sw::ArchParams kArch;
+
+TEST(Coalesce, ReducesGloadCountByPackFactorOnCoalesceableFraction) {
+  const auto spec = kernels::make("bfs", kernels::Scale::kSmall);
+  auto plain = spec.tuned;
+  auto coal = spec.tuned;
+  coal.coalesce_gloads = true;
+  const auto lp = lower(spec.desc, plain, kArch);
+  const auto lc = lower(spec.desc, coal, kArch);
+  // f = 0.6 coalesceable, 8-byte loads pack 4x:
+  // expected ratio = (1 - f) + f/4 = 0.55.
+  const double ratio = static_cast<double>(lc.summary.n_gloads) /
+                       static_cast<double>(lp.summary.n_gloads);
+  EXPECT_NEAR(ratio, 0.55, 0.02);
+}
+
+TEST(Coalesce, PointerChasingBarelyBenefits) {
+  const auto spec = kernels::make("b+tree", kernels::Scale::kSmall);
+  auto coal = spec.tuned;
+  coal.coalesce_gloads = true;
+  const auto lp = lower(spec.desc, spec.tuned, kArch);
+  const auto lc = lower(spec.desc, coal, kArch);
+  // gload_coalesceable = 0.05 and 16-byte loads pack only 2x.
+  EXPECT_GT(lc.summary.n_gloads,
+            static_cast<std::uint64_t>(0.95 * lp.summary.n_gloads));
+}
+
+TEST(Coalesce, SimAndModelBothSeeTheSpeedup) {
+  const auto spec = kernels::make("bfs", kernels::Scale::kSmall);
+  auto coal = spec.tuned;
+  coal.coalesce_gloads = true;
+  const auto lp = lower(spec.desc, spec.tuned, kArch);
+  const auto lc = lower(spec.desc, coal, kArch);
+  const auto rp = sim::simulate(lp.sim_config, lp.binary, lp.programs);
+  const auto rc = sim::simulate(lc.sim_config, lc.binary, lc.programs);
+  EXPECT_LT(rc.total_cycles(), rp.total_cycles() * 0.75);
+  const model::PerfModel pm(kArch);
+  EXPECT_LT(pm.predict(lc.summary).t_total,
+            pm.predict(lp.summary).t_total * 0.75);
+}
+
+TEST(Coalesce, NoopOnGloadFreeKernels) {
+  const auto spec = kernels::make("vecadd", kernels::Scale::kSmall);
+  auto coal = spec.tuned;
+  coal.coalesce_gloads = true;
+  const auto lp = lower(spec.desc, spec.tuned, kArch);
+  const auto lc = lower(spec.desc, coal, kArch);
+  EXPECT_EQ(lp.summary.n_gloads, lc.summary.n_gloads);
+  EXPECT_EQ(lp.summary.n_dma_reqs(), lc.summary.n_dma_reqs());
+}
+
+TEST(WrfFactory, SpmFeasibleAcrossTheWholeCpeSweep) {
+  // The dynamics factory re-blocks wide slices to fit SPM at any count.
+  for (std::uint32_t cpes = 1; cpes <= 256; cpes = cpes * 2) {
+    const auto spec = kernels::wrf_dynamics(cpes);
+    EXPECT_NO_THROW(lower(spec.desc, spec.tuned, kArch)) << cpes;
+  }
+  for (const std::uint32_t cpes : {3u, 7u, 23u, 48u, 96u, 130u}) {
+    const auto spec = kernels::wrf_dynamics(cpes);
+    EXPECT_NO_THROW(lower(spec.desc, spec.tuned, kArch)) << cpes;
+  }
+}
+
+TEST(VectorDoubleBuffer, ComposeCleanly) {
+  const auto spec = kernels::make("kmeans", kernels::Scale::kSmall);
+  LaunchParams p;
+  p.tile = 32;
+  p.unroll = 2;
+  p.vector_width = 4;
+  p.double_buffer = true;
+  const auto lk = lower(spec.desc, p, kArch);
+  const auto r = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+  EXPECT_GT(r.total_ticks, 0u);
+  // Still predicted sanely when everything is stacked.
+  const auto pred = model::PerfModel(kArch).predict(lk.summary);
+  EXPECT_NEAR(pred.t_total / r.total_cycles(), 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace swperf::swacc

@@ -1,0 +1,93 @@
+#include "swacc/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include "sw/error.h"
+#include "swacc/validate.h"
+
+namespace swperf::swacc {
+namespace {
+
+TEST(Decompose, RoundRobinDealsChunks) {
+  const auto d = decompose(1000, 10, 4);
+  EXPECT_EQ(d.n_chunks, 100u);
+  EXPECT_EQ(d.active_cpes, 4u);
+  const auto c0 = d.chunks_of(0);
+  ASSERT_EQ(c0.size(), 25u);
+  EXPECT_EQ(c0[0], 0u);
+  EXPECT_EQ(c0[1], 4u);
+  EXPECT_EQ(d.elements_of(0), 250u);
+  EXPECT_TRUE(d.chunks_of(4).empty());  // inactive CPE
+}
+
+TEST(Decompose, PaperTileExample) {
+  // Section II-B: 1024-element outer loop with tile(i:32) on the outer loop
+  // leaves only 1024/32 = 32 CPEs active.
+  const auto d = decompose(1024, 32, 64);
+  EXPECT_EQ(d.n_chunks, 32u);
+  EXPECT_EQ(d.active_cpes, 32u);
+  EXPECT_EQ(d.chunks_of(0).size(), 1u);
+  EXPECT_EQ(d.elements_of(31), 32u);
+}
+
+TEST(Decompose, TailChunkIsSmaller) {
+  const auto d = decompose(100, 30, 8);
+  EXPECT_EQ(d.n_chunks, 4u);
+  EXPECT_EQ(d.chunk_size(0), 30u);
+  EXPECT_EQ(d.chunk_size(3), 10u);
+  EXPECT_EQ(d.chunk_begin(3), 90u);
+}
+
+TEST(Decompose, SingleCpeGetsEverything) {
+  const auto d = decompose(77, 10, 1);
+  EXPECT_EQ(d.active_cpes, 1u);
+  EXPECT_EQ(d.elements_of(0), 77u);
+}
+
+TEST(Decompose, InvalidArgumentsThrow) {
+  EXPECT_THROW(decompose(0, 1, 1), sw::Error);
+  EXPECT_THROW(decompose(10, 0, 1), sw::Error);
+  EXPECT_THROW(decompose(10, 1, 0), sw::Error);
+}
+
+struct Case {
+  std::uint64_t n;
+  std::uint64_t tile;
+  std::uint32_t cpes;
+};
+
+class CoverageProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CoverageProperty, ChunksPartitionIterationSpace) {
+  const auto [n, tile, cpes] = GetParam();
+  const auto d = decompose(n, tile, cpes);
+  const auto report = validate_coverage(d);
+  EXPECT_TRUE(report.ok) << report.message;
+  std::uint64_t total = 0;
+  for (std::uint32_t c = 0; c < d.active_cpes; ++c) {
+    total += d.elements_of(c);
+  }
+  EXPECT_EQ(total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoverageProperty,
+    ::testing::Values(Case{1, 1, 1}, Case{1, 100, 64}, Case{1000, 1, 64},
+                      Case{1000, 7, 64}, Case{1024, 32, 64},
+                      Case{1023, 32, 64}, Case{1025, 32, 64},
+                      Case{65536, 256, 64}, Case{100, 30, 8},
+                      Case{12345, 17, 48}, Case{999983, 101, 64},
+                      Case{64, 1, 256}));
+
+TEST(Decompose, CoreGroupsNeeded) {
+  const sw::ArchParams arch;
+  auto d = decompose(10000, 1, 64);
+  EXPECT_EQ(d.core_groups_needed(arch), 1u);
+  d = decompose(10000, 1, 65);
+  EXPECT_EQ(d.core_groups_needed(arch), 2u);
+  d = decompose(10000, 1, 256);
+  EXPECT_EQ(d.core_groups_needed(arch), 4u);
+}
+
+}  // namespace
+}  // namespace swperf::swacc

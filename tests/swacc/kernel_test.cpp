@@ -1,0 +1,120 @@
+#include "swacc/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "sw/error.h"
+
+namespace swperf::swacc {
+namespace {
+
+KernelDesc simple_kernel() {
+  isa::BlockBuilder b("body");
+  const auto x = b.spm_load();
+  b.spm_store(b.fadd(x, x));
+  KernelDesc k;
+  k.name = "k";
+  k.n_outer = 100;
+  k.inner_iters = 4;
+  k.body = std::move(b).build();
+  k.arrays = {
+      {"in", Dir::kIn, Access::kContiguous, 16},
+      {"out", Dir::kOut, Access::kContiguous, 8},
+  };
+  return k;
+}
+
+TEST(KernelDesc, ValidatesWellFormed) {
+  EXPECT_NO_THROW(simple_kernel().validate());
+}
+
+TEST(KernelDesc, DerivedHelpers) {
+  auto k = simple_kernel();
+  EXPECT_EQ(k.spm_bytes_per_outer(), 24u);
+  EXPECT_EQ(k.broadcast_bytes_total(), 0u);
+  EXPECT_FALSE(k.has_indirect());
+  EXPECT_DOUBLE_EQ(k.gloads_per_inner_total(), 0.0);
+  // One fadd per inner iteration: 100 * 4 flops.
+  EXPECT_DOUBLE_EQ(k.total_flops(), 400.0);
+
+  k.arrays.push_back({.name = "bc",
+                      .dir = Dir::kIn,
+                      .access = Access::kBroadcast,
+                      .broadcast_bytes = 512});
+  k.arrays.push_back({.name = "idx",
+                      .dir = Dir::kIn,
+                      .access = Access::kIndirect,
+                      .gloads_per_inner = 1.5,
+                      .gload_bytes = 16});
+  EXPECT_EQ(k.broadcast_bytes_total(), 512u);
+  EXPECT_TRUE(k.has_indirect());
+  EXPECT_DOUBLE_EQ(k.gloads_per_inner_total(), 1.5);
+  EXPECT_EQ(k.gload_bytes_max(), 16u);
+  EXPECT_EQ(k.spm_bytes_per_outer(), 24u);  // broadcast/indirect not staged
+}
+
+TEST(KernelDesc, RejectsMalformed) {
+  auto k = simple_kernel();
+  k.name.clear();
+  EXPECT_THROW(k.validate(), sw::Error);
+
+  k = simple_kernel();
+  k.n_outer = 0;
+  EXPECT_THROW(k.validate(), sw::Error);
+
+  k = simple_kernel();
+  k.body.instrs.clear();
+  EXPECT_THROW(k.validate(), sw::Error);
+
+  k = simple_kernel();
+  k.arrays[0].bytes_per_outer = 0;
+  EXPECT_THROW(k.validate(), sw::Error);
+
+  k = simple_kernel();
+  k.arrays[0].access = Access::kStrided;
+  k.arrays[0].segments_per_outer = 3;  // must divide 16
+  EXPECT_THROW(k.validate(), sw::Error);
+
+  k = simple_kernel();
+  k.arrays.push_back({.name = "bc",
+                      .dir = Dir::kOut,  // broadcast must be read-only
+                      .access = Access::kBroadcast,
+                      .broadcast_bytes = 64});
+  EXPECT_THROW(k.validate(), sw::Error);
+
+  k = simple_kernel();
+  k.arrays.push_back({.name = "idx",
+                      .dir = Dir::kIn,
+                      .access = Access::kIndirect,
+                      .gloads_per_inner = 1.0,
+                      .gload_bytes = 64});  // > 32
+  EXPECT_THROW(k.validate(), sw::Error);
+
+  k = simple_kernel();
+  k.comp_imbalance = 1.5;
+  EXPECT_THROW(k.validate(), sw::Error);
+}
+
+TEST(LaunchParams, ToStringIsReadable) {
+  LaunchParams p;
+  p.tile = 32;
+  p.unroll = 4;
+  p.requested_cpes = 48;
+  p.double_buffer = true;
+  EXPECT_EQ(p.to_string(), "tile=32 unroll=4 cpes=48 db");
+}
+
+TEST(ArrayRef, DirectionHelpers) {
+  ArrayRef a{"x", Dir::kInOut, Access::kContiguous, 8};
+  EXPECT_TRUE(a.copies_in());
+  EXPECT_TRUE(a.copies_out());
+  EXPECT_TRUE(a.staged());
+  a.dir = Dir::kIn;
+  EXPECT_FALSE(a.copies_out());
+  a.access = Access::kIndirect;
+  EXPECT_FALSE(a.staged());
+  a.access = Access::kBlock2D;
+  EXPECT_TRUE(a.staged());
+}
+
+}  // namespace
+}  // namespace swperf::swacc

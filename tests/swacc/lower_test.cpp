@@ -1,0 +1,242 @@
+#include "swacc/lower.h"
+
+#include <gtest/gtest.h>
+
+#include "sw/error.h"
+
+namespace swperf::swacc {
+namespace {
+
+const sw::ArchParams kArch;
+
+KernelDesc stream_kernel(std::uint64_t n = 4096) {
+  isa::BlockBuilder b("body");
+  const auto x = b.spm_load();
+  b.spm_store(b.fadd(x, x));
+  b.loop_overhead(2);
+  KernelDesc k;
+  k.name = "stream";
+  k.n_outer = n;
+  k.inner_iters = 2;
+  k.body = std::move(b).build();
+  k.arrays = {
+      {"in", Dir::kIn, Access::kContiguous, 32},
+      {"out", Dir::kOut, Access::kContiguous, 16},
+  };
+  k.dma_min_tile = 1;
+  return k;
+}
+
+int count_ops(const sim::CpeProgram& p, auto pred) {
+  int n = 0;
+  for (const auto& op : p.ops) n += pred(op) ? 1 : 0;
+  return n;
+}
+
+TEST(Lower, ChunkedProgramStructure) {
+  LaunchParams lp;
+  lp.tile = 64;
+  lp.requested_cpes = 64;
+  const auto lk = lower(stream_kernel(), lp, kArch);
+  ASSERT_EQ(lk.programs.size(), 64u);
+  // 4096/64 = 64 chunks -> 1 chunk per CPE: get, compute, put.
+  const auto& p = lk.programs[0];
+  const int dmas = count_ops(p, [](const sim::Op& o) {
+    return std::holds_alternative<sim::DmaOp>(o);
+  });
+  const int computes = count_ops(p, [](const sim::Op& o) {
+    return std::holds_alternative<sim::ComputeOp>(o);
+  });
+  EXPECT_EQ(dmas, 2);
+  EXPECT_EQ(computes, 1);
+
+  // Copy-in request: 64 elements x 32 B contiguous = 2048 B = 8 MRT.
+  const auto& in_req = std::get<sim::DmaOp>(p.ops[0]).req;
+  EXPECT_EQ(in_req.total_bytes(), 64u * 32u);
+  EXPECT_EQ(in_req.transactions(kArch), 8u);
+  EXPECT_EQ(in_req.dir, mem::Direction::kRead);
+  // Copy-out: 64 x 16 B.
+  const auto& out_req = std::get<sim::DmaOp>(p.ops[2]).req;
+  EXPECT_EQ(out_req.total_bytes(), 64u * 16u);
+  EXPECT_EQ(out_req.dir, mem::Direction::kWrite);
+}
+
+TEST(Lower, SummaryMatchesProgramsForRegularKernel) {
+  LaunchParams lp;
+  lp.tile = 32;
+  const auto lk = lower(stream_kernel(), lp, kArch);
+  const auto& s = lk.summary;
+  EXPECT_EQ(s.active_cpes, 64u);
+  // 128 chunks over 64 CPEs: 2 chunks each, 2 requests per chunk.
+  EXPECT_EQ(s.n_dma_reqs(), 4u);
+  EXPECT_EQ(s.n_gloads, 0u);
+  EXPECT_GT(s.comp_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(s.total_flops, stream_kernel().total_flops());
+  // Contiguous arrays: no transaction waste.
+  EXPECT_DOUBLE_EQ(s.dma_efficiency(), 1.0);
+
+  // The static compute must equal the simulator's compute exactly (the
+  // paper's near-zero compute error for regular kernels).
+  const auto r = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+  EXPECT_DOUBLE_EQ(s.comp_cycles,
+                   sw::ticks_to_cycles(r.cpes[0].comp));
+}
+
+TEST(Lower, StridedArraysSplitIntoSegments) {
+  auto k = stream_kernel();
+  k.arrays[0].access = Access::kStrided;
+  k.arrays[0].segments_per_outer = 4;  // 4 rows of 8 B each
+  LaunchParams lp;
+  lp.tile = 16;
+  const auto lk = lower(k, lp, kArch);
+  const auto& req = std::get<sim::DmaOp>(lk.programs[0].ops[0]).req;
+  // 16 outer x 4 segments of 8 B, each rounded to one transaction.
+  EXPECT_EQ(req.transactions(kArch), 64u);
+  EXPECT_LT(req.efficiency(kArch), 0.05);
+  EXPECT_LT(lk.summary.dma_efficiency(), 0.1);
+}
+
+TEST(Lower, Block2DSegmentsSpanChunks) {
+  auto k = stream_kernel();
+  k.arrays[0].access = Access::kBlock2D;
+  k.arrays[0].segments_per_outer = 4;  // 4 rows; row bytes = 8 * tile
+  LaunchParams lp;
+  lp.tile = 64;
+  const auto lk = lower(k, lp, kArch);
+  const auto& req = std::get<sim::DmaOp>(lk.programs[0].ops[0]).req;
+  // 4 segments of 64 * 8 = 512 B each -> 2 transactions per segment.
+  EXPECT_EQ(req.transactions(kArch), 8u);
+  EXPECT_EQ(req.total_bytes(), 64u * 32u);
+}
+
+TEST(Lower, GloadFallbackBelowMinTile) {
+  auto k = stream_kernel();
+  k.dma_min_tile = 16;
+  LaunchParams lp;
+  lp.tile = 4;  // below threshold: extra gloads appear
+  const auto lk = lower(k, lp, kArch);
+  EXPECT_GT(lk.summary.n_gloads, 0u);
+  const bool has_gload = count_ops(lk.programs[0], [](const sim::Op& o) {
+                           return std::holds_alternative<sim::GloadLoopOp>(o);
+                         }) > 0;
+  EXPECT_TRUE(has_gload);
+
+  lp.tile = 16;  // at threshold: pure DMA
+  const auto ok = lower(k, lp, kArch);
+  EXPECT_EQ(ok.summary.n_gloads, 0u);
+}
+
+TEST(Lower, UnrollRemainderCoversAllIterations) {
+  LaunchParams lp;
+  lp.tile = 3;   // chunk inner total = 3 * 2 = 6
+  lp.unroll = 4;  // 6 = 1*4 + 2 remainder
+  const auto lk = lower(stream_kernel(64), lp, kArch);
+  // Per chunk: one unrolled compute + one remainder compute.
+  const auto& p = lk.programs[0];
+  std::uint64_t unrolled_iters = 0, remainder_iters = 0;
+  for (const auto& op : p.ops) {
+    if (const auto* c = std::get_if<sim::ComputeOp>(&op)) {
+      if (c->block_id == 0) {
+        unrolled_iters += c->iters * 4;
+      } else {
+        remainder_iters += c->iters;
+      }
+    }
+  }
+  EXPECT_EQ(unrolled_iters + remainder_iters,
+            lk.decomp.elements_of(0) * 2);
+}
+
+TEST(Lower, SpmOverflowThrows) {
+  LaunchParams lp;
+  lp.tile = 4096;  // 4096 * 48 B > 64 KiB
+  EXPECT_THROW(lower(stream_kernel(), lp, kArch), sw::Error);
+  EXPECT_GT(spm_bytes_required(stream_kernel(), lp), kArch.spm_bytes);
+}
+
+TEST(Lower, DoubleBufferDoublesSpmAndRestructures) {
+  LaunchParams lp;
+  lp.tile = 128;
+  const auto plain = lower(stream_kernel(), lp, kArch);
+  lp.double_buffer = true;
+  const auto db = lower(stream_kernel(), lp, kArch);
+  EXPECT_EQ(db.spm_bytes_used, 2 * plain.spm_bytes_used);
+  // Double-buffered programs use async DMA + waits.
+  const int waits = count_ops(db.programs[0], [](const sim::Op& o) {
+    return std::holds_alternative<sim::DmaWaitOp>(o);
+  });
+  EXPECT_GT(waits, 0);
+  int async = 0;
+  for (const auto& op : db.programs[0].ops) {
+    if (const auto* d = std::get_if<sim::DmaOp>(&op)) {
+      async += d->handle >= 0 ? 1 : 0;
+    }
+  }
+  EXPECT_GT(async, 0);
+  // And it must still simulate to completion, no slower than serial.
+  const auto rp = sim::simulate(plain.sim_config, plain.binary,
+                                plain.programs);
+  const auto rd = sim::simulate(db.sim_config, db.binary, db.programs);
+  EXPECT_LE(rd.total_cycles(), rp.total_cycles() * 1.005);
+}
+
+TEST(Lower, BroadcastArraysCopiedOncePerCpe) {
+  auto k = stream_kernel();
+  k.arrays.push_back({.name = "bc",
+                      .dir = Dir::kIn,
+                      .access = Access::kBroadcast,
+                      .broadcast_bytes = 1024});
+  LaunchParams lp;
+  lp.tile = 64;
+  const auto lk = lower(k, lp, kArch);
+  const auto& first = std::get<sim::DmaOp>(lk.programs[0].ops[0]);
+  EXPECT_EQ(first.req.total_bytes(), 1024u);
+  EXPECT_EQ(first.handle, -1);  // blocking
+}
+
+TEST(Lower, ImbalanceSkewsPerCpeWork) {
+  auto k = stream_kernel();
+  k.comp_imbalance = 0.4;
+  LaunchParams lp;
+  lp.tile = 8;
+  const auto lk = lower(k, lp, kArch);
+  const auto r = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+  sw::Tick lo = ~sw::Tick{0}, hi = 0;
+  for (const auto& c : r.cpes) {
+    lo = std::min(lo, c.comp);
+    hi = std::max(hi, c.comp);
+  }
+  EXPECT_GT(static_cast<double>(hi), 1.2 * static_cast<double>(lo));
+  // Model summary must describe the longest compute path.
+  EXPECT_DOUBLE_EQ(lk.summary.comp_cycles, sw::ticks_to_cycles(hi));
+}
+
+TEST(Lower, MultiCgLaunchConfiguration) {
+  LaunchParams lp;
+  lp.tile = 16;
+  lp.requested_cpes = 128;
+  const auto lk = lower(stream_kernel(), lp, kArch);
+  EXPECT_EQ(lk.summary.active_cpes, 128u);
+  EXPECT_EQ(lk.sim_config.core_groups, 2u);
+  EXPECT_EQ(lk.programs.size(), 128u);
+}
+
+TEST(Lower, RejectsBadParams) {
+  EXPECT_THROW(lower(stream_kernel(), LaunchParams{.tile = 0}, kArch),
+               sw::Error);
+  EXPECT_THROW(lower(stream_kernel(), LaunchParams{.unroll = 0}, kArch),
+               sw::Error);
+  EXPECT_THROW(
+      lower(stream_kernel(), LaunchParams{.requested_cpes = 1000}, kArch),
+      sw::Error);
+}
+
+TEST(Lower, SimulateKernelConvenience) {
+  LaunchParams lp;
+  lp.tile = 64;
+  const auto r = simulate_kernel(stream_kernel(), lp, kArch);
+  EXPECT_GT(r.total_ticks, 0u);
+}
+
+}  // namespace
+}  // namespace swperf::swacc

@@ -1,0 +1,239 @@
+#include "swacc/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "kernels/kmeans.h"
+#include "kernels/vecadd.h"
+#include "sw/error.h"
+#include "sw/rng.h"
+
+namespace swperf::swacc {
+namespace {
+
+const sw::ArchParams kArch;
+
+TEST(Runtime, VecaddThroughSpmMatchesHostReference) {
+  const std::uint64_t n = 4096;
+  auto spec = kernels::vecadd_n(n);
+  // Element type is double (8 B per outer element per array).
+  sw::Rng rng(1);
+  std::vector<double> a(n), b(n), c(n, -1.0), expect(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    a[i] = rng.uniform(-1, 1);
+    b[i] = rng.uniform(-1, 1);
+  }
+  kernels::host::vecadd(a, b, expect);
+
+  for (const std::uint64_t tile : {1u, 7u, 64u, 512u}) {
+    std::fill(c.begin(), c.end(), -1.0);
+    LaunchParams lp;
+    lp.tile = tile;
+    Runtime rt(spec.desc, lp, kArch);
+    ArrayBindings bind;
+    bind.bind_const<const double>("A", a);
+    bind.bind_const<const double>("B", b);
+    bind.bind<double>("C", c);
+    rt.run(bind, [](ChunkContext& ctx) {
+      const auto va = ctx.spm<double>("A");
+      const auto vb = ctx.spm<double>("B");
+      auto vc = ctx.spm<double>("C");
+      ASSERT_EQ(va.size(), ctx.size());
+      for (std::size_t i = 0; i < va.size(); ++i) vc[i] = va[i] + vb[i];
+    });
+    EXPECT_EQ(c, expect) << "tile=" << tile;
+  }
+}
+
+TEST(Runtime, KmeansAssignmentMatchesHostReference) {
+  // The full semantic check: the tiled, SPM-staged assignment step must
+  // reproduce the host algorithm bit-exactly, for awkward tile sizes too.
+  kernels::KmeansConfig cfg;
+  cfg.n_points = 1000;  // not a multiple of 64 or of any tile
+  cfg.n_features = 8;
+  cfg.n_clusters = 4;
+
+  sw::Rng rng(2);
+  std::vector<float> points(cfg.n_points * cfg.n_features);
+  for (auto& p : points) p = static_cast<float>(rng.uniform(0, 10));
+  std::vector<float> centroids(cfg.n_clusters * cfg.n_features);
+  for (auto& p : centroids) p = static_cast<float>(rng.uniform(0, 10));
+
+  // Host reference (double-precision path, same float inputs).
+  std::vector<std::uint32_t> expect(cfg.n_points);
+  for (std::uint64_t i = 0; i < cfg.n_points; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    std::uint32_t best_c = 0;
+    for (std::uint32_t c = 0; c < cfg.n_clusters; ++c) {
+      double d2 = 0;
+      for (std::uint32_t f = 0; f < cfg.n_features; ++f) {
+        const double d =
+            static_cast<double>(points[i * cfg.n_features + f]) -
+            static_cast<double>(centroids[c * cfg.n_features + f]);
+        d2 += d * d;
+      }
+      if (d2 < best) {
+        best = d2;
+        best_c = c;
+      }
+    }
+    expect[i] = best_c;
+  }
+
+  auto spec = kernels::kmeans_cfg(cfg);
+  for (const std::uint64_t tile : {1u, 16u, 37u, 250u}) {
+    std::vector<std::uint32_t> membership(cfg.n_points, 999);
+    LaunchParams lp;
+    lp.tile = tile;
+    Runtime rt(spec.desc, lp, kArch);
+    ArrayBindings bind;
+    bind.bind_const<const float>("points", points);
+    bind.bind<std::uint32_t>("membership", membership);
+    bind.bind_const<const float>("centroids", centroids);
+
+    const std::uint32_t dim = cfg.n_features;
+    const std::uint32_t k = cfg.n_clusters;
+    rt.run(bind, [&](ChunkContext& ctx) {
+      const auto pts = ctx.spm<float>("points");
+      auto out = ctx.spm<std::uint32_t>("membership");
+      const auto cents = ctx.broadcast<float>("centroids");
+      for (std::uint64_t i = 0; i < ctx.size(); ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        std::uint32_t best_c = 0;
+        for (std::uint32_t c = 0; c < k; ++c) {
+          double d2 = 0;
+          for (std::uint32_t f = 0; f < dim; ++f) {
+            const double d = static_cast<double>(pts[i * dim + f]) -
+                             static_cast<double>(cents[c * dim + f]);
+            d2 += d * d;
+          }
+          if (d2 < best) {
+            best = d2;
+            best_c = c;
+          }
+        }
+        out[i] = best_c;
+      }
+    });
+    EXPECT_EQ(membership, expect) << "tile=" << tile;
+  }
+}
+
+TEST(Runtime, ChunkContextReportsGeometry) {
+  auto spec = kernels::vecadd_n(100);
+  LaunchParams lp;
+  lp.tile = 30;
+  lp.requested_cpes = 2;
+  Runtime rt(spec.desc, lp, kArch);
+  std::vector<double> a(100), b(100), c(100);
+  ArrayBindings bind;
+  bind.bind_const<const double>("A", a);
+  bind.bind_const<const double>("B", b);
+  bind.bind<double>("C", c);
+  std::vector<std::tuple<std::uint32_t, std::uint64_t, std::uint64_t>> seen;
+  rt.run(bind, [&](ChunkContext& ctx) {
+    seen.emplace_back(ctx.cpe(), ctx.begin(), ctx.size());
+  });
+  // 4 chunks over 2 CPEs, round-robin; tail chunk is 10 elements.
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], std::make_tuple(0u, std::uint64_t{0}, std::uint64_t{30}));
+  EXPECT_EQ(seen[1],
+            std::make_tuple(0u, std::uint64_t{60}, std::uint64_t{30}));
+  EXPECT_EQ(seen[2],
+            std::make_tuple(1u, std::uint64_t{30}, std::uint64_t{30}));
+  EXPECT_EQ(seen[3],
+            std::make_tuple(1u, std::uint64_t{90}, std::uint64_t{10}));
+}
+
+TEST(Runtime, ByteAccountingMatchesRequestedTraffic) {
+  auto spec = kernels::vecadd_n(1024);
+  LaunchParams lp;
+  lp.tile = 64;
+  Runtime rt(spec.desc, lp, kArch);
+  std::vector<double> a(1024), b(1024), c(1024);
+  ArrayBindings bind;
+  bind.bind_const<const double>("A", a);
+  bind.bind_const<const double>("B", b);
+  bind.bind<double>("C", c);
+  rt.run(bind, [](ChunkContext&) {});
+  EXPECT_EQ(rt.bytes_staged_in(), 2u * 1024u * 8u);   // A and B
+  EXPECT_EQ(rt.bytes_staged_out(), 1024u * 8u);       // C
+}
+
+TEST(Runtime, MissingOrMissizedBindingsThrow) {
+  auto spec = kernels::vecadd_n(64);
+  LaunchParams lp;
+  Runtime rt(spec.desc, lp, kArch);
+  std::vector<double> a(64), b(64), c(64), small(10);
+  ArrayBindings bind;
+  bind.bind_const<const double>("A", a);
+  bind.bind_const<const double>("B", b);
+  // C missing.
+  EXPECT_THROW(rt.run(bind, [](ChunkContext&) {}), sw::Error);
+  bind.bind<double>("C", small);  // wrong size
+  EXPECT_THROW(rt.run(bind, [](ChunkContext&) {}), sw::Error);
+  // Output arrays need a writable binding.
+  ArrayBindings ro;
+  ro.bind_const<const double>("A", a);
+  ro.bind_const<const double>("B", b);
+  ro.bind_const<const double>("C", c);
+  EXPECT_THROW(rt.run(ro, [](ChunkContext&) {}), sw::Error);
+}
+
+TEST(Runtime, IndirectArraysExposedAsGlobalMemory) {
+  // A gather kernel: out[i] = table[idx[i]].
+  isa::BlockBuilder body("gather");
+  const auto t = body.spm_load();
+  body.spm_store(body.fixed(t));
+  KernelDesc k;
+  k.name = "gather";
+  k.n_outer = 256;
+  k.body = std::move(body).build();
+  k.arrays = {
+      {"idx", Dir::kIn, Access::kContiguous, 4},
+      {"out", Dir::kOut, Access::kContiguous, 8},
+      {.name = "table",
+       .dir = Dir::kIn,
+       .access = Access::kIndirect,
+       .gloads_per_inner = 1.0,
+       .gload_bytes = 8},
+  };
+
+  sw::Rng rng(3);
+  std::vector<std::uint32_t> idx(256);
+  std::vector<double> table(1000), out(256);
+  for (auto& x : idx) x = static_cast<std::uint32_t>(rng.next_below(1000));
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    table[i] = static_cast<double>(i) * 0.5;
+  }
+
+  LaunchParams lp;
+  lp.tile = 16;
+  Runtime rt(k, lp, kArch);
+  ArrayBindings bind;
+  bind.bind_const<const std::uint32_t>("idx", idx);
+  bind.bind<double>("out", out);
+  bind.bind_const<const double>("table", table);
+  rt.run(bind, [](ChunkContext& ctx) {
+    const auto vi = ctx.spm<std::uint32_t>("idx");
+    auto vo = ctx.spm<double>("out");
+    const auto vt = ctx.global<double>("table");
+    for (std::size_t i = 0; i < ctx.size(); ++i) vo[i] = vt[vi[i]];
+  });
+  for (std::size_t i = 0; i < 256; ++i) {
+    EXPECT_DOUBLE_EQ(out[i], table[idx[i]]);
+  }
+}
+
+TEST(Runtime, SpmOverflowRejectedAtConstruction) {
+  auto spec = kernels::vecadd_n(1 << 20);
+  LaunchParams lp;
+  lp.tile = 1 << 18;  // 3 arrays x 2 MiB >> 64 KiB
+  EXPECT_THROW(Runtime(spec.desc, lp, kArch), sw::Error);
+}
+
+}  // namespace
+}  // namespace swperf::swacc

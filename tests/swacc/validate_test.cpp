@@ -1,0 +1,80 @@
+#include "swacc/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "swacc/lower.h"
+
+namespace swperf::swacc {
+namespace {
+
+const sw::ArchParams kArch;
+
+KernelDesc tiny_kernel() {
+  isa::BlockBuilder b("body");
+  const auto x = b.spm_load();
+  b.spm_store(b.fadd(x, x));
+  KernelDesc k;
+  k.name = "tiny";
+  k.n_outer = 65536;
+  k.inner_iters = 1;
+  k.body = std::move(b).build();
+  k.arrays = {{"a", Dir::kInOut, Access::kContiguous, 64}};
+  return k;
+}
+
+TEST(Validate, AcceptsWellFormedLaunch) {
+  LaunchParams lp;
+  lp.tile = 16;
+  const auto r = validate_launch(tiny_kernel(), lp, kArch);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_TRUE(r.message.empty());
+}
+
+TEST(Validate, ReportsSpmOverflowWithoutThrowing) {
+  LaunchParams lp;
+  lp.tile = 2048;  // 2048 * 64 B > 64 KiB
+  const auto r = validate_launch(tiny_kernel(), lp, kArch);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("SPM"), std::string::npos);
+}
+
+TEST(Validate, ReportsBadParams) {
+  LaunchParams lp;
+  lp.tile = 0;
+  EXPECT_FALSE(validate_launch(tiny_kernel(), lp, kArch).ok);
+  lp.tile = 1;
+  lp.unroll = 100;
+  EXPECT_FALSE(validate_launch(tiny_kernel(), lp, kArch).ok);
+  lp.unroll = 1;
+  lp.requested_cpes = 10000;
+  EXPECT_FALSE(validate_launch(tiny_kernel(), lp, kArch).ok);
+}
+
+TEST(Validate, CoverageDetectsDoubleOwnership) {
+  // A deliberately corrupted decomposition: two CPEs own chunk 0 because
+  // active_cpes does not divide the dealing as recorded.
+  Decomposition d;
+  d.n_outer = 10;
+  d.tile = 5;
+  d.n_chunks = 2;
+  d.active_cpes = 3;  // chunks_of(2) is empty; chunk ids still partition
+  EXPECT_TRUE(validate_coverage(d).ok);
+
+  d.active_cpes = 0;  // nobody owns anything
+  const auto r = validate_coverage(d);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Validate, CoverageDetectsWrongTotal) {
+  Decomposition d;
+  d.n_outer = 11;  // inconsistent with tile * n_chunks coverage below
+  d.tile = 5;
+  d.n_chunks = 2;  // covers only 10 of 11
+  d.active_cpes = 2;
+  const auto r = validate_coverage(d);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("coverage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swperf::swacc

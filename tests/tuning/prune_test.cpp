@@ -1,0 +1,102 @@
+#include "tuning/prune.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/suite.h"
+#include "model/model.h"
+#include "sim/machine.h"
+#include "swacc/lower.h"
+#include "sw/error.h"
+#include "tuning/tuner.h"
+
+namespace swperf::tuning {
+namespace {
+
+const sw::ArchParams kArch;
+
+class BoundSoundness : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BoundSoundness, NeverExceedsModelOrSimulation) {
+  // The lower bound must understate both the precise model and the
+  // simulator for every variant, or pruning could discard the optimum.
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kSmall);
+  const auto space = SearchSpace::standard(spec.desc, kArch);
+  const model::PerfModel pm(kArch);
+  for (const auto& v : space.enumerate(spec.desc, kArch)) {
+    const double bound = variant_lower_bound_cycles(spec.desc, v, kArch);
+    const auto lowered = swacc::lower(spec.desc, v, kArch);
+    const double predicted = pm.predict(lowered.summary).t_total;
+    const double simulated =
+        sim::simulate(lowered.sim_config, lowered.binary, lowered.programs)
+            .total_cycles();
+    EXPECT_LE(bound, predicted * 1.001) << v.to_string();
+    EXPECT_LE(bound, simulated * 1.001) << v.to_string();
+    EXPECT_GT(bound, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSet, BoundSoundness,
+                         ::testing::ValuesIn(kernels::table2_kernels()));
+
+TEST(Prune, KeepsTheEmpiricalOptimum) {
+  for (const auto& name : kernels::table2_kernels()) {
+    const auto spec = kernels::make(name, kernels::Scale::kSmall);
+    const auto space = SearchSpace::standard(spec.desc, kArch);
+    const auto all = space.enumerate(spec.desc, kArch);
+    PruneStats stats;
+    const auto kept = prune_variants(spec.desc, all, kArch, 1.3, &stats);
+    EXPECT_EQ(stats.considered, all.size());
+    EXPECT_EQ(stats.kept, kept.size());
+    ASSERT_FALSE(kept.empty());
+
+    // The empirically best variant of the full space must survive.
+    const EmpiricalTuner tuner(kArch);
+    const auto best_full = tuner.tune(spec.desc, space).best.to_string();
+    bool survived = false;
+    for (const auto& v : kept) {
+      survived |= v.to_string() == best_full;
+    }
+    EXPECT_TRUE(survived) << name << ": pruned away " << best_full;
+  }
+}
+
+TEST(Prune, ActuallyPrunesSomething) {
+  // The kmeans space contains gload-fallback variants whose floor is far
+  // above the optimum; those must go.
+  const auto spec = kernels::make("kmeans", kernels::Scale::kSmall);
+  const auto all =
+      SearchSpace::standard(spec.desc, kArch).enumerate(spec.desc, kArch);
+  PruneStats stats;
+  prune_variants(spec.desc, all, kArch, 1.3, &stats);
+  EXPECT_GT(stats.pruned(), 0u);
+}
+
+TEST(Prune, SlackOneKeepsOnlyFloorOptimal) {
+  const auto spec = kernels::make("vecadd", kernels::Scale::kSmall);
+  const auto all =
+      SearchSpace::standard(spec.desc, kArch).enumerate(spec.desc, kArch);
+  const auto kept_tight = prune_variants(spec.desc, all, kArch, 1.0);
+  const auto kept_loose = prune_variants(spec.desc, all, kArch, 100.0);
+  EXPECT_LE(kept_tight.size(), kept_loose.size());
+  EXPECT_EQ(kept_loose.size(), all.size());
+}
+
+TEST(Prune, RejectsSlackBelowOne) {
+  const auto spec = kernels::make("vecadd", kernels::Scale::kSmall);
+  const auto all =
+      SearchSpace::standard(spec.desc, kArch).enumerate(spec.desc, kArch);
+  EXPECT_THROW(prune_variants(spec.desc, all, kArch, 0.5), sw::Error);
+}
+
+TEST(Prune, BoundReflectsGloadFallback) {
+  const auto spec = kernels::make("kmeans", kernels::Scale::kSmall);
+  swacc::LaunchParams below;
+  below.tile = spec.desc.dma_min_tile / 2;
+  swacc::LaunchParams above;
+  above.tile = spec.desc.dma_min_tile;
+  EXPECT_GT(variant_lower_bound_cycles(spec.desc, below, kArch),
+            variant_lower_bound_cycles(spec.desc, above, kArch));
+}
+
+}  // namespace
+}  // namespace swperf::tuning

@@ -1,0 +1,76 @@
+#include "tuning/space.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/hotspot.h"
+#include "kernels/kmeans.h"
+#include "kernels/vecadd.h"
+#include "sw/error.h"
+#include "swacc/lower.h"
+
+namespace swperf::tuning {
+namespace {
+
+const sw::ArchParams kArch;
+
+TEST(SearchSpace, StandardTilesArePowersOfTwoFittingSpm) {
+  const auto spec = kernels::kmeans(kernels::Scale::kSmall);
+  const auto s = SearchSpace::standard(spec.desc, kArch);
+  ASSERT_FALSE(s.tiles.empty());
+  EXPECT_EQ(s.tiles.front(), 1u);
+  for (std::size_t i = 1; i < s.tiles.size(); ++i) {
+    EXPECT_EQ(s.tiles[i], 2 * s.tiles[i - 1]);
+  }
+  swacc::LaunchParams probe;
+  probe.tile = s.tiles.back();
+  EXPECT_LE(swacc::spm_bytes_required(spec.desc, probe), kArch.spm_bytes);
+  probe.tile = s.tiles.back() * 2;
+  EXPECT_GT(swacc::spm_bytes_required(spec.desc, probe), kArch.spm_bytes);
+}
+
+TEST(SearchSpace, EnumeratePrunesInfeasibleVariants) {
+  const auto spec = kernels::hotspot(kernels::Scale::kFull);
+  SearchSpace s = SearchSpace::standard(spec.desc, kArch);
+  s.double_buffer = {false, true};
+  const auto variants = s.enumerate(spec.desc, kArch);
+  EXPECT_LE(variants.size(), s.raw_size());
+  for (const auto& v : variants) {
+    EXPECT_NO_THROW(swacc::lower(spec.desc, v, kArch))
+        << v.to_string();
+  }
+  // Double-buffered variants at the max tile must have been pruned (their
+  // buffers would not fit twice).
+  for (const auto& v : variants) {
+    if (v.tile == s.tiles.back()) EXPECT_FALSE(v.double_buffer);
+  }
+}
+
+TEST(SearchSpace, EnumerationIsDeterministic) {
+  const auto spec = kernels::vecadd(kernels::Scale::kSmall);
+  const auto s = SearchSpace::standard(spec.desc, kArch);
+  const auto a = s.enumerate(spec.desc, kArch);
+  const auto b = s.enumerate(spec.desc, kArch);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].to_string(), b[i].to_string());
+  }
+}
+
+TEST(SearchSpace, EmptySpaceThrows) {
+  const auto spec = kernels::vecadd(kernels::Scale::kSmall);
+  SearchSpace s;
+  s.tiles = {1u << 30};  // absurd tile: everything pruned
+  EXPECT_THROW(s.enumerate(spec.desc, kArch), sw::Error);
+}
+
+TEST(SearchSpace, RawSizeIsCartesianProduct) {
+  SearchSpace s;
+  s.tiles = {1, 2, 4};
+  s.unrolls = {1, 2};
+  s.cpes = {32, 64};
+  s.double_buffer = {false, true};
+  EXPECT_EQ(s.raw_size(), 3u * 2u * 2u * 2u);
+}
+
+}  // namespace
+}  // namespace swperf::tuning

@@ -1,0 +1,227 @@
+// swperf — command-line driver for the library.
+//
+//   swperf list                          registered kernels
+//   swperf report   <kernel> [opts]      static performance report
+//   swperf simulate <kernel> [opts]      run the cycle-level simulator
+//   swperf tune     <kernel> [opts]      static (default) or empirical tuning
+//   swperf timeline <kernel> [opts]      ASCII execution trace
+//   swperf suite                         Fig.6-style accuracy sweep
+//   swperf calibrate                     microbenchmark Table I recovery
+//
+// Options: --tile N  --unroll N  --cpes N  --db  --vw N  --coalesce
+//          --small (reduced problem size)  --empirical  --vector (tuning)
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "kernels/suite.h"
+#include "model/calibrate.h"
+#include "model/report.h"
+#include "sim/machine.h"
+#include "sim/trace.h"
+#include "sw/error.h"
+#include "sw/stats.h"
+#include "sw/table.h"
+#include "swacc/lower.h"
+#include "tuning/tuner.h"
+
+using namespace swperf;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string kernel;
+  kernels::Scale scale = kernels::Scale::kFull;
+  bool have_params = false;
+  swacc::LaunchParams params;
+  bool empirical = false;
+  bool vector_space = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: swperf <list|report|simulate|tune|timeline|suite|calibrate> "
+      "[kernel] [--tile N] [--unroll N] [--cpes N] [--db] [--vw N] "
+      "[--coalesce] [--small] [--empirical] [--vector]\n");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Options o;
+  o.command = argv[1];
+  int i = 2;
+  if (i < argc && argv[i][0] != '-') o.kernel = argv[i++];
+  for (; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next_u64 = [&](const char* what) -> std::uint64_t {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", what);
+        usage();
+      }
+      return std::strtoull(argv[++i], nullptr, 10);
+    };
+    if (a == "--tile") {
+      o.params.tile = next_u64("--tile");
+      o.have_params = true;
+    } else if (a == "--unroll") {
+      o.params.unroll = static_cast<std::uint32_t>(next_u64("--unroll"));
+      o.have_params = true;
+    } else if (a == "--cpes") {
+      o.params.requested_cpes =
+          static_cast<std::uint32_t>(next_u64("--cpes"));
+      o.have_params = true;
+    } else if (a == "--vw") {
+      o.params.vector_width = static_cast<std::uint32_t>(next_u64("--vw"));
+      o.have_params = true;
+    } else if (a == "--db") {
+      o.params.double_buffer = true;
+      o.have_params = true;
+    } else if (a == "--coalesce") {
+      o.params.coalesce_gloads = true;
+      o.have_params = true;
+    } else if (a == "--small") {
+      o.scale = kernels::Scale::kSmall;
+    } else if (a == "--empirical") {
+      o.empirical = true;
+    } else if (a == "--vector") {
+      o.vector_space = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      usage();
+    }
+  }
+  return o;
+}
+
+int cmd_list() {
+  for (const auto& name : kernels::suite_names()) {
+    const auto spec = kernels::make(name);
+    std::printf("%-14s %-9s %s\n", name.c_str(),
+                spec.irregular ? "irregular" : "regular",
+                spec.notes.c_str());
+  }
+  return 0;
+}
+
+int cmd_report(const Options& o, const sw::ArchParams& arch) {
+  const auto spec = kernels::make(o.kernel, o.scale);
+  const auto params = o.have_params ? o.params : spec.tuned;
+  const model::PerfModel pm(arch);
+  std::cout << model::analyze(pm, spec.desc, params).to_string(arch);
+  return 0;
+}
+
+int cmd_simulate(const Options& o, const sw::ArchParams& arch) {
+  const auto spec = kernels::make(o.kernel, o.scale);
+  const auto params = o.have_params ? o.params : spec.tuned;
+  const auto lk = swacc::lower(spec.desc, params, arch);
+  const auto r = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+  const auto pred = model::PerfModel(arch).predict(lk.summary);
+  std::printf("%s @ %s\n", o.kernel.c_str(), params.to_string().c_str());
+  std::printf("simulated : %.1f us (%.0f cycles, %llu transactions)\n",
+              sw::cycles_to_us(r.total_cycles(), arch.freq_ghz),
+              r.total_cycles(),
+              static_cast<unsigned long long>(r.transactions));
+  std::printf("predicted : %.1f us (error %+.2f%%)\n",
+              pred.total_us(arch.freq_ghz),
+              100.0 * (pred.t_total - r.total_cycles()) / r.total_cycles());
+  std::printf("breakdown : comp %.1f us, dma wait %.1f us, gload %.1f us "
+              "(per-CPE averages)\n",
+              sw::cycles_to_us(r.avg_comp_cycles(), arch.freq_ghz),
+              sw::cycles_to_us(r.avg_dma_wait_cycles(), arch.freq_ghz),
+              sw::cycles_to_us(r.avg_gload_wait_cycles(), arch.freq_ghz));
+  return 0;
+}
+
+int cmd_tune(const Options& o, const sw::ArchParams& arch) {
+  const auto spec = kernels::make(o.kernel, o.scale);
+  const auto space =
+      o.vector_space
+          ? tuning::SearchSpace::with_vectorization(spec.desc, arch)
+          : tuning::SearchSpace::standard(spec.desc, arch);
+  const auto naive_lk = swacc::lower(spec.desc, spec.naive, arch);
+  const double naive =
+      sim::simulate(naive_lk.sim_config, naive_lk.binary, naive_lk.programs)
+          .total_cycles();
+  tuning::TuningResult r;
+  if (o.empirical) {
+    r = tuning::EmpiricalTuner(arch).tune(spec.desc, space);
+  } else {
+    r = tuning::StaticTuner(arch).tune(spec.desc, space);
+  }
+  std::printf("%s tuning of %s over %zu variants\n",
+              o.empirical ? "empirical" : "static", o.kernel.c_str(),
+              r.variants);
+  std::printf("best: %s -> %.1f us (%.2fx over default), campaign %.0f s "
+              "hw-equivalent, %.2f s host\n",
+              r.best.to_string().c_str(),
+              sw::cycles_to_us(r.best_measured_cycles, arch.freq_ghz),
+              naive / r.best_measured_cycles, r.tuning_seconds,
+              r.host_seconds);
+  return 0;
+}
+
+int cmd_timeline(const Options& o, const sw::ArchParams& arch) {
+  const auto spec = kernels::make(o.kernel, o.scale);
+  const auto params = o.have_params ? o.params : spec.tuned;
+  auto lk = swacc::lower(spec.desc, params, arch);
+  lk.sim_config.trace = true;
+  const auto r = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+  std::cout << sim::render_timeline(r.trace, 110);
+  return 0;
+}
+
+int cmd_suite(const sw::ArchParams& arch) {
+  const model::PerfModel pm(arch);
+  sw::ErrorAccumulator acc;
+  std::printf("%-14s %10s %10s %8s\n", "kernel", "actual us", "pred us",
+              "error");
+  for (const auto& spec : kernels::fig6_suite()) {
+    const auto lk = swacc::lower(spec.desc, spec.tuned, arch);
+    const auto r = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+    const auto pred = pm.predict(lk.summary);
+    acc.add(pred.t_total, r.total_cycles());
+    std::printf("%-14s %10.1f %10.1f %7.1f%%\n", spec.desc.name.c_str(),
+                sw::cycles_to_us(r.total_cycles(), arch.freq_ghz),
+                pred.total_us(arch.freq_ghz),
+                100.0 * std::abs(pred.t_total - r.total_cycles()) /
+                    r.total_cycles());
+  }
+  std::printf("average |error|: %.1f%%\n", 100.0 * acc.mean_error());
+  return 0;
+}
+
+int cmd_calibrate(const sw::ArchParams& arch) {
+  const auto c = model::calibrate(arch);
+  std::printf("L_base      : %.1f cycles\n", c.l_base_cycles);
+  std::printf("Delta_delay : %.1f cycles\n", c.delta_delay_cycles);
+  std::printf("mem_bw      : %.1f GB/s\n", c.mem_bw_gbps);
+  std::printf("transaction : %.2f cycles\n", c.trans_service_cycles);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto o = parse(argc, argv);
+  const auto arch = sw::ArchParams::sw26010();
+  try {
+    if (o.command == "list") return cmd_list();
+    if (o.command == "suite") return cmd_suite(arch);
+    if (o.command == "calibrate") return cmd_calibrate(arch);
+    if (o.kernel.empty()) usage();
+    if (o.command == "report") return cmd_report(o, arch);
+    if (o.command == "simulate") return cmd_simulate(o, arch);
+    if (o.command == "tune") return cmd_tune(o, arch);
+    if (o.command == "timeline") return cmd_timeline(o, arch);
+  } catch (const sw::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}
