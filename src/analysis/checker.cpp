@@ -1,0 +1,135 @@
+#include "analysis/checker.h"
+
+#include <algorithm>
+
+#include "swacc/lower.h"
+
+namespace swperf::analysis {
+
+const std::vector<std::unique_ptr<Checker>>& all_checkers() {
+  static const detail::Registry registry = [] {
+    detail::Registry r;
+    detail::register_desc_checkers(r);
+    detail::register_dataflow_checkers(r);
+    detail::register_isa_checkers(r);
+    return r;
+  }();
+  return registry;
+}
+
+Diagnostics run_checks(const CheckContext& ctx) {
+  Diagnostics out;
+  for (const auto& c : all_checkers()) c->run(ctx, out);
+  return out;
+}
+
+Diagnostics check_kernel_desc(const swacc::KernelDesc& kernel) {
+  CheckContext ctx;
+  ctx.kernel = &kernel;
+  return run_checks(ctx);
+}
+
+Diagnostics check_launch(const swacc::KernelDesc& kernel,
+                         const swacc::LaunchParams& params,
+                         const sw::ArchParams& arch) {
+  CheckContext ctx;
+  ctx.kernel = &kernel;
+  ctx.params = &params;
+  ctx.arch = arch;
+  return run_checks(ctx);
+}
+
+Diagnostics check_program(const sim::KernelBinary& binary,
+                          const std::vector<sim::CpeProgram>& programs,
+                          const sw::ArchParams& arch) {
+  CheckContext ctx;
+  ctx.binary = &binary;
+  ctx.programs = &programs;
+  ctx.arch = arch;
+  return run_checks(ctx);
+}
+
+Diagnostics check_all(const swacc::KernelDesc& kernel,
+                      const swacc::LaunchParams& params,
+                      const sw::ArchParams& arch) {
+  Diagnostics diags = check_launch(kernel, params, arch);
+  if (has_errors(diags)) return diags;
+  const auto lowered = swacc::lower(kernel, params, arch);
+  const auto prog_diags =
+      check_program(lowered.binary, lowered.programs, arch);
+  diags.insert(diags.end(), prog_diags.begin(), prog_diags.end());
+  return diags;
+}
+
+const std::vector<CodeInfo>& diagnostic_catalog() {
+  static const std::vector<CodeInfo> catalog = {
+      {"SWD001", Severity::kError,
+       "SPM capacity overflow (staged buffers x double-buffer factor plus "
+       "broadcast arrays exceed 64 KiB)",
+       "Sec. II-A, IV-2"},
+      {"SWD002", Severity::kError,
+       "vector_width > 1 requested on a body not marked vectorizable",
+       "Sec. V-D"},
+      {"SWD003", Severity::kError,
+       "Gload request wider than the architecture's gload_max_bytes",
+       "Sec. II-A"},
+      {"SWD004", Severity::kWarning,
+       "copy granularity below dma_min_tile: compiler falls back to "
+       "per-element Gloads",
+       "Fig. 7(a)"},
+      {"SWD005", Severity::kWarning,
+       "DMA segment smaller than one DRAM transaction: bandwidth wasted on "
+       "padding",
+       "Sec. IV-3, Fig. 9"},
+      {"SWD006", Severity::kWarning,
+       "decomposition activates fewer CPEs than requested (tile too coarse "
+       "for n_outer)",
+       "Sec. II-B"},
+      {"SWD007", Severity::kError,
+       "launch parameter out of range (tile, unroll, vector_width or "
+       "requested_cpes)",
+       "Sec. V-D"},
+      {"SWI001", Severity::kNote,
+       "register read but never written in the block (live-in; a typo'd "
+       "register id looks the same)",
+       "Sec. III-D"},
+      {"SWI002", Severity::kWarning,
+       "dead SPM store: overwritten through the same address register with "
+       "no intervening load",
+       "Sec. III-D"},
+      {"SWI003", Severity::kNote,
+       "dead value: destination register never read and not loop-carried",
+       "Sec. III-D"},
+      {"SWK001", Severity::kError,
+       "malformed kernel description (name, extents, empty or invalid body)",
+       "Sec. II-B"},
+      {"SWK002", Severity::kError,
+       "malformed array reference (bytes/segments/broadcast/indirect shape)",
+       "Sec. II-B"},
+      {"SWK003", Severity::kError,
+       "gload_bytes of an indirect array is zero", "Sec. II-A"},
+      {"SWK004", Severity::kError,
+       "imbalance or coalesceable fraction outside its valid range",
+       "Sec. III-F"},
+      {"SWP001", Severity::kError,
+       "dma_wait on a handle with no DMA in flight (wait without issue)",
+       "Sec. IV-2"},
+      {"SWP002", Severity::kError,
+       "async DMA issued on a handle still in flight (no intervening wait)",
+       "Sec. IV-2"},
+      {"SWP003", Severity::kWarning,
+       "async DMA still in flight at program end (missing final dma_wait)",
+       "Sec. IV-2, Fig. 5"},
+      {"SWP004", Severity::kError,
+       "barrier count differs across CPEs (athread deadlock)",
+       "Sec. II-B"},
+      {"SWP005", Severity::kError,
+       "ComputeOp references a basic block outside the kernel binary",
+       "Sec. III-D"},
+      {"SWP006", Severity::kError,
+       "DMA handle outside [0, kMaxDmaHandles)", "Sec. IV-2"},
+  };
+  return catalog;
+}
+
+}  // namespace swperf::analysis

@@ -1,0 +1,105 @@
+// swcheck — the static diagnostics engine.
+//
+// The paper's premise (Sections III–IV) is that SW26010 performance
+// pathologies are *statically decidable* from the kernel description:
+// SPM overflow (with the 2× double-buffer footprint), the Gload-fallback
+// cliff of Fig. 7(a), sub-transaction DMA waste (Fig. 9), idle CPEs.
+// This module decides them before any simulation or tuning run, in two
+// families of passes:
+//
+//   1. description/launch checks over swacc::KernelDesc + LaunchParams
+//      (desc_checks.cpp) — SWK*/SWD* codes;
+//   2. dataflow checks over lowered sim::CpeProgram / sim::KernelBinary
+//      (dataflow_checks.cpp, isa_checks.cpp) — SWP*/SWI* codes: per-CPE
+//      abstract interpretation of DMA handle state, cross-CPE barrier
+//      parity, block references, and basic-block lints.
+//
+// Wiring: swacc::lower() refuses launches with error-severity findings,
+// tuning::prune_variants() drops them before spending bounds on them, and
+// the `swperf check` CLI subcommand prints the full report.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "isa/block.h"
+#include "sim/program.h"
+#include "sw/arch.h"
+#include "swacc/kernel.h"
+
+namespace swperf::analysis {
+
+/// Everything a checker pass may look at. Checkers skip silently when the
+/// inputs they need are absent, so one context type serves both families.
+struct CheckContext {
+  const swacc::KernelDesc* kernel = nullptr;
+  const swacc::LaunchParams* params = nullptr;
+  const sim::KernelBinary* binary = nullptr;
+  const std::vector<sim::CpeProgram>* programs = nullptr;
+  sw::ArchParams arch = sw::ArchParams::sw26010();
+};
+
+/// One analysis pass.
+class Checker {
+ public:
+  virtual ~Checker() = default;
+  virtual const char* name() const = 0;
+  virtual void run(const CheckContext& ctx, Diagnostics& out) const = 0;
+};
+
+/// The full pass registry, in execution order (description checks first).
+const std::vector<std::unique_ptr<Checker>>& all_checkers();
+
+/// Runs every registered checker against `ctx`.
+Diagnostics run_checks(const CheckContext& ctx);
+
+// ---- Convenience drivers --------------------------------------------------
+
+/// Structural checks of the description alone (no launch parameters) —
+/// what KernelDesc::validate() routes through.
+Diagnostics check_kernel_desc(const swacc::KernelDesc& kernel);
+
+/// Description + launch checks (no lowering): cheap enough for tuners to
+/// call per candidate variant.
+Diagnostics check_launch(const swacc::KernelDesc& kernel,
+                         const swacc::LaunchParams& params,
+                         const sw::ArchParams& arch);
+
+/// Dataflow + ISA checks of an already-lowered launch.
+Diagnostics check_program(const sim::KernelBinary& binary,
+                          const std::vector<sim::CpeProgram>& programs,
+                          const sw::ArchParams& arch);
+
+/// ISA-level lints of a single basic block.
+Diagnostics check_block(const isa::BasicBlock& block);
+
+/// The whole pipeline: launch checks, then — when those found no errors —
+/// lowering plus program checks on the result. Never throws on findings;
+/// lowering failures that slip past the launch checks surface as sw::Error.
+Diagnostics check_all(const swacc::KernelDesc& kernel,
+                      const swacc::LaunchParams& params,
+                      const sw::ArchParams& arch);
+
+// ---- Code catalogue -------------------------------------------------------
+
+/// Catalogue entry for one diagnostic code (docs/ANALYSIS.md, CLI
+/// `check --list-codes`).
+struct CodeInfo {
+  const char* code;
+  Severity severity;
+  const char* summary;
+  const char* paper_ref;  // the paper section/figure the check derives from
+};
+
+/// All diagnostic codes the engine can emit, sorted by code.
+const std::vector<CodeInfo>& diagnostic_catalog();
+
+namespace detail {
+using Registry = std::vector<std::unique_ptr<Checker>>;
+void register_desc_checkers(Registry& r);
+void register_dataflow_checkers(Registry& r);
+void register_isa_checkers(Registry& r);
+}  // namespace detail
+
+}  // namespace swperf::analysis

@@ -1,0 +1,165 @@
+// Dataflow checks over lowered per-CPE programs (SWP* codes).
+//
+// The double-buffer restructuring of Section IV-2 (Fig. 5) is the classic
+// source of DMA-handle bugs: a missing final dma_wait leaves the last
+// copy-out in flight when the kernel "finishes", a wait on the wrong
+// parity handle blocks on nothing, a re-issue on a busy handle corrupts
+// the buffer being computed on.  All of these are decidable by abstract
+// interpretation of each CPE's op stream with one bit of state per handle
+// (idle / in-flight) — no simulation required.
+#include <sstream>
+#include <variant>
+
+#include "analysis/checker.h"
+
+namespace swperf::analysis {
+namespace {
+
+void emit(Diagnostics& out, Severity sev, const char* code,
+          std::string message, std::string fixit = "") {
+  out.push_back(
+      Diagnostic{sev, code, std::move(message), std::move(fixit)});
+}
+
+std::string at(std::size_t cpe, std::size_t op) {
+  std::ostringstream os;
+  os << "CPE " << cpe << ", op " << op;
+  return os.str();
+}
+
+// ---- SWP001/SWP002/SWP003/SWP006: DMA handle state machine ----------------
+
+class DmaStateChecker final : public Checker {
+ public:
+  const char* name() const override { return "dma-dataflow"; }
+
+  void run(const CheckContext& ctx, Diagnostics& out) const override {
+    if (ctx.programs == nullptr) return;
+    for (std::size_t cpe = 0; cpe < ctx.programs->size(); ++cpe) {
+      check_cpe((*ctx.programs)[cpe], cpe, out);
+    }
+  }
+
+ private:
+  static void check_cpe(const sim::CpeProgram& prog, std::size_t cpe,
+                        Diagnostics& out) {
+    bool in_flight[sim::kMaxDmaHandles] = {};
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+      const auto& op = prog.ops[i];
+      if (const auto* d = std::get_if<sim::DmaOp>(&op)) {
+        if (d->handle < 0) continue;  // blocking DMA: no handle state
+        if (d->handle >= sim::kMaxDmaHandles) {
+          emit(out, Severity::kError, "SWP006",
+               at(cpe, i) + ": dma handle " + std::to_string(d->handle) +
+                   " outside [0, " +
+                   std::to_string(sim::kMaxDmaHandles) + ")");
+          continue;
+        }
+        if (in_flight[d->handle]) {
+          emit(out, Severity::kError, "SWP002",
+               at(cpe, i) + ": async DMA issued on handle " +
+                   std::to_string(d->handle) +
+                   " while a previous request on it is still in flight",
+               "insert dma_wait(" + std::to_string(d->handle) +
+                   ") before re-issuing, or use the other parity handle");
+        }
+        in_flight[d->handle] = true;
+      } else if (const auto* w = std::get_if<sim::DmaWaitOp>(&op)) {
+        if (w->handle < 0 || w->handle >= sim::kMaxDmaHandles) {
+          emit(out, Severity::kError, "SWP006",
+               at(cpe, i) + ": dma_wait handle " +
+                   std::to_string(w->handle) + " outside [0, " +
+                   std::to_string(sim::kMaxDmaHandles) + ")");
+          continue;
+        }
+        if (!in_flight[w->handle]) {
+          emit(out, Severity::kError, "SWP001",
+               at(cpe, i) + ": dma_wait on handle " +
+                   std::to_string(w->handle) +
+                   " with no DMA in flight (never issued, or already "
+                   "waited for)",
+               "drop the wait, or issue the matching async dma first");
+        }
+        in_flight[w->handle] = false;
+      }
+    }
+    for (int h = 0; h < sim::kMaxDmaHandles; ++h) {
+      if (!in_flight[h]) continue;
+      emit(out, Severity::kWarning, "SWP003",
+           "CPE " + std::to_string(cpe) + ": async DMA on handle " +
+               std::to_string(h) +
+               " still in flight at program end — the kernel may finish "
+               "before its last transfer lands",
+           "append dma_wait(" + std::to_string(h) + ")");
+    }
+  }
+};
+
+// ---- SWP004: cross-CPE barrier parity -------------------------------------
+
+class BarrierParityChecker final : public Checker {
+ public:
+  const char* name() const override { return "barrier-parity"; }
+
+  void run(const CheckContext& ctx, Diagnostics& out) const override {
+    if (ctx.programs == nullptr || ctx.programs->size() < 2) return;
+    std::size_t min_count = 0, max_count = 0, min_cpe = 0, max_cpe = 0;
+    for (std::size_t cpe = 0; cpe < ctx.programs->size(); ++cpe) {
+      std::size_t n = 0;
+      for (const auto& op : (*ctx.programs)[cpe].ops) {
+        n += std::holds_alternative<sim::BarrierOp>(op) ? 1 : 0;
+      }
+      if (cpe == 0 || n < min_count) {
+        min_count = n;
+        min_cpe = cpe;
+      }
+      if (cpe == 0 || n > max_count) {
+        max_count = n;
+        max_cpe = cpe;
+      }
+    }
+    if (min_count == max_count) return;
+    std::ostringstream os;
+    os << "barrier count differs across CPEs: CPE " << max_cpe
+       << " reaches " << max_count << " barrier(s) but CPE " << min_cpe
+       << " only " << min_count << " — the launch deadlocks";
+    emit(out, Severity::kError, "SWP004", os.str(),
+         "give every active CPE the same number of barriers");
+  }
+};
+
+// ---- SWP005: ComputeOp block references -----------------------------------
+
+class BlockRefChecker final : public Checker {
+ public:
+  const char* name() const override { return "block-ref"; }
+
+  void run(const CheckContext& ctx, Diagnostics& out) const override {
+    if (ctx.programs == nullptr || ctx.binary == nullptr) return;
+    const auto n_blocks = ctx.binary->blocks.size();
+    for (std::size_t cpe = 0; cpe < ctx.programs->size(); ++cpe) {
+      const auto& ops = (*ctx.programs)[cpe].ops;
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto* c = std::get_if<sim::ComputeOp>(&ops[i]);
+        if (c == nullptr || c->block_id < n_blocks) continue;
+        emit(out, Severity::kError, "SWP005",
+             at(cpe, i) + ": ComputeOp references block " +
+                 std::to_string(c->block_id) + " but the binary has only " +
+                 std::to_string(n_blocks) + " block(s)");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_dataflow_checkers(Registry& r) {
+  r.push_back(std::make_unique<DmaStateChecker>());
+  r.push_back(std::make_unique<BarrierParityChecker>());
+  r.push_back(std::make_unique<BlockRefChecker>());
+}
+
+}  // namespace detail
+}  // namespace swperf::analysis

@@ -1,0 +1,389 @@
+// Description/launch checks (SWK* structural errors, SWD* launch checks).
+//
+// Everything here is decidable from KernelDesc + LaunchParams + ArchParams
+// alone — no lowering, no simulation — which is what makes the checks
+// cheap enough for the tuners to consult on every candidate variant.
+#include <cmath>
+#include <sstream>
+
+#include "analysis/checker.h"
+#include "isa/vectorize.h"
+#include "sw/error.h"
+#include "swacc/decompose.h"
+#include "swacc/lower.h"
+
+namespace swperf::analysis {
+namespace {
+
+using swacc::Access;
+using swacc::ArrayRef;
+using swacc::Dir;
+
+void emit(Diagnostics& out, Severity sev, const char* code,
+          std::string message, std::string fixit = "") {
+  out.push_back(
+      Diagnostic{sev, code, std::move(message), std::move(fixit)});
+}
+
+/// True when the structural (SWK*) checks would reject the description —
+/// later passes skip rather than reason about malformed inputs.
+bool structurally_sound(const swacc::KernelDesc& k) {
+  if (k.name.empty() || k.n_outer < 1 || k.inner_iters < 1 ||
+      k.body.instrs.empty()) {
+    return false;
+  }
+  for (const auto& a : k.arrays) {
+    if (a.staged() &&
+        (a.bytes_per_outer == 0 || a.segments_per_outer == 0 ||
+         a.bytes_per_outer % a.segments_per_outer != 0)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---- SWK001/SWK002/SWK003/SWK004 + SWD003: description structure ----------
+
+class DescStructureChecker final : public Checker {
+ public:
+  const char* name() const override { return "desc-structure"; }
+
+  void run(const CheckContext& ctx, Diagnostics& out) const override {
+    if (ctx.kernel == nullptr) return;
+    const auto& k = *ctx.kernel;
+    const std::string who = "kernel '" + k.name + "'";
+
+    if (k.name.empty()) {
+      emit(out, Severity::kError, "SWK001", "kernel has no name");
+    }
+    if (k.n_outer < 1) {
+      emit(out, Severity::kError, "SWK001", who + ": n_outer must be >= 1");
+    }
+    if (k.inner_iters < 1) {
+      emit(out, Severity::kError, "SWK001",
+           who + ": inner_iters must be >= 1");
+    }
+    if (k.body.instrs.empty()) {
+      emit(out, Severity::kError, "SWK001", who + ": empty compute body");
+    } else {
+      try {
+        k.body.validate();
+      } catch (const sw::Error& e) {
+        emit(out, Severity::kError, "SWK001",
+             who + ": invalid body: " + e.what());
+      }
+    }
+
+    for (const auto& a : k.arrays) {
+      check_array(ctx, k, a, out);
+    }
+
+    // SWK004 — fraction ranges, written so NaN also fails the check.
+    if (!(k.gload_coalesceable >= 0.0 && k.gload_coalesceable <= 1.0)) {
+      emit(out, Severity::kError, "SWK004",
+           who + ": gload_coalesceable out of [0,1]");
+    }
+    if (!(k.gload_imbalance >= 0.0 && k.gload_imbalance < 1.0)) {
+      emit(out, Severity::kError, "SWK004",
+           who + ": gload_imbalance out of [0,1)");
+    }
+    if (!(k.comp_imbalance >= 0.0 && k.comp_imbalance < 1.0)) {
+      emit(out, Severity::kError, "SWK004",
+           who + ": comp_imbalance out of [0,1)");
+    }
+  }
+
+ private:
+  static void check_array(const CheckContext& ctx,
+                          const swacc::KernelDesc& k, const ArrayRef& a,
+                          Diagnostics& out) {
+    const std::string who =
+        "kernel '" + k.name + "', array '" + a.name + "'";
+    if (a.name.empty()) {
+      emit(out, Severity::kError, "SWK002",
+           "kernel '" + k.name + "': unnamed array");
+    }
+    switch (a.access) {
+      case Access::kContiguous:
+      case Access::kStrided:
+      case Access::kBlock2D:
+        if (a.bytes_per_outer == 0) {
+          emit(out, Severity::kError, "SWK002",
+               who + ": staged arrays need bytes_per_outer > 0");
+        }
+        if (a.segments_per_outer < 1 ||
+            (a.bytes_per_outer > 0 &&
+             a.bytes_per_outer % a.segments_per_outer != 0)) {
+          emit(out, Severity::kError, "SWK002",
+               who + ": segments_per_outer must divide bytes_per_outer");
+        }
+        break;
+      case Access::kBroadcast:
+        if (a.broadcast_bytes == 0) {
+          emit(out, Severity::kError, "SWK002",
+               who + ": broadcast needs bytes");
+        }
+        if (a.dir != Dir::kIn) {
+          emit(out, Severity::kError, "SWK002",
+               who + ": broadcast arrays are read-only per launch");
+        }
+        break;
+      case Access::kIndirect:
+        if (!(a.gloads_per_inner > 0.0)) {
+          emit(out, Severity::kError, "SWK002",
+               who + ": indirect arrays need gloads_per_inner > 0");
+        }
+        if (a.gload_bytes == 0) {
+          emit(out, Severity::kError, "SWK003",
+               who + ": gload_bytes must be >= 1");
+        } else if (a.gload_bytes > ctx.arch.gload_max_bytes) {
+          std::ostringstream os;
+          os << who << ": gload_bytes=" << a.gload_bytes
+             << " exceeds the " << ctx.arch.gload_max_bytes
+             << "-byte Gload request limit";
+          emit(out, Severity::kError, "SWD003", os.str(),
+               "split the access or set gload_bytes <= " +
+                   std::to_string(ctx.arch.gload_max_bytes));
+        }
+        break;
+    }
+  }
+};
+
+// ---- SWD007/SWD002: launch parameter sanity -------------------------------
+
+class LaunchParamChecker final : public Checker {
+ public:
+  const char* name() const override { return "launch-params"; }
+
+  void run(const CheckContext& ctx, Diagnostics& out) const override {
+    if (ctx.kernel == nullptr || ctx.params == nullptr) return;
+    const auto& p = *ctx.params;
+    if (p.tile < 1) {
+      emit(out, Severity::kError, "SWD007", "tile must be >= 1");
+    }
+    if (p.unroll < 1 || p.unroll > 64) {
+      emit(out, Severity::kError, "SWD007",
+           "unroll must be in 1..64, got " + std::to_string(p.unroll));
+    }
+    if (p.vector_width != 1 && p.vector_width != 2 &&
+        p.vector_width != isa::kMaxVectorLanes) {
+      emit(out, Severity::kError, "SWD007",
+           "vector_width must be 1, 2 or " +
+               std::to_string(isa::kMaxVectorLanes) + ", got " +
+               std::to_string(p.vector_width));
+    }
+    const std::uint32_t max_cpes =
+        ctx.arch.cpes_per_cg * ctx.arch.core_groups;
+    if (p.requested_cpes < 1 || p.requested_cpes > max_cpes) {
+      emit(out, Severity::kError, "SWD007",
+           "requested_cpes=" + std::to_string(p.requested_cpes) +
+               " outside 1.." + std::to_string(max_cpes));
+    }
+    if (p.vector_width > 1 && !ctx.kernel->vectorizable) {
+      emit(out, Severity::kError, "SWD002",
+           "kernel '" + ctx.kernel->name +
+               "' is not vectorizable but vector_width=" +
+               std::to_string(p.vector_width),
+           "set vector_width=1, or mark the body vectorizable if its SPM "
+           "accesses are stride-1 and lane-independent");
+    }
+  }
+};
+
+// ---- SWD001: SPM capacity including the double-buffer footprint -----------
+
+class SpmCapacityChecker final : public Checker {
+ public:
+  const char* name() const override { return "spm-capacity"; }
+
+  void run(const CheckContext& ctx, Diagnostics& out) const override {
+    if (ctx.kernel == nullptr || ctx.params == nullptr) return;
+    const auto& k = *ctx.kernel;
+    const auto& p = *ctx.params;
+    // spm_bytes_required() re-validates the description (and throws), so
+    // this pass must skip whenever *any* structural check failed — not
+    // just the cheap subset structurally_sound() covers.
+    if (p.tile < 1 || has_errors(check_kernel_desc(k))) return;
+
+    const std::uint64_t need = swacc::spm_bytes_required(k, p);
+    if (need <= ctx.arch.spm_bytes) return;
+
+    const std::uint64_t spb = k.spm_bytes_per_outer();
+    const std::uint64_t bc = k.broadcast_bytes_total();
+    const std::uint64_t nbuf = p.double_buffer ? 2 : 1;
+    const std::uint64_t eff_tile = std::min(p.tile, k.n_outer);
+
+    std::ostringstream os;
+    os << "kernel '" << k.name << "': SPM overflow: needs " << need
+       << " B of " << ctx.arch.spm_bytes << " B (" << nbuf
+       << " buffer(s) x tile " << eff_tile << " x " << spb
+       << " B/outer + " << bc << " B broadcast)";
+
+    std::string fixit;
+    if (spb > 0 && bc + nbuf * spb <= ctx.arch.spm_bytes) {
+      const std::uint64_t max_tile =
+          (ctx.arch.spm_bytes - bc) / (nbuf * spb);
+      fixit = "reduce tile to <= " + std::to_string(max_tile);
+      if (p.double_buffer && bc + eff_tile * spb <= ctx.arch.spm_bytes) {
+        fixit += ", or disable double buffering (single-buffered footprint "
+                 "fits)";
+      }
+    } else {
+      fixit = "shrink the staged or broadcast working set; it cannot fit "
+              "at any tile";
+    }
+    emit(out, Severity::kError, "SWD001", os.str(), fixit);
+  }
+};
+
+// ---- SWD004: the Gload-fallback cliff (Fig. 7a) ---------------------------
+
+class GloadFallbackChecker final : public Checker {
+ public:
+  const char* name() const override { return "gload-fallback"; }
+
+  void run(const CheckContext& ctx, Diagnostics& out) const override {
+    if (ctx.kernel == nullptr || ctx.params == nullptr) return;
+    const auto& k = *ctx.kernel;
+    const auto& p = *ctx.params;
+    if (p.tile < 1 || p.tile >= k.dma_min_tile) return;
+    bool staged_in = false;
+    for (const auto& a : k.arrays) {
+      staged_in |= a.staged() && a.copies_in();
+    }
+    if (!staged_in) return;
+    std::ostringstream os;
+    os << "kernel '" << k.name << "': tile " << p.tile
+       << " is below dma_min_tile " << k.dma_min_tile
+       << ": the compiler stops staging input arrays and every element "
+          "becomes a Gload (the Fig. 7a cliff)";
+    emit(out, Severity::kWarning, "SWD004", os.str(),
+         "raise tile to >= " + std::to_string(k.dma_min_tile));
+  }
+};
+
+// ---- SWD005: sub-transaction DMA segments (Fig. 9 waste) ------------------
+//
+// Severity is graded: a finding is a *warning* only when the launch can do
+// something about it (a larger tile reaches whole transactions) and the
+// array carries a non-negligible share of the staged traffic.  Waste that
+// is inherent to the declared layout (strided rows — tile-independent) or
+// confined to a trickle array is still reported, but as a note: the model
+// already prices it, and no launch parameter removes it.
+
+class DmaGranularityChecker final : public Checker {
+ public:
+  const char* name() const override { return "dma-granularity"; }
+
+  /// An array below this share of the staged bytes cannot waste enough
+  /// bandwidth to matter; its sub-transaction segments are a note.
+  static constexpr double kSignificantShare = 1.0 / 16.0;
+
+  void run(const CheckContext& ctx, Diagnostics& out) const override {
+    if (ctx.kernel == nullptr || ctx.params == nullptr) return;
+    const auto& k = *ctx.kernel;
+    const auto& p = *ctx.params;
+    if (!structurally_sound(k) || p.tile < 1) return;
+    if (p.tile < k.dma_min_tile) return;  // SWD004 territory: no DMA at all
+
+    const std::uint64_t g = std::min(p.tile, k.n_outer);
+    const std::uint64_t trans = ctx.arch.trans_size_bytes;
+    const std::uint64_t staged_total = k.spm_bytes_per_outer();
+    for (const auto& a : k.arrays) {
+      if (!a.staged()) continue;
+      std::uint64_t seg = 0;       // bytes per contiguous DMA segment
+      std::uint64_t fix_tile = 0;  // smallest tile with whole transactions
+      const std::uint64_t row = a.bytes_per_outer / a.segments_per_outer;
+      switch (a.access) {
+        case Access::kContiguous:
+          seg = g * a.bytes_per_outer;
+          fix_tile = (trans + a.bytes_per_outer - 1) / a.bytes_per_outer;
+          break;
+        case Access::kBlock2D:
+          seg = g * row;
+          fix_tile = (trans + row - 1) / row;
+          break;
+        case Access::kStrided:
+          seg = row;  // independent of tile
+          break;
+        default:
+          continue;
+      }
+      if (seg == 0 || seg >= trans) continue;
+      const double waste =
+          1.0 - static_cast<double>(seg) / static_cast<double>(trans);
+      std::ostringstream os;
+      os << "kernel '" << k.name << "', array '" << a.name << "': "
+         << seg << "-byte DMA segments each round up to a " << trans
+         << "-byte transaction, wasting " << static_cast<int>(100.0 * waste)
+         << "% of the bandwidth they occupy";
+      std::string fixit;
+      bool launch_fixable = false;
+      if (a.access == Access::kStrided) {
+        fixit = "row length is tile-independent; merge rows into a "
+                "contiguous or 2D-block layout to reach whole transactions";
+      } else if (fix_tile > k.n_outer) {
+        fixit = "array is too small to fill a transaction at any tile";
+      } else {
+        launch_fixable = true;
+        fixit = "raise tile to >= " + std::to_string(fix_tile) +
+                " so each segment covers a whole transaction";
+      }
+      const double share =
+          staged_total > 0
+              ? static_cast<double>(a.bytes_per_outer) /
+                    static_cast<double>(staged_total)
+              : 0.0;
+      const Severity sev = launch_fixable && share >= kSignificantShare
+                               ? Severity::kWarning
+                               : Severity::kNote;
+      emit(out, sev, "SWD005", os.str(), std::move(fixit));
+    }
+  }
+};
+
+// ---- SWD006: idle CPEs (tile too coarse) ----------------------------------
+
+class IdleCpeChecker final : public Checker {
+ public:
+  const char* name() const override { return "idle-cpes"; }
+
+  void run(const CheckContext& ctx, Diagnostics& out) const override {
+    if (ctx.kernel == nullptr || ctx.params == nullptr) return;
+    const auto& k = *ctx.kernel;
+    const auto& p = *ctx.params;
+    if (!structurally_sound(k) || p.tile < 1 || p.requested_cpes < 1) {
+      return;
+    }
+    const auto d = swacc::decompose(k.n_outer, p.tile, p.requested_cpes);
+    if (d.active_cpes >= p.requested_cpes) return;
+    const std::uint64_t fit_tile =
+        std::max<std::uint64_t>(1, k.n_outer / p.requested_cpes);
+    std::ostringstream os;
+    os << "kernel '" << k.name << "': tile " << p.tile << " splits "
+       << k.n_outer << " outer elements into only " << d.n_chunks
+       << " chunk(s), leaving " << (p.requested_cpes - d.active_cpes)
+       << " of " << p.requested_cpes << " requested CPEs idle";
+    emit(out, Severity::kWarning, "SWD006", os.str(),
+         "reduce tile to <= " + std::to_string(fit_tile) +
+             ", or request only " + std::to_string(d.active_cpes) +
+             " CPEs");
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_desc_checkers(Registry& r) {
+  r.push_back(std::make_unique<DescStructureChecker>());
+  r.push_back(std::make_unique<LaunchParamChecker>());
+  r.push_back(std::make_unique<SpmCapacityChecker>());
+  r.push_back(std::make_unique<GloadFallbackChecker>());
+  r.push_back(std::make_unique<DmaGranularityChecker>());
+  r.push_back(std::make_unique<IdleCpeChecker>());
+}
+
+}  // namespace detail
+}  // namespace swperf::analysis

@@ -1,0 +1,123 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "sw/error.h"
+
+namespace swperf::analysis {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << severity_name(severity) << "[" << code << "]: " << message;
+  if (!fixit.empty()) os << " (fixit: " << fixit << ")";
+  return os.str();
+}
+
+bool has_errors(const Diagnostics& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::kError;
+  });
+}
+
+bool clean(const Diagnostics& diags) {
+  return count_at_least(diags, Severity::kWarning) == 0;
+}
+
+std::size_t count_at_least(const Diagnostics& diags, Severity min) {
+  return static_cast<std::size_t>(
+      std::count_if(diags.begin(), diags.end(), [min](const Diagnostic& d) {
+        return d.severity >= min;
+      }));
+}
+
+Diagnostics filter(const Diagnostics& diags, Severity min) {
+  Diagnostics out;
+  for (const auto& d : diags) {
+    if (d.severity >= min) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<std::string> codes_of(const Diagnostics& diags) {
+  std::vector<std::string> out;
+  for (const auto& d : diags) {
+    if (std::find(out.begin(), out.end(), d.code) == out.end()) {
+      out.push_back(d.code);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_json(const Diagnostics& diags) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const auto& d = diags[i];
+    if (i > 0) os << ",";
+    os << "{\"severity\":\"" << severity_name(d.severity) << "\",\"code\":\"";
+    json_escape(os, d.code);
+    os << "\",\"message\":\"";
+    json_escape(os, d.message);
+    os << "\",\"fixit\":\"";
+    json_escape(os, d.fixit);
+    os << "\"}";
+  }
+  os << "]";
+  return os.str();
+}
+
+void throw_on_errors(const Diagnostics& diags) {
+  for (const auto& d : diags) {
+    if (d.severity == Severity::kError) {
+      throw sw::Error("[" + d.code + "] " + d.message +
+                      (d.fixit.empty() ? "" : " (fixit: " + d.fixit + ")"));
+    }
+  }
+}
+
+}  // namespace swperf::analysis

@@ -1,0 +1,70 @@
+// Diagnostics vocabulary of the static checker (swcheck).
+//
+// Every defect the analysis passes can find is reported as a Diagnostic
+// carrying a stable code (e.g. "SWD001"), a severity, a human-readable
+// message and, where a concrete remedy exists, a fix-it string.  Codes are
+// part of the public interface: tests pin them, the CLI filters on them,
+// and docs/ANALYSIS.md catalogues them against the paper section each
+// check derives from.
+//
+// Severity semantics:
+//   * kError   — the launch is illegal (SPM overflow, malformed kernel,
+//                broken DMA dataflow): lowering refuses it and the tuners
+//                prune it;
+//   * kWarning — legal but statically known to be slow or hazardous
+//                (Gload-fallback cliff, sub-transaction DMA waste, leaked
+//                async DMA);
+//   * kNote    — informational lints (live-in registers, dead values).
+// A result is "clean" when it carries nothing above kNote.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swperf::analysis {
+
+enum class Severity : std::uint8_t { kNote = 0, kWarning = 1, kError = 2 };
+
+const char* severity_name(Severity s);
+
+/// One finding of a checker pass.
+struct Diagnostic {
+  Severity severity = Severity::kNote;
+  std::string code;     // stable identifier, e.g. "SWD001"
+  std::string message;  // what is wrong, with the offending values
+  std::string fixit;    // concrete remedy ("" when none applies)
+
+  /// "error[SWD001]: message" plus the fix-it when present.
+  std::string to_string() const;
+};
+
+using Diagnostics = std::vector<Diagnostic>;
+
+/// True if any diagnostic is kError.
+bool has_errors(const Diagnostics& diags);
+
+/// True if nothing above kNote was reported — the bar the whole kernel
+/// suite must meet (tests/analysis regression).
+bool clean(const Diagnostics& diags);
+
+/// Number of diagnostics at `min` severity or above.
+std::size_t count_at_least(const Diagnostics& diags, Severity min);
+
+/// The subset at `min` severity or above, preserving order.
+Diagnostics filter(const Diagnostics& diags, Severity min);
+
+/// Distinct codes present, in first-appearance order.
+std::vector<std::string> codes_of(const Diagnostics& diags);
+
+/// Machine-readable rendering: a JSON array of
+/// {"severity","code","message","fixit"} objects.
+std::string to_json(const Diagnostics& diags);
+
+/// Throws sw::Error formatted from the *first* error-severity diagnostic
+/// (message prefixed with its code) when any is present; otherwise no-op.
+/// This is how swacc::lower() and KernelDesc::validate() surface checker
+/// findings through the existing exception interface.
+void throw_on_errors(const Diagnostics& diags);
+
+}  // namespace swperf::analysis

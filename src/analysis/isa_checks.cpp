@@ -1,0 +1,112 @@
+// ISA-level basic-block lints (SWI* codes).
+//
+// These mirror what the native compiler's annotated assembly makes obvious
+// to a human reader (Section III-D): values that are computed and never
+// consumed, registers consumed that nothing produces, and SPM stores shadowed
+// before anything reads them back.  Read-never-written registers are the
+// *normal* idiom for loop invariants in this IR (BlockBuilder::reg() hands
+// out live-in registers), so SWI001 is a note, not a warning — it exists
+// because a typo'd register id produces exactly the same shape.
+#include <set>
+#include <sstream>
+
+#include "analysis/checker.h"
+#include "isa/instr.h"
+
+namespace swperf::analysis {
+namespace {
+
+void lint_block(const isa::BasicBlock& b, Diagnostics& out) {
+  std::set<isa::Reg> written;
+  std::set<isa::Reg> read;
+  for (const auto& i : b.instrs) {
+    for (isa::Reg s : i.srcs) {
+      if (s != isa::kNoReg) read.insert(s);
+    }
+    if (i.dst != isa::kNoReg) written.insert(i.dst);
+  }
+
+  // SWI001 — read of a never-written register.
+  for (isa::Reg r : read) {
+    if (written.count(r) != 0) continue;
+    std::ostringstream os;
+    os << "block '" << b.name << "': register r" << r
+       << " is read but never written — a live-in loop invariant, or a "
+          "typo'd register id";
+    out.push_back(Diagnostic{Severity::kNote, "SWI001", os.str(), ""});
+  }
+
+  // SWI003 — dead value: a destination nothing ever reads. Loop-overhead
+  // instructions are bookkeeping by construction and excluded; stores have
+  // no destination, so they never fire here.
+  std::set<isa::Reg> reported_dead;
+  for (const auto& i : b.instrs) {
+    if (i.loop_overhead || i.dst == isa::kNoReg) continue;
+    if (read.count(i.dst) != 0 || reported_dead.count(i.dst) != 0) continue;
+    reported_dead.insert(i.dst);
+    std::ostringstream os;
+    os << "block '" << b.name << "': register r" << i.dst << " ("
+       << isa::op_class_name(i.cls)
+       << ") is written but never read — dead value";
+    out.push_back(Diagnostic{Severity::kNote, "SWI003", os.str(), ""});
+  }
+
+  // SWI002 — dead SPM store: a store through an explicit address register
+  // that is overwritten by a later store through the same register with no
+  // intervening SPM load from it.  Implicit (kNoReg) addresses carry no
+  // aliasing information and are skipped.
+  std::set<isa::Reg> pending_store_addr;
+  for (std::size_t idx = 0; idx < b.instrs.size(); ++idx) {
+    const auto& i = b.instrs[idx];
+    if (i.cls == isa::OpClass::kSpmLoad) {
+      if (i.srcs[0] != isa::kNoReg) pending_store_addr.erase(i.srcs[0]);
+    } else if (i.cls == isa::OpClass::kSpmStore) {
+      const isa::Reg addr = i.srcs[1];
+      if (addr == isa::kNoReg) continue;
+      if (pending_store_addr.count(addr) != 0) {
+        std::ostringstream os;
+        os << "block '" << b.name << "': SPM store through address r"
+           << addr << " (instr " << idx
+           << ") shadows an earlier store through the same register with "
+              "no intervening load — the earlier store is dead";
+        out.push_back(Diagnostic{Severity::kWarning, "SWI002", os.str(),
+                                 "drop the earlier store, or load the "
+                                 "value back before overwriting it"});
+      }
+      pending_store_addr.insert(addr);
+    }
+  }
+}
+
+class BlockLintChecker final : public Checker {
+ public:
+  const char* name() const override { return "block-lints"; }
+
+  void run(const CheckContext& ctx, Diagnostics& out) const override {
+    // Lowered blocks are derived from the kernel body, so when a binary is
+    // present it is the authoritative lint target and the body is skipped
+    // (avoids duplicate findings in check_all()).
+    if (ctx.binary != nullptr) {
+      for (const auto& b : ctx.binary->blocks) lint_block(b, out);
+    } else if (ctx.kernel != nullptr) {
+      lint_block(ctx.kernel->body, out);
+    }
+  }
+};
+
+}  // namespace
+
+Diagnostics check_block(const isa::BasicBlock& block) {
+  Diagnostics out;
+  lint_block(block, out);
+  return out;
+}
+
+namespace detail {
+
+void register_isa_checkers(Registry& r) {
+  r.push_back(std::make_unique<BlockLintChecker>());
+}
+
+}  // namespace detail
+}  // namespace swperf::analysis

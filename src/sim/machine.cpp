@@ -14,7 +14,7 @@ namespace swperf::sim {
 namespace {
 
 constexpr int kBlockingHandle = -2;
-constexpr int kMaxHandles = 16;
+constexpr int kMaxHandles = kMaxDmaHandles;
 
 // Memory streams, for the controller's burst affinity: one stream per
 // in-flight request source.  Slot codes: 0 = blocking DMA, 1..16 = async

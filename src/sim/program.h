@@ -13,9 +13,15 @@
 
 #include "isa/block.h"
 #include "mem/request.h"
+#include "sw/error.h"
 #include "sw/time.h"
 
 namespace swperf::sim {
+
+/// Async DMA reply slots per CPE. Handles used by DmaOp/DmaWaitOp must lie
+/// in [0, kMaxDmaHandles); the builder, the simulator and the static
+/// checker (analysis/) all enforce the same bound.
+inline constexpr int kMaxDmaHandles = 16;
 
 /// Executes basic block `block_id` of the KernelBinary `iters` times
 /// back-to-back (an innermost loop over SPM-resident data).
@@ -62,16 +68,28 @@ using Op = std::variant<ComputeOp, DmaOp, DmaWaitOp, GloadLoopOp, BarrierOp,
 /// The op stream of one CPE.
 struct CpeProgram {
   std::vector<Op> ops;
+  /// Handles ever issued through dma(); lets dma_wait() reject waits on
+  /// handles no DMA was ever issued on, at construction time.
+  std::uint32_t issued_handles = 0;
 
   CpeProgram& compute(std::uint32_t block_id, std::uint64_t iters) {
     if (iters > 0) ops.push_back(ComputeOp{block_id, iters});
     return *this;
   }
   CpeProgram& dma(mem::DmaRequest req, int handle = -1) {
+    SWPERF_CHECK(handle < kMaxDmaHandles,
+                 "dma handle " << handle << " out of range (max "
+                               << kMaxDmaHandles - 1 << ")");
+    if (handle >= 0) issued_handles |= 1u << handle;
     ops.push_back(DmaOp{req, handle});
     return *this;
   }
   CpeProgram& dma_wait(int handle) {
+    SWPERF_CHECK(handle >= 0 && handle < kMaxDmaHandles,
+                 "dma_wait handle " << handle << " out of range");
+    SWPERF_CHECK((issued_handles >> handle) & 1u,
+                 "dma_wait on handle " << handle
+                                       << " which was never issued");
     ops.push_back(DmaWaitOp{handle});
     return *this;
   }

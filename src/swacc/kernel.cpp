@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/checker.h"
 #include "sw/error.h"
 
 namespace swperf::swacc {
@@ -53,50 +54,10 @@ bool KernelDesc::has_indirect() const {
 }
 
 void KernelDesc::validate() const {
-  SWPERF_CHECK(!name.empty(), "kernel has no name");
-  SWPERF_CHECK(n_outer >= 1, "kernel '" << name << "': n_outer must be >= 1");
-  SWPERF_CHECK(inner_iters >= 1,
-               "kernel '" << name << "': inner_iters must be >= 1");
-  SWPERF_CHECK(!body.instrs.empty(),
-               "kernel '" << name << "': empty compute body");
-  body.validate();
-  for (const auto& a : arrays) {
-    SWPERF_CHECK(!a.name.empty(), "kernel '" << name << "': unnamed array");
-    switch (a.access) {
-      case Access::kContiguous:
-      case Access::kStrided:
-      case Access::kBlock2D:
-        SWPERF_CHECK(a.bytes_per_outer > 0,
-                     "array '" << a.name << "': staged arrays need "
-                               << "bytes_per_outer > 0");
-        SWPERF_CHECK(a.segments_per_outer >= 1 &&
-                         a.bytes_per_outer % a.segments_per_outer == 0,
-                     "array '" << a.name
-                               << "': segments_per_outer must divide "
-                               << "bytes_per_outer");
-        break;
-      case Access::kBroadcast:
-        SWPERF_CHECK(a.broadcast_bytes > 0,
-                     "array '" << a.name << "': broadcast needs bytes");
-        SWPERF_CHECK(a.dir == Dir::kIn,
-                     "array '" << a.name << "': broadcast arrays are "
-                               << "read-only per launch");
-        break;
-      case Access::kIndirect:
-        SWPERF_CHECK(a.gloads_per_inner > 0.0,
-                     "array '" << a.name << "': indirect arrays need "
-                               << "gloads_per_inner > 0");
-        SWPERF_CHECK(a.gload_bytes >= 1 && a.gload_bytes <= 32,
-                     "array '" << a.name << "': gload_bytes must be 1..32");
-        break;
-    }
-  }
-  SWPERF_CHECK(gload_coalesceable >= 0.0 && gload_coalesceable <= 1.0,
-               "kernel '" << name << "': gload_coalesceable out of [0,1]");
-  SWPERF_CHECK(gload_imbalance >= 0.0 && gload_imbalance < 1.0,
-               "kernel '" << name << "': gload_imbalance out of [0,1)");
-  SWPERF_CHECK(comp_imbalance >= 0.0 && comp_imbalance < 1.0,
-               "kernel '" << name << "': comp_imbalance out of [0,1)");
+  // Routed through the static diagnostics engine so every rejection
+  // carries a stable code ([SWK001]... in the exception message) instead
+  // of a bare string; docs/ANALYSIS.md catalogues the codes.
+  analysis::throw_on_errors(analysis::check_kernel_desc(*this));
 }
 
 std::string LaunchParams::to_string() const {

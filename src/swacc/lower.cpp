@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "analysis/checker.h"
 #include "isa/reorder.h"
 #include "isa/vectorize.h"
 #include "isa/schedule.h"
@@ -101,20 +102,11 @@ std::uint64_t spm_bytes_required(const KernelDesc& kernel,
 
 LoweredKernel lower(const KernelDesc& kernel, const LaunchParams& params,
                     const sw::ArchParams& arch) {
-  kernel.validate();
   arch.validate();
-  SWPERF_CHECK(params.tile >= 1, "tile must be >= 1");
-  SWPERF_CHECK(params.unroll >= 1 && params.unroll <= 64,
-               "unroll must be in 1..64, got " << params.unroll);
-  SWPERF_CHECK(params.vector_width == 1 || params.vector_width == 2 ||
-                   params.vector_width == isa::kMaxVectorLanes,
-               "vector_width must be 1, 2 or 4");
-  SWPERF_CHECK(params.vector_width == 1 || kernel.vectorizable,
-               "kernel '" << kernel.name << "' is not vectorizable");
-  SWPERF_CHECK(params.requested_cpes >= 1 &&
-                   params.requested_cpes <=
-                       arch.cpes_per_cg * arch.core_groups,
-               "requested_cpes=" << params.requested_cpes);
+  // Every precondition lower() used to spell out inline lives in the static
+  // diagnostics engine now; error-severity findings abort the lowering with
+  // their [code] in the exception message.
+  analysis::throw_on_errors(analysis::check_launch(kernel, params, arch));
 
   LoweredKernel out;
   out.decomp = decompose(kernel.n_outer, params.tile, params.requested_cpes);

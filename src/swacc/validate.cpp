@@ -3,6 +3,7 @@
 #include <sstream>
 #include <vector>
 
+#include "analysis/checker.h"
 #include "sw/error.h"
 #include "swacc/lower.h"
 
@@ -40,26 +41,15 @@ CoverageReport validate_launch(const KernelDesc& kernel,
                                const LaunchParams& params,
                                const sw::ArchParams& arch) {
   try {
-    kernel.validate();
     arch.validate();
-    SWPERF_CHECK(params.tile >= 1, "tile must be >= 1");
-    SWPERF_CHECK(params.unroll >= 1 && params.unroll <= 64,
-                 "unroll out of range");
-    SWPERF_CHECK(params.vector_width == 1 || params.vector_width == 2 ||
-                     params.vector_width == 4,
-                 "vector_width must be 1, 2 or 4");
-    SWPERF_CHECK(params.vector_width == 1 || kernel.vectorizable,
-                 "kernel is not vectorizable");
-    SWPERF_CHECK(params.requested_cpes >= 1 &&
-                     params.requested_cpes <=
-                         arch.cpes_per_cg * arch.core_groups,
-                 "requested_cpes out of range");
-    const std::uint64_t spm = spm_bytes_required(kernel, params);
-    SWPERF_CHECK(spm <= arch.spm_bytes,
-                 "SPM overflow: needs " << spm << " B of "
-                                        << arch.spm_bytes);
   } catch (const sw::Error& e) {
     return {false, e.what()};
+  }
+  const auto diags = analysis::check_launch(kernel, params, arch);
+  for (const auto& d : diags) {
+    if (d.severity >= analysis::Severity::kError) {
+      return {false, d.to_string()};
+    }
   }
   return validate_coverage(
       decompose(kernel.n_outer, params.tile, params.requested_cpes));

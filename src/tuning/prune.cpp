@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/checker.h"
 #include "sw/error.h"
 #include "isa/vectorize.h"
 #include "swacc/decompose.h"
@@ -117,20 +118,39 @@ std::vector<swacc::LaunchParams> prune_variants(
     const std::vector<swacc::LaunchParams>& variants,
     const sw::ArchParams& arch, double slack, PruneStats* stats) {
   SWPERF_CHECK(slack >= 1.0, "prune slack must be >= 1, got " << slack);
-  std::vector<double> bounds;
-  bounds.reserve(variants.size());
-  double best = std::numeric_limits<double>::infinity();
+  // Stage 1: the static checker. A variant swacc::lower() would refuse
+  // (SPM overflow, illegal vector width, ...) gets no bound computed — it
+  // is dropped with the same verdict the lowering itself would give.
+  std::vector<swacc::LaunchParams> legal;
+  legal.reserve(variants.size());
+  std::size_t illegal = 0;
   for (const auto& v : variants) {
+    if (analysis::has_errors(analysis::check_launch(kernel, v, arch))) {
+      ++illegal;
+    } else {
+      legal.push_back(v);
+    }
+  }
+  SWPERF_CHECK(!legal.empty(),
+               "all " << variants.size()
+                      << " variants rejected by the static checker");
+
+  // Stage 2: the lower-bound sieve over the legal survivors.
+  std::vector<double> bounds;
+  bounds.reserve(legal.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& v : legal) {
     bounds.push_back(variant_lower_bound_cycles(kernel, v, arch));
     best = std::min(best, bounds.back());
   }
   std::vector<swacc::LaunchParams> kept;
-  for (std::size_t i = 0; i < variants.size(); ++i) {
-    if (bounds[i] <= best * slack) kept.push_back(variants[i]);
+  for (std::size_t i = 0; i < legal.size(); ++i) {
+    if (bounds[i] <= best * slack) kept.push_back(legal[i]);
   }
   if (stats != nullptr) {
     stats->considered = variants.size();
     stats->kept = kept.size();
+    stats->illegal = illegal;
   }
   SWPERF_ASSERT(!kept.empty());
   return kept;

@@ -32,11 +32,17 @@ double variant_lower_bound_cycles(const swacc::KernelDesc& kernel,
 struct PruneStats {
   std::size_t considered = 0;
   std::size_t kept = 0;
+  /// Variants rejected by the static checker (error-severity findings,
+  /// e.g. SPM overflow) before any bound was computed.
+  std::size_t illegal = 0;
   std::size_t pruned() const { return considered - kept; }
 };
 
-/// Filters `variants`, keeping those whose lower bound is within
-/// `slack` x the best lower bound. Preserves order. slack >= 1.
+/// Filters `variants` in two stages: first drops every variant the static
+/// diagnostics engine flags with an error (analysis::check_launch — the
+/// same verdict swacc::lower() would throw on), then keeps those whose
+/// lower bound is within `slack` x the best lower bound. Preserves order.
+/// slack >= 1.
 std::vector<swacc::LaunchParams> prune_variants(
     const swacc::KernelDesc& kernel,
     const std::vector<swacc::LaunchParams>& variants,

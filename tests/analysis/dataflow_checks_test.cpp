@@ -1,0 +1,225 @@
+// Triggering + clean fixture pairs for the SWP* dataflow codes, plus the
+// CpeProgram builder guards that catch the constructible subset of them at
+// construction time.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/checker.h"
+#include "isa/block.h"
+#include "sim/program.h"
+#include "sw/error.h"
+#include "swacc/lower.h"
+
+namespace swperf::analysis {
+namespace {
+
+const sw::ArchParams kArch = sw::ArchParams::sw26010();
+
+bool has_code(const Diagnostics& diags, const std::string& code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+mem::DmaRequest req(std::uint64_t bytes = 1024) {
+  return mem::DmaRequest::contiguous(bytes);
+}
+
+sim::KernelBinary one_block_binary() {
+  isa::BlockBuilder b("body");
+  const auto x = b.spm_load();
+  b.spm_store(b.fadd(x, x));
+  sim::KernelBinary bin;
+  bin.add_block(std::move(b).build());
+  return bin;
+}
+
+Diagnostics check(const std::vector<sim::CpeProgram>& progs) {
+  return check_program(one_block_binary(), progs, kArch);
+}
+
+/// A correct double-buffered pipeline over `chunks` chunks, alternating
+/// parity handles 0/1 — the Fig. 5 structure.
+sim::CpeProgram double_buffer_program(int chunks) {
+  sim::CpeProgram p;
+  p.dma(req(), 0);
+  for (int c = 0; c < chunks; ++c) {
+    const int cur = c % 2;
+    if (c + 1 < chunks) p.dma(req(), 1 - cur);
+    p.dma_wait(cur);
+    p.compute(0, 64);
+  }
+  return p;
+}
+
+// ---- SWP001: wait without issue -------------------------------------------
+
+TEST(DataflowChecks, Swp001FiresOnDoubleWait) {
+  sim::CpeProgram p;
+  p.dma(req(), 0).dma_wait(0).dma_wait(0);  // second wait has nothing to do
+  EXPECT_TRUE(has_code(check({p}), "SWP001"));
+}
+
+TEST(DataflowChecks, Swp001FiresOnWaitBeforeIssue) {
+  // The fluent builder rejects waits on never-issued handles, but programs
+  // assembled op-by-op (or reordered) can still express them.
+  sim::CpeProgram p;
+  p.ops.push_back(sim::DmaWaitOp{2});
+  EXPECT_TRUE(has_code(check({p}), "SWP001"));
+}
+
+TEST(DataflowChecks, Swp001CleanOnMatchedIssueAndWait) {
+  sim::CpeProgram p;
+  p.dma(req(), 0).dma_wait(0);
+  EXPECT_FALSE(has_code(check({p}), "SWP001"));
+}
+
+// ---- SWP002: issue on a busy handle ---------------------------------------
+
+TEST(DataflowChecks, Swp002FiresOnReissueWithoutWait) {
+  sim::CpeProgram p;
+  p.dma(req(), 0).dma(req(), 0).dma_wait(0);
+  EXPECT_TRUE(has_code(check({p}), "SWP002"));
+}
+
+TEST(DataflowChecks, Swp002CleanOnParityHandles) {
+  EXPECT_FALSE(has_code(check({double_buffer_program(4)}), "SWP002"));
+}
+
+// ---- SWP003: leaked in-flight DMA at program end --------------------------
+
+TEST(DataflowChecks, Swp003FiresOnMissingFinalWait) {
+  sim::CpeProgram p;
+  p.dma(req(), 0).compute(0, 64);  // never waited
+  const auto diags = check({p});
+  ASSERT_TRUE(has_code(diags, "SWP003"));
+  for (const auto& d : diags) {
+    if (d.code == "SWP003") {
+      EXPECT_EQ(d.severity, Severity::kWarning);
+      EXPECT_NE(d.fixit.find("dma_wait(0)"), std::string::npos);
+    }
+  }
+}
+
+TEST(DataflowChecks, Swp003CatchesDoubleBufferMissingItsFinalWait) {
+  // The classic Fig. 5 bug: the drain wait of the last chunk is dropped.
+  auto good = double_buffer_program(6);
+  EXPECT_TRUE(clean(check({good})));
+
+  auto bad = good;
+  ASSERT_TRUE(std::holds_alternative<sim::ComputeOp>(bad.ops.back()));
+  bad.ops.pop_back();  // final compute
+  ASSERT_TRUE(std::holds_alternative<sim::DmaWaitOp>(bad.ops.back()));
+  bad.ops.pop_back();  // final dma_wait — the bug under test
+  EXPECT_TRUE(has_code(check({bad}), "SWP003"));
+}
+
+TEST(DataflowChecks, Swp003CleanWhenEveryDmaIsDrained) {
+  EXPECT_FALSE(has_code(check({double_buffer_program(6)}), "SWP003"));
+}
+
+// ---- SWP004: barrier parity across CPEs -----------------------------------
+
+TEST(DataflowChecks, Swp004FiresOnMismatchedBarrierCounts) {
+  sim::CpeProgram a;
+  a.compute(0, 8).barrier();
+  sim::CpeProgram b;
+  b.compute(0, 8);  // no barrier: the launch deadlocks
+  EXPECT_TRUE(has_code(check({a, b}), "SWP004"));
+}
+
+TEST(DataflowChecks, Swp004CleanOnUniformBarriers) {
+  sim::CpeProgram a;
+  a.compute(0, 8).barrier();
+  sim::CpeProgram b;
+  b.compute(0, 4).barrier();
+  EXPECT_FALSE(has_code(check({a, b}), "SWP004"));
+}
+
+// ---- SWP005: block references ---------------------------------------------
+
+TEST(DataflowChecks, Swp005FiresOnOutOfRangeBlockId) {
+  sim::CpeProgram p;
+  p.compute(5, 8);  // the binary has exactly one block
+  EXPECT_TRUE(has_code(check({p}), "SWP005"));
+}
+
+TEST(DataflowChecks, Swp005CleanOnValidBlockId) {
+  sim::CpeProgram p;
+  p.compute(0, 8);
+  EXPECT_FALSE(has_code(check({p}), "SWP005"));
+}
+
+// ---- SWP006: handle range -------------------------------------------------
+
+TEST(DataflowChecks, Swp006FiresOnOutOfRangeHandle) {
+  sim::CpeProgram p;
+  p.ops.push_back(sim::DmaOp{req(), sim::kMaxDmaHandles});
+  EXPECT_TRUE(has_code(check({p}), "SWP006"));
+
+  sim::CpeProgram w;
+  w.ops.push_back(sim::DmaWaitOp{sim::kMaxDmaHandles + 3});
+  EXPECT_TRUE(has_code(check({w}), "SWP006"));
+}
+
+TEST(DataflowChecks, Swp006CleanAcrossTheWholeHandleRange) {
+  sim::CpeProgram p;
+  for (int h = 0; h < sim::kMaxDmaHandles; ++h) p.dma(req(), h);
+  for (int h = 0; h < sim::kMaxDmaHandles; ++h) p.dma_wait(h);
+  EXPECT_FALSE(has_code(check({p}), "SWP006"));
+}
+
+// ---- CpeProgram builder guards (construction-time subset) -----------------
+
+TEST(ProgramBuilderGuards, RejectsOutOfRangeDmaHandle) {
+  sim::CpeProgram p;
+  EXPECT_THROW(p.dma(req(), sim::kMaxDmaHandles), sw::Error);
+  EXPECT_NO_THROW(p.dma(req(), sim::kMaxDmaHandles - 1));
+}
+
+TEST(ProgramBuilderGuards, RejectsWaitOnNeverIssuedHandle) {
+  sim::CpeProgram p;
+  EXPECT_THROW(p.dma_wait(0), sw::Error);
+  p.dma(req(), 0);
+  EXPECT_NO_THROW(p.dma_wait(0));
+  EXPECT_THROW(p.dma_wait(1), sw::Error);  // only handle 0 was issued
+}
+
+TEST(ProgramBuilderGuards, RejectsOutOfRangeWaitHandle) {
+  sim::CpeProgram p;
+  p.dma(req(), 0);
+  EXPECT_THROW(p.dma_wait(-1), sw::Error);
+  EXPECT_THROW(p.dma_wait(sim::kMaxDmaHandles), sw::Error);
+}
+
+TEST(ProgramBuilderGuards, BlockingDmaNeedsNoHandleState) {
+  sim::CpeProgram p;
+  EXPECT_NO_THROW(p.dma(req()));  // handle -1: blocking
+  EXPECT_TRUE(clean(check({p})));
+}
+
+// ---- Lowered double-buffer programs pass the dataflow pass ----------------
+
+TEST(DataflowChecks, LoweredDoubleBufferKernelIsClean) {
+  isa::BlockBuilder b("body");
+  const auto x = b.spm_load();
+  b.spm_store(b.fadd(x, x));
+  b.loop_overhead(2);
+  swacc::KernelDesc k;
+  k.name = "db";
+  k.n_outer = 4096;
+  k.inner_iters = 4;
+  k.body = std::move(b).build();
+  k.arrays = {{"in", swacc::Dir::kIn, swacc::Access::kContiguous, 32},
+              {"out", swacc::Dir::kOut, swacc::Access::kContiguous, 32}};
+  k.dma_min_tile = 1;
+  swacc::LaunchParams p;
+  p.tile = 16;
+  p.requested_cpes = 64;
+  p.double_buffer = true;
+  const auto lk = swacc::lower(k, p, kArch);
+  EXPECT_TRUE(clean(check_program(lk.binary, lk.programs, kArch)));
+}
+
+}  // namespace
+}  // namespace swperf::analysis

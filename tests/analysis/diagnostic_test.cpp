@@ -1,0 +1,86 @@
+#include "analysis/diagnostic.h"
+
+#include <gtest/gtest.h>
+
+#include "sw/error.h"
+
+namespace swperf::analysis {
+namespace {
+
+Diagnostics mixed() {
+  return {
+      {Severity::kNote, "SWI001", "a live-in register", ""},
+      {Severity::kWarning, "SWD005", "a wasteful segment", "raise tile"},
+      {Severity::kError, "SWD001", "SPM overflow", "reduce tile"},
+      {Severity::kWarning, "SWD005", "another wasteful segment", ""},
+  };
+}
+
+TEST(Diagnostic, ToStringCarriesSeverityCodeAndFixit) {
+  const Diagnostic d{Severity::kError, "SWD001", "SPM overflow",
+                     "reduce tile"};
+  EXPECT_EQ(d.to_string(),
+            "error[SWD001]: SPM overflow (fixit: reduce tile)");
+  const Diagnostic n{Severity::kNote, "SWI001", "live-in", ""};
+  EXPECT_EQ(n.to_string(), "note[SWI001]: live-in");
+}
+
+TEST(Diagnostic, SeverityPredicates) {
+  EXPECT_FALSE(has_errors({}));
+  EXPECT_TRUE(clean({}));
+  const auto diags = mixed();
+  EXPECT_TRUE(has_errors(diags));
+  EXPECT_FALSE(clean(diags));
+  EXPECT_EQ(count_at_least(diags, Severity::kNote), 4u);
+  EXPECT_EQ(count_at_least(diags, Severity::kWarning), 3u);
+  EXPECT_EQ(count_at_least(diags, Severity::kError), 1u);
+
+  // Notes alone are clean.
+  const Diagnostics notes = {{Severity::kNote, "SWI003", "dead value", ""}};
+  EXPECT_TRUE(clean(notes));
+  EXPECT_FALSE(has_errors(notes));
+}
+
+TEST(Diagnostic, FilterPreservesOrder) {
+  const auto warnings = filter(mixed(), Severity::kWarning);
+  ASSERT_EQ(warnings.size(), 3u);
+  EXPECT_EQ(warnings[0].code, "SWD005");
+  EXPECT_EQ(warnings[1].code, "SWD001");
+  EXPECT_EQ(warnings[2].code, "SWD005");
+}
+
+TEST(Diagnostic, CodesOfDeduplicatesInFirstAppearanceOrder) {
+  const auto codes = codes_of(mixed());
+  ASSERT_EQ(codes.size(), 3u);
+  EXPECT_EQ(codes[0], "SWI001");
+  EXPECT_EQ(codes[1], "SWD005");
+  EXPECT_EQ(codes[2], "SWD001");
+}
+
+TEST(Diagnostic, ToJsonIsWellFormed) {
+  EXPECT_EQ(to_json({}), "[]");
+  const Diagnostics diags = {
+      {Severity::kWarning, "SWD005", "says \"waste\"", ""}};
+  const auto json = to_json(diags);
+  EXPECT_NE(json.find("\"severity\":\"warning\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"SWD005\""), std::string::npos);
+  // The embedded quotes must come out escaped.
+  EXPECT_NE(json.find("says \\\"waste\\\""), std::string::npos);
+}
+
+TEST(Diagnostic, ThrowOnErrorsUsesTheFirstError) {
+  EXPECT_NO_THROW(throw_on_errors({}));
+  EXPECT_NO_THROW(
+      throw_on_errors({{Severity::kWarning, "SWD005", "waste", ""}}));
+  try {
+    throw_on_errors(mixed());
+    FAIL() << "expected sw::Error";
+  } catch (const sw::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[SWD001]"), std::string::npos);
+    EXPECT_NE(what.find("SPM overflow"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace swperf::analysis

@@ -1,0 +1,123 @@
+// Triggering + clean fixture pairs for the SWI* basic-block lints.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/checker.h"
+#include "isa/block.h"
+
+namespace swperf::analysis {
+namespace {
+
+bool has_code(const Diagnostics& diags, const std::string& code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+/// load -> add -> store: every value produced is consumed, nothing live-in.
+isa::BasicBlock self_contained_block() {
+  isa::BlockBuilder b("clean");
+  const auto x = b.spm_load();
+  b.spm_store(b.fadd(x, x));
+  return std::move(b).build();
+}
+
+// ---- SWI001: read of a never-written register -----------------------------
+
+TEST(IsaChecks, Swi001NotesLiveInRegisters) {
+  isa::BlockBuilder b("live_in");
+  const auto inv = b.reg();  // live-in loop invariant — or a typo
+  const auto x = b.spm_load();
+  b.spm_store(b.fmul(x, inv));
+  const auto diags = check_block(std::move(b).build());
+  ASSERT_TRUE(has_code(diags, "SWI001"));
+  // The normal loop-invariant idiom must stay note-severity: whole kernels
+  // in the suite use it.
+  EXPECT_TRUE(clean(diags));
+}
+
+TEST(IsaChecks, Swi001CleanOnSelfContainedBlock) {
+  EXPECT_FALSE(has_code(check_block(self_contained_block()), "SWI001"));
+}
+
+// ---- SWI002: dead SPM store -----------------------------------------------
+
+TEST(IsaChecks, Swi002WarnsOnShadowedStore) {
+  isa::BlockBuilder b("shadow");
+  const auto addr = b.reg();
+  const auto x = b.spm_load();
+  b.spm_store(x, addr);
+  b.spm_store(b.fadd(x, x), addr);  // overwrites before anyone loads
+  const auto diags = check_block(std::move(b).build());
+  ASSERT_TRUE(has_code(diags, "SWI002"));
+  EXPECT_FALSE(clean(diags));  // a genuinely lost store is warning-severity
+}
+
+TEST(IsaChecks, Swi002CleanWhenALoadIntervenes) {
+  isa::BlockBuilder b("intervene");
+  const auto addr = b.reg();
+  const auto x = b.spm_load();
+  b.spm_store(x, addr);
+  const auto y = b.spm_load(addr);  // consumes the first store
+  b.spm_store(b.fadd(y, y), addr);
+  EXPECT_FALSE(has_code(check_block(std::move(b).build()), "SWI002"));
+}
+
+TEST(IsaChecks, Swi002IgnoresImplicitAddresses) {
+  // Stores with no explicit address register carry no aliasing information.
+  isa::BlockBuilder b("implicit");
+  const auto x = b.spm_load();
+  b.spm_store(x);
+  b.spm_store(b.fadd(x, x));
+  EXPECT_FALSE(has_code(check_block(std::move(b).build()), "SWI002"));
+}
+
+// ---- SWI003: dead values --------------------------------------------------
+
+TEST(IsaChecks, Swi003NotesUnreadResults) {
+  isa::BlockBuilder b("dead");
+  const auto x = b.spm_load();
+  b.fmul(x, x);  // result never consumed
+  b.spm_store(b.fadd(x, x));
+  const auto diags = check_block(std::move(b).build());
+  ASSERT_TRUE(has_code(diags, "SWI003"));
+  EXPECT_TRUE(clean(diags));
+}
+
+TEST(IsaChecks, Swi003IgnoresLoopOverhead) {
+  // Loop bookkeeping writes registers nothing reads — by construction.
+  isa::BlockBuilder b("loop");
+  const auto x = b.spm_load();
+  b.spm_store(b.fadd(x, x));
+  b.loop_overhead(2);
+  EXPECT_FALSE(has_code(check_block(std::move(b).build()), "SWI003"));
+}
+
+TEST(IsaChecks, Swi003CleanWhenEveryValueIsConsumed) {
+  EXPECT_FALSE(has_code(check_block(self_contained_block()), "SWI003"));
+}
+
+// ---- Driver plumbing ------------------------------------------------------
+
+TEST(IsaChecks, CheckBlockMatchesTheRegisteredChecker) {
+  isa::BlockBuilder b("both");
+  const auto x = b.spm_load();
+  b.fmul(x, x);
+  auto block = std::move(b).build();
+
+  const auto direct = check_block(block);
+
+  sim::KernelBinary bin;
+  bin.add_block(block);
+  CheckContext ctx;
+  ctx.binary = &bin;
+  const auto via_registry = run_checks(ctx);
+
+  ASSERT_EQ(direct.size(), via_registry.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].code, via_registry[i].code);
+  }
+}
+
+}  // namespace
+}  // namespace swperf::analysis

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/checker.h"
 #include "kernels/suite.h"
 #include "model/model.h"
 #include "sim/machine.h"
@@ -86,6 +87,52 @@ TEST(Prune, RejectsSlackBelowOne) {
   const auto all =
       SearchSpace::standard(spec.desc, kArch).enumerate(spec.desc, kArch);
   EXPECT_THROW(prune_variants(spec.desc, all, kArch, 0.5), sw::Error);
+}
+
+TEST(Prune, RejectsIllegalVariantsExactlyLikeTheChecker) {
+  // Mix legal tiles with SPM-overflowing ones and an illegal vector width;
+  // with unbounded slack, what prune drops must be exactly the variants the
+  // static checker flags with an error.
+  const auto spec = kernels::make("vecadd", kernels::Scale::kSmall);
+  std::vector<swacc::LaunchParams> all;
+  for (const std::uint64_t tile : {8u, 64u, 512u, 4096u, 32768u}) {
+    swacc::LaunchParams p;
+    p.tile = tile;
+    all.push_back(p);
+    p.double_buffer = true;  // doubles the footprint: overflows earlier
+    all.push_back(p);
+  }
+  swacc::LaunchParams bad_vw;
+  bad_vw.tile = 8;
+  bad_vw.vector_width = 3;  // only 1, 2 and 4 exist
+  all.push_back(bad_vw);
+
+  std::size_t checker_illegal = 0;
+  for (const auto& v : all) {
+    checker_illegal +=
+        analysis::has_errors(analysis::check_launch(spec.desc, v, kArch))
+            ? 1
+            : 0;
+  }
+  ASSERT_GT(checker_illegal, 0u);
+  ASSERT_LT(checker_illegal, all.size());
+
+  PruneStats stats;
+  const auto kept = prune_variants(spec.desc, all, kArch, 1e9, &stats);
+  EXPECT_EQ(stats.illegal, checker_illegal);
+  EXPECT_EQ(kept.size(), all.size() - checker_illegal);
+  for (const auto& v : kept) {
+    EXPECT_FALSE(
+        analysis::has_errors(analysis::check_launch(spec.desc, v, kArch)))
+        << v.to_string();
+  }
+}
+
+TEST(Prune, ThrowsWhenEveryVariantIsIllegal) {
+  const auto spec = kernels::make("vecadd", kernels::Scale::kSmall);
+  swacc::LaunchParams p;
+  p.tile = 0;
+  EXPECT_THROW(prune_variants(spec.desc, {p}, kArch, 1.3), sw::Error);
 }
 
 TEST(Prune, BoundReflectsGloadFallback) {

@@ -5,17 +5,23 @@
 //   swperf simulate <kernel> [opts]      run the cycle-level simulator
 //   swperf tune     <kernel> [opts]      static (default) or empirical tuning
 //   swperf timeline <kernel> [opts]      ASCII execution trace
+//   swperf check    <kernel> [opts]      static diagnostics (swcheck)
+//   swperf check    --all                swcheck over the whole suite
+//   swperf check    --list-codes         the diagnostic code catalogue
 //   swperf suite                         Fig.6-style accuracy sweep
 //   swperf calibrate                     microbenchmark Table I recovery
 //
 // Options: --tile N  --unroll N  --cpes N  --db  --vw N  --coalesce
 //          --small (reduced problem size)  --empirical  --vector (tuning)
+//          --json  --Werror  --all  --list-codes (check)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis/checker.h"
 #include "kernels/suite.h"
 #include "model/calibrate.h"
 #include "model/report.h"
@@ -39,14 +45,19 @@ struct Options {
   swacc::LaunchParams params;
   bool empirical = false;
   bool vector_space = false;
+  bool json = false;
+  bool werror = false;
+  bool all_kernels = false;
+  bool list_codes = false;
 };
 
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: swperf <list|report|simulate|tune|timeline|suite|calibrate> "
-      "[kernel] [--tile N] [--unroll N] [--cpes N] [--db] [--vw N] "
-      "[--coalesce] [--small] [--empirical] [--vector]\n");
+      "usage: swperf <list|report|simulate|tune|timeline|check|suite|"
+      "calibrate> [kernel] [--tile N] [--unroll N] [--cpes N] [--db] "
+      "[--vw N] [--coalesce] [--small] [--empirical] [--vector] "
+      "[--json] [--Werror] [--all] [--list-codes]\n");
   std::exit(2);
 }
 
@@ -90,6 +101,14 @@ Options parse(int argc, char** argv) {
       o.empirical = true;
     } else if (a == "--vector") {
       o.vector_space = true;
+    } else if (a == "--json") {
+      o.json = true;
+    } else if (a == "--Werror") {
+      o.werror = true;
+    } else if (a == "--all") {
+      o.all_kernels = true;
+    } else if (a == "--list-codes") {
+      o.list_codes = true;
     } else {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       usage();
@@ -196,6 +215,57 @@ int cmd_suite(const sw::ArchParams& arch) {
   return 0;
 }
 
+/// Exit status of one swcheck run: 0 clean, 1 errors, and with --Werror
+/// warnings count as errors too.
+int check_status(const analysis::Diagnostics& diags, bool werror) {
+  const auto min =
+      werror ? analysis::Severity::kWarning : analysis::Severity::kError;
+  return analysis::count_at_least(diags, min) > 0 ? 1 : 0;
+}
+
+void print_diags(const std::string& kernel,
+                 const analysis::Diagnostics& diags, bool json) {
+  if (json) {
+    std::printf("{\"kernel\": \"%s\", \"diagnostics\": %s}\n",
+                kernel.c_str(), analysis::to_json(diags).c_str());
+    return;
+  }
+  for (const auto& d : diags) {
+    std::printf("%s: %s\n", kernel.c_str(), d.to_string().c_str());
+  }
+  if (diags.empty()) std::printf("%s: clean\n", kernel.c_str());
+}
+
+int cmd_check(const Options& o, const sw::ArchParams& arch) {
+  if (o.list_codes) {
+    std::printf("%-8s %-8s %-12s %s\n", "code", "severity", "paper",
+                "summary");
+    for (const auto& c : analysis::diagnostic_catalog()) {
+      std::printf("%-8s %-8s %-12s %s\n", c.code,
+                  analysis::severity_name(c.severity), c.paper_ref,
+                  c.summary);
+    }
+    return 0;
+  }
+  std::vector<std::string> names;
+  if (o.all_kernels) {
+    names = kernels::suite_names();
+  } else if (!o.kernel.empty()) {
+    names.push_back(o.kernel);
+  } else {
+    usage();
+  }
+  int status = 0;
+  for (const auto& name : names) {
+    const auto spec = kernels::make(name, o.scale);
+    const auto params = o.have_params ? o.params : spec.tuned;
+    const auto diags = analysis::check_all(spec.desc, params, arch);
+    print_diags(name, diags, o.json);
+    status = std::max(status, check_status(diags, o.werror));
+  }
+  return status;
+}
+
 int cmd_calibrate(const sw::ArchParams& arch) {
   const auto c = model::calibrate(arch);
   std::printf("L_base      : %.1f cycles\n", c.l_base_cycles);
@@ -214,6 +284,7 @@ int main(int argc, char** argv) {
     if (o.command == "list") return cmd_list();
     if (o.command == "suite") return cmd_suite(arch);
     if (o.command == "calibrate") return cmd_calibrate(arch);
+    if (o.command == "check") return cmd_check(o, arch);
     if (o.kernel.empty()) usage();
     if (o.command == "report") return cmd_report(o, arch);
     if (o.command == "simulate") return cmd_simulate(o, arch);
