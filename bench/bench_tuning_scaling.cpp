@@ -1,0 +1,110 @@
+// Parallel tuning engine scaling on the Table II campaigns.
+//
+// Every variant of a campaign is an independent lowering + evaluation, so
+// wall-clock time should fall near-linearly with --jobs until the host
+// runs out of cores. Reported per kernel, empirical tuner (the expensive
+// campaign — each variant is a full simulation):
+//   * host seconds at 1/2/4/8 jobs and the speedup over 1 job;
+//   * a determinism cross-check (the N-job winner must equal the serial
+//     winner bit-for-bit — the tests enforce this, the bench re-asserts);
+//   * memoization: a repeated campaign over a shared cache, where every
+//     evaluation hits and the rerun cost collapses to lowering time.
+//
+// Speedup is bounded by the host's core count: on a single-core container
+// the engine degrades gracefully to ~1x (the numbers below say so rather
+// than pretend).
+#include <cstdlib>
+
+#include "kernels/suite.h"
+#include "sw/pool.h"
+#include "tuning/tuner.h"
+
+#include "bench_common.h"
+
+int main() {
+  using swperf::sw::Table;
+  namespace bench = swperf::bench;
+  namespace tuning = swperf::tuning;
+  const auto arch = swperf::sw::ArchParams::sw26010();
+
+  bench::print_header("Parallel tuning engine scaling",
+                      "Table II campaigns, empirical tuner");
+  std::printf("host hardware threads: %u\n\n",
+              swperf::sw::resolve_jobs(0));
+
+  const int jobs_sweep[] = {1, 2, 4, 8};
+  const auto jobs_opt = [](int jobs) {
+    tuning::TuningOptions o;
+    o.jobs = jobs;
+    return o;
+  };
+
+  Table t("Empirical campaign wall-clock vs --jobs");
+  t.header({"kernel", "variants", "t(1j)", "t(2j)", "t(4j)", "t(8j)",
+            "speedup(8j)", "same pick", "rerun hit rate", "rerun t"});
+
+  double largest_t1 = 0.0, largest_t8 = 0.0;
+  std::size_t largest_variants = 0;
+  std::string largest_kernel;
+
+  for (const auto& name : swperf::kernels::table2_kernels()) {
+    const auto spec =
+        swperf::kernels::make(name, swperf::kernels::Scale::kSmall);
+    const auto space = tuning::SearchSpace::standard(spec.desc, arch);
+
+    double host[4] = {0, 0, 0, 0};
+    tuning::TuningResult serial, last;
+    for (int j = 0; j < 4; ++j) {
+      const tuning::EmpiricalTuner tuner(arch, {},
+                                         jobs_opt(jobs_sweep[j]));
+      const auto r = tuner.tune(spec.desc, space);
+      host[j] = r.host_seconds;
+      if (jobs_sweep[j] == 1) serial = r;
+      last = r;
+    }
+    const bool same =
+        serial.best.to_string() == last.best.to_string() &&
+        serial.best_measured_cycles == last.best_measured_cycles;
+
+    // Memoized rerun: same campaign, shared cache, every evaluation hits.
+    auto cache = std::make_shared<tuning::EvalCache>();
+    const tuning::EmpiricalTuner cached(arch, {},
+                                        {.jobs = 8, .cache = cache});
+    cached.tune(spec.desc, space);
+    const auto rerun = cached.tune(spec.desc, space);
+
+    if (serial.host_seconds > largest_t1) {
+      largest_t1 = serial.host_seconds;
+      largest_t8 = host[3];
+      largest_variants = serial.variants;
+      largest_kernel = name;
+    }
+
+    t.row({name, std::to_string(serial.variants),
+           Table::num(host[0], 3) + "s", Table::num(host[1], 3) + "s",
+           Table::num(host[2], 3) + "s", Table::num(host[3], 3) + "s",
+           Table::times(host[0] / host[3]), same ? "yes" : "NO",
+           Table::pct(rerun.stats.hit_rate()),
+           Table::num(rerun.host_seconds, 3) + "s"});
+
+    if (!same) {
+      std::fprintf(stderr,
+                   "determinism violation on %s: parallel pick differs\n",
+                   name.c_str());
+      return 1;
+    }
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nlargest campaign: %s (%zu variants) %.3fs -> %.3fs at 8 jobs "
+      "(%.2fx)\n",
+      largest_kernel.c_str(), largest_variants, largest_t1, largest_t8,
+      largest_t8 > 0 ? largest_t1 / largest_t8 : 0.0);
+  std::printf(
+      "speedup is capped by the host's %u hardware thread(s); the "
+      "determinism tests guarantee any --jobs value returns the serial "
+      "result bit-for-bit\n",
+      swperf::sw::resolve_jobs(0));
+  return 0;
+}

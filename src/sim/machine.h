@@ -79,6 +79,12 @@ struct SimResult {
 
 /// Runs `programs` (one per active CPE) against the machine `cfg`.
 /// Programs beyond cfg.arch.cpes_per_cg * cfg.core_groups are rejected.
+///
+/// Re-entrant: every piece of machine state (event queue, controllers,
+/// CPE records, trace buffers) is built per call, and the inputs are only
+/// read — concurrent simulations, even sharing one LoweredKernel, are
+/// race-free and return identical results (the parallel tuner relies on
+/// this; pinned by tests/sim/concurrent_machine_test.cpp).
 SimResult simulate(const SimConfig& cfg, const KernelBinary& binary,
                    const std::vector<CpeProgram>& programs);
 

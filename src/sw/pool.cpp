@@ -1,0 +1,138 @@
+#include "sw/pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swperf::sw {
+
+namespace {
+
+/// A contiguous chunk of indices [begin, end).
+struct Range {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t size() const { return end - begin; }
+};
+
+/// Per-worker deque of pending ranges. Owners pop from the front; thieves
+/// split off the back half, keeping stolen work coarse.
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<Range> ranges;
+};
+
+class ForkJoin {
+ public:
+  ForkJoin(std::uint64_t n, unsigned workers,
+           const std::function<void(std::uint64_t)>& body)
+      : body_(body), queues_(workers) {
+    // Seed each worker with an even share, split into chunks small enough
+    // that stealing has something to grab but large enough to amortise
+    // locking (4 chunks per worker share).
+    const std::uint64_t share = (n + workers - 1) / workers;
+    const std::uint64_t chunk = std::max<std::uint64_t>(1, share / 4);
+    std::uint64_t next = 0;
+    for (unsigned w = 0; w < workers && next < n; ++w) {
+      const std::uint64_t hi = std::min(n, next + share);
+      for (std::uint64_t b = next; b < hi; b += chunk) {
+        queues_[w].ranges.push_back(Range{b, std::min(hi, b + chunk)});
+      }
+      next = hi;
+    }
+  }
+
+  void run() {
+    std::vector<std::thread> threads;
+    threads.reserve(queues_.size());
+    for (unsigned w = 0; w < queues_.size(); ++w) {
+      threads.emplace_back([this, w] { work(w); });
+    }
+    for (auto& t : threads) t.join();
+    if (failed_index_ != kNoFailure) std::rethrow_exception(error_);
+  }
+
+ private:
+  static constexpr std::uint64_t kNoFailure = ~std::uint64_t{0};
+
+  bool pop_local(unsigned w, Range& out) {
+    auto& q = queues_[w];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.ranges.empty()) return false;
+    out = q.ranges.front();
+    q.ranges.pop_front();
+    return true;
+  }
+
+  /// Steals the back half of the fullest victim queue.
+  bool steal(unsigned thief, Range& out) {
+    const unsigned n = static_cast<unsigned>(queues_.size());
+    for (unsigned d = 1; d < n; ++d) {
+      auto& q = queues_[(thief + d) % n];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (q.ranges.empty()) continue;
+      Range victim = q.ranges.back();
+      q.ranges.pop_back();
+      if (victim.size() > 1) {
+        const std::uint64_t mid = victim.begin + victim.size() / 2;
+        q.ranges.push_back(Range{victim.begin, mid});
+        victim.begin = mid;
+      }
+      out = victim;
+      return true;
+    }
+    return false;
+  }
+
+  void work(unsigned w) {
+    Range r;
+    while (pop_local(w, r) || steal(w, r)) {
+      for (std::uint64_t i = r.begin; i < r.end; ++i) {
+        if (failed_index_.load(std::memory_order_relaxed) < i) continue;
+        try {
+          body_(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu_);
+          // Keep the lowest-index failure so the rethrown exception does
+          // not depend on thread timing.
+          if (i < failed_index_.load(std::memory_order_relaxed)) {
+            failed_index_.store(i, std::memory_order_relaxed);
+            error_ = std::current_exception();
+          }
+        }
+      }
+    }
+  }
+
+  const std::function<void(std::uint64_t)>& body_;
+  std::vector<WorkerQueue> queues_;
+  std::mutex error_mu_;
+  std::atomic<std::uint64_t> failed_index_{kNoFailure};
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+unsigned resolve_jobs(int jobs) {
+  if (jobs >= 1) return static_cast<unsigned>(jobs);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::uint64_t n, int jobs,
+                  const std::function<void(std::uint64_t)>& body) {
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::uint64_t>(resolve_jobs(jobs), n));
+  if (workers <= 1) {
+    for (std::uint64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ForkJoin fj(n, workers, body);
+  fj.run();
+}
+
+}  // namespace swperf::sw

@@ -1,0 +1,40 @@
+// A small work-stealing thread pool for embarrassingly parallel index
+// spaces.
+//
+// The auto-tuning campaigns of Section V-D evaluate every variant of a
+// pruned search space independently — the textbook fork/join workload.
+// This pool shards an index range [0, n) into per-worker deques of chunks;
+// an idle worker steals the *back* half of the largest remaining deque, so
+// load imbalance (simulations vary ~10x in cost across tile sizes) is
+// absorbed without a central queue bottleneck.
+//
+// Determinism contract: the pool schedules *which thread* runs an index,
+// never *what the index computes* or where the result lands.  Callers
+// write result i into slot i of a pre-sized vector and reduce serially
+// afterwards, so any schedule produces bit-identical output — the property
+// tests/tuning/parallel_tuner_test.cpp pins.
+//
+// Exceptions thrown by the body are captured; the first one (by index
+// order, not arrival order — again for determinism) is rethrown from
+// parallel_for() after all workers drain.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace swperf::sw {
+
+/// Number of workers to use for `jobs` requested jobs: jobs if >= 1,
+/// otherwise std::thread::hardware_concurrency().
+unsigned resolve_jobs(int jobs);
+
+/// Runs body(i) for every i in [0, n), spread over `jobs` threads.
+///
+/// jobs <= 1 (or n <= 1) runs inline on the caller's thread with no pool
+/// at all, so the serial path stays byte-for-byte the pre-pool code path.
+/// The call blocks until every index completed. If any invocation threw,
+/// the exception of the *lowest failing index* is rethrown.
+void parallel_for(std::uint64_t n, int jobs,
+                  const std::function<void(std::uint64_t)>& body);
+
+}  // namespace swperf::sw

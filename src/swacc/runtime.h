@@ -108,6 +108,11 @@ class ChunkContext {
 };
 
 /// Functional executor for one (kernel, launch-parameters) pair.
+///
+/// All execution state (the emulated SPM, staging buffers, byte counters)
+/// is per-instance: distinct Runtime instances may run concurrently on
+/// different threads. A single instance is not thread-safe — run() mutates
+/// the shared SPM image (CPEs execute sequentially by design).
 class Runtime {
  public:
   Runtime(const KernelDesc& kernel, const LaunchParams& params,

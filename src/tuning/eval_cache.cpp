@@ -1,0 +1,131 @@
+#include "tuning/eval_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <type_traits>
+
+#include "sw/rng.h"
+
+namespace swperf::tuning {
+
+namespace {
+
+/// Append the raw little-endian bytes of a trivially copyable scalar.
+template <typename T>
+void put(std::string& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+void put_double(std::string& out, double v) {
+  // Bit pattern, not value: the key must distinguish -0.0 from 0.0 and be
+  // total over NaNs, exactly like the evaluators' arithmetic sees them.
+  put(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put(out, static_cast<std::uint64_t>(s.size()));
+  out.append(s);
+}
+
+std::uint64_t chain_hash(const std::string& bytes) {
+  // SplitMix64 as a chained compression function over 8-byte words; the
+  // generator's full-avalanche finalizer makes every input bit affect
+  // every output bit of each link.
+  std::uint64_t h = 0x5357504552465543ULL;  // "SWPERFUC"
+  std::size_t i = 0;
+  while (i < bytes.size()) {
+    std::uint64_t word = 0;
+    const std::size_t n = std::min<std::size_t>(8, bytes.size() - i);
+    std::memcpy(&word, bytes.data() + i, n);
+    i += n;
+    h = sw::SplitMix64(h ^ word).next();
+  }
+  // Fold in the length so trailing zero bytes cannot alias.
+  return sw::SplitMix64(h ^ bytes.size()).next();
+}
+
+}  // namespace
+
+std::string encode_summary(const swacc::StaticSummary& s) {
+  std::string out;
+  out.reserve(128 + s.kernel.size() + 8 * s.dma_req_mrt.size());
+
+  put_str(out, s.kernel);
+
+  // LaunchParams, field by field (the struct has padding; memcpy of the
+  // whole object would hash indeterminate bytes).
+  put(out, s.params.tile);
+  put(out, s.params.unroll);
+  put(out, s.params.requested_cpes);
+  put(out, static_cast<std::uint8_t>(s.params.double_buffer));
+  put(out, s.params.vector_width);
+  put(out, static_cast<std::uint8_t>(s.params.coalesce_gloads));
+
+  put(out, s.active_cpes);
+  put(out, s.core_groups);
+  put(out, static_cast<std::uint8_t>(s.double_buffer));
+
+  put(out, static_cast<std::uint64_t>(s.dma_req_mrt.size()));
+  for (const std::uint64_t mrt : s.dma_req_mrt) put(out, mrt);
+  put(out, s.n_gloads);
+
+  put_double(out, s.comp_cycles);
+  for (const std::uint64_t c : s.inst_counts.counts) put(out, c);
+
+  put(out, s.dma_bytes_requested);
+  put(out, s.dma_bytes_transferred);
+  put_double(out, s.total_flops);
+  return out;
+}
+
+std::uint64_t EvalCache::hash_bytes(const std::string& bytes) {
+  return chain_hash(bytes);
+}
+
+std::uint64_t summary_hash(const swacc::StaticSummary& s) {
+  return chain_hash(encode_summary(s));
+}
+
+bool EvalCache::peek(const swacc::StaticSummary& s, double* value) const {
+  const std::string key = encode_summary(s);
+  const Shard& shard = shard_of(hash_bytes(key));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  if (value != nullptr) *value = it->second;
+  return true;
+}
+
+EvalCacheStats EvalCache::stats() const {
+  EvalCacheStats s;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    s.hits += shard.hits;
+    s.misses += shard.misses;
+  }
+  return s;
+}
+
+std::size_t EvalCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+void EvalCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.hits = 0;
+    shard.misses = 0;
+  }
+}
+
+}  // namespace swperf::tuning

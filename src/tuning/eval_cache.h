@@ -1,0 +1,111 @@
+// Memoized variant evaluation for the auto-tuners.
+//
+// A tuning campaign assesses each variant through a pure function of its
+// lowered StaticSummary: the model's prediction (static tuner) or the
+// deterministic simulator's cycle count (empirical tuner).  Repeated
+// evaluations of an identical summary — across ablation benches, repeated
+// campaigns, or overlapping search spaces — therefore always produce the
+// identical number, and can be served from a cache.
+//
+// The cache key is a *content hash* of everything the evaluators may read:
+// every field of swacc::StaticSummary, encoded canonically byte-by-byte
+// (no padding, doubles by bit pattern), then hashed with SplitMix64 in a
+// Merkle–Damgård chain.  The full encoding is kept alongside the hash and
+// compared on lookup, so a 64-bit collision can never silently return the
+// wrong variant's time (tests/tuning/eval_cache_test.cpp property-tests
+// that any field mutation changes the key).
+//
+// Thread safety: lookups and inserts take a shard mutex (16 shards by key
+// hash), so concurrent workers of the parallel tuner share one cache
+// race-free.  Counters satisfy hits + misses == evaluations.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "swacc/summary.h"
+
+namespace swperf::tuning {
+
+/// Canonical byte encoding of a summary: equal encodings <=> the
+/// evaluators cannot distinguish the variants.
+std::string encode_summary(const swacc::StaticSummary& s);
+
+/// 64-bit content hash of the canonical encoding.
+std::uint64_t summary_hash(const swacc::StaticSummary& s);
+
+/// Cache hit/miss counters (also surfaced in TuningStats).
+struct EvalCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evaluations() const { return hits + misses; }
+  double hit_rate() const {
+    const std::uint64_t n = evaluations();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+/// Sharded, thread-safe map from summary content to an evaluated cost in
+/// cycles. One instance may be shared across tuners and campaigns; static
+/// and empirical evaluations must use *separate* caches (they memoize
+/// different functions of the same summary).
+class EvalCache {
+ public:
+  /// Returns the memoized value for `s`, or runs `eval()` and stores its
+  /// result. `eval` must be a pure function of `s`'s content.
+  template <typename Fn>
+  double get_or_eval(const swacc::StaticSummary& s, Fn&& eval) {
+    std::string key = encode_summary(s);
+    const std::uint64_t h = hash_bytes(key);
+    {
+      Shard& shard = shard_of(h);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        ++shard.hits;
+        return it->second;
+      }
+    }
+    // Evaluate outside the lock: simulations are many orders of magnitude
+    // slower than a map probe, and stalling sibling workers on the shard
+    // mutex would serialize the campaign.
+    const double value = eval();
+    Shard& shard = shard_of(h);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.misses;  // counted even if another worker raced us to insert:
+                     // this thread did pay for an evaluation
+    shard.map.emplace(std::move(key), value);
+    return value;
+  }
+
+  /// True and the value if `s` is already cached (does not count as an
+  /// evaluation).
+  bool peek(const swacc::StaticSummary& s, double* value) const;
+
+  /// Aggregated counters over all shards.
+  EvalCacheStats stats() const;
+  /// Distinct summaries stored.
+  std::size_t size() const;
+  /// Drops all entries and zeroes the counters.
+  void clear();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, double> map;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  static std::uint64_t hash_bytes(const std::string& bytes);
+  Shard& shard_of(std::uint64_t h) { return shards_[h % kShards]; }
+  const Shard& shard_of(std::uint64_t h) const { return shards_[h % kShards]; }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace swperf::tuning

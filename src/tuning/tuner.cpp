@@ -1,11 +1,13 @@
 #include "tuning/tuner.h"
 
 #include <chrono>
-#include <tuple>
 #include <limits>
+#include <tuple>
+#include <utility>
 
 #include "sim/machine.h"
 #include "sw/error.h"
+#include "sw/pool.h"
 #include "swacc/lower.h"
 
 namespace swperf::tuning {
@@ -25,6 +27,50 @@ double run_seconds(double kernel_cycles, const sw::ArchParams& arch,
              sw::cycles_to_seconds(kernel_cycles, arch.freq_ghz);
 }
 
+/// Evaluates every variant of `variants` into an index-ordered slot
+/// vector: each worker lowers its variant (its own simulator/model
+/// inputs — no shared mutable state) and asks the memoization cache for
+/// the cost, falling back to `eval` on a miss.  The slot layout makes the
+/// result independent of which worker ran which index, so the caller's
+/// serial reduction over slots is bit-identical at any job count.
+template <typename Eval>
+std::vector<double> evaluate_variants(
+    const std::vector<swacc::LaunchParams>& variants,
+    const swacc::KernelDesc& kernel, const sw::ArchParams& arch,
+    EvalCache& cache, int jobs, const Eval& eval) {
+  std::vector<double> slots(variants.size(), 0.0);
+  sw::parallel_for(
+      variants.size(), jobs, [&](std::uint64_t i) {
+        const auto lowered = swacc::lower(kernel, variants[i], arch);
+        slots[i] = cache.get_or_eval(lowered.summary,
+                                     [&] { return eval(lowered); });
+      });
+  return slots;
+}
+
+/// Cache bookkeeping around one campaign: the cache may be shared across
+/// campaigns, so per-campaign hit/miss counts are deltas.
+struct CampaignCache {
+  explicit CampaignCache(const TuningOptions& options)
+      : owned(options.cache ? nullptr : std::make_shared<EvalCache>()),
+        cache(options.cache ? options.cache.get() : owned.get()),
+        before(cache->stats()) {}
+
+  TuningStats finish(std::size_t variants, int jobs) const {
+    const EvalCacheStats after = cache->stats();
+    TuningStats s;
+    s.evaluations = variants;
+    s.cache_hits = after.hits - before.hits;
+    s.cache_misses = after.misses - before.misses;
+    s.jobs = sw::resolve_jobs(jobs);
+    return s;
+  }
+
+  std::shared_ptr<EvalCache> owned;
+  EvalCache* cache;
+  EvalCacheStats before;
+};
+
 }  // namespace
 
 TuningResult StaticTuner::tune(const swacc::KernelDesc& kernel,
@@ -32,13 +78,18 @@ TuningResult StaticTuner::tune(const swacc::KernelDesc& kernel,
   const double t0 = now_seconds();
   const auto variants = space.enumerate(kernel, model_.arch());
 
+  CampaignCache cc(options_);
+  const auto predictions = evaluate_variants(
+      variants, kernel, model_.arch(), *cc.cache, options_.jobs,
+      [this](const swacc::LoweredKernel& lowered) {
+        return model_.predict(lowered.summary).t_total;
+      });
+
   TuningResult r;
   double best_pred = std::numeric_limits<double>::infinity();
-  for (const auto& params : variants) {
-    const auto lowered = swacc::lower(kernel, params, model_.arch());
-    const double pred = model_.predict(lowered.summary).t_total;
-    r.explored.push_back(VariantResult{params, pred, 0.0});
-    best_pred = std::min(best_pred, pred);
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    r.explored.push_back(VariantResult{variants[i], predictions[i], 0.0});
+    best_pred = std::min(best_pred, predictions[i]);
   }
   r.variants = variants.size();
 
@@ -74,6 +125,7 @@ TuningResult StaticTuner::tune(const swacc::KernelDesc& kernel,
   r.best_measured_cycles =
       sim::simulate(lowered.sim_config, lowered.binary, lowered.programs)
           .total_cycles();
+  r.stats = cc.finish(r.variants, options_.jobs);
   r.host_seconds = now_seconds() - t0;
   return r;
 }
@@ -83,24 +135,34 @@ TuningResult EmpiricalTuner::tune(const swacc::KernelDesc& kernel,
   const double t0 = now_seconds();
   const auto variants = space.enumerate(kernel, arch_);
 
+  CampaignCache cc(options_);
+  const auto measured = evaluate_variants(
+      variants, kernel, arch_, *cc.cache, options_.jobs,
+      [](const swacc::LoweredKernel& lowered) {
+        return sim::simulate(lowered.sim_config, lowered.binary,
+                             lowered.programs)
+            .total_cycles();
+      });
+
+  // Serial reduction in enumeration order: the strict-< argmin and the
+  // left-to-right tuning_seconds accumulation reproduce the serial
+  // tuner's float-addition order exactly.
   TuningResult r;
   double best_measured = std::numeric_limits<double>::infinity();
-  for (const auto& params : variants) {
-    const auto lowered = swacc::lower(kernel, params, arch_);
-    const double cycles =
-        sim::simulate(lowered.sim_config, lowered.binary, lowered.programs)
-            .total_cycles();
-    r.explored.push_back(VariantResult{params, 0.0, cycles});
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const double cycles = measured[i];
+    r.explored.push_back(VariantResult{variants[i], 0.0, cycles});
     r.tuning_seconds += costs_.compile_seconds +
                         costs_.runs_per_variant *
                             run_seconds(cycles, arch_, costs_);
     if (cycles < best_measured) {
       best_measured = cycles;
-      r.best = params;
+      r.best = variants[i];
     }
   }
   r.variants = variants.size();
   r.best_measured_cycles = best_measured;
+  r.stats = cc.finish(r.variants, options_.jobs);
   r.host_seconds = now_seconds() - t0;
   return r;
 }

@@ -10,6 +10,20 @@
 //     compilation the static analysis needs (the paper: "its tuning time
 //     mostly consists of the compilation time").
 //
+// Both campaigns are embarrassingly parallel: every variant is an
+// independent lowering plus an independent (pure, deterministic)
+// evaluation.  TuningOptions::jobs shards the pruned space across a
+// work-stealing pool (sw/pool.h); per-variant results land in slots
+// indexed by enumeration order and the winner is reduced *serially* with
+// the exact argmin/tie-break walk the serial path uses, so any job count
+// returns bit-identical best params, best cycles, and explored order
+// (pinned by tests/tuning/parallel_tuner_test.cpp).
+//
+// Evaluations are memoized in an EvalCache keyed by a content hash of the
+// variant's StaticSummary; repeated campaigns (ablation benches, repeated
+// spaces) are served from cache.  Hit/miss counters surface in
+// TuningResult::stats.
+//
 // Tuning time is reported in two currencies:
 //   * hardware-equivalent seconds, reconstructing what the campaign would
 //     cost on the real machine under an explicit cost model (compile time
@@ -20,10 +34,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "model/model.h"
 #include "swacc/kernel.h"
+#include "tuning/eval_cache.h"
 #include "tuning/space.h"
 
 namespace swperf::tuning {
@@ -41,6 +57,18 @@ struct TuningCosts {
   std::uint64_t kernel_invocations = 1000;
 };
 
+/// Execution knobs of a campaign — orthogonal to what is tuned.
+struct TuningOptions {
+  /// Worker threads evaluating variants. 1 = serial (the reference
+  /// behaviour); 0 = hardware concurrency. Any value returns bit-identical
+  /// results.
+  int jobs = 1;
+  /// Shared memoization cache; nullptr gives the campaign a private one.
+  /// Static and empirical tuners memoize different functions, so share a
+  /// cache only between campaigns of the same tuner kind.
+  std::shared_ptr<EvalCache> cache;
+};
+
 /// One explored variant.
 struct VariantResult {
   swacc::LaunchParams params;
@@ -48,6 +76,24 @@ struct VariantResult {
   double measured_cycles = 0.0;   // simulated time (empirical tuner, and
                                   // the final validation run of the static
                                   // tuner's pick)
+};
+
+/// Campaign execution statistics (memoization + parallelism).
+struct TuningStats {
+  /// Variant evaluations requested (== variants of the pruned space).
+  std::uint64_t evaluations = 0;
+  /// Served from the memoization cache / actually evaluated.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// Worker threads used.
+  unsigned jobs = 1;
+
+  double hit_rate() const {
+    return evaluations == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(evaluations);
+  }
 };
 
 struct TuningResult {
@@ -60,6 +106,7 @@ struct TuningResult {
   double host_seconds = 0.0;
   std::size_t variants = 0;
   std::vector<VariantResult> explored;
+  TuningStats stats;
 };
 
 /// Picks the variant with minimal *model-predicted* time; runs a single
@@ -67,8 +114,9 @@ struct TuningResult {
 /// comparable with the empirical tuner.
 class StaticTuner {
  public:
-  StaticTuner(const sw::ArchParams& arch, TuningCosts costs = {})
-      : model_(arch), costs_(costs) {}
+  StaticTuner(const sw::ArchParams& arch, TuningCosts costs = {},
+              TuningOptions options = {})
+      : model_(arch), costs_(costs), options_(std::move(options)) {}
 
   TuningResult tune(const swacc::KernelDesc& kernel,
                     const SearchSpace& space) const;
@@ -76,13 +124,15 @@ class StaticTuner {
  private:
   model::PerfModel model_;
   TuningCosts costs_;
+  TuningOptions options_;
 };
 
 /// Simulates every variant and picks the fastest.
 class EmpiricalTuner {
  public:
-  EmpiricalTuner(const sw::ArchParams& arch, TuningCosts costs = {})
-      : arch_(arch), costs_(costs) {}
+  EmpiricalTuner(const sw::ArchParams& arch, TuningCosts costs = {},
+                 TuningOptions options = {})
+      : arch_(arch), costs_(costs), options_(std::move(options)) {}
 
   TuningResult tune(const swacc::KernelDesc& kernel,
                     const SearchSpace& space) const;
@@ -90,6 +140,7 @@ class EmpiricalTuner {
  private:
   sw::ArchParams arch_;
   TuningCosts costs_;
+  TuningOptions options_;
 };
 
 }  // namespace swperf::tuning

@@ -1,0 +1,67 @@
+#!/bin/sh
+# Exit-code and JSON contract of `swperf check` (the gap left by the
+# swperf_check_suite ctest, which only covers the clean --Werror path):
+#   * clean input            -> exit 0, valid JSON with --json
+#   * warnings, no --Werror  -> exit 0 (warnings are not failures)
+#   * warnings + --Werror    -> exit 1, still valid JSON on stdout
+#
+# Usage: check_cli_test.sh <path-to-swperf>
+set -u
+
+swperf="$1"
+failures=0
+
+fail() {
+    echo "FAIL: $1" >&2
+    failures=$((failures + 1))
+}
+
+# Validates that stdin is one JSON object per line. Prefers python3, falls
+# back to jq, degrades to a shape check so the test runs on bare images.
+json_valid() {
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c '
+import json, sys
+lines = [l for l in sys.stdin if l.strip()]
+assert lines, "no output"
+for l in lines:
+    json.loads(l)
+'
+    elif command -v jq >/dev/null 2>&1; then
+        jq -e . >/dev/null
+    else
+        grep -q '"diagnostics"'
+    fi
+}
+
+# 1. Clean kernel: exit 0 and valid JSON.
+out=$("$swperf" check vecadd --json)
+status=$?
+[ "$status" -eq 0 ] || fail "clean check exited $status, expected 0"
+printf '%s\n' "$out" | json_valid || fail "clean check emitted invalid JSON: $out"
+
+# 2. Warning-producing launch (tile 4 < dma_min_tile 16 -> SWD004), no
+#    --Werror: warnings are reported but do not fail the run.
+out=$("$swperf" check vecadd --tile 4 --json)
+status=$?
+[ "$status" -eq 0 ] || fail "warning without --Werror exited $status, expected 0"
+printf '%s\n' "$out" | json_valid || fail "warning path emitted invalid JSON: $out"
+printf '%s\n' "$out" | grep -q 'SWD004' || fail "expected SWD004 in: $out"
+
+# 3. Same launch with --Werror: warnings are fatal, JSON still valid.
+out=$("$swperf" check vecadd --tile 4 --Werror --json)
+status=$?
+[ "$status" -eq 1 ] || fail "warning with --Werror exited $status, expected 1"
+printf '%s\n' "$out" | json_valid || fail "--Werror path emitted invalid JSON: $out"
+
+# 4. The non-JSON paths agree on the exit codes.
+"$swperf" check vecadd >/dev/null
+[ $? -eq 0 ] || fail "clean text check should exit 0"
+"$swperf" check vecadd --tile 4 --Werror >/dev/null
+[ $? -eq 1 ] || fail "text check with --Werror on warnings should exit 1"
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures check(s) failed" >&2
+    exit 1
+fi
+echo "swperf check exit-code contract holds"

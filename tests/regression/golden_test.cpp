@@ -30,6 +30,9 @@ struct Golden {
 };
 
 // Baselines: tuned presets at Scale::kSmall, Table I parameters.
+// vecadd's tick count is also pinned by
+// tests/sim/concurrent_machine_test.cpp (simulator re-entrancy) —
+// re-baseline both together.
 constexpr Golden kGolden[] = {
     {"vecadd", 714788ull, 71270.4},
     {"kmeans", 2460402ull, 185993.8},

@@ -1,0 +1,100 @@
+// Simulator re-entrancy: sim::simulate builds all of its state (event
+// queue, controllers, CPE records) per call, so any number of concurrent
+// simulations — same kernel or different kernels — must be race-free and
+// return the seed-identical cycle counts pinned by
+// tests/regression/golden_test.cpp.  Runs under the tsan preset via the
+// `concurrency` ctest label.
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "kernels/suite.h"
+#include "sw/pool.h"
+#include "swacc/lower.h"
+
+namespace swperf::sim {
+namespace {
+
+const sw::ArchParams kArch = sw::ArchParams::sw26010();
+
+/// Golden fixture (tuned preset, Scale::kSmall) shared with
+/// tests/regression/golden_test.cpp — re-baseline both together.
+constexpr std::uint64_t kVecaddGoldenTicks = 714788ull;
+
+TEST(ConcurrentMachine, SameKernelFromManyThreads) {
+  const auto spec = kernels::make("vecadd", kernels::Scale::kSmall);
+  const auto lk = swacc::lower(spec.desc, spec.tuned, kArch);
+
+  constexpr int kThreads = 8;
+  std::vector<std::uint64_t> ticks(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread shares the immutable lowered inputs and runs its own
+      // engine instance.
+      ticks[static_cast<std::size_t>(t)] =
+          simulate(lk.sim_config, lk.binary, lk.programs).total_ticks;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const std::uint64_t got : ticks) {
+    EXPECT_EQ(got, kVecaddGoldenTicks);
+  }
+}
+
+TEST(ConcurrentMachine, ConcurrentLowerAndSimulateAcrossKernels) {
+  // The tuner's actual per-worker pipeline: lower + simulate, different
+  // variants in flight at once. Every concurrent result must equal the
+  // serial result for its kernel.
+  const auto names = kernels::table2_kernels();
+  std::vector<std::uint64_t> serial(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto spec = kernels::make(names[i], kernels::Scale::kSmall);
+    const auto lk = swacc::lower(spec.desc, spec.tuned, kArch);
+    serial[i] = simulate(lk.sim_config, lk.binary, lk.programs).total_ticks;
+  }
+
+  constexpr std::uint64_t kReps = 4;
+  const std::uint64_t n = names.size() * kReps;
+  std::vector<std::uint64_t> concurrent(n, 0);
+  sw::parallel_for(n, 8, [&](std::uint64_t i) {
+    const auto& name = names[i % names.size()];
+    const auto spec = kernels::make(name, kernels::Scale::kSmall);
+    const auto lk = swacc::lower(spec.desc, spec.tuned, kArch);
+    concurrent[i] =
+        simulate(lk.sim_config, lk.binary, lk.programs).total_ticks;
+  });
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(concurrent[i], serial[i % names.size()])
+        << names[i % names.size()];
+  }
+}
+
+TEST(ConcurrentMachine, TracingRunsAreIndependent) {
+  // SimConfig::trace allocates per-engine trace buffers; concurrent traced
+  // runs must not interleave records.
+  const auto spec = kernels::make("hotspot", kernels::Scale::kSmall);
+  auto lk = swacc::lower(spec.desc, spec.tuned, kArch);
+  lk.sim_config.trace = true;
+
+  const auto reference = simulate(lk.sim_config, lk.binary, lk.programs);
+  constexpr std::uint64_t kRuns = 6;
+  std::vector<std::size_t> intervals(kRuns);
+  std::vector<std::uint64_t> ticks(kRuns);
+  sw::parallel_for(kRuns, 6, [&](std::uint64_t i) {
+    const auto r = simulate(lk.sim_config, lk.binary, lk.programs);
+    intervals[i] = r.trace.intervals.size();
+    ticks[i] = r.total_ticks;
+  });
+  for (std::uint64_t i = 0; i < kRuns; ++i) {
+    EXPECT_EQ(ticks[i], reference.total_ticks);
+    EXPECT_EQ(intervals[i], reference.trace.intervals.size());
+  }
+}
+
+}  // namespace
+}  // namespace swperf::sim

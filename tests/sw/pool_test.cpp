@@ -1,0 +1,69 @@
+#include "sw/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace swperf::sw {
+namespace {
+
+TEST(Pool, VisitsEveryIndexExactlyOnce) {
+  for (const int jobs : {1, 2, 3, 8}) {
+    for (const std::uint64_t n : {0ull, 1ull, 7ull, 64ull, 1000ull}) {
+      std::vector<std::atomic<int>> visits(n);
+      parallel_for(n, jobs, [&](std::uint64_t i) {
+        visits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (std::uint64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(visits[i].load(), 1) << "i=" << i << " jobs=" << jobs;
+      }
+    }
+  }
+}
+
+TEST(Pool, ResultsLandInCallerSlotsRegardlessOfSchedule) {
+  // The determinism contract: slot i only ever depends on i.
+  constexpr std::uint64_t kN = 257;
+  std::vector<std::uint64_t> serial(kN), parallel(kN);
+  const auto body = [](std::uint64_t i) { return i * i + 17; };
+  parallel_for(kN, 1, [&](std::uint64_t i) { serial[i] = body(i); });
+  parallel_for(kN, 8, [&](std::uint64_t i) { parallel[i] = body(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Pool, MoreJobsThanWorkIsFine) {
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(3, 16, [&](std::uint64_t i) {
+    sum.fetch_add(i + 1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 6u);
+}
+
+TEST(Pool, RethrowsLowestFailingIndex) {
+  // Indices 5 and 40 both throw; the rethrown message must always be the
+  // lowest one's, independent of which worker hit its failure first.
+  for (int rep = 0; rep < 8; ++rep) {
+    try {
+      parallel_for(64, 4, [&](std::uint64_t i) {
+        if (i == 5 || i == 40) {
+          throw std::runtime_error("fail@" + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "fail@5");
+    }
+  }
+}
+
+TEST(Pool, ResolveJobs) {
+  EXPECT_EQ(resolve_jobs(1), 1u);
+  EXPECT_EQ(resolve_jobs(8), 8u);
+  EXPECT_GE(resolve_jobs(0), 1u);   // hardware concurrency, at least 1
+  EXPECT_GE(resolve_jobs(-1), 1u);
+}
+
+}  // namespace
+}  // namespace swperf::sw

@@ -1,0 +1,183 @@
+// Property tests of the memoization cache's content key: any field
+// mutation of a StaticSummary must change the key (no false hits),
+// identical summaries must hit (no false misses), and the counters must
+// balance: hits + misses == evaluations.
+#include "tuning/eval_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sw/pool.h"
+#include "sw/rng.h"
+
+namespace swperf::tuning {
+namespace {
+
+swacc::StaticSummary random_summary(sw::Rng& rng) {
+  swacc::StaticSummary s;
+  s.kernel = "k" + std::to_string(rng.next_below(1000));
+  s.params.tile = 1 + rng.next_below(4096);
+  s.params.unroll = 1u << rng.next_below(4);
+  s.params.requested_cpes = static_cast<std::uint32_t>(
+      1 + rng.next_below(256));
+  s.params.double_buffer = rng.next_below(2) == 1;
+  s.params.vector_width = 1u << rng.next_below(3);
+  s.params.coalesce_gloads = rng.next_below(2) == 1;
+  s.active_cpes = static_cast<std::uint32_t>(1 + rng.next_below(64));
+  s.core_groups = static_cast<std::uint32_t>(1 + rng.next_below(4));
+  s.double_buffer = rng.next_below(2) == 1;
+  const std::uint64_t n_reqs = rng.next_below(32);
+  for (std::uint64_t i = 0; i < n_reqs; ++i) {
+    s.dma_req_mrt.push_back(1 + rng.next_below(64));
+  }
+  s.n_gloads = rng.next_below(100000);
+  s.comp_cycles = rng.uniform(0.0, 1e7);
+  for (auto& c : s.inst_counts.counts) c = rng.next_below(1 << 20);
+  s.dma_bytes_requested = rng.next_below(1ull << 30);
+  s.dma_bytes_transferred = rng.next_below(1ull << 30);
+  s.total_flops = rng.uniform(0.0, 1e9);
+  return s;
+}
+
+/// Applies one of the possible single-field mutations, indexed so the test
+/// can sweep all of them.
+constexpr int kNumMutations = 17;
+void mutate(swacc::StaticSummary& s, int which, sw::Rng& rng) {
+  switch (which) {
+    case 0: s.kernel += "x"; break;
+    case 1: s.params.tile += 1; break;
+    case 2: s.params.unroll += 1; break;
+    case 3: s.params.requested_cpes += 1; break;
+    case 4: s.params.double_buffer = !s.params.double_buffer; break;
+    case 5: s.params.vector_width += 1; break;
+    case 6: s.params.coalesce_gloads = !s.params.coalesce_gloads; break;
+    case 7: s.active_cpes += 1; break;
+    case 8: s.core_groups += 1; break;
+    case 9: s.double_buffer = !s.double_buffer; break;
+    case 10: s.dma_req_mrt.push_back(1 + rng.next_below(64)); break;
+    case 11:
+      if (s.dma_req_mrt.empty()) {
+        s.dma_req_mrt.push_back(1);
+      } else {
+        s.dma_req_mrt[rng.next_below(s.dma_req_mrt.size())] += 1;
+      }
+      break;
+    case 12: s.n_gloads += 1; break;
+    case 13: s.comp_cycles += 1.0; break;
+    case 14:
+      s.inst_counts.counts[rng.next_below(isa::kNumOpClasses)] += 1;
+      break;
+    case 15: s.dma_bytes_requested += 1; break;
+    case 16: s.total_flops += 1.0; break;
+    default: FAIL() << "unknown mutation " << which;
+  }
+}
+
+TEST(EvalCacheKey, EveryFieldMutationChangesTheKey) {
+  for (const std::uint64_t seed : {1ull, 42ull, 0xdecafull, 987654321ull}) {
+    sw::Rng rng(seed);
+    for (int rep = 0; rep < 50; ++rep) {
+      const auto base = random_summary(rng);
+      const std::string base_key = encode_summary(base);
+      for (int m = 0; m < kNumMutations; ++m) {
+        auto mutated = base;
+        mutate(mutated, m, rng);
+        EXPECT_NE(encode_summary(mutated), base_key)
+            << "mutation " << m << " did not change the key (seed " << seed
+            << ", rep " << rep << ")";
+        EXPECT_NE(summary_hash(mutated), summary_hash(base))
+            << "mutation " << m << " collided in the hash";
+      }
+    }
+  }
+}
+
+TEST(EvalCacheKey, IdenticalSummariesShareTheKey) {
+  sw::Rng rng(7);
+  for (int rep = 0; rep < 100; ++rep) {
+    const auto a = random_summary(rng);
+    const auto b = a;  // deep copy
+    EXPECT_EQ(encode_summary(a), encode_summary(b));
+    EXPECT_EQ(summary_hash(a), summary_hash(b));
+  }
+}
+
+TEST(EvalCacheKey, AppendedVectorElementDoesNotAliasTrailingFields) {
+  // Length-prefixed encoding: moving a value from "first MRT" to "kernel
+  // name suffix" territory must not produce the same bytes.
+  swacc::StaticSummary a;
+  a.kernel = "k";
+  a.dma_req_mrt = {5};
+  swacc::StaticSummary b;
+  b.kernel = "k";
+  b.dma_req_mrt = {};
+  b.n_gloads = 5;
+  EXPECT_NE(encode_summary(a), encode_summary(b));
+}
+
+TEST(EvalCache, HitsMissesAndEvaluationsBalance) {
+  sw::Rng rng(99);
+  EvalCache cache;
+  std::vector<swacc::StaticSummary> pool;
+  for (int i = 0; i < 20; ++i) pool.push_back(random_summary(rng));
+
+  std::uint64_t evals = 0;
+  std::uint64_t body_runs = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (const auto& s : pool) {
+      cache.get_or_eval(s, [&] {
+        ++body_runs;
+        return static_cast<double>(s.n_gloads);
+      });
+      ++evals;
+    }
+  }
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits + st.misses, evals);
+  EXPECT_EQ(st.misses, body_runs);
+  EXPECT_EQ(st.misses, pool.size());       // each summary evaluated once
+  EXPECT_EQ(cache.size(), pool.size());
+  EXPECT_DOUBLE_EQ(st.hit_rate(), 0.8);    // 4 of 5 rounds hit
+
+  double v = 0.0;
+  EXPECT_TRUE(cache.peek(pool[0], &v));
+  EXPECT_EQ(v, static_cast<double>(pool[0].n_gloads));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().evaluations(), 0u);
+  EXPECT_FALSE(cache.peek(pool[0], &v));
+}
+
+TEST(EvalCache, ConcurrentMixedAccessIsConsistent) {
+  // Hammer one cache from the pool with a mix of repeated and distinct
+  // summaries; every returned value must match the summary it was asked
+  // for, and the counters must balance.
+  sw::Rng rng(123);
+  std::vector<swacc::StaticSummary> pool;
+  for (int i = 0; i < 8; ++i) pool.push_back(random_summary(rng));
+
+  EvalCache cache;
+  constexpr std::uint64_t kOps = 512;
+  std::vector<double> got(kOps);
+  sw::parallel_for(kOps, 8, [&](std::uint64_t i) {
+    const auto& s = pool[i % pool.size()];
+    got[i] = cache.get_or_eval(s, [&] {
+      return static_cast<double>(s.n_gloads) + s.comp_cycles;
+    });
+  });
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    const auto& s = pool[i % pool.size()];
+    EXPECT_EQ(got[i], static_cast<double>(s.n_gloads) + s.comp_cycles);
+  }
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits + st.misses, kOps);
+  // Racing workers may each pay for the first evaluation of a summary, but
+  // the map stores one entry per distinct summary.
+  EXPECT_GE(st.misses, pool.size());
+  EXPECT_EQ(cache.size(), pool.size());
+}
+
+}  // namespace
+}  // namespace swperf::tuning

@@ -1,0 +1,133 @@
+// The headline guarantee of the parallel tuning engine: any --jobs value
+// returns *bit-identical* results to the serial tuner — same best params,
+// same best cycles (exact double equality, not a tolerance), same
+// hardware-equivalent campaign cost (same float-addition order), and the
+// same explored list in the same order with the same values.
+//
+// Runs under the default preset and, via the `concurrency` ctest label,
+// under the tsan preset, where it doubles as a race detector for the
+// shard-evaluate-reduce pipeline.
+#include "tuning/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "kernels/suite.h"
+
+namespace swperf::tuning {
+namespace {
+
+const sw::ArchParams kArch;
+
+TuningOptions jobs_opt(int jobs) {
+  TuningOptions o;
+  o.jobs = jobs;
+  return o;
+}
+
+void expect_same_params(const swacc::LaunchParams& a,
+                        const swacc::LaunchParams& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.tile, b.tile) << what;
+  EXPECT_EQ(a.unroll, b.unroll) << what;
+  EXPECT_EQ(a.requested_cpes, b.requested_cpes) << what;
+  EXPECT_EQ(a.double_buffer, b.double_buffer) << what;
+  EXPECT_EQ(a.vector_width, b.vector_width) << what;
+  EXPECT_EQ(a.coalesce_gloads, b.coalesce_gloads) << what;
+}
+
+void expect_bit_identical(const TuningResult& serial,
+                          const TuningResult& parallel,
+                          const std::string& what) {
+  expect_same_params(serial.best, parallel.best, what + " best");
+  // Exact equality: the evaluations are deterministic and the reduction
+  // preserves the serial order, so there is no tolerance to grant.
+  EXPECT_EQ(serial.best_measured_cycles, parallel.best_measured_cycles)
+      << what;
+  EXPECT_EQ(serial.tuning_seconds, parallel.tuning_seconds) << what;
+  EXPECT_EQ(serial.variants, parallel.variants) << what;
+  ASSERT_EQ(serial.explored.size(), parallel.explored.size()) << what;
+  for (std::size_t i = 0; i < serial.explored.size(); ++i) {
+    const auto& s = serial.explored[i];
+    const auto& p = parallel.explored[i];
+    expect_same_params(s.params, p.params,
+                       what + " explored[" + std::to_string(i) + "]");
+    EXPECT_EQ(s.predicted_cycles, p.predicted_cycles) << what << " [" << i
+                                                      << "]";
+    EXPECT_EQ(s.measured_cycles, p.measured_cycles) << what << " [" << i
+                                                    << "]";
+  }
+}
+
+// "Seeds" of the determinism property: each kernel is a distinct workload
+// whose search space exercises different variant counts and cost spreads.
+class ParallelMatchesSerial : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParallelMatchesSerial, EmpiricalTunerJobs8) {
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kSmall);
+  const auto space = SearchSpace::standard(spec.desc, kArch);
+  const auto serial =
+      EmpiricalTuner(kArch, {}, jobs_opt(1)).tune(spec.desc, space);
+  const auto parallel =
+      EmpiricalTuner(kArch, {}, jobs_opt(8)).tune(spec.desc, space);
+  expect_bit_identical(serial, parallel, GetParam() + " empirical");
+  EXPECT_EQ(parallel.stats.jobs, 8u);
+}
+
+TEST_P(ParallelMatchesSerial, StaticTunerJobs8) {
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kSmall);
+  const auto space = SearchSpace::standard(spec.desc, kArch);
+  const auto serial =
+      StaticTuner(kArch, {}, jobs_opt(1)).tune(spec.desc, space);
+  const auto parallel =
+      StaticTuner(kArch, {}, jobs_opt(8)).tune(spec.desc, space);
+  expect_bit_identical(serial, parallel, GetParam() + " static");
+}
+
+TEST_P(ParallelMatchesSerial, OddJobCountsAndVectorSpace) {
+  // A job count that does not divide the variant count, on the larger
+  // vectorized space, for both tuners.
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kSmall);
+  const auto space = SearchSpace::with_vectorization(spec.desc, kArch);
+  for (const int jobs : {2, 3, 5}) {
+    const auto se =
+        EmpiricalTuner(kArch, {}, jobs_opt(1)).tune(spec.desc, space);
+    const auto pe =
+        EmpiricalTuner(kArch, {}, jobs_opt(jobs)).tune(spec.desc, space);
+    expect_bit_identical(se, pe,
+                         GetParam() + " jobs=" + std::to_string(jobs));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2Seeds, ParallelMatchesSerial,
+                         ::testing::ValuesIn(kernels::table2_kernels()));
+
+TEST(ParallelTuner, SharedCacheDoesNotChangeResults) {
+  // Second campaign over the same space: every evaluation hits the cache,
+  // the result stays bit-identical, and the counters balance.
+  const auto spec = kernels::make("kmeans", kernels::Scale::kSmall);
+  const auto space = SearchSpace::standard(spec.desc, kArch);
+  auto cache = std::make_shared<EvalCache>();
+  const EmpiricalTuner tuner(kArch, {}, {.jobs = 4, .cache = cache});
+  const auto first = tuner.tune(spec.desc, space);
+  const auto second = tuner.tune(spec.desc, space);
+  expect_bit_identical(first, second, "cached rerun");
+  EXPECT_EQ(first.stats.cache_hits, 0u);
+  EXPECT_EQ(first.stats.cache_misses, first.stats.evaluations);
+  EXPECT_EQ(second.stats.cache_hits, second.stats.evaluations);
+  EXPECT_EQ(second.stats.cache_misses, 0u);
+}
+
+TEST(ParallelTuner, StaticAndEmpiricalStatsBalance) {
+  const auto spec = kernels::make("hotspot", kernels::Scale::kSmall);
+  const auto space = SearchSpace::standard(spec.desc, kArch);
+  for (const int jobs : {1, 8}) {
+    const auto rs =
+        StaticTuner(kArch, {}, jobs_opt(jobs)).tune(spec.desc, space);
+    EXPECT_EQ(rs.stats.evaluations, rs.variants);
+    EXPECT_EQ(rs.stats.cache_hits + rs.stats.cache_misses,
+              rs.stats.evaluations);
+  }
+}
+
+}  // namespace
+}  // namespace swperf::tuning

@@ -13,6 +13,8 @@
 //
 // Options: --tile N  --unroll N  --cpes N  --db  --vw N  --coalesce
 //          --small (reduced problem size)  --empirical  --vector (tuning)
+//          --jobs N (tuning: parallel variant evaluation; results are
+//          bit-identical to --jobs 1 at any N; 0 = all hardware threads)
 //          --json  --Werror  --all  --list-codes (check)
 #include <algorithm>
 #include <cstdio>
@@ -45,6 +47,7 @@ struct Options {
   swacc::LaunchParams params;
   bool empirical = false;
   bool vector_space = false;
+  int jobs = 1;
   bool json = false;
   bool werror = false;
   bool all_kernels = false;
@@ -57,7 +60,7 @@ struct Options {
       "usage: swperf <list|report|simulate|tune|timeline|check|suite|"
       "calibrate> [kernel] [--tile N] [--unroll N] [--cpes N] [--db] "
       "[--vw N] [--coalesce] [--small] [--empirical] [--vector] "
-      "[--json] [--Werror] [--all] [--list-codes]\n");
+      "[--jobs N] [--json] [--Werror] [--all] [--list-codes]\n");
   std::exit(2);
 }
 
@@ -97,6 +100,8 @@ Options parse(int argc, char** argv) {
       o.have_params = true;
     } else if (a == "--small") {
       o.scale = kernels::Scale::kSmall;
+    } else if (a == "--jobs") {
+      o.jobs = static_cast<int>(next_u64("--jobs"));
     } else if (a == "--empirical") {
       o.empirical = true;
     } else if (a == "--vector") {
@@ -167,21 +172,27 @@ int cmd_tune(const Options& o, const sw::ArchParams& arch) {
   const double naive =
       sim::simulate(naive_lk.sim_config, naive_lk.binary, naive_lk.programs)
           .total_cycles();
+  tuning::TuningOptions topt;
+  topt.jobs = o.jobs;
   tuning::TuningResult r;
   if (o.empirical) {
-    r = tuning::EmpiricalTuner(arch).tune(spec.desc, space);
+    r = tuning::EmpiricalTuner(arch, {}, topt).tune(spec.desc, space);
   } else {
-    r = tuning::StaticTuner(arch).tune(spec.desc, space);
+    r = tuning::StaticTuner(arch, {}, topt).tune(spec.desc, space);
   }
-  std::printf("%s tuning of %s over %zu variants\n",
+  std::printf("%s tuning of %s over %zu variants (%u jobs)\n",
               o.empirical ? "empirical" : "static", o.kernel.c_str(),
-              r.variants);
+              r.variants, r.stats.jobs);
   std::printf("best: %s -> %.1f us (%.2fx over default), campaign %.0f s "
               "hw-equivalent, %.2f s host\n",
               r.best.to_string().c_str(),
               sw::cycles_to_us(r.best_measured_cycles, arch.freq_ghz),
               naive / r.best_measured_cycles, r.tuning_seconds,
               r.host_seconds);
+  std::printf("cache: %llu evaluations, %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(r.stats.evaluations),
+              static_cast<unsigned long long>(r.stats.cache_hits),
+              static_cast<unsigned long long>(r.stats.cache_misses));
   return 0;
 }
 
