@@ -4,12 +4,16 @@
 // runs the relevant kernels through the simulator ("actual") and the
 // static model ("predicted") and prints the same rows/series the paper
 // reports. Binaries take no arguments and run in seconds.
+//
+// The desc -> lower -> {sim, model} chain itself lives in
+// pipeline::Session; this header only re-exports the pipeline types
+// under the bench namespace and adds print formatting.
 #pragma once
 
 #include <iostream>
 
 #include "model/model.h"
-#include "sim/machine.h"
+#include "pipeline/session.h"
 #include "sw/arch.h"
 #include "sw/stats.h"
 #include "sw/table.h"
@@ -17,35 +21,15 @@
 
 namespace swperf::bench {
 
-/// One kernel launch evaluated both ways.
-struct Evaluation {
-  swacc::LoweredKernel lowered;
-  sim::SimResult actual;
-  model::Prediction predicted;
+/// One kernel launch evaluated both ways (see pipeline::Evaluation).
+using Evaluation = pipeline::Evaluation;
 
-  double actual_cycles() const { return actual.total_cycles(); }
-  double error() const {
-    return (predicted.t_total - actual_cycles()) / actual_cycles();
-  }
-  double actual_us(const sw::ArchParams& arch) const {
-    return sw::cycles_to_us(actual_cycles(), arch.freq_ghz);
-  }
-  double predicted_us(const sw::ArchParams& arch) const {
-    return predicted.total_us(arch.freq_ghz);
-  }
-};
-
-/// Lowers, simulates and predicts one launch.
+/// Lowers, simulates and predicts one launch through a pipeline::Session.
 inline Evaluation evaluate(const swacc::KernelDesc& kernel,
                            const swacc::LaunchParams& params,
                            const sw::ArchParams& arch,
                            const model::ModelOptions& opts = {}) {
-  Evaluation e;
-  e.lowered = swacc::lower(kernel, params, arch);
-  e.actual = sim::simulate(e.lowered.sim_config, e.lowered.binary,
-                           e.lowered.programs);
-  e.predicted = model::PerfModel(arch, opts).predict(e.lowered.summary);
-  return e;
+  return pipeline::Session(arch, opts).evaluate(kernel, params);
 }
 
 inline void print_header(const char* what, const char* paper_ref) {

@@ -9,7 +9,7 @@
 
 #include "kernels/suite.h"
 #include "model/model.h"
-#include "swacc/lower.h"
+#include "pipeline/session.h"
 #include "tuning/tuner.h"
 
 using namespace swperf;
@@ -20,12 +20,14 @@ namespace {
 /// tile/unroll for that machine — a fair cross-machine comparison.
 double best_time_us(const kernels::KernelSpec& spec,
                     const sw::ArchParams& arch) {
+  // One Session per candidate machine: the facade owns a single
+  // ArchParams, and the scoped lifetime releases the memoized lowerings
+  // after each sweep.
+  pipeline::Session session(arch);
   const auto space = tuning::SearchSpace::standard(spec.desc, arch);
-  const model::PerfModel pm(arch);
   double best = 1e300;
   for (const auto& v : space.enumerate(spec.desc, arch)) {
-    const auto lowered = swacc::lower(spec.desc, v, arch);
-    best = std::min(best, pm.predict(lowered.summary).t_total);
+    best = std::min(best, session.predict(spec.desc, v).t_total);
   }
   return sw::cycles_to_us(best, arch.freq_ghz);
 }

@@ -5,8 +5,8 @@
 #include <cstdio>
 
 #include "model/analysis.h"
+#include "pipeline/session.h"
 #include "sim/machine.h"
-#include "swacc/lower.h"
 
 using namespace swperf;
 
@@ -39,40 +39,36 @@ swacc::KernelDesc jacobi(std::uint32_t rows, std::uint32_t cols) {
   return k;
 }
 
-double simulate_us(const swacc::KernelDesc& k,
-                   const swacc::LaunchParams& p,
-                   const sw::ArchParams& arch) {
-  const auto lowered = swacc::lower(k, p, arch);
-  const auto r =
-      sim::simulate(lowered.sim_config, lowered.binary, lowered.programs);
-  return sw::cycles_to_us(r.total_cycles(), arch.freq_ghz);
+double simulate_us(pipeline::Session& session, const swacc::KernelDesc& k,
+                   const swacc::LaunchParams& p) {
+  return sw::cycles_to_us(session.simulate(k, p).total_cycles(),
+                          session.arch().freq_ghz);
 }
 
 }  // namespace
 
 int main() {
-  const auto arch = sw::ArchParams::sw26010();
-  const model::PerfModel pm(arch);
+  pipeline::Session session;  // SW26010 core group, Table I parameters
 
   const auto kernel = jacobi(2048, 2048);
   swacc::LaunchParams params;  // a first-attempt configuration
   params.tile = 2;
   params.unroll = 1;
 
-  double current_us = simulate_us(kernel, params, arch);
+  double current_us = simulate_us(session, kernel, params);
   std::printf("jacobi2d @ %s: %.1f us simulated\n\n",
               params.to_string().c_str(), current_us);
 
   // Iteratively apply the advisor's best suggestion until it has none.
   for (int round = 1; round <= 4; ++round) {
-    const auto advice = model::advise(pm, kernel, params);
+    const auto advice = model::advise(session.model(), kernel, params);
     if (advice.empty()) {
       std::printf("round %d: advisor has no further profitable change\n",
                   round);
       break;
     }
     const auto& best = advice.front();
-    const double new_us = simulate_us(kernel, best.suggested, arch);
+    const double new_us = simulate_us(session, kernel, best.suggested);
     std::printf("round %d: %s\n"
                 "         rationale: %s\n"
                 "         model: -%.1f%%   simulated: %.1f us -> %.1f us\n",

@@ -7,9 +7,9 @@
 
 #include "model/analysis.h"
 #include "model/model.h"
+#include "pipeline/session.h"
 #include "sim/machine.h"
 #include "sw/arch.h"
-#include "swacc/lower.h"
 
 using namespace swperf;
 
@@ -39,11 +39,12 @@ int main() {
       {"C", swacc::Dir::kOut, swacc::Access::kContiguous, 8},
   };
 
-  // ---- 3. Pick launch parameters and lower. ------------------------------
+  // ---- 3. Pick launch parameters and lower through the pipeline. ---------
+  pipeline::Session session(arch);
   swacc::LaunchParams params;
   params.tile = 512;  // copy granularity: 512 elements per DMA request
   params.unroll = 4;
-  const auto lowered = swacc::lower(kernel, params, arch);
+  const auto& lowered = session.lower(kernel, params);
   std::printf("lowered: %u active CPEs, %llu DMA requests/CPE, "
               "%u B SPM used\n",
               lowered.summary.active_cpes,
@@ -51,26 +52,24 @@ int main() {
               lowered.spm_bytes_used);
 
   // ---- 4. Predict statically (microseconds, no execution). ---------------
-  const model::PerfModel pm(arch);
-  const auto pred = pm.predict(lowered.summary);
+  const auto pred = session.predict(kernel, params);
   std::printf("model:   %.1f us  (T_comp %.0f, T_DMA %.0f, overlap %.0f "
               "cycles, scenario %d)\n",
               pred.total_us(arch.freq_ghz), pred.t_comp, pred.t_dma,
               pred.t_overlap, pred.scenario);
 
   // ---- 5. Verify against the cycle-level simulator. -----------------------
-  const auto sim =
-      sim::simulate(lowered.sim_config, lowered.binary, lowered.programs);
+  const auto& sim = session.simulate(kernel, params);
   const double actual_us =
       sw::cycles_to_us(sim.total_cycles(), arch.freq_ghz);
   std::printf("sim:     %.1f us  (%llu DRAM transactions)\n", actual_us,
               static_cast<unsigned long long>(sim.transactions));
   std::printf("error:   %.2f%%\n\n",
-              100.0 * (pred.total_us(arch.freq_ghz) - actual_us) /
-                  actual_us);
+              100.0 * pipeline::relative_error(pred.total_us(arch.freq_ghz),
+                                               actual_us));
 
   // ---- 6. Ask the model what to optimize (Section IV analyses). ----------
-  const auto advice = model::advise(pm, kernel, params);
+  const auto advice = model::advise(session.model(), kernel, params);
   if (advice.empty()) {
     std::printf("advisor: configuration already at the model's optimum\n");
   }

@@ -7,8 +7,8 @@
 
 #include "kernels/wrf.h"
 #include "model/model.h"
+#include "pipeline/session.h"
 #include "sim/machine.h"
-#include "swacc/lower.h"
 
 using namespace swperf;
 
@@ -21,16 +21,15 @@ struct Choice {
 
 template <typename Factory>
 Choice plan(const char* name, Factory make_spec,
-            const sw::ArchParams& arch) {
-  const model::PerfModel pm(arch);
+            pipeline::Session& session) {
   std::printf("%s:\n  %6s %10s %10s %8s %s\n", name, "CPEs", "pred us",
               "T_comp", "T_DMA", "DMA efficiency");
   Choice best;
   for (const std::uint32_t cpes : {8u, 16u, 32u, 48u, 64u, 96u, 128u}) {
     const auto spec = make_spec(cpes);
-    const auto lowered = swacc::lower(spec.desc, spec.tuned, arch);
-    const auto pred = pm.predict(lowered.summary);
-    const double us = pred.total_us(arch.freq_ghz);
+    const auto& lowered = session.lower(spec.desc, spec.tuned);
+    const auto pred = session.predict(spec.desc, spec.tuned);
+    const double us = pred.total_us(session.arch().freq_ghz);
     std::printf("  %6u %10.1f %10.0f %8.0f %10.2f\n", cpes, us, pred.t_comp,
                 pred.t_dma, lowered.summary.dma_efficiency());
     if (us < best.predicted_us) best = {cpes, us};
@@ -41,12 +40,13 @@ Choice plan(const char* name, Factory make_spec,
 
 template <typename Factory>
 void validate(const char* name, Factory make_spec, const Choice& choice,
-              const sw::ArchParams& arch) {
+              pipeline::Session& session) {
+  // The winner was already lowered during planning; the Session memo
+  // means this only pays for the one validation simulation.
   const auto spec = make_spec(choice.cpes);
-  const auto lowered = swacc::lower(spec.desc, spec.tuned, arch);
-  const auto sim =
-      sim::simulate(lowered.sim_config, lowered.binary, lowered.programs);
-  const double actual = sw::cycles_to_us(sim.total_cycles(), arch.freq_ghz);
+  const auto& sim = session.simulate(spec.desc, spec.tuned);
+  const double actual =
+      sw::cycles_to_us(sim.total_cycles(), session.arch().freq_ghz);
   std::printf("  %s validation run at %u CPEs: %.1f us simulated vs %.1f "
               "us predicted (%.1f%% error)\n\n",
               name, choice.cpes, actual, choice.predicted_us,
@@ -56,17 +56,17 @@ void validate(const char* name, Factory make_spec, const Choice& choice,
 }  // namespace
 
 int main() {
-  const auto arch = sw::ArchParams::sw26010();
+  pipeline::Session session;  // SW26010 core group, Table I parameters
   std::printf("Choosing #active_CPEs with the static model "
               "(one simulation total per kernel)\n\n");
 
   auto dyn = [](std::uint32_t c) { return kernels::wrf_dynamics(c); };
-  const auto cd = plan("WRF dynamics (memory-intensive)", dyn, arch);
-  validate("dynamics", dyn, cd, arch);
+  const auto cd = plan("WRF dynamics (memory-intensive)", dyn, session);
+  validate("dynamics", dyn, cd, session);
 
   auto phys = [](std::uint32_t c) { return kernels::wrf_physics(c); };
-  const auto cp = plan("WRF physics (computation-intensive)", phys, arch);
-  validate("physics", phys, cp, arch);
+  const auto cp = plan("WRF physics (computation-intensive)", phys, session);
+  validate("physics", phys, cp, session);
 
   std::printf("Note how the memory-intensive kernel peaks below the full "
               "64 CPEs of a core group\n(transaction waste, Section IV-3) "

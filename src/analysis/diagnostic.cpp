@@ -1,9 +1,10 @@
 #include "analysis/diagnostic.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <sstream>
+#include <utility>
 
+#include "serde/json.h"
 #include "sw/error.h"
 
 namespace swperf::analysis {
@@ -62,53 +63,19 @@ std::vector<std::string> codes_of(const Diagnostics& diags) {
   return out;
 }
 
-namespace {
-
-void json_escape(std::ostringstream& os, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-}
-
-}  // namespace
-
 std::string to_json(const Diagnostics& diags) {
-  std::ostringstream os;
-  os << "[";
-  for (std::size_t i = 0; i < diags.size(); ++i) {
-    const auto& d = diags[i];
-    if (i > 0) os << ",";
-    os << "{\"severity\":\"" << severity_name(d.severity) << "\",\"code\":\"";
-    json_escape(os, d.code);
-    os << "\",\"message\":\"";
-    json_escape(os, d.message);
-    os << "\",\"fixit\":\"";
-    json_escape(os, d.fixit);
-    os << "\"}";
+  // Built with the serde JSON writer so messages containing quotes,
+  // backslashes or control characters always escape correctly.
+  serde::Json arr = serde::Json::array();
+  for (const auto& d : diags) {
+    serde::Json j = serde::Json::object();
+    j.set("severity", severity_name(d.severity));
+    j.set("code", d.code);
+    j.set("message", d.message);
+    j.set("fixit", d.fixit);
+    arr.push_back(std::move(j));
   }
-  os << "]";
-  return os.str();
+  return arr.dump();
 }
 
 void throw_on_errors(const Diagnostics& diags) {

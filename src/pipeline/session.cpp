@@ -1,0 +1,105 @@
+#include "pipeline/session.h"
+
+#include <limits>
+#include <utility>
+
+#include "serde/serde.h"
+
+namespace swperf::pipeline {
+
+double relative_error(double predicted_cycles, double actual_cycles) {
+  if (actual_cycles <= 0.0) {
+    return predicted_cycles <= 0.0
+               ? 0.0
+               : std::numeric_limits<double>::infinity();
+  }
+  return (predicted_cycles - actual_cycles) / actual_cycles;
+}
+
+serde::Json to_json(const Evaluation& e) {
+  serde::Json j = serde::Json::object();
+  j.set("kernel", e.lowered.summary.kernel);
+  j.set("params", serde::to_json(e.lowered.summary.params));
+  j.set("summary", serde::to_json(e.lowered.summary));
+  j.set("actual", serde::to_json(e.actual));
+  j.set("predicted", serde::to_json(e.predicted));
+  j.set("error", e.error());
+  return j;
+}
+
+std::string Session::key(const swacc::KernelDesc& kernel,
+                         const swacc::LaunchParams& params) const {
+  // The serde encoding is a canonical content key: two structurally equal
+  // (kernel, params) pairs serialize to identical bytes.
+  std::string k = serde::to_json(kernel).dump();
+  k.push_back('|');
+  serde::to_json(params).dump_to(k);
+  return k;
+}
+
+const swacc::LoweredKernel& Session::lower(const swacc::KernelDesc& kernel,
+                                           const swacc::LaunchParams& params) {
+  std::string k = key(kernel, params);
+  auto it = lowered_.find(k);
+  if (it == lowered_.end()) {
+    it = lowered_
+             .emplace(std::move(k), swacc::lower(kernel, params, arch_))
+             .first;
+  }
+  return it->second;
+}
+
+analysis::Diagnostics Session::check(const swacc::KernelDesc& kernel,
+                                     const swacc::LaunchParams& params) const {
+  return analysis::check_all(kernel, params, arch_);
+}
+
+const sim::SimResult& Session::simulate(const swacc::KernelDesc& kernel,
+                                        const swacc::LaunchParams& params) {
+  std::string k = key(kernel, params);
+  auto it = simulated_.find(k);
+  if (it == simulated_.end()) {
+    const auto& lk = lower(kernel, params);
+    it = simulated_
+             .emplace(std::move(k),
+                      sim::simulate(lk.sim_config, lk.binary, lk.programs))
+             .first;
+  }
+  return it->second;
+}
+
+sim::SimResult Session::simulate_traced(const swacc::KernelDesc& kernel,
+                                        const swacc::LaunchParams& params) {
+  const auto& lk = lower(kernel, params);
+  sim::SimConfig cfg = lk.sim_config;
+  cfg.trace = true;
+  return sim::simulate(cfg, lk.binary, lk.programs);
+}
+
+model::Prediction Session::predict(const swacc::KernelDesc& kernel,
+                                   const swacc::LaunchParams& params) {
+  return model_.predict(lower(kernel, params).summary);
+}
+
+Evaluation Session::evaluate(const swacc::KernelDesc& kernel,
+                             const swacc::LaunchParams& params) {
+  Evaluation e;
+  e.lowered = lower(kernel, params);
+  e.actual = simulate(kernel, params);
+  e.predicted = model_.predict(e.lowered.summary);
+  return e;
+}
+
+tuning::TuningResult Session::tune(const swacc::KernelDesc& kernel,
+                                   const tuning::SearchSpace& space,
+                                   bool empirical,
+                                   tuning::TuningOptions options) const {
+  if (empirical) {
+    return tuning::EmpiricalTuner(arch_, {}, std::move(options))
+        .tune(kernel, space);
+  }
+  return tuning::StaticTuner(arch_, {}, std::move(options))
+      .tune(kernel, space);
+}
+
+}  // namespace swperf::pipeline

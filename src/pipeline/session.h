@@ -1,0 +1,120 @@
+// The evaluation-pipeline facade.
+//
+// The paper's workflow is one fixed pipeline: kernel description → SWACC
+// lowering → {static checks, cycle-level simulation, analytical model,
+// auto-tuning}.  Before this module, every consumer (the CLI subcommands,
+// the bench harnesses, the examples) re-implemented that plumbing by hand;
+// Session puts the lower-once-use-thrice pattern in exactly one place.
+//
+// A Session owns the machine (sw::ArchParams) and the model configuration
+// (model::ModelOptions) and memoizes lowering and simulation per
+// (kernel, params) — keyed by the serde JSON encoding of both, so two
+// structurally identical descriptions share one lowering.  predict() and
+// evaluate() reuse the memoized artifacts; check() is stateless and cheap.
+//
+// Sessions are NOT thread-safe (the memo tables are unsynchronized); use
+// one Session per thread, or the tuners' own parallel engine for fan-out.
+// References returned by lower()/simulate() stay valid for the Session's
+// lifetime (node-based map storage).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+#include "analysis/checker.h"
+#include "model/model.h"
+#include "serde/json.h"
+#include "sim/machine.h"
+#include "swacc/lower.h"
+#include "tuning/tuner.h"
+
+namespace swperf::pipeline {
+
+/// Relative prediction error (predicted − actual) / actual, defined for
+/// degenerate launches: 0 when both are zero, +infinity when only the
+/// actual time is zero.  (JSON renders the infinite case as null.)
+double relative_error(double predicted_cycles, double actual_cycles);
+
+/// One kernel launch evaluated both ways — the unified record of the
+/// model-accuracy studies (simulated "actual" vs. model "predicted").
+struct Evaluation {
+  swacc::LoweredKernel lowered;
+  sim::SimResult actual;
+  model::Prediction predicted;
+
+  double actual_cycles() const { return actual.total_cycles(); }
+  /// Signed relative error of the prediction; see relative_error().
+  double error() const {
+    return relative_error(predicted.t_total, actual_cycles());
+  }
+  double actual_us(const sw::ArchParams& arch) const {
+    return sw::cycles_to_us(actual_cycles(), arch.freq_ghz);
+  }
+  double predicted_us(const sw::ArchParams& arch) const {
+    return predicted.total_us(arch.freq_ghz);
+  }
+};
+
+/// JSON record of one evaluation: kernel, params, static summary, actual
+/// (trace-free sim result), predicted, and the relative error.
+serde::Json to_json(const Evaluation& e);
+
+class Session {
+ public:
+  explicit Session(sw::ArchParams arch = sw::ArchParams::sw26010(),
+                   model::ModelOptions opts = {})
+      : arch_(arch), model_(arch, opts) {}
+
+  const sw::ArchParams& arch() const { return arch_; }
+  const model::PerfModel& model() const { return model_; }
+
+  /// Lowers (kernel, params), memoized; throws sw::Error on illegal
+  /// launches exactly like swacc::lower().
+  const swacc::LoweredKernel& lower(const swacc::KernelDesc& kernel,
+                                    const swacc::LaunchParams& params);
+
+  /// Full static diagnostics (description, launch and — when those are
+  /// error-free — lowered-program checks). Never throws on findings.
+  analysis::Diagnostics check(const swacc::KernelDesc& kernel,
+                              const swacc::LaunchParams& params) const;
+
+  /// Cycle-level simulation of the lowered launch, memoized.
+  const sim::SimResult& simulate(const swacc::KernelDesc& kernel,
+                                 const swacc::LaunchParams& params);
+
+  /// Simulation with trace recording; not memoized (traces are large and
+  /// one-shot consumers render them immediately).
+  sim::SimResult simulate_traced(const swacc::KernelDesc& kernel,
+                                 const swacc::LaunchParams& params);
+
+  /// Static model prediction from the memoized lowering's summary.
+  model::Prediction predict(const swacc::KernelDesc& kernel,
+                            const swacc::LaunchParams& params);
+
+  /// lower + simulate + predict in one call, sharing the memo tables.
+  Evaluation evaluate(const swacc::KernelDesc& kernel,
+                      const swacc::LaunchParams& params);
+
+  /// Auto-tuning over `space`: the model-driven StaticTuner by default,
+  /// the simulate-everything EmpiricalTuner when `empirical`.
+  tuning::TuningResult tune(const swacc::KernelDesc& kernel,
+                            const tuning::SearchSpace& space,
+                            bool empirical = false,
+                            tuning::TuningOptions options = {}) const;
+
+  // Memo-table introspection (tests pin the memoization behaviour).
+  std::size_t lowered_cached() const { return lowered_.size(); }
+  std::size_t simulated_cached() const { return simulated_.size(); }
+
+ private:
+  std::string key(const swacc::KernelDesc& kernel,
+                  const swacc::LaunchParams& params) const;
+
+  sw::ArchParams arch_;
+  model::PerfModel model_;
+  std::unordered_map<std::string, swacc::LoweredKernel> lowered_;
+  std::unordered_map<std::string, sim::SimResult> simulated_;
+};
+
+}  // namespace swperf::pipeline

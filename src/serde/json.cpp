@@ -1,0 +1,571 @@
+#include "serde/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sw/error.h"
+
+namespace swperf::serde {
+
+namespace {
+
+const char* type_name(Json::Type t) {
+  switch (t) {
+    case Json::Type::kNull:
+      return "null";
+    case Json::Type::kBool:
+      return "bool";
+    case Json::Type::kInt:
+    case Json::Type::kUint:
+    case Json::Type::kDouble:
+      return "number";
+    case Json::Type::kString:
+      return "string";
+    case Json::Type::kArray:
+      return "array";
+    case Json::Type::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void type_error(const char* wanted, Json::Type got) {
+  throw sw::Error(std::string("JSON type mismatch: wanted ") + wanted +
+                  ", value is " + type_name(got));
+}
+
+}  // namespace
+
+// ---- Typed accessors ------------------------------------------------------
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_double() const {
+  switch (type_) {
+    case Type::kInt:
+      return static_cast<double>(int_);
+    case Type::kUint:
+      return static_cast<double>(uint_);
+    case Type::kDouble:
+      return dbl_;
+    default:
+      type_error("number", type_);
+  }
+}
+
+std::uint64_t Json::as_u64() const {
+  switch (type_) {
+    case Type::kUint:
+      return uint_;
+    case Type::kInt:
+      throw sw::Error("JSON number " + std::to_string(int_) +
+                      " is negative, wanted an unsigned integer");
+    case Type::kDouble:
+      if (dbl_ >= 0.0 && dbl_ < 1.8446744073709552e19 &&
+          dbl_ == std::floor(dbl_)) {
+        return static_cast<std::uint64_t>(dbl_);
+      }
+      throw sw::Error("JSON number " + number_to_string(dbl_) +
+                      " is not an unsigned integer");
+    default:
+      type_error("unsigned integer", type_);
+  }
+}
+
+std::int64_t Json::as_i64() const {
+  switch (type_) {
+    case Type::kInt:
+      return int_;
+    case Type::kUint:
+      if (uint_ > static_cast<std::uint64_t>(INT64_MAX)) {
+        throw sw::Error("JSON number " + std::to_string(uint_) +
+                        " overflows a signed integer");
+      }
+      return static_cast<std::int64_t>(uint_);
+    case Type::kDouble:
+      if (dbl_ >= -9.2233720368547758e18 && dbl_ < 9.2233720368547758e18 &&
+          dbl_ == std::floor(dbl_)) {
+        return static_cast<std::int64_t>(dbl_);
+      }
+      throw sw::Error("JSON number " + number_to_string(dbl_) +
+                      " is not a signed integer");
+    default:
+      type_error("integer", type_);
+  }
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return str_;
+}
+
+// ---- Array / object -------------------------------------------------------
+
+void Json::push_back(Json v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) type_error("array", type_);
+  arr_.push_back(std::move(v));
+}
+
+const std::vector<Json>& Json::items() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return arr_;
+}
+
+void Json::set(std::string key, Json value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) type_error("object", type_);
+  obj_.emplace_back(std::move(key), std::move(value));
+}
+
+const JsonMembers& Json::members() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return obj_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  const Json* v = find(key);
+  if (!v) throw sw::Error("JSON object has no member \"" + std::string(key) + "\"");
+  return *v;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  return 0;
+}
+
+// ---- Writer ---------------------------------------------------------------
+
+std::string Json::number_to_string(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == 0.0) return std::signbit(v) ? "-0.0" : "0";
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void Json::escape_to(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 passes through byte-for-byte
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kInt:
+      out += std::to_string(int_);
+      return;
+    case Type::kUint:
+      out += std::to_string(uint_);
+      return;
+    case Type::kDouble:
+      out += number_to_string(dbl_);
+      return;
+    case Type::kString:
+      escape_to(out, str_);
+      return;
+    case Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& v : arr_) {
+        if (!first) out.push_back(',');
+        first = false;
+        v.dump_to(out);
+      }
+      out.push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out.push_back(',');
+        first = false;
+        escape_to(out, k);
+        out.push_back(':');
+        v.dump_to(out);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  out.reserve(64);
+  dump_to(out);
+  return out;
+}
+
+// ---- Reader ---------------------------------------------------------------
+
+/// Recursive-descent parser. Malformed input produces a position-annotated
+/// error message; nesting is depth-limited so adversarial input cannot
+/// overflow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult r;
+    try {
+      skip_ws();
+      r.value = parse_value(0);
+      skip_ws();
+      if (pos_ != text_.size()) fail("trailing garbage after JSON value");
+      r.ok = true;
+    } catch (const ParseError& e) {
+      r.value = Json();
+      r.error = e.message;
+    }
+    return r;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 192;
+
+  struct ParseError {
+    std::string message;
+  };
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError{"offset " + std::to_string(pos_) + ": " + what};
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char next() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void expect_literal(const char* lit) {
+    for (const char* p = lit; *p; ++p) {
+      if (eof() || peek() != *p) fail(std::string("invalid literal, expected '") + lit + "'");
+      ++pos_;
+    }
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case 'n':
+        expect_literal("null");
+        return Json();
+      case 't':
+        expect_literal("true");
+        return Json(true);
+      case 'f':
+        expect_literal("false");
+        return Json(false);
+      case '"':
+        return Json(parse_string());
+      case '[':
+        return parse_array(depth);
+      case '{':
+        return parse_object(depth);
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_array(int depth) {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      skip_ws();
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == ']') return arr;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Json parse_object(int depth) {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected string key in object");
+      std::string key = parse_string();
+      skip_ws();
+      if (next() != ':') {
+        --pos_;
+        fail("expected ':' after object key");
+      }
+      skip_ws();
+      obj.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == '}') return obj;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        --pos_;
+        fail("invalid \\u escape digit");
+      }
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (eof() || peek() != '\\') fail("unpaired UTF-16 surrogate");
+            ++pos_;
+            if (eof() || peek() != 'u') fail("unpaired UTF-16 surrogate");
+            ++pos_;
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid UTF-16 surrogate pair");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired UTF-16 surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          --pos_;
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    // JSON numbers start with '-' or a digit (no '+', no leading '.').
+    if (!eof() && peek() != '-' && (peek() < '0' || peek() > '9')) {
+      fail("invalid value");
+    }
+    if (!eof() && peek() == '-') ++pos_;
+    bool any_digits = false;
+    bool is_double = false;
+    while (!eof()) {
+      const char c = peek();
+      if (c >= '0' && c <= '9') {
+        any_digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!any_digits) {
+      pos_ = start;
+      fail("invalid value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    // JSON forbids leading zeros ("01"); accepting them would also break
+    // the byte-level round-trip contract.
+    const std::size_t ip = token[0] == '-' ? 1 : 0;
+    if (token.size() > ip + 1 && token[ip] == '0' && token[ip + 1] >= '0' &&
+        token[ip + 1] <= '9') {
+      pos_ = start;
+      fail("leading zero in number '" + token + "'");
+    }
+    errno = 0;
+    char* end = nullptr;
+    if (is_double) {
+      const double v = std::strtod(token.c_str(), &end);
+      if (end != token.c_str() + token.size() || !std::isfinite(v)) {
+        pos_ = start;
+        fail("invalid number '" + token + "'");
+      }
+      return Json(v);
+    }
+    if (token[0] == '-') {
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (end != token.c_str() + token.size()) {
+        pos_ = start;
+        fail("invalid number '" + token + "'");
+      }
+      if (errno == ERANGE) return Json(std::strtod(token.c_str(), &end));
+      return Json(v);
+    }
+    const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("invalid number '" + token + "'");
+    }
+    if (errno == ERANGE) return Json(std::strtod(token.c_str(), &end));
+    return Json(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonParseResult Json::parse(std::string_view text) {
+  return JsonParser(text).run();
+}
+
+Json Json::parse_or_throw(std::string_view text) {
+  auto r = parse(text);
+  if (!r.ok) throw sw::Error("JSON parse error: " + r.error);
+  return std::move(r.value);
+}
+
+}  // namespace swperf::serde

@@ -1,0 +1,173 @@
+// A small dependency-free JSON value type with a writer and a reader.
+//
+// This is the interchange layer of the evaluation pipeline: every
+// machine-readable surface (the `swperf --json` outputs, the `swperf eval`
+// batch service, the golden model fixtures) goes through this one writer,
+// so escaping and number formatting are correct in exactly one place.
+//
+// Design constraints, in priority order:
+//   1. Round-trip stability: dump(parse(dump(x))) == dump(x), byte for
+//      byte.  Objects preserve member insertion order, integers print as
+//      integers, and doubles print with the shortest decimal form that
+//      parses back to the identical value (tried at 15, 16, then 17
+//      significant digits).
+//   2. Malformed input is an *error value*, never undefined behaviour:
+//      parse() returns a ParseResult carrying a position-annotated message.
+//   3. No dependencies beyond the standard library and sw/error.h.
+//
+// JSON has no NaN/Infinity; non-finite doubles serialize as `null`.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace swperf::serde {
+
+class Json;
+/// Object members in insertion order (order is part of the byte-stable
+/// round-trip contract; keys are expected to be unique).
+using JsonMembers = std::vector<std::pair<std::string, Json>>;
+
+/// Outcome of Json::parse(): a value, or a position-annotated error.
+struct JsonParseResult;
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,     // negative integers
+    kUint,    // non-negative integers
+    kDouble,  // anything written with '.', 'e' or 'E'
+    kString,
+    kArray,
+    kObject,
+  };
+
+  // ---- Construction -------------------------------------------------------
+  // Every standard integer type has a non-explicit constructor so numeric
+  // struct fields serialize with plain `Json(value)`; negatives normalize
+  // to kInt, non-negatives to kUint.
+  Json() = default;  // null
+  Json(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Json(int v) : Json(static_cast<long long>(v)) {}  // NOLINT
+  Json(long v) : Json(static_cast<long long>(v)) {}  // NOLINT
+  Json(long long v) {  // NOLINT
+    if (v < 0) {
+      type_ = Type::kInt;
+      int_ = v;
+    } else {
+      type_ = Type::kUint;
+      uint_ = static_cast<std::uint64_t>(v);
+    }
+  }
+  Json(unsigned v)  // NOLINT
+      : Json(static_cast<unsigned long long>(v)) {}
+  Json(unsigned long v)  // NOLINT
+      : Json(static_cast<unsigned long long>(v)) {}
+  Json(unsigned long long v) : type_(Type::kUint), uint_(v) {}  // NOLINT
+  // Non-finite doubles normalize to null at construction (JSON has no
+  // NaN/Infinity), so the in-memory value already equals its parse.
+  Json(double v) {  // NOLINT(google-explicit-constructor)
+    if (std::isfinite(v)) {
+      type_ = Type::kDouble;
+      dbl_ = v;
+    }
+  }
+  Json(const char* s) : type_(Type::kString), str_(s) {}  // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  // ---- Inspection ---------------------------------------------------------
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kUint ||
+           type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // ---- Typed accessors (throw sw::Error on type mismatch) -----------------
+  bool as_bool() const;
+  /// Any numeric value as double.
+  double as_double() const;
+  /// Integral value in [0, 2^64); throws on negatives, doubles with a
+  /// fractional part, or out-of-range values.
+  std::uint64_t as_u64() const;
+  std::int64_t as_i64() const;
+  const std::string& as_string() const;
+
+  // ---- Array operations ---------------------------------------------------
+  void push_back(Json v);
+  const std::vector<Json>& items() const;
+
+  // ---- Object operations --------------------------------------------------
+  /// Appends a member (keys are not deduplicated; callers keep them unique).
+  void set(std::string key, Json value);
+  const JsonMembers& members() const;
+  /// Member lookup; nullptr when absent (or not an object).
+  const Json* find(std::string_view key) const;
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+  /// Member lookup; throws sw::Error naming the key when absent.
+  const Json& at(std::string_view key) const;
+
+  /// Array/object element count; 0 for scalars.
+  std::size_t size() const;
+
+  // ---- Writer -------------------------------------------------------------
+  /// Compact canonical rendering (no whitespace, members in insertion
+  /// order).  Deterministic: equal values render to equal bytes.
+  std::string dump() const;
+  void dump_to(std::string& out) const;
+
+  /// The shortest decimal form of `v` that strtod()s back to the identical
+  /// value; "null" for non-finite values (JSON has no NaN/Infinity).
+  static std::string number_to_string(double v);
+  /// Appends `s` as a quoted JSON string with all required escapes.
+  static void escape_to(std::string& out, std::string_view s);
+
+  // ---- Reader -------------------------------------------------------------
+  /// Parses a complete JSON document (trailing whitespace allowed, trailing
+  /// garbage rejected).  Never throws on malformed input.
+  static JsonParseResult parse(std::string_view text);
+  /// parse() that throws sw::Error on failure.
+  static Json parse_or_throw(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double dbl_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  JsonMembers obj_;
+
+  friend class JsonParser;
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  Json value;
+  std::string error;  // "offset N: message" when !ok
+};
+
+}  // namespace swperf::serde

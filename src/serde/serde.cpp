@@ -1,0 +1,465 @@
+#include "serde/serde.h"
+
+#include <limits>
+#include <string>
+
+#include "sw/error.h"
+
+namespace swperf::serde {
+
+namespace {
+
+[[noreturn]] void bad_field(const char* type, const std::string& key) {
+  throw sw::Error(std::string(type) + ": unknown field \"" + key + "\"");
+}
+
+void require_object(const Json& j, const char* type) {
+  if (!j.is_object()) {
+    throw sw::Error(std::string(type) + ": expected a JSON object");
+  }
+}
+
+std::uint32_t as_u32(const Json& j) {
+  const std::uint64_t v = j.as_u64();
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    throw sw::Error("number " + std::to_string(v) + " overflows uint32");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+const char* dir_name(swacc::Dir d) {
+  switch (d) {
+    case swacc::Dir::kIn:
+      return "in";
+    case swacc::Dir::kOut:
+      return "out";
+    case swacc::Dir::kInOut:
+      return "inout";
+  }
+  return "?";
+}
+
+swacc::Dir dir_from_name(const std::string& s) {
+  if (s == "in") return swacc::Dir::kIn;
+  if (s == "out") return swacc::Dir::kOut;
+  if (s == "inout") return swacc::Dir::kInOut;
+  throw sw::Error("ArrayRef: unknown dir \"" + s + "\"");
+}
+
+const char* access_name(swacc::Access a) {
+  switch (a) {
+    case swacc::Access::kContiguous:
+      return "contiguous";
+    case swacc::Access::kStrided:
+      return "strided";
+    case swacc::Access::kBlock2D:
+      return "block2d";
+    case swacc::Access::kBroadcast:
+      return "broadcast";
+    case swacc::Access::kIndirect:
+      return "indirect";
+  }
+  return "?";
+}
+
+swacc::Access access_from_name(const std::string& s) {
+  if (s == "contiguous") return swacc::Access::kContiguous;
+  if (s == "strided") return swacc::Access::kStrided;
+  if (s == "block2d") return swacc::Access::kBlock2D;
+  if (s == "broadcast") return swacc::Access::kBroadcast;
+  if (s == "indirect") return swacc::Access::kIndirect;
+  throw sw::Error("ArrayRef: unknown access \"" + s + "\"");
+}
+
+isa::OpClass op_class_from_name(const std::string& s) {
+  for (int i = 0; i < isa::kNumOpClasses; ++i) {
+    const auto c = static_cast<isa::OpClass>(i);
+    if (s == isa::op_class_name(c)) return c;
+  }
+  throw sw::Error("Instr: unknown op class \"" + s + "\"");
+}
+
+}  // namespace
+
+// ---- LaunchParams ----------------------------------------------------------
+
+Json to_json(const swacc::LaunchParams& p) {
+  Json j = Json::object();
+  j.set("tile", p.tile);
+  j.set("unroll", p.unroll);
+  j.set("requested_cpes", p.requested_cpes);
+  j.set("double_buffer", p.double_buffer);
+  j.set("vector_width", p.vector_width);
+  j.set("coalesce_gloads", p.coalesce_gloads);
+  return j;
+}
+
+swacc::LaunchParams launch_params_from_json(const Json& j) {
+  require_object(j, "LaunchParams");
+  swacc::LaunchParams p;
+  for (const auto& [k, v] : j.members()) {
+    if (k == "tile") {
+      p.tile = v.as_u64();
+    } else if (k == "unroll") {
+      p.unroll = as_u32(v);
+    } else if (k == "requested_cpes") {
+      p.requested_cpes = as_u32(v);
+    } else if (k == "double_buffer") {
+      p.double_buffer = v.as_bool();
+    } else if (k == "vector_width") {
+      p.vector_width = as_u32(v);
+    } else if (k == "coalesce_gloads") {
+      p.coalesce_gloads = v.as_bool();
+    } else {
+      bad_field("LaunchParams", k);
+    }
+  }
+  return p;
+}
+
+// ---- isa::Instr / BasicBlock ----------------------------------------------
+
+Json to_json(const isa::Instr& i) {
+  Json j = Json::object();
+  j.set("op", isa::op_class_name(i.cls));
+  j.set("dst", i.dst);
+  Json srcs = Json::array();
+  for (const isa::Reg s : i.srcs) srcs.push_back(s);
+  j.set("srcs", std::move(srcs));
+  j.set("loop_overhead", i.loop_overhead);
+  return j;
+}
+
+isa::Instr instr_from_json(const Json& j) {
+  require_object(j, "Instr");
+  isa::Instr i;
+  for (const auto& [k, v] : j.members()) {
+    if (k == "op") {
+      i.cls = op_class_from_name(v.as_string());
+    } else if (k == "dst") {
+      i.dst = static_cast<isa::Reg>(v.as_i64());
+    } else if (k == "srcs") {
+      const auto& items = v.items();
+      if (items.size() > i.srcs.size()) {
+        throw sw::Error("Instr: more than 3 sources");
+      }
+      for (std::size_t n = 0; n < items.size(); ++n) {
+        i.srcs[n] = static_cast<isa::Reg>(items[n].as_i64());
+      }
+    } else if (k == "loop_overhead") {
+      i.loop_overhead = v.as_bool();
+    } else {
+      bad_field("Instr", k);
+    }
+  }
+  return i;
+}
+
+Json to_json(const isa::BasicBlock& b) {
+  Json j = Json::object();
+  j.set("name", b.name);
+  j.set("num_regs", b.num_regs);
+  j.set("lanes", b.lanes);
+  Json instrs = Json::array();
+  for (const auto& i : b.instrs) instrs.push_back(to_json(i));
+  j.set("instrs", std::move(instrs));
+  return j;
+}
+
+isa::BasicBlock block_from_json(const Json& j) {
+  require_object(j, "BasicBlock");
+  isa::BasicBlock b;
+  for (const auto& [k, v] : j.members()) {
+    if (k == "name") {
+      b.name = v.as_string();
+    } else if (k == "num_regs") {
+      b.num_regs = static_cast<isa::Reg>(v.as_i64());
+    } else if (k == "lanes") {
+      b.lanes = as_u32(v);
+    } else if (k == "instrs") {
+      for (const auto& i : v.items()) b.instrs.push_back(instr_from_json(i));
+    } else {
+      bad_field("BasicBlock", k);
+    }
+  }
+  b.validate();  // register-range and operand-shape errors, not crashes
+  return b;
+}
+
+// ---- swacc::ArrayRef / KernelDesc -----------------------------------------
+
+Json to_json(const swacc::ArrayRef& a) {
+  Json j = Json::object();
+  j.set("name", a.name);
+  j.set("dir", dir_name(a.dir));
+  j.set("access", access_name(a.access));
+  j.set("bytes_per_outer", a.bytes_per_outer);
+  j.set("segments_per_outer", a.segments_per_outer);
+  j.set("broadcast_bytes", a.broadcast_bytes);
+  j.set("gloads_per_inner", a.gloads_per_inner);
+  j.set("gload_bytes", a.gload_bytes);
+  return j;
+}
+
+swacc::ArrayRef array_ref_from_json(const Json& j) {
+  require_object(j, "ArrayRef");
+  swacc::ArrayRef a;
+  bool have_name = false;
+  for (const auto& [k, v] : j.members()) {
+    if (k == "name") {
+      a.name = v.as_string();
+      have_name = true;
+    } else if (k == "dir") {
+      a.dir = dir_from_name(v.as_string());
+    } else if (k == "access") {
+      a.access = access_from_name(v.as_string());
+    } else if (k == "bytes_per_outer") {
+      a.bytes_per_outer = v.as_u64();
+    } else if (k == "segments_per_outer") {
+      a.segments_per_outer = as_u32(v);
+    } else if (k == "broadcast_bytes") {
+      a.broadcast_bytes = v.as_u64();
+    } else if (k == "gloads_per_inner") {
+      a.gloads_per_inner = v.as_double();
+    } else if (k == "gload_bytes") {
+      a.gload_bytes = as_u32(v);
+    } else {
+      bad_field("ArrayRef", k);
+    }
+  }
+  if (!have_name) throw sw::Error("ArrayRef: missing required field \"name\"");
+  return a;
+}
+
+Json to_json(const swacc::KernelDesc& k) {
+  Json j = Json::object();
+  j.set("name", k.name);
+  j.set("n_outer", k.n_outer);
+  j.set("inner_iters", k.inner_iters);
+  j.set("body", to_json(k.body));
+  Json arrays = Json::array();
+  for (const auto& a : k.arrays) arrays.push_back(to_json(a));
+  j.set("arrays", std::move(arrays));
+  j.set("dma_min_tile", k.dma_min_tile);
+  j.set("gload_coalesceable", k.gload_coalesceable);
+  j.set("vectorizable", k.vectorizable);
+  j.set("gload_imbalance", k.gload_imbalance);
+  j.set("comp_imbalance", k.comp_imbalance);
+  return j;
+}
+
+swacc::KernelDesc kernel_desc_from_json(const Json& j) {
+  require_object(j, "KernelDesc");
+  swacc::KernelDesc k;
+  bool have_name = false;
+  for (const auto& [key, v] : j.members()) {
+    if (key == "name") {
+      k.name = v.as_string();
+      have_name = true;
+    } else if (key == "n_outer") {
+      k.n_outer = v.as_u64();
+    } else if (key == "inner_iters") {
+      k.inner_iters = v.as_u64();
+    } else if (key == "body") {
+      k.body = block_from_json(v);
+    } else if (key == "arrays") {
+      for (const auto& a : v.items()) {
+        k.arrays.push_back(array_ref_from_json(a));
+      }
+    } else if (key == "dma_min_tile") {
+      k.dma_min_tile = v.as_u64();
+    } else if (key == "gload_coalesceable") {
+      k.gload_coalesceable = v.as_double();
+    } else if (key == "vectorizable") {
+      k.vectorizable = v.as_bool();
+    } else if (key == "gload_imbalance") {
+      k.gload_imbalance = v.as_double();
+    } else if (key == "comp_imbalance") {
+      k.comp_imbalance = v.as_double();
+    } else {
+      bad_field("KernelDesc", key);
+    }
+  }
+  if (!have_name) {
+    throw sw::Error("KernelDesc: missing required field \"name\"");
+  }
+  return k;
+}
+
+// ---- Result side -----------------------------------------------------------
+
+Json to_json(const isa::OpClassCounts& c) {
+  Json j = Json::object();
+  for (int i = 0; i < isa::kNumOpClasses; ++i) {
+    const auto cls = static_cast<isa::OpClass>(i);
+    j.set(isa::op_class_name(cls), c[cls]);
+  }
+  return j;
+}
+
+Json to_json(const swacc::StaticSummary& s) {
+  Json j = Json::object();
+  j.set("kernel", s.kernel);
+  j.set("params", to_json(s.params));
+  j.set("active_cpes", s.active_cpes);
+  j.set("core_groups", s.core_groups);
+  j.set("double_buffer", s.double_buffer);
+  Json mrt = Json::array();
+  for (const std::uint64_t m : s.dma_req_mrt) mrt.push_back(m);
+  j.set("dma_req_mrt", std::move(mrt));
+  j.set("n_gloads", s.n_gloads);
+  j.set("comp_cycles", s.comp_cycles);
+  j.set("inst_counts", to_json(s.inst_counts));
+  j.set("dma_bytes_requested", s.dma_bytes_requested);
+  j.set("dma_bytes_transferred", s.dma_bytes_transferred);
+  j.set("total_flops", s.total_flops);
+  return j;
+}
+
+Json to_json(const model::Prediction& p) {
+  Json j = Json::object();
+  j.set("t_total", p.t_total);
+  j.set("t_mem", p.t_mem);
+  j.set("t_dma", p.t_dma);
+  j.set("t_g", p.t_g);
+  j.set("t_comp", p.t_comp);
+  j.set("t_overlap", p.t_overlap);
+  j.set("t_dma_overlap", p.t_dma_overlap);
+  j.set("t_g_overlap", p.t_g_overlap);
+  j.set("double_buffer_saving", p.double_buffer_saving);
+  j.set("avg_mrt_dma", p.avg_mrt_dma);
+  j.set("l_avg_dma", p.l_avg_dma);
+  j.set("mrp_dma", p.mrp_dma);
+  j.set("ng_dma", p.ng_dma);
+  j.set("mrp_g", p.mrp_g);
+  j.set("ng_g", p.ng_g);
+  j.set("scenario", p.scenario);
+  j.set("avg_ilp", p.avg_ilp);
+  return j;
+}
+
+Json to_json(const model::RooflinePrediction& r) {
+  Json j = Json::object();
+  j.set("arithmetic_intensity", r.arithmetic_intensity);
+  j.set("attainable_gflops", r.attainable_gflops);
+  j.set("t_cycles", r.t_cycles);
+  j.set("memory_bound", r.memory_bound);
+  return j;
+}
+
+Json to_json(const model::Advice& a) {
+  Json j = Json::object();
+  j.set("optimization", a.optimization);
+  j.set("suggested", to_json(a.suggested));
+  j.set("closed_form_saving", a.closed_form_saving);
+  j.set("model_saving", a.model_saving);
+  j.set("saving_fraction", a.saving_fraction);
+  j.set("rationale", a.rationale);
+  return j;
+}
+
+Json to_json(const model::KernelReport& r) {
+  Json j = Json::object();
+  j.set("kernel", r.kernel);
+  j.set("params", to_json(r.params));
+  j.set("prediction", to_json(r.prediction));
+  j.set("roofline", to_json(r.roofline));
+  j.set("bottleneck", model::bottleneck_name(r.bottleneck));
+  j.set("dma_fraction", r.dma_fraction);
+  j.set("gload_fraction", r.gload_fraction);
+  j.set("comp_fraction", r.comp_fraction);
+  j.set("overlap_fraction", r.overlap_fraction);
+  j.set("dma_efficiency", r.dma_efficiency);
+  j.set("gflops", r.gflops);
+  j.set("roofline_fraction", r.roofline_fraction);
+  Json advice = Json::array();
+  for (const auto& a : r.advice) advice.push_back(to_json(a));
+  j.set("advice", std::move(advice));
+  return j;
+}
+
+Json to_json(const model::CalibratedParams& c) {
+  Json j = Json::object();
+  j.set("l_base_cycles", c.l_base_cycles);
+  j.set("delta_delay_cycles", c.delta_delay_cycles);
+  j.set("trans_service_cycles", c.trans_service_cycles);
+  j.set("mem_bw_gbps", c.mem_bw_gbps);
+  return j;
+}
+
+Json to_json(const sim::CpeStats& s) {
+  Json j = Json::object();
+  j.set("finish", s.finish);
+  j.set("comp", s.comp);
+  j.set("dma_wait", s.dma_wait);
+  j.set("gload_wait", s.gload_wait);
+  j.set("barrier_wait", s.barrier_wait);
+  j.set("dma_requests", s.dma_requests);
+  j.set("gload_requests", s.gload_requests);
+  return j;
+}
+
+Json to_json(const sim::SimResult& r) {
+  Json j = Json::object();
+  j.set("total_ticks", r.total_ticks);
+  j.set("total_cycles", r.total_cycles());
+  j.set("transactions", r.transactions);
+  j.set("mem_busy_ticks", r.mem_busy_ticks);
+  j.set("mem_idle_ticks", r.mem_idle_ticks);
+  j.set("avg_comp_cycles", r.avg_comp_cycles());
+  j.set("avg_dma_wait_cycles", r.avg_dma_wait_cycles());
+  j.set("avg_gload_wait_cycles", r.avg_gload_wait_cycles());
+  j.set("avg_barrier_wait_cycles", r.avg_barrier_wait_cycles());
+  Json cpes = Json::array();
+  for (const auto& c : r.cpes) cpes.push_back(to_json(c));
+  j.set("cpes", std::move(cpes));
+  return j;
+}
+
+Json to_json(const analysis::Diagnostic& d) {
+  Json j = Json::object();
+  j.set("severity", analysis::severity_name(d.severity));
+  j.set("code", d.code);
+  j.set("message", d.message);
+  j.set("fixit", d.fixit);
+  return j;
+}
+
+Json to_json(const analysis::Diagnostics& diags) {
+  Json arr = Json::array();
+  for (const auto& d : diags) arr.push_back(to_json(d));
+  return arr;
+}
+
+Json to_json(const tuning::TuningStats& s) {
+  Json j = Json::object();
+  j.set("evaluations", s.evaluations);
+  j.set("cache_hits", s.cache_hits);
+  j.set("cache_misses", s.cache_misses);
+  j.set("jobs", s.jobs);
+  return j;
+}
+
+Json to_json(const tuning::VariantResult& v) {
+  Json j = Json::object();
+  j.set("params", to_json(v.params));
+  j.set("predicted_cycles", v.predicted_cycles);
+  j.set("measured_cycles", v.measured_cycles);
+  return j;
+}
+
+Json to_json(const tuning::TuningResult& r) {
+  Json j = Json::object();
+  j.set("best", to_json(r.best));
+  j.set("best_measured_cycles", r.best_measured_cycles);
+  j.set("tuning_seconds", r.tuning_seconds);
+  j.set("host_seconds", r.host_seconds);
+  j.set("variants", r.variants);
+  j.set("stats", to_json(r.stats));
+  Json explored = Json::array();
+  for (const auto& v : r.explored) explored.push_back(to_json(v));
+  j.set("explored", std::move(explored));
+  return j;
+}
+
+}  // namespace swperf::serde

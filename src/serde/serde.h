@@ -1,0 +1,66 @@
+// JSON serialization of the pipeline's core types.
+//
+// One schema per type, documented in docs/PIPELINE.md.  Two contracts:
+//
+//   * Request-side types (swacc::KernelDesc, swacc::LaunchParams, and their
+//     parts) round-trip: `to_json(from_json(to_json(x)))` is byte-identical
+//     to `to_json(x)`, so kernels can be shipped to `swperf eval`, cached,
+//     and diffed as text.  from_json rejects unknown fields (typo safety)
+//     and type mismatches with sw::Error — never crashes.
+//   * Result-side types (StaticSummary, model::Prediction, sim::SimResult
+//     minus its trace, analysis::Diagnostics, tuning::TuningResult) have a
+//     deterministic to_json only: equal values render to equal bytes, which
+//     is what the golden-fixture regression tests pin.
+//
+// Field order is fixed and all fields are always emitted, so output is
+// diff-stable across runs and builds.
+#pragma once
+
+#include "analysis/diagnostic.h"
+#include "model/calibrate.h"
+#include "model/model.h"
+#include "model/report.h"
+#include "serde/json.h"
+#include "sim/machine.h"
+#include "swacc/kernel.h"
+#include "swacc/summary.h"
+#include "tuning/tuner.h"
+
+namespace swperf::serde {
+
+// ---- Request side: serialize + parse (round-trip guaranteed) --------------
+
+Json to_json(const swacc::LaunchParams& p);
+swacc::LaunchParams launch_params_from_json(const Json& j);
+
+Json to_json(const isa::Instr& i);
+isa::Instr instr_from_json(const Json& j);
+
+Json to_json(const isa::BasicBlock& b);
+isa::BasicBlock block_from_json(const Json& j);
+
+Json to_json(const swacc::ArrayRef& a);
+swacc::ArrayRef array_ref_from_json(const Json& j);
+
+Json to_json(const swacc::KernelDesc& k);
+swacc::KernelDesc kernel_desc_from_json(const Json& j);
+
+// ---- Result side: serialize only ------------------------------------------
+
+Json to_json(const isa::OpClassCounts& c);
+Json to_json(const swacc::StaticSummary& s);
+Json to_json(const model::Prediction& p);
+Json to_json(const model::RooflinePrediction& r);
+Json to_json(const model::Advice& a);
+Json to_json(const model::KernelReport& r);
+Json to_json(const model::CalibratedParams& c);
+/// The simulation result without its (optional, large) trace.
+Json to_json(const sim::CpeStats& s);
+Json to_json(const sim::SimResult& r);
+Json to_json(const analysis::Diagnostic& d);
+Json to_json(const analysis::Diagnostics& diags);
+Json to_json(const tuning::TuningStats& s);
+Json to_json(const tuning::VariantResult& v);
+Json to_json(const tuning::TuningResult& r);
+
+}  // namespace swperf::serde

@@ -1,0 +1,108 @@
+#!/bin/sh
+# The --json and `swperf eval` contract across every subcommand:
+#   * every --json surface emits parser-valid JSON (one document per line)
+#   * strict option parsing: non-numeric / trailing-garbage values exit 2
+#   * eval: 3-entry batch -> exit 0, one JSON result per entry;
+#     a failing entry -> exit 1 (batch continues); malformed or
+#     non-array requests -> exit 2
+#
+# Usage: json_cli_test.sh <path-to-swperf>
+set -u
+
+swperf="$1"
+failures=0
+workdir="${TMPDIR:-/tmp}/swperf_json_cli_$$"
+mkdir -p "$workdir"
+trap 'rm -rf "$workdir"' EXIT
+
+fail() {
+    echo "FAIL: $1" >&2
+    failures=$((failures + 1))
+}
+
+# Validates that stdin is one JSON document per line. Prefers python3,
+# falls back to jq, degrades to a shape check on bare images.
+json_valid() {
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c '
+import json, sys
+lines = [l for l in sys.stdin if l.strip()]
+assert lines, "no output"
+for l in lines:
+    json.loads(l)
+'
+    elif command -v jq >/dev/null 2>&1; then
+        jq -e . >/dev/null
+    else
+        grep -q '[{[]'
+    fi
+}
+
+# Expected line count of stdin (used to pin one-result-per-entry).
+line_count() {
+    grep -c . || true
+}
+
+# 1. Every --json subcommand emits valid JSON and exits 0.
+for cmd in "list" "report vecadd --small" "simulate vecadd --small" \
+           "tune vecadd --small" "timeline vecadd --small" \
+           "suite --small" "calibrate" "check vecadd" \
+           "check --list-codes"; do
+    # shellcheck disable=SC2086
+    out=$("$swperf" $cmd --json)
+    status=$?
+    [ "$status" -eq 0 ] || fail "swperf $cmd --json exited $status"
+    printf '%s\n' "$out" | json_valid || \
+        fail "swperf $cmd --json emitted invalid JSON"
+done
+
+# 2. Strict number parsing: garbage and trailing-garbage values are usage
+#    errors (exit 2), not silently-zero launches.
+"$swperf" simulate vecadd --tile garbage >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--tile garbage should exit 2"
+"$swperf" simulate vecadd --tile 64x >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--tile 64x should exit 2"
+"$swperf" simulate vecadd --tile -- -3 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "non-numeric --tile should exit 2"
+"$swperf" tune vecadd --small --jobs 1.5 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--jobs 1.5 should exit 2"
+
+# 3. eval: a 3-entry batch over stdin -> exit 0 and exactly 3 JSON lines.
+req='[{"kernel":"vecadd","scale":"small"},
+      {"kernel":"kmeans","scale":"small","stages":["check","model"]},
+      {"kernel":"vecadd","scale":"small","params":{"tile":64},
+       "stages":["sim"]}]'
+out=$(printf '%s' "$req" | "$swperf" eval)
+status=$?
+[ "$status" -eq 0 ] || fail "3-entry eval batch exited $status, expected 0"
+printf '%s\n' "$out" | json_valid || fail "eval batch emitted invalid JSON"
+n=$(printf '%s\n' "$out" | line_count)
+[ "$n" -eq 3 ] || fail "eval batch emitted $n lines, expected 3"
+
+# 4. eval reads from a file argument too.
+printf '%s' "$req" > "$workdir/req.json"
+"$swperf" eval "$workdir/req.json" >/dev/null
+[ $? -eq 0 ] || fail "eval from file should exit 0"
+
+# 5. A failing entry: still one JSON line per entry, exit 1.
+out=$(printf '[{"kernel":"vecadd","scale":"small","stages":["model"]},{"kernel":"nosuch"}]' | "$swperf" eval)
+status=$?
+[ "$status" -eq 1 ] || fail "eval with bad entry exited $status, expected 1"
+printf '%s\n' "$out" | json_valid || fail "failing eval emitted invalid JSON"
+printf '%s\n' "$out" | grep -q '"ok":false' || \
+    fail "failing entry should report \"ok\":false"
+
+# 6. Malformed requests are usage errors (exit 2), with nothing on stdout.
+out=$(printf 'not json' | "$swperf" eval 2>/dev/null)
+[ $? -eq 2 ] || fail "malformed eval request should exit 2"
+[ -z "$out" ] || fail "malformed eval request should print no results"
+printf '{"kernel":"vecadd"}' | "$swperf" eval >/dev/null 2>&1
+[ $? -eq 2 ] || fail "non-array eval request should exit 2"
+"$swperf" eval "$workdir/does_not_exist.json" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "missing eval request file should exit 2"
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures check(s) failed" >&2
+    exit 1
+fi
+echo "swperf --json and eval contracts hold"

@@ -1,0 +1,154 @@
+// pipeline::Session: the facade must be a pure refactor of the hand-rolled
+// desc -> lower -> {check, sim, model, tune} chains it replaced (identical
+// artifacts), plus the memoization and degenerate-input guarantees it adds.
+#include "pipeline/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "kernels/suite.h"
+#include "model/model.h"
+#include "serde/serde.h"
+#include "sim/machine.h"
+#include "swacc/lower.h"
+#include "tuning/tuner.h"
+
+namespace swperf::pipeline {
+namespace {
+
+kernels::KernelSpec small(const char* name) {
+  return kernels::make(name, kernels::Scale::kSmall);
+}
+
+TEST(RelativeError, MatchesDefinitionAndGuardsZeroActual) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90.0, 100.0), -0.1);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(relative_error(5.0, 0.0)));
+  EXPECT_GT(relative_error(5.0, 0.0), 0.0);
+}
+
+TEST(Session, LoweringIsMemoizedByContent) {
+  const auto spec = small("vecadd");
+  Session s;
+  const auto& a = s.lower(spec.desc, spec.tuned);
+  const auto& b = s.lower(spec.desc, spec.tuned);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(s.lowered_cached(), 1u);
+  // A structurally equal copy hits the same entry (content key, not
+  // object identity).
+  const auto copy = spec.desc;
+  EXPECT_EQ(&s.lower(copy, spec.tuned), &a);
+  EXPECT_EQ(s.lowered_cached(), 1u);
+  // Different params are a different entry.
+  auto other = spec.tuned;
+  other.unroll = spec.tuned.unroll == 1 ? 2 : 1;
+  s.lower(spec.desc, other);
+  EXPECT_EQ(s.lowered_cached(), 2u);
+}
+
+TEST(Session, SimulationIsMemoized) {
+  const auto spec = small("vecadd");
+  Session s;
+  const auto& a = s.simulate(spec.desc, spec.tuned);
+  const auto& b = s.simulate(spec.desc, spec.tuned);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(s.simulated_cached(), 1u);
+}
+
+TEST(Session, MatchesHandRolledChain) {
+  const auto spec = small("kmeans");
+  const auto arch = sw::ArchParams::sw26010();
+  Session s(arch);
+  const auto e = s.evaluate(spec.desc, spec.tuned);
+
+  const auto lk = swacc::lower(spec.desc, spec.tuned, arch);
+  const auto r = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+  const auto pred = model::PerfModel(arch).predict(lk.summary);
+
+  EXPECT_EQ(serde::to_json(e.lowered.summary).dump(),
+            serde::to_json(lk.summary).dump());
+  EXPECT_EQ(e.actual.total_ticks, r.total_ticks);
+  EXPECT_EQ(serde::to_json(e.predicted).dump(),
+            serde::to_json(pred).dump());
+  EXPECT_DOUBLE_EQ(e.error(),
+                   (pred.t_total - r.total_cycles()) / r.total_cycles());
+}
+
+TEST(Session, CheckMatchesCheckAll) {
+  const auto spec = small("vecadd");
+  Session s;
+  auto bad = spec.tuned;
+  bad.tile = 4;  // below dma_min_tile: SWD004 territory
+  const auto via_session = s.check(spec.desc, bad);
+  const auto direct = analysis::check_all(spec.desc, bad, s.arch());
+  EXPECT_EQ(serde::to_json(via_session).dump(),
+            serde::to_json(direct).dump());
+  EXPECT_FALSE(via_session.empty());
+}
+
+TEST(Session, SimulateTracedRecordsTraceWithoutMemoizing) {
+  const auto spec = small("vecadd");
+  Session s;
+  const auto traced = s.simulate_traced(spec.desc, spec.tuned);
+  EXPECT_FALSE(traced.trace.empty());
+  EXPECT_EQ(s.simulated_cached(), 0u);   // traces are one-shot
+  EXPECT_EQ(s.lowered_cached(), 1u);     // but the lowering is shared
+  // The memoized (trace-free) run agrees on timing.
+  EXPECT_EQ(s.simulate(spec.desc, spec.tuned).total_ticks,
+            traced.total_ticks);
+  EXPECT_TRUE(s.simulate(spec.desc, spec.tuned).trace.empty());
+}
+
+TEST(Session, TuneMatchesDirectTuner) {
+  const auto spec = small("vecadd");
+  Session s;
+  const auto space = tuning::SearchSpace::standard(spec.desc, s.arch());
+  const auto via_session = s.tune(spec.desc, space);
+  const auto direct = tuning::StaticTuner(s.arch()).tune(spec.desc, space);
+  EXPECT_EQ(serde::to_json(via_session.best).dump(),
+            serde::to_json(direct.best).dump());
+  EXPECT_EQ(via_session.variants, direct.variants);
+  EXPECT_DOUBLE_EQ(via_session.best_measured_cycles,
+                   direct.best_measured_cycles);
+}
+
+TEST(Session, ModelOptionsReachTheModel) {
+  const auto spec = small("vecadd");
+  model::ModelOptions no_overlap;
+  no_overlap.overlap = false;
+  Session with(sw::ArchParams::sw26010(), {});
+  Session without(sw::ArchParams::sw26010(), no_overlap);
+  const auto p0 = with.predict(spec.desc, spec.tuned);
+  const auto p1 = without.predict(spec.desc, spec.tuned);
+  EXPECT_DOUBLE_EQ(p1.t_overlap, 0.0);
+  EXPECT_GE(p1.t_total, p0.t_total);
+}
+
+TEST(Evaluation, JsonRecordIsCompleteAndFiniteErrorsOnly) {
+  const auto spec = small("vecadd");
+  Session s;
+  const auto e = s.evaluate(spec.desc, spec.tuned);
+  const auto j = to_json(e);
+  for (const char* key :
+       {"kernel", "params", "summary", "actual", "predicted", "error"}) {
+    EXPECT_TRUE(j.contains(key)) << key;
+  }
+  EXPECT_EQ(j.at("kernel").as_string(), spec.desc.name);
+  // The record re-parses and re-dumps identically (serde contract).
+  const std::string once = j.dump();
+  EXPECT_EQ(serde::Json::parse_or_throw(once).dump(), once);
+}
+
+TEST(Evaluation, InfiniteErrorSerializesAsNull) {
+  Evaluation e;  // zero-cycle actual, zero prediction
+  EXPECT_DOUBLE_EQ(e.error(), 0.0);
+  e.predicted.t_total = 5.0;
+  EXPECT_TRUE(std::isinf(e.error()));
+  EXPECT_TRUE(to_json(e).at("error").is_null());
+}
+
+}  // namespace
+}  // namespace swperf::pipeline

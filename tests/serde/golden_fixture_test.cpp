@@ -1,0 +1,84 @@
+// Golden JSON fixtures: the serde rendering of every fig6-suite kernel's
+// StaticSummary and model Prediction, pinned byte-for-byte against a
+// checked-in file.  This guards two things at once — the pipeline's
+// numbers (like tests/regression/golden_test.cpp) and the serialization
+// format itself (field order, number formatting, escaping).
+//
+// Refreshing after an intentional model/schema change:
+//   SWPERF_REGEN_GOLDEN=1 ctest -R SerdeGolden
+// then review the fixture diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "kernels/suite.h"
+#include "pipeline/session.h"
+#include "serde/serde.h"
+
+namespace {
+
+using namespace swperf;
+
+std::string fixture_path() {
+  return std::string(SWPERF_SERDE_GOLDEN_DIR) + "/fig6_small.jsonl";
+}
+
+/// One line per fig6 kernel: {"kernel","summary","prediction"}.
+std::vector<std::string> current_lines() {
+  pipeline::Session session;
+  std::vector<std::string> lines;
+  for (const auto& spec : kernels::fig6_suite(kernels::Scale::kSmall)) {
+    const auto& lowered = session.lower(spec.desc, spec.tuned);
+    const auto pred = session.predict(spec.desc, spec.tuned);
+    serde::Json j = serde::Json::object();
+    j.set("kernel", spec.desc.name);
+    j.set("summary", serde::to_json(lowered.summary));
+    j.set("prediction", serde::to_json(pred));
+    lines.push_back(j.dump());
+  }
+  return lines;
+}
+
+TEST(SerdeGolden, Fig6SummariesAndPredictionsPinned) {
+  const auto lines = current_lines();
+  ASSERT_FALSE(lines.empty());
+
+  if (const char* regen = std::getenv("SWPERF_REGEN_GOLDEN");
+      regen != nullptr && std::string(regen) == "1") {
+    std::ofstream out(fixture_path(), std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << fixture_path();
+    for (const auto& line : lines) out << line << '\n';
+    GTEST_SKIP() << "regenerated " << fixture_path();
+  }
+
+  std::ifstream in(fixture_path(), std::ios::binary);
+  ASSERT_TRUE(in) << "missing fixture " << fixture_path()
+                  << " (regenerate with SWPERF_REGEN_GOLDEN=1)";
+  std::vector<std::string> golden;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) golden.push_back(line);
+  }
+  ASSERT_EQ(golden.size(), lines.size())
+      << "fig6 suite size changed; regenerate the fixture";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i], golden[i]) << "fixture line " << i + 1;
+  }
+}
+
+TEST(SerdeGolden, FixtureLinesParseAndRoundTrip) {
+  // The checked-in fixture is itself serde-canonical: parsing a line and
+  // re-dumping it reproduces the line (the byte-stability contract).
+  std::ifstream in(fixture_path(), std::ios::binary);
+  if (!in) GTEST_SKIP() << "fixture not present";
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    const auto r = serde::Json::parse(line);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.value.dump(), line);
+  }
+}
+
+}  // namespace

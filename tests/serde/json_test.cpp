@@ -1,0 +1,178 @@
+// The serde JSON core: writer escaping/number formatting, the reader, and
+// the byte-level round-trip contract dump(parse(dump(x))) == dump(x).
+#include "serde/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "sw/error.h"
+
+namespace swperf::serde {
+namespace {
+
+std::string reparse_dump(const std::string& text) {
+  const auto r = Json::parse(text);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.value.dump();
+}
+
+// ---- Writer ---------------------------------------------------------------
+
+TEST(JsonWriter, ScalarsRenderCanonically) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(0).dump(), "0");
+  EXPECT_EQ(Json(-42).dump(), "-42");
+  EXPECT_EQ(Json(std::numeric_limits<std::uint64_t>::max()).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(Json(std::numeric_limits<std::int64_t>::min()).dump(),
+            "-9223372036854775808");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonWriter, StringEscapes) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("a\\b").dump(), "\"a\\\\b\"");
+  EXPECT_EQ(Json("\n\t\r\b\f").dump(), "\"\\n\\t\\r\\b\\f\"");
+  EXPECT_EQ(Json(std::string("\x01\x1f", 2)).dump(), "\"\\u0001\\u001f\"");
+  // Non-ASCII UTF-8 passes through untouched.
+  EXPECT_EQ(Json("μs").dump(), "\"μs\"");
+}
+
+TEST(JsonWriter, DoubleFormattingIsShortestRoundTrip) {
+  EXPECT_EQ(Json(0.5).dump(), "0.5");
+  EXPECT_EQ(Json(1.0 / 3.0).dump(), "0.3333333333333333");
+  EXPECT_EQ(Json(0.1).dump(), "0.1");
+  // A value that needs all 17 digits survives.
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(Json(v).dump()), v);
+  EXPECT_EQ(Json(0.0).dump(), "0");
+  EXPECT_EQ(Json(-0.0).dump(), "-0.0");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  // Normalized at construction, not just at dump time.
+  EXPECT_TRUE(Json(std::numeric_limits<double>::infinity()).is_null());
+}
+
+TEST(JsonWriter, ObjectsPreserveInsertionOrder) {
+  Json j = Json::object();
+  j.set("z", 1);
+  j.set("a", 2);
+  j.set("m", Json::array());
+  EXPECT_EQ(j.dump(), "{\"z\":1,\"a\":2,\"m\":[]}");
+}
+
+TEST(JsonWriter, NestedCompound) {
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  Json inner = Json::object();
+  inner.set("k", true);
+  arr.push_back(std::move(inner));
+  EXPECT_EQ(arr.dump(), "[1,\"two\",{\"k\":true}]");
+}
+
+// ---- Reader ---------------------------------------------------------------
+
+TEST(JsonReader, ParsesScalars) {
+  EXPECT_EQ(Json::parse_or_throw("null").type(), Json::Type::kNull);
+  EXPECT_TRUE(Json::parse_or_throw("true").as_bool());
+  EXPECT_EQ(Json::parse_or_throw("42").as_u64(), 42u);
+  EXPECT_EQ(Json::parse_or_throw("-7").as_i64(), -7);
+  EXPECT_DOUBLE_EQ(Json::parse_or_throw("2.5").as_double(), 2.5);
+  EXPECT_EQ(Json::parse_or_throw("\"x\"").as_string(), "x");
+}
+
+TEST(JsonReader, NumberClassification) {
+  // Integer tokens stay integers; any '.', 'e' or 'E' makes a double.
+  EXPECT_EQ(Json::parse_or_throw("5").type(), Json::Type::kUint);
+  EXPECT_EQ(Json::parse_or_throw("-5").type(), Json::Type::kInt);
+  EXPECT_EQ(Json::parse_or_throw("5.0").type(), Json::Type::kDouble);
+  EXPECT_EQ(Json::parse_or_throw("5e0").type(), Json::Type::kDouble);
+  // Out-of-range integers fall back to double instead of failing.
+  EXPECT_EQ(Json::parse_or_throw("99999999999999999999999").type(),
+            Json::Type::kDouble);
+}
+
+TEST(JsonReader, StringEscapesAndUnicode) {
+  EXPECT_EQ(Json::parse_or_throw("\"a\\\"b\\\\c\\n\"").as_string(),
+            "a\"b\\c\n");
+  EXPECT_EQ(Json::parse_or_throw("\"\\u0041\"").as_string(), "A");
+  // Surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(Json::parse_or_throw("\"\\ud83d\\ude00\"").as_string(),
+            "\xF0\x9F\x98\x80");
+  // Lone surrogates are malformed.
+  EXPECT_FALSE(Json::parse("\"\\ud83d\"").ok);
+}
+
+TEST(JsonReader, MalformedInputIsAnErrorNotACrash) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "nul", "01", "+1",
+        "1.2.3", "\"unterminated", "[1] trailing", "{\"a\":1,}", "[1,,2]",
+        "'single'", "\x01"}) {
+    const auto r = Json::parse(bad);
+    EXPECT_FALSE(r.ok) << "accepted: " << bad;
+    EXPECT_NE(r.error.find("offset"), std::string::npos) << r.error;
+  }
+}
+
+TEST(JsonReader, ParseOrThrowThrowsSwError) {
+  EXPECT_THROW(Json::parse_or_throw("{nope"), sw::Error);
+}
+
+TEST(JsonReader, DepthLimitRejectsAdversarialNesting) {
+  const std::string deep(4096, '[');
+  EXPECT_FALSE(Json::parse(deep).ok);
+}
+
+TEST(JsonReader, WhitespaceTolerant) {
+  const auto r = Json::parse(" \t\n{ \"a\" : [ 1 , 2 ] }\r\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.dump(), "{\"a\":[1,2]}");
+}
+
+// ---- Round trip -----------------------------------------------------------
+
+TEST(JsonRoundTrip, DumpParseDumpIsIdentity) {
+  for (const char* doc : {
+           "null",
+           "[-1,0,18446744073709551615,0.25,\"x\\ny\",true,null]",
+           "{\"b\":1,\"a\":{\"nested\":[{},[]]},\"c\":-0.0}",
+           "{\"unicode\":\"μs \\u0001\",\"neg\":-9223372036854775808}",
+       }) {
+    const std::string once = reparse_dump(doc);
+    EXPECT_EQ(reparse_dump(once), once) << doc;
+  }
+}
+
+// ---- Accessors ------------------------------------------------------------
+
+TEST(JsonAccessors, TypeMismatchesThrow) {
+  const Json j = Json::parse_or_throw("{\"s\":\"x\",\"n\":-1,\"d\":1.5}");
+  EXPECT_THROW(j.at("s").as_u64(), sw::Error);
+  EXPECT_THROW(j.at("n").as_u64(), sw::Error);  // negative
+  EXPECT_THROW(j.at("d").as_u64(), sw::Error);  // fractional
+  EXPECT_THROW(j.at("s").as_bool(), sw::Error);
+  EXPECT_THROW(j.at("missing"), sw::Error);
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_TRUE(j.contains("s"));
+}
+
+TEST(JsonAccessors, SizeAndItems) {
+  const Json j = Json::parse_or_throw("[1,2,3]");
+  EXPECT_EQ(j.size(), 3u);
+  EXPECT_EQ(j.items()[2].as_u64(), 3u);
+  EXPECT_EQ(Json(5).size(), 0u);
+}
+
+}  // namespace
+}  // namespace swperf::serde

@@ -1,0 +1,136 @@
+// Round-trip contract of the request-side schemas: for every suite kernel,
+// to_json(from_json(to_json(x))) is byte-identical to to_json(x), and a
+// round-tripped description drives the pipeline to the identical static
+// summary.  Malformed documents are rejected with sw::Error, never crashes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kernels/suite.h"
+#include "serde/serde.h"
+#include "sw/arch.h"
+#include "sw/error.h"
+#include "swacc/lower.h"
+
+namespace swperf::serde {
+namespace {
+
+TEST(SerdeRoundTrip, LaunchParamsByteIdentical) {
+  swacc::LaunchParams defaults;
+  swacc::LaunchParams full;
+  full.tile = 1024;
+  full.unroll = 8;
+  full.requested_cpes = 48;
+  full.double_buffer = true;
+  full.vector_width = 4;
+  full.coalesce_gloads = true;
+  for (const auto& p : {defaults, full}) {
+    const std::string once = to_json(p).dump();
+    const auto back = launch_params_from_json(Json::parse_or_throw(once));
+    EXPECT_EQ(to_json(back).dump(), once);
+  }
+}
+
+TEST(SerdeRoundTrip, EverySuiteKernelDescByteIdentical) {
+  for (const auto& name : kernels::suite_names()) {
+    const auto spec = kernels::make(name, kernels::Scale::kSmall);
+    const std::string once = to_json(spec.desc).dump();
+    const auto back = kernel_desc_from_json(Json::parse_or_throw(once));
+    EXPECT_EQ(to_json(back).dump(), once) << name;
+    // The tuned preset rides along in eval requests; it must survive too.
+    const std::string params_once = to_json(spec.tuned).dump();
+    EXPECT_EQ(
+        to_json(launch_params_from_json(Json::parse_or_throw(params_once)))
+            .dump(),
+        params_once)
+        << name;
+  }
+}
+
+TEST(SerdeRoundTrip, RoundTrippedDescLowersToIdenticalSummary) {
+  // Semantic (not just textual) equivalence: the deserialized kernel is
+  // the same program as far as the whole pipeline can observe.
+  const auto arch = sw::ArchParams::sw26010();
+  for (const auto& name : kernels::suite_names()) {
+    const auto spec = kernels::make(name, kernels::Scale::kSmall);
+    const auto back =
+        kernel_desc_from_json(Json::parse_or_throw(to_json(spec.desc).dump()));
+    const auto s0 = swacc::lower(spec.desc, spec.tuned, arch).summary;
+    const auto s1 = swacc::lower(back, spec.tuned, arch).summary;
+    EXPECT_EQ(to_json(s1).dump(), to_json(s0).dump()) << name;
+  }
+}
+
+TEST(SerdeRoundTrip, BasicBlockByteIdentical) {
+  const auto spec = kernels::make("kmeans", kernels::Scale::kSmall);
+  const std::string once = to_json(spec.desc.body).dump();
+  EXPECT_EQ(to_json(block_from_json(Json::parse_or_throw(once))).dump(),
+            once);
+}
+
+// ---- Malformed input: sw::Error, not UB -----------------------------------
+
+TEST(SerdeReject, UnknownFieldsAreTypoSafety) {
+  EXPECT_THROW(launch_params_from_json(Json::parse_or_throw(
+                   R"({"tile":8,"tiel":16})")),
+               sw::Error);
+  EXPECT_THROW(
+      kernel_desc_from_json(Json::parse_or_throw(R"({"name":"k","bogus":1})")),
+      sw::Error);
+  EXPECT_THROW(array_ref_from_json(Json::parse_or_throw(
+                   R"({"name":"A","direction":"in"})")),
+               sw::Error);
+  EXPECT_THROW(
+      instr_from_json(Json::parse_or_throw(R"({"op":"fadd","opcode":1})")),
+      sw::Error);
+}
+
+TEST(SerdeReject, TypeMismatches) {
+  EXPECT_THROW(launch_params_from_json(Json::parse_or_throw(
+                   R"({"tile":"many"})")),
+               sw::Error);
+  EXPECT_THROW(launch_params_from_json(Json::parse_or_throw(
+                   R"({"double_buffer":1})")),
+               sw::Error);
+  EXPECT_THROW(launch_params_from_json(Json::parse_or_throw("[]")),
+               sw::Error);
+  EXPECT_THROW(kernel_desc_from_json(Json::parse_or_throw("42")), sw::Error);
+}
+
+TEST(SerdeReject, MissingRequiredName) {
+  EXPECT_THROW(kernel_desc_from_json(Json::parse_or_throw(R"({"n_outer":4})")),
+               sw::Error);
+  EXPECT_THROW(array_ref_from_json(Json::parse_or_throw(R"({"dir":"in"})")),
+               sw::Error);
+}
+
+TEST(SerdeReject, BadEnumNames) {
+  EXPECT_THROW(array_ref_from_json(Json::parse_or_throw(
+                   R"({"name":"A","dir":"sideways"})")),
+               sw::Error);
+  EXPECT_THROW(array_ref_from_json(Json::parse_or_throw(
+                   R"({"name":"A","access":"random"})")),
+               sw::Error);
+  EXPECT_THROW(instr_from_json(Json::parse_or_throw(R"({"op":"frob"})")),
+               sw::Error);
+}
+
+TEST(SerdeReject, StructurallyInvalidValues) {
+  // Too many instruction sources.
+  EXPECT_THROW(instr_from_json(Json::parse_or_throw(
+                   R"({"op":"fadd","srcs":[1,2,3,4]})")),
+               sw::Error);
+  // uint32 overflow.
+  EXPECT_THROW(launch_params_from_json(Json::parse_or_throw(
+                   R"({"unroll":4294967296})")),
+               sw::Error);
+  // block_from_json runs BasicBlock::validate(): an instruction reading a
+  // register outside num_regs is a validation error, not a crash later.
+  EXPECT_THROW(block_from_json(Json::parse_or_throw(
+                   R"({"name":"b","num_regs":1,)"
+                   R"("instrs":[{"op":"fadd","dst":0,"srcs":[7,0,0]}]})")),
+               sw::Error);
+}
+
+}  // namespace
+}  // namespace swperf::serde

@@ -10,16 +10,34 @@
 //   swperf check    --list-codes         the diagnostic code catalogue
 //   swperf suite                         Fig.6-style accuracy sweep
 //   swperf calibrate                     microbenchmark Table I recovery
+//   swperf eval     [file]               batch evaluation of a JSON request
+//                                        ("-" or no file: read stdin); one
+//                                        JSON result per entry on stdout
 //
 // Options: --tile N  --unroll N  --cpes N  --db  --vw N  --coalesce
 //          --small (reduced problem size)  --empirical  --vector (tuning)
 //          --jobs N (tuning: parallel variant evaluation; results are
 //          bit-identical to --jobs 1 at any N; 0 = all hardware threads)
-//          --json  --Werror  --all  --list-codes (check)
+//          --json (structured output on any subcommand)  --Werror  --all
+//          --list-codes (check)
+//
+// Exit codes: 0 success; 1 failures (check findings, eval entry errors,
+// runtime errors); 2 usage errors and malformed input (bad option values,
+// unparsable eval requests).
+//
+// All kernel evaluation goes through pipeline::Session — the CLI owns no
+// lowering/simulation plumbing of its own — and every --json surface is
+// rendered by the serde writer, so escaping and number formatting are
+// uniform across subcommands.
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -27,12 +45,13 @@
 #include "kernels/suite.h"
 #include "model/calibrate.h"
 #include "model/report.h"
+#include "pipeline/session.h"
+#include "serde/serde.h"
 #include "sim/machine.h"
 #include "sim/trace.h"
 #include "sw/error.h"
 #include "sw/stats.h"
 #include "sw/table.h"
-#include "swacc/lower.h"
 #include "tuning/tuner.h"
 
 using namespace swperf;
@@ -41,7 +60,7 @@ namespace {
 
 struct Options {
   std::string command;
-  std::string kernel;
+  std::string kernel;  // for `eval`: the request file path ("-" = stdin)
   kernels::Scale scale = kernels::Scale::kFull;
   bool have_params = false;
   swacc::LaunchParams params;
@@ -58,10 +77,29 @@ struct Options {
   std::fprintf(
       stderr,
       "usage: swperf <list|report|simulate|tune|timeline|check|suite|"
-      "calibrate> [kernel] [--tile N] [--unroll N] [--cpes N] [--db] "
-      "[--vw N] [--coalesce] [--small] [--empirical] [--vector] "
+      "calibrate|eval> [kernel|file] [--tile N] [--unroll N] [--cpes N] "
+      "[--db] [--vw N] [--coalesce] [--small] [--empirical] [--vector] "
       "[--jobs N] [--json] [--Werror] [--all] [--list-codes]\n");
   std::exit(2);
+}
+
+/// Strict non-negative integer parsing: the whole token must be digits.
+/// "64x", "0x10", "-3", "" and " 64" are usage errors (exit 2), not
+/// silently-zero launches.
+std::uint64_t parse_u64(const char* what, const char* text) {
+  const bool starts_with_digit =
+      text != nullptr && std::isdigit(static_cast<unsigned char>(*text));
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v =
+      starts_with_digit ? std::strtoull(text, &end, 10) : 0;
+  if (!starts_with_digit || errno == ERANGE || *end != '\0') {
+    std::fprintf(stderr,
+                 "swperf: %s expects a non-negative integer, got '%s'\n",
+                 what, text == nullptr ? "" : text);
+    std::exit(2);
+  }
+  return v;
 }
 
 Options parse(int argc, char** argv) {
@@ -69,7 +107,12 @@ Options parse(int argc, char** argv) {
   Options o;
   o.command = argv[1];
   int i = 2;
-  if (i < argc && argv[i][0] != '-') o.kernel = argv[i++];
+  // The positional argument: a kernel name, or for `eval` the request
+  // file ("-" means stdin and is positional despite the leading dash).
+  if (i < argc &&
+      (argv[i][0] != '-' || std::strcmp(argv[i], "-") == 0)) {
+    o.kernel = argv[i++];
+  }
   for (; i < argc; ++i) {
     const std::string a = argv[i];
     auto next_u64 = [&](const char* what) -> std::uint64_t {
@@ -77,7 +120,7 @@ Options parse(int argc, char** argv) {
         std::fprintf(stderr, "missing value for %s\n", what);
         usage();
       }
-      return std::strtoull(argv[++i], nullptr, 10);
+      return parse_u64(what, argv[++i]);
     };
     if (a == "--tile") {
       o.params.tile = next_u64("--tile");
@@ -122,7 +165,26 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
-int cmd_list() {
+void print_json_line(const serde::Json& j) {
+  std::string out = j.dump();
+  out.push_back('\n');
+  std::fputs(out.c_str(), stdout);
+}
+
+int cmd_list(const Options& o) {
+  if (o.json) {
+    serde::Json arr = serde::Json::array();
+    for (const auto& name : kernels::suite_names()) {
+      const auto spec = kernels::make(name);
+      serde::Json j = serde::Json::object();
+      j.set("name", name);
+      j.set("irregular", spec.irregular);
+      j.set("notes", spec.notes);
+      arr.push_back(std::move(j));
+    }
+    print_json_line(arr);
+    return 0;
+  }
   for (const auto& name : kernels::suite_names()) {
     const auto spec = kernels::make(name);
     std::printf("%-14s %-9s %s\n", name.c_str(),
@@ -132,53 +194,66 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_report(const Options& o, const sw::ArchParams& arch) {
+int cmd_report(const Options& o, pipeline::Session& session) {
   const auto spec = kernels::make(o.kernel, o.scale);
   const auto params = o.have_params ? o.params : spec.tuned;
-  const model::PerfModel pm(arch);
-  std::cout << model::analyze(pm, spec.desc, params).to_string(arch);
+  const auto report = model::analyze(session.model(), spec.desc, params);
+  if (o.json) {
+    print_json_line(serde::to_json(report));
+    return 0;
+  }
+  std::cout << report.to_string(session.arch());
   return 0;
 }
 
-int cmd_simulate(const Options& o, const sw::ArchParams& arch) {
+int cmd_simulate(const Options& o, pipeline::Session& session) {
   const auto spec = kernels::make(o.kernel, o.scale);
   const auto params = o.have_params ? o.params : spec.tuned;
-  const auto lk = swacc::lower(spec.desc, params, arch);
-  const auto r = sim::simulate(lk.sim_config, lk.binary, lk.programs);
-  const auto pred = model::PerfModel(arch).predict(lk.summary);
+  const auto e = session.evaluate(spec.desc, params);
+  if (o.json) {
+    print_json_line(pipeline::to_json(e));
+    return 0;
+  }
+  const auto& arch = session.arch();
   std::printf("%s @ %s\n", o.kernel.c_str(), params.to_string().c_str());
   std::printf("simulated : %.1f us (%.0f cycles, %llu transactions)\n",
-              sw::cycles_to_us(r.total_cycles(), arch.freq_ghz),
-              r.total_cycles(),
-              static_cast<unsigned long long>(r.transactions));
-  std::printf("predicted : %.1f us (error %+.2f%%)\n",
-              pred.total_us(arch.freq_ghz),
-              100.0 * (pred.t_total - r.total_cycles()) / r.total_cycles());
+              e.actual_us(arch), e.actual_cycles(),
+              static_cast<unsigned long long>(e.actual.transactions));
+  std::printf("predicted : %.1f us (error %+.2f%%)\n", e.predicted_us(arch),
+              100.0 * e.error());
   std::printf("breakdown : comp %.1f us, dma wait %.1f us, gload %.1f us "
               "(per-CPE averages)\n",
-              sw::cycles_to_us(r.avg_comp_cycles(), arch.freq_ghz),
-              sw::cycles_to_us(r.avg_dma_wait_cycles(), arch.freq_ghz),
-              sw::cycles_to_us(r.avg_gload_wait_cycles(), arch.freq_ghz));
+              sw::cycles_to_us(e.actual.avg_comp_cycles(), arch.freq_ghz),
+              sw::cycles_to_us(e.actual.avg_dma_wait_cycles(), arch.freq_ghz),
+              sw::cycles_to_us(e.actual.avg_gload_wait_cycles(),
+                               arch.freq_ghz));
   return 0;
 }
 
-int cmd_tune(const Options& o, const sw::ArchParams& arch) {
+int cmd_tune(const Options& o, pipeline::Session& session) {
+  const auto& arch = session.arch();
   const auto spec = kernels::make(o.kernel, o.scale);
   const auto space =
       o.vector_space
           ? tuning::SearchSpace::with_vectorization(spec.desc, arch)
           : tuning::SearchSpace::standard(spec.desc, arch);
-  const auto naive_lk = swacc::lower(spec.desc, spec.naive, arch);
   const double naive =
-      sim::simulate(naive_lk.sim_config, naive_lk.binary, naive_lk.programs)
-          .total_cycles();
+      session.simulate(spec.desc, spec.naive).total_cycles();
   tuning::TuningOptions topt;
   topt.jobs = o.jobs;
-  tuning::TuningResult r;
-  if (o.empirical) {
-    r = tuning::EmpiricalTuner(arch, {}, topt).tune(spec.desc, space);
-  } else {
-    r = tuning::StaticTuner(arch, {}, topt).tune(spec.desc, space);
+  const auto r = session.tune(spec.desc, space, o.empirical, topt);
+  // naive / best is +inf for a degenerate zero-cycle best; the JSON
+  // writer renders that as null, the text path prints "inf".
+  const double speedup = naive / r.best_measured_cycles;
+  if (o.json) {
+    serde::Json j = serde::Json::object();
+    j.set("kernel", o.kernel);
+    j.set("mode", o.empirical ? "empirical" : "static");
+    j.set("naive_cycles", naive);
+    j.set("speedup", speedup);
+    j.set("result", serde::to_json(r));
+    print_json_line(j);
+    return 0;
   }
   std::printf("%s tuning of %s over %zu variants (%u jobs)\n",
               o.empirical ? "empirical" : "static", o.kernel.c_str(),
@@ -187,8 +262,7 @@ int cmd_tune(const Options& o, const sw::ArchParams& arch) {
               "hw-equivalent, %.2f s host\n",
               r.best.to_string().c_str(),
               sw::cycles_to_us(r.best_measured_cycles, arch.freq_ghz),
-              naive / r.best_measured_cycles, r.tuning_seconds,
-              r.host_seconds);
+              speedup, r.tuning_seconds, r.host_seconds);
   std::printf("cache: %llu evaluations, %llu hits / %llu misses\n",
               static_cast<unsigned long long>(r.stats.evaluations),
               static_cast<unsigned long long>(r.stats.cache_hits),
@@ -196,33 +270,51 @@ int cmd_tune(const Options& o, const sw::ArchParams& arch) {
   return 0;
 }
 
-int cmd_timeline(const Options& o, const sw::ArchParams& arch) {
+int cmd_timeline(const Options& o, pipeline::Session& session) {
   const auto spec = kernels::make(o.kernel, o.scale);
   const auto params = o.have_params ? o.params : spec.tuned;
-  auto lk = swacc::lower(spec.desc, params, arch);
-  lk.sim_config.trace = true;
-  const auto r = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+  const auto r = session.simulate_traced(spec.desc, params);
+  if (o.json) {
+    // The structured view of a timeline run is the (trace-free) result;
+    // the trace itself is an ASCII rendering concern.
+    serde::Json j = serde::Json::object();
+    j.set("kernel", o.kernel);
+    j.set("params", serde::to_json(params));
+    j.set("actual", serde::to_json(r));
+    print_json_line(j);
+    return 0;
+  }
   std::cout << sim::render_timeline(r.trace, 110);
   return 0;
 }
 
-int cmd_suite(const sw::ArchParams& arch) {
-  const model::PerfModel pm(arch);
+int cmd_suite(const Options& o, pipeline::Session& session) {
+  const auto& arch = session.arch();
   sw::ErrorAccumulator acc;
-  std::printf("%-14s %10s %10s %8s\n", "kernel", "actual us", "pred us",
-              "error");
-  for (const auto& spec : kernels::fig6_suite()) {
-    const auto lk = swacc::lower(spec.desc, spec.tuned, arch);
-    const auto r = sim::simulate(lk.sim_config, lk.binary, lk.programs);
-    const auto pred = pm.predict(lk.summary);
-    acc.add(pred.t_total, r.total_cycles());
-    std::printf("%-14s %10.1f %10.1f %7.1f%%\n", spec.desc.name.c_str(),
-                sw::cycles_to_us(r.total_cycles(), arch.freq_ghz),
-                pred.total_us(arch.freq_ghz),
-                100.0 * std::abs(pred.t_total - r.total_cycles()) /
-                    r.total_cycles());
+  if (!o.json) {
+    std::printf("%-14s %10s %10s %8s\n", "kernel", "actual us", "pred us",
+                "error");
   }
-  std::printf("average |error|: %.1f%%\n", 100.0 * acc.mean_error());
+  for (const auto& spec : kernels::fig6_suite(o.scale)) {
+    const auto e = session.evaluate(spec.desc, spec.tuned);
+    acc.add(e.predicted.t_total, e.actual_cycles());
+    if (o.json) {
+      print_json_line(pipeline::to_json(e));
+      continue;
+    }
+    std::printf("%-14s %10.1f %10.1f %7.1f%%\n", spec.desc.name.c_str(),
+                e.actual_us(arch), e.predicted_us(arch),
+                100.0 * std::abs(e.error()));
+  }
+  if (o.json) {
+    serde::Json j = serde::Json::object();
+    j.set("kernels", acc.count());
+    j.set("mean_abs_error", acc.mean_error());
+    j.set("max_abs_error", acc.max_error());
+    print_json_line(j);
+  } else {
+    std::printf("average |error|: %.1f%%\n", 100.0 * acc.mean_error());
+  }
   return 0;
 }
 
@@ -237,8 +329,10 @@ int check_status(const analysis::Diagnostics& diags, bool werror) {
 void print_diags(const std::string& kernel,
                  const analysis::Diagnostics& diags, bool json) {
   if (json) {
-    std::printf("{\"kernel\": \"%s\", \"diagnostics\": %s}\n",
-                kernel.c_str(), analysis::to_json(diags).c_str());
+    serde::Json j = serde::Json::object();
+    j.set("kernel", kernel);
+    j.set("diagnostics", serde::to_json(diags));
+    print_json_line(j);
     return;
   }
   for (const auto& d : diags) {
@@ -247,8 +341,21 @@ void print_diags(const std::string& kernel,
   if (diags.empty()) std::printf("%s: clean\n", kernel.c_str());
 }
 
-int cmd_check(const Options& o, const sw::ArchParams& arch) {
+int cmd_check(const Options& o, pipeline::Session& session) {
   if (o.list_codes) {
+    if (o.json) {
+      serde::Json arr = serde::Json::array();
+      for (const auto& c : analysis::diagnostic_catalog()) {
+        serde::Json j = serde::Json::object();
+        j.set("code", c.code);
+        j.set("severity", analysis::severity_name(c.severity));
+        j.set("paper", c.paper_ref);
+        j.set("summary", c.summary);
+        arr.push_back(std::move(j));
+      }
+      print_json_line(arr);
+      return 0;
+    }
     std::printf("%-8s %-8s %-12s %s\n", "code", "severity", "paper",
                 "summary");
     for (const auto& c : analysis::diagnostic_catalog()) {
@@ -270,15 +377,19 @@ int cmd_check(const Options& o, const sw::ArchParams& arch) {
   for (const auto& name : names) {
     const auto spec = kernels::make(name, o.scale);
     const auto params = o.have_params ? o.params : spec.tuned;
-    const auto diags = analysis::check_all(spec.desc, params, arch);
+    const auto diags = session.check(spec.desc, params);
     print_diags(name, diags, o.json);
     status = std::max(status, check_status(diags, o.werror));
   }
   return status;
 }
 
-int cmd_calibrate(const sw::ArchParams& arch) {
+int cmd_calibrate(const Options& o, const sw::ArchParams& arch) {
   const auto c = model::calibrate(arch);
+  if (o.json) {
+    print_json_line(serde::to_json(c));
+    return 0;
+  }
   std::printf("L_base      : %.1f cycles\n", c.l_base_cycles);
   std::printf("Delta_delay : %.1f cycles\n", c.delta_delay_cycles);
   std::printf("mem_bw      : %.1f GB/s\n", c.mem_bw_gbps);
@@ -286,21 +397,150 @@ int cmd_calibrate(const sw::ArchParams& arch) {
   return 0;
 }
 
+// ---- swperf eval: batch evaluation service --------------------------------
+//
+// Request: a JSON array of entries
+//   { "kernel": "<suite name>" | {KernelDesc object},
+//     "scale":  "small" | "full"            (named kernels; default full),
+//     "params": {LaunchParams object}       (default: tuned preset for
+//                                            named kernels, defaults for
+//                                            inline descriptions),
+//     "stages": ["check","sim","model","tune"]  (default check+sim+model) }
+// Response: one JSON object per entry, in order. Entries that fail report
+// {"kernel":..., "ok": false, "message": ...} without aborting the batch.
+
+serde::Json eval_entry(const serde::Json& entry, pipeline::Session& session,
+                       bool& failed) {
+  std::string name = "?";
+  try {
+    if (!entry.is_object()) {
+      throw sw::Error("eval entry must be a JSON object");
+    }
+    kernels::Scale scale = kernels::Scale::kFull;
+    if (const auto* sj = entry.find("scale")) {
+      const std::string& s = sj->as_string();
+      if (s == "small") {
+        scale = kernels::Scale::kSmall;
+      } else if (s != "full") {
+        throw sw::Error("unknown scale '" + s +
+                        "' (expected \"small\" or \"full\")");
+      }
+    }
+    swacc::KernelDesc desc;
+    swacc::LaunchParams params;
+    const serde::Json& kj = entry.at("kernel");
+    if (kj.is_string()) {
+      const auto spec = kernels::make(kj.as_string(), scale);
+      desc = spec.desc;
+      params = spec.tuned;
+    } else {
+      desc = serde::kernel_desc_from_json(kj);
+    }
+    name = desc.name;
+    if (const auto* pj = entry.find("params")) {
+      params = serde::launch_params_from_json(*pj);
+    }
+    std::vector<std::string> stages = {"check", "sim", "model"};
+    if (const auto* sj = entry.find("stages")) {
+      stages.clear();
+      for (const auto& s : sj->items()) stages.push_back(s.as_string());
+    }
+    serde::Json out = serde::Json::object();
+    out.set("kernel", name);
+    out.set("ok", true);
+    out.set("params", serde::to_json(params));
+    bool did_sim = false;
+    bool did_model = false;
+    for (const auto& stage : stages) {
+      if (stage == "check") {
+        out.set("check", serde::to_json(session.check(desc, params)));
+      } else if (stage == "sim") {
+        out.set("actual", serde::to_json(session.simulate(desc, params)));
+        did_sim = true;
+      } else if (stage == "model") {
+        out.set("predicted", serde::to_json(session.predict(desc, params)));
+        did_model = true;
+      } else if (stage == "tune") {
+        const auto space =
+            tuning::SearchSpace::standard(desc, session.arch());
+        out.set("tune", serde::to_json(session.tune(desc, space)));
+      } else {
+        throw sw::Error("unknown stage '" + stage +
+                        "' (expected check, sim, model or tune)");
+      }
+    }
+    if (did_sim || did_model) {
+      out.set("summary", serde::to_json(session.lower(desc, params).summary));
+    }
+    if (did_sim && did_model) {
+      out.set("error",
+              pipeline::relative_error(
+                  session.predict(desc, params).t_total,
+                  session.simulate(desc, params).total_cycles()));
+    }
+    return out;
+  } catch (const sw::Error& e) {
+    failed = true;
+    serde::Json out = serde::Json::object();
+    out.set("kernel", name);
+    out.set("ok", false);
+    out.set("message", e.what());
+    return out;
+  }
+}
+
+int cmd_eval(const Options& o, pipeline::Session& session) {
+  std::string text;
+  if (o.kernel.empty() || o.kernel == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    std::ifstream in(o.kernel, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "swperf: cannot open eval request '%s'\n",
+                   o.kernel.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+  const auto parsed = serde::Json::parse(text);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "swperf: malformed eval request: %s\n",
+                 parsed.error.c_str());
+    return 2;
+  }
+  if (!parsed.value.is_array()) {
+    std::fprintf(stderr,
+                 "swperf: eval request must be a JSON array of entries\n");
+    return 2;
+  }
+  bool failed = false;
+  for (const auto& entry : parsed.value.items()) {
+    print_json_line(eval_entry(entry, session, failed));
+  }
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto o = parse(argc, argv);
   const auto arch = sw::ArchParams::sw26010();
+  pipeline::Session session(arch);
   try {
-    if (o.command == "list") return cmd_list();
-    if (o.command == "suite") return cmd_suite(arch);
-    if (o.command == "calibrate") return cmd_calibrate(arch);
-    if (o.command == "check") return cmd_check(o, arch);
+    if (o.command == "list") return cmd_list(o);
+    if (o.command == "suite") return cmd_suite(o, session);
+    if (o.command == "calibrate") return cmd_calibrate(o, arch);
+    if (o.command == "check") return cmd_check(o, session);
+    if (o.command == "eval") return cmd_eval(o, session);
     if (o.kernel.empty()) usage();
-    if (o.command == "report") return cmd_report(o, arch);
-    if (o.command == "simulate") return cmd_simulate(o, arch);
-    if (o.command == "tune") return cmd_tune(o, arch);
-    if (o.command == "timeline") return cmd_timeline(o, arch);
+    if (o.command == "report") return cmd_report(o, session);
+    if (o.command == "simulate") return cmd_simulate(o, session);
+    if (o.command == "tune") return cmd_tune(o, session);
+    if (o.command == "timeline") return cmd_timeline(o, session);
   } catch (const sw::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
