@@ -1,0 +1,465 @@
+// Event-core throughput bench: fast engine vs. reference engine, plus
+// tuning-campaign throughput with the two-level evaluation cache.
+//
+// Unlike the paper-figure benches this one measures *this repo's own*
+// simulator, not the modeled machine: it exists to pin the speedup of the
+// fast-path event core (DMA trains + bucketed queue + uncontended
+// fast-forward, src/sim/machine.cpp) and of pre-lowering memoization
+// (src/tuning/eval_cache.h) against the pre-fast-path baseline that
+// sim::simulate_reference() preserves.  docs/PERF.md documents the
+// methodology; bench/BENCH_sim.json checks in one measured run.
+//
+// Modes:
+//   bench_sim_throughput                 full measurement, human-readable
+//   bench_sim_throughput --out FILE      ... and write the JSON record
+//   bench_sim_throughput --smoke         seconds-fast correctness pass:
+//                                        bit-identity vs. the reference
+//                                        engine, counters nonzero, warm
+//                                        cache skips every lowering
+//   bench_sim_throughput --check FILE    validate FILE against the
+//                                        BENCH_sim.json schema
+// --smoke and --check compose; the perf_smoke ctest runs both.
+//
+// Throughput convention: "events/sec" for BOTH engines uses the
+// *reference* engine's event count as the numerator (divided by each
+// engine's own wall time), so fast/reference events-per-sec ratios equal
+// wall-clock speedup.  Each engine's own events_popped is recorded too —
+// the fast engine pops far fewer events for the same simulated work, which
+// is the point.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "kernels/suite.h"
+#include "mem/request.h"
+#include "serde/json.h"
+#include "sim/machine.h"
+#include "sim/program.h"
+#include "tuning/space.h"
+#include "tuning/tuner.h"
+
+namespace {
+
+using namespace swperf;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// ---- Workloads -------------------------------------------------------------
+
+struct Workload {
+  std::string name;
+  std::string description;
+  sim::SimConfig cfg;
+  sim::KernelBinary binary;
+  std::vector<sim::CpeProgram> programs;
+};
+
+/// One CPE issuing `requests` blocking DMA reads of `kb` KB each.  With a
+/// single stream the memory controller is uncontended, so the fast engine
+/// grants every train analytically (one event per request instead of ~4
+/// heap operations per 256-B transaction in the reference engine).
+Workload dma_train_uncontended(std::uint64_t requests, std::uint64_t kb) {
+  Workload w;
+  w.name = "dma_train_uncontended";
+  std::ostringstream d;
+  d << "1 CPE, " << requests << " blocking " << kb
+    << " KB DMA reads (fast-forward fires on every train)";
+  w.description = d.str();
+  mem::DmaRequest req;
+  req.segs = {{kb * 1024, 1}};
+  req.dir = mem::Direction::kRead;
+  sim::CpeProgram p;
+  for (std::uint64_t i = 0; i < requests; ++i) p.dma(req);
+  w.programs.push_back(std::move(p));
+  return w;
+}
+
+/// `cpes` CPEs issuing interleaved blocking DMA reads.  Streams overlap at
+/// the controller, so fast-forward rarely fires; this isolates the gain
+/// from train events + the bucketed queue alone.
+Workload dma_train_contended(std::uint32_t cpes, std::uint64_t requests,
+                             std::uint64_t kb) {
+  Workload w;
+  w.name = "dma_train_contended";
+  std::ostringstream d;
+  d << cpes << " CPEs x " << requests << " blocking " << kb
+    << " KB DMA reads (overlapping streams, fast-forward mostly guarded "
+       "off)";
+  w.description = d.str();
+  mem::DmaRequest req;
+  req.segs = {{kb * 1024, 1}};
+  req.dir = mem::Direction::kRead;
+  for (std::uint32_t c = 0; c < cpes; ++c) {
+    sim::CpeProgram p;
+    p.delay(c * 37);  // stagger starts so arrivals interleave, not stack
+    for (std::uint64_t i = 0; i < requests; ++i) p.dma(req);
+    w.programs.push_back(std::move(p));
+  }
+  return w;
+}
+
+// ---- Engine measurement ----------------------------------------------------
+
+struct EngineRun {
+  double host_seconds = 0.0;
+  sim::SimResult result;
+};
+
+template <typename SimulateFn>
+EngineRun time_engine(const Workload& w, SimulateFn&& simulate, int reps) {
+  EngineRun best;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    sim::SimResult res = simulate(w.cfg, w.binary, w.programs);
+    const double s = seconds_since(t0);
+    if (r == 0 || s < best.host_seconds) {
+      best.host_seconds = s;
+      best.result = std::move(res);
+    }
+  }
+  return best;
+}
+
+serde::Json engine_json(const EngineRun& run, std::uint64_t ref_events) {
+  serde::Json j = serde::Json::object();
+  j.set("host_seconds", run.host_seconds);
+  j.set("events_popped", run.result.counters.events_popped);
+  j.set("events_per_sec",
+        run.host_seconds > 0.0
+            ? static_cast<double>(ref_events) / run.host_seconds
+            : 0.0);
+  j.set("heap_pushes_avoided", run.result.counters.heap_pushes_avoided);
+  j.set("dma_trains", run.result.counters.dma_trains);
+  j.set("trains_fast_forwarded", run.result.counters.trains_fast_forwarded);
+  j.set("ff_transactions", run.result.counters.ff_transactions);
+  return j;
+}
+
+/// Bit-identity between the two engines on everything but counters.
+bool same_result(const sim::SimResult& a, const sim::SimResult& b,
+                 std::string* why) {
+  auto fail = [&](const char* what) {
+    if (why != nullptr) *why = what;
+    return false;
+  };
+  if (a.total_ticks != b.total_ticks) return fail("total_ticks");
+  if (a.transactions != b.transactions) return fail("transactions");
+  if (a.mem_busy_ticks != b.mem_busy_ticks) return fail("mem_busy_ticks");
+  if (a.mem_idle_ticks != b.mem_idle_ticks) return fail("mem_idle_ticks");
+  if (a.cpes.size() != b.cpes.size()) return fail("cpes.size");
+  for (std::size_t i = 0; i < a.cpes.size(); ++i) {
+    const sim::CpeStats& x = a.cpes[i];
+    const sim::CpeStats& y = b.cpes[i];
+    if (x.finish != y.finish || x.comp != y.comp ||
+        x.dma_wait != y.dma_wait || x.gload_wait != y.gload_wait ||
+        x.barrier_wait != y.barrier_wait ||
+        x.dma_requests != y.dma_requests ||
+        x.gload_requests != y.gload_requests) {
+      return fail("cpes[i]");
+    }
+  }
+  return true;
+}
+
+serde::Json measure_workload(const Workload& w, int reps, bool* ok) {
+  EngineRun ref = time_engine(w, sim::simulate_reference, reps);
+  EngineRun fast = time_engine(w, sim::simulate, reps);
+
+  std::string why;
+  if (!same_result(ref.result, fast.result, &why)) {
+    std::fprintf(stderr, "FAIL %s: engines disagree on %s\n", w.name.c_str(),
+                 why.c_str());
+    *ok = false;
+  }
+
+  const std::uint64_t ref_events = ref.result.counters.events_popped;
+  const double speedup = fast.host_seconds > 0.0
+                             ? ref.host_seconds / fast.host_seconds
+                             : 0.0;
+  std::printf("%-24s %12llu ref events\n",
+              w.name.c_str(),
+              static_cast<unsigned long long>(ref_events));
+  std::printf("  reference: %8.3f ms  %10.2f Mevents/s\n",
+              ref.host_seconds * 1e3,
+              ref_events / ref.host_seconds / 1e6);
+  std::printf(
+      "  fast:      %8.3f ms  %10.2f Mevents/s  (popped %llu, trains %llu, "
+      "ff %llu)\n",
+      fast.host_seconds * 1e3, ref_events / fast.host_seconds / 1e6,
+      static_cast<unsigned long long>(fast.result.counters.events_popped),
+      static_cast<unsigned long long>(fast.result.counters.dma_trains),
+      static_cast<unsigned long long>(
+          fast.result.counters.trains_fast_forwarded));
+  std::printf("  speedup:   %8.2fx\n\n", speedup);
+
+  serde::Json j = serde::Json::object();
+  j.set("name", w.name);
+  j.set("description", w.description);
+  j.set("simulated_ticks", ref.result.total_ticks);
+  j.set("reference", engine_json(ref, ref_events));
+  j.set("fast", engine_json(fast, ref_events));
+  j.set("speedup", speedup);
+  return j;
+}
+
+// ---- Tuning throughput -----------------------------------------------------
+
+serde::Json measure_tuning(bool smoke, bool* ok) {
+  const kernels::KernelSpec spec = kernels::make("vecadd", kernels::Scale::kSmall);
+  const sw::ArchParams arch = sw::ArchParams::sw26010();
+  const tuning::SearchSpace space =
+      tuning::SearchSpace::standard(spec.desc, arch);
+
+  tuning::TuningOptions opts;
+  opts.jobs = smoke ? 2 : 8;
+  opts.cache = std::make_shared<tuning::EvalCache>();
+  const tuning::StaticTuner tuner(arch, {}, opts);
+
+  const tuning::TuningResult cold = tuner.tune(spec.desc, space);
+  const tuning::TuningResult warm = tuner.tune(spec.desc, space);
+
+  // The whole point of the pre-lowering key: a warm cache must skip
+  // swacc::lower() on every evaluation, not just skip the model.
+  if (warm.stats.cache_hits != warm.stats.evaluations ||
+      warm.stats.lowers_skipped != warm.stats.cache_hits) {
+    std::fprintf(stderr,
+                 "FAIL tuning: warm run evals=%llu hits=%llu "
+                 "lowers_skipped=%llu (want all equal)\n",
+                 static_cast<unsigned long long>(warm.stats.evaluations),
+                 static_cast<unsigned long long>(warm.stats.cache_hits),
+                 static_cast<unsigned long long>(warm.stats.lowers_skipped));
+    *ok = false;
+  }
+  if (cold.best.tile != warm.best.tile ||
+      cold.best_measured_cycles != warm.best_measured_cycles) {
+    std::fprintf(stderr, "FAIL tuning: warm result differs from cold\n");
+    *ok = false;
+  }
+
+  auto run_json = [](const tuning::TuningResult& r) {
+    serde::Json j = serde::Json::object();
+    j.set("host_seconds", r.host_seconds);
+    j.set("variants", static_cast<std::uint64_t>(r.variants));
+    j.set("variants_per_sec",
+          r.host_seconds > 0.0
+              ? static_cast<double>(r.variants) / r.host_seconds
+              : 0.0);
+    j.set("cache_hits", r.stats.cache_hits);
+    j.set("lowers_skipped", r.stats.lowers_skipped);
+    return j;
+  };
+
+  std::printf("tuning (vecadd, %zu variants, jobs=%d)\n", cold.variants,
+              opts.jobs);
+  std::printf("  cold: %8.3f ms  %10.1f variants/s\n",
+              cold.host_seconds * 1e3, cold.variants / cold.host_seconds);
+  std::printf("  warm: %8.3f ms  %10.1f variants/s  (%llu lowerings "
+              "skipped)\n\n",
+              warm.host_seconds * 1e3, warm.variants / warm.host_seconds,
+              static_cast<unsigned long long>(warm.stats.lowers_skipped));
+
+  serde::Json j = serde::Json::object();
+  j.set("kernel", std::string("vecadd"));
+  j.set("jobs", static_cast<std::uint64_t>(opts.jobs));
+  j.set("cold", run_json(cold));
+  j.set("warm", run_json(warm));
+  return j;
+}
+
+// ---- Smoke correctness pass ------------------------------------------------
+
+bool smoke_pass() {
+  bool ok = true;
+
+  // Uncontended: every train must fast-forward, and the fast engine must
+  // agree with the reference bit for bit.
+  {
+    const Workload w = dma_train_uncontended(64, 8);
+    const sim::SimResult ref =
+        sim::simulate_reference(w.cfg, w.binary, w.programs);
+    const sim::SimResult fast = sim::simulate(w.cfg, w.binary, w.programs);
+    std::string why;
+    if (!same_result(ref, fast, &why)) {
+      std::fprintf(stderr, "FAIL smoke uncontended: mismatch on %s\n",
+                   why.c_str());
+      ok = false;
+    }
+    const sim::SimCounters& c = fast.counters;
+    if (c.events_popped == 0 || c.dma_trains == 0 ||
+        c.trains_fast_forwarded == 0 || c.ff_transactions == 0 ||
+        c.heap_pushes_avoided == 0) {
+      std::fprintf(stderr,
+                   "FAIL smoke uncontended: counter unexpectedly zero "
+                   "(popped=%llu trains=%llu ff=%llu ff_tx=%llu "
+                   "avoided=%llu)\n",
+                   static_cast<unsigned long long>(c.events_popped),
+                   static_cast<unsigned long long>(c.dma_trains),
+                   static_cast<unsigned long long>(c.trains_fast_forwarded),
+                   static_cast<unsigned long long>(c.ff_transactions),
+                   static_cast<unsigned long long>(c.heap_pushes_avoided));
+      ok = false;
+    }
+    if (ref.counters.events_popped <= fast.counters.events_popped) {
+      std::fprintf(stderr,
+                   "FAIL smoke uncontended: fast engine popped as many "
+                   "events as the reference\n");
+      ok = false;
+    }
+  }
+
+  // Contended: streams overlap, identity must still hold.
+  {
+    const Workload w = dma_train_contended(8, 24, 4);
+    const sim::SimResult ref =
+        sim::simulate_reference(w.cfg, w.binary, w.programs);
+    const sim::SimResult fast = sim::simulate(w.cfg, w.binary, w.programs);
+    std::string why;
+    if (!same_result(ref, fast, &why)) {
+      std::fprintf(stderr, "FAIL smoke contended: mismatch on %s\n",
+                   why.c_str());
+      ok = false;
+    }
+  }
+
+  bool tuning_ok = true;
+  (void)measure_tuning(/*smoke=*/true, &tuning_ok);
+  ok = ok && tuning_ok;
+
+  std::printf("smoke: %s\n", ok ? "OK" : "FAILED");
+  return ok;
+}
+
+// ---- BENCH_sim.json schema check -------------------------------------------
+
+bool check_engine_obj(const serde::Json& e, const char* where) {
+  for (const char* f :
+       {"host_seconds", "events_popped", "events_per_sec",
+        "heap_pushes_avoided", "dma_trains", "trains_fast_forwarded",
+        "ff_transactions"}) {
+    if (!e.contains(f) || !e.at(f).is_number()) {
+      std::fprintf(stderr, "FAIL check: %s.%s missing or not a number\n",
+                   where, f);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool check_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "FAIL check: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  serde::Json j;
+  try {
+    j = serde::Json::parse_or_throw(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL check: %s does not parse: %s\n", path.c_str(),
+                 e.what());
+    return false;
+  }
+  if (!j.contains("schema") ||
+      j.at("schema").as_string() != "swperf-bench-sim/v1") {
+    std::fprintf(stderr, "FAIL check: bad or missing schema tag\n");
+    return false;
+  }
+  if (!j.contains("workloads") || !j.at("workloads").is_array() ||
+      j.at("workloads").size() == 0) {
+    std::fprintf(stderr, "FAIL check: workloads missing or empty\n");
+    return false;
+  }
+  for (std::size_t i = 0; i < j.at("workloads").size(); ++i) {
+    const serde::Json& w = j.at("workloads").items()[i];
+    if (!w.contains("name") || !w.contains("reference") ||
+        !w.contains("fast") || !w.contains("speedup") ||
+        !w.at("speedup").is_number()) {
+      std::fprintf(stderr, "FAIL check: workload %zu incomplete\n", i);
+      return false;
+    }
+    if (!check_engine_obj(w.at("reference"), "reference") ||
+        !check_engine_obj(w.at("fast"), "fast")) {
+      return false;
+    }
+  }
+  if (!j.contains("tuning") || !j.at("tuning").contains("cold") ||
+      !j.at("tuning").contains("warm") ||
+      !j.at("tuning").at("warm").contains("lowers_skipped")) {
+    std::fprintf(stderr, "FAIL check: tuning record incomplete\n");
+    return false;
+  }
+  std::printf("check: %s conforms to swperf-bench-sim/v1\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string check_path;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--check" && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_sim_throughput [--smoke] [--check FILE] "
+                   "[--out FILE]\n");
+      return 2;
+    }
+  }
+
+  bool ok = true;
+  if (!check_path.empty()) ok = check_file(check_path) && ok;
+
+  if (smoke) {
+    ok = smoke_pass() && ok;
+    return ok ? 0 : 1;
+  }
+  if (!check_path.empty() && out_path.empty()) return ok ? 0 : 1;
+
+  swperf::bench::print_header(
+      "Event-core throughput: fast engine vs. pre-fast-path reference",
+      "repo performance record (BENCH_sim.json), not a paper figure");
+
+  serde::Json workloads = serde::Json::array();
+  workloads.push_back(
+      measure_workload(dma_train_uncontended(20000, 8), 3, &ok));
+  workloads.push_back(
+      measure_workload(dma_train_contended(64, 400, 8), 3, &ok));
+
+  serde::Json tuning = measure_tuning(/*smoke=*/false, &ok);
+
+  serde::Json root = serde::Json::object();
+  root.set("schema", std::string("swperf-bench-sim/v1"));
+  root.set("workloads", std::move(workloads));
+  root.set("tuning", std::move(tuning));
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << root.dump() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+      ok = false;
+    } else {
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -79,6 +79,10 @@ class MemoryController {
   /// Service ticks of one transaction under this controller's bandwidth.
   sw::Tick service_ticks() const { return service_ticks_; }
 
+  /// Pipelined data-return latency: a grant's data_ready is its service
+  /// start + l_base_ticks (Eq. 11's L_base term).
+  sw::Tick l_base_ticks() const { return l_base_ticks_; }
+
  private:
   struct Entry {
     sw::Tick arrival;

@@ -8,8 +8,10 @@
 //
 // A Session owns the machine (sw::ArchParams) and the model configuration
 // (model::ModelOptions) and memoizes lowering and simulation per
-// (kernel, params) — keyed by the serde JSON encoding of both, so two
-// structurally identical descriptions share one lowering.  predict() and
+// (kernel, params) — keyed by the tuners' canonical pre-lowering encoding
+// (tuning::prelower_key) of the lowering inputs, so two structurally
+// identical descriptions share one lowering and a repeat evaluation skips
+// swacc::lower() without serializing anything to JSON.  predict() and
 // evaluate() reuse the memoized artifacts; check() is stateless and cheap.
 //
 // Sessions are NOT thread-safe (the memo tables are unsynchronized); use

@@ -399,6 +399,16 @@ Json to_json(const sim::CpeStats& s) {
   return j;
 }
 
+Json to_json(const sim::SimCounters& c) {
+  Json j = Json::object();
+  j.set("events_popped", c.events_popped);
+  j.set("heap_pushes_avoided", c.heap_pushes_avoided);
+  j.set("dma_trains", c.dma_trains);
+  j.set("trains_fast_forwarded", c.trains_fast_forwarded);
+  j.set("ff_transactions", c.ff_transactions);
+  return j;
+}
+
 Json to_json(const sim::SimResult& r) {
   Json j = Json::object();
   j.set("total_ticks", r.total_ticks);
@@ -410,6 +420,7 @@ Json to_json(const sim::SimResult& r) {
   j.set("avg_dma_wait_cycles", r.avg_dma_wait_cycles());
   j.set("avg_gload_wait_cycles", r.avg_gload_wait_cycles());
   j.set("avg_barrier_wait_cycles", r.avg_barrier_wait_cycles());
+  j.set("counters", to_json(r.counters));
   Json cpes = Json::array();
   for (const auto& c : r.cpes) cpes.push_back(to_json(c));
   j.set("cpes", std::move(cpes));
@@ -436,6 +447,7 @@ Json to_json(const tuning::TuningStats& s) {
   j.set("evaluations", s.evaluations);
   j.set("cache_hits", s.cache_hits);
   j.set("cache_misses", s.cache_misses);
+  j.set("lowers_skipped", s.lowers_skipped);
   j.set("jobs", s.jobs);
   return j;
 }

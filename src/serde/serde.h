@@ -56,6 +56,7 @@ Json to_json(const model::KernelReport& r);
 Json to_json(const model::CalibratedParams& c);
 /// The simulation result without its (optional, large) trace.
 Json to_json(const sim::CpeStats& s);
+Json to_json(const sim::SimCounters& c);
 Json to_json(const sim::SimResult& r);
 Json to_json(const analysis::Diagnostic& d);
 Json to_json(const analysis::Diagnostics& diags);

@@ -1,11 +1,11 @@
 #include "sim/machine.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "isa/schedule.h"
 #include "mem/controller.h"
 #include "mem/dma.h"
+#include "sim/event_queue.h"
 #include "sw/error.h"
 #include "sw/stats.h"
 
@@ -27,11 +27,17 @@ std::uint64_t stream_id(std::uint32_t cpe, std::uint64_t slot) {
   return static_cast<std::uint64_t>(cpe) * kSlotsPerCpe + slot;
 }
 
+std::uint64_t handle_slot(int handle) {
+  return handle == kBlockingHandle ? kSlotBlocking
+                                   : static_cast<std::uint64_t>(handle) + 1;
+}
+
 enum class EvKind : std::uint8_t {
   kResume = 0,
-  kDmaArrival = 1,
+  kDmaArrival = 1,  // one transaction (reference engine only)
   kGloadArrival = 2,
   kMcService = 3,
+  kDmaTrain = 4,  // self-rescheduling whole-request train (fast engine)
 };
 
 struct Ev {
@@ -39,14 +45,7 @@ struct Ev {
   std::uint64_t seq;  // insertion order: deterministic tie-break
   EvKind kind;
   std::uint32_t cpe;  // or controller index for kMcService
-  int handle;         // for kDmaArrival
-};
-
-struct EvLater {
-  bool operator()(const Ev& a, const Ev& b) const {
-    if (a.tick != b.tick) return a.tick > b.tick;
-    return a.seq > b.seq;
-  }
+  int handle;         // for kDmaArrival / kDmaTrain
 };
 
 /// In-flight DMA request state (one per handle slot, plus a blocking slot).
@@ -54,6 +53,14 @@ struct Request {
   std::uint64_t remaining = 0;  // transactions whose data is not back yet
   sw::Tick latest_done = 0;     // completion = max over transaction returns
   bool complete = true;
+
+  // Train state (fast engine): transactions not yet submitted, and the
+  // seq reserved for the train's next hop.  Reserving the whole seq block
+  // [base, base + MRT) at issue time makes the train's (tick, seq) keys
+  // exactly those the reference engine's per-transaction arrivals carry,
+  // so the pop order — and with it every result byte — is unchanged.
+  std::uint64_t issue_remaining = 0;
+  std::uint64_t train_seq = 0;
 };
 
 struct Cpe {
@@ -77,6 +84,12 @@ struct Cpe {
   CpeStats stats;
 };
 
+/// The event core, parameterized on the queue implementation and on the
+/// fast paths (DMA trains + uncontended fast-forward).  Two instantiations
+/// exist: the production engine (BucketEventQueue, fast paths on) and the
+/// reference oracle (HeapEventQueue, per-transaction arrivals) — both are
+/// bit-identical on every SimResult field except `counters`.
+template <typename Queue, bool kFastPath>
 class Engine {
  public:
   Engine(const SimConfig& cfg, const KernelBinary& binary,
@@ -105,9 +118,14 @@ class Engine {
     }
 
     cpes_.resize(programs.size());
+    std::size_t total_ops = 0;
     for (std::size_t i = 0; i < programs.size(); ++i) {
       cpes_[i].prog = &programs[i];
       cpes_[i].handles.resize(kMaxHandles);
+      total_ops += programs[i].ops.size();
+    }
+    if (cfg_.trace) {
+      trace_.intervals.reserve(std::min<std::size_t>(4 * total_ops, 1 << 20));
     }
   }
 
@@ -117,18 +135,23 @@ class Engine {
     for (std::uint32_t i = 0; i < cpes_.size(); ++i) step(i, 0);
 
     while (!events_.empty()) {
-      const Ev ev = events_.top();
-      events_.pop();
+      const Ev ev = events_.pop();
+      ++counters_.events_popped;
       switch (ev.kind) {
         case EvKind::kResume:
           step(ev.cpe, ev.tick);
           break;
-        case EvKind::kDmaArrival: {
-          const std::uint64_t slot =
-              ev.handle == kBlockingHandle
-                  ? kSlotBlocking
-                  : static_cast<std::uint64_t>(ev.handle) + 1;
-          submit_transaction(ev.tick, stream_id(ev.cpe, slot));
+        case EvKind::kDmaArrival:
+          submit_transaction(ev.tick, stream_id(ev.cpe, handle_slot(ev.handle)));
+          break;
+        case EvKind::kDmaTrain: {
+          Request& r = request_slot(cpes_[ev.cpe], ev.handle);
+          if (try_fast_forward(ev, r)) break;
+          if (--r.issue_remaining > 0) {
+            events_.push(Ev{ev.tick + dma_.delta_ticks(), r.train_seq++,
+                            EvKind::kDmaTrain, ev.cpe, ev.handle});
+          }
+          submit_transaction(ev.tick, stream_id(ev.cpe, handle_slot(ev.handle)));
           break;
         }
         case EvKind::kGloadArrival:
@@ -152,6 +175,7 @@ class Engine {
                                               "mismatch or missing dma_wait)");
 
     SimResult r;
+    r.cpes.reserve(cpes_.size());
     for (auto& c : cpes_) {
       r.total_ticks = std::max(r.total_ticks, c.stats.finish);
       r.cpes.push_back(c.stats);
@@ -161,6 +185,7 @@ class Engine {
       r.mem_busy_ticks += mc.busy_ticks();
       r.mem_idle_ticks += mc.idle_ticks();
     }
+    r.counters = counters_;
     if (cfg_.trace) r.trace = std::move(trace_);
     return r;
   }
@@ -195,7 +220,12 @@ class Engine {
     schedule(mc.busy_until(), EvKind::kMcService, mc_idx);
     record(trace_.n_cpes + mc_idx, Activity::kMemService,
            mc.busy_until() - mc.service_ticks(), mc.busy_until());
+    data_return(g);
+  }
 
+  /// Routes a grant's data-return to the owning request/gload and wakes
+  /// the CPE when that completes the thing it is blocked on.
+  void data_return(const mem::MemoryController::Grant& g) {
     const auto cpe_id = static_cast<std::uint32_t>(g.stream / kSlotsPerCpe);
     const std::uint64_t slot = g.stream % kSlotsPerCpe;
     Cpe& c = cpes_[cpe_id];
@@ -233,6 +263,69 @@ class Engine {
     }
   }
 
+  /// Uncontended fast-forward (fast engine only): when the single
+  /// controller is idle and no other event can land inside the train's
+  /// batch window, the whole remaining train resolves analytically — the
+  /// same arrive/service ping-pong the event loop would run (Eq. 11's
+  /// uncontended regime), replayed inline without queue traffic.  Every
+  /// MemoryController call, grant tick, trace interval and data-return is
+  /// the one the reference engine produces.
+  bool try_fast_forward(const Ev& ev, Request& r) {
+    if constexpr (!kFastPath) {
+      (void)ev;
+      (void)r;
+      return false;
+    } else {
+      // Multi-CG runs interleave round-robin over controllers; the train
+      // would perturb rr_, so restrict to the single-controller case.
+      if (controllers_.size() != 1) return false;
+      auto& mc = controllers_[0];
+      const std::uint64_t n = r.issue_remaining;
+      if (n < 2) return false;
+      if (mc.service_pending() || mc.queued() != 0 ||
+          ev.tick < mc.busy_until()) {
+        return false;
+      }
+      // With l_base < service the completion resume could land inside the
+      // window and issue new traffic mid-batch; bail to the normal path.
+      if (mc.l_base_ticks() < mc.service_ticks()) return false;
+      // Batch window: last service ends at issue + (n-1)*max(Δ, service)
+      // + service, whichever of issue rate or bandwidth is the bottleneck.
+      const sw::Tick gap = std::max(dma_.delta_ticks(), mc.service_ticks());
+      const sw::Tick window_end = ev.tick + (n - 1) * gap + mc.service_ticks();
+      if (const auto next = events_.peek_tick(); next && *next <= window_end) {
+        return false;
+      }
+
+      const std::uint64_t stream = stream_id(ev.cpe, handle_slot(ev.handle));
+      const sw::Tick delta = dma_.delta_ticks();
+      std::uint64_t i = 0;
+      while (i < n || mc.service_pending()) {
+        const sw::Tick ta = i < n ? ev.tick + i * delta : sw::kTickNever;
+        const sw::Tick ts =
+            mc.service_pending() ? mc.busy_until() : sw::kTickNever;
+        std::optional<mem::MemoryController::Grant> g;
+        if (ta <= ts) {
+          g = mc.arrive(ta, stream);
+          ++i;
+        } else {
+          g = mc.service(ts);
+        }
+        if (g) {
+          record(trace_.n_cpes, Activity::kMemService,
+                 mc.busy_until() - mc.service_ticks(), mc.busy_until());
+          data_return(*g);
+        }
+      }
+      r.issue_remaining = 0;
+      ++counters_.trains_fast_forwarded;
+      counters_.ff_transactions += n;
+      // n-1 train hops plus the n kMcService events never queued.
+      counters_.heap_pushes_avoided += 2 * n - 1;
+      return true;
+    }
+  }
+
   Request& request_slot(Cpe& c, int handle) {
     if (handle == kBlockingHandle) return c.blocking;
     SWPERF_ASSERT(handle >= 0 && handle < kMaxHandles);
@@ -243,6 +336,26 @@ class Engine {
     SWPERF_CHECK(block_id < schedules_.size(),
                  "compute op references unknown block " << block_id);
     return sw::cycles_to_ticks(schedules_[block_id].cycles(iters));
+  }
+
+  /// Issues a DMA request's transactions.  Fast engine: one train event
+  /// whose seq block [seq_, seq_ + MRT) is reserved up front; reference:
+  /// MRT individual arrival events (which consume the same seq values).
+  void issue_dma(sw::Tick t, std::uint32_t cpe_id, int slot, Request& r,
+                 const DmaOp& dma, std::uint64_t mrt) {
+    r = Request{mrt, 0, false};
+    if constexpr (kFastPath) {
+      r.issue_remaining = mrt;
+      r.train_seq = seq_;
+      seq_ += mrt;
+      ++counters_.dma_trains;
+      counters_.heap_pushes_avoided += mrt - 1;
+      events_.push(Ev{t, r.train_seq++, EvKind::kDmaTrain, cpe_id, slot});
+    } else {
+      for (sw::Tick off : dma_.plan(dma.req)) {
+        schedule(t + off, EvKind::kDmaArrival, cpe_id, slot);
+      }
+    }
   }
 
   /// Executes ops for CPE `cpe_id` starting at tick `t` until it blocks,
@@ -290,10 +403,7 @@ class Engine {
         ++c.stats.dma_requests;
         ++c.pc;
         if (mrt == 0) continue;
-        r = Request{mrt, 0, false};
-        for (sw::Tick off : dma_.plan(dma->req)) {
-          schedule(t + off, EvKind::kDmaArrival, cpe_id, slot);
-        }
+        issue_dma(t, cpe_id, slot, r, *dma, mrt);
         if (slot == kBlockingHandle) {
           c.wait_handle = kBlockingHandle;
           c.wait_start = t;
@@ -350,10 +460,11 @@ class Engine {
   std::vector<isa::LoopSchedule> schedules_;
   std::vector<Cpe> cpes_;
   std::vector<std::pair<std::uint32_t, sw::Tick>> barrier_waiters_;
-  std::priority_queue<Ev, std::vector<Ev>, EvLater> events_;
+  Queue events_;
   std::uint64_t seq_ = 0;
   std::size_t rr_ = 0;
   Trace trace_;
+  SimCounters counters_;
 };
 
 double avg_over(const std::vector<CpeStats>& cpes,
@@ -390,7 +501,15 @@ double SimResult::avg_barrier_wait_cycles() const {
 
 SimResult simulate(const SimConfig& cfg, const KernelBinary& binary,
                    const std::vector<CpeProgram>& programs) {
-  Engine engine(cfg, binary, programs);
+  Engine<BucketEventQueue<Ev>, /*kFastPath=*/true> engine(cfg, binary,
+                                                          programs);
+  return engine.run();
+}
+
+SimResult simulate_reference(const SimConfig& cfg, const KernelBinary& binary,
+                             const std::vector<CpeProgram>& programs) {
+  Engine<HeapEventQueue<Ev>, /*kFastPath=*/false> engine(cfg, binary,
+                                                         programs);
   return engine.run();
 }
 

@@ -53,6 +53,18 @@ struct CpeStats {
   std::uint64_t gload_requests = 0;
 };
 
+/// Engine throughput counters: how much work the event core did and how
+/// much the fast paths saved.  Purely observational — two engines that
+/// agree on every other SimResult field are bit-identical even when their
+/// counters differ (the reference engine never fast-forwards).
+struct SimCounters {
+  std::uint64_t events_popped = 0;     // events taken off the queue
+  std::uint64_t heap_pushes_avoided = 0;  // pushes the train/FF paths skipped
+  std::uint64_t dma_trains = 0;        // DMA requests issued as train events
+  std::uint64_t trains_fast_forwarded = 0;  // trains granted analytically
+  std::uint64_t ff_transactions = 0;   // transactions inside those trains
+};
+
 /// Aggregate result of one simulated kernel launch.
 struct SimResult {
   sw::Tick total_ticks = 0;
@@ -65,6 +77,9 @@ struct SimResult {
 
   /// Populated when SimConfig::trace is set.
   Trace trace;
+
+  /// Engine throughput accounting (see SimCounters).
+  SimCounters counters;
 
   double total_cycles() const { return sw::ticks_to_cycles(total_ticks); }
 
@@ -87,5 +102,13 @@ struct SimResult {
 /// this; pinned by tests/sim/concurrent_machine_test.cpp).
 SimResult simulate(const SimConfig& cfg, const KernelBinary& binary,
                    const std::vector<CpeProgram>& programs);
+
+/// The pre-fast-path engine: per-transaction arrival events on a binary
+/// heap, no fast-forward.  Bit-identical to simulate() on every field
+/// except `counters` (pinned by tests/sim/fast_engine_test.cpp); kept as
+/// the validation oracle and as the baseline bench_sim_throughput measures
+/// the fast engine against.
+SimResult simulate_reference(const SimConfig& cfg, const KernelBinary& binary,
+                             const std::vector<CpeProgram>& programs);
 
 }  // namespace swperf::sim

@@ -31,6 +31,70 @@ void put_str(std::string& out, const std::string& s) {
   out.append(s);
 }
 
+void put_params(std::string& out, const swacc::LaunchParams& p) {
+  put(out, p.tile);
+  put(out, p.unroll);
+  put(out, p.requested_cpes);
+  put(out, static_cast<std::uint8_t>(p.double_buffer));
+  put(out, p.vector_width);
+  put(out, static_cast<std::uint8_t>(p.coalesce_gloads));
+}
+
+void put_block(std::string& out, const isa::BasicBlock& b) {
+  put_str(out, b.name);
+  put(out, b.num_regs);
+  put(out, b.lanes);
+  put(out, static_cast<std::uint64_t>(b.instrs.size()));
+  for (const isa::Instr& in : b.instrs) {
+    put(out, static_cast<std::uint8_t>(in.cls));
+    put(out, in.dst);
+    for (const isa::Reg s : in.srcs) put(out, s);
+    put(out, static_cast<std::uint8_t>(in.loop_overhead));
+  }
+}
+
+void put_array(std::string& out, const swacc::ArrayRef& a) {
+  put_str(out, a.name);
+  put(out, static_cast<std::uint8_t>(a.dir));
+  put(out, static_cast<std::uint8_t>(a.access));
+  put(out, a.bytes_per_outer);
+  put(out, a.segments_per_outer);
+  put(out, a.broadcast_bytes);
+  put_double(out, a.gloads_per_inner);
+  put(out, a.gload_bytes);
+}
+
+void put_kernel(std::string& out, const swacc::KernelDesc& k) {
+  put_str(out, k.name);
+  put(out, k.n_outer);
+  put(out, k.inner_iters);
+  put_block(out, k.body);
+  put(out, static_cast<std::uint64_t>(k.arrays.size()));
+  for (const swacc::ArrayRef& a : k.arrays) put_array(out, a);
+  put(out, k.dma_min_tile);
+  put_double(out, k.gload_coalesceable);
+  put(out, static_cast<std::uint8_t>(k.vectorizable));
+  put_double(out, k.gload_imbalance);
+  put_double(out, k.comp_imbalance);
+}
+
+void put_arch(std::string& out, const sw::ArchParams& a) {
+  put_double(out, a.mem_bw_gbps);
+  put_double(out, a.freq_ghz);
+  put(out, a.trans_size_bytes);
+  put(out, a.delta_delay_cycles);
+  put(out, a.l_base_cycles);
+  put(out, a.l_float_cycles);
+  put(out, a.l_fixed_cycles);
+  put(out, a.l_spm_cycles);
+  put(out, a.l_div_sqrt_cycles);
+  put(out, a.cpes_per_cg);
+  put(out, a.core_groups);
+  put(out, a.spm_bytes);
+  put(out, a.gload_max_bytes);
+  put_double(out, a.cross_section_bw_efficiency);
+}
+
 std::uint64_t chain_hash(const std::string& bytes) {
   // SplitMix64 as a chained compression function over 8-byte words; the
   // generator's full-avalanche finalizer makes every input bit affect
@@ -58,12 +122,7 @@ std::string encode_summary(const swacc::StaticSummary& s) {
 
   // LaunchParams, field by field (the struct has padding; memcpy of the
   // whole object would hash indeterminate bytes).
-  put(out, s.params.tile);
-  put(out, s.params.unroll);
-  put(out, s.params.requested_cpes);
-  put(out, static_cast<std::uint8_t>(s.params.double_buffer));
-  put(out, s.params.vector_width);
-  put(out, static_cast<std::uint8_t>(s.params.coalesce_gloads));
+  put_params(out, s.params);
 
   put(out, s.active_cpes);
   put(out, s.core_groups);
@@ -90,6 +149,28 @@ std::uint64_t summary_hash(const swacc::StaticSummary& s) {
   return chain_hash(encode_summary(s));
 }
 
+PrelowerKey::PrelowerKey(const swacc::KernelDesc& kernel,
+                         const sw::ArchParams& arch) {
+  prefix_.reserve(256 + kernel.name.size() + 32 * kernel.body.instrs.size() +
+                  64 * kernel.arrays.size());
+  put_kernel(prefix_, kernel);
+  put_arch(prefix_, arch);
+}
+
+std::string PrelowerKey::key(const swacc::LaunchParams& params) const {
+  std::string out;
+  out.reserve(prefix_.size() + 32);
+  out = prefix_;
+  put_params(out, params);
+  return out;
+}
+
+std::string prelower_key(const swacc::KernelDesc& kernel,
+                         const swacc::LaunchParams& params,
+                         const sw::ArchParams& arch) {
+  return PrelowerKey(kernel, arch).key(params);
+}
+
 bool EvalCache::peek(const swacc::StaticSummary& s, double* value) const {
   const std::string key = encode_summary(s);
   const Shard& shard = shard_of(hash_bytes(key));
@@ -106,8 +187,18 @@ EvalCacheStats EvalCache::stats() const {
     std::lock_guard<std::mutex> lock(shard.mu);
     s.hits += shard.hits;
     s.misses += shard.misses;
+    s.lowers_skipped += shard.lowers_skipped;
   }
   return s;
+}
+
+std::size_t EvalCache::prelower_size() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.pre.size();
+  }
+  return n;
 }
 
 std::size_t EvalCache::size() const {
@@ -123,8 +214,10 @@ void EvalCache::clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.clear();
+    shard.pre.clear();
     shard.hits = 0;
     shard.misses = 0;
+    shard.lowers_skipped = 0;
   }
 }
 

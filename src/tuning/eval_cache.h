@@ -15,6 +15,17 @@
 // wrong variant's time (tests/tuning/eval_cache_test.cpp property-tests
 // that any field mutation changes the key).
 //
+// Two key levels exist.  The summary key above requires the variant to be
+// *lowered* first — which is exactly the cost a tuning campaign pays per
+// variant (the paper: static tuning time "mostly consists of the
+// compilation time").  The *pre-lowering* level keys on the lowering
+// inputs instead — a canonical encoding of (KernelDesc, LaunchParams,
+// ArchParams), see PrelowerKey — so a repeat variant skips swacc::lower()
+// entirely (get_or_lower_eval, counted in lowers_skipped).  Lowering is a
+// pure function of those inputs, and the summary key is retained
+// underneath as the collision guard: a first-seen prekey still lowers and
+// probes by summary before evaluating.
+//
 // Thread safety: lookups and inserts take a shard mutex (16 shards by key
 // hash), so concurrent workers of the parallel tuner share one cache
 // race-free.  Counters satisfy hits + misses == evaluations.
@@ -24,7 +35,9 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
+#include "swacc/kernel.h"
 #include "swacc/summary.h"
 
 namespace swperf::tuning {
@@ -36,10 +49,32 @@ std::string encode_summary(const swacc::StaticSummary& s);
 /// 64-bit content hash of the canonical encoding.
 std::uint64_t summary_hash(const swacc::StaticSummary& s);
 
+/// Pre-lowering cache key builder: canonically encodes everything
+/// swacc::lower() reads.  The kernel/arch prefix is encoded once per
+/// campaign; key(params) appends one variant's LaunchParams.
+class PrelowerKey {
+ public:
+  PrelowerKey(const swacc::KernelDesc& kernel, const sw::ArchParams& arch);
+
+  /// Full key for one variant: prefix + canonical LaunchParams bytes.
+  std::string key(const swacc::LaunchParams& params) const;
+
+ private:
+  std::string prefix_;
+};
+
+/// One-shot convenience over PrelowerKey (pipeline::Session's memo key).
+std::string prelower_key(const swacc::KernelDesc& kernel,
+                         const swacc::LaunchParams& params,
+                         const sw::ArchParams& arch);
+
 /// Cache hit/miss counters (also surfaced in TuningStats).
 struct EvalCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  /// Hits served at the pre-lowering level: swacc::lower() never ran.
+  /// Always <= hits.
+  std::uint64_t lowers_skipped = 0;
   std::uint64_t evaluations() const { return hits + misses; }
   double hit_rate() const {
     const std::uint64_t n = evaluations();
@@ -80,6 +115,60 @@ class EvalCache {
     return value;
   }
 
+  /// Two-level memoized evaluation.  `prekey` is the variant's
+  /// PrelowerKey::key(); `lower` is invoked only when the prekey is
+  /// unseen, must return something dereferenceable to the lowered
+  /// artifact (e.g. shared_ptr<const swacc::LoweredKernel>), and its
+  /// result is probed by summary (the collision guard / cross-campaign
+  /// level) before `eval(*lowered)` runs.  A prekey hit counts as a hit
+  /// *and* a skipped lowering.
+  template <typename LowerFn, typename EvalFn>
+  double get_or_lower_eval(std::string prekey, LowerFn&& lower,
+                           EvalFn&& eval) {
+    const std::uint64_t ph = hash_bytes(prekey);
+    {
+      Shard& shard = shard_of(ph);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.pre.find(prekey);
+      if (it != shard.pre.end()) {
+        ++shard.hits;
+        ++shard.lowers_skipped;
+        return it->second;
+      }
+    }
+
+    decltype(auto) lowered = lower();
+    std::string key = encode_summary((*lowered).summary);
+    const std::uint64_t h = hash_bytes(key);
+    bool have = false;
+    double value = 0.0;
+    {
+      Shard& shard = shard_of(h);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        ++shard.hits;
+        have = true;
+        value = it->second;
+      }
+    }
+    if (!have) {
+      // Evaluate outside any lock, exactly like get_or_eval.
+      value = eval(*lowered);
+      Shard& shard = shard_of(h);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.misses;
+      shard.map.emplace(std::move(key), value);
+    }
+    {
+      // Bind the prekey so the next identical variant skips lowering.
+      Shard& shard = shard_of(ph);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.pre.emplace(std::move(prekey), value);
+    }
+    return value;
+  }
+
   /// True and the value if `s` is already cached (does not count as an
   /// evaluation).
   bool peek(const swacc::StaticSummary& s, double* value) const;
@@ -88,6 +177,8 @@ class EvalCache {
   EvalCacheStats stats() const;
   /// Distinct summaries stored.
   std::size_t size() const;
+  /// Distinct pre-lowering keys bound.
+  std::size_t prelower_size() const;
   /// Drops all entries and zeroes the counters.
   void clear();
 
@@ -96,9 +187,11 @@ class EvalCache {
 
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::string, double> map;
+    std::unordered_map<std::string, double> map;  // summary level
+    std::unordered_map<std::string, double> pre;  // pre-lowering level
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t lowers_skipped = 0;
   };
 
   static std::uint64_t hash_bytes(const std::string& bytes);

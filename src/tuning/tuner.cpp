@@ -27,23 +27,41 @@ double run_seconds(double kernel_cycles, const sw::ArchParams& arch,
              sw::cycles_to_seconds(kernel_cycles, arch.freq_ghz);
 }
 
+/// Upper bound on lowered artifacts kept alive for the winner-validation
+/// reuse: beyond this, holding every variant's programs would dwarf the
+/// cost of re-lowering one winner.
+constexpr std::size_t kMaxStashedArtifacts = 1024;
+
 /// Evaluates every variant of `variants` into an index-ordered slot
-/// vector: each worker lowers its variant (its own simulator/model
-/// inputs — no shared mutable state) and asks the memoization cache for
-/// the cost, falling back to `eval` on a miss.  The slot layout makes the
-/// result independent of which worker ran which index, so the caller's
-/// serial reduction over slots is bit-identical at any job count.
+/// vector: each worker asks the memoization cache for the cost by the
+/// variant's pre-lowering key, lowering (its own simulator/model inputs —
+/// no shared mutable state) and falling back to `eval` only on a miss.
+/// The slot layout makes the result independent of which worker ran which
+/// index, so the caller's serial reduction over slots is bit-identical at
+/// any job count.  When `artifacts` is non-null, each variant actually
+/// lowered parks its artifact in the matching slot (prekey hits leave it
+/// null) for the caller to reuse.
 template <typename Eval>
 std::vector<double> evaluate_variants(
     const std::vector<swacc::LaunchParams>& variants,
     const swacc::KernelDesc& kernel, const sw::ArchParams& arch,
-    EvalCache& cache, int jobs, const Eval& eval) {
+    EvalCache& cache, int jobs, const Eval& eval,
+    std::vector<std::shared_ptr<const swacc::LoweredKernel>>* artifacts =
+        nullptr) {
   std::vector<double> slots(variants.size(), 0.0);
+  if (artifacts != nullptr) artifacts->assign(variants.size(), nullptr);
+  const PrelowerKey prekey(kernel, arch);
   sw::parallel_for(
       variants.size(), jobs, [&](std::uint64_t i) {
-        const auto lowered = swacc::lower(kernel, variants[i], arch);
-        slots[i] = cache.get_or_eval(lowered.summary,
-                                     [&] { return eval(lowered); });
+        slots[i] = cache.get_or_lower_eval(
+            prekey.key(variants[i]),
+            [&] {
+              auto lowered = std::make_shared<const swacc::LoweredKernel>(
+                  swacc::lower(kernel, variants[i], arch));
+              if (artifacts != nullptr) (*artifacts)[i] = lowered;
+              return lowered;
+            },
+            eval);
       });
   return slots;
 }
@@ -62,6 +80,7 @@ struct CampaignCache {
     s.evaluations = variants;
     s.cache_hits = after.hits - before.hits;
     s.cache_misses = after.misses - before.misses;
+    s.lowers_skipped = after.lowers_skipped - before.lowers_skipped;
     s.jobs = sw::resolve_jobs(jobs);
     return s;
   }
@@ -79,16 +98,20 @@ TuningResult StaticTuner::tune(const swacc::KernelDesc& kernel,
   const auto variants = space.enumerate(kernel, model_.arch());
 
   CampaignCache cc(options_);
+  std::vector<std::shared_ptr<const swacc::LoweredKernel>> artifacts;
+  const bool stash = variants.size() <= kMaxStashedArtifacts;
   const auto predictions = evaluate_variants(
       variants, kernel, model_.arch(), *cc.cache, options_.jobs,
       [this](const swacc::LoweredKernel& lowered) {
         return model_.predict(lowered.summary).t_total;
-      });
+      },
+      stash ? &artifacts : nullptr);
 
   TuningResult r;
+  r.explored.reserve(variants.size());
   double best_pred = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < variants.size(); ++i) {
-    r.explored.push_back(VariantResult{variants[i], predictions[i], 0.0});
+    r.explored.emplace_back(variants[i], predictions[i], 0.0);
     best_pred = std::min(best_pred, predictions[i]);
   }
   r.variants = variants.size();
@@ -100,11 +123,14 @@ TuningResult StaticTuner::tune(const swacc::KernelDesc& kernel,
   // requests, more overlap headroom), then deeper unrolling (never hurts a
   // bandwidth-bound launch), then no double buffering (saves SPM).
   constexpr double kResolution = 1.01;
+  std::size_t best_i = 0;
   bool first = true;
-  for (const auto& v : r.explored) {
+  for (std::size_t i = 0; i < r.explored.size(); ++i) {
+    const auto& v = r.explored[i];
     if (v.predicted_cycles > best_pred * kResolution) continue;
     if (first) {
       r.best = v.params;
+      best_i = i;
       first = false;
       continue;
     }
@@ -113,17 +139,27 @@ TuningResult StaticTuner::tune(const swacc::KernelDesc& kernel,
       return std::make_tuple(p.tile, ~p.vector_width, ~p.unroll,
                              p.double_buffer);
     };
-    if (rank(v.params) < rank(b)) r.best = v.params;
+    if (rank(v.params) < rank(b)) {
+      r.best = v.params;
+      best_i = i;
+    }
   }
   // The static analysis needs each variant compiled (for the annotated
   // assembly) but never run.
   r.tuning_seconds =
       static_cast<double>(r.variants) * costs_.compile_seconds;
 
-  // One validation run of the winner, so quality is comparable.
-  const auto lowered = swacc::lower(kernel, r.best, model_.arch());
+  // One validation run of the winner, so quality is comparable.  Reuse the
+  // artifact lowered during evaluation; a warm cache skipped that
+  // lowering, so redo just the winner's.
+  std::shared_ptr<const swacc::LoweredKernel> winner =
+      stash && best_i < artifacts.size() ? artifacts[best_i] : nullptr;
+  if (winner == nullptr) {
+    winner = std::make_shared<const swacc::LoweredKernel>(
+        swacc::lower(kernel, r.best, model_.arch()));
+  }
   r.best_measured_cycles =
-      sim::simulate(lowered.sim_config, lowered.binary, lowered.programs)
+      sim::simulate(winner->sim_config, winner->binary, winner->programs)
           .total_cycles();
   r.stats = cc.finish(r.variants, options_.jobs);
   r.host_seconds = now_seconds() - t0;
@@ -148,10 +184,11 @@ TuningResult EmpiricalTuner::tune(const swacc::KernelDesc& kernel,
   // left-to-right tuning_seconds accumulation reproduce the serial
   // tuner's float-addition order exactly.
   TuningResult r;
+  r.explored.reserve(variants.size());
   double best_measured = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < variants.size(); ++i) {
     const double cycles = measured[i];
-    r.explored.push_back(VariantResult{variants[i], 0.0, cycles});
+    r.explored.emplace_back(variants[i], 0.0, cycles);
     r.tuning_seconds += costs_.compile_seconds +
                         costs_.runs_per_variant *
                             run_seconds(cycles, arch_, costs_);

@@ -19,10 +19,13 @@
 // returns bit-identical best params, best cycles, and explored order
 // (pinned by tests/tuning/parallel_tuner_test.cpp).
 //
-// Evaluations are memoized in an EvalCache keyed by a content hash of the
-// variant's StaticSummary; repeated campaigns (ablation benches, repeated
-// spaces) are served from cache.  Hit/miss counters surface in
-// TuningResult::stats.
+// Evaluations are memoized in a two-level EvalCache: the primary key is a
+// content hash of the lowering *inputs* (KernelDesc, LaunchParams,
+// ArchParams), so a repeat variant skips swacc::lower() entirely — the
+// dominant per-variant cost — with the variant's StaticSummary retained as
+// the second-level collision guard.  Repeated campaigns (ablation benches,
+// repeated spaces) are served from cache; hit/miss/lowers-skipped counters
+// surface in TuningResult::stats.
 //
 // Tuning time is reported in two currencies:
 //   * hardware-equivalent seconds, reconstructing what the campaign would
@@ -85,6 +88,10 @@ struct TuningStats {
   /// Served from the memoization cache / actually evaluated.
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Cache hits served at the pre-lowering level, where swacc::lower()
+  /// itself was skipped (always <= cache_hits; equals it once the cache
+  /// has seen the same (kernel, params, arch) triples before).
+  std::uint64_t lowers_skipped = 0;
   /// Worker threads used.
   unsigned jobs = 1;
 

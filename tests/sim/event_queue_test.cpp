@@ -1,0 +1,124 @@
+// The bucketed event queue must be observably identical to the reference
+// heap: same pop sequence for any legal push/pop schedule, and a
+// side-effect-free peek.  Schedules are random but respect the simulator's
+// contract (pushes never go backwards in time), with tick offsets spread
+// across three regimes — same-tick, near horizon, and far beyond the
+// wheel's span so the overflow heap and its migration paths are exercised.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/event_queue.h"
+#include "sw/rng.h"
+
+namespace swperf::sim {
+namespace {
+
+struct TestItem {
+  sw::Tick tick = 0;
+  std::uint64_t seq = 0;
+
+  bool operator==(const TestItem&) const = default;
+};
+
+sw::Tick random_offset(sw::Rng& rng) {
+  switch (rng.next_below(10)) {
+    case 0:
+      return 0;  // same tick as "now"
+    case 1:
+    case 2:
+      return rng.next_below(16);  // dense near ticks
+    case 3:
+      return 5000 + rng.next_below(200000);  // far beyond the wheel
+    default:
+      return rng.next_below(4000);  // within one wheel rotation
+  }
+}
+
+class EventQueueProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueProperty, PopSequencesMatchReferenceHeap) {
+  sw::Rng rng(GetParam());
+  HeapEventQueue<TestItem> heap;
+  BucketEventQueue<TestItem> bucket;
+
+  sw::Tick now = 0;       // tick of the most recent pop
+  std::uint64_t seq = 0;  // strictly increasing insertion counter
+  sw::Tick last_tick = 0;
+  std::uint64_t last_seq = 0;
+  bool popped_any = false;
+
+  const int steps = 2000;
+  for (int i = 0; i < steps; ++i) {
+    const bool do_push = heap.empty() || rng.next_below(5) < 3;
+    if (do_push) {
+      const TestItem it{now + random_offset(rng), seq++};
+      heap.push(it);
+      bucket.push(it);
+    } else {
+      ASSERT_EQ(heap.size(), bucket.size());
+      // peek agrees with the heap and has no observable side effect.
+      const std::optional<sw::Tick> pk = bucket.peek_tick();
+      ASSERT_EQ(pk, heap.peek_tick());
+      ASSERT_EQ(bucket.peek_tick(), pk);
+
+      const TestItem want = heap.pop();
+      const TestItem got = bucket.pop();
+      ASSERT_EQ(got, want) << "step " << i << ": heap popped (" << want.tick
+                           << ", " << want.seq << "), bucket popped ("
+                           << got.tick << ", " << got.seq << ")";
+      // Pops come out in ascending (tick, seq).
+      if (popped_any) {
+        ASSERT_TRUE(got.tick > last_tick ||
+                    (got.tick == last_tick && got.seq > last_seq));
+      }
+      popped_any = true;
+      last_tick = got.tick;
+      last_seq = got.seq;
+      now = got.tick;
+    }
+  }
+
+  // Drain: every remaining item must come out in the same order.
+  while (!heap.empty()) {
+    ASSERT_EQ(bucket.peek_tick(), heap.peek_tick());
+    ASSERT_EQ(bucket.pop(), heap.pop());
+  }
+  EXPECT_TRUE(bucket.empty());
+  EXPECT_EQ(bucket.peek_tick(), std::nullopt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+TEST(EventQueue, SameTickPopsInSeqOrderAcrossInterleavedPushes) {
+  BucketEventQueue<TestItem> q;
+  // Pushes at one tick, interleaved with pops at that tick, must still
+  // come out in seq order — the engine pushes new events at the tick it
+  // is currently processing (e.g. a train's next leg at +0 offsets).
+  q.push({100, 2});
+  q.push({100, 0});
+  EXPECT_EQ(q.pop(), (TestItem{100, 0}));
+  q.push({100, 1});
+  EXPECT_EQ(q.pop(), (TestItem{100, 1}));
+  EXPECT_EQ(q.pop(), (TestItem{100, 2}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, JumpsAcrossEmptySpansAndMigratesOverflow) {
+  BucketEventQueue<TestItem> q;
+  q.push({0, 0});
+  q.push({1'000'000, 1});  // far beyond the wheel: overflow
+  EXPECT_EQ(q.pop(), (TestItem{0, 0}));
+  EXPECT_EQ(q.peek_tick(), std::optional<sw::Tick>(1'000'000));
+  // A near event pushed after the far one still pops first.
+  q.push({7, 2});
+  EXPECT_EQ(q.pop(), (TestItem{7, 2}));
+  EXPECT_EQ(q.pop(), (TestItem{1'000'000, 1}));
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace swperf::sim

@@ -1,0 +1,229 @@
+// Bit-identity of the fast-path engine (DMA trains + bucketed queue +
+// uncontended fast-forward) against the preserved reference engine.
+//
+// The contract (docs/PERF.md): simulate() and simulate_reference() agree
+// on every SimResult field EXCEPT `counters` — the counters describe how
+// each engine did the work, not what the simulated machine did.  The
+// randomized cases sweep program mixes; the boundary cases pin the
+// fast-forward guard to one tick on either side of the batch window.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "isa/block.h"
+#include "mem/controller.h"
+#include "mem/dma.h"
+#include "mem/request.h"
+#include "sim/machine.h"
+#include "sim/program.h"
+#include "sw/rng.h"
+#include "sw/time.h"
+
+namespace swperf::sim {
+namespace {
+
+const sw::ArchParams kArch;
+
+void expect_identical_but_counters(const SimResult& fast,
+                                   const SimResult& ref) {
+  EXPECT_EQ(fast.total_ticks, ref.total_ticks);
+  EXPECT_EQ(fast.transactions, ref.transactions);
+  EXPECT_EQ(fast.mem_busy_ticks, ref.mem_busy_ticks);
+  EXPECT_EQ(fast.mem_idle_ticks, ref.mem_idle_ticks);
+  ASSERT_EQ(fast.cpes.size(), ref.cpes.size());
+  for (std::size_t i = 0; i < fast.cpes.size(); ++i) {
+    EXPECT_EQ(fast.cpes[i].finish, ref.cpes[i].finish) << "cpe " << i;
+    EXPECT_EQ(fast.cpes[i].comp, ref.cpes[i].comp) << "cpe " << i;
+    EXPECT_EQ(fast.cpes[i].dma_wait, ref.cpes[i].dma_wait) << "cpe " << i;
+    EXPECT_EQ(fast.cpes[i].gload_wait, ref.cpes[i].gload_wait)
+        << "cpe " << i;
+    EXPECT_EQ(fast.cpes[i].barrier_wait, ref.cpes[i].barrier_wait)
+        << "cpe " << i;
+    EXPECT_EQ(fast.cpes[i].dma_requests, ref.cpes[i].dma_requests);
+    EXPECT_EQ(fast.cpes[i].gload_requests, ref.cpes[i].gload_requests);
+  }
+  ASSERT_EQ(fast.trace.intervals.size(), ref.trace.intervals.size());
+  for (std::size_t i = 0; i < fast.trace.intervals.size(); ++i) {
+    const Interval& a = fast.trace.intervals[i];
+    const Interval& b = ref.trace.intervals[i];
+    EXPECT_EQ(a.lane, b.lane) << "interval " << i;
+    EXPECT_EQ(a.what, b.what) << "interval " << i;
+    EXPECT_EQ(a.begin, b.begin) << "interval " << i;
+    EXPECT_EQ(a.end, b.end) << "interval " << i;
+  }
+}
+
+struct Launch {
+  KernelBinary bin;
+  std::vector<CpeProgram> programs;
+};
+
+/// Random well-formed mixes: blocking and async DMA (double-buffer
+/// shape), compute, gload loops, barriers, delays — every op kind the
+/// fast paths must not perturb.
+Launch make_launch(std::uint64_t seed) {
+  sw::Rng rng(seed);
+  Launch l;
+  isa::BlockBuilder b("body");
+  const auto x = b.reg();
+  const int n_ops = 2 + static_cast<int>(rng.next_below(10));
+  for (int i = 0; i < n_ops; ++i) b.fmul(x, x);
+  l.bin.add_block(std::move(b).build());
+
+  const std::size_t n_cpes = 1 + rng.next_below(64);
+  const bool use_barriers = rng.next_below(2) == 0;
+  l.programs.resize(n_cpes);
+  for (auto& p : l.programs) {
+    p.delay(rng.next_below(3000));
+    const int chunks = 1 + static_cast<int>(rng.next_below(5));
+    for (int c = 0; c < chunks; ++c) {
+      const std::uint64_t bytes = 256 * (1 + rng.next_below(48));
+      const auto req = mem::DmaRequest::contiguous(bytes);
+      if (rng.next_below(3) == 0) {
+        p.dma(req, 0).compute(0, 8 + rng.next_below(64)).dma_wait(0);
+      } else {
+        p.dma(req);
+      }
+      p.compute(0, 8 + rng.next_below(128));
+      if (rng.next_below(2) == 0) {
+        p.dma(mem::DmaRequest::contiguous(bytes, mem::Direction::kWrite));
+      }
+    }
+    if (rng.next_below(4) == 0) {
+      GloadLoopOp g;
+      g.count = 1 + rng.next_below(32);
+      g.bytes = 8;
+      g.compute_ticks_per_elem = rng.next_below(40);
+      p.gload_loop(g);
+    }
+    if (use_barriers) p.barrier();
+  }
+  return l;
+}
+
+class FastEngineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FastEngineProperty, MatchesReferenceIncludingTraces) {
+  const Launch l = make_launch(GetParam());
+  SimConfig cfg{kArch, 1};
+  cfg.trace = true;
+  const SimResult fast = simulate(cfg, l.bin, l.programs);
+  const SimResult ref = simulate_reference(cfg, l.bin, l.programs);
+  expect_identical_but_counters(fast, ref);
+  // Both engines account every pop; the fast engine never pops more.
+  EXPECT_GT(ref.counters.events_popped, 0u);
+  EXPECT_LE(fast.counters.events_popped, ref.counters.events_popped);
+  EXPECT_EQ(ref.counters.dma_trains, 0u);
+  EXPECT_EQ(ref.counters.trains_fast_forwarded, 0u);
+}
+
+TEST_P(FastEngineProperty, MatchesReferenceOnTwoCoreGroups) {
+  const Launch l = make_launch(GetParam() ^ 0x5eed);
+  // Multi-CG runs round-robin requests across controllers; the
+  // fast-forward guard must stand down (it reasons about one controller).
+  const SimConfig cfg{kArch, 2};
+  const SimResult fast = simulate(cfg, l.bin, l.programs);
+  const SimResult ref = simulate_reference(cfg, l.bin, l.programs);
+  EXPECT_EQ(fast.total_ticks, ref.total_ticks);
+  EXPECT_EQ(fast.mem_busy_ticks, ref.mem_busy_ticks);
+  EXPECT_EQ(fast.counters.trains_fast_forwarded, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastEngineProperty,
+                         ::testing::Values(7, 14, 21, 28, 35, 42, 49, 56,
+                                           63, 70));
+
+// ---- Fast-forward guard boundary -------------------------------------------
+//
+// CPE 0 issues one n-transaction blocking DMA train at tick 0 (arrivals at
+// 0, Δ, ..., (n-1)Δ; with an idle controller the batch drains by
+// W = (n-1)·max(Δ, service) + service, both terms taken from the actual
+// engine components, not re-derived).  CPE 1 sleeps and then issues a
+// single Gload whose arrival at tick d is the only foreign event in the
+// queue (a pure delay never enters the queue — it advances the CPE's
+// local clock inline).  The guard may only grant the train analytically
+// when no foreign event can land inside the window: d == W is exactly at
+// the window end (no fast-forward), d == W+1 is one tick outside (the
+// whole train fast-forwards at its first pop).  Both must stay
+// bit-identical to the reference either way.
+
+struct BoundaryRun {
+  SimResult fast;
+  SimResult ref;
+};
+
+BoundaryRun run_boundary(sw::Tick arrival_tick, std::uint64_t bytes) {
+  KernelBinary bin;
+  std::vector<CpeProgram> programs(2);
+  programs[0].dma(mem::DmaRequest::contiguous(bytes));
+  programs[1].delay(arrival_tick);
+  programs[1].gload_loop(GloadLoopOp{1, 8, mem::Direction::kRead, 0});
+  SimConfig cfg{kArch, 1};
+  cfg.trace = true;
+  BoundaryRun r;
+  r.fast = simulate(cfg, bin, programs);
+  r.ref = simulate_reference(cfg, bin, programs);
+  return r;
+}
+
+/// The guard's window end for an n-transaction train popped at tick 0,
+/// using the same Δ and service ticks the engine uses.
+sw::Tick batch_window_end(std::uint64_t n) {
+  const sw::Tick delta = mem::DmaEngine(kArch).delta_ticks();
+  const sw::Tick service = mem::MemoryController(kArch).service_ticks();
+  return (n - 1) * std::max(delta, service) + service;
+}
+
+TEST(FastForwardGuard, ForeignEventAtWindowEndBlocksFastForward) {
+  const std::uint64_t bytes = 8192;
+  const std::uint64_t n =
+      mem::DmaRequest::contiguous(bytes).transactions(kArch);
+  ASSERT_GE(n, 2u);
+  const BoundaryRun at_edge = run_boundary(batch_window_end(n), bytes);
+  expect_identical_but_counters(at_edge.fast, at_edge.ref);
+  EXPECT_EQ(at_edge.fast.counters.trains_fast_forwarded, 0u)
+      << "a foreign event exactly at the window end can still land inside "
+         "the batch; the guard must stand down";
+  EXPECT_EQ(at_edge.fast.counters.dma_trains, 1u);
+  EXPECT_EQ(at_edge.fast.counters.ff_transactions, 0u);
+}
+
+TEST(FastForwardGuard, ForeignEventOneTickOutsideWindowAllowsFastForward) {
+  const std::uint64_t bytes = 8192;
+  const std::uint64_t n =
+      mem::DmaRequest::contiguous(bytes).transactions(kArch);
+  const BoundaryRun outside = run_boundary(batch_window_end(n) + 1, bytes);
+  expect_identical_but_counters(outside.fast, outside.ref);
+  EXPECT_EQ(outside.fast.counters.trains_fast_forwarded, 1u);
+  EXPECT_EQ(outside.fast.counters.ff_transactions, n)
+      << "the whole train should have been granted analytically at its "
+         "first pop";
+}
+
+TEST(FastForwardGuard, UncontendedTrainCountsAndSavings) {
+  KernelBinary bin;
+  std::vector<CpeProgram> programs(1);
+  const auto req = mem::DmaRequest::contiguous(4096);
+  const std::uint64_t n = req.transactions(kArch);
+  const int requests = 8;
+  for (int i = 0; i < requests; ++i) programs[0].dma(req);
+  const SimConfig cfg{kArch, 1};
+
+  const SimResult fast = simulate(cfg, bin, programs);
+  const SimResult ref = simulate_reference(cfg, bin, programs);
+  EXPECT_EQ(fast.total_ticks, ref.total_ticks);
+
+  EXPECT_EQ(fast.counters.dma_trains, static_cast<std::uint64_t>(requests));
+  EXPECT_EQ(fast.counters.trains_fast_forwarded,
+            static_cast<std::uint64_t>(requests));
+  EXPECT_EQ(fast.counters.ff_transactions,
+            static_cast<std::uint64_t>(requests) * n);
+  EXPECT_GT(fast.counters.heap_pushes_avoided, 0u);
+  EXPECT_LT(fast.counters.events_popped, ref.counters.events_popped);
+  EXPECT_EQ(ref.counters.heap_pushes_avoided, 0u);
+}
+
+}  // namespace
+}  // namespace swperf::sim

@@ -1,0 +1,220 @@
+// The pre-lowering level of the two-level EvalCache: the content key over
+// (KernelDesc, LaunchParams, ArchParams) must be exactly as fine as the
+// lowering inputs (no false hits under mutation, no false misses on equal
+// inputs), a prekey hit must skip the lowering callback entirely, the
+// summary level must keep serving as the collision guard across distinct
+// prekeys, and all of it must hold under concurrent mixed access.
+#include "tuning/eval_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernels/suite.h"
+#include "sw/rng.h"
+
+namespace swperf::tuning {
+namespace {
+
+swacc::KernelDesc base_kernel() {
+  return kernels::make("vecadd", kernels::Scale::kSmall).desc;
+}
+
+swacc::LaunchParams base_params() {
+  swacc::LaunchParams p;
+  p.tile = 256;
+  p.unroll = 2;
+  p.requested_cpes = 64;
+  return p;
+}
+
+TEST(PrelowerKey, IdenticalInputsShareTheKey) {
+  const sw::ArchParams arch;
+  const swacc::KernelDesc k1 = base_kernel();
+  const swacc::KernelDesc k2 = base_kernel();
+  EXPECT_EQ(prelower_key(k1, base_params(), arch),
+            prelower_key(k2, base_params(), arch));
+
+  // The prefix-building form agrees with the one-shot form.
+  const PrelowerKey pk(k1, arch);
+  EXPECT_EQ(pk.key(base_params()), prelower_key(k1, base_params(), arch));
+}
+
+TEST(PrelowerKey, KernelParamAndArchMutationsChangeTheKey) {
+  const sw::ArchParams arch;
+  const swacc::KernelDesc k = base_kernel();
+  const swacc::LaunchParams p = base_params();
+  const std::string key = prelower_key(k, p, arch);
+
+  {
+    swacc::KernelDesc m = k;
+    m.n_outer += 1;
+    EXPECT_NE(prelower_key(m, p, arch), key);
+  }
+  {
+    swacc::KernelDesc m = k;
+    m.name += "x";
+    EXPECT_NE(prelower_key(m, p, arch), key);
+  }
+  {
+    swacc::KernelDesc m = k;
+    ASSERT_FALSE(m.arrays.empty());
+    m.arrays[0].bytes_per_outer += 8;
+    EXPECT_NE(prelower_key(m, p, arch), key);
+  }
+  {
+    swacc::LaunchParams m = p;
+    m.tile *= 2;
+    EXPECT_NE(prelower_key(k, m, arch), key);
+  }
+  {
+    swacc::LaunchParams m = p;
+    m.double_buffer = !m.double_buffer;
+    EXPECT_NE(prelower_key(k, m, arch), key);
+  }
+  {
+    sw::ArchParams m = arch;
+    m.delta_delay_cycles += 1;
+    EXPECT_NE(prelower_key(k, p, m), key);
+  }
+}
+
+/// Stand-in for a LoweredKernel: the cache only touches `.summary`.
+struct FakeLowered {
+  swacc::StaticSummary summary;
+};
+
+TEST(PrelowerCache, PrekeyHitSkipsTheLoweringCallback) {
+  EvalCache cache;
+  FakeLowered lowered;
+  lowered.summary.kernel = "k";
+  lowered.summary.comp_cycles = 123.0;
+
+  int lowers = 0;
+  int evals = 0;
+  auto lower = [&] {
+    ++lowers;
+    return &lowered;
+  };
+  auto eval = [&](const FakeLowered&) {
+    ++evals;
+    return 42.0;
+  };
+
+  EXPECT_EQ(cache.get_or_lower_eval("prekey-a", lower, eval), 42.0);
+  EXPECT_EQ(lowers, 1);
+  EXPECT_EQ(evals, 1);
+
+  // Same prekey again: neither lowering nor evaluation runs.
+  EXPECT_EQ(cache.get_or_lower_eval("prekey-a", lower, eval), 42.0);
+  EXPECT_EQ(lowers, 1);
+  EXPECT_EQ(evals, 1);
+
+  const EvalCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.lowers_skipped, 1u);
+  EXPECT_EQ(cache.prelower_size(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PrelowerCache, SummaryLevelGuardsAcrossDistinctPrekeys) {
+  EvalCache cache;
+  FakeLowered lowered;
+  lowered.summary.kernel = "same-summary";
+
+  int lowers = 0;
+  int evals = 0;
+  auto lower = [&] {
+    ++lowers;
+    return &lowered;
+  };
+  auto eval = [&](const FakeLowered&) {
+    ++evals;
+    return 7.0;
+  };
+
+  EXPECT_EQ(cache.get_or_lower_eval("prekey-1", lower, eval), 7.0);
+  // A different prekey lowering to the same summary must re-lower (the
+  // prekey is unseen) but hit at the summary level — no re-evaluation.
+  EXPECT_EQ(cache.get_or_lower_eval("prekey-2", lower, eval), 7.0);
+  EXPECT_EQ(lowers, 2);
+  EXPECT_EQ(evals, 1);
+
+  const EvalCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.lowers_skipped, 0u)
+      << "a summary-level hit still paid for the lowering";
+  EXPECT_EQ(cache.prelower_size(), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PrelowerCache, ClearDropsBothLevels) {
+  EvalCache cache;
+  FakeLowered lowered;
+  lowered.summary.kernel = "k";
+  auto lower = [&] { return &lowered; };
+  auto eval = [](const FakeLowered&) { return 1.0; };
+  (void)cache.get_or_lower_eval("p", lower, eval);
+  (void)cache.get_or_lower_eval("p", lower, eval);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.prelower_size(), 0u);
+  const EvalCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.lowers_skipped, 0u);
+}
+
+TEST(PrelowerCache, ConcurrentAccessStaysConsistent) {
+  EvalCache cache;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+  constexpr int kDistinctKeys = 12;
+
+  // One summary per distinct prekey, so values are deterministic.
+  std::vector<FakeLowered> lowereds(kDistinctKeys);
+  for (int i = 0; i < kDistinctKeys; ++i) {
+    lowereds[i].summary.kernel = "k" + std::to_string(i);
+    lowereds[i].summary.comp_cycles = static_cast<double>(i);
+  }
+
+  std::atomic<std::uint64_t> total_evals{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      sw::Rng rng(1000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int k = static_cast<int>(rng.next_below(kDistinctKeys));
+        const double got = cache.get_or_lower_eval(
+            "concurrent-" + std::to_string(k),
+            [&] { return &lowereds[k]; },
+            [&](const FakeLowered& fl) {
+              total_evals.fetch_add(1, std::memory_order_relaxed);
+              return fl.summary.comp_cycles * 10.0;
+            });
+        ASSERT_EQ(got, static_cast<double>(k) * 10.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const EvalCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  // Racing threads may each pay for an evaluation of the same key once,
+  // but misses never exceed evaluations actually performed.
+  EXPECT_EQ(s.misses, total_evals.load());
+  EXPECT_GE(s.misses, static_cast<std::uint64_t>(kDistinctKeys));
+  EXPECT_EQ(cache.prelower_size(), static_cast<std::size_t>(kDistinctKeys));
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kDistinctKeys));
+  EXPECT_LE(s.lowers_skipped, s.hits);
+}
+
+}  // namespace
+}  // namespace swperf::tuning

@@ -32,6 +32,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -68,6 +69,7 @@ struct Options {
   bool vector_space = false;
   int jobs = 1;
   bool json = false;
+  bool time = false;
   bool werror = false;
   bool all_kernels = false;
   bool list_codes = false;
@@ -79,7 +81,7 @@ struct Options {
       "usage: swperf <list|report|simulate|tune|timeline|check|suite|"
       "calibrate|eval> [kernel|file] [--tile N] [--unroll N] [--cpes N] "
       "[--db] [--vw N] [--coalesce] [--small] [--empirical] [--vector] "
-      "[--jobs N] [--json] [--Werror] [--all] [--list-codes]\n");
+      "[--jobs N] [--json] [--time] [--Werror] [--all] [--list-codes]\n");
   std::exit(2);
 }
 
@@ -151,6 +153,8 @@ Options parse(int argc, char** argv) {
       o.vector_space = true;
     } else if (a == "--json") {
       o.json = true;
+    } else if (a == "--time") {
+      o.time = true;
     } else if (a == "--Werror") {
       o.werror = true;
     } else if (a == "--all") {
@@ -209,9 +213,40 @@ int cmd_report(const Options& o, pipeline::Session& session) {
 int cmd_simulate(const Options& o, pipeline::Session& session) {
   const auto spec = kernels::make(o.kernel, o.scale);
   const auto params = o.have_params ? o.params : spec.tuned;
-  const auto e = session.evaluate(spec.desc, params);
+
+  // Host-side engine timing (--time): run the simulation once outside the
+  // session memo under a wall clock, so engine-throughput regressions are
+  // observable from the CLI without rebuilding the bench.
+  double host_seconds = 0.0;
+  pipeline::Evaluation e;
+  if (o.time) {
+    const auto& lk = session.lower(spec.desc, params);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto timed = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+    host_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    e.lowered = lk;
+    e.actual = std::move(timed);
+    e.predicted = session.model().predict(lk.summary);
+  } else {
+    e = session.evaluate(spec.desc, params);
+  }
+  const double events_per_sec =
+      host_seconds > 0.0
+          ? static_cast<double>(e.actual.counters.events_popped) / host_seconds
+          : 0.0;
+
   if (o.json) {
-    print_json_line(pipeline::to_json(e));
+    serde::Json j = pipeline::to_json(e);
+    if (o.time) {
+      serde::Json t = serde::Json::object();
+      t.set("host_seconds", host_seconds);
+      t.set("events_popped", e.actual.counters.events_popped);
+      t.set("events_per_sec", events_per_sec);
+      j.set("timing", std::move(t));
+    }
+    print_json_line(j);
     return 0;
   }
   const auto& arch = session.arch();
@@ -227,6 +262,13 @@ int cmd_simulate(const Options& o, pipeline::Session& session) {
               sw::cycles_to_us(e.actual.avg_dma_wait_cycles(), arch.freq_ghz),
               sw::cycles_to_us(e.actual.avg_gload_wait_cycles(),
                                arch.freq_ghz));
+  if (o.time) {
+    std::printf("host      : %.3f ms wall, %llu events, %.2f Mevents/s\n",
+                1e3 * host_seconds,
+                static_cast<unsigned long long>(
+                    e.actual.counters.events_popped),
+                1e-6 * events_per_sec);
+  }
   return 0;
 }
 
@@ -263,10 +305,12 @@ int cmd_tune(const Options& o, pipeline::Session& session) {
               r.best.to_string().c_str(),
               sw::cycles_to_us(r.best_measured_cycles, arch.freq_ghz),
               speedup, r.tuning_seconds, r.host_seconds);
-  std::printf("cache: %llu evaluations, %llu hits / %llu misses\n",
+  std::printf("cache: %llu evaluations, %llu hits / %llu misses, "
+              "%llu lowerings skipped\n",
               static_cast<unsigned long long>(r.stats.evaluations),
               static_cast<unsigned long long>(r.stats.cache_hits),
-              static_cast<unsigned long long>(r.stats.cache_misses));
+              static_cast<unsigned long long>(r.stats.cache_misses),
+              static_cast<unsigned long long>(r.stats.lowers_skipped));
   return 0;
 }
 
