@@ -1,0 +1,322 @@
+// Cold-run tuning throughput: exhaustive enumeration vs. branch-and-bound
+// with admissible analytic lower bounds (tuning/bounds.h) and skeleton
+// sharing (swacc/skeleton.h).
+//
+// Unlike the paper-figure benches this one measures *this repo's own*
+// static tuner, not the modeled machine: it pins how much of a first-ever
+// ("cold cache") campaign the bound sieve avoids paying for.  Exhaustive
+// and branch-and-bound each get a fresh private cache, so every number is
+// a genuine cold run; the two must agree on the winner bit for bit —
+// branch-and-bound only skips variants whose lower bound proves they
+// cannot enter the winner's tie window.  docs/PERF.md documents the
+// methodology; bench/BENCH_tuning.json checks in one measured run.
+//
+// Modes:
+//   bench_tuning_cold                 full measurement, human-readable
+//   bench_tuning_cold --out FILE      ... and write the JSON record
+//   bench_tuning_cold --smoke         seconds-fast correctness pass:
+//                                     winner identity on two kernels,
+//                                     bound_pruned and skeleton_reuses
+//                                     both nonzero
+//   bench_tuning_cold --check FILE    validate FILE against the
+//                                     BENCH_tuning.json schema and its
+//                                     headline claims (all winners
+//                                     identical; >= 1 kernel with >= 2x
+//                                     wall-clock or evaluation reduction
+//                                     and both counters nonzero)
+// --smoke and --check compose; the perf_smoke_tuning ctest runs both.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "kernels/suite.h"
+#include "serde/json.h"
+#include "tuning/eval_cache.h"
+#include "tuning/space.h"
+#include "tuning/tuner.h"
+
+namespace {
+
+using namespace swperf;
+
+double min_predicted(const tuning::TuningResult& r) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& v : r.explored) best = std::min(best, v.predicted_cycles);
+  return best;
+}
+
+/// One cold campaign: a fresh private cache, so nothing is amortized.
+tuning::TuningResult run_cold(const swacc::KernelDesc& desc,
+                              const tuning::SearchSpace& space,
+                              const sw::ArchParams& arch, bool bnb) {
+  tuning::TuningOptions opts;
+  opts.jobs = 1;  // serial: wall clocks compare work, not scheduling
+  opts.branch_and_bound = bnb;
+  return tuning::StaticTuner(arch, {}, opts).tune(desc, space);
+}
+
+/// The identity the branch-and-bound proof promises: same variant (by the
+/// canonical parameter encoding), same validated cycles, same model
+/// minimum over the explored set.
+bool same_winner(const swacc::KernelDesc& desc, const sw::ArchParams& arch,
+                 const tuning::TuningResult& ex,
+                 const tuning::TuningResult& bnb, std::string* why) {
+  auto fail = [&](const char* what) {
+    if (why != nullptr) *why = what;
+    return false;
+  };
+  if (tuning::prelower_key(desc, ex.best, arch) !=
+      tuning::prelower_key(desc, bnb.best, arch)) {
+    return fail("best params");
+  }
+  if (ex.best_measured_cycles != bnb.best_measured_cycles) {
+    return fail("best_measured_cycles");
+  }
+  if (min_predicted(ex) != min_predicted(bnb)) return fail("min predicted");
+  return true;
+}
+
+serde::Json mode_json(const tuning::TuningResult& r, double host_seconds) {
+  serde::Json j = serde::Json::object();
+  j.set("host_seconds", host_seconds);
+  j.set("full_evaluations", r.stats.evaluations);
+  j.set("variants_per_sec",
+        host_seconds > 0.0
+            ? static_cast<double>(r.variants) / host_seconds
+            : 0.0);
+  return j;
+}
+
+serde::Json measure_kernel(const std::string& name, int reps, bool* ok) {
+  const kernels::KernelSpec spec = kernels::make(name, kernels::Scale::kSmall);
+  const sw::ArchParams arch = sw::ArchParams::sw26010();
+  const tuning::SearchSpace space =
+      tuning::SearchSpace::standard(spec.desc, arch);
+
+  // Best-of-reps wall clocks; the evaluated sets are deterministic, so
+  // every rep of a mode does identical work.
+  tuning::TuningResult ex, bnb;
+  double ex_seconds = 0.0;
+  double bnb_seconds = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    tuning::TuningResult e = run_cold(spec.desc, space, arch, false);
+    tuning::TuningResult b = run_cold(spec.desc, space, arch, true);
+    if (r == 0 || e.host_seconds < ex_seconds) ex_seconds = e.host_seconds;
+    if (r == 0 || b.host_seconds < bnb_seconds) bnb_seconds = b.host_seconds;
+    if (r == 0) {
+      ex = std::move(e);
+      bnb = std::move(b);
+    }
+  }
+
+  std::string why;
+  const bool identical = same_winner(spec.desc, arch, ex, bnb, &why);
+  if (!identical) {
+    std::fprintf(stderr, "FAIL %s: winners disagree on %s\n", name.c_str(),
+                 why.c_str());
+    *ok = false;
+  }
+
+  const double wall_speedup =
+      bnb_seconds > 0.0 ? ex_seconds / bnb_seconds : 0.0;
+  const double eval_reduction =
+      bnb.stats.evaluations > 0
+          ? static_cast<double>(ex.stats.evaluations) /
+                static_cast<double>(bnb.stats.evaluations)
+          : 0.0;
+
+  std::printf("%-10s %3zu variants\n", name.c_str(), ex.variants);
+  std::printf("  exhaustive: %8.3f ms  %4llu evaluations\n",
+              ex_seconds * 1e3,
+              static_cast<unsigned long long>(ex.stats.evaluations));
+  std::printf(
+      "  b&b:        %8.3f ms  %4llu evaluations  (%llu bound-pruned, "
+      "%llu skeleton reuses)\n",
+      bnb_seconds * 1e3,
+      static_cast<unsigned long long>(bnb.stats.evaluations),
+      static_cast<unsigned long long>(bnb.stats.bound_pruned),
+      static_cast<unsigned long long>(bnb.stats.skeleton_reuses));
+  std::printf("  speedup:    %8.2fx wall, %.2fx evaluations, winner %s\n\n",
+              wall_speedup, eval_reduction,
+              identical ? "identical" : "DIFFERS");
+
+  serde::Json j = serde::Json::object();
+  j.set("name", name);
+  j.set("variants", static_cast<std::uint64_t>(ex.variants));
+  j.set("exhaustive", mode_json(ex, ex_seconds));
+  serde::Json b = mode_json(bnb, bnb_seconds);
+  b.set("bound_pruned", bnb.stats.bound_pruned);
+  b.set("skeleton_reuses", bnb.stats.skeleton_reuses);
+  j.set("bnb", std::move(b));
+  j.set("wall_speedup", wall_speedup);
+  j.set("eval_reduction", eval_reduction);
+  j.set("same_winner", identical);
+  return j;
+}
+
+// ---- Smoke correctness pass ------------------------------------------------
+
+bool smoke_pass() {
+  bool ok = true;
+  // Two kernels whose standard spaces exercise both fast paths: the bound
+  // sieve must actually prune and the skeleton level must actually reuse.
+  for (const char* name : {"kmeans", "backprop"}) {
+    bool kernel_ok = true;
+    const serde::Json j = measure_kernel(name, /*reps=*/1, &kernel_ok);
+    ok = ok && kernel_ok;
+    if (!j.at("same_winner").as_bool()) ok = false;  // already reported
+    if (j.at("bnb").at("bound_pruned").as_double() == 0.0) {
+      std::fprintf(stderr, "FAIL smoke %s: bound_pruned == 0\n", name);
+      ok = false;
+    }
+    if (j.at("bnb").at("skeleton_reuses").as_double() == 0.0) {
+      std::fprintf(stderr, "FAIL smoke %s: skeleton_reuses == 0\n", name);
+      ok = false;
+    }
+  }
+  std::printf("smoke: %s\n", ok ? "OK" : "FAILED");
+  return ok;
+}
+
+// ---- BENCH_tuning.json schema check ----------------------------------------
+
+bool check_mode_obj(const serde::Json& m, const char* where) {
+  for (const char* f :
+       {"host_seconds", "full_evaluations", "variants_per_sec"}) {
+    if (!m.contains(f) || !m.at(f).is_number()) {
+      std::fprintf(stderr, "FAIL check: %s.%s missing or not a number\n",
+                   where, f);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool check_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "FAIL check: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  serde::Json j;
+  try {
+    j = serde::Json::parse_or_throw(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL check: %s does not parse: %s\n", path.c_str(),
+                 e.what());
+    return false;
+  }
+  if (!j.contains("schema") ||
+      j.at("schema").as_string() != "swperf-bench-tuning/v1") {
+    std::fprintf(stderr, "FAIL check: bad or missing schema tag\n");
+    return false;
+  }
+  if (!j.contains("kernels") || !j.at("kernels").is_array() ||
+      j.at("kernels").size() == 0) {
+    std::fprintf(stderr, "FAIL check: kernels missing or empty\n");
+    return false;
+  }
+  bool headline = false;  // >= 1 kernel delivering the claimed reduction
+  for (std::size_t i = 0; i < j.at("kernels").size(); ++i) {
+    const serde::Json& k = j.at("kernels").items()[i];
+    if (!k.contains("name") || !k.contains("exhaustive") ||
+        !k.contains("bnb") || !k.contains("wall_speedup") ||
+        !k.contains("eval_reduction") || !k.contains("same_winner")) {
+      std::fprintf(stderr, "FAIL check: kernel %zu incomplete\n", i);
+      return false;
+    }
+    if (!k.at("same_winner").as_bool()) {
+      std::fprintf(stderr, "FAIL check: kernel %zu winner differs\n", i);
+      return false;
+    }
+    if (!check_mode_obj(k.at("exhaustive"), "exhaustive") ||
+        !check_mode_obj(k.at("bnb"), "bnb")) {
+      return false;
+    }
+    const serde::Json& b = k.at("bnb");
+    if (!b.contains("bound_pruned") || !b.contains("skeleton_reuses")) {
+      std::fprintf(stderr, "FAIL check: kernel %zu bnb counters missing\n",
+                   i);
+      return false;
+    }
+    if ((k.at("wall_speedup").as_double() >= 2.0 ||
+         k.at("eval_reduction").as_double() >= 2.0) &&
+        b.at("bound_pruned").as_double() > 0.0 &&
+        b.at("skeleton_reuses").as_double() > 0.0) {
+      headline = true;
+    }
+  }
+  if (!headline) {
+    std::fprintf(stderr,
+                 "FAIL check: no kernel shows >= 2x wall or evaluation "
+                 "reduction with both counters nonzero\n");
+    return false;
+  }
+  std::printf("check: %s conforms to swperf-bench-tuning/v1\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string check_path;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--check" && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_tuning_cold [--smoke] [--check FILE] "
+                   "[--out FILE]\n");
+      return 2;
+    }
+  }
+
+  bool ok = true;
+  if (!check_path.empty()) ok = check_file(check_path) && ok;
+
+  if (smoke) {
+    ok = smoke_pass() && ok;
+    return ok ? 0 : 1;
+  }
+  if (!check_path.empty() && out_path.empty()) return ok ? 0 : 1;
+
+  swperf::bench::print_header(
+      "Cold-run static tuning: exhaustive vs. branch-and-bound",
+      "repo performance record (BENCH_tuning.json), not a paper figure");
+
+  serde::Json kernels_json = serde::Json::array();
+  for (const std::string& name : kernels::table2_kernels()) {
+    kernels_json.push_back(measure_kernel(name, /*reps=*/3, &ok));
+  }
+
+  serde::Json root = serde::Json::object();
+  root.set("schema", std::string("swperf-bench-tuning/v1"));
+  root.set("kernels", std::move(kernels_json));
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << root.dump() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+      ok = false;
+    } else {
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+  }
+  return ok ? 0 : 1;
+}

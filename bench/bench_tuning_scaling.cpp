@@ -13,19 +13,40 @@
 // Speedup is bounded by the host's core count: on a single-core container
 // the engine degrades gracefully to ~1x (the numbers below say so rather
 // than pretend).
+//
+// `--out FILE` additionally writes a JSON record
+// (swperf-bench-tuning-scaling/v1); its memoized-rerun object carries the
+// same fields as BENCH_sim.json's tuning runs (host_seconds, variants,
+// variants_per_sec, cache_hits, lowers_skipped) so the two records diff
+// cleanly.
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "kernels/suite.h"
+#include "serde/json.h"
 #include "sw/pool.h"
 #include "tuning/tuner.h"
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using swperf::sw::Table;
   namespace bench = swperf::bench;
+  namespace serde = swperf::serde;
   namespace tuning = swperf::tuning;
   const auto arch = swperf::sw::ArchParams::sw26010();
+
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_tuning_scaling [--out FILE]\n");
+      return 2;
+    }
+  }
 
   bench::print_header("Parallel tuning engine scaling",
                       "Table II campaigns, empirical tuner");
@@ -46,6 +67,21 @@ int main() {
   double largest_t1 = 0.0, largest_t8 = 0.0;
   std::size_t largest_variants = 0;
   std::string largest_kernel;
+
+  serde::Json kernels_json = serde::Json::array();
+  // Same field set as BENCH_sim.json's tuning cold/warm runs.
+  const auto run_json = [](const tuning::TuningResult& r) {
+    serde::Json j = serde::Json::object();
+    j.set("host_seconds", r.host_seconds);
+    j.set("variants", static_cast<std::uint64_t>(r.variants));
+    j.set("variants_per_sec",
+          r.host_seconds > 0.0
+              ? static_cast<double>(r.variants) / r.host_seconds
+              : 0.0);
+    j.set("cache_hits", r.stats.cache_hits);
+    j.set("lowers_skipped", r.stats.lowers_skipped);
+    return j;
+  };
 
   for (const auto& name : swperf::kernels::table2_kernels()) {
     const auto spec =
@@ -87,6 +123,18 @@ int main() {
            Table::pct(rerun.stats.hit_rate()),
            Table::num(rerun.host_seconds, 3) + "s"});
 
+    serde::Json k = serde::Json::object();
+    k.set("name", name);
+    k.set("variants", static_cast<std::uint64_t>(serial.variants));
+    serde::Json per_jobs = serde::Json::object();
+    for (int j = 0; j < 4; ++j) {
+      per_jobs.set("jobs_" + std::to_string(jobs_sweep[j]), host[j]);
+    }
+    k.set("host_seconds", std::move(per_jobs));
+    k.set("same_pick", same);
+    k.set("memoized_rerun", run_json(rerun));
+    kernels_json.push_back(std::move(k));
+
     if (!same) {
       std::fprintf(stderr,
                    "determinism violation on %s: parallel pick differs\n",
@@ -106,5 +154,20 @@ int main() {
       "determinism tests guarantee any --jobs value returns the serial "
       "result bit-for-bit\n",
       swperf::sw::resolve_jobs(0));
+
+  if (!out_path.empty()) {
+    serde::Json root = serde::Json::object();
+    root.set("schema", std::string("swperf-bench-tuning-scaling/v1"));
+    root.set("hardware_threads",
+             static_cast<std::uint64_t>(swperf::sw::resolve_jobs(0)));
+    root.set("kernels", std::move(kernels_json));
+    std::ofstream out(out_path);
+    out << root.dump() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
   return 0;
 }

@@ -41,8 +41,23 @@ const swacc::LoweredKernel& Session::lower(const swacc::KernelDesc& kernel,
   std::string k = key(kernel, params);
   auto it = lowered_.find(k);
   if (it == lowered_.end()) {
+    // Share the tile-independent code-generation artifact across lowerings
+    // of the same kernel: variants differing only in tile/CPEs/
+    // double-buffer/coalescing reuse one unroll×vectorize×schedule pass.
+    // Illegal launches still throw exactly like swacc::lower() and cache
+    // nothing: both build_skeleton and lower_with_skeleton validate before
+    // this code inserts into either table.
+    std::string sk = tuning::skeleton_key(kernel, params, arch_);
+    auto skel = skeletons_.find(sk);
+    if (skel == skeletons_.end()) {
+      skel = skeletons_
+                 .emplace(std::move(sk),
+                          swacc::build_skeleton(kernel, params, arch_))
+                 .first;
+    }
     it = lowered_
-             .emplace(std::move(k), swacc::lower(kernel, params, arch_))
+             .emplace(std::move(k), swacc::lower_with_skeleton(
+                                        kernel, params, arch_, skel->second))
              .first;
   }
   return it->second;

@@ -29,6 +29,7 @@
 #include "serde/json.h"
 #include "sim/machine.h"
 #include "swacc/lower.h"
+#include "swacc/skeleton.h"
 #include "tuning/tuner.h"
 
 namespace swperf::pipeline {
@@ -108,6 +109,7 @@ class Session {
   // Memo-table introspection (tests pin the memoization behaviour).
   std::size_t lowered_cached() const { return lowered_.size(); }
   std::size_t simulated_cached() const { return simulated_.size(); }
+  std::size_t skeletons_cached() const { return skeletons_.size(); }
 
  private:
   std::string key(const swacc::KernelDesc& kernel,
@@ -117,6 +119,9 @@ class Session {
   model::PerfModel model_;
   std::unordered_map<std::string, swacc::LoweredKernel> lowered_;
   std::unordered_map<std::string, sim::SimResult> simulated_;
+  /// Code-generation skeletons shared across lowerings that differ only in
+  /// tile/CPEs/double-buffer/coalescing (keyed by tuning::skeleton_key).
+  std::unordered_map<std::string, swacc::LoweredSkeleton> skeletons_;
 };
 
 }  // namespace swperf::pipeline

@@ -448,6 +448,8 @@ Json to_json(const tuning::TuningStats& s) {
   j.set("cache_hits", s.cache_hits);
   j.set("cache_misses", s.cache_misses);
   j.set("lowers_skipped", s.lowers_skipped);
+  j.set("bound_pruned", s.bound_pruned);
+  j.set("skeleton_reuses", s.skeleton_reuses);
   j.set("jobs", s.jobs);
   return j;
 }

@@ -1,327 +1,18 @@
 #include "swacc/lower.h"
 
-#include <algorithm>
-#include <cmath>
-#include <string>
-
-#include "analysis/checker.h"
-#include "isa/reorder.h"
-#include "isa/vectorize.h"
-#include "isa/schedule.h"
-#include "isa/unroll.h"
-#include "mem/spm.h"
-#include "sw/error.h"
-#include "sw/rng.h"
+#include "swacc/skeleton.h"
 
 namespace swperf::swacc {
 
-namespace {
-
-/// Deterministic per-CPE skew in [-1, 1], a pure function of (tag, cpe):
-/// irregular kernels' workload imbalance must be reproducible.
-double skew_unit(const std::string& tag, std::uint32_t cpe) {
-  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the tag
-  for (char ch : tag) {
-    h ^= static_cast<unsigned char>(ch);
-    h *= 1099511628211ULL;
-  }
-  sw::SplitMix64 sm(h ^ (0x9e3779b97f4a7c15ULL * (cpe + 1)));
-  const double u =
-      static_cast<double>(sm.next() >> 11) * 0x1.0p-53;  // [0, 1)
-  return 2.0 * u - 1.0;
-}
-
-/// One copy intrinsic over the staged arrays of one direction, for a chunk
-/// of `g` outer elements.
-mem::DmaRequest build_request(const KernelDesc& k, bool copy_in,
-                              std::uint64_t g) {
-  mem::DmaRequest req;
-  req.dir = copy_in ? mem::Direction::kRead : mem::Direction::kWrite;
-  for (const auto& a : k.arrays) {
-    if (!a.staged()) continue;
-    if (copy_in ? !a.copies_in() : !a.copies_out()) continue;
-    switch (a.access) {
-      case Access::kContiguous:
-        req.add(a.bytes_per_outer * g, 1);
-        break;
-      case Access::kStrided:
-        // One DMA call per outer element's row, rounded up separately.
-        req.add(a.bytes_per_outer / a.segments_per_outer,
-                static_cast<std::uint32_t>(g * a.segments_per_outer));
-        break;
-      case Access::kBlock2D:
-        // A 2D sub-block: fixed row count, row length grows with chunk
-        // size (shrinks when more CPEs split the outer dimension).
-        req.add(g * (a.bytes_per_outer / a.segments_per_outer),
-                a.segments_per_outer);
-        break;
-      default:
-        break;
-    }
-  }
-  return req;
-}
-
-std::uint32_t count_staged_in(const KernelDesc& k) {
-  std::uint32_t n = 0;
-  for (const auto& a : k.arrays) {
-    if (a.staged() && a.copies_in()) ++n;
-  }
-  return n;
-}
-
-/// SPM layout shared by lower() and spm_bytes_required().
-std::uint64_t layout_spm(const KernelDesc& kernel, const LaunchParams& params,
-                         std::uint32_t spm_capacity, bool enforce) {
-  mem::SpmAllocator spm(enforce ? spm_capacity : ~std::uint32_t{0});
-  for (const auto& a : kernel.arrays) {
-    if (a.access == Access::kBroadcast) {
-      spm.allocate("bcast:" + a.name,
-                   static_cast<std::uint32_t>(a.broadcast_bytes));
-    }
-  }
-  const std::uint64_t eff_tile = std::min(params.tile, kernel.n_outer);
-  const int nbuf = params.double_buffer ? 2 : 1;
-  for (const auto& a : kernel.arrays) {
-    if (!a.staged()) continue;
-    for (int b = 0; b < nbuf; ++b) {
-      spm.allocate(a.name + "#" + std::to_string(b),
-                   static_cast<std::uint32_t>(eff_tile * a.bytes_per_outer));
-    }
-  }
-  return spm.used();
-}
-
-}  // namespace
-
-std::uint64_t spm_bytes_required(const KernelDesc& kernel,
-                                 const LaunchParams& params) {
-  kernel.validate();
-  return layout_spm(kernel, params, 0, /*enforce=*/false);
-}
-
+// The body of lowering lives in skeleton.cpp, split into the
+// tile-independent code-generation skeleton and the tile-dependent
+// completion so tuning campaigns can share skeletons across variants.
+// Composing the two here is bit-identical to the former monolithic
+// lower() (tests/swacc/skeleton_test.cpp pins this).
 LoweredKernel lower(const KernelDesc& kernel, const LaunchParams& params,
                     const sw::ArchParams& arch) {
-  arch.validate();
-  // Every precondition lower() used to spell out inline lives in the static
-  // diagnostics engine now; error-severity findings abort the lowering with
-  // their [code] in the exception message.
-  analysis::throw_on_errors(analysis::check_launch(kernel, params, arch));
-
-  LoweredKernel out;
-  out.decomp = decompose(kernel.n_outer, params.tile, params.requested_cpes);
-  out.sim_config.arch = arch;
-  out.sim_config.core_groups = out.decomp.core_groups_needed(arch);
-  out.spm_bytes_used = static_cast<std::uint32_t>(
-      layout_spm(kernel, params, arch.spm_bytes, /*enforce=*/true));
-
-  // Code generation: the unrolled body (steady state) plus, when the trip
-  // count does not divide, the original body for the remainder.  Blocks are
-  // list-scheduled like the native compiler would (the IR is written in
-  // source order; the in-order pipeline rewards a good static order).
-  const std::uint32_t span = params.unroll * params.vector_width;
-  const std::uint32_t blk_u = out.binary.add_block(isa::reorder_for_ilp(
-      isa::unroll(isa::vectorize(kernel.body, params.vector_width),
-                  isa::UnrollOptions{static_cast<int>(params.unroll), true,
-                                     true}),
-      arch));
-  const std::uint32_t blk_1 =
-      span > 1
-          ? out.binary.add_block(isa::reorder_for_ilp(kernel.body, arch))
-          : blk_u;
-  const isa::LoopSchedule ls_u(out.binary.blocks[blk_u], arch);
-  const isa::LoopSchedule ls_1(out.binary.blocks[blk_1], arch);
-
-  // Below the compiler's staging threshold, DMA stays but extra per-element
-  // Gloads appear (the Fig. 7(a) cliff).
-  const bool gload_fallback = params.tile < kernel.dma_min_tile;
-  const std::uint32_t n_staged_in = count_staged_in(kernel);
-  const double gpi = kernel.gloads_per_inner_total();
-  const std::uint32_t gbytes =
-      std::min(kernel.gload_bytes_max(), arch.gload_max_bytes);
-
-  struct PerCpe {
-    double comp_cycles = 0.0;
-    std::vector<std::uint64_t> mrt;
-    std::uint64_t gloads = 0;
-    isa::OpClassCounts counts;
-  };
-  std::vector<PerCpe> acc(out.decomp.active_cpes);
-  out.programs.reserve(out.decomp.active_cpes);
-
-  std::uint64_t bytes_requested = 0;
-  std::uint64_t bytes_transferred = 0;
-
-  for (std::uint32_t cpe = 0; cpe < out.decomp.active_cpes; ++cpe) {
-    sim::CpeProgram prog;
-    PerCpe& pc = acc[cpe];
-    const auto chunks = out.decomp.chunks_of(cpe);
-    const double cscale =
-        1.0 + kernel.comp_imbalance * skew_unit(kernel.name + "#c", cpe);
-    const double gscale =
-        1.0 + kernel.gload_imbalance * skew_unit(kernel.name + "#g", cpe);
-
-    auto record_dma = [&](const mem::DmaRequest& req) {
-      pc.mrt.push_back(req.transactions(arch));
-      bytes_requested += req.total_bytes();
-      bytes_transferred += req.transferred_bytes(arch);
-    };
-
-    // Broadcast arrays: one copy intrinsic at launch, blocking.
-    {
-      mem::DmaRequest bc;
-      bc.dir = mem::Direction::kRead;
-      for (const auto& a : kernel.arrays) {
-        if (a.access == Access::kBroadcast) bc.add(a.broadcast_bytes);
-      }
-      if (!bc.empty()) {
-        record_dma(bc);
-        prog.dma(std::move(bc));
-      }
-    }
-
-    // Compute (or gload-interleaved compute) for one chunk of g elements.
-    auto emit_compute = [&](std::uint64_t g) {
-      const auto raw =
-          static_cast<double>(g) * static_cast<double>(kernel.inner_iters);
-      const auto inner_total = std::max<std::uint64_t>(
-          1, static_cast<std::uint64_t>(std::llround(raw * cscale)));
-      const std::uint64_t q = inner_total / span;
-      const std::uint64_t rem = inner_total % span;
-      const std::uint64_t comp_cycles = ls_u.cycles(q) + ls_1.cycles(rem);
-
-      std::uint64_t ng = static_cast<std::uint64_t>(
-          std::llround(gpi * static_cast<double>(inner_total) * gscale));
-      if (gload_fallback) ng += g * n_staged_in;
-      if (params.coalesce_gloads && ng > 0) {
-        // Adjacent accesses pack into one request of up to 32 bytes; only
-        // the kernel's coalesceable fraction benefits.
-        const double pack = static_cast<double>(arch.gload_max_bytes) /
-                            static_cast<double>(gbytes);
-        const double kept =
-            static_cast<double>(ng) *
-            (1.0 - kernel.gload_coalesceable +
-             kernel.gload_coalesceable / std::max(1.0, pack));
-        ng = std::max<std::uint64_t>(
-            1, static_cast<std::uint64_t>(std::llround(kept)));
-      }
-
-      if (ng == 0) {
-        prog.compute(blk_u, q);
-        prog.compute(blk_1, rem);
-      } else {
-        const sw::Tick total_ticks = sw::cycles_to_ticks(comp_cycles);
-        sim::GloadLoopOp gl;
-        gl.count = ng;
-        gl.bytes = gbytes;
-        gl.dir = mem::Direction::kRead;
-        gl.compute_ticks_per_elem = (total_ticks + ng / 2) / ng;
-        prog.gload_loop(gl);
-        pc.gloads += ng;
-      }
-      pc.comp_cycles += static_cast<double>(comp_cycles);
-      pc.counts += ls_u.counts_per_iter().scaled(q);
-      if (rem > 0) pc.counts += ls_1.counts_per_iter().scaled(rem);
-    };
-
-    const bool has_in = !build_request(kernel, true, 1).empty();
-    const bool has_out = !build_request(kernel, false, 1).empty();
-
-    if (!params.double_buffer) {
-      for (std::uint64_t c : chunks) {
-        const std::uint64_t g = out.decomp.chunk_size(c);
-        if (has_in) {
-          auto req = build_request(kernel, true, g);
-          record_dma(req);
-          prog.dma(std::move(req));
-        }
-        emit_compute(g);
-        if (has_out) {
-          auto req = build_request(kernel, false, g);
-          record_dma(req);
-          prog.dma(std::move(req));
-        }
-      }
-    } else {
-      // Double buffering: handles 0/1 alternate copy-in buffers, handles
-      // 2/3 alternate copy-out buffers (Figure 5 of the paper).
-      if (has_in && !chunks.empty()) {
-        auto req =
-            build_request(kernel, true, out.decomp.chunk_size(chunks[0]));
-        record_dma(req);
-        prog.dma(std::move(req), /*handle=*/0);
-      }
-      for (std::size_t i = 0; i < chunks.size(); ++i) {
-        const std::uint64_t g = out.decomp.chunk_size(chunks[i]);
-        if (has_in) {
-          prog.dma_wait(static_cast<int>(i % 2));
-          if (i + 1 < chunks.size()) {
-            auto req = build_request(kernel, true,
-                                     out.decomp.chunk_size(chunks[i + 1]));
-            record_dma(req);
-            prog.dma(std::move(req), static_cast<int>((i + 1) % 2));
-          }
-        }
-        emit_compute(g);
-        if (has_out) {
-          if (i >= 2) prog.dma_wait(static_cast<int>(2 + i % 2));
-          auto req = build_request(kernel, false, g);
-          record_dma(req);
-          prog.dma(std::move(req), static_cast<int>(2 + i % 2));
-        }
-      }
-      if (has_out) {
-        if (!chunks.empty()) {
-          prog.dma_wait(static_cast<int>(2 + (chunks.size() - 1) % 2));
-        }
-        if (chunks.size() >= 2) {
-          prog.dma_wait(static_cast<int>(2 + (chunks.size() - 2) % 2));
-        }
-      }
-    }
-    out.programs.push_back(std::move(prog));
-  }
-
-  // Representative CPEs for the model's single-CPE view:
-  //  * computation uses the longest execution path (Section III-B: "upon
-  //    load imbalance, the longest execution time among the CPEs is used
-  //    for T_comp"), and likewise the Gload stream (longest branch,
-  //    Section III-F);
-  //  * the DMA request sequence uses the *median* CPE — Eq. 4 assumes all
-  //    active CPEs issue equivalent requests concurrently, so the
-  //    symmetric-CPE view, not the longest path, matches its contention
-  //    formula when round-robin chunk dealing leaves some CPEs one chunk
-  //    short.
-  std::size_t rep_comp = 0;
-  std::size_t rep_gload = 0;
-  for (std::size_t i = 0; i < acc.size(); ++i) {
-    if (acc[i].comp_cycles > acc[rep_comp].comp_cycles) rep_comp = i;
-    if (acc[i].gloads > acc[rep_gload].gloads) rep_gload = i;
-  }
-  std::vector<std::size_t> by_mrt(acc.size());
-  for (std::size_t i = 0; i < acc.size(); ++i) by_mrt[i] = i;
-  std::sort(by_mrt.begin(), by_mrt.end(), [&](std::size_t a, std::size_t c) {
-    std::uint64_t sa = 0, sc = 0;
-    for (auto m : acc[a].mrt) sa += m;
-    for (auto m : acc[c].mrt) sc += m;
-    return sa < sc;
-  });
-  const std::size_t rep_dma = by_mrt[by_mrt.size() / 2];
-
-  StaticSummary& s = out.summary;
-  s.kernel = kernel.name;
-  s.params = params;
-  s.active_cpes = out.decomp.active_cpes;
-  s.core_groups = out.sim_config.core_groups;
-  s.double_buffer = params.double_buffer;
-  s.dma_req_mrt = acc[rep_dma].mrt;
-  s.n_gloads = acc[rep_gload].gloads;
-  s.comp_cycles = acc[rep_comp].comp_cycles;
-  s.inst_counts = acc[rep_comp].counts;
-  s.dma_bytes_requested = bytes_requested;
-  s.dma_bytes_transferred = bytes_transferred;
-  s.total_flops = kernel.total_flops();
-  return out;
+  return lower_with_skeleton(kernel, params, arch,
+                             build_skeleton(kernel, params, arch));
 }
 
 sim::SimResult simulate_kernel(const KernelDesc& kernel,

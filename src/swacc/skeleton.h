@@ -1,0 +1,54 @@
+// Incremental lowering: the tile-independent half of swacc::lower().
+//
+// Code generation (vectorize → unroll → reorder → list-schedule) depends
+// only on (KernelDesc, unroll, vector_width, ArchParams) — never on the
+// tile size, the CPE count, double buffering, or Gload coalescing.  A
+// tuning campaign that sweeps 12 tiles × 4 unrolls therefore rebuilds the
+// same four scheduled blocks 12 times each.  `LoweredSkeleton` captures
+// that reusable half; `lower_with_skeleton()` re-derives only the
+// tile-dependent rest (decomposition, SPM layout, per-chunk trip counts
+// and DMA segment math) and is bit-identical to a plain `lower()` call.
+//
+// Contract: `lower(k, p, a)` ≡ `lower_with_skeleton(k, p, a,
+// build_skeleton(k, p, a))` — enforced field-for-field by
+// tests/swacc/skeleton_test.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/schedule.h"
+#include "swacc/lower.h"
+
+namespace swperf::swacc {
+
+/// The tile-independent artifact of lowering: the scheduled code blocks
+/// and their loop schedules.  Valid for any LaunchParams that agree on
+/// `unroll` and `vector_width` (the code-generation parameters).
+struct LoweredSkeleton {
+  sim::KernelBinary binary;     // blocks[blk_u], blocks[blk_1]
+  std::uint32_t blk_u = 0;      // unrolled+vectorized steady-state block
+  std::uint32_t blk_1 = 0;      // scalar remainder block (== blk_u if span 1)
+  isa::LoopSchedule ls_u;       // schedule of blk_u
+  isa::LoopSchedule ls_1;       // schedule of blk_1
+  std::uint32_t span = 1;       // source iterations per blk_u execution
+  std::uint32_t unroll = 1;     // the params.unroll this was built for
+  std::uint32_t vector_width = 1;  // the params.vector_width ditto
+};
+
+/// Builds the code-generation skeleton for `params`.  Validates the launch
+/// exactly like lower() (same exceptions, same [code] messages), so an
+/// illegal variant fails identically through either path.
+LoweredSkeleton build_skeleton(const KernelDesc& kernel,
+                               const LaunchParams& params,
+                               const sw::ArchParams& arch);
+
+/// Completes lowering on top of a previously built skeleton.  `skel` may
+/// come from a *different* LaunchParams as long as unroll and vector_width
+/// match (checked); everything tile-dependent is re-derived here.
+/// Bit-identical to lower(kernel, params, arch).
+LoweredKernel lower_with_skeleton(const KernelDesc& kernel,
+                                  const LaunchParams& params,
+                                  const sw::ArchParams& arch,
+                                  const LoweredSkeleton& skel);
+
+}  // namespace swperf::swacc

@@ -1,0 +1,302 @@
+#include "tuning/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "isa/vectorize.h"
+#include "sw/error.h"
+#include "swacc/decompose.h"
+
+namespace swperf::tuning {
+
+namespace {
+
+// Floating-point safety deflation.  Every inequality below is proved in
+// exact arithmetic; the computed bound and the computed prediction each
+// carry rounding error of at most a few thousand ULPs (the model sums one
+// term per DMA request sequentially).  Deflating the bound by 1e-7 —
+// orders of magnitude above accumulated rounding, orders of magnitude
+// below the tuner's 1% tie resolution — makes `bound(v) <= predict(v)`
+// hold as *computed*, not just as proved, so the admissibility tests can
+// assert it without tolerance and branch-and-bound stays exact.
+constexpr double kFloatSafety = 1.0 - 1e-7;
+
+/// DRAM transactions one chunk of `g` outer elements moves for `a` —
+/// exactly swacc's build_request(...).transactions(arch) restricted to
+/// one array (lower.cpp emits one segment bag per direction per chunk;
+/// transactions() sums count × ⌈bytes/TransSize⌉ over segments, Eq. 5).
+/// Monotone non-decreasing in `g` for every access type: contiguous is
+/// ⌈g·b/T⌉, strided is g·segs·⌈row/T⌉, block-2D is segs·⌈g·row/T⌉.
+std::uint64_t chunk_transactions(const swacc::ArrayRef& a, std::uint64_t g,
+                                 const sw::ArchParams& arch) {
+  switch (a.access) {
+    case swacc::Access::kContiguous:
+      return arch.transactions_for(g * a.bytes_per_outer);
+    case swacc::Access::kStrided:
+      return g * a.segments_per_outer *
+             arch.transactions_for(a.bytes_per_outer / a.segments_per_outer);
+    case swacc::Access::kBlock2D:
+      return a.segments_per_outer *
+             arch.transactions_for(g *
+                                   (a.bytes_per_outer /
+                                    a.segments_per_outer));
+    default:
+      return 0;
+  }
+}
+
+/// MRT of the one copy intrinsic lowering emits per direction per chunk
+/// of `g` outer elements (the sum over that direction's staged arrays).
+std::uint64_t dir_chunk_mrt(const swacc::KernelDesc& k, bool copy_in,
+                            std::uint64_t g, const sw::ArchParams& arch) {
+  std::uint64_t m = 0;
+  for (const auto& a : k.arrays) {
+    if (!a.staged()) continue;
+    if (copy_in ? !a.copies_in() : !a.copies_out()) continue;
+    m += chunk_transactions(a, g, arch);
+  }
+  return m;
+}
+
+}  // namespace
+
+double CycleBound::value() const {
+  return std::max(mem_roofline, std::max(dma_latency, compute));
+}
+
+BoundEvaluator::BoundEvaluator(const swacc::KernelDesc& kernel,
+                               const sw::ArchParams& arch)
+    : kernel_(kernel), arch_(arch) {
+  kernel_.validate();
+
+  // Per-execution pipe occupancies of the source body.  Loop-overhead
+  // instructions collapse under unrolling, so only the real body counts;
+  // unpipelined div/sqrt occupy pipeline 0 for their full latency
+  // regardless of scheduling (footnote 1 of the paper).
+  for (const auto& i : kernel_.body.instrs) {
+    if (i.loop_overhead) continue;
+    const double occupancy =
+        isa::is_unpipelined(i.cls)
+            ? static_cast<double>(isa::latency_of(i.cls, arch_))
+            : 1.0;
+    if (isa::pipe_of(i.cls) == isa::Pipe::kCompute) {
+      p0_ += occupancy;
+    } else {
+      p1_ += occupancy;
+    }
+  }
+  const double max_lanes =
+      kernel_.vectorizable ? static_cast<double>(isa::kMaxVectorLanes) : 1.0;
+  per_iter_legacy_ = std::max(p0_, p1_) / max_lanes;
+
+  for (const auto& a : kernel_.arrays) {
+    bcast_trans_ += arch_.transactions_for(a.access ==
+                                                   swacc::Access::kBroadcast
+                                               ? a.broadcast_bytes
+                                               : 0);
+    staged_in_ += (a.staged() && a.copies_in()) ? 1 : 0;
+  }
+  gpi_ = kernel_.gloads_per_inner_total();
+  inner_total_ = static_cast<double>(kernel_.n_outer) *
+                 static_cast<double>(kernel_.inner_iters);
+
+  // Coalescing keep-fraction, exactly as emit_compute applies it: only
+  // the coalesceable fraction packs, by the ratio of the 32-B Gload limit
+  // to this kernel's Gload width (gbytes == 0 packs infinitely, matching
+  // the IEEE division in lower).
+  const std::uint32_t gbytes =
+      std::min(kernel_.gload_bytes_max(), arch_.gload_max_bytes);
+  const double pack = static_cast<double>(arch_.gload_max_bytes) /
+                      static_cast<double>(gbytes);
+  coalesce_keep_ = 1.0 - kernel_.gload_coalesceable +
+                   kernel_.gload_coalesceable / std::max(1.0, pack);
+}
+
+CycleBound BoundEvaluator::bound(const swacc::LaunchParams& params) const {
+  SWPERF_CHECK(params.tile >= 1 && params.unroll >= 1 &&
+                   params.requested_cpes >= 1 && params.vector_width >= 1,
+               "invalid launch parameters");
+  const auto d = swacc::decompose(kernel_.n_outer, params.tile,
+                                  params.requested_cpes);
+  const double active = static_cast<double>(d.active_cpes);
+
+  // Per-transaction service time at this variant's core-group count —
+  // identical to PerfModel::trans_cycles (model.cpp): per-CG service
+  // scaled by CG count × cross-section efficiency when more than one CG
+  // participates.
+  const std::uint32_t cg = d.core_groups_needed(arch_);
+  const double tc =
+      arch_.trans_service_cycles() /
+      (cg > 1 ? static_cast<double>(cg) * arch_.cross_section_bw_efficiency
+              : 1.0);
+  const double l_base = static_cast<double>(arch_.l_base_cycles);
+  const double ddelay = static_cast<double>(arch_.delta_delay_cycles);
+
+  // ---- DMA terms over a conservative request multiset. -------------------
+  //
+  // The model charges T_DMA = Σ_r max(L_avg_r, L_bw_r) over the *median*
+  // CPE's request sequence (lower.cpp picks the median-by-total-MRT CPE as
+  // rep_dma; model.cpp skips MRT==0 requests and takes the max per request
+  // when bandwidth contention is on — the default the static tuner runs
+  // with).  We bound that sum from below with a request multiset every
+  // active CPE's sequence pointwise dominates:
+  //
+  //   * Round-robin dealing gives every active CPE at least
+  //     q_min = ⌊#chunks/#active⌋ ≥ 1 chunks, of which at most one (the
+  //     globally last chunk) is smaller than the full tile; so per
+  //     direction every CPE issues ≥ q_min−1 requests of MRT(full chunk)
+  //     and ≥ 1 request of MRT ≥ MRT(tail chunk).
+  //   * Per-request MRT is monotone in the chunk size (see
+  //     chunk_transactions), so MRT(tail) ≤ MRT(full) ≤ MRT(any chunk).
+  //   * The broadcast intrinsic is issued identically by every CPE.
+  //
+  // Both max-arguments, L_avg(m) = L_base + (m−1)Δ (Eq. 11) and
+  // L_bw(m) = #active·m·tc (Eq. 4), increase with m, so summing either one
+  // over the dominated multiset can only undershoot the model's
+  // Σ max(L_avg, L_bw):
+  //
+  //   Σ_cons L_bw(m)  ≤ Σ_med max(...) = T_DMA      (the roofline term)
+  //   Σ_cons L_avg(m) ≤ Σ_med max(...) = T_DMA      (the latency term)
+  //
+  // and T_DMA ≤ T_mem ≤ T_total: T_total = T_mem + T_comp − T_overlap −
+  // db_saving, with T_overlap ≤ T_comp (Eq. 7 is a min with T_comp) and
+  // db_saving ≤ max(0, T_comp − T_overlap) (Eq. 14 as implemented), so
+  // T_overlap + db_saving ≤ T_comp and T_total ≥ T_mem.
+  double bw = 0.0;   // Σ L_bw over the conservative multiset
+  double lat = 0.0;  // Σ L_avg over the conservative multiset
+  const auto add_request = [&](std::uint64_t m, double copies) {
+    if (m == 0 || copies <= 0.0) return;  // model skips MRT==0 requests
+    const double md = static_cast<double>(m);
+    bw += copies * (active * md * tc);
+    lat += copies * (l_base + (md - 1.0) * ddelay);
+  };
+  const std::uint64_t q_min = d.n_chunks / d.active_cpes;  // ≥ 1
+  const std::uint64_t g_full = d.chunk_size(0);
+  const std::uint64_t g_tail = d.chunk_size(d.n_chunks - 1);
+  for (int dir = 0; dir < 2; ++dir) {
+    const bool copy_in = dir == 0;
+    const std::uint64_t m_full = dir_chunk_mrt(kernel_, copy_in, g_full,
+                                               arch_);
+    const std::uint64_t m_tail = dir_chunk_mrt(kernel_, copy_in, g_tail,
+                                               arch_);
+    add_request(m_full, static_cast<double>(q_min - 1));
+    add_request(std::min(m_tail, m_full), 1.0);
+  }
+  add_request(bcast_trans_, 1.0);
+
+  // ---- Gload floor, added to both memory terms. --------------------------
+  //
+  // The model charges T_g = #gloads_busiest × max(L_base, #active·tc)
+  // (model.cpp, contended default), where #gloads_busiest is the largest
+  // per-CPE Gload count — so T_g ≥ (Σ_launch #gloads / #active) ·
+  // max(L_base, #active·tc), i.e. ≥ Σ_launch·tc (bandwidth view) and
+  // ≥ (Σ_launch/#active)·L_base (latency view).  Σ_launch is bounded
+  // below by replaying emit_compute's arithmetic against its worst-case
+  // roundings, one −0.5 slop per llround per chunk:
+  //
+  //   inner_c = max(1, llround(raw_c · cscale)) ≥ max(1, raw_c(1−imb)−0.5)
+  //     ⇒ Σ inner ≥ max(#chunks, inner_total(1−imb) − 0.5·#chunks)
+  //       (a sum of per-chunk maxima dominates the max of the sums);
+  //   gloads_c = llround(gpi · inner_c · gscale) ≥ gpi(1−imb)·inner_c − 0.5
+  //     ⇒ Σ gloads ≥ gpi(1−gload_imb)·Σ inner − 0.5·#chunks;
+  //   the dma_min_tile fallback adds exactly g_c·#staged_in ⇒ +n_outer·
+  //   #staged_in over the launch;
+  //   coalescing keeps max(1, llround(keep·ng_c)) ≥ keep·ng_c − 0.5
+  //     ⇒ apply `keep` to the launch total and give back 0.5·#chunks.
+  const double n_chunks_d = static_cast<double>(d.n_chunks);
+  const double sum_inner = std::max(
+      n_chunks_d,
+      inner_total_ * (1.0 - kernel_.comp_imbalance) - 0.5 * n_chunks_d);
+  double gl = 0.0;
+  if (gpi_ > 0.0) {
+    gl = std::max(0.0, gpi_ * (1.0 - kernel_.gload_imbalance) * sum_inner -
+                           0.5 * n_chunks_d);
+  }
+  if (params.tile < kernel_.dma_min_tile) {
+    gl += static_cast<double>(kernel_.n_outer) * staged_in_;
+  }
+  if (params.coalesce_gloads && gl > 0.0) {
+    gl = std::max(0.0, coalesce_keep_ * gl - 0.5 * n_chunks_d);
+  }
+
+  // ---- Compute floor at this variant's actual widening. ------------------
+  //
+  // The model's T_comp is the busiest CPE's Σ over its chunks of
+  // ls_u.cycles(q) + ls_1.cycles(rem) with q·span + rem = inner_c.  The
+  // pipeline issues in order, at most one instruction per pipe per cycle,
+  // and div/sqrt hold pipe 0 for their full latency, so `iters` executions
+  // of a block cost at least iters × (that block's busiest-pipe occupancy).
+  // Unrolling duplicates every non-overhead instruction `unroll`× and
+  // vectorization keeps the instruction sequence while covering
+  // `vector_width` source iterations (vectorize.h), reordering only
+  // permutes — so the unrolled block's occupancy is ≥ unroll·max(p0,p1)
+  // and cycles(q)+cycles(rem) ≥ inner_c · max(p0,p1)/vector_width.
+  // CPE 0 owns ⌈#chunks/#active⌉ chunks — the round-robin maximum — so
+  // bounding *its* Σ inner_c (against the same llround/imbalance slop as
+  // above) bounds the busiest CPE's, and T_comp ≤ T_total follows from
+  // T_total = T_mem + (T_comp − T_overlap − db_saving) with
+  // T_overlap ≤ T_DMA_ov + T_g_ov ≤ T_DMA + T_g and
+  // db_saving ≤ T_DMA/NG_DMA ≤ T_DMA (Eq. 8/14), hence
+  // T_overlap + db_saving ≤ T_mem and T_total ≥ T_comp.
+  const double chunks0 = static_cast<double>(
+      d.n_chunks / d.active_cpes + (d.n_chunks % d.active_cpes != 0 ? 1 : 0));
+  const double elems0 = static_cast<double>(d.elements_of(0));
+  const double sum_inner0 = std::max(
+      chunks0, elems0 * static_cast<double>(kernel_.inner_iters) *
+                       (1.0 - kernel_.comp_imbalance) -
+                   0.5 * chunks0);
+  const double comp = sum_inner0 * std::max(p0_, p1_) /
+                      static_cast<double>(params.vector_width);
+
+  CycleBound b;
+  b.mem_roofline = (bw + gl * tc) * kFloatSafety;
+  b.dma_latency = (lat + gl / active * l_base) * kFloatSafety;
+  b.compute = comp * kFloatSafety;
+  return b;
+}
+
+double BoundEvaluator::prune_floor(const swacc::LaunchParams& params) const {
+  SWPERF_CHECK(params.tile >= 1 && params.unroll >= 1 &&
+                   params.requested_cpes >= 1,
+               "invalid launch parameters");
+  const auto d = swacc::decompose(kernel_.n_outer, params.tile,
+                                  params.requested_cpes);
+
+  // ---- Memory floor: every transaction the launch must move. ------------
+  std::uint64_t trans = 0;
+  const std::uint64_t full_chunks =
+      kernel_.n_outer / params.tile;  // chunks of exactly `tile`
+  const std::uint64_t tail = kernel_.n_outer % params.tile;
+  for (const auto& a : kernel_.arrays) {
+    if (!a.staged()) continue;
+    std::uint64_t per_dir = full_chunks *
+                            chunk_transactions(a, params.tile, arch_);
+    if (tail > 0) per_dir += chunk_transactions(a, tail, arch_);
+    trans += per_dir * ((a.copies_in() ? 1 : 0) + (a.copies_out() ? 1 : 0));
+  }
+  // Broadcast arrays: once per active CPE.
+  trans += static_cast<std::uint64_t>(d.active_cpes) * bcast_trans_;
+  // Gloads: one whole transaction each.
+  double gloads = gpi_ * inner_total_;
+  if (params.tile < kernel_.dma_min_tile) {
+    gloads += static_cast<double>(kernel_.n_outer) * staged_in_;
+  }
+  const double cg_scale =
+      d.core_groups_needed(arch_) > 1
+          ? static_cast<double>(d.core_groups_needed(arch_)) *
+                arch_.cross_section_bw_efficiency
+          : 1.0;
+  const double mem_floor =
+      (static_cast<double>(trans) + gloads) * arch_.trans_service_cycles() /
+      cg_scale;
+
+  // ---- Compute floor: issue-limited cycles of the busiest CPE. -----------
+  const double busiest_elems = static_cast<double>(d.elements_of(0));
+  const double comp_floor = busiest_elems *
+                            static_cast<double>(kernel_.inner_iters) *
+                            per_iter_legacy_ * (1.0 - kernel_.comp_imbalance);
+
+  return std::max(mem_floor, comp_floor);
+}
+
+}  // namespace swperf::tuning

@@ -1,0 +1,79 @@
+// Admissible analytic lower bounds for branch-and-bound static tuning.
+//
+// `BoundEvaluator::bound()` computes, directly from (KernelDesc,
+// LaunchParams, ArchParams) and *without lowering*, a lower bound on the
+// cycles the precise model (model/model.cpp, default ModelOptions) would
+// predict for the fully lowered variant.  The bound is the max of three
+// closed-form terms, each individually a lower bound on the prediction:
+//
+//   * `mem_roofline` — the Eq. 3/4 bandwidth floor: transactions the
+//     variant must move, served at the per-CG transaction service time
+//     (the same roofline quantity model/roofline.h charges as `t_cycles`,
+//     here per chunk-granularity request rather than per total byte).
+//   * `dma_latency`  — the Eq. 11 uncontended floor: every DMA request
+//     costs at least L_base + (MRT−1)·Δdelay even on an idle memory
+//     system (the regime the sim fast-forward replays analytically).
+//   * `compute`      — the issue-limited floor of Eq. 6: the busiest
+//     CPE's instructions cannot issue faster than one per pipeline per
+//     cycle, scaled by this variant's actual unroll/vectorize factors.
+//
+// Admissibility (bound ≤ prediction for every variant the checker
+// admits) is what makes branch-and-bound exact: a pruned variant provably
+// cannot beat the incumbent, so the search returns the bit-identical
+// winner of exhaustive enumeration.  Each term's proof lives next to its
+// code in bounds.cpp; tests/tuning/bounds_test.cpp checks all of it
+// against the real model on random and Table II spaces.
+//
+// `prune_floor()` is the pre-existing sieve bound of prune.h
+// (`variant_lower_bound_cycles`), byte-for-byte, with its per-variant
+// invariants hoisted into the evaluator so a campaign computes them once.
+#pragma once
+
+#include <cstdint>
+
+#include "sw/arch.h"
+#include "swacc/kernel.h"
+
+namespace swperf::tuning {
+
+/// The three admissible terms; the bound itself is their max.
+struct CycleBound {
+  double mem_roofline = 0.0;  // Eq. 3/4 bandwidth floor (≤ T_mem)
+  double dma_latency = 0.0;   // Eq. 11 uncontended latency floor (≤ T_mem)
+  double compute = 0.0;       // Eq. 6 issue-limited floor (≤ T_comp)
+  double value() const;
+};
+
+/// Per-campaign bound evaluator: hoists everything that depends only on
+/// (kernel, arch) — pipe occupancies, broadcast transactions, Gload
+/// rates, coalescing factors — and evaluates per-variant bounds from
+/// those invariants.  Construction validates the kernel once.
+class BoundEvaluator {
+ public:
+  BoundEvaluator(const swacc::KernelDesc& kernel, const sw::ArchParams& arch);
+
+  /// Admissible lower bound on the default-options model prediction of
+  /// `params`.  Throws sw::Error on invalid parameters; for parameter
+  /// sets the static checker rejects the value is meaningless (the
+  /// variant never reaches the model).
+  CycleBound bound(const swacc::LaunchParams& params) const;
+
+  /// The legacy prune sieve bound, identical in every bit to
+  /// variant_lower_bound_cycles() (prune_test pins its soundness).
+  double prune_floor(const swacc::LaunchParams& params) const;
+
+ private:
+  swacc::KernelDesc kernel_;
+  sw::ArchParams arch_;
+  // Hoisted (kernel, arch) invariants.
+  double p0_ = 0.0;             // pipeline-0 occupancy per body execution
+  double p1_ = 0.0;             // pipeline-1 occupancy per body execution
+  double per_iter_legacy_ = 0.0;  // max(p0,p1)/kMaxVectorLanes-or-1
+  std::uint64_t bcast_trans_ = 0;  // Σ transactions(broadcast arrays)
+  std::uint32_t staged_in_ = 0;    // staged arrays copied in
+  double gpi_ = 0.0;               // kernel.gloads_per_inner_total()
+  double inner_total_ = 0.0;       // n_outer × inner_iters, as double
+  double coalesce_keep_ = 1.0;     // Gload fraction surviving coalescing
+};
+
+}  // namespace swperf::tuning

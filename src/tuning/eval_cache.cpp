@@ -165,10 +165,29 @@ std::string PrelowerKey::key(const swacc::LaunchParams& params) const {
   return out;
 }
 
+std::string PrelowerKey::skeleton_key(const swacc::LaunchParams& params) const {
+  // Only the parameters swacc::build_skeleton() reads; a leading tag keeps
+  // the encoding disjoint from key() even though the two live in separate
+  // maps.
+  std::string out;
+  out.reserve(prefix_.size() + 16);
+  out = prefix_;
+  out.append("skel");
+  put(out, params.unroll);
+  put(out, params.vector_width);
+  return out;
+}
+
 std::string prelower_key(const swacc::KernelDesc& kernel,
                          const swacc::LaunchParams& params,
                          const sw::ArchParams& arch) {
   return PrelowerKey(kernel, arch).key(params);
+}
+
+std::string skeleton_key(const swacc::KernelDesc& kernel,
+                         const swacc::LaunchParams& params,
+                         const sw::ArchParams& arch) {
+  return PrelowerKey(kernel, arch).skeleton_key(params);
 }
 
 bool EvalCache::peek(const swacc::StaticSummary& s, double* value) const {
@@ -188,8 +207,19 @@ EvalCacheStats EvalCache::stats() const {
     s.hits += shard.hits;
     s.misses += shard.misses;
     s.lowers_skipped += shard.lowers_skipped;
+    s.skeleton_hits += shard.skeleton_hits;
+    s.skeleton_misses += shard.skeleton_misses;
   }
   return s;
+}
+
+std::size_t EvalCache::skeleton_size() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.skel.size();
+  }
+  return n;
 }
 
 std::size_t EvalCache::prelower_size() const {
@@ -215,9 +245,12 @@ void EvalCache::clear() {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.clear();
     shard.pre.clear();
+    shard.skel.clear();
     shard.hits = 0;
     shard.misses = 0;
     shard.lowers_skipped = 0;
+    shard.skeleton_hits = 0;
+    shard.skeleton_misses = 0;
   }
 }
 

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -39,6 +40,10 @@
 
 #include "swacc/kernel.h"
 #include "swacc/summary.h"
+
+namespace swperf::swacc {
+struct LoweredSkeleton;  // swacc/skeleton.h; stored via shared_ptr only
+}
 
 namespace swperf::tuning {
 
@@ -59,12 +64,23 @@ class PrelowerKey {
   /// Full key for one variant: prefix + canonical LaunchParams bytes.
   std::string key(const swacc::LaunchParams& params) const;
 
+  /// Key of the variant's code-generation skeleton: prefix + only the
+  /// parameters swacc::build_skeleton() reads (unroll, vector_width).
+  /// Variants differing in tile/CPEs/double-buffer/coalescing map to the
+  /// same skeleton key and share one swacc::LoweredSkeleton.
+  std::string skeleton_key(const swacc::LaunchParams& params) const;
+
  private:
   std::string prefix_;
 };
 
 /// One-shot convenience over PrelowerKey (pipeline::Session's memo key).
 std::string prelower_key(const swacc::KernelDesc& kernel,
+                         const swacc::LaunchParams& params,
+                         const sw::ArchParams& arch);
+
+/// One-shot convenience over PrelowerKey::skeleton_key.
+std::string skeleton_key(const swacc::KernelDesc& kernel,
                          const swacc::LaunchParams& params,
                          const sw::ArchParams& arch);
 
@@ -75,6 +91,13 @@ struct EvalCacheStats {
   /// Hits served at the pre-lowering level: swacc::lower() never ran.
   /// Always <= hits.
   std::uint64_t lowers_skipped = 0;
+  /// Skeleton-level probes (the tile-independent codegen artifact shared
+  /// by variants that differ only in tile/CPEs/double-buffer/coalescing):
+  /// a hit reused a stored swacc::LoweredSkeleton, a miss built one.  Not
+  /// part of evaluations() — skeletons are an input to lowering, not an
+  /// evaluated cost.
+  std::uint64_t skeleton_hits = 0;
+  std::uint64_t skeleton_misses = 0;
   std::uint64_t evaluations() const { return hits + misses; }
   double hit_rate() const {
     const std::uint64_t n = evaluations();
@@ -169,6 +192,34 @@ class EvalCache {
     return value;
   }
 
+  /// Returns the stored code-generation skeleton for `key` (a
+  /// PrelowerKey::skeleton_key), or runs `build()` — which must return a
+  /// shared_ptr<const swacc::LoweredSkeleton> — and stores its result.
+  /// Concurrent first-seen callers may both build (the build runs outside
+  /// the shard lock, like evaluations); the first insert wins and every
+  /// caller observes that stored skeleton, so sharing stays safe.
+  template <typename BuildFn>
+  std::shared_ptr<const swacc::LoweredSkeleton> get_or_build_skeleton(
+      std::string key, BuildFn&& build) {
+    const std::uint64_t h = hash_bytes(key);
+    {
+      Shard& shard = shard_of(h);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.skel.find(key);
+      if (it != shard.skel.end()) {
+        ++shard.skeleton_hits;
+        return it->second;
+      }
+    }
+    std::shared_ptr<const swacc::LoweredSkeleton> built = build();
+    Shard& shard = shard_of(h);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.skeleton_misses;  // this thread did pay for codegen
+    auto [it, inserted] = shard.skel.emplace(std::move(key), std::move(built));
+    (void)inserted;  // on a race, return the winning entry, drop ours
+    return it->second;
+  }
+
   /// True and the value if `s` is already cached (does not count as an
   /// evaluation).
   bool peek(const swacc::StaticSummary& s, double* value) const;
@@ -179,6 +230,8 @@ class EvalCache {
   std::size_t size() const;
   /// Distinct pre-lowering keys bound.
   std::size_t prelower_size() const;
+  /// Distinct code-generation skeletons stored.
+  std::size_t skeleton_size() const;
   /// Drops all entries and zeroes the counters.
   void clear();
 
@@ -189,9 +242,14 @@ class EvalCache {
     mutable std::mutex mu;
     std::unordered_map<std::string, double> map;  // summary level
     std::unordered_map<std::string, double> pre;  // pre-lowering level
+    std::unordered_map<std::string,
+                       std::shared_ptr<const swacc::LoweredSkeleton>>
+        skel;  // skeleton level
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t lowers_skipped = 0;
+    std::uint64_t skeleton_hits = 0;
+    std::uint64_t skeleton_misses = 0;
   };
 
   static std::uint64_t hash_bytes(const std::string& bytes);

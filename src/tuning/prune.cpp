@@ -1,116 +1,17 @@
 #include "tuning/prune.h"
 
-#include <algorithm>
-#include <cmath>
 #include <limits>
 
 #include "analysis/checker.h"
 #include "sw/error.h"
-#include "isa/vectorize.h"
-#include "swacc/decompose.h"
+#include "tuning/bounds.h"
 
 namespace swperf::tuning {
-
-namespace {
-
-/// DRAM transactions one chunk of `g` outer elements moves for `a`.
-std::uint64_t chunk_transactions(const swacc::ArrayRef& a, std::uint64_t g,
-                                 const sw::ArchParams& arch) {
-  switch (a.access) {
-    case swacc::Access::kContiguous:
-      return arch.transactions_for(g * a.bytes_per_outer);
-    case swacc::Access::kStrided:
-      return g * a.segments_per_outer *
-             arch.transactions_for(a.bytes_per_outer / a.segments_per_outer);
-    case swacc::Access::kBlock2D:
-      return a.segments_per_outer *
-             arch.transactions_for(g *
-                                   (a.bytes_per_outer /
-                                    a.segments_per_outer));
-    default:
-      return 0;
-  }
-}
-
-}  // namespace
 
 double variant_lower_bound_cycles(const swacc::KernelDesc& kernel,
                                   const swacc::LaunchParams& params,
                                   const sw::ArchParams& arch) {
-  kernel.validate();
-  SWPERF_CHECK(params.tile >= 1 && params.unroll >= 1 &&
-                   params.requested_cpes >= 1,
-               "invalid launch parameters");
-  const auto d = swacc::decompose(kernel.n_outer, params.tile,
-                                  params.requested_cpes);
-
-  // ---- Memory floor: every transaction the launch must move. ------------
-  std::uint64_t trans = 0;
-  const std::uint64_t full_chunks =
-      kernel.n_outer / params.tile;  // chunks of exactly `tile`
-  const std::uint64_t tail = kernel.n_outer % params.tile;
-  for (const auto& a : kernel.arrays) {
-    if (!a.staged()) continue;
-    std::uint64_t per_dir = full_chunks *
-                            chunk_transactions(a, params.tile, arch);
-    if (tail > 0) per_dir += chunk_transactions(a, tail, arch);
-    trans += per_dir * ((a.copies_in() ? 1 : 0) + (a.copies_out() ? 1 : 0));
-  }
-  // Broadcast arrays: once per active CPE.
-  for (const auto& a : kernel.arrays) {
-    if (a.access == swacc::Access::kBroadcast) {
-      trans += static_cast<std::uint64_t>(d.active_cpes) *
-               arch.transactions_for(a.broadcast_bytes);
-    }
-  }
-  // Gloads: one whole transaction each.
-  const double inner_total = static_cast<double>(kernel.n_outer) *
-                             static_cast<double>(kernel.inner_iters);
-  double gloads = kernel.gloads_per_inner_total() * inner_total;
-  if (params.tile < kernel.dma_min_tile) {
-    std::uint32_t staged_in = 0;
-    for (const auto& a : kernel.arrays) {
-      staged_in += (a.staged() && a.copies_in()) ? 1 : 0;
-    }
-    gloads += static_cast<double>(kernel.n_outer) * staged_in;
-  }
-  const double cg_scale =
-      d.core_groups_needed(arch) > 1
-          ? static_cast<double>(d.core_groups_needed(arch)) *
-                arch.cross_section_bw_efficiency
-          : 1.0;
-  const double mem_floor =
-      (static_cast<double>(trans) + gloads) * arch.trans_service_cycles() /
-      cg_scale;
-
-  // ---- Compute floor: issue-limited cycles of the busiest CPE. -----------
-  // Loop-overhead instructions collapse under unrolling, so only the real
-  // body counts; unpipelined div/sqrt occupy pipeline 0 for their full
-  // latency regardless of scheduling.
-  double p0 = 0.0, p1 = 0.0;
-  for (const auto& i : kernel.body.instrs) {
-    if (i.loop_overhead) continue;
-    const double occupancy =
-        isa::is_unpipelined(i.cls)
-            ? static_cast<double>(isa::latency_of(i.cls, arch))
-            : 1.0;
-    if (isa::pipe_of(i.cls) == isa::Pipe::kCompute) {
-      p0 += occupancy;
-    } else {
-      p1 += occupancy;
-    }
-  }
-  // Vectorizable kernels can cover up to kMaxVectorLanes source
-  // iterations per instruction, so the floor must assume full widening.
-  const double max_lanes =
-      kernel.vectorizable ? static_cast<double>(isa::kMaxVectorLanes) : 1.0;
-  const double per_iter = std::max(p0, p1) / max_lanes;
-  const double busiest_elems = static_cast<double>(d.elements_of(0));
-  const double comp_floor = busiest_elems *
-                            static_cast<double>(kernel.inner_iters) *
-                            per_iter * (1.0 - kernel.comp_imbalance);
-
-  return std::max(mem_floor, comp_floor);
+  return BoundEvaluator(kernel, arch).prune_floor(params);
 }
 
 std::vector<swacc::LaunchParams> prune_variants(
@@ -135,12 +36,17 @@ std::vector<swacc::LaunchParams> prune_variants(
                "all " << variants.size()
                       << " variants rejected by the static checker");
 
-  // Stage 2: the lower-bound sieve over the legal survivors.
+  // Stage 2: the lower-bound sieve over the legal survivors.  One
+  // evaluator for the whole campaign: everything that depends only on
+  // (kernel, arch) — body pipe occupancies, broadcast transactions, Gload
+  // rates — is hoisted out of the per-candidate loop (bounds_test pins
+  // that the per-variant results are unchanged).
+  const BoundEvaluator evaluator(kernel, arch);
   std::vector<double> bounds;
   bounds.reserve(legal.size());
   double best = std::numeric_limits<double>::infinity();
   for (const auto& v : legal) {
-    bounds.push_back(variant_lower_bound_cycles(kernel, v, arch));
+    bounds.push_back(evaluator.prune_floor(v));
     best = std::min(best, bounds.back());
   }
   std::vector<swacc::LaunchParams> kept;
@@ -151,6 +57,7 @@ std::vector<swacc::LaunchParams> prune_variants(
     stats->considered = variants.size();
     stats->kept = kept.size();
     stats->illegal = illegal;
+    stats->bound_pruned = legal.size() - kept.size();
   }
   SWPERF_ASSERT(!kept.empty());
   return kept;

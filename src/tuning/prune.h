@@ -35,6 +35,9 @@ struct PruneStats {
   /// Variants rejected by the static checker (error-severity findings,
   /// e.g. SPM overflow) before any bound was computed.
   std::size_t illegal = 0;
+  /// Legal variants dropped by the lower-bound sieve (so
+  /// pruned() == illegal + bound_pruned).
+  std::size_t bound_pruned = 0;
   std::size_t pruned() const { return considered - kept; }
 };
 

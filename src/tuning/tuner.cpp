@@ -1,7 +1,10 @@
 #include "tuning/tuner.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <limits>
+#include <numeric>
 #include <tuple>
 #include <utility>
 
@@ -9,6 +12,8 @@
 #include "sw/error.h"
 #include "sw/pool.h"
 #include "swacc/lower.h"
+#include "swacc/skeleton.h"
+#include "tuning/bounds.h"
 
 namespace swperf::tuning {
 
@@ -32,6 +37,34 @@ double run_seconds(double kernel_cycles, const sw::ArchParams& arch,
 /// cost of re-lowering one winner.
 constexpr std::size_t kMaxStashedArtifacts = 1024;
 
+/// Memoized evaluation of one variant through the cache's three levels:
+/// prekey (skip everything), skeleton (skip code generation — variants of
+/// one campaign differing only in tile/CPEs/double-buffer share the
+/// unroll×vectorize×schedule artifact), summary (skip the evaluation).
+/// When `artifact` is non-null and the variant was actually lowered, the
+/// lowered kernel is parked there for the caller to reuse.
+template <typename Eval>
+double evaluate_one(
+    const swacc::KernelDesc& kernel, const swacc::LaunchParams& v,
+    const sw::ArchParams& arch, EvalCache& cache, const PrelowerKey& prekey,
+    const Eval& eval,
+    std::shared_ptr<const swacc::LoweredKernel>* artifact) {
+  return cache.get_or_lower_eval(
+      prekey.key(v),
+      [&] {
+        const auto skeleton = cache.get_or_build_skeleton(
+            prekey.skeleton_key(v), [&] {
+              return std::make_shared<const swacc::LoweredSkeleton>(
+                  swacc::build_skeleton(kernel, v, arch));
+            });
+        auto lowered = std::make_shared<const swacc::LoweredKernel>(
+            swacc::lower_with_skeleton(kernel, v, arch, *skeleton));
+        if (artifact != nullptr) *artifact = lowered;
+        return lowered;
+      },
+      eval);
+}
+
 /// Evaluates every variant of `variants` into an index-ordered slot
 /// vector: each worker asks the memoization cache for the cost by the
 /// variant's pre-lowering key, lowering (its own simulator/model inputs —
@@ -53,15 +86,10 @@ std::vector<double> evaluate_variants(
   const PrelowerKey prekey(kernel, arch);
   sw::parallel_for(
       variants.size(), jobs, [&](std::uint64_t i) {
-        slots[i] = cache.get_or_lower_eval(
-            prekey.key(variants[i]),
-            [&] {
-              auto lowered = std::make_shared<const swacc::LoweredKernel>(
-                  swacc::lower(kernel, variants[i], arch));
-              if (artifacts != nullptr) (*artifacts)[i] = lowered;
-              return lowered;
-            },
-            eval);
+        slots[i] = evaluate_one(kernel, variants[i], arch, cache, prekey,
+                                eval,
+                                artifacts != nullptr ? &(*artifacts)[i]
+                                                     : nullptr);
       });
   return slots;
 }
@@ -74,13 +102,14 @@ struct CampaignCache {
         cache(options.cache ? options.cache.get() : owned.get()),
         before(cache->stats()) {}
 
-  TuningStats finish(std::size_t variants, int jobs) const {
+  TuningStats finish(std::size_t evaluations, int jobs) const {
     const EvalCacheStats after = cache->stats();
     TuningStats s;
-    s.evaluations = variants;
+    s.evaluations = evaluations;
     s.cache_hits = after.hits - before.hits;
     s.cache_misses = after.misses - before.misses;
     s.lowers_skipped = after.lowers_skipped - before.lowers_skipped;
+    s.skeleton_reuses = after.skeleton_hits - before.skeleton_hits;
     s.jobs = sw::resolve_jobs(jobs);
     return s;
   }
@@ -89,6 +118,48 @@ struct CampaignCache {
   EvalCache* cache;
   EvalCacheStats before;
 };
+
+/// The model's resolution: predictions within 1% of the optimum are tied.
+/// Shared by the winner tie-break walk and the branch-and-bound cut — a
+/// variant whose *lower bound* already exceeds incumbent × kResolution
+/// cannot enter the tie window, let alone win.
+constexpr double kResolution = 1.01;
+
+/// Candidates evaluated per branch-and-bound round.  A fixed,
+/// jobs-independent batch: the incumbent is only published between rounds,
+/// so the set of evaluated variants — and with it every reported number —
+/// is a pure function of the bounds, not of worker timing.
+constexpr std::size_t kBnbBatch = 8;
+
+/// The winner walk shared by the exhaustive and branch-and-bound static
+/// paths, over `explored` in enumeration order.
+///
+/// Variants within the model's resolution (1%) of the optimum are tied:
+/// in fully-overlapped launches (Scenario 2) T_total collapses to T_mem,
+/// which many tile/unroll pairs share exactly.  Break ties by the paper's
+/// own secondary analyses: smaller copy granularity (Eq. 13: more
+/// requests, more overlap headroom), then deeper unrolling (never hurts a
+/// bandwidth-bound launch), then no double buffering (saves SPM).
+std::size_t select_best(const std::vector<VariantResult>& explored,
+                        double best_pred) {
+  std::size_t best_i = 0;
+  bool first = true;
+  const auto rank = [](const swacc::LaunchParams& p) {
+    return std::make_tuple(p.tile, ~p.vector_width, ~p.unroll,
+                           p.double_buffer);
+  };
+  for (std::size_t i = 0; i < explored.size(); ++i) {
+    const auto& v = explored[i];
+    if (v.predicted_cycles > best_pred * kResolution) continue;
+    if (first) {
+      best_i = i;
+      first = false;
+      continue;
+    }
+    if (rank(v.params) < rank(explored[best_i].params)) best_i = i;
+  }
+  return best_i;
+}
 
 }  // namespace
 
@@ -100,54 +171,108 @@ TuningResult StaticTuner::tune(const swacc::KernelDesc& kernel,
   CampaignCache cc(options_);
   std::vector<std::shared_ptr<const swacc::LoweredKernel>> artifacts;
   const bool stash = variants.size() <= kMaxStashedArtifacts;
-  const auto predictions = evaluate_variants(
-      variants, kernel, model_.arch(), *cc.cache, options_.jobs,
-      [this](const swacc::LoweredKernel& lowered) {
-        return model_.predict(lowered.summary).t_total;
-      },
-      stash ? &artifacts : nullptr);
+  const auto eval = [this](const swacc::LoweredKernel& lowered) {
+    return model_.predict(lowered.summary).t_total;
+  };
+
+  std::vector<double> predictions;
+  std::vector<char> evaluated;  // slot i: was variants[i] fully evaluated?
+  std::uint64_t bound_pruned = 0;
+  if (!options_.branch_and_bound) {
+    predictions =
+        evaluate_variants(variants, kernel, model_.arch(), *cc.cache,
+                          options_.jobs, eval, stash ? &artifacts : nullptr);
+    evaluated.assign(variants.size(), 1);
+  } else {
+    // Branch-and-bound over the enumerated space.  Why the winner is
+    // bit-identical to exhaustive enumeration:
+    //   * a variant is skipped only when bound > incumbent × kResolution
+    //     at its round, and the incumbent (a min over evaluated
+    //     predictions) never increases, so for every pruned v:
+    //     prediction(v) ≥ bound(v) > best_pred × kResolution — outside the
+    //     tie window of select_best and not the argmin;
+    //   * therefore the evaluated subset contains the exhaustive walk's
+    //     whole tie window, best_pred is the exhaustive minimum, and the
+    //     same enumeration-order walk picks the same winner;
+    //   * determinism at any --jobs: candidates are processed in fixed
+    //     rounds of kBnbBatch in ascending-(bound, index) order, and the
+    //     incumbent is published only between rounds — workers share it
+    //     through an atomic (re-checked at dequeue) but all loads of one
+    //     round observe the same value, so the pruned set is a pure
+    //     function of the bounds.
+    const BoundEvaluator bounds_eval(kernel, model_.arch());
+    std::vector<double> bnd(variants.size());
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      bnd[i] = bounds_eval.bound(variants[i]).value();
+    }
+    std::vector<std::size_t> order(variants.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return bnd[a] != bnd[b] ? bnd[a] < bnd[b] : a < b;
+              });
+
+    predictions.assign(variants.size(), 0.0);
+    evaluated.assign(variants.size(), 0);
+    if (stash) artifacts.assign(variants.size(), nullptr);
+    const PrelowerKey prekey(kernel, model_.arch());
+    std::atomic<double> incumbent{std::numeric_limits<double>::infinity()};
+    for (std::size_t pos = 0; pos < order.size();) {
+      const std::size_t end = std::min(pos + kBnbBatch, order.size());
+      const double cut =
+          incumbent.load(std::memory_order_acquire) * kResolution;
+      if (bnd[order[pos]] > cut) {
+        // Bounds are sorted: once the round's best candidate is pruned,
+        // the whole remaining tail is.
+        bound_pruned += order.size() - pos;
+        break;
+      }
+      sw::parallel_for(end - pos, options_.jobs, [&](std::uint64_t k) {
+        const std::size_t i = order[pos + k];
+        // Dequeue-time re-check against the shared incumbent; constant
+        // within the round, so this cannot depend on worker interleaving.
+        if (bnd[i] > incumbent.load(std::memory_order_acquire) * kResolution) {
+          return;
+        }
+        predictions[i] =
+            evaluate_one(kernel, variants[i], model_.arch(), *cc.cache,
+                         prekey, eval, stash ? &artifacts[i] : nullptr);
+        evaluated[i] = 1;
+      });
+      double inc = incumbent.load(std::memory_order_relaxed);
+      for (std::size_t k = pos; k < end; ++k) {
+        const std::size_t i = order[k];
+        if (evaluated[i] != 0) {
+          inc = std::min(inc, predictions[i]);
+        } else {
+          ++bound_pruned;
+        }
+      }
+      incumbent.store(inc, std::memory_order_release);
+      pos = end;
+    }
+  }
 
   TuningResult r;
+  r.variants = variants.size();
   r.explored.reserve(variants.size());
+  std::vector<std::size_t> explored_idx;  // explored pos -> variant index
+  explored_idx.reserve(variants.size());
   double best_pred = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < variants.size(); ++i) {
+    if (evaluated[i] == 0) continue;
     r.explored.emplace_back(variants[i], predictions[i], 0.0);
+    explored_idx.push_back(i);
     best_pred = std::min(best_pred, predictions[i]);
   }
-  r.variants = variants.size();
 
-  // Variants within the model's resolution (1%) of the optimum are tied:
-  // in fully-overlapped launches (Scenario 2) T_total collapses to T_mem,
-  // which many tile/unroll pairs share exactly.  Break ties by the paper's
-  // own secondary analyses: smaller copy granularity (Eq. 13: more
-  // requests, more overlap headroom), then deeper unrolling (never hurts a
-  // bandwidth-bound launch), then no double buffering (saves SPM).
-  constexpr double kResolution = 1.01;
-  std::size_t best_i = 0;
-  bool first = true;
-  for (std::size_t i = 0; i < r.explored.size(); ++i) {
-    const auto& v = r.explored[i];
-    if (v.predicted_cycles > best_pred * kResolution) continue;
-    if (first) {
-      r.best = v.params;
-      best_i = i;
-      first = false;
-      continue;
-    }
-    const auto& b = r.best;
-    const auto rank = [](const swacc::LaunchParams& p) {
-      return std::make_tuple(p.tile, ~p.vector_width, ~p.unroll,
-                             p.double_buffer);
-    };
-    if (rank(v.params) < rank(b)) {
-      r.best = v.params;
-      best_i = i;
-    }
-  }
-  // The static analysis needs each variant compiled (for the annotated
-  // assembly) but never run.
+  const std::size_t best_e = select_best(r.explored, best_pred);
+  r.best = r.explored[best_e].params;
+  const std::size_t best_i = explored_idx[best_e];
+  // The static analysis needs each evaluated variant compiled (for the
+  // annotated assembly) but never run; pruned variants cost nothing.
   r.tuning_seconds =
-      static_cast<double>(r.variants) * costs_.compile_seconds;
+      static_cast<double>(r.explored.size()) * costs_.compile_seconds;
 
   // One validation run of the winner, so quality is comparable.  Reuse the
   // artifact lowered during evaluation; a warm cache skipped that
@@ -161,7 +286,8 @@ TuningResult StaticTuner::tune(const swacc::KernelDesc& kernel,
   r.best_measured_cycles =
       sim::simulate(winner->sim_config, winner->binary, winner->programs)
           .total_cycles();
-  r.stats = cc.finish(r.variants, options_.jobs);
+  r.stats = cc.finish(r.explored.size(), options_.jobs);
+  r.stats.bound_pruned = bound_pruned;
   r.host_seconds = now_seconds() - t0;
   return r;
 }

@@ -70,6 +70,16 @@ struct TuningOptions {
   /// Static and empirical tuners memoize different functions, so share a
   /// cache only between campaigns of the same tuner kind.
   std::shared_ptr<EvalCache> cache;
+  /// Branch-and-bound cold path (StaticTuner only): evaluate candidates in
+  /// ascending order of their admissible analytic lower bound
+  /// (tuning/bounds.h) and skip lowering+modeling any variant whose bound
+  /// already exceeds the incumbent best beyond the tie window.  Returns
+  /// the bit-identical winner of exhaustive enumeration at any `jobs`
+  /// (tests/tuning/bnb_tuner_test.cpp); `explored` then lists only the
+  /// variants actually evaluated, and TuningStats::bound_pruned counts the
+  /// rest.  Ignored by EmpiricalTuner — the bound is proven against the
+  /// model's prediction, which the empirical tuner does not minimize.
+  bool branch_and_bound = false;
 };
 
 /// One explored variant.
@@ -83,7 +93,9 @@ struct VariantResult {
 
 /// Campaign execution statistics (memoization + parallelism).
 struct TuningStats {
-  /// Variant evaluations requested (== variants of the pruned space).
+  /// Variant evaluations requested (== variants of the pruned space;
+  /// under branch-and-bound, the variants actually evaluated, so
+  /// evaluations + bound_pruned == TuningResult::variants).
   std::uint64_t evaluations = 0;
   /// Served from the memoization cache / actually evaluated.
   std::uint64_t cache_hits = 0;
@@ -92,6 +104,13 @@ struct TuningStats {
   /// itself was skipped (always <= cache_hits; equals it once the cache
   /// has seen the same (kernel, params, arch) triples before).
   std::uint64_t lowers_skipped = 0;
+  /// Variants the branch-and-bound path skipped because their admissible
+  /// lower bound exceeded the incumbent best (0 on the exhaustive path).
+  std::uint64_t bound_pruned = 0;
+  /// Lowerings served from the skeleton level of the cache: the variant's
+  /// code generation (unroll/vectorize/schedule) was reused from another
+  /// variant of the campaign, and only tile-dependent work was redone.
+  std::uint64_t skeleton_reuses = 0;
   /// Worker threads used.
   unsigned jobs = 1;
 

@@ -56,6 +56,29 @@ for cmd in "list" "report vecadd --small" "simulate vecadd --small" \
         fail "swperf $cmd --json emitted invalid JSON"
 done
 
+# 1b. --bnb tuning emits valid JSON too (branch-and-bound path).
+out=$("$swperf" tune vecadd --small --bnb --json)
+status=$?
+[ "$status" -eq 0 ] || fail "tune --bnb --json exited $status"
+printf '%s\n' "$out" | json_valid || fail "tune --bnb --json invalid JSON"
+
+# 1c. --deterministic-json: zeroed timing fields make repeated runs
+#     byte-identical — with and without --bnb.
+"$swperf" tune vecadd --small --deterministic-json > "$workdir/det1.json"
+"$swperf" tune vecadd --small --deterministic-json > "$workdir/det2.json"
+cmp -s "$workdir/det1.json" "$workdir/det2.json" || \
+    fail "tune --deterministic-json output is not byte-stable"
+json_valid < "$workdir/det1.json" || \
+    fail "tune --deterministic-json emitted invalid JSON"
+"$swperf" tune vecadd --small --bnb --deterministic-json \
+    > "$workdir/det3.json"
+"$swperf" tune vecadd --small --bnb --deterministic-json \
+    > "$workdir/det4.json"
+cmp -s "$workdir/det3.json" "$workdir/det4.json" || \
+    fail "tune --bnb --deterministic-json output is not byte-stable"
+grep -q '"tuning_seconds":0' "$workdir/det1.json" || \
+    fail "--deterministic-json should zero tuning_seconds"
+
 # 2. Strict number parsing: garbage and trailing-garbage values are usage
 #    errors (exit 2), not silently-zero launches.
 "$swperf" simulate vecadd --tile garbage >/dev/null 2>&1

@@ -1,0 +1,205 @@
+// The incremental-lowering contract (swacc/skeleton.h): lower(k, p, a) is
+// bit-identical to lower_with_skeleton(k, p, a, build_skeleton(k, p, a)),
+// and a skeleton built for one variant lowers *any* variant that agrees on
+// (unroll, vector_width) — the structure-sharing the branch-and-bound
+// tuner's skeleton cache level depends on.
+//
+// Runs under the `concurrency` ctest label so the tsan preset covers the
+// EvalCache skeleton shard under real worker threads.
+#include "swacc/skeleton.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kernels/suite.h"
+#include "sim/machine.h"
+#include "sw/error.h"
+#include "sw/pool.h"
+#include "swacc/validate.h"
+#include "tuning/eval_cache.h"
+#include "tuning/space.h"
+
+namespace swperf::swacc {
+namespace {
+
+const sw::ArchParams kArch;
+
+// Field-for-field identity of two lowered kernels, including the cycles
+// the deterministic simulator produces from each.
+void expect_identical(const LoweredKernel& a, const LoweredKernel& b,
+                      const std::string& what) {
+  // encode_summary covers every StaticSummary field byte-by-byte.
+  EXPECT_EQ(tuning::encode_summary(a.summary), tuning::encode_summary(b.summary))
+      << what;
+  EXPECT_EQ(a.spm_bytes_used, b.spm_bytes_used) << what;
+  ASSERT_EQ(a.programs.size(), b.programs.size()) << what;
+  ASSERT_EQ(a.binary.blocks.size(), b.binary.blocks.size()) << what;
+  const auto ra = sim::simulate(a.sim_config, a.binary, a.programs);
+  const auto rb = sim::simulate(b.sim_config, b.binary, b.programs);
+  EXPECT_EQ(ra.total_cycles(), rb.total_cycles()) << what;
+}
+
+class SkeletonRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SkeletonRoundTrip, LowerWithOwnSkeletonIsPlainLower) {
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kSmall);
+  const auto space =
+      tuning::SearchSpace::with_vectorization(spec.desc, kArch);
+  for (const auto& p : space.enumerate(spec.desc, kArch)) {
+    const auto direct = lower(spec.desc, p, kArch);
+    const auto skel = build_skeleton(spec.desc, p, kArch);
+    const auto via = lower_with_skeleton(spec.desc, p, kArch, skel);
+    expect_identical(direct, via, GetParam() + " " + p.to_string());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, SkeletonRoundTrip,
+                         ::testing::ValuesIn(kernels::table2_kernels()));
+
+TEST(Skeleton, SharedAcrossTileCpeBufferingAndCoalescing) {
+  // One skeleton per (unroll, vector_width); every variant differing only
+  // in the tile-dependent knobs must lower through it bit-identically.
+  // Build each skeleton from the *first* variant of its codegen class in
+  // enumeration order, then lower every sibling through it — exactly the
+  // reuse pattern the tuner's skeleton cache level performs.
+  const auto spec = kernels::make("kmeans", kernels::Scale::kSmall);
+  const auto all = tuning::SearchSpace::standard(spec.desc, kArch)
+                       .enumerate(spec.desc, kArch);
+  ASSERT_FALSE(all.empty());
+
+  std::map<std::pair<std::uint32_t, std::uint32_t>, LoweredSkeleton> skels;
+  std::size_t reused = 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    auto p = all[i];
+    // Perturb the tile-independent knobs too, so the sharing claim is
+    // exercised beyond what the space itself varies (skipping any
+    // perturbation the double-buffer SPM doubling makes illegal).
+    p.double_buffer = (i % 2) == 0;
+    p.coalesce_gloads = (i % 3) == 0;
+    if (!validate_launch(spec.desc, p, kArch).ok) continue;
+    const auto cls = std::make_pair(p.unroll, p.vector_width);
+    auto it = skels.find(cls);
+    if (it == skels.end()) {
+      it = skels.emplace(cls, build_skeleton(spec.desc, p, kArch)).first;
+    } else {
+      ++reused;
+    }
+    expect_identical(lower(spec.desc, p, kArch),
+                     lower_with_skeleton(spec.desc, p, kArch, it->second),
+                     p.to_string());
+  }
+  // The space sweeps more tiles than unrolls, so sharing must have fired.
+  EXPECT_GT(reused, 0u);
+  EXPECT_LT(skels.size(), all.size());
+}
+
+TEST(Skeleton, RejectsCodegenParameterMismatch) {
+  const auto spec = kernels::make("lud", kernels::Scale::kSmall);
+  const auto all = tuning::SearchSpace::standard(spec.desc, kArch)
+                       .enumerate(spec.desc, kArch);
+  ASSERT_FALSE(all.empty());
+  const LaunchParams built = all.front();
+  const auto skel = build_skeleton(spec.desc, built, kArch);
+
+  LaunchParams other = built;
+  other.unroll = built.unroll == 1 ? 2 : 1;
+  EXPECT_THROW(lower_with_skeleton(spec.desc, other, kArch, skel), sw::Error);
+
+  if (spec.desc.vectorizable) {
+    LaunchParams vec = built;
+    vec.vector_width = built.vector_width == 1 ? 4 : 1;
+    EXPECT_THROW(lower_with_skeleton(spec.desc, vec, kArch, skel), sw::Error);
+  }
+}
+
+TEST(Skeleton, IllegalLaunchFailsIdenticallyThroughEitherPath) {
+  // build_skeleton validates exactly like lower(): an illegal variant must
+  // not sneak into the cache through the skeleton path.
+  const auto spec = kernels::make("hotspot", kernels::Scale::kSmall);
+  LaunchParams bad;
+  bad.tile = 0;
+  EXPECT_THROW(lower(spec.desc, bad, kArch), sw::Error);
+  EXPECT_THROW(build_skeleton(spec.desc, bad, kArch), sw::Error);
+}
+
+TEST(Skeleton, EvalCacheStoresAndSharesOneInstance) {
+  const auto spec = kernels::make("backprop", kernels::Scale::kSmall);
+  const auto all = tuning::SearchSpace::standard(spec.desc, kArch)
+                       .enumerate(spec.desc, kArch);
+  ASSERT_FALSE(all.empty());
+  const LaunchParams p = all.front();
+  const std::string key = tuning::skeleton_key(spec.desc, p, kArch);
+
+  tuning::EvalCache cache;
+  int builds = 0;
+  const auto build = [&] {
+    ++builds;
+    return std::make_shared<const LoweredSkeleton>(
+        build_skeleton(spec.desc, p, kArch));
+  };
+  const auto first = cache.get_or_build_skeleton(key, build);
+  const auto second = cache.get_or_build_skeleton(key, build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(first.get(), second.get());  // shared, not re-built
+  EXPECT_EQ(cache.skeleton_size(), 1u);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.skeleton_misses, 1u);
+  EXPECT_EQ(s.skeleton_hits, 1u);
+
+  // A different unroll is a different skeleton (pick any space sibling
+  // with a different codegen class).
+  for (const auto& q : all) {
+    if (q.unroll == p.unroll && q.vector_width == p.vector_width) continue;
+    cache.get_or_build_skeleton(tuning::skeleton_key(spec.desc, q, kArch),
+                                [&] {
+                                  return std::make_shared<
+                                      const LoweredSkeleton>(
+                                      build_skeleton(spec.desc, q, kArch));
+                                });
+    EXPECT_EQ(cache.skeleton_size(), 2u);
+    break;
+  }
+}
+
+TEST(Skeleton, ConcurrentBuildersConvergeOnOneStoredSkeleton) {
+  // Hammer one key from many workers: racing first-seen builders are
+  // allowed, but everyone must end up lowering through the same stored
+  // instance and the counters must add up.
+  const auto spec = kernels::make("cfd", kernels::Scale::kSmall);
+  const auto all = tuning::SearchSpace::standard(spec.desc, kArch)
+                       .enumerate(spec.desc, kArch);
+  ASSERT_FALSE(all.empty());
+  const LaunchParams p = all.front();
+  const std::string key = tuning::skeleton_key(spec.desc, p, kArch);
+  const auto reference = lower(spec.desc, p, kArch);
+
+  tuning::EvalCache cache;
+  constexpr std::uint64_t kOps = 64;
+  std::vector<std::shared_ptr<const LoweredSkeleton>> got(kOps);
+  sw::parallel_for(kOps, 8, [&](std::uint64_t i) {
+    got[i] = cache.get_or_build_skeleton(key, [&] {
+      return std::make_shared<const LoweredSkeleton>(
+          build_skeleton(spec.desc, p, kArch));
+    });
+  });
+
+  EXPECT_EQ(cache.skeleton_size(), 1u);
+  const auto s = cache.stats();
+  EXPECT_GE(s.skeleton_misses, 1u);
+  EXPECT_EQ(s.skeleton_hits + s.skeleton_misses, kOps);
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    ASSERT_TRUE(got[i]);
+    EXPECT_EQ(got[i].get(), got[0].get()) << i;
+  }
+  expect_identical(reference,
+                   lower_with_skeleton(spec.desc, p, kArch, *got[0]),
+                   "concurrent skeleton");
+}
+
+}  // namespace
+}  // namespace swperf::swacc

@@ -1,0 +1,189 @@
+// The branch-and-bound static tuner's headline guarantee: the winner is
+// *bit-identical* to exhaustive enumeration — same best params (by the
+// canonical encoding), same validated cycles, same model minimum — at any
+// --jobs value, while evaluating only a subset of the space.
+//
+// Runs under the default preset and, via the `concurrency` ctest label,
+// under the tsan preset, where the shared-incumbent atomic and the
+// skeleton cache level get hammered by real worker threads.
+#include "tuning/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "kernels/suite.h"
+#include "tuning/eval_cache.h"
+#include "tuning/space.h"
+
+#include "random_kernel_testutil.h"
+
+namespace swperf::tuning {
+namespace {
+
+const sw::ArchParams kArch;
+
+TuningOptions opt(int jobs, bool bnb) {
+  TuningOptions o;
+  o.jobs = jobs;
+  o.branch_and_bound = bnb;
+  return o;
+}
+
+double min_predicted(const TuningResult& r) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& v : r.explored) best = std::min(best, v.predicted_cycles);
+  return best;
+}
+
+void expect_same_winner(const swacc::KernelDesc& kernel,
+                        const TuningResult& exhaustive,
+                        const TuningResult& bnb, const std::string& what) {
+  // Same `best` encoding: the canonical pre-lowering key covers every
+  // LaunchParams field, so equal keys mean equal winners bit for bit.
+  EXPECT_EQ(prelower_key(kernel, exhaustive.best, kArch),
+            prelower_key(kernel, bnb.best, kArch))
+      << what << ": " << exhaustive.best.to_string() << " vs "
+      << bnb.best.to_string();
+  EXPECT_EQ(exhaustive.best_measured_cycles, bnb.best_measured_cycles)
+      << what;
+  EXPECT_EQ(min_predicted(exhaustive), min_predicted(bnb)) << what;
+}
+
+void expect_accounting(const TuningResult& bnb, const TuningResult& exhaustive,
+                       const std::string& what) {
+  EXPECT_EQ(bnb.variants, exhaustive.variants) << what;
+  EXPECT_EQ(bnb.explored.size(), bnb.stats.evaluations) << what;
+  EXPECT_EQ(bnb.stats.evaluations + bnb.stats.bound_pruned, bnb.variants)
+      << what;
+  EXPECT_LE(bnb.explored.size(), exhaustive.explored.size()) << what;
+}
+
+class BnbMatchesExhaustive : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BnbMatchesExhaustive, StandardSpaceAtJobs1And8) {
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kSmall);
+  const auto space = SearchSpace::standard(spec.desc, kArch);
+  const auto exhaustive =
+      StaticTuner(kArch, {}, opt(1, false)).tune(spec.desc, space);
+  for (const int jobs : {1, 8}) {
+    const auto bnb =
+        StaticTuner(kArch, {}, opt(jobs, true)).tune(spec.desc, space);
+    const std::string what = GetParam() + " jobs=" + std::to_string(jobs);
+    expect_same_winner(spec.desc, exhaustive, bnb, what);
+    expect_accounting(bnb, exhaustive, what);
+  }
+}
+
+TEST_P(BnbMatchesExhaustive, VectorizedSpace) {
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kSmall);
+  const auto space = SearchSpace::with_vectorization(spec.desc, kArch);
+  const auto exhaustive =
+      StaticTuner(kArch, {}, opt(1, false)).tune(spec.desc, space);
+  for (const int jobs : {1, 8}) {
+    const auto bnb =
+        StaticTuner(kArch, {}, opt(jobs, true)).tune(spec.desc, space);
+    const std::string what =
+        GetParam() + " vector jobs=" + std::to_string(jobs);
+    expect_same_winner(spec.desc, exhaustive, bnb, what);
+    expect_accounting(bnb, exhaustive, what);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, BnbMatchesExhaustive,
+                         ::testing::ValuesIn(kernels::table2_kernels()));
+
+TEST(BnbTuner, ParallelEvaluatesTheExactSerialSubset) {
+  // Not just the winner: the evaluated set itself must be jobs-invariant
+  // (the incumbent is published only between fixed rounds, so pruning
+  // decisions cannot depend on worker timing).
+  for (const auto& name : kernels::table2_kernels()) {
+    const auto spec = kernels::make(name, kernels::Scale::kSmall);
+    const auto space = SearchSpace::standard(spec.desc, kArch);
+    const auto serial =
+        StaticTuner(kArch, {}, opt(1, true)).tune(spec.desc, space);
+    const auto parallel =
+        StaticTuner(kArch, {}, opt(8, true)).tune(spec.desc, space);
+    EXPECT_EQ(serial.stats.bound_pruned, parallel.stats.bound_pruned) << name;
+    EXPECT_EQ(serial.tuning_seconds, parallel.tuning_seconds) << name;
+    ASSERT_EQ(serial.explored.size(), parallel.explored.size()) << name;
+    for (std::size_t i = 0; i < serial.explored.size(); ++i) {
+      EXPECT_EQ(prelower_key(spec.desc, serial.explored[i].params, kArch),
+                prelower_key(spec.desc, parallel.explored[i].params, kArch))
+          << name << " explored[" << i << "]";
+      EXPECT_EQ(serial.explored[i].predicted_cycles,
+                parallel.explored[i].predicted_cycles)
+          << name << " explored[" << i << "]";
+    }
+  }
+}
+
+TEST(BnbTuner, RandomKernelsAcrossTenSeeds) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sw::Rng rng(seed * 0x9e3779b9u);
+    const auto [kernel, unused] = testutil::random_valid_pair(rng, kArch);
+    (void)unused;
+    const auto space = SearchSpace::standard(kernel, kArch);
+    const auto exhaustive =
+        StaticTuner(kArch, {}, opt(1, false)).tune(kernel, space);
+    for (const int jobs : {1, 8}) {
+      const auto bnb =
+          StaticTuner(kArch, {}, opt(jobs, true)).tune(kernel, space);
+      const std::string what = "seed=" + std::to_string(seed) +
+                               " jobs=" + std::to_string(jobs);
+      expect_same_winner(kernel, exhaustive, bnb, what);
+      expect_accounting(bnb, exhaustive, what);
+    }
+  }
+}
+
+TEST(BnbTuner, ActuallyPrunesAndReusesSkeletons) {
+  // The two new counters must both engage on the kmeans standard space
+  // (serial, so the skeleton count is deterministic: one build per
+  // distinct unroll among evaluated variants, reuses for the rest).
+  const auto spec = kernels::make("kmeans", kernels::Scale::kSmall);
+  const auto space = SearchSpace::standard(spec.desc, kArch);
+  const auto bnb = StaticTuner(kArch, {}, opt(1, true)).tune(spec.desc, space);
+  EXPECT_GT(bnb.stats.bound_pruned, 0u);
+  EXPECT_GT(bnb.stats.skeleton_reuses, 0u);
+
+  const auto exhaustive =
+      StaticTuner(kArch, {}, opt(1, false)).tune(spec.desc, space);
+  EXPECT_EQ(exhaustive.stats.bound_pruned, 0u);
+  EXPECT_GT(exhaustive.stats.skeleton_reuses, 0u);
+  EXPECT_EQ(exhaustive.stats.evaluations, exhaustive.variants);
+}
+
+TEST(BnbTuner, EmpiricalTunerIgnoresTheFlag) {
+  // The bound is proven against the model, not the simulator: the
+  // empirical tuner must keep evaluating everything.
+  const auto spec = kernels::make("lud", kernels::Scale::kSmall);
+  const auto space = SearchSpace::standard(spec.desc, kArch);
+  const auto r = EmpiricalTuner(kArch, {}, opt(1, true)).tune(spec.desc, space);
+  EXPECT_EQ(r.stats.evaluations, r.variants);
+  EXPECT_EQ(r.stats.bound_pruned, 0u);
+  EXPECT_EQ(r.explored.size(), r.variants);
+}
+
+TEST(BnbTuner, SharedCacheSecondRunPrunesIdentically) {
+  // A warm shared cache changes the cost, never the decisions.
+  const auto spec = kernels::make("backprop", kernels::Scale::kSmall);
+  const auto space = SearchSpace::standard(spec.desc, kArch);
+  auto cache = std::make_shared<EvalCache>();
+  TuningOptions o;
+  o.jobs = 4;
+  o.cache = cache;
+  o.branch_and_bound = true;
+  const StaticTuner tuner(kArch, {}, o);
+  const auto first = tuner.tune(spec.desc, space);
+  const auto second = tuner.tune(spec.desc, space);
+  expect_same_winner(spec.desc, first, second, "warm rerun");
+  EXPECT_EQ(first.stats.bound_pruned, second.stats.bound_pruned);
+  EXPECT_EQ(first.explored.size(), second.explored.size());
+  EXPECT_EQ(second.stats.cache_hits, second.stats.evaluations);
+}
+
+}  // namespace
+}  // namespace swperf::tuning

@@ -1,0 +1,152 @@
+// Admissibility of the analytic lower bound (tuning/bounds.h): for every
+// lowerable (kernel, variant) pair, each CycleBound term must understate
+// its model counterpart and the combined bound must understate the full
+// prediction — with NO tolerance.  The bound's internal kFloatSafety
+// deflation is what absorbs rounding; if these assertions ever need a
+// tolerance, branch-and-bound's exactness proof is broken.
+//
+// Runs under the `concurrency` ctest label (with the other tuning-engine
+// tests) so the tsan preset covers the BoundEvaluator too.
+#include "tuning/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "kernels/suite.h"
+#include "model/model.h"
+#include "sw/error.h"
+#include "swacc/lower.h"
+#include "tuning/prune.h"
+#include "tuning/space.h"
+
+#include "random_kernel_testutil.h"
+
+namespace swperf::tuning {
+namespace {
+
+const sw::ArchParams kArch;
+
+void expect_admissible(const swacc::KernelDesc& kernel,
+                       const swacc::LaunchParams& v,
+                       const BoundEvaluator& evaluator,
+                       const model::PerfModel& pm, const std::string& what) {
+  const CycleBound b = evaluator.bound(v);
+  const auto lowered = swacc::lower(kernel, v, kArch);
+  const auto p = pm.predict(lowered.summary);
+  // Term-by-term: both memory views bound T_mem (= T_DMA + T_g), the
+  // compute floor bounds T_comp, and the max bounds T_total.
+  EXPECT_LE(b.mem_roofline, p.t_mem) << what;
+  EXPECT_LE(b.dma_latency, p.t_mem) << what;
+  EXPECT_LE(b.compute, p.t_comp) << what;
+  EXPECT_LE(b.value(), p.t_total) << what;
+  EXPECT_GT(b.value(), 0.0) << what;
+}
+
+// ---- Random pairs: 5 seeds x 50 trials = 250 lowerable pairs. --------------
+
+class BoundAdmissibility : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundAdmissibility, RandomPairsNeverExceedTheModel) {
+  sw::Rng rng(GetParam());
+  const model::PerfModel pm(kArch);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto [kernel, v] = testutil::random_valid_pair(rng, kArch);
+    const BoundEvaluator evaluator(kernel, kArch);
+    expect_admissible(kernel, v, evaluator, pm,
+                      "seed=" + std::to_string(GetParam()) + " trial=" +
+                          std::to_string(trial) + " " + v.to_string());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundAdmissibility,
+                         ::testing::Values(0x101u, 0x202u, 0x303u, 0x404u,
+                                           0x505u));
+
+// ---- The paper's kernels, full standard + vectorized spaces. ---------------
+
+class BoundAdmissibilityPaperSet
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BoundAdmissibilityPaperSet, EveryVariantOfTheTuningSpaces) {
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kSmall);
+  const model::PerfModel pm(kArch);
+  const BoundEvaluator evaluator(spec.desc, kArch);
+  for (const auto* space_kind : {"standard", "vector"}) {
+    const auto space =
+        std::string(space_kind) == "standard"
+            ? SearchSpace::standard(spec.desc, kArch)
+            : SearchSpace::with_vectorization(spec.desc, kArch);
+    for (const auto& v : space.enumerate(spec.desc, kArch)) {
+      expect_admissible(spec.desc, v, evaluator, pm,
+                        GetParam() + " " + space_kind + " " + v.to_string());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSet, BoundAdmissibilityPaperSet,
+                         ::testing::ValuesIn(kernels::table2_kernels()));
+
+// ---- Legacy sieve: hoisting must not change a single bit. ------------------
+
+TEST(Bounds, PruneFloorIsExactlyTheLegacyBound) {
+  // variant_lower_bound_cycles routes through a fresh one-shot evaluator;
+  // a campaign-hoisted evaluator must produce the identical double.
+  for (const auto& name : kernels::table2_kernels()) {
+    const auto spec = kernels::make(name, kernels::Scale::kSmall);
+    const BoundEvaluator hoisted(spec.desc, kArch);
+    const auto space = SearchSpace::standard(spec.desc, kArch);
+    for (const auto& v : space.enumerate(spec.desc, kArch)) {
+      EXPECT_EQ(hoisted.prune_floor(v),
+                variant_lower_bound_cycles(spec.desc, v, kArch))
+          << name << " " << v.to_string();
+    }
+  }
+}
+
+TEST(Bounds, HoistedPruneMatchesPerVariantSieve) {
+  // Replay prune_variants' sieve with a fresh evaluator per candidate and
+  // require the identical kept set — the micro-assert for the hoisting.
+  for (const auto& name : kernels::table2_kernels()) {
+    const auto spec = kernels::make(name, kernels::Scale::kSmall);
+    const auto all =
+        SearchSpace::standard(spec.desc, kArch).enumerate(spec.desc, kArch);
+    PruneStats stats;
+    const auto kept = prune_variants(spec.desc, all, kArch, 1.3, &stats);
+
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<double> floors;
+    for (const auto& v : all) {
+      floors.push_back(variant_lower_bound_cycles(spec.desc, v, kArch));
+      best = std::min(best, floors.back());
+    }
+    std::vector<std::string> expect_kept;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (floors[i] <= best * 1.3) expect_kept.push_back(all[i].to_string());
+    }
+    ASSERT_EQ(kept.size(), expect_kept.size()) << name;
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      EXPECT_EQ(kept[i].to_string(), expect_kept[i]) << name;
+    }
+    // Counter bookkeeping: every considered variant is accounted for.
+    EXPECT_EQ(stats.considered, all.size()) << name;
+    EXPECT_EQ(stats.illegal + stats.kept + stats.bound_pruned,
+              stats.considered)
+        << name;
+  }
+}
+
+TEST(Bounds, RejectsDegenerateLaunchParameters) {
+  const auto spec = kernels::make("vecadd", kernels::Scale::kSmall);
+  const BoundEvaluator evaluator(spec.desc, kArch);
+  swacc::LaunchParams p;
+  p.tile = 0;
+  EXPECT_THROW(evaluator.bound(p), sw::Error);
+  EXPECT_THROW(evaluator.prune_floor(p), sw::Error);
+}
+
+}  // namespace
+}  // namespace swperf::tuning

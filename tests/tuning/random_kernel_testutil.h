@@ -1,0 +1,128 @@
+// Seeded random (KernelDesc, LaunchParams) generator shared by the bound
+// admissibility property test (bounds_test.cpp) and the branch-and-bound
+// winner-identity test (bnb_tuner_test.cpp).
+//
+// The generator aims for *coverage of the bound's terms*, not realism:
+// bodies mix pipelined FP chains, unpipelined div/sqrt and SPM traffic;
+// arrays span every Access kind (contiguous, strided, 2D-block, broadcast,
+// indirect); imbalance, coalescing and vectorizability all toggle.  Pairs
+// the static checker rejects are discarded — the bound only promises
+// admissibility for lowerable launches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "analysis/checker.h"
+#include "isa/block.h"
+#include "sw/rng.h"
+#include "swacc/kernel.h"
+
+namespace swperf::tuning::testutil {
+
+inline swacc::KernelDesc random_kernel(sw::Rng& rng) {
+  swacc::KernelDesc k;
+  k.name = "rand";
+  k.n_outer = 64 + rng.next_below(4000);
+  k.inner_iters = 1 + rng.next_below(24);
+
+  isa::BlockBuilder b("body");
+  const auto x = b.spm_load();
+  auto acc = b.fadd(x, x);
+  switch (rng.next_below(4)) {
+    case 0:  // compute-heavy: independent pipelined chains
+      acc = b.independent_flops(acc, 1 + static_cast<int>(rng.next_below(6)));
+      break;
+    case 1:  // unpipelined divide holds pipe 0 for its full latency
+      acc = b.fdiv(acc, x);
+      break;
+    case 2:  // fma + sqrt mix
+      acc = b.fma(acc, x, x);
+      acc = b.fsqrt(acc);
+      break;
+    default:  // SPM-traffic heavy: extra load on pipe 1
+      acc = b.fma(acc, b.spm_load(), x);
+      break;
+  }
+  b.spm_store(acc);
+  b.loop_overhead();
+  k.body = std::move(b).build();
+
+  const int n_staged = 1 + static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < n_staged; ++i) {
+    swacc::ArrayRef a;
+    a.name = "a" + std::to_string(i);
+    a.dir = i == 0 ? swacc::Dir::kIn
+                   : (rng.next_below(3) == 0 ? swacc::Dir::kOut
+                                             : swacc::Dir::kInOut);
+    const std::uint32_t segs = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+    switch (rng.next_below(3)) {
+      case 0:
+        a.access = swacc::Access::kContiguous;
+        a.bytes_per_outer = 8ull * (1 + rng.next_below(16));
+        break;
+      case 1:
+        a.access = swacc::Access::kStrided;
+        a.segments_per_outer = segs;
+        a.bytes_per_outer = 8ull * segs * (1 + rng.next_below(8));
+        break;
+      default:
+        a.access = swacc::Access::kBlock2D;
+        a.segments_per_outer = segs;
+        a.bytes_per_outer = 8ull * segs * (1 + rng.next_below(8));
+        break;
+    }
+    k.arrays.push_back(a);
+  }
+  if (rng.next_below(2) == 0) {
+    swacc::ArrayRef bc;
+    bc.name = "bcast";
+    bc.dir = swacc::Dir::kIn;
+    bc.access = swacc::Access::kBroadcast;
+    bc.broadcast_bytes = 256 + 8 * rng.next_below(512);
+    k.arrays.push_back(bc);
+  }
+  if (rng.next_below(2) == 0) {
+    swacc::ArrayRef ind;
+    ind.name = "ind";
+    ind.dir = swacc::Dir::kIn;
+    ind.access = swacc::Access::kIndirect;
+    ind.gloads_per_inner = 0.25 * (1 + rng.next_below(8));
+    ind.gload_bytes = 8u << rng.next_below(3);  // 8, 16, 32
+    k.arrays.push_back(ind);
+    k.gload_coalesceable = rng.next_double();
+    k.gload_imbalance = 0.3 * rng.next_double();
+  }
+  k.dma_min_tile = 1 + rng.next_below(32);
+  k.vectorizable = rng.next_below(2) == 0;
+  k.comp_imbalance = 0.3 * rng.next_double();
+  return k;
+}
+
+inline swacc::LaunchParams random_params(const swacc::KernelDesc& k,
+                                         sw::Rng& rng) {
+  swacc::LaunchParams p;
+  p.tile = 1ull << rng.next_below(9);  // 1 .. 256
+  p.unroll = 1u << rng.next_below(4);  // 1 .. 8
+  p.requested_cpes = static_cast<std::uint32_t>(1 + rng.next_below(128));
+  p.double_buffer = rng.next_below(2) == 0;
+  p.vector_width = k.vectorizable ? (1u << rng.next_below(3)) : 1;
+  p.coalesce_gloads = rng.next_below(2) == 0;
+  return p;
+}
+
+/// Draws until the static checker accepts the pair (the generators are
+/// tuned so rejections — SPM overflow at big tiles, mostly — are rare).
+inline std::pair<swacc::KernelDesc, swacc::LaunchParams> random_valid_pair(
+    sw::Rng& rng, const sw::ArchParams& arch) {
+  for (;;) {
+    swacc::KernelDesc k = random_kernel(rng);
+    swacc::LaunchParams p = random_params(k, rng);
+    if (!analysis::has_errors(analysis::check_launch(k, p, arch))) {
+      return {std::move(k), p};
+    }
+  }
+}
+
+}  // namespace swperf::tuning::testutil

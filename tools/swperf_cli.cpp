@@ -68,6 +68,8 @@ struct Options {
   bool empirical = false;
   bool vector_space = false;
   int jobs = 1;
+  bool bnb = false;
+  bool deterministic_json = false;
   bool json = false;
   bool time = false;
   bool werror = false;
@@ -81,7 +83,8 @@ struct Options {
       "usage: swperf <list|report|simulate|tune|timeline|check|suite|"
       "calibrate|eval> [kernel|file] [--tile N] [--unroll N] [--cpes N] "
       "[--db] [--vw N] [--coalesce] [--small] [--empirical] [--vector] "
-      "[--jobs N] [--json] [--time] [--Werror] [--all] [--list-codes]\n");
+      "[--jobs N] [--bnb] [--json] [--deterministic-json] [--time] "
+      "[--Werror] [--all] [--list-codes]\n");
   std::exit(2);
 }
 
@@ -151,7 +154,12 @@ Options parse(int argc, char** argv) {
       o.empirical = true;
     } else if (a == "--vector") {
       o.vector_space = true;
+    } else if (a == "--bnb") {
+      o.bnb = true;
     } else if (a == "--json") {
+      o.json = true;
+    } else if (a == "--deterministic-json") {
+      o.deterministic_json = true;
       o.json = true;
     } else if (a == "--time") {
       o.time = true;
@@ -283,7 +291,15 @@ int cmd_tune(const Options& o, pipeline::Session& session) {
       session.simulate(spec.desc, spec.naive).total_cycles();
   tuning::TuningOptions topt;
   topt.jobs = o.jobs;
-  const auto r = session.tune(spec.desc, space, o.empirical, topt);
+  topt.branch_and_bound = o.bnb;
+  auto r = session.tune(spec.desc, space, o.empirical, topt);
+  if (o.deterministic_json) {
+    // Byte-stable output for golden comparisons / diffing: zero both
+    // timing fields (host_seconds is wall clock; tuning_seconds is kept in
+    // lockstep so the pair always reads as "timing suppressed").
+    r.tuning_seconds = 0.0;
+    r.host_seconds = 0.0;
+  }
   // naive / best is +inf for a degenerate zero-cycle best; the JSON
   // writer renders that as null, the text path prints "inf".
   const double speedup = naive / r.best_measured_cycles;
@@ -306,11 +322,14 @@ int cmd_tune(const Options& o, pipeline::Session& session) {
               sw::cycles_to_us(r.best_measured_cycles, arch.freq_ghz),
               speedup, r.tuning_seconds, r.host_seconds);
   std::printf("cache: %llu evaluations, %llu hits / %llu misses, "
-              "%llu lowerings skipped\n",
+              "%llu lowerings skipped, %llu bound-pruned, "
+              "%llu skeleton reuses\n",
               static_cast<unsigned long long>(r.stats.evaluations),
               static_cast<unsigned long long>(r.stats.cache_hits),
               static_cast<unsigned long long>(r.stats.cache_misses),
-              static_cast<unsigned long long>(r.stats.lowers_skipped));
+              static_cast<unsigned long long>(r.stats.lowers_skipped),
+              static_cast<unsigned long long>(r.stats.bound_pruned),
+              static_cast<unsigned long long>(r.stats.skeleton_reuses));
   return 0;
 }
 
