@@ -12,6 +12,7 @@ const std::vector<std::unique_ptr<Checker>>& all_checkers() {
     detail::register_desc_checkers(r);
     detail::register_dataflow_checkers(r);
     detail::register_isa_checkers(r);
+    detail::register_swa_checkers(r);
     return r;
   }();
   return registry;
@@ -63,70 +64,98 @@ Diagnostics check_all(const swacc::KernelDesc& kernel,
 
 const std::vector<CodeInfo>& diagnostic_catalog() {
   static const std::vector<CodeInfo> catalog = {
-      {"SWD001", Severity::kError,
+      {"SWA001", Severity::kError, "dataflow",
+       "compute touches SPM bytes an in-flight async DMA get is still "
+       "landing into (double-buffer phases overlap)",
+       "Sec. IV-2, Fig. 5"},
+      {"SWA002", Severity::kError, "dataflow",
+       "annotated SPM access runs past the physical scratchpad",
+       "Sec. II-A"},
+      {"SWA003", Severity::kWarning, "dataflow",
+       "dead SPM store: staged or computed bytes are never read again",
+       "Sec. III-D"},
+      {"SWA004", Severity::kError, "dataflow",
+       "two concurrently in-flight DMA transfers overlap in SPM with at "
+       "least one writing",
+       "Sec. IV-2, Fig. 5"},
+      {"SWA005", Severity::kWarning, "dataflow",
+       "read of SPM bytes no DMA get or compute write is known to define",
+       "Sec. II-A"},
+      {"SWA006", Severity::kNote, "dataflow",
+       "basic block of the kernel binary never referenced by any ComputeOp",
+       "Sec. III-D"},
+      {"SWA007", Severity::kWarning, "dataflow",
+       "redundant barrier: no CPE does any work between two consecutive "
+       "barriers",
+       "Sec. II-B"},
+      {"SWA008", Severity::kWarning, "dataflow",
+       "async DMA held in flight across more than two compute phases "
+       "(handle leaks through the pipeline rotation)",
+       "Sec. IV-2, Fig. 5"},
+      {"SWD001", Severity::kError, "launch",
        "SPM capacity overflow (staged buffers x double-buffer factor plus "
        "broadcast arrays exceed 64 KiB)",
        "Sec. II-A, IV-2"},
-      {"SWD002", Severity::kError,
+      {"SWD002", Severity::kError, "launch",
        "vector_width > 1 requested on a body not marked vectorizable",
        "Sec. V-D"},
-      {"SWD003", Severity::kError,
+      {"SWD003", Severity::kError, "launch",
        "Gload request wider than the architecture's gload_max_bytes",
        "Sec. II-A"},
-      {"SWD004", Severity::kWarning,
+      {"SWD004", Severity::kWarning, "launch",
        "copy granularity below dma_min_tile: compiler falls back to "
        "per-element Gloads",
        "Fig. 7(a)"},
-      {"SWD005", Severity::kWarning,
+      {"SWD005", Severity::kWarning, "launch",
        "DMA segment smaller than one DRAM transaction: bandwidth wasted on "
        "padding",
        "Sec. IV-3, Fig. 9"},
-      {"SWD006", Severity::kWarning,
+      {"SWD006", Severity::kWarning, "launch",
        "decomposition activates fewer CPEs than requested (tile too coarse "
        "for n_outer)",
        "Sec. II-B"},
-      {"SWD007", Severity::kError,
+      {"SWD007", Severity::kError, "launch",
        "launch parameter out of range (tile, unroll, vector_width or "
        "requested_cpes)",
        "Sec. V-D"},
-      {"SWI001", Severity::kNote,
+      {"SWI001", Severity::kNote, "isa",
        "register read but never written in the block (live-in; a typo'd "
        "register id looks the same)",
        "Sec. III-D"},
-      {"SWI002", Severity::kWarning,
+      {"SWI002", Severity::kWarning, "isa",
        "dead SPM store: overwritten through the same address register with "
        "no intervening load",
        "Sec. III-D"},
-      {"SWI003", Severity::kNote,
+      {"SWI003", Severity::kNote, "isa",
        "dead value: destination register never read and not loop-carried",
        "Sec. III-D"},
-      {"SWK001", Severity::kError,
+      {"SWK001", Severity::kError, "structure",
        "malformed kernel description (name, extents, empty or invalid body)",
        "Sec. II-B"},
-      {"SWK002", Severity::kError,
+      {"SWK002", Severity::kError, "structure",
        "malformed array reference (bytes/segments/broadcast/indirect shape)",
        "Sec. II-B"},
-      {"SWK003", Severity::kError,
+      {"SWK003", Severity::kError, "structure",
        "gload_bytes of an indirect array is zero", "Sec. II-A"},
-      {"SWK004", Severity::kError,
+      {"SWK004", Severity::kError, "structure",
        "imbalance or coalesceable fraction outside its valid range",
        "Sec. III-F"},
-      {"SWP001", Severity::kError,
+      {"SWP001", Severity::kError, "program",
        "dma_wait on a handle with no DMA in flight (wait without issue)",
        "Sec. IV-2"},
-      {"SWP002", Severity::kError,
+      {"SWP002", Severity::kError, "program",
        "async DMA issued on a handle still in flight (no intervening wait)",
        "Sec. IV-2"},
-      {"SWP003", Severity::kWarning,
+      {"SWP003", Severity::kWarning, "program",
        "async DMA still in flight at program end (missing final dma_wait)",
        "Sec. IV-2, Fig. 5"},
-      {"SWP004", Severity::kError,
+      {"SWP004", Severity::kError, "program",
        "barrier count differs across CPEs (athread deadlock)",
        "Sec. II-B"},
-      {"SWP005", Severity::kError,
+      {"SWP005", Severity::kError, "program",
        "ComputeOp references a basic block outside the kernel binary",
        "Sec. III-D"},
-      {"SWP006", Severity::kError,
+      {"SWP006", Severity::kError, "program",
        "DMA handle outside [0, kMaxDmaHandles)", "Sec. IV-2"},
   };
   return catalog;

@@ -88,6 +88,7 @@ Diagnostics check_all(const swacc::KernelDesc& kernel,
 struct CodeInfo {
   const char* code;
   Severity severity;
+  const char* family;     // pass family: structure/launch/program/isa/dataflow
   const char* summary;
   const char* paper_ref;  // the paper section/figure the check derives from
 };
@@ -95,11 +96,32 @@ struct CodeInfo {
 /// All diagnostic codes the engine can emit, sorted by code.
 const std::vector<CodeInfo>& diagnostic_catalog();
 
+// ---- SWD006 fix-it ---------------------------------------------------------
+
+/// A validated remedy for an SWD006 (idle CPEs) finding: a launch that
+/// differs from the original in one parameter, carries no SWD006 itself,
+/// and introduces no finding the original launch did not already have.
+struct Swd006Suggestion {
+  bool valid = false;
+  swacc::LaunchParams params;
+  std::string fixit;  // the rendering the checker attaches to SWD006
+};
+
+/// Computes (and validates against check_launch) the remedy the SWD006
+/// checker suggests. `valid == false` when no single-parameter adjustment
+/// survives validation — the checker then falls back to a descriptive
+/// fix-it. tests/analysis pins that valid suggestions re-check clean of
+/// SWD006 with no new findings.
+Swd006Suggestion swd006_suggestion(const swacc::KernelDesc& kernel,
+                                   const swacc::LaunchParams& params,
+                                   const sw::ArchParams& arch);
+
 namespace detail {
 using Registry = std::vector<std::unique_ptr<Checker>>;
 void register_desc_checkers(Registry& r);
 void register_dataflow_checkers(Registry& r);
 void register_isa_checkers(Registry& r);
+void register_swa_checkers(Registry& r);
 }  // namespace detail
 
 }  // namespace swperf::analysis

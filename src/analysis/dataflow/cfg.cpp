@@ -1,0 +1,96 @@
+#include "analysis/dataflow/cfg.h"
+
+#include <algorithm>
+#include <variant>
+
+#include "sw/error.h"
+
+namespace swperf::analysis::dataflow {
+
+void Cfg::add_edge(std::uint32_t from, std::uint32_t to) {
+  SWPERF_CHECK(from < nodes.size() && to < nodes.size(),
+               "cfg edge " << from << " -> " << to << " out of range (size "
+                           << nodes.size() << ")");
+  nodes[from].succs.push_back(to);
+  nodes[to].preds.push_back(from);
+  if (from == to) nodes[from].self_loop = true;
+}
+
+std::vector<std::uint32_t> Cfg::rpo() const {
+  std::vector<std::uint32_t> post;
+  post.reserve(nodes.size());
+  std::vector<std::uint8_t> state(nodes.size(), 0);  // 0 new, 1 open, 2 done
+  if (!nodes.empty()) {
+    // Iterative DFS with an explicit stack of (node, next-succ-index).
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+      auto& [n, next] = stack.back();
+      if (next < nodes[n].succs.size()) {
+        const std::uint32_t s = nodes[n].succs[next++];
+        if (state[s] == 0) {
+          state[s] = 1;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        state[n] = 2;
+        post.push_back(n);
+        stack.pop_back();
+      }
+    }
+  }
+  std::reverse(post.begin(), post.end());
+  // Unreachable nodes last, in index order, so every node has an RPO slot.
+  for (std::uint32_t n = 0; n < nodes.size(); ++n) {
+    if (state[n] != 2) post.push_back(n);
+  }
+  return post;
+}
+
+std::vector<bool> Cfg::reachable() const {
+  std::vector<bool> seen(nodes.size(), false);
+  if (nodes.empty()) return seen;
+  std::vector<std::uint32_t> work = {0};
+  seen[0] = true;
+  while (!work.empty()) {
+    const std::uint32_t n = work.back();
+    work.pop_back();
+    for (const std::uint32_t s : nodes[n].succs) {
+      if (!seen[s]) {
+        seen[s] = true;
+        work.push_back(s);
+      }
+    }
+  }
+  return seen;
+}
+
+Cfg make_program_cfg(const sim::CpeProgram& prog) {
+  Cfg g;
+  g.nodes.resize(prog.ops.size());
+  for (std::uint32_t i = 0; i < prog.ops.size(); ++i) {
+    if (i + 1 < prog.ops.size()) g.add_edge(i, i + 1);
+    const auto& op = prog.ops[i];
+    if (const auto* c = std::get_if<sim::ComputeOp>(&op)) {
+      if (c->iters > 1) g.add_edge(i, i);
+    } else if (const auto* gl = std::get_if<sim::GloadLoopOp>(&op)) {
+      if (gl->count > 1) g.add_edge(i, i);
+    }
+  }
+  return g;
+}
+
+Cfg make_block_cfg(const isa::BasicBlock& block, bool repeated) {
+  Cfg g;
+  g.nodes.resize(block.instrs.size());
+  for (std::uint32_t i = 0; i + 1 < block.instrs.size(); ++i) {
+    g.add_edge(i, i + 1);
+  }
+  if (repeated && !block.instrs.empty()) {
+    g.add_edge(static_cast<std::uint32_t>(block.instrs.size() - 1), 0);
+  }
+  return g;
+}
+
+}  // namespace swperf::analysis::dataflow

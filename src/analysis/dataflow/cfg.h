@@ -1,0 +1,61 @@
+// Per-CPE control-flow graphs for the dataflow framework.
+//
+// Two program shapes feed the worklist solver (solver.h):
+//
+//   * a lowered sim::CpeProgram — an op stream whose only loops are the
+//     implicit repetitions of ComputeOp (iters > 1) and GloadLoopOp
+//     (count > 1), modelled as self-loop edges;
+//   * an isa::BasicBlock — straight-line SSA-like code that, when executed
+//     repeatedly (an inner loop), carries values across a single back edge
+//     from the last instruction to the first.
+//
+// Both are deliberately small graphs: the point is not graph generality but
+// giving every analysis one shared notion of node order (reverse post
+// order), reachability and loop membership, so lattice code never hand-rolls
+// its own traversal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/block.h"
+#include "sim/program.h"
+
+namespace swperf::analysis::dataflow {
+
+/// A small directed graph over nodes 0..size()-1, entry at node 0.
+struct Cfg {
+  struct Node {
+    std::vector<std::uint32_t> succs;
+    std::vector<std::uint32_t> preds;
+    /// True when the node has an edge to itself (a repeated op).
+    bool self_loop = false;
+  };
+
+  std::vector<Node> nodes;
+
+  std::size_t size() const { return nodes.size(); }
+  bool empty() const { return nodes.empty(); }
+
+  /// Adds the edge from -> to (and the mirror pred edge).
+  void add_edge(std::uint32_t from, std::uint32_t to);
+
+  /// Node order for forward analyses: reverse post-order of a DFS from the
+  /// entry. Unreachable nodes are appended after the reachable ones so
+  /// every node still gets a slot.
+  std::vector<std::uint32_t> rpo() const;
+
+  /// Per-node reachability from the entry node.
+  std::vector<bool> reachable() const;
+};
+
+/// One node per op; fallthrough edges plus self-loops on repeated ops
+/// (ComputeOp iters > 1, GloadLoopOp count > 1).
+Cfg make_program_cfg(const sim::CpeProgram& prog);
+
+/// One node per instruction; fallthrough edges plus, when `repeated`, the
+/// loop back edge last -> first that makes live-out feed live-in (how
+/// reduction accumulators and running indices stay live).
+Cfg make_block_cfg(const isa::BasicBlock& block, bool repeated);
+
+}  // namespace swperf::analysis::dataflow

@@ -1,0 +1,97 @@
+#include "analysis/dataflow/interval.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace swperf::analysis::dataflow {
+
+namespace {
+
+/// Clamp to the representable bound range (anything at or past kInf in
+/// magnitude reads as infinity).
+std::int64_t clamp(__int128 v) {
+  if (v >= static_cast<__int128>(Interval::kInf)) return Interval::kInf;
+  if (v <= -static_cast<__int128>(Interval::kInf)) return -Interval::kInf;
+  return static_cast<std::int64_t>(v);
+}
+
+__int128 wide(std::int64_t v) { return static_cast<__int128>(v); }
+
+}  // namespace
+
+Interval Interval::join(const Interval& o) const {
+  if (is_empty()) return o;
+  if (o.is_empty()) return *this;
+  return {std::min(lo, o.lo), std::max(hi, o.hi)};
+}
+
+Interval Interval::meet(const Interval& o) const {
+  if (is_empty() || o.is_empty()) return empty();
+  const Interval r{std::max(lo, o.lo), std::min(hi, o.hi)};
+  return r.is_empty() ? empty() : r;
+}
+
+Interval Interval::widen(const Interval& next) const {
+  if (is_empty()) return next;
+  if (next.is_empty()) return *this;
+  return {next.lo < lo ? -kInf : lo, next.hi > hi ? kInf : hi};
+}
+
+Interval Interval::add(const Interval& o) const {
+  if (is_empty() || o.is_empty()) return empty();
+  return {clamp(wide(lo) + wide(o.lo)), clamp(wide(hi) + wide(o.hi))};
+}
+
+Interval Interval::sub(const Interval& o) const {
+  if (is_empty() || o.is_empty()) return empty();
+  return {clamp(wide(lo) - wide(o.hi)), clamp(wide(hi) - wide(o.lo))};
+}
+
+Interval Interval::mul(const Interval& o) const {
+  if (is_empty() || o.is_empty()) return empty();
+  const __int128 a = wide(lo) * wide(o.lo);
+  const __int128 b = wide(lo) * wide(o.hi);
+  const __int128 c = wide(hi) * wide(o.lo);
+  const __int128 d = wide(hi) * wide(o.hi);
+  const __int128 mn = std::min(std::min(a, b), std::min(c, d));
+  const __int128 mx = std::max(std::max(a, b), std::max(c, d));
+  return {clamp(mn), clamp(mx)};
+}
+
+Interval Interval::min_with(const Interval& o) const {
+  if (is_empty() || o.is_empty()) return empty();
+  return {std::min(lo, o.lo), std::min(hi, o.hi)};
+}
+
+Interval Interval::max_with(const Interval& o) const {
+  if (is_empty() || o.is_empty()) return empty();
+  return {std::max(lo, o.lo), std::max(hi, o.hi)};
+}
+
+std::string Interval::to_string() const {
+  if (is_empty()) return "[]";
+  std::ostringstream os;
+  os << "[";
+  if (lo <= -kInf) {
+    os << "-inf";
+  } else {
+    os << lo;
+  }
+  os << ", ";
+  if (hi >= kInf) {
+    os << "+inf";
+  } else {
+    os << hi;
+  }
+  os << "]";
+  return os.str();
+}
+
+bool join_into(Interval& into, const Interval& from) {
+  const Interval j = into.join(from);
+  if (j == into) return false;
+  into = j;
+  return true;
+}
+
+}  // namespace swperf::analysis::dataflow

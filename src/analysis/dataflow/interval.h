@@ -1,0 +1,68 @@
+// Interval (value-range) lattice over 64-bit integers.
+//
+// The quantities the analyses bound — tile sizes, chunk extents, SPM byte
+// offsets, address expressions like `offset + g * bytes_per_outer` — are all
+// integer expressions of launch parameters.  An interval [lo, hi] per
+// expression is enough to prove the facts the legality layer exports
+// (footprints fit in SPM, index ranges stay inside buffers) without a full
+// symbolic engine.
+//
+// All arithmetic saturates at the representation limits instead of wrapping:
+// an overflowing bound becomes kInf/-kInf ("unknown beyond this point"),
+// which keeps every operation sound and UBSan-clean.  The lattice has finite
+// height under widen(), so solver.h loops terminate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace swperf::analysis::dataflow {
+
+struct Interval {
+  /// Bound magnitude treated as infinity. Half of the int64 range so that
+  /// sums of two finite bounds stay representable before clamping.
+  static constexpr std::int64_t kInf = INT64_C(0x3fffffffffffffff);
+
+  std::int64_t lo = 1;   // empty when lo > hi
+  std::int64_t hi = 0;
+
+  static Interval empty() { return {1, 0}; }
+  static Interval top() { return {-kInf, kInf}; }
+  static Interval point(std::int64_t v) { return {v, v}; }
+  static Interval range(std::int64_t lo, std::int64_t hi) {
+    return {lo, hi};
+  }
+
+  bool is_empty() const { return lo > hi; }
+  bool is_top() const { return lo <= -kInf && hi >= kInf; }
+  bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+  bool subset_of(const Interval& o) const {
+    return is_empty() || (o.lo <= lo && hi <= o.hi);
+  }
+  bool operator==(const Interval& o) const {
+    return (is_empty() && o.is_empty()) || (lo == o.lo && hi == o.hi);
+  }
+
+  /// Least upper bound: the convex hull.
+  Interval join(const Interval& o) const;
+  /// Greatest lower bound: the intersection.
+  Interval meet(const Interval& o) const;
+  /// Standard widening: bounds that grew since `*this` jump to infinity.
+  /// join-compatible (result contains both), with finite ascending chains.
+  Interval widen(const Interval& next) const;
+
+  /// Saturating interval arithmetic.
+  Interval add(const Interval& o) const;
+  Interval sub(const Interval& o) const;
+  Interval mul(const Interval& o) const;
+  /// Element-wise min/max (e.g. eff_tile = min(tile, n_outer)).
+  Interval min_with(const Interval& o) const;
+  Interval max_with(const Interval& o) const;
+
+  std::string to_string() const;
+};
+
+/// Solver-style join: grows `into` to cover `from`; true when it changed.
+bool join_into(Interval& into, const Interval& from);
+
+}  // namespace swperf::analysis::dataflow

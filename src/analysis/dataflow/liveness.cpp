@@ -1,0 +1,66 @@
+#include "analysis/dataflow/liveness.h"
+
+#include <algorithm>
+
+#include "analysis/dataflow/cfg.h"
+#include "analysis/dataflow/solver.h"
+
+namespace swperf::analysis::dataflow {
+
+std::vector<isa::Reg> RegSet::to_sorted(std::size_t num_regs) const {
+  std::vector<isa::Reg> out;
+  for (std::size_t r = 0; r < num_regs; ++r) {
+    if (test(static_cast<isa::Reg>(r))) {
+      out.push_back(static_cast<isa::Reg>(r));
+    }
+  }
+  return out;
+}
+
+BlockDataflow analyze_block(const isa::BasicBlock& block, bool repeated) {
+  BlockDataflow bd;
+  const std::size_t nregs = static_cast<std::size_t>(block.num_regs);
+  if (block.instrs.empty()) return bd;
+
+  const Cfg cfg = make_block_cfg(block, repeated);
+  const RegSet nothing(nregs);
+
+  // Backward liveness: the flow-in state of instruction i is what is live
+  // *after* it executes; the transfer kills the destination and gens the
+  // sources.
+  auto transfer = [&](std::uint32_t i, const RegSet& after) {
+    RegSet before = after;
+    const isa::Instr& ins = block.instrs[i];
+    if (ins.dst != isa::kNoReg) before.clear(ins.dst);
+    for (const isa::Reg s : ins.srcs) {
+      if (s != isa::kNoReg) before.set(s);
+    }
+    return before;
+  };
+  auto join = [](RegSet& into, const RegSet& from) {
+    return into.union_with(from);
+  };
+  const auto res = solve(cfg, Direction::kBackward, nothing, nothing,
+                         transfer, join);
+  bd.solver_iterations = res.iterations;
+
+  // Backward flow: res.in[i] = live after instruction i, res.out[i] = live
+  // before it. The block's live-in is the state before instruction 0.
+  bd.live_in = res.out[0].to_sorted(nregs);
+  bd.live_after = res.in;
+
+  RegSet written(nregs);
+  for (const isa::Reg r : block.written()) written.set(r);
+  for (const isa::Reg r : bd.live_in) {
+    if (written.test(r)) bd.carried.push_back(r);
+  }
+  for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+    const isa::Instr& ins = block.instrs[i];
+    if (ins.dst != isa::kNoReg && !res.in[i].test(ins.dst)) {
+      bd.dead_defs.push_back(i);
+    }
+  }
+  return bd;
+}
+
+}  // namespace swperf::analysis::dataflow

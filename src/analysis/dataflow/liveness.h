@@ -1,0 +1,75 @@
+// Liveness and definition flow on virtual registers of an isa::BasicBlock.
+//
+// Runs the generic worklist solver backward over the block CFG (with the
+// loop back edge when the block executes repeatedly) on a bitset lattice
+// over the block's register universe.  The single-pass helpers
+// BasicBlock::live_in()/carried() are the degenerate straight-line case of
+// this analysis; tests pin that the fixpoint agrees with them, which is
+// what lets the rest of the codebase keep using the cheap helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/block.h"
+
+namespace swperf::analysis::dataflow {
+
+/// A set of virtual registers as a bitset (the liveness lattice element).
+struct RegSet {
+  std::vector<std::uint64_t> words;
+
+  explicit RegSet(std::size_t num_regs = 0)
+      : words((num_regs + 63) / 64, 0) {}
+
+  void set(isa::Reg r) {
+    words[static_cast<std::size_t>(r) / 64] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(r) % 64);
+  }
+  void clear(isa::Reg r) {
+    words[static_cast<std::size_t>(r) / 64] &=
+        ~(std::uint64_t{1} << (static_cast<std::size_t>(r) % 64));
+  }
+  bool test(isa::Reg r) const {
+    return (words[static_cast<std::size_t>(r) / 64] >>
+            (static_cast<std::size_t>(r) % 64)) &
+           1u;
+  }
+  /// Union-assign; true when this set grew.
+  bool union_with(const RegSet& o) {
+    bool changed = false;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      const std::uint64_t next = words[i] | o.words[i];
+      changed |= next != words[i];
+      words[i] = next;
+    }
+    return changed;
+  }
+  bool operator==(const RegSet& o) const { return words == o.words; }
+
+  /// Members in ascending register order.
+  std::vector<isa::Reg> to_sorted(std::size_t num_regs) const;
+};
+
+/// Everything the register-flow analysis proves about one block.
+struct BlockDataflow {
+  /// Registers live into the block (read before any write) — must agree
+  /// with BasicBlock::live_in().
+  std::vector<isa::Reg> live_in;
+  /// Live-in registers the block also writes: loop-carried values when the
+  /// block repeats — must agree with BasicBlock::carried().
+  std::vector<isa::Reg> carried;
+  /// Instruction indices whose destination is dead (never read afterwards,
+  /// including across the back edge when repeated).
+  std::vector<std::size_t> dead_defs;
+  /// Per-instruction liveness after the instruction executes.
+  std::vector<RegSet> live_after;
+  /// Solver transfer applications until fixpoint.
+  std::size_t solver_iterations = 0;
+};
+
+/// Backward liveness over the block; `repeated` adds the loop back edge so
+/// values written late and read early survive as loop-carried.
+BlockDataflow analyze_block(const isa::BasicBlock& block, bool repeated);
+
+}  // namespace swperf::analysis::dataflow

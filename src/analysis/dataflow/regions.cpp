@@ -1,0 +1,427 @@
+#include "analysis/dataflow/regions.h"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <utility>
+#include <variant>
+
+#include "analysis/dataflow/cfg.h"
+#include "analysis/dataflow/solver.h"
+
+namespace swperf::analysis::dataflow {
+
+// ---- RangeSet --------------------------------------------------------------
+
+RangeSet RangeSet::all() {
+  RangeSet s;
+  s.spans.push_back({0, ~std::uint32_t{0}});
+  return s;
+}
+
+void RangeSet::add(sim::SpmRange r) {
+  if (r.hi <= r.lo) return;
+  std::vector<sim::SpmRange> next;
+  next.reserve(spans.size() + 1);
+  bool placed = false;
+  for (const auto& s : spans) {
+    if (s.hi < r.lo) {
+      next.push_back(s);
+    } else if (r.hi < s.lo) {
+      if (!placed) {
+        next.push_back(r);
+        placed = true;
+      }
+      next.push_back(s);
+    } else {
+      // Overlapping or touching: absorb into r and keep scanning.
+      r.lo = std::min(r.lo, s.lo);
+      r.hi = std::max(r.hi, s.hi);
+    }
+  }
+  if (!placed) next.push_back(r);
+  spans = std::move(next);
+}
+
+bool RangeSet::intersects(sim::SpmRange r) const {
+  if (r.hi <= r.lo) return false;
+  for (const auto& s : spans) {
+    if (s.lo >= r.hi) return false;
+    if (s.overlaps(r)) return true;
+  }
+  return false;
+}
+
+bool RangeSet::covers(sim::SpmRange r) const {
+  if (r.hi <= r.lo) return true;
+  // Spans are merged, so coverage means one span contains the whole range.
+  for (const auto& s : spans) {
+    if (s.lo <= r.lo && r.hi <= s.hi) return true;
+    if (s.lo > r.lo) return false;
+  }
+  return false;
+}
+
+sim::SpmRange RangeSet::first_overlap(sim::SpmRange r) const {
+  for (const auto& s : spans) {
+    if (s.overlaps(r)) return {std::max(s.lo, r.lo), std::min(s.hi, r.hi)};
+    if (s.lo >= r.hi) break;
+  }
+  return {};
+}
+
+bool RangeSet::union_with(const RangeSet& o) {
+  if (o.spans.empty()) return false;
+  const std::vector<sim::SpmRange> before = spans;
+  for (const auto& s : o.spans) add(s);
+  return !(*this == RangeSet{before});
+}
+
+bool RangeSet::intersect_with(const RangeSet& o) {
+  std::vector<sim::SpmRange> next;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < spans.size() && j < o.spans.size()) {
+    const sim::SpmRange a = spans[i];
+    const sim::SpmRange b = o.spans[j];
+    const std::uint32_t lo = std::max(a.lo, b.lo);
+    const std::uint32_t hi = std::min(a.hi, b.hi);
+    if (lo < hi) next.push_back({lo, hi});
+    if (a.hi < b.hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const bool changed = !(*this == RangeSet{next});
+  spans = std::move(next);
+  return changed;
+}
+
+bool RangeSet::operator==(const RangeSet& o) const {
+  if (spans.size() != o.spans.size()) return false;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].lo != o.spans[i].lo || spans[i].hi != o.spans[i].hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string RangeSet::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) os << " ";
+    os << "[" << spans[i].lo << "," << spans[i].hi << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+// ---- Region analysis -------------------------------------------------------
+
+namespace {
+
+/// The SPM ranges one op touches, split by role.
+struct OpAccess {
+  RangeSet dma_dst;  // kDmaDst notes (get destination)
+  RangeSet dma_src;  // kDmaSrc notes (put source)
+  RangeSet reads;    // kComputeRead notes
+  RangeSet writes;   // kComputeWrite notes
+};
+
+/// One async DMA's in-flight window [issue, wait).
+struct Flight {
+  std::size_t issue = 0;
+  std::size_t wait = 0;  // == op count when never waited
+  int handle = -1;
+  bool waited = false;
+  // Compute groups touched strictly inside the window (contiguous ids).
+  int first_group = -1;
+  int last_group = -1;
+};
+
+bool is_compute(const sim::Op& op) {
+  return std::holds_alternative<sim::ComputeOp>(op) ||
+         std::holds_alternative<sim::GloadLoopOp>(op);
+}
+
+}  // namespace
+
+RegionFacts analyze_regions(const sim::CpeProgram& prog) {
+  RegionFacts rf;
+  rf.has_notes = !prog.spm_notes.empty();
+  const std::size_t n = prog.ops.size();
+  if (n == 0) return rf;
+
+  // Handle protocol scan + static issue->wait matching.  The op stream is
+  // straight-line (self-loops repeat a single op), so each wait pairs with
+  // exactly one preceding issue.  A broken protocol belongs to the SWP
+  // codes; region windows are undefined then, so we stop without findings.
+  std::vector<Flight> flights;
+  std::vector<int> flight_at_wait(n, -1);
+  std::vector<int> flight_at_issue(n, -1);
+  {
+    std::array<int, sim::kMaxDmaHandles> open;
+    open.fill(-1);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (const auto* d = std::get_if<sim::DmaOp>(&prog.ops[i])) {
+        if (d->handle < 0) continue;
+        if (d->handle >= sim::kMaxDmaHandles || open[d->handle] >= 0) {
+          rf.protocol_ok = false;
+          return rf;
+        }
+        open[d->handle] = static_cast<int>(flights.size());
+        flight_at_issue[i] = static_cast<int>(flights.size());
+        flights.push_back({i, n, d->handle, false, -1, -1});
+      } else if (const auto* w = std::get_if<sim::DmaWaitOp>(&prog.ops[i])) {
+        if (w->handle < 0 || w->handle >= sim::kMaxDmaHandles ||
+            open[w->handle] < 0) {
+          rf.protocol_ok = false;
+          return rf;
+        }
+        Flight& f = flights[static_cast<std::size_t>(open[w->handle])];
+        f.wait = i;
+        f.waited = true;
+        flight_at_wait[i] = open[w->handle];
+        open[w->handle] = -1;
+      }
+    }
+  }
+
+  // Compute groups: maximal runs of consecutive compute/gload ops.  One
+  // group is one pipeline phase of Fig. 5; flight windows are measured in
+  // groups crossed.
+  std::vector<int> group(n, -1);
+  {
+    int ngroups = 0;
+    bool in_run = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool c = is_compute(prog.ops[i]);
+      if (c) {
+        if (!in_run) ++ngroups;
+        group[i] = ngroups - 1;
+      }
+      in_run = c;
+    }
+  }
+
+  // Per-op access sets from the side-band notes.
+  std::vector<OpAccess> acc(n);
+  for (const auto& note : prog.spm_notes) {
+    if (note.op >= n) continue;  // hand-built out-of-range note: ignore
+    OpAccess& a = acc[note.op];
+    switch (note.kind) {
+      case sim::SpmAccessKind::kDmaDst:
+        a.dma_dst.add(note.range);
+        break;
+      case sim::SpmAccessKind::kDmaSrc:
+        a.dma_src.add(note.range);
+        break;
+      case sim::SpmAccessKind::kComputeRead:
+        a.reads.add(note.range);
+        break;
+      case sim::SpmAccessKind::kComputeWrite:
+        a.writes.add(note.range);
+        break;
+    }
+  }
+
+  // MUST-defined bytes (forward, intersection join): a blocking get defines
+  // its destination at issue, an async get at its wait, compute as it runs.
+  // MAY-read-later bytes (backward, union join): compute reads + put
+  // sources.  Both skipped when there are no notes — every set is empty.
+  const Cfg cfg = make_program_cfg(prog);
+  std::vector<RangeSet> must_in;
+  std::vector<RangeSet> may_read_in;
+  if (rf.has_notes) {
+    std::vector<RangeSet> gen(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (const auto* d = std::get_if<sim::DmaOp>(&prog.ops[i])) {
+        if (d->handle < 0) gen[i] = acc[i].dma_dst;
+      } else if (is_compute(prog.ops[i])) {
+        gen[i] = acc[i].writes;
+      }
+    }
+    for (const Flight& f : flights) {
+      if (f.waited) gen[f.wait].union_with(acc[f.issue].dma_dst);
+    }
+    auto fwd_transfer = [&](std::uint32_t i, const RangeSet& in) {
+      RangeSet out = in;
+      out.union_with(gen[i]);
+      return out;
+    };
+    auto must_join = [](RangeSet& into, const RangeSet& from) {
+      return into.intersect_with(from);
+    };
+    auto must = solve(cfg, Direction::kForward, RangeSet{}, RangeSet::all(),
+                      fwd_transfer, must_join);
+    rf.solver_iterations += must.iterations;
+    must_in = std::move(must.in);
+
+    std::vector<RangeSet> use(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      use[i] = acc[i].reads;
+      use[i].union_with(acc[i].dma_src);
+    }
+    auto bwd_transfer = [&](std::uint32_t i, const RangeSet& after) {
+      RangeSet before = after;
+      before.union_with(use[i]);
+      return before;
+    };
+    auto may_join = [](RangeSet& into, const RangeSet& from) {
+      return into.union_with(from);
+    };
+    auto may = solve(cfg, Direction::kBackward, RangeSet{}, RangeSet{},
+                     bwd_transfer, may_join);
+    rf.solver_iterations += may.iterations;
+    may_read_in = std::move(may.in);
+  }
+
+  // Sweep the op stream with the set of open flights (bounded by
+  // kMaxDmaHandles), producing the window findings in op order.
+  std::array<int, sim::kMaxDmaHandles> open;
+  open.fill(-1);
+  auto open_flights = [&](auto&& fn) {
+    for (const int fi : open) {
+      if (fi >= 0) fn(flights[static_cast<std::size_t>(fi)]);
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    // A wait closes its flight first: the window is strictly (issue, wait).
+    if (flight_at_wait[i] >= 0) {
+      Flight& f = flights[static_cast<std::size_t>(flight_at_wait[i])];
+      const int phases =
+          f.first_group < 0 ? 0 : f.last_group - f.first_group + 1;
+      if (phases > kMaxFlightPhases) {
+        RegionFinding fd;
+        fd.kind = RegionFinding::Kind::kHandleLeak;
+        fd.op = i;
+        fd.handle = f.handle;
+        fd.phases = phases;
+        rf.findings.push_back(fd);
+      }
+      open[f.handle] = -1;
+    }
+
+    const OpAccess& a = acc[i];
+    if (is_compute(prog.ops[i])) {
+      open_flights([&](Flight& f) {
+        if (group[i] >= 0) {
+          if (f.first_group < 0) f.first_group = group[i];
+          f.last_group = group[i];
+        }
+        // Compute must not touch a get destination still in flight.  Put
+        // sources are considered captured at issue (see regions.h).
+        const RangeSet& dst = acc[f.issue].dma_dst;
+        for (const auto& r : a.reads.spans) {
+          if (dst.intersects(r)) {
+            RegionFinding fd;
+            fd.kind = RegionFinding::Kind::kComputeDmaOverlap;
+            fd.op = i;
+            fd.handle = f.handle;
+            fd.range = dst.first_overlap(r);
+            rf.findings.push_back(fd);
+            return;
+          }
+        }
+        for (const auto& w : a.writes.spans) {
+          if (dst.intersects(w)) {
+            RegionFinding fd;
+            fd.kind = RegionFinding::Kind::kComputeDmaOverlap;
+            fd.op = i;
+            fd.handle = f.handle;
+            fd.range = dst.first_overlap(w);
+            rf.findings.push_back(fd);
+            return;
+          }
+        }
+      });
+    } else if (const auto* d = std::get_if<sim::DmaOp>(&prog.ops[i])) {
+      // A new transfer (blocking or freshly issued) must not overlap any
+      // in-flight window when either side writes SPM: dst-vs-dst,
+      // dst-vs-src and src-vs-dst all race; src-vs-src is read-read.
+      open_flights([&](const Flight& f) {
+        const RangeSet& fdst = acc[f.issue].dma_dst;
+        const RangeSet& fsrc = acc[f.issue].dma_src;
+        auto report = [&](sim::SpmRange r) {
+          RegionFinding fd;
+          fd.kind = RegionFinding::Kind::kDmaDmaOverlap;
+          fd.op = i;
+          fd.handle = d->handle;
+          fd.other_handle = f.handle;
+          fd.range = r;
+          rf.findings.push_back(fd);
+        };
+        for (const auto& r : a.dma_dst.spans) {
+          if (fdst.intersects(r)) return report(fdst.first_overlap(r));
+          if (fsrc.intersects(r)) return report(fsrc.first_overlap(r));
+        }
+        for (const auto& r : a.dma_src.spans) {
+          if (fdst.intersects(r)) return report(fdst.first_overlap(r));
+        }
+      });
+    }
+
+    // Reads must be covered by must-defined bytes or by a pending get (the
+    // latter already reported as SWA001 above — not double-reported here).
+    if (rf.has_notes && (!a.reads.empty() || !a.dma_src.empty())) {
+      RangeSet avail = must_in[i];
+      open_flights(
+          [&](const Flight& f) { avail.union_with(acc[f.issue].dma_dst); });
+      auto check_read = [&](const sim::SpmRange& r) {
+        if (!avail.covers(r)) {
+          RegionFinding fd;
+          fd.kind = RegionFinding::Kind::kUndefinedRead;
+          fd.op = i;
+          fd.range = r;
+          rf.findings.push_back(fd);
+        }
+      };
+      for (const auto& r : a.reads.spans) check_read(r);
+      for (const auto& r : a.dma_src.spans) check_read(r);
+    }
+
+    if (flight_at_issue[i] >= 0) {
+      open[flights[static_cast<std::size_t>(flight_at_issue[i])].handle] =
+          flight_at_issue[i];
+    }
+  }
+
+  // Dead stores: written bytes never read again (compute reads or put
+  // sources, across the repeat back edges).  Async get destinations are
+  // judged at their wait — that is when the data lands.
+  if (rf.has_notes) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto report_dead = [&](std::size_t op, int handle,
+                             const sim::SpmRange& w) {
+        RegionFinding fd;
+        fd.kind = RegionFinding::Kind::kDeadStore;
+        fd.op = op;
+        fd.handle = handle;
+        fd.range = w;
+        rf.findings.push_back(fd);
+      };
+      if (is_compute(prog.ops[i])) {
+        for (const auto& w : acc[i].writes.spans) {
+          if (!may_read_in[i].intersects(w)) report_dead(i, -1, w);
+        }
+      } else if (const auto* d = std::get_if<sim::DmaOp>(&prog.ops[i])) {
+        if (d->handle < 0) {
+          for (const auto& w : acc[i].dma_dst.spans) {
+            if (!may_read_in[i].intersects(w)) report_dead(i, -1, w);
+          }
+        }
+      } else if (flight_at_wait[i] >= 0) {
+        const Flight& f = flights[static_cast<std::size_t>(flight_at_wait[i])];
+        for (const auto& w : acc[f.issue].dma_dst.spans) {
+          if (!may_read_in[i].intersects(w)) report_dead(i, f.handle, w);
+        }
+      }
+    }
+  }
+  return rf;
+}
+
+}  // namespace swperf::analysis::dataflow

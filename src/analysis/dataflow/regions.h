@@ -1,0 +1,110 @@
+// SPM region analysis over lowered per-CPE programs.
+//
+// Lowering annotates every DMA and compute op with the SPM byte ranges it
+// touches (sim::SpmNote).  This module turns those annotations into flow
+// facts via the worklist solver:
+//
+//   * a forward MUST analysis of the bytes holding valid data ("defined"):
+//     a blocking DMA get defines its destination immediately, an async get
+//     defines it at the matching dma_wait, a compute write defines it as it
+//     executes;
+//   * a backward MAY analysis of the bytes read later (compute reads and
+//     DMA-put sources), which exposes dead stores;
+//   * the exact in-flight window of every async DMA (issue -> wait), against
+//     which concurrent compute accesses and other transfers are checked for
+//     overlap — the double-buffer correctness argument of the paper's
+//     Fig. 5, made mechanical.
+//
+// The results surface as RegionFindings; the checker layer (swa_checks.cpp)
+// maps each kind to an SWA diagnostic code, and analysis::Legality exports
+// the aggregate facts (regions disjoint, protocol clean) to the tuners.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/program.h"
+
+namespace swperf::analysis::dataflow {
+
+/// Sorted, disjoint, merged set of half-open SPM byte ranges — the lattice
+/// element of the region analyses (union for MAY, intersection for MUST).
+struct RangeSet {
+  std::vector<sim::SpmRange> spans;
+
+  /// The full addressable range (the MUST-analysis identity element).
+  static RangeSet all();
+
+  bool empty() const { return spans.empty(); }
+  void add(sim::SpmRange r);
+  bool intersects(sim::SpmRange r) const;
+  /// True when every byte of `r` is in the set.
+  bool covers(sim::SpmRange r) const;
+  /// First overlapping sub-range with `r` (empty range when disjoint).
+  sim::SpmRange first_overlap(sim::SpmRange r) const;
+
+  /// Union-assign; true when this set changed.
+  bool union_with(const RangeSet& o);
+  /// Intersection-assign; true when this set changed.
+  bool intersect_with(const RangeSet& o);
+  bool operator==(const RangeSet& o) const;
+
+  std::string to_string() const;
+};
+
+/// Compute phases (maximal runs of compute/gload ops) a healthy
+/// double-buffer rotation may hold one async DMA across: a copy-out issued
+/// after phase i is drained right after phase i+2 at the latest (Fig. 5).
+inline constexpr int kMaxFlightPhases = 2;
+
+/// One fact the region analysis established; swa_checks.cpp maps kinds to
+/// diagnostic codes.
+struct RegionFinding {
+  enum class Kind : std::uint8_t {
+    /// Compute touches bytes an in-flight DMA get is still landing into
+    /// (reads stale data or races the transfer with a write).  Put sources
+    /// are treated as captured at issue — the lowering's late out-waits
+    /// (drained together with the next same-parity out issue) are part of
+    /// the modeled Fig. 5 protocol, not a defect. -> SWA001
+    kComputeDmaOverlap,
+    /// Bytes written (compute store or landed get) are never read again
+    /// before program end. -> SWA003
+    kDeadStore,
+    /// Two concurrently in-flight transfers overlap, at least one writing
+    /// SPM. -> SWA004
+    kDmaDmaOverlap,
+    /// Bytes read that no definition reaches (not defined, not pending in
+    /// any in-flight get). -> SWA005
+    kUndefinedRead,
+    /// An async DMA held in flight across more than kMaxFlightPhases
+    /// compute phases: the handle leaks across the pipeline loop. -> SWA008
+    kHandleLeak,
+  };
+
+  Kind kind = Kind::kComputeDmaOverlap;
+  std::size_t op = 0;     // op index the finding anchors to
+  int handle = -1;        // in-flight handle involved (-1: blocking/none)
+  int other_handle = -1;  // second handle for kDmaDmaOverlap
+  sim::SpmRange range;    // offending byte range
+  int phases = 0;         // compute phases crossed (kHandleLeak)
+};
+
+/// Region facts of one CPE program.
+struct RegionFacts {
+  /// False when the DMA handle protocol itself is broken (double issue,
+  /// stray wait, out-of-range handle): the SWP* codes own those defects and
+  /// region windows are not well defined, so no findings are produced.
+  bool protocol_ok = true;
+  /// True when the program carries SPM annotations at all; hand-built
+  /// programs without notes produce no region findings.
+  bool has_notes = false;
+  std::vector<RegionFinding> findings;
+  /// Transfer applications of the two solver runs (must-defined + may-read).
+  std::size_t solver_iterations = 0;
+};
+
+/// Runs the region analyses over one CPE program.
+RegionFacts analyze_regions(const sim::CpeProgram& prog);
+
+}  // namespace swperf::analysis::dataflow

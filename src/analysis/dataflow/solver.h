@@ -1,0 +1,111 @@
+// Generic worklist solver for forward/backward dataflow over a Cfg.
+//
+// The classic Kildall scheme: per-node IN states are joined from the OUT
+// states of the flow predecessors, OUT = transfer(node, IN), and nodes whose
+// OUT changed re-enqueue their flow successors until a fixpoint.  The solver
+// is deliberately agnostic about the lattice — a State is any copyable
+// value, the caller supplies
+//
+//   transfer(node, const State&) -> State     the node's effect
+//   join_into(State& into, const State& from) -> bool   least upper bound,
+//       returning whether `into` changed (the convergence test)
+//
+// and an initial/boundary state.  Termination is the caller's obligation
+// (finite-height lattice or widening inside join_into); the solver adds a
+// large iteration fuse so a broken lattice fails loudly instead of hanging.
+//
+// Used by liveness.cpp (backward, bitset lattice over virtual registers)
+// and regions.cpp (forward, SPM range-set lattice over lowered programs).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "analysis/dataflow/cfg.h"
+#include "sw/error.h"
+
+namespace swperf::analysis::dataflow {
+
+enum class Direction : std::uint8_t { kForward, kBackward };
+
+template <typename State>
+struct SolveResult {
+  /// State at the flow entry of each node (before its transfer applies).
+  std::vector<State> in;
+  /// State after each node's transfer.
+  std::vector<State> out;
+  /// Transfer applications until the fixpoint — exposed so tests can pin
+  /// that structured inputs converge in the expected number of passes.
+  std::size_t iterations = 0;
+};
+
+template <typename State, typename TransferFn, typename JoinFn>
+SolveResult<State> solve(const Cfg& cfg, Direction dir,
+                         const State& boundary, const State& bottom,
+                         TransferFn&& transfer, JoinFn&& join_into) {
+  SolveResult<State> r;
+  const std::size_t n = cfg.size();
+  r.in.assign(n, bottom);
+  r.out.assign(n, bottom);
+  if (n == 0) return r;
+
+  const bool fwd = dir == Direction::kForward;
+  auto flow_preds = [&](std::uint32_t i) -> const std::vector<std::uint32_t>& {
+    return fwd ? cfg.nodes[i].preds : cfg.nodes[i].succs;
+  };
+  auto flow_succs = [&](std::uint32_t i) -> const std::vector<std::uint32_t>& {
+    return fwd ? cfg.nodes[i].succs : cfg.nodes[i].preds;
+  };
+
+  // Seed the worklist in flow order: RPO forward, reverse RPO backward —
+  // near-optimal visit order for reducible graphs like ours.
+  auto order = cfg.rpo();
+  if (!fwd) std::reverse(order.begin(), order.end());
+  std::deque<std::uint32_t> work(order.begin(), order.end());
+  std::vector<bool> queued(n, true);
+
+  // The boundary state flows into the graph's flow entries: node 0 for a
+  // forward analysis, the exit nodes (no successors) for a backward one.
+  // Joined rather than assigned, so an entry that is also a loop header (a
+  // self-looping first op) still combines the boundary with its back edge.
+  if (fwd) {
+    join_into(r.in[0], boundary);
+  } else {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (cfg.nodes[i].succs.empty()) join_into(r.in[i], boundary);
+    }
+  }
+
+  // Fuse: a finite-height lattice over these graphs converges in
+  // O(nodes * height); anything past nodes^2 + a generous constant means a
+  // non-monotone join and must fail loudly.
+  const std::size_t fuse = 64 + n * (n + 4);
+  while (!work.empty()) {
+    SWPERF_CHECK(r.iterations < fuse,
+                 "dataflow solver failed to converge after "
+                     << r.iterations << " transfers over " << n
+                     << " nodes (non-monotone lattice?)");
+    const std::uint32_t i = work.front();
+    work.pop_front();
+    queued[i] = false;
+
+    for (const std::uint32_t p : flow_preds(i)) {
+      join_into(r.in[i], r.out[p]);
+    }
+    State next = transfer(i, r.in[i]);
+    ++r.iterations;
+    const bool changed = join_into(r.out[i], next);
+    if (changed) {
+      for (const std::uint32_t s : flow_succs(i)) {
+        if (!queued[s]) {
+          queued[s] = true;
+          work.push_back(s);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace swperf::analysis::dataflow

@@ -3,8 +3,11 @@
 // Everything here is decidable from KernelDesc + LaunchParams + ArchParams
 // alone — no lowering, no simulation — which is what makes the checks
 // cheap enough for the tuners to consult on every candidate variant.
+#include <algorithm>
 #include <cmath>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "analysis/checker.h"
 #include "isa/vectorize.h"
@@ -358,21 +361,108 @@ class IdleCpeChecker final : public Checker {
     }
     const auto d = swacc::decompose(k.n_outer, p.tile, p.requested_cpes);
     if (d.active_cpes >= p.requested_cpes) return;
-    const std::uint64_t fit_tile =
-        std::max<std::uint64_t>(1, k.n_outer / p.requested_cpes);
     std::ostringstream os;
     os << "kernel '" << k.name << "': tile " << p.tile << " splits "
        << k.n_outer << " outer elements into only " << d.n_chunks
        << " chunk(s), leaving " << (p.requested_cpes - d.active_cpes)
        << " of " << p.requested_cpes << " requested CPEs idle";
+    // The fix-it is *validated*: swd006_suggestion() re-checks each
+    // candidate launch and only suggests ones that clear SWD006 without
+    // introducing new findings (tests/analysis pins this).
+    const Swd006Suggestion sug = swd006_suggestion(k, p, ctx.arch);
     emit(out, Severity::kWarning, "SWD006", os.str(),
-         "reduce tile to <= " + std::to_string(fit_tile) +
-             ", or request only " + std::to_string(d.active_cpes) +
-             " CPEs");
+         sug.valid ? sug.fixit
+                   : "request only " + std::to_string(d.active_cpes) +
+                         " CPEs");
   }
 };
 
 }  // namespace
+
+Swd006Suggestion swd006_suggestion(const swacc::KernelDesc& kernel,
+                                   const swacc::LaunchParams& params,
+                                   const sw::ArchParams& arch) {
+  // Validating a candidate runs check_launch(), whose IdleCpeChecker may
+  // ask for a suggestion again.  The guard makes the nested call answer
+  // "no suggestion" (the checker then uses its fallback fix-it), so
+  // validation terminates after one level.
+  static thread_local bool validating = false;
+  Swd006Suggestion none;
+  if (validating) return none;
+  if (!structurally_sound(kernel) || params.tile < 1 ||
+      params.requested_cpes < 1) {
+    return none;
+  }
+  const auto d =
+      swacc::decompose(kernel.n_outer, params.tile, params.requested_cpes);
+  if (d.active_cpes >= params.requested_cpes) return none;
+
+  validating = true;
+  struct Reset {
+    bool& flag;
+    ~Reset() { flag = false; }
+  } reset{validating};
+
+  // A candidate is acceptable when it carries no SWD006 and every
+  // (code, severity) it reports was already present in the original
+  // launch's report — fixing idle CPEs must not surface new problems.
+  using Sig = std::multiset<std::pair<std::string, int>>;
+  auto signature = [&](const swacc::LaunchParams& p, bool* has_swd006) {
+    Sig sig;
+    *has_swd006 = false;
+    for (const auto& di : check_launch(kernel, p, arch)) {
+      if (di.code == "SWD006") {
+        *has_swd006 = true;
+        continue;
+      }
+      sig.insert({di.code, static_cast<int>(di.severity)});
+    }
+    return sig;
+  };
+  bool base_swd006 = false;
+  const Sig base = signature(params, &base_swd006);
+  auto validate = [&](const swacc::LaunchParams& cand) {
+    bool cand_swd006 = false;
+    const Sig sig = signature(cand, &cand_swd006);
+    return !cand_swd006 &&
+           std::includes(base.begin(), base.end(), sig.begin(), sig.end());
+  };
+
+  // Candidate 1 (preferred — keeps every requested CPE busy): the largest
+  // tile whose chunks still reach all requested CPEs.
+  const std::uint64_t fit_tile =
+      std::max<std::uint64_t>(1, kernel.n_outer / params.requested_cpes);
+  if (fit_tile < params.tile) {
+    swacc::LaunchParams cand = params;
+    cand.tile = fit_tile;
+    if (validate(cand)) {
+      Swd006Suggestion s;
+      s.valid = true;
+      s.params = cand;
+      s.fixit = "reduce tile to <= " + std::to_string(fit_tile) +
+                ", or request only " + std::to_string(d.active_cpes) +
+                " CPEs";
+      return s;
+    }
+  }
+
+  // Candidate 2: accept the decomposition and request only the CPEs it
+  // activates.  Cannot introduce findings that depend on tile or shape,
+  // but is still validated like any other candidate.
+  {
+    swacc::LaunchParams cand = params;
+    cand.requested_cpes = d.active_cpes;
+    if (validate(cand)) {
+      Swd006Suggestion s;
+      s.valid = true;
+      s.params = cand;
+      s.fixit =
+          "request only " + std::to_string(d.active_cpes) + " CPEs";
+      return s;
+    }
+  }
+  return none;
+}
 
 namespace detail {
 

@@ -1,0 +1,167 @@
+#include "analysis/legality.h"
+
+#include <algorithm>
+
+#include "analysis/checker.h"
+#include "analysis/dataflow/interval.h"
+#include "analysis/dataflow/liveness.h"
+#include "analysis/dataflow/regions.h"
+#include "swacc/lower.h"
+
+namespace swperf::analysis {
+
+namespace {
+
+using dataflow::Interval;
+
+/// Mirror of mem::SpmAllocator's bump alignment (align = 32), lifted to
+/// the interval domain. align_up is monotone, so mapping both bounds is
+/// exact for the bounds (and the inputs here are point intervals anyway).
+Interval align32(const Interval& v) {
+  auto up = [](std::int64_t x) -> std::int64_t {
+    if (x <= 0) return 0;
+    if (x >= Interval::kInf - 31) return Interval::kInf;
+    return (x + 31) & ~std::int64_t{31};
+  };
+  if (v.is_empty()) return v;
+  return {up(v.lo), up(v.hi)};
+}
+
+/// The SPM footprint in allocation order — broadcasts first, then staged
+/// buffers in declaration order with the double-buffer copies innermost —
+/// exactly as swacc's layout_spm() performs it, but over intervals.
+Interval spm_footprint(const swacc::KernelDesc& kernel,
+                       const swacc::LaunchParams& params) {
+  Interval top = Interval::point(0);
+  for (const auto& a : kernel.arrays) {
+    if (a.access != swacc::Access::kBroadcast) continue;
+    top = align32(top).add(
+        Interval::point(static_cast<std::int64_t>(a.broadcast_bytes)));
+  }
+  const Interval eff_tile =
+      Interval::point(static_cast<std::int64_t>(params.tile))
+          .min_with(Interval::point(static_cast<std::int64_t>(kernel.n_outer)));
+  const int nbuf = params.double_buffer ? 2 : 1;
+  for (const auto& a : kernel.arrays) {
+    if (!a.staged()) continue;
+    for (int b = 0; b < nbuf; ++b) {
+      top = align32(top).add(eff_tile.mul(
+          Interval::point(static_cast<std::int64_t>(a.bytes_per_outer))));
+    }
+  }
+  return top;
+}
+
+}  // namespace
+
+const char* fact_name(Legality::Fact f) {
+  switch (f) {
+    case Legality::Fact::kHolds:
+      return "holds";
+    case Legality::Fact::kFails:
+      return "fails";
+    case Legality::Fact::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
+Legality launch_legality(const swacc::KernelDesc& kernel,
+                         const swacc::LaunchParams& params,
+                         const sw::ArchParams& arch) {
+  Legality l;
+  const Diagnostics diags = check_launch(kernel, params, arch);
+  l.launch_legal = !has_errors(diags);
+  for (const auto& d : diags) {
+    if (d.severity != Severity::kError) continue;
+    if (std::find(l.error_codes.begin(), l.error_codes.end(), d.code) ==
+        l.error_codes.end()) {
+      l.error_codes.push_back(d.code);
+    }
+  }
+
+  // The finer facts need a well-formed description and in-range launch
+  // parameters; SWK*/SWD007 errors mean the quantities below are not even
+  // defined, so they stay kUnknown.
+  const bool structurally_usable =
+      std::none_of(l.error_codes.begin(), l.error_codes.end(),
+                   [](const std::string& c) {
+                     return c.compare(0, 3, "SWK") == 0 || c == "SWD007";
+                   });
+  if (!structurally_usable) return l;
+
+  const Interval footprint = spm_footprint(kernel, params);
+  l.spm_fits = footprint.hi <= static_cast<std::int64_t>(arch.spm_bytes)
+                   ? Legality::Fact::kHolds
+                   : Legality::Fact::kFails;
+
+  if (!kernel.body.instrs.empty()) {
+    const auto bd = dataflow::analyze_block(kernel.body, /*repeated=*/true);
+    l.loop_carried_independent = bd.carried.empty() ? Legality::Fact::kHolds
+                                                    : Legality::Fact::kFails;
+  }
+  return l;
+}
+
+void refine_with_program(Legality& l, const sim::KernelBinary& binary,
+                         const std::vector<sim::CpeProgram>& programs,
+                         const sw::ArchParams& arch) {
+  (void)binary;
+  (void)arch;
+  if (programs.empty()) return;
+
+  bool protocol_ok = true;
+  bool any_notes = false;
+  bool overlap = false;
+  bool leak = false;
+  for (const auto& prog : programs) {
+    const auto facts = dataflow::analyze_regions(prog);
+    protocol_ok &= facts.protocol_ok;
+    any_notes |= facts.has_notes;
+    for (const auto& f : facts.findings) {
+      using K = dataflow::RegionFinding::Kind;
+      overlap |= f.kind == K::kComputeDmaOverlap || f.kind == K::kDmaDmaOverlap;
+      leak |= f.kind == K::kHandleLeak;
+    }
+  }
+  if (!protocol_ok) {
+    l.dma_protocol_clean = Legality::Fact::kFails;
+    // Region windows are undefined under a broken protocol.
+    l.regions_disjoint = Legality::Fact::kUnknown;
+  } else {
+    l.dma_protocol_clean =
+        leak ? Legality::Fact::kFails : Legality::Fact::kHolds;
+    if (any_notes) {
+      l.regions_disjoint =
+          overlap ? Legality::Fact::kFails : Legality::Fact::kHolds;
+    }
+  }
+
+  std::size_t first_count = 0;
+  bool aligned = true;
+  for (std::size_t cpe = 0; cpe < programs.size(); ++cpe) {
+    std::size_t n = 0;
+    for (const auto& op : programs[cpe].ops) {
+      n += std::holds_alternative<sim::BarrierOp>(op) ? 1 : 0;
+    }
+    if (cpe == 0) {
+      first_count = n;
+    } else {
+      aligned &= n == first_count;
+    }
+  }
+  l.barriers_aligned =
+      aligned ? Legality::Fact::kHolds : Legality::Fact::kFails;
+}
+
+Legality program_legality(const swacc::KernelDesc& kernel,
+                          const swacc::LaunchParams& params,
+                          const sw::ArchParams& arch) {
+  Legality l = launch_legality(kernel, params, arch);
+  if (!l.launch_legal) return l;
+  const auto lowered = swacc::lower(kernel, params, arch);
+  refine_with_program(l, lowered.binary, lowered.programs, arch);
+  return l;
+}
+
+}  // namespace swperf::analysis

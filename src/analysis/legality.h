@@ -1,0 +1,83 @@
+// Legality facts — the checker's verdicts as a queryable API.
+//
+// The tuners (tuning::prune_variants) used to re-derive "is this variant
+// even lowerable" by scraping check_launch() for error-severity findings.
+// This header gives that question, and the finer-grained facts behind it,
+// a first-class answer type:
+//
+//   * launch_legal is BY CONSTRUCTION identical to
+//     !has_errors(check_launch(kernel, params, arch)) — the tuners' pruning
+//     verdicts (winners, explored sets, PruneStats) are bit-identical to
+//     the scraping they replace (tests/tuning pins this at --jobs 1 and 8);
+//   * the individual facts are tri-state: a Fact is only kHolds/kFails when
+//     the analysis actually decided it, and kUnknown when its inputs were
+//     absent (no lowered program yet, malformed kernel, no SPM notes).
+//
+// launch_legality() is cheap (description + launch checks only);
+// refine_with_program() adds the facts that need a lowered program
+// (region disjointness, DMA protocol, barrier alignment) via
+// analysis/dataflow/.  serde renders the whole struct to JSON for
+// `swperf check --analyze`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/program.h"
+#include "sw/arch.h"
+#include "swacc/kernel.h"
+
+namespace swperf::analysis {
+
+/// Facts the static analyses establish about one (kernel, launch) pair.
+struct Legality {
+  /// Tri-state verdict: kUnknown when the deciding analysis did not run.
+  enum class Fact : std::uint8_t { kUnknown, kHolds, kFails };
+
+  /// Exactly !has_errors(check_launch(kernel, params, arch)).
+  bool launch_legal = false;
+  /// Distinct error-severity codes of the launch check, in first
+  /// appearance order (empty when launch_legal).
+  std::vector<std::string> error_codes;
+
+  // -- decidable from the description + launch alone --------------------
+  /// The SPM footprint (staged buffers x double-buffer factor + broadcast,
+  /// with allocator alignment) fits the scratchpad — computed with the
+  /// interval domain; agrees with swacc::spm_bytes_required().
+  Fact spm_fits = Fact::kUnknown;
+  /// The body block carries no value across iterations (liveness fixpoint
+  /// finds no loop-carried register): iterations are independent.
+  Fact loop_carried_independent = Fact::kUnknown;
+
+  // -- need a lowered program (refine_with_program) ----------------------
+  /// No compute/DMA or DMA/DMA overlap inside any in-flight window on any
+  /// CPE: the double-buffer phases touch disjoint SPM regions.
+  Fact regions_disjoint = Fact::kUnknown;
+  /// Handle protocol is well formed and no handle stays in flight across
+  /// more than dataflow::kMaxFlightPhases compute phases.
+  Fact dma_protocol_clean = Fact::kUnknown;
+  /// Every CPE reaches the same number of barriers.
+  Fact barriers_aligned = Fact::kUnknown;
+};
+
+const char* fact_name(Legality::Fact f);
+
+/// The facts decidable without lowering. Runs check_launch() plus the
+/// interval/liveness analyses.
+Legality launch_legality(const swacc::KernelDesc& kernel,
+                         const swacc::LaunchParams& params,
+                         const sw::ArchParams& arch);
+
+/// Fills in the program-level facts from an already-lowered launch.
+void refine_with_program(Legality& l, const sim::KernelBinary& binary,
+                         const std::vector<sim::CpeProgram>& programs,
+                         const sw::ArchParams& arch);
+
+/// Convenience: launch_legality(), then — when legal — lowers the kernel
+/// and refines. Never throws on findings.
+Legality program_legality(const swacc::KernelDesc& kernel,
+                          const swacc::LaunchParams& params,
+                          const sw::ArchParams& arch);
+
+}  // namespace swperf::analysis

@@ -1,0 +1,213 @@
+// Dataflow-analysis checks over lowered per-CPE programs (SWA* codes).
+//
+// Where the SWP* passes interpret each op stream with one bit of state per
+// DMA handle, the SWA* family runs the full region/flow machinery of
+// analysis/dataflow/: SPM byte ranges from the lowering's side-band notes,
+// MUST-defined and MAY-read-later sets from the worklist solver, and the
+// exact in-flight window of every async transfer.  That is what turns the
+// paper's double-buffer discipline (Fig. 5) into checkable facts: phases
+// must touch disjoint buffers, every read must be staged first, and no
+// handle may stay in flight across more than two compute phases.
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <variant>
+
+#include "analysis/checker.h"
+#include "analysis/dataflow/regions.h"
+
+namespace swperf::analysis {
+namespace {
+
+using dataflow::RegionFinding;
+
+void emit(Diagnostics& out, Severity sev, const char* code,
+          std::string message, std::string fixit = "") {
+  out.push_back(
+      Diagnostic{sev, code, std::move(message), std::move(fixit)});
+}
+
+std::string at(std::size_t cpe, std::size_t op) {
+  std::ostringstream os;
+  os << "CPE " << cpe << ", op " << op;
+  return os.str();
+}
+
+std::string range_str(const sim::SpmRange& r) {
+  std::ostringstream os;
+  os << "[" << r.lo << ", " << r.hi << ")";
+  return os.str();
+}
+
+// ---- SWA001/SWA003/SWA004/SWA005/SWA008: region analysis findings ----------
+
+class SpmRegionChecker final : public Checker {
+ public:
+  const char* name() const override { return "spm-regions"; }
+
+  void run(const CheckContext& ctx, Diagnostics& out) const override {
+    if (ctx.programs == nullptr) return;
+    for (std::size_t cpe = 0; cpe < ctx.programs->size(); ++cpe) {
+      const auto facts = dataflow::analyze_regions((*ctx.programs)[cpe]);
+      // A broken handle protocol is SWP001/002/006 territory; region
+      // windows are undefined there and analyze_regions reports nothing.
+      for (const auto& f : facts.findings) report(cpe, f, out);
+    }
+  }
+
+ private:
+  static void report(std::size_t cpe, const RegionFinding& f,
+                     Diagnostics& out) {
+    std::ostringstream os;
+    switch (f.kind) {
+      case RegionFinding::Kind::kComputeDmaOverlap:
+        os << at(cpe, f.op) << ": compute touches SPM bytes "
+           << range_str(f.range)
+           << " that the async DMA on handle " << f.handle
+           << " is still landing into — the double-buffer phases overlap";
+        emit(out, Severity::kError, "SWA001", os.str(),
+             "dma_wait(" + std::to_string(f.handle) +
+                 ") before computing on this buffer, or stage the chunk "
+                 "into the other parity buffer");
+        break;
+      case RegionFinding::Kind::kDeadStore:
+        os << at(cpe, f.op) << ": SPM bytes " << range_str(f.range)
+           << " are written but never read again";
+        if (f.handle >= 0) {
+          os << " (async get on handle " << f.handle
+             << " landing at this wait)";
+        }
+        emit(out, Severity::kWarning, "SWA003", os.str(),
+             "drop the store/transfer, or add the compute or copy-out that "
+             "should consume the staged data");
+        break;
+      case RegionFinding::Kind::kDmaDmaOverlap:
+        os << at(cpe, f.op) << ": DMA overlaps SPM bytes "
+           << range_str(f.range) << " of the transfer still in flight on "
+           << "handle " << f.other_handle
+           << " with at least one side writing";
+        emit(out, Severity::kError, "SWA004", os.str(),
+             "dma_wait(" + std::to_string(f.other_handle) +
+                 ") first, or give the transfers disjoint SPM buffers");
+        break;
+      case RegionFinding::Kind::kUndefinedRead:
+        os << at(cpe, f.op) << ": reads SPM bytes " << range_str(f.range)
+           << " that no DMA get or compute write is known to have defined";
+        emit(out, Severity::kWarning, "SWA005", os.str(),
+             "stage the data with a DMA get (or a compute write) before "
+             "this op");
+        break;
+      case RegionFinding::Kind::kHandleLeak:
+        os << at(cpe, f.op) << ": async DMA on handle " << f.handle
+           << " stays in flight across " << f.phases
+           << " compute phases (the Fig. 5 rotation drains a handle within "
+           << dataflow::kMaxFlightPhases << ")";
+        emit(out, Severity::kWarning, "SWA008", os.str(),
+             "move the dma_wait(" + std::to_string(f.handle) +
+                 ") earlier in the pipeline rotation");
+        break;
+    }
+  }
+};
+
+// ---- SWA002: annotated ranges vs the physical scratchpad --------------------
+
+class SpmBoundsChecker final : public Checker {
+ public:
+  const char* name() const override { return "spm-bounds"; }
+
+  void run(const CheckContext& ctx, Diagnostics& out) const override {
+    if (ctx.programs == nullptr) return;
+    for (std::size_t cpe = 0; cpe < ctx.programs->size(); ++cpe) {
+      for (const auto& note : (*ctx.programs)[cpe].spm_notes) {
+        if (note.range.hi <= ctx.arch.spm_bytes) continue;
+        std::ostringstream os;
+        os << at(cpe, note.op) << ": SPM access " << range_str(note.range)
+           << " runs past the " << ctx.arch.spm_bytes
+           << "-byte scratchpad";
+        emit(out, Severity::kError, "SWA002", os.str(),
+             "shrink the staged buffers (smaller tile) so every access "
+             "stays inside SPM");
+      }
+    }
+  }
+};
+
+// ---- SWA006: basic blocks no ComputeOp ever runs ---------------------------
+
+class UnreferencedBlockChecker final : public Checker {
+ public:
+  const char* name() const override { return "block-reach"; }
+
+  void run(const CheckContext& ctx, Diagnostics& out) const override {
+    if (ctx.programs == nullptr || ctx.binary == nullptr) return;
+    std::vector<bool> referenced(ctx.binary->blocks.size(), false);
+    for (const auto& prog : *ctx.programs) {
+      for (const auto& op : prog.ops) {
+        if (const auto* c = std::get_if<sim::ComputeOp>(&op)) {
+          if (c->block_id < referenced.size()) referenced[c->block_id] = true;
+        }
+      }
+    }
+    for (std::size_t b = 0; b < referenced.size(); ++b) {
+      if (referenced[b]) continue;
+      std::ostringstream os;
+      os << "block " << b << " ('" << ctx.binary->blocks[b].name
+         << "') is never referenced by any ComputeOp of this launch";
+      emit(out, Severity::kNote, "SWA006", os.str());
+    }
+  }
+};
+
+// ---- SWA007: barriers nobody does any work between -------------------------
+
+class RedundantBarrierChecker final : public Checker {
+ public:
+  const char* name() const override { return "barrier-redundant"; }
+
+  void run(const CheckContext& ctx, Diagnostics& out) const override {
+    if (ctx.programs == nullptr || ctx.programs->empty()) return;
+    // Barrier op positions per CPE. Mismatched counts are an SWP004 error;
+    // redundancy is only well defined when the counts line up.
+    std::vector<std::vector<std::size_t>> pos(ctx.programs->size());
+    for (std::size_t cpe = 0; cpe < ctx.programs->size(); ++cpe) {
+      const auto& ops = (*ctx.programs)[cpe].ops;
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (std::holds_alternative<sim::BarrierOp>(ops[i])) {
+          pos[cpe].push_back(i);
+        }
+      }
+      if (pos[cpe].size() != pos[0].size()) return;
+    }
+    if (pos[0].size() < 2) return;
+    for (std::size_t k = 0; k + 1 < pos[0].size(); ++k) {
+      bool all_idle = true;
+      for (const auto& p : pos) {
+        if (p[k + 1] != p[k] + 1) {
+          all_idle = false;
+          break;
+        }
+      }
+      if (!all_idle) continue;
+      std::ostringstream os;
+      os << "barrier " << (k + 1) << " is redundant: no CPE does any work "
+         << "between barriers " << k << " and " << (k + 1);
+      emit(out, Severity::kWarning, "SWA007", os.str(),
+           "drop one of the back-to-back barriers");
+    }
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_swa_checkers(Registry& r) {
+  r.push_back(std::make_unique<SpmRegionChecker>());
+  r.push_back(std::make_unique<SpmBoundsChecker>());
+  r.push_back(std::make_unique<UnreferencedBlockChecker>());
+  r.push_back(std::make_unique<RedundantBarrierChecker>());
+}
+
+}  // namespace detail
+}  // namespace swperf::analysis

@@ -25,14 +25,19 @@ std::vector<Reg> BasicBlock::live_in() const {
   return {live.begin(), live.end()};
 }
 
-std::vector<Reg> BasicBlock::carried() const {
-  std::set<Reg> written;
+std::vector<Reg> BasicBlock::written() const {
+  std::set<Reg> defs;
   for (const auto& i : instrs) {
-    if (i.dst != kNoReg) written.insert(i.dst);
+    if (i.dst != kNoReg) defs.insert(i.dst);
   }
+  return {defs.begin(), defs.end()};
+}
+
+std::vector<Reg> BasicBlock::carried() const {
+  const std::vector<Reg> defs = written();
   std::vector<Reg> out;
   for (Reg r : live_in()) {
-    if (written.count(r) != 0) out.push_back(r);
+    if (std::binary_search(defs.begin(), defs.end(), r)) out.push_back(r);
   }
   return out;
 }

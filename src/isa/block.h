@@ -33,6 +33,9 @@ struct BasicBlock {
 
   /// Registers read before they are written in this block (live-in).
   std::vector<Reg> live_in() const;
+  /// Registers the block writes (every instruction destination), sorted
+  /// and deduplicated.
+  std::vector<Reg> written() const;
   /// Live-in registers that the block also writes: loop-carried values
   /// (reduction accumulators, running indices).
   std::vector<Reg> carried() const;

@@ -442,6 +442,23 @@ Json to_json(const analysis::Diagnostics& diags) {
   return arr;
 }
 
+Json to_json(const analysis::Legality& l) {
+  Json j = Json::object();
+  j.set("launch_legal", l.launch_legal);
+  Json codes = Json::array();
+  for (const auto& c : l.error_codes) codes.push_back(c);
+  j.set("error_codes", std::move(codes));
+  Json facts = Json::object();
+  facts.set("spm_fits", analysis::fact_name(l.spm_fits));
+  facts.set("loop_carried_independent",
+            analysis::fact_name(l.loop_carried_independent));
+  facts.set("regions_disjoint", analysis::fact_name(l.regions_disjoint));
+  facts.set("dma_protocol_clean", analysis::fact_name(l.dma_protocol_clean));
+  facts.set("barriers_aligned", analysis::fact_name(l.barriers_aligned));
+  j.set("facts", std::move(facts));
+  return j;
+}
+
 Json to_json(const tuning::TuningStats& s) {
   Json j = Json::object();
   j.set("evaluations", s.evaluations);

@@ -17,6 +17,7 @@
 #pragma once
 
 #include "analysis/diagnostic.h"
+#include "analysis/legality.h"
 #include "model/calibrate.h"
 #include "model/model.h"
 #include "model/report.h"
@@ -60,6 +61,9 @@ Json to_json(const sim::SimCounters& c);
 Json to_json(const sim::SimResult& r);
 Json to_json(const analysis::Diagnostic& d);
 Json to_json(const analysis::Diagnostics& diags);
+/// Legality facts of one launch (`swperf check --analyze`): launch_legal,
+/// its error codes, and the tri-state facts as "holds"/"fails"/"unknown".
+Json to_json(const analysis::Legality& l);
 Json to_json(const tuning::TuningStats& s);
 Json to_json(const tuning::VariantResult& v);
 Json to_json(const tuning::TuningResult& r);

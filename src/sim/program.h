@@ -57,6 +57,39 @@ struct GloadLoopOp {
 /// Synchronises all active CPEs (athread barrier).
 struct BarrierOp {};
 
+// ---- SPM access annotations ------------------------------------------------
+//
+// Lowering knows which SPM byte ranges each op touches (DMA destinations and
+// sources from the SPM layout, compute reads/writes from the staged-buffer
+// assignment of the chunk being processed).  It records that knowledge as
+// side-band notes on the op stream: the simulator ignores them entirely, but
+// the dataflow analyses (analysis/dataflow/) use them to prove double-buffer
+// phases disjoint — or to report the overlap precisely when they are not.
+
+/// Half-open SPM byte range [lo, hi).
+struct SpmRange {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+
+  std::uint32_t bytes() const { return hi - lo; }
+  bool overlaps(const SpmRange& o) const { return lo < o.hi && o.lo < hi; }
+};
+
+/// What an annotated op does to the range.
+enum class SpmAccessKind : std::uint8_t {
+  kDmaDst,        // DMA get writes the range when the transfer lands
+  kDmaSrc,        // DMA put reads the range while the transfer is in flight
+  kComputeRead,   // compute (or gload-interleaved compute) reads the range
+  kComputeWrite,  // compute writes the range
+};
+
+/// One side-band annotation: op `op` touches `range` as `kind`.
+struct SpmNote {
+  std::uint32_t op = 0;
+  SpmAccessKind kind = SpmAccessKind::kComputeRead;
+  SpmRange range;
+};
+
 /// Fixed-duration stall (kernel launch overhead, MPE interaction).
 struct DelayOp {
   sw::Tick ticks = 0;
@@ -68,6 +101,9 @@ using Op = std::variant<ComputeOp, DmaOp, DmaWaitOp, GloadLoopOp, BarrierOp,
 /// The op stream of one CPE.
 struct CpeProgram {
   std::vector<Op> ops;
+  /// SPM byte ranges the ops touch (see SpmNote). Optional: hand-built
+  /// programs carry none and the analyses that need them skip silently.
+  std::vector<SpmNote> spm_notes;
   /// Handles ever issued through dma(); lets dma_wait() reject waits on
   /// handles no DMA was ever issued on, at construction time.
   std::uint32_t issued_handles = 0;
@@ -104,6 +140,27 @@ struct CpeProgram {
   CpeProgram& delay(sw::Tick t) {
     if (t > 0) ops.push_back(DelayOp{t});
     return *this;
+  }
+
+  /// Annotates op `op_index` as touching SPM bytes [lo, hi) as `kind`.
+  /// Empty ranges are dropped, so callers can pass computed extents
+  /// unconditionally.
+  CpeProgram& note_spm(std::size_t op_index, SpmAccessKind kind,
+                       std::uint32_t lo, std::uint32_t hi) {
+    SWPERF_CHECK(op_index < ops.size(),
+                 "note_spm on op " << op_index << " of a " << ops.size()
+                                   << "-op program");
+    if (hi > lo) {
+      spm_notes.push_back(
+          SpmNote{static_cast<std::uint32_t>(op_index), kind, {lo, hi}});
+    }
+    return *this;
+  }
+  /// Annotates the most recently pushed op.
+  CpeProgram& note_last_spm(SpmAccessKind kind, std::uint32_t lo,
+                            std::uint32_t hi) {
+    SWPERF_CHECK(!ops.empty(), "note_last_spm on an empty program");
+    return note_spm(ops.size() - 1, kind, lo, hi);
   }
 };
 

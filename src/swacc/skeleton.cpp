@@ -70,25 +70,54 @@ std::uint32_t count_staged_in(const KernelDesc& k) {
   return n;
 }
 
-/// SPM layout shared by lowering and spm_bytes_required().
+/// Where every staged/broadcast buffer landed in SPM — the byte-range view
+/// of the layout that lowering annotates onto the op stream (SpmNote) for
+/// the dataflow analyses.  Indexed parallel to kernel.arrays; offsets of
+/// non-staged arrays are unused.
+struct SpmPlan {
+  std::uint64_t used = 0;
+  /// Combined broadcast region [bcast_lo, bcast_hi); empty when equal.
+  std::uint32_t bcast_lo = 0;
+  std::uint32_t bcast_hi = 0;
+  /// Per-array buffer offsets by parity; [1] aliases [0] when
+  /// single-buffered, so callers can index with chunk%2 unconditionally.
+  std::vector<std::array<std::uint32_t, 2>> staged_offset;
+};
+
+/// SPM layout shared by lowering and spm_bytes_required().  The allocation
+/// order is part of the layout contract (spm_bytes_used is golden-pinned):
+/// broadcasts first, then staged arrays in declaration order, buffer copies
+/// innermost.
 std::uint64_t layout_spm(const KernelDesc& kernel, const LaunchParams& params,
-                         std::uint32_t spm_capacity, bool enforce) {
+                         std::uint32_t spm_capacity, bool enforce,
+                         SpmPlan* plan = nullptr) {
   mem::SpmAllocator spm(enforce ? spm_capacity : ~std::uint32_t{0});
+  if (plan != nullptr) {
+    plan->staged_offset.assign(kernel.arrays.size(), {0, 0});
+  }
   for (const auto& a : kernel.arrays) {
     if (a.access == Access::kBroadcast) {
       spm.allocate("bcast:" + a.name,
                    static_cast<std::uint32_t>(a.broadcast_bytes));
     }
   }
+  if (plan != nullptr) plan->bcast_hi = spm.used();
   const std::uint64_t eff_tile = std::min(params.tile, kernel.n_outer);
   const int nbuf = params.double_buffer ? 2 : 1;
-  for (const auto& a : kernel.arrays) {
+  for (std::size_t ai = 0; ai < kernel.arrays.size(); ++ai) {
+    const auto& a = kernel.arrays[ai];
     if (!a.staged()) continue;
     for (int b = 0; b < nbuf; ++b) {
-      spm.allocate(a.name + "#" + std::to_string(b),
-                   static_cast<std::uint32_t>(eff_tile * a.bytes_per_outer));
+      const std::uint32_t off = spm.allocate(
+          a.name + "#" + std::to_string(b),
+          static_cast<std::uint32_t>(eff_tile * a.bytes_per_outer));
+      if (plan != nullptr) {
+        (*plan).staged_offset[ai][b] = off;
+        if (nbuf == 1) (*plan).staged_offset[ai][1] = off;
+      }
     }
   }
+  if (plan != nullptr) plan->used = spm.used();
   return spm.used();
 }
 
@@ -154,8 +183,10 @@ LoweredKernel lower_with_skeleton(const KernelDesc& kernel,
   out.decomp = decompose(kernel.n_outer, params.tile, params.requested_cpes);
   out.sim_config.arch = arch;
   out.sim_config.core_groups = out.decomp.core_groups_needed(arch);
+  SpmPlan spm_plan;
   out.spm_bytes_used = static_cast<std::uint32_t>(
-      layout_spm(kernel, params, arch.spm_bytes, /*enforce=*/true));
+      layout_spm(kernel, params, arch.spm_bytes, /*enforce=*/true,
+                 &spm_plan));
 
   out.binary = skel.binary;
   const std::uint32_t span = skel.span;
@@ -199,6 +230,41 @@ LoweredKernel lower_with_skeleton(const KernelDesc& kernel,
       bytes_transferred += req.transferred_bytes(arch);
     };
 
+    // SPM byte-range annotations for the dataflow analyses: which staged
+    // buffers (by the chunk's parity) the op just pushed touches for a
+    // chunk of g outer elements.
+    auto note_staged_dma = [&](bool copy_in, int parity, std::uint64_t g) {
+      for (std::size_t ai = 0; ai < kernel.arrays.size(); ++ai) {
+        const auto& a = kernel.arrays[ai];
+        if (!a.staged()) continue;
+        if (copy_in ? !a.copies_in() : !a.copies_out()) continue;
+        const std::uint32_t lo = spm_plan.staged_offset[ai][parity & 1];
+        prog.note_last_spm(
+            copy_in ? sim::SpmAccessKind::kDmaDst : sim::SpmAccessKind::kDmaSrc,
+            lo, lo + static_cast<std::uint32_t>(g * a.bytes_per_outer));
+      }
+    };
+    auto note_compute = [&](std::size_t first_op, int parity,
+                            std::uint64_t g) {
+      for (std::size_t oi = first_op; oi < prog.ops.size(); ++oi) {
+        prog.note_spm(oi, sim::SpmAccessKind::kComputeRead, spm_plan.bcast_lo,
+                      spm_plan.bcast_hi);
+        for (std::size_t ai = 0; ai < kernel.arrays.size(); ++ai) {
+          const auto& a = kernel.arrays[ai];
+          if (!a.staged()) continue;
+          const std::uint32_t lo = spm_plan.staged_offset[ai][parity & 1];
+          const std::uint32_t hi =
+              lo + static_cast<std::uint32_t>(g * a.bytes_per_outer);
+          if (a.copies_in()) {
+            prog.note_spm(oi, sim::SpmAccessKind::kComputeRead, lo, hi);
+          }
+          if (a.copies_out()) {
+            prog.note_spm(oi, sim::SpmAccessKind::kComputeWrite, lo, hi);
+          }
+        }
+      }
+    };
+
     // Broadcast arrays: one copy intrinsic at launch, blocking.
     {
       mem::DmaRequest bc;
@@ -209,11 +275,15 @@ LoweredKernel lower_with_skeleton(const KernelDesc& kernel,
       if (!bc.empty()) {
         record_dma(bc);
         prog.dma(std::move(bc));
+        prog.note_last_spm(sim::SpmAccessKind::kDmaDst, spm_plan.bcast_lo,
+                           spm_plan.bcast_hi);
       }
     }
 
-    // Compute (or gload-interleaved compute) for one chunk of g elements.
-    auto emit_compute = [&](std::uint64_t g) {
+    // Compute (or gload-interleaved compute) for one chunk of g elements,
+    // operating on the staged buffers of parity `par`.
+    auto emit_compute = [&](std::uint64_t g, int par) {
+      const std::size_t first_op = prog.ops.size();
       const auto raw =
           static_cast<double>(g) * static_cast<double>(kernel.inner_iters);
       const auto inner_total = std::max<std::uint64_t>(
@@ -254,6 +324,7 @@ LoweredKernel lower_with_skeleton(const KernelDesc& kernel,
       pc.comp_cycles += static_cast<double>(comp_cycles);
       pc.counts += ls_u.counts_per_iter().scaled(q);
       if (rem > 0) pc.counts += ls_1.counts_per_iter().scaled(rem);
+      note_compute(first_op, par, g);
     };
 
     const bool has_in = !build_request(kernel, true, 1).empty();
@@ -266,40 +337,48 @@ LoweredKernel lower_with_skeleton(const KernelDesc& kernel,
           auto req = build_request(kernel, true, g);
           record_dma(req);
           prog.dma(std::move(req));
+          note_staged_dma(/*copy_in=*/true, /*parity=*/0, g);
         }
-        emit_compute(g);
+        emit_compute(g, /*par=*/0);
         if (has_out) {
           auto req = build_request(kernel, false, g);
           record_dma(req);
           prog.dma(std::move(req));
+          note_staged_dma(/*copy_in=*/false, /*parity=*/0, g);
         }
       }
     } else {
       // Double buffering: handles 0/1 alternate copy-in buffers, handles
-      // 2/3 alternate copy-out buffers (Figure 5 of the paper).
+      // 2/3 alternate copy-out buffers (Figure 5 of the paper).  Buffer
+      // parity follows the chunk's position i in this CPE's chunk list.
       if (has_in && !chunks.empty()) {
-        auto req =
-            build_request(kernel, true, out.decomp.chunk_size(chunks[0]));
+        const std::uint64_t g0 = out.decomp.chunk_size(chunks[0]);
+        auto req = build_request(kernel, true, g0);
         record_dma(req);
         prog.dma(std::move(req), /*handle=*/0);
+        note_staged_dma(/*copy_in=*/true, /*parity=*/0, g0);
       }
       for (std::size_t i = 0; i < chunks.size(); ++i) {
         const std::uint64_t g = out.decomp.chunk_size(chunks[i]);
         if (has_in) {
           prog.dma_wait(static_cast<int>(i % 2));
           if (i + 1 < chunks.size()) {
-            auto req = build_request(kernel, true,
-                                     out.decomp.chunk_size(chunks[i + 1]));
+            const std::uint64_t gn = out.decomp.chunk_size(chunks[i + 1]);
+            auto req = build_request(kernel, true, gn);
             record_dma(req);
             prog.dma(std::move(req), static_cast<int>((i + 1) % 2));
+            note_staged_dma(/*copy_in=*/true,
+                            /*parity=*/static_cast<int>((i + 1) % 2), gn);
           }
         }
-        emit_compute(g);
+        emit_compute(g, /*par=*/static_cast<int>(i % 2));
         if (has_out) {
           if (i >= 2) prog.dma_wait(static_cast<int>(2 + i % 2));
           auto req = build_request(kernel, false, g);
           record_dma(req);
           prog.dma(std::move(req), static_cast<int>(2 + i % 2));
+          note_staged_dma(/*copy_in=*/false,
+                          /*parity=*/static_cast<int>(i % 2), g);
         }
       }
       if (has_out) {

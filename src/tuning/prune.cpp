@@ -2,7 +2,7 @@
 
 #include <limits>
 
-#include "analysis/checker.h"
+#include "analysis/legality.h"
 #include "sw/error.h"
 #include "tuning/bounds.h"
 
@@ -19,17 +19,19 @@ std::vector<swacc::LaunchParams> prune_variants(
     const std::vector<swacc::LaunchParams>& variants,
     const sw::ArchParams& arch, double slack, PruneStats* stats) {
   SWPERF_CHECK(slack >= 1.0, "prune slack must be >= 1, got " << slack);
-  // Stage 1: the static checker. A variant swacc::lower() would refuse
+  // Stage 1: the legality facts. A variant swacc::lower() would refuse
   // (SPM overflow, illegal vector width, ...) gets no bound computed — it
-  // is dropped with the same verdict the lowering itself would give.
+  // is dropped with the same verdict the lowering itself would give:
+  // launch_legality().launch_legal is by construction identical to the
+  // absence of error-severity check_launch findings.
   std::vector<swacc::LaunchParams> legal;
   legal.reserve(variants.size());
   std::size_t illegal = 0;
   for (const auto& v : variants) {
-    if (analysis::has_errors(analysis::check_launch(kernel, v, arch))) {
-      ++illegal;
-    } else {
+    if (analysis::launch_legality(kernel, v, arch).launch_legal) {
       legal.push_back(v);
+    } else {
+      ++illegal;
     }
   }
   SWPERF_CHECK(!legal.empty(),

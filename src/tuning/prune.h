@@ -41,11 +41,11 @@ struct PruneStats {
   std::size_t pruned() const { return considered - kept; }
 };
 
-/// Filters `variants` in two stages: first drops every variant the static
-/// diagnostics engine flags with an error (analysis::check_launch — the
-/// same verdict swacc::lower() would throw on), then keeps those whose
-/// lower bound is within `slack` x the best lower bound. Preserves order.
-/// slack >= 1.
+/// Filters `variants` in two stages: first drops every variant whose
+/// legality facts say the launch is illegal (analysis::launch_legality —
+/// by construction the same verdict swacc::lower() would throw on), then
+/// keeps those whose lower bound is within `slack` x the best lower
+/// bound. Preserves order. slack >= 1.
 std::vector<swacc::LaunchParams> prune_variants(
     const swacc::KernelDesc& kernel,
     const std::vector<swacc::LaunchParams>& variants,

@@ -1,0 +1,289 @@
+// Units for the dataflow framework: CFG construction, the interval and
+// range-set lattices, the generic worklist solver (exercised through the
+// liveness and region analyses), and the agreement contract between the
+// fixpoint liveness and the single-pass BasicBlock helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "analysis/dataflow/cfg.h"
+#include "analysis/dataflow/interval.h"
+#include "analysis/dataflow/liveness.h"
+#include "analysis/dataflow/regions.h"
+#include "kernels/suite.h"
+#include "mem/request.h"
+#include "sim/program.h"
+
+namespace swperf::analysis::dataflow {
+namespace {
+
+mem::DmaRequest req(std::uint64_t bytes = 1024) {
+  return mem::DmaRequest::contiguous(bytes);
+}
+
+std::string safe_name(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (auto& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+// ---- CFG -------------------------------------------------------------------
+
+TEST(Cfg, ProgramCfgHasFallthroughAndSelfLoops) {
+  sim::CpeProgram p;
+  p.dma(req());           // 0
+  p.compute(0, 64);       // 1: iters > 1 -> self loop
+  p.compute(1, 1);        // 2: single iteration -> no self loop
+  p.gload_loop({8, 8});   // 3: count > 1 -> self loop
+  p.barrier();            // 4
+
+  const Cfg cfg = make_program_cfg(p);
+  ASSERT_EQ(cfg.size(), 5u);
+  EXPECT_FALSE(cfg.nodes[0].self_loop);
+  EXPECT_TRUE(cfg.nodes[1].self_loop);
+  EXPECT_FALSE(cfg.nodes[2].self_loop);
+  EXPECT_TRUE(cfg.nodes[3].self_loop);
+  // Fallthrough chain: every node i < 4 has an edge to i + 1.
+  for (std::uint32_t i = 0; i + 1 < 5; ++i) {
+    const auto& s = cfg.nodes[i].succs;
+    EXPECT_NE(std::find(s.begin(), s.end(), i + 1), s.end()) << i;
+  }
+  const auto reach = cfg.reachable();
+  EXPECT_TRUE(std::all_of(reach.begin(), reach.end(), [](bool b) {
+    return b;
+  }));
+}
+
+TEST(Cfg, RpoCoversEveryNodeExactlyOnce) {
+  sim::CpeProgram p;
+  for (int i = 0; i < 6; ++i) p.compute(0, 2);
+  const Cfg cfg = make_program_cfg(p);
+  auto order = cfg.rpo();
+  ASSERT_EQ(order.size(), cfg.size());
+  std::sort(order.begin(), order.end());
+  for (std::uint32_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Cfg, BlockCfgBackEdgeOnlyWhenRepeated) {
+  isa::BlockBuilder b("body");
+  const auto x = b.spm_load();
+  b.spm_store(b.fadd(x, x));
+  const auto block = std::move(b).build();
+
+  const Cfg straight = make_block_cfg(block, /*repeated=*/false);
+  const Cfg looped = make_block_cfg(block, /*repeated=*/true);
+  ASSERT_EQ(straight.size(), block.instrs.size());
+  const auto& last_succs = straight.nodes[straight.size() - 1].succs;
+  EXPECT_TRUE(last_succs.empty());
+  const auto& loop_succs = looped.nodes[looped.size() - 1].succs;
+  EXPECT_NE(std::find(loop_succs.begin(), loop_succs.end(), 0u),
+            loop_succs.end());
+}
+
+// ---- Interval lattice ------------------------------------------------------
+
+TEST(IntervalLattice, JoinMeetWidenBasics) {
+  const Interval a = Interval::range(2, 5);
+  const Interval b = Interval::range(4, 9);
+  EXPECT_EQ(a.join(b), Interval::range(2, 9));
+  EXPECT_EQ(a.meet(b), Interval::range(4, 5));
+  EXPECT_TRUE(Interval::range(6, 7).meet(a).is_empty());
+  // Widening jumps grown bounds to infinity but leaves stable ones alone.
+  const Interval w = a.widen(Interval::range(2, 6));
+  EXPECT_EQ(w.lo, 2);
+  EXPECT_EQ(w.hi, Interval::kInf);
+}
+
+TEST(IntervalLattice, SaturatingArithmetic) {
+  const Interval big = Interval::point(Interval::kInf - 1);
+  EXPECT_EQ(big.add(big).hi, Interval::kInf);
+  EXPECT_EQ(big.mul(big).hi, Interval::kInf);
+  EXPECT_EQ(Interval::point(-Interval::kInf).sub(big).lo, -Interval::kInf);
+  // Finite arithmetic stays exact.
+  EXPECT_EQ(Interval::range(2, 3).mul(Interval::range(-4, 5)),
+            Interval::range(-12, 15));
+  EXPECT_EQ(Interval::range(1, 8).min_with(Interval::point(4)),
+            Interval::range(1, 4));
+  EXPECT_EQ(Interval::range(1, 8).max_with(Interval::point(4)),
+            Interval::range(4, 8));
+}
+
+TEST(IntervalLattice, JoinIntoReportsChange) {
+  Interval acc = Interval::point(3);
+  EXPECT_FALSE(join_into(acc, Interval::point(3)));
+  EXPECT_TRUE(join_into(acc, Interval::range(1, 2)));
+  EXPECT_EQ(acc, Interval::range(1, 3));
+}
+
+// ---- RangeSet lattice ------------------------------------------------------
+
+TEST(RangeSetLattice, AddMergesTouchingAndOverlapping) {
+  RangeSet s;
+  s.add({0, 64});
+  s.add({128, 192});
+  s.add({64, 128});  // touches both: everything merges
+  ASSERT_EQ(s.spans.size(), 1u);
+  EXPECT_EQ(s.spans[0].lo, 0u);
+  EXPECT_EQ(s.spans[0].hi, 192u);
+}
+
+TEST(RangeSetLattice, QueriesRespectHalfOpenRanges) {
+  RangeSet s;
+  s.add({100, 200});
+  EXPECT_TRUE(s.intersects({150, 151}));
+  EXPECT_FALSE(s.intersects({200, 300}));  // half-open: 200 not in [100,200)
+  EXPECT_TRUE(s.covers({100, 200}));
+  EXPECT_FALSE(s.covers({100, 201}));
+  EXPECT_TRUE(s.covers({10, 10}));  // empty range is vacuously covered
+  const auto o = s.first_overlap({50, 150});
+  EXPECT_EQ(o.lo, 100u);
+  EXPECT_EQ(o.hi, 150u);
+}
+
+TEST(RangeSetLattice, UnionAndIntersectionReportChange) {
+  RangeSet a;
+  a.add({0, 100});
+  RangeSet b;
+  b.add({50, 150});
+  EXPECT_TRUE(a.union_with(b));
+  EXPECT_FALSE(a.union_with(b));  // already absorbed
+  ASSERT_EQ(a.spans.size(), 1u);
+  EXPECT_EQ(a.spans[0].hi, 150u);
+
+  RangeSet c = RangeSet::all();
+  RangeSet d;
+  d.add({10, 20});
+  EXPECT_TRUE(c.intersect_with(d));
+  EXPECT_EQ(c, d);
+  EXPECT_FALSE(c.intersect_with(d));
+}
+
+// ---- Liveness fixpoint vs the single-pass helpers --------------------------
+
+class LivenessAgreement : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LivenessAgreement, FixpointMatchesBlockHelpers) {
+  const auto spec = kernels::make(GetParam());
+  const isa::BasicBlock& body = spec.desc.body;
+  if (body.instrs.empty()) GTEST_SKIP() << "gload kernel without a body";
+  const BlockDataflow bd = analyze_block(body, /*repeated=*/true);
+  EXPECT_EQ(bd.live_in, body.live_in());
+  EXPECT_EQ(bd.carried, body.carried());
+  EXPECT_GT(bd.solver_iterations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, LivenessAgreement,
+                         ::testing::ValuesIn(kernels::suite_names()),
+                         safe_name);
+
+TEST(Liveness, ReductionAccumulatorIsCarriedOnlyWhenRepeated) {
+  isa::BlockBuilder b("body");
+  const auto acc = b.reg();          // live-in accumulator
+  const auto x = b.spm_load();       // 0
+  b.accumulate_add(acc, x);          // 1: acc = acc + x
+  const auto unused = b.fmul(x, x);  // 2: destination never read
+  (void)unused;
+  const auto block = std::move(b).build();
+
+  // Straight-line: nothing reads acc after the block, so both the
+  // accumulator update and the fmul are dead stores.
+  const BlockDataflow once = analyze_block(block, /*repeated=*/false);
+  EXPECT_NE(std::find(once.dead_defs.begin(), once.dead_defs.end(), 1u),
+            once.dead_defs.end());
+  EXPECT_NE(std::find(once.dead_defs.begin(), once.dead_defs.end(), 2u),
+            once.dead_defs.end());
+
+  // As a loop body, acc feeds the next iteration: the update is live and
+  // acc is the (only) loop-carried register; the fmul stays dead.
+  const BlockDataflow looped = analyze_block(block, /*repeated=*/true);
+  EXPECT_EQ(looped.dead_defs, std::vector<std::size_t>{2u});
+  ASSERT_EQ(looped.carried.size(), 1u);
+  EXPECT_EQ(looped.carried[0], acc);
+  EXPECT_EQ(looped.carried, block.carried());
+  EXPECT_EQ(looped.live_in, block.live_in());
+}
+
+// ---- Region analysis core --------------------------------------------------
+
+TEST(Regions, NoNotesMeansNoRegionFindings) {
+  sim::CpeProgram p;
+  p.dma(req()).compute(0, 64).dma(req());
+  const RegionFacts rf = analyze_regions(p);
+  EXPECT_TRUE(rf.protocol_ok);
+  EXPECT_FALSE(rf.has_notes);
+  EXPECT_TRUE(rf.findings.empty());
+}
+
+TEST(Regions, BrokenProtocolSuppressesFindings) {
+  sim::CpeProgram p;
+  p.ops.push_back(sim::DmaWaitOp{3});  // stray wait: SWP001 territory
+  const RegionFacts rf = analyze_regions(p);
+  EXPECT_FALSE(rf.protocol_ok);
+  EXPECT_TRUE(rf.findings.empty());
+}
+
+TEST(Regions, AnnotatedDoubleBufferPipelineIsClean) {
+  // The Fig. 5 rotation with parity-disjoint buffers: in0 [0,1k),
+  // in1 [1k,2k); every chunk reads the buffer its wait just landed.
+  sim::CpeProgram p;
+  const std::uint32_t buf[2] = {0, 1024};
+  p.dma(req(), 0).note_last_spm(sim::SpmAccessKind::kDmaDst, buf[0],
+                                buf[0] + 1024);
+  const int chunks = 4;
+  for (int c = 0; c < chunks; ++c) {
+    const int cur = c % 2;
+    if (c + 1 < chunks) {
+      p.dma(req(), 1 - cur)
+          .note_last_spm(sim::SpmAccessKind::kDmaDst, buf[1 - cur],
+                         buf[1 - cur] + 1024);
+    }
+    p.dma_wait(cur);
+    p.compute(0, 16).note_last_spm(sim::SpmAccessKind::kComputeRead,
+                                   buf[cur], buf[cur] + 1024);
+  }
+  const RegionFacts rf = analyze_regions(p);
+  EXPECT_TRUE(rf.protocol_ok);
+  EXPECT_TRUE(rf.has_notes);
+  EXPECT_TRUE(rf.findings.empty()) << rf.findings.size() << " findings";
+  EXPECT_GT(rf.solver_iterations, 0u);
+}
+
+TEST(Regions, ComputeTouchingInFlightGetIsReported) {
+  sim::CpeProgram p;
+  p.dma(req(), 0).note_last_spm(sim::SpmAccessKind::kDmaDst, 0, 1024);
+  p.compute(0, 4).note_last_spm(sim::SpmAccessKind::kComputeRead, 512, 640);
+  p.dma_wait(0);
+  const RegionFacts rf = analyze_regions(p);
+  ASSERT_FALSE(rf.findings.empty());
+  const auto& f = rf.findings.front();
+  EXPECT_EQ(f.kind, RegionFinding::Kind::kComputeDmaOverlap);
+  EXPECT_EQ(f.op, 1u);
+  EXPECT_EQ(f.handle, 0);
+  EXPECT_EQ(f.range.lo, 512u);
+  EXPECT_EQ(f.range.hi, 640u);
+}
+
+TEST(Regions, FlightHeldAcrossThreePhasesLeaks) {
+  sim::CpeProgram p;
+  p.dma(req(), 0);
+  p.compute(0, 4).barrier().compute(0, 4).barrier().compute(0, 4);
+  p.dma_wait(0);
+  const RegionFacts rf = analyze_regions(p);
+  ASSERT_EQ(rf.findings.size(), 1u);
+  EXPECT_EQ(rf.findings[0].kind, RegionFinding::Kind::kHandleLeak);
+  EXPECT_EQ(rf.findings[0].phases, 3);
+
+  // One fewer phase is the healthy Fig. 5 rotation depth.
+  sim::CpeProgram ok;
+  ok.dma(req(), 0);
+  ok.compute(0, 4).barrier().compute(0, 4);
+  ok.dma_wait(0);
+  EXPECT_TRUE(analyze_regions(ok).findings.empty());
+}
+
+}  // namespace
+}  // namespace swperf::analysis::dataflow

@@ -1,0 +1,137 @@
+// The SWD006 fix-it consistency contract: the suggestion the checker
+// attaches is *validated* — applying it clears SWD006 and introduces no
+// finding the original launch did not already carry; when SWD006 was the
+// only finding, the suggested launch passes the full checker clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "analysis/checker.h"
+#include "isa/block.h"
+#include "kernels/suite.h"
+#include "swacc/kernel.h"
+
+namespace swperf::analysis {
+namespace {
+
+const sw::ArchParams kArch = sw::ArchParams::sw26010();
+
+std::string safe_name(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (auto& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+swacc::KernelDesc vecadd_kernel() {
+  isa::BlockBuilder body("vecadd");
+  const auto a = body.spm_load();
+  const auto b = body.spm_load();
+  body.spm_store(body.fadd(a, b));
+  body.loop_overhead(2);
+  swacc::KernelDesc k;
+  k.name = "vecadd";
+  k.n_outer = 4096;
+  k.inner_iters = 1;
+  k.body = std::move(body).build();
+  k.arrays = {{"A", swacc::Dir::kIn, swacc::Access::kContiguous, 8},
+              {"B", swacc::Dir::kIn, swacc::Access::kContiguous, 8},
+              {"C", swacc::Dir::kOut, swacc::Access::kContiguous, 8}};
+  return k;
+}
+
+std::multiset<std::pair<std::string, int>> signature(
+    const Diagnostics& diags) {
+  std::multiset<std::pair<std::string, int>> sig;
+  for (const auto& d : diags) {
+    if (d.code == "SWD006") continue;
+    sig.insert({d.code, static_cast<int>(d.severity)});
+  }
+  return sig;
+}
+
+bool has_code(const Diagnostics& diags, const std::string& code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+TEST(Swd006Fixit, OnlySwd006LaunchBecomesFullyClean) {
+  const auto k = vecadd_kernel();
+  swacc::LaunchParams p;
+  p.tile = 256;  // 4096 / 256 = 16 chunks: 48 of 64 CPEs idle
+  p.requested_cpes = 64;
+
+  const auto before = check_launch(k, p, kArch);
+  ASSERT_TRUE(has_code(before, "SWD006"));
+  ASSERT_EQ(before.size(), 1u) << "fixture must carry only SWD006";
+
+  const auto sug = swd006_suggestion(k, p, kArch);
+  ASSERT_TRUE(sug.valid);
+  EXPECT_EQ(sug.params.tile, 64u);  // n_outer / requested_cpes
+  EXPECT_TRUE(clean(check_all(k, sug.params, kArch)))
+      << "applying the suggestion must pass the full checker clean";
+}
+
+TEST(Swd006Fixit, SuggestionIsAttachedAsTheDiagnosticFixit) {
+  const auto k = vecadd_kernel();
+  swacc::LaunchParams p;
+  p.tile = 256;
+  p.requested_cpes = 64;
+  const auto diags = check_launch(k, p, kArch);
+  for (const auto& d : diags) {
+    if (d.code != "SWD006") continue;
+    EXPECT_NE(d.fixit.find("reduce tile to <= 64"), std::string::npos)
+        << d.fixit;
+    return;
+  }
+  FAIL() << "SWD006 not emitted";
+}
+
+TEST(Swd006Fixit, InvalidWhenNoCpesAreIdle) {
+  const auto k = vecadd_kernel();
+  swacc::LaunchParams p;
+  p.tile = 64;  // exactly 64 chunks: all CPEs busy
+  p.requested_cpes = 64;
+  EXPECT_FALSE(swd006_suggestion(k, p, kArch).valid);
+  EXPECT_FALSE(has_code(check_launch(k, p, kArch), "SWD006"));
+}
+
+// Suite-wide: wherever an idling launch yields a valid suggestion, the
+// suggested launch clears SWD006 and its findings are a subset of the
+// original's.
+class Swd006Consistency : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Swd006Consistency, AppliedSuggestionNeverAddsFindings) {
+  const auto spec = kernels::make(GetParam());
+  swacc::LaunchParams p = spec.tuned;
+  p.requested_cpes = 64;
+  p.tile = std::max<std::uint64_t>(1, spec.desc.n_outer / 4);  // ~4 chunks
+
+  const auto before = check_launch(spec.desc, p, kArch);
+  const auto sug = swd006_suggestion(spec.desc, p, kArch);
+  if (!has_code(before, "SWD006")) {
+    EXPECT_FALSE(sug.valid);
+    return;
+  }
+  if (!sug.valid) return;  // fallback fix-it path: nothing to apply
+
+  const auto after = check_launch(spec.desc, sug.params, kArch);
+  EXPECT_FALSE(has_code(after, "SWD006")) << GetParam();
+  const auto base = signature(before);
+  const auto now = signature(after);
+  EXPECT_TRUE(
+      std::includes(base.begin(), base.end(), now.begin(), now.end()))
+      << GetParam() << ": suggestion introduced new findings";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, Swd006Consistency,
+                         ::testing::ValuesIn(kernels::suite_names()),
+                         safe_name);
+
+}  // namespace
+}  // namespace swperf::analysis

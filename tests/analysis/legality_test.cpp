@@ -1,0 +1,161 @@
+// The legality-fact API: launch_legal must be exactly the check_launch
+// error verdict (the identity tuning::prune_variants relies on), the
+// interval-domain SPM-footprint fact must agree with the allocator-exact
+// swacc::spm_bytes_required(), and the program-level facts must land on the
+// lowered suite kernels. Also pins the serde rendering `swperf check
+// --analyze` emits.
+#include "analysis/legality.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "analysis/checker.h"
+#include "isa/block.h"
+#include "kernels/suite.h"
+#include "serde/serde.h"
+#include "swacc/lower.h"
+
+namespace swperf::analysis {
+namespace {
+
+const sw::ArchParams kArch = sw::ArchParams::sw26010();
+
+std::string safe_name(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (auto& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+std::vector<swacc::LaunchParams> variant_grid(std::uint64_t n_outer) {
+  std::vector<swacc::LaunchParams> grid;
+  for (const std::uint64_t tile :
+       {std::uint64_t{1}, std::uint64_t{4}, std::uint64_t{64},
+        std::uint64_t{1024}, n_outer, n_outer * 4}) {
+    for (const bool db : {false, true}) {
+      swacc::LaunchParams p;
+      p.tile = tile;
+      p.double_buffer = db;
+      grid.push_back(p);
+    }
+  }
+  return grid;
+}
+
+class LegalityIdentity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LegalityIdentity, LaunchLegalEqualsCheckLaunchVerdict) {
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kSmall);
+  for (const auto& p : variant_grid(spec.desc.n_outer)) {
+    const Legality l = launch_legality(spec.desc, p, kArch);
+    const Diagnostics diags = check_launch(spec.desc, p, kArch);
+    EXPECT_EQ(l.launch_legal, !has_errors(diags)) << p.to_string();
+    EXPECT_EQ(l.error_codes.empty(), l.launch_legal) << p.to_string();
+  }
+}
+
+TEST_P(LegalityIdentity, SpmFitsAgreesWithAllocatorExactFootprint) {
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kSmall);
+  for (const auto& p : variant_grid(spec.desc.n_outer)) {
+    const Legality l = launch_legality(spec.desc, p, kArch);
+    if (l.spm_fits == Legality::Fact::kUnknown) continue;
+    const bool fits =
+        swacc::spm_bytes_required(spec.desc, p) <= kArch.spm_bytes;
+    EXPECT_EQ(l.spm_fits == Legality::Fact::kHolds, fits)
+        << GetParam() << " @ " << p.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, LegalityIdentity,
+                         ::testing::ValuesIn(kernels::suite_names()),
+                         safe_name);
+
+TEST(Legality, LoopCarriedFactSeparatesMapsFromReductions) {
+  isa::BlockBuilder map("map");
+  const auto x = map.spm_load();
+  map.spm_store(map.fadd(x, x));
+  swacc::KernelDesc k;
+  k.name = "map";
+  k.n_outer = 4096;
+  k.body = std::move(map).build();
+  k.arrays = {{"in", swacc::Dir::kIn, swacc::Access::kContiguous, 8},
+              {"out", swacc::Dir::kOut, swacc::Access::kContiguous, 8}};
+  swacc::LaunchParams p;
+  p.tile = 64;
+  EXPECT_EQ(launch_legality(k, p, kArch).loop_carried_independent,
+            Legality::Fact::kHolds);
+
+  isa::BlockBuilder red("reduce");
+  const auto acc = red.reg();
+  red.accumulate_add(acc, red.spm_load());
+  k.body = std::move(red).build();
+  EXPECT_EQ(launch_legality(k, p, kArch).loop_carried_independent,
+            Legality::Fact::kFails);
+}
+
+TEST(Legality, IllegalLaunchReportsDistinctErrorCodes) {
+  const auto spec = kernels::make("hotspot", kernels::Scale::kSmall);
+  swacc::LaunchParams p = spec.tuned;
+  p.tile = spec.desc.n_outer * 64;  // hopeless SPM overflow
+  const Legality l = launch_legality(spec.desc, p, kArch);
+  EXPECT_FALSE(l.launch_legal);
+  ASSERT_FALSE(l.error_codes.empty());
+  for (std::size_t i = 0; i < l.error_codes.size(); ++i) {
+    for (std::size_t j = i + 1; j < l.error_codes.size(); ++j) {
+      EXPECT_NE(l.error_codes[i], l.error_codes[j]);
+    }
+  }
+  EXPECT_EQ(l.spm_fits, Legality::Fact::kFails);
+}
+
+class ProgramFacts : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProgramFacts, TunedSuiteLaunchesEstablishTheProgramFacts) {
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kSmall);
+  const Legality l = program_legality(spec.desc, spec.tuned, kArch);
+  ASSERT_TRUE(l.launch_legal);
+  EXPECT_EQ(l.dma_protocol_clean, Legality::Fact::kHolds) << GetParam();
+  EXPECT_NE(l.regions_disjoint, Legality::Fact::kFails) << GetParam();
+  EXPECT_EQ(l.barriers_aligned, Legality::Fact::kHolds) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, ProgramFacts,
+                         ::testing::ValuesIn(kernels::suite_names()),
+                         safe_name);
+
+TEST(Legality, RefineMatchesProgramLegalityOnALoweredLaunch) {
+  const auto spec = kernels::make("nbody", kernels::Scale::kSmall);
+  Legality via_refine = launch_legality(spec.desc, spec.tuned, kArch);
+  ASSERT_TRUE(via_refine.launch_legal);
+  const auto lowered = swacc::lower(spec.desc, spec.tuned, kArch);
+  refine_with_program(via_refine, lowered.binary, lowered.programs, kArch);
+
+  const Legality direct = program_legality(spec.desc, spec.tuned, kArch);
+  EXPECT_EQ(via_refine.regions_disjoint, direct.regions_disjoint);
+  EXPECT_EQ(via_refine.dma_protocol_clean, direct.dma_protocol_clean);
+  EXPECT_EQ(via_refine.barriers_aligned, direct.barriers_aligned);
+}
+
+TEST(Legality, FactNamesAndSerdeRendering) {
+  EXPECT_STREQ(fact_name(Legality::Fact::kHolds), "holds");
+  EXPECT_STREQ(fact_name(Legality::Fact::kFails), "fails");
+  EXPECT_STREQ(fact_name(Legality::Fact::kUnknown), "unknown");
+
+  const auto spec = kernels::make("hotspot", kernels::Scale::kSmall);
+  const Legality l = program_legality(spec.desc, spec.tuned, kArch);
+  const std::string j = serde::to_json(l).dump();
+  EXPECT_NE(j.find("\"launch_legal\":true"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"error_codes\":[]"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"spm_fits\":\"holds\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"dma_protocol_clean\":\"holds\""), std::string::npos)
+      << j;
+  EXPECT_NE(j.find("\"barriers_aligned\":\"holds\""), std::string::npos)
+      << j;
+}
+
+}  // namespace
+}  // namespace swperf::analysis

@@ -1,0 +1,322 @@
+// Triggering + clean fixture pairs for every SWA dataflow code, plus the
+// cleanliness sweeps the codes are held to: the whole kernel suite (both
+// scales, tuned launches) and the example applications' kernels must carry
+// no SWA finding above note severity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "analysis/checker.h"
+#include "isa/block.h"
+#include "kernels/suite.h"
+#include "sim/program.h"
+#include "swacc/lower.h"
+
+namespace swperf::analysis {
+namespace {
+
+const sw::ArchParams kArch = sw::ArchParams::sw26010();
+
+bool has_code(const Diagnostics& diags, const std::string& code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+Severity severity_of(const Diagnostics& diags, const std::string& code) {
+  for (const auto& d : diags) {
+    if (d.code == code) return d.severity;
+  }
+  ADD_FAILURE() << code << " not found";
+  return Severity::kNote;
+}
+
+mem::DmaRequest req(std::uint64_t bytes = 1024) {
+  return mem::DmaRequest::contiguous(bytes);
+}
+
+std::string safe_name(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (auto& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+sim::KernelBinary one_block_binary() {
+  isa::BlockBuilder b("body");
+  const auto x = b.spm_load();
+  b.spm_store(b.fadd(x, x));
+  sim::KernelBinary bin;
+  bin.add_block(std::move(b).build());
+  return bin;
+}
+
+Diagnostics check(const std::vector<sim::CpeProgram>& progs) {
+  return check_program(one_block_binary(), progs, kArch);
+}
+
+// ---- SWA001: compute touches an in-flight get destination -----------------
+
+TEST(SwaChecks, Swa001FiresOnComputeReadingLandingBuffer) {
+  sim::CpeProgram p;
+  p.dma(req(), 0).note_last_spm(sim::SpmAccessKind::kDmaDst, 0, 1024);
+  p.compute(0, 4).note_last_spm(sim::SpmAccessKind::kComputeRead, 512, 640);
+  p.dma_wait(0);
+  const auto diags = check({p});
+  ASSERT_TRUE(has_code(diags, "SWA001"));
+  EXPECT_EQ(severity_of(diags, "SWA001"), Severity::kError);
+}
+
+TEST(SwaChecks, Swa001CleanWhenComputeWaitsFirst) {
+  sim::CpeProgram p;
+  p.dma(req(), 0).note_last_spm(sim::SpmAccessKind::kDmaDst, 0, 1024);
+  p.dma_wait(0);
+  p.compute(0, 4).note_last_spm(sim::SpmAccessKind::kComputeRead, 512, 640);
+  EXPECT_FALSE(has_code(check({p}), "SWA001"));
+}
+
+// ---- SWA002: SPM annotation beyond the scratchpad --------------------------
+
+TEST(SwaChecks, Swa002FiresOnOutOfBoundsRange) {
+  sim::CpeProgram p;
+  p.compute(0, 1).note_last_spm(sim::SpmAccessKind::kComputeWrite,
+                                kArch.spm_bytes - 32, kArch.spm_bytes + 32);
+  const auto diags = check({p});
+  ASSERT_TRUE(has_code(diags, "SWA002"));
+  EXPECT_EQ(severity_of(diags, "SWA002"), Severity::kError);
+}
+
+TEST(SwaChecks, Swa002CleanUpToTheLastByte) {
+  sim::CpeProgram p;
+  p.dma(req()).note_last_spm(sim::SpmAccessKind::kDmaDst,
+                             kArch.spm_bytes - 64, kArch.spm_bytes);
+  p.compute(0, 1).note_last_spm(sim::SpmAccessKind::kComputeRead,
+                                kArch.spm_bytes - 64, kArch.spm_bytes);
+  EXPECT_FALSE(has_code(check({p}), "SWA002"));
+}
+
+// ---- SWA003: dead store ----------------------------------------------------
+
+TEST(SwaChecks, Swa003FiresOnComputeWriteNeverRead) {
+  sim::CpeProgram p;
+  p.compute(0, 1).note_last_spm(sim::SpmAccessKind::kComputeWrite, 0, 256);
+  const auto diags = check({p});
+  ASSERT_TRUE(has_code(diags, "SWA003"));
+  EXPECT_EQ(severity_of(diags, "SWA003"), Severity::kWarning);
+}
+
+TEST(SwaChecks, Swa003CleanWhenTheWriteFeedsACopyOut) {
+  sim::CpeProgram p;
+  p.compute(0, 1).note_last_spm(sim::SpmAccessKind::kComputeWrite, 0, 256);
+  p.dma(req(256)).note_last_spm(sim::SpmAccessKind::kDmaSrc, 0, 256);
+  EXPECT_FALSE(has_code(check({p}), "SWA003"));
+}
+
+// ---- SWA004: overlapping concurrent transfers ------------------------------
+
+TEST(SwaChecks, Swa004FiresOnTwoGetsIntoOverlappingRanges) {
+  sim::CpeProgram p;
+  p.dma(req(), 0).note_last_spm(sim::SpmAccessKind::kDmaDst, 0, 1024);
+  p.dma(req(), 1).note_last_spm(sim::SpmAccessKind::kDmaDst, 512, 1536);
+  p.dma_wait(0).dma_wait(1);
+  p.compute(0, 1).note_last_spm(sim::SpmAccessKind::kComputeRead, 0, 1536);
+  const auto diags = check({p});
+  ASSERT_TRUE(has_code(diags, "SWA004"));
+  EXPECT_EQ(severity_of(diags, "SWA004"), Severity::kError);
+}
+
+TEST(SwaChecks, Swa004CleanOnDisjointConcurrentGets) {
+  sim::CpeProgram p;
+  p.dma(req(), 0).note_last_spm(sim::SpmAccessKind::kDmaDst, 0, 1024);
+  p.dma(req(), 1).note_last_spm(sim::SpmAccessKind::kDmaDst, 1024, 2048);
+  p.dma_wait(0).dma_wait(1);
+  p.compute(0, 1).note_last_spm(sim::SpmAccessKind::kComputeRead, 0, 2048);
+  EXPECT_FALSE(has_code(check({p}), "SWA004"));
+}
+
+// ---- SWA005: read of never-defined SPM bytes -------------------------------
+
+TEST(SwaChecks, Swa005FiresOnReadWithNoReachingDefinition) {
+  sim::CpeProgram p;
+  p.compute(0, 1).note_last_spm(sim::SpmAccessKind::kComputeRead, 0, 256);
+  const auto diags = check({p});
+  ASSERT_TRUE(has_code(diags, "SWA005"));
+  EXPECT_EQ(severity_of(diags, "SWA005"), Severity::kWarning);
+}
+
+TEST(SwaChecks, Swa005CleanWhenABlockingGetDefinesTheBytes) {
+  sim::CpeProgram p;
+  p.dma(req(256)).note_last_spm(sim::SpmAccessKind::kDmaDst, 0, 256);
+  p.compute(0, 1).note_last_spm(sim::SpmAccessKind::kComputeRead, 0, 256);
+  EXPECT_FALSE(has_code(check({p}), "SWA005"));
+}
+
+// ---- SWA006: unreferenced binary block -------------------------------------
+
+TEST(SwaChecks, Swa006NotesAnUnreferencedBlock) {
+  isa::BlockBuilder extra("never_called");
+  extra.spm_store(extra.spm_load());
+  auto bin = one_block_binary();
+  bin.add_block(std::move(extra).build());
+  sim::CpeProgram p;
+  p.compute(0, 8);
+  const auto diags = check_program(bin, {p}, kArch);
+  ASSERT_TRUE(has_code(diags, "SWA006"));
+  EXPECT_EQ(severity_of(diags, "SWA006"), Severity::kNote);
+  EXPECT_TRUE(clean(diags)) << "SWA006 must not break cleanliness";
+}
+
+TEST(SwaChecks, Swa006CleanWhenEveryBlockIsReferenced) {
+  auto bin = one_block_binary();
+  sim::CpeProgram p;
+  p.compute(0, 8);
+  EXPECT_FALSE(has_code(check_program(bin, {p}, kArch), "SWA006"));
+}
+
+// ---- SWA007: back-to-back barriers -----------------------------------------
+
+TEST(SwaChecks, Swa007FiresOnAdjacentBarriersOnEveryCpe) {
+  sim::CpeProgram a;
+  a.compute(0, 4).barrier().barrier();
+  sim::CpeProgram b;
+  b.compute(0, 2).barrier().barrier();
+  const auto diags = check({a, b});
+  ASSERT_TRUE(has_code(diags, "SWA007"));
+  EXPECT_EQ(severity_of(diags, "SWA007"), Severity::kWarning);
+}
+
+TEST(SwaChecks, Swa007CleanWhenAnyCpeWorksBetweenBarriers) {
+  sim::CpeProgram a;
+  a.compute(0, 4).barrier().barrier();
+  sim::CpeProgram b;
+  b.barrier();
+  b.compute(0, 2).barrier();  // this CPE has real work between the two
+  EXPECT_FALSE(has_code(check({a, b}), "SWA007"));
+}
+
+// ---- SWA008: DMA handle held across too many phases ------------------------
+
+TEST(SwaChecks, Swa008FiresOnFlightCrossingThreeComputePhases) {
+  sim::CpeProgram p;
+  p.dma(req(), 0);
+  p.compute(0, 4).barrier().compute(0, 4).barrier().compute(0, 4);
+  p.dma_wait(0);
+  const auto diags = check({p});
+  ASSERT_TRUE(has_code(diags, "SWA008"));
+  EXPECT_EQ(severity_of(diags, "SWA008"), Severity::kWarning);
+}
+
+TEST(SwaChecks, Swa008CleanAtTheFigFiveRotationDepth) {
+  sim::CpeProgram p;
+  p.dma(req(), 0);
+  p.compute(0, 4).barrier().compute(0, 4);
+  p.dma_wait(0);
+  EXPECT_FALSE(has_code(check({p}), "SWA008"));
+}
+
+// ---- Cleanliness sweeps ----------------------------------------------------
+
+void expect_swa_clean(const Diagnostics& diags, const std::string& what) {
+  for (const auto& d : diags) {
+    if (d.code.compare(0, 3, "SWA") == 0 && d.severity != Severity::kNote) {
+      ADD_FAILURE() << what << ": " << d.to_string();
+    }
+  }
+}
+
+class SuiteSwaClean : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteSwaClean, TunedLaunchCarriesNoSwaFindingAboveNote) {
+  for (const auto scale : {kernels::Scale::kFull, kernels::Scale::kSmall}) {
+    const auto spec = kernels::make(GetParam(), scale);
+    expect_swa_clean(check_all(spec.desc, spec.tuned, kArch),
+                     GetParam() + (scale == kernels::Scale::kFull
+                                       ? " (full)"
+                                       : " (small)"));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, SuiteSwaClean,
+                         ::testing::ValuesIn(kernels::suite_names()),
+                         safe_name);
+
+// The kernels the example applications construct inline (quickstart's
+// vecadd, the advisor's jacobi2d, the porting guide's hotspot halo port) at
+// the launches the examples use.
+TEST(ExamplesSwaClean, QuickstartVecadd) {
+  isa::BlockBuilder body("vecadd");
+  const auto a = body.spm_load();
+  const auto b = body.spm_load();
+  body.spm_store(body.fadd(a, b));
+  body.loop_overhead(2);
+  swacc::KernelDesc kernel;
+  kernel.name = "vecadd";
+  kernel.n_outer = 1 << 20;
+  kernel.inner_iters = 1;
+  kernel.body = std::move(body).build();
+  kernel.arrays = {
+      {"A", swacc::Dir::kIn, swacc::Access::kContiguous, 8},
+      {"B", swacc::Dir::kIn, swacc::Access::kContiguous, 8},
+      {"C", swacc::Dir::kOut, swacc::Access::kContiguous, 8},
+  };
+  swacc::LaunchParams params;
+  params.tile = 512;
+  params.unroll = 4;
+  expect_swa_clean(check_all(kernel, params, kArch), "quickstart vecadd");
+}
+
+TEST(ExamplesSwaClean, AdvisorJacobi2d) {
+  isa::BlockBuilder b("jacobi");
+  const auto c = b.spm_load();
+  const auto n = b.spm_load();
+  const auto s = b.spm_load();
+  const auto quarter = b.reg();
+  auto sum = b.fadd(n, s);
+  sum = b.fadd(sum, c);
+  sum = b.fadd(sum, c);
+  b.spm_store(b.fmul(sum, quarter));
+  b.loop_overhead(2);
+  swacc::KernelDesc k;
+  k.name = "jacobi2d";
+  k.n_outer = 2048;
+  k.inner_iters = 2048;
+  k.body = std::move(b).build();
+  k.arrays = {
+      {"grid_in", swacc::Dir::kIn, swacc::Access::kContiguous, 4ull * 2048},
+      {"grid_out", swacc::Dir::kOut, swacc::Access::kContiguous,
+       4ull * 2048},
+  };
+  k.dma_min_tile = 1;
+  swacc::LaunchParams p;
+  p.tile = 2;
+  expect_swa_clean(check_all(k, p, kArch), "advisor jacobi2d");
+}
+
+TEST(ExamplesSwaClean, PortValidationHotspotHalo) {
+  swacc::KernelDesc port;
+  isa::BlockBuilder b("hotspot_ns");
+  const auto x = b.spm_load();
+  b.spm_store(b.fadd(x, x));
+  port.name = "hotspot_ns";
+  port.n_outer = 256;
+  port.inner_iters = 256;
+  port.body = std::move(b).build();
+  const std::uint64_t row = sizeof(double) * 256;
+  port.arrays = {
+      {"halo", swacc::Dir::kIn, swacc::Access::kContiguous, 3 * row},
+      {"power", swacc::Dir::kIn, swacc::Access::kContiguous, row},
+      {"out", swacc::Dir::kOut, swacc::Access::kContiguous, row},
+  };
+  port.dma_min_tile = 1;
+  for (const std::uint64_t tile : {1u, 2u, 5u}) {
+    swacc::LaunchParams lp;
+    lp.tile = tile;
+    expect_swa_clean(check_all(port, lp, kArch),
+                     "hotspot halo tile " + std::to_string(tile));
+  }
+}
+
+}  // namespace
+}  // namespace swperf::analysis

@@ -1,0 +1,137 @@
+// The prune layer rebuilt on analysis::Legality must be indistinguishable
+// from the check_launch scraping it replaced: the stage-1 verdict is the
+// same on every variant, PruneStats bookkeeping stays consistent, and the
+// tuners' winners/explored sets remain bit-identical across job counts on
+// the Table II kernels. Runs under the `concurrency` label so the tsan
+// preset exercises the jobs=8 path.
+#include "tuning/prune.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "analysis/checker.h"
+#include "analysis/legality.h"
+#include "kernels/suite.h"
+#include "tuning/tuner.h"
+
+namespace swperf::tuning {
+namespace {
+
+const sw::ArchParams kArch = sw::ArchParams::sw26010();
+
+std::string safe_name(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (auto& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+/// A raw cartesian grid, deliberately including variants the checker must
+/// reject (SPM overflow, degenerate tiles are excluded by construction).
+std::vector<swacc::LaunchParams> raw_grid(const swacc::KernelDesc& k) {
+  std::vector<swacc::LaunchParams> grid;
+  for (const std::uint64_t tile :
+       {std::uint64_t{1}, std::uint64_t{16}, std::uint64_t{256},
+        std::uint64_t{k.n_outer}, std::uint64_t{k.n_outer} * 8}) {
+    for (const std::uint32_t unroll : {1u, 4u}) {
+      for (const bool db : {false, true}) {
+        swacc::LaunchParams p;
+        p.tile = tile;
+        p.unroll = unroll;
+        p.double_buffer = db;
+        grid.push_back(p);
+      }
+    }
+  }
+  return grid;
+}
+
+class LegalityPrune : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LegalityPrune, StageOneVerdictMatchesCheckLaunchOnEveryVariant) {
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kSmall);
+  for (const auto& v : raw_grid(spec.desc)) {
+    const bool legality =
+        analysis::launch_legality(spec.desc, v, kArch).launch_legal;
+    const bool scraping =
+        !analysis::has_errors(analysis::check_launch(spec.desc, v, kArch));
+    EXPECT_EQ(legality, scraping) << GetParam() << " @ " << v.to_string();
+  }
+}
+
+TEST_P(LegalityPrune, PruneStatsBookkeepingStaysConsistent) {
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kSmall);
+  const auto grid = raw_grid(spec.desc);
+  PruneStats stats;
+  const auto kept = prune_variants(spec.desc, grid, kArch, 1.3, &stats);
+  EXPECT_EQ(stats.considered, grid.size());
+  EXPECT_EQ(stats.kept, kept.size());
+  EXPECT_EQ(stats.pruned(), stats.illegal + stats.bound_pruned);
+
+  // The illegal count is exactly the number of error-verdict variants.
+  std::size_t expect_illegal = 0;
+  for (const auto& v : grid) {
+    expect_illegal +=
+        analysis::launch_legality(spec.desc, v, kArch).launch_legal ? 0 : 1;
+  }
+  EXPECT_EQ(stats.illegal, expect_illegal);
+
+  // Every survivor is legal and appears in input order.
+  std::size_t cursor = 0;
+  for (const auto& k : kept) {
+    while (cursor < grid.size() &&
+           grid[cursor].to_string() != k.to_string()) {
+      ++cursor;
+    }
+    ASSERT_LT(cursor, grid.size()) << "kept variant not in input order";
+    EXPECT_TRUE(
+        analysis::launch_legality(spec.desc, k, kArch).launch_legal);
+  }
+}
+
+void expect_same_params(const swacc::LaunchParams& a,
+                        const swacc::LaunchParams& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.tile, b.tile) << what;
+  EXPECT_EQ(a.unroll, b.unroll) << what;
+  EXPECT_EQ(a.requested_cpes, b.requested_cpes) << what;
+  EXPECT_EQ(a.double_buffer, b.double_buffer) << what;
+  EXPECT_EQ(a.vector_width, b.vector_width) << what;
+  EXPECT_EQ(a.coalesce_gloads, b.coalesce_gloads) << what;
+}
+
+TEST_P(LegalityPrune, StaticWinnersBitIdenticalAtJobs1And8) {
+  const auto spec = kernels::make(GetParam(), kernels::Scale::kSmall);
+  const auto space = SearchSpace::standard(spec.desc, kArch);
+  TuningOptions serial;
+  serial.jobs = 1;
+  TuningOptions parallel;
+  parallel.jobs = 8;
+  const auto r1 = StaticTuner(kArch, {}, serial).tune(spec.desc, space);
+  const auto r8 = StaticTuner(kArch, {}, parallel).tune(spec.desc, space);
+
+  expect_same_params(r1.best, r8.best, GetParam() + " best");
+  EXPECT_EQ(r1.best_measured_cycles, r8.best_measured_cycles);
+  EXPECT_EQ(r1.variants, r8.variants);
+  EXPECT_EQ(r1.stats.evaluations, r8.stats.evaluations);
+  EXPECT_EQ(r1.stats.bound_pruned, r8.stats.bound_pruned);
+  ASSERT_EQ(r1.explored.size(), r8.explored.size());
+  for (std::size_t i = 0; i < r1.explored.size(); ++i) {
+    expect_same_params(r1.explored[i].params, r8.explored[i].params,
+                       GetParam() + " explored[" + std::to_string(i) + "]");
+    EXPECT_EQ(r1.explored[i].predicted_cycles,
+              r8.explored[i].predicted_cycles);
+    EXPECT_EQ(r1.explored[i].measured_cycles,
+              r8.explored[i].measured_cycles);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableTwoKernels, LegalityPrune,
+                         ::testing::ValuesIn(kernels::table2_kernels()),
+                         safe_name);
+
+}  // namespace
+}  // namespace swperf::tuning

@@ -19,7 +19,13 @@
 //          --jobs N (tuning: parallel variant evaluation; results are
 //          bit-identical to --jobs 1 at any N; 0 = all hardware threads)
 //          --json (structured output on any subcommand)  --Werror  --all
-//          --list-codes (check)
+//          --list-codes (check)  --analyze (check: legality facts per
+//          kernel — launch legality plus the dataflow facts of
+//          analysis::Legality; in JSON mode each kernel object gains a
+//          "legality" key)
+//
+// `check --json` per-kernel objects carry a "summary" object (total,
+// errors, warnings, notes, by_code) alongside the diagnostics array.
 //
 // Exit codes: 0 success; 1 failures (check findings, eval entry errors,
 // runtime errors); 2 usage errors and malformed input (bad option values,
@@ -31,6 +37,7 @@
 // uniform across subcommands.
 #include <algorithm>
 #include <cctype>
+#include <map>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -43,6 +50,7 @@
 #include <vector>
 
 #include "analysis/checker.h"
+#include "analysis/legality.h"
 #include "kernels/suite.h"
 #include "model/calibrate.h"
 #include "model/report.h"
@@ -75,6 +83,7 @@ struct Options {
   bool werror = false;
   bool all_kernels = false;
   bool list_codes = false;
+  bool analyze = false;
 };
 
 [[noreturn]] void usage() {
@@ -84,7 +93,7 @@ struct Options {
       "calibrate|eval> [kernel|file] [--tile N] [--unroll N] [--cpes N] "
       "[--db] [--vw N] [--coalesce] [--small] [--empirical] [--vector] "
       "[--jobs N] [--bnb] [--json] [--deterministic-json] [--time] "
-      "[--Werror] [--all] [--list-codes]\n");
+      "[--Werror] [--all] [--list-codes] [--analyze]\n");
   std::exit(2);
 }
 
@@ -169,6 +178,8 @@ Options parse(int argc, char** argv) {
       o.all_kernels = true;
     } else if (a == "--list-codes") {
       o.list_codes = true;
+    } else if (a == "--analyze") {
+      o.analyze = true;
     } else {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       usage();
@@ -389,12 +400,45 @@ int check_status(const analysis::Diagnostics& diags, bool werror) {
   return analysis::count_at_least(diags, min) > 0 ? 1 : 0;
 }
 
+/// Per-kernel rollup of one check run: totals per severity plus per-code
+/// counts (sorted by code, so output is diff-stable).
+serde::Json diag_summary(const analysis::Diagnostics& diags) {
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+  std::map<std::string, int> by_code;
+  for (const auto& d : diags) {
+    if (d.severity == analysis::Severity::kError) {
+      ++errors;
+    } else if (d.severity == analysis::Severity::kWarning) {
+      ++warnings;
+    } else {
+      ++notes;
+    }
+    ++by_code[d.code];
+  }
+  serde::Json s = serde::Json::object();
+  s.set("total", diags.size());
+  s.set("errors", errors);
+  s.set("warnings", warnings);
+  s.set("notes", notes);
+  serde::Json codes = serde::Json::object();
+  for (const auto& [code, count] : by_code) codes.set(code, count);
+  s.set("by_code", std::move(codes));
+  return s;
+}
+
 void print_diags(const std::string& kernel,
-                 const analysis::Diagnostics& diags, bool json) {
+                 const analysis::Diagnostics& diags, bool json,
+                 const analysis::Legality* legality) {
   if (json) {
     serde::Json j = serde::Json::object();
     j.set("kernel", kernel);
     j.set("diagnostics", serde::to_json(diags));
+    j.set("summary", diag_summary(diags));
+    if (legality != nullptr) {
+      j.set("legality", serde::to_json(*legality));
+    }
     print_json_line(j);
     return;
   }
@@ -402,16 +446,39 @@ void print_diags(const std::string& kernel,
     std::printf("%s: %s\n", kernel.c_str(), d.to_string().c_str());
   }
   if (diags.empty()) std::printf("%s: clean\n", kernel.c_str());
+  if (legality != nullptr) {
+    const auto& l = *legality;
+    std::string codes;
+    for (const auto& c : l.error_codes) {
+      if (!codes.empty()) codes += ", ";
+      codes += c;
+    }
+    std::printf("%s: launch %s%s%s\n", kernel.c_str(),
+                l.launch_legal ? "legal" : "illegal",
+                codes.empty() ? "" : ": ", codes.c_str());
+    std::printf(
+        "%s: facts: spm_fits=%s loop_carried_independent=%s "
+        "regions_disjoint=%s dma_protocol_clean=%s barriers_aligned=%s\n",
+        kernel.c_str(), analysis::fact_name(l.spm_fits),
+        analysis::fact_name(l.loop_carried_independent),
+        analysis::fact_name(l.regions_disjoint),
+        analysis::fact_name(l.dma_protocol_clean),
+        analysis::fact_name(l.barriers_aligned));
+  }
 }
 
 int cmd_check(const Options& o, pipeline::Session& session) {
   if (o.list_codes) {
+    // The catalogue is pinned sorted-by-code and duplicate-free
+    // (tests/analysis/engine_test.cpp), so both renderings below are
+    // deterministic without re-sorting here.
     if (o.json) {
       serde::Json arr = serde::Json::array();
       for (const auto& c : analysis::diagnostic_catalog()) {
         serde::Json j = serde::Json::object();
         j.set("code", c.code);
         j.set("severity", analysis::severity_name(c.severity));
+        j.set("family", c.family);
         j.set("paper", c.paper_ref);
         j.set("summary", c.summary);
         arr.push_back(std::move(j));
@@ -419,11 +486,11 @@ int cmd_check(const Options& o, pipeline::Session& session) {
       print_json_line(arr);
       return 0;
     }
-    std::printf("%-8s %-8s %-12s %s\n", "code", "severity", "paper",
-                "summary");
+    std::printf("%-8s %-8s %-10s %-12s %s\n", "code", "severity", "family",
+                "paper", "summary");
     for (const auto& c : analysis::diagnostic_catalog()) {
-      std::printf("%-8s %-8s %-12s %s\n", c.code,
-                  analysis::severity_name(c.severity), c.paper_ref,
+      std::printf("%-8s %-8s %-10s %-12s %s\n", c.code,
+                  analysis::severity_name(c.severity), c.family, c.paper_ref,
                   c.summary);
     }
     return 0;
@@ -441,7 +508,18 @@ int cmd_check(const Options& o, pipeline::Session& session) {
     const auto spec = kernels::make(name, o.scale);
     const auto params = o.have_params ? o.params : spec.tuned;
     const auto diags = session.check(spec.desc, params);
-    print_diags(name, diags, o.json);
+    analysis::Legality legality;
+    if (o.analyze) {
+      legality = analysis::launch_legality(spec.desc, params, session.arch());
+      if (legality.launch_legal) {
+        // Reuse the session's memoized lowering rather than re-lowering
+        // through program_legality().
+        const auto& lk = session.lower(spec.desc, params);
+        analysis::refine_with_program(legality, lk.binary, lk.programs,
+                                      session.arch());
+      }
+    }
+    print_diags(name, diags, o.json, o.analyze ? &legality : nullptr);
     status = std::max(status, check_status(diags, o.werror));
   }
   return status;
