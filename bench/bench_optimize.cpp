@@ -1,0 +1,224 @@
+// Closed-loop optimizer record: what `swperf optimize` recovers of the
+// Table II tuning gains when it starts from the naive launch and must
+// *prove* every step (model improvement, simulator confirmation, checker
+// cleanliness, bit-level equivalence) before taking it.
+//
+// Like bench_tuning_cold this measures the repo's own machinery, not the
+// modeled machine: each kernel gets a fresh pipeline::Session, so the
+// recorded host time is a genuine cold campaign including every guard run.
+// bench/BENCH_optimize.json checks in one measured run; the
+// perf_smoke_optimize ctest keeps its headline claims honest.
+//
+// Modes:
+//   bench_optimize                 full measurement, human-readable
+//   bench_optimize --out FILE      ... and write the JSON record
+//   bench_optimize --smoke         seconds-fast correctness pass on two
+//                                  kernels: progress is monotone, nothing
+//                                  regresses, >= 1 step accepted
+//   bench_optimize --check FILE    validate FILE against the
+//                                  BENCH_optimize.json schema and its
+//                                  headline claims (no kernel regresses
+//                                  in predicted or measured cycles; >= 1
+//                                  kernel at >= 1.5x measured speedup)
+// --smoke and --check compose; the perf_smoke_optimize ctest runs both.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.h"
+#include "kernels/suite.h"
+#include "pipeline/session.h"
+#include "serde/json.h"
+#include "transform/optimizer.h"
+
+namespace {
+
+using namespace swperf;
+
+/// One cold guarded campaign from the naive launch.  The monotonicity
+/// invariant — optimization must never regress either score — is checked
+/// here, on the freshly measured run, not just on the checked-in record.
+serde::Json measure_kernel(const std::string& name, bool* ok) {
+  pipeline::Session session;
+  const kernels::KernelSpec spec = kernels::make(name, kernels::Scale::kSmall);
+  transform::Optimizer opt(session);
+  const transform::OptimizeResult r = opt.optimize(spec.desc, spec.naive);
+
+  if (r.final_predicted > r.initial_predicted) {
+    std::fprintf(stderr, "FAIL %s: predicted cycles regressed\n",
+                 name.c_str());
+    *ok = false;
+  }
+  if (r.final_measured > r.initial_measured) {
+    std::fprintf(stderr, "FAIL %s: measured cycles regressed\n",
+                 name.c_str());
+    *ok = false;
+  }
+  for (const auto& s : r.steps) {
+    if (s.accepted && !(s.measured_after < s.measured_before)) {
+      std::fprintf(stderr, "FAIL %s: accepted step did not improve\n",
+                   name.c_str());
+      *ok = false;
+    }
+  }
+
+  std::printf("%-10s %2d accepted / %2zu tried in %d rounds\n", name.c_str(),
+              r.accepted_steps, r.steps.size(), r.rounds);
+  std::printf("  naive:     %12.0f cycles measured\n", r.initial_measured);
+  std::printf("  optimized: %12.0f cycles measured  (%.2fx, %.3f s host)\n",
+              r.final_measured, r.speedup(), r.host_seconds);
+
+  serde::Json j = serde::Json::object();
+  j.set("name", name);
+  j.set("initial_predicted", r.initial_predicted);
+  j.set("final_predicted", r.final_predicted);
+  j.set("initial_measured", r.initial_measured);
+  j.set("final_measured", r.final_measured);
+  j.set("speedup", r.speedup());
+  j.set("accepted_steps", r.accepted_steps);
+  j.set("tried_steps", static_cast<std::uint64_t>(r.steps.size()));
+  j.set("rounds", r.rounds);
+  j.set("host_seconds", r.host_seconds);
+  j.set("no_regression", r.final_predicted <= r.initial_predicted &&
+                             r.final_measured <= r.initial_measured);
+  return j;
+}
+
+bool smoke_pass() {
+  bool ok = true;
+  for (const char* name : {"kmeans", "hotspot"}) {
+    bool kernel_ok = true;
+    const serde::Json j = measure_kernel(name, &kernel_ok);
+    ok = ok && kernel_ok;
+    if (j.at("accepted_steps").as_double() == 0.0) {
+      std::fprintf(stderr, "FAIL smoke %s: no step accepted from naive\n",
+                   name);
+      ok = false;
+    }
+  }
+  std::printf("smoke: %s\n", ok ? "OK" : "FAILED");
+  return ok;
+}
+
+// ---- BENCH_optimize.json schema check --------------------------------------
+
+bool check_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "FAIL check: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  serde::Json j;
+  try {
+    j = serde::Json::parse_or_throw(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL check: %s does not parse: %s\n", path.c_str(),
+                 e.what());
+    return false;
+  }
+  if (!j.contains("schema") ||
+      j.at("schema").as_string() != "swperf-bench-optimize/v1") {
+    std::fprintf(stderr, "FAIL check: bad or missing schema tag\n");
+    return false;
+  }
+  if (!j.contains("kernels") || !j.at("kernels").is_array() ||
+      j.at("kernels").size() == 0) {
+    std::fprintf(stderr, "FAIL check: kernels missing or empty\n");
+    return false;
+  }
+  bool headline = false;  // >= 1 kernel at the claimed speedup
+  for (std::size_t i = 0; i < j.at("kernels").size(); ++i) {
+    const serde::Json& k = j.at("kernels").items()[i];
+    for (const char* f :
+         {"name", "initial_predicted", "final_predicted", "initial_measured",
+          "final_measured", "speedup", "accepted_steps", "tried_steps",
+          "rounds", "host_seconds", "no_regression"}) {
+      if (!k.contains(f)) {
+        std::fprintf(stderr, "FAIL check: kernel %zu missing %s\n", i, f);
+        return false;
+      }
+    }
+    if (!k.at("no_regression").as_bool()) {
+      std::fprintf(stderr, "FAIL check: kernel %zu regressed\n", i);
+      return false;
+    }
+    if (k.at("final_predicted").as_double() >
+            k.at("initial_predicted").as_double() ||
+        k.at("final_measured").as_double() >
+            k.at("initial_measured").as_double()) {
+      std::fprintf(stderr, "FAIL check: kernel %zu cycles inconsistent with "
+                           "no_regression\n",
+                   i);
+      return false;
+    }
+    if (k.at("speedup").as_double() >= 1.5) headline = true;
+  }
+  if (!headline) {
+    std::fprintf(stderr,
+                 "FAIL check: no kernel shows >= 1.5x measured speedup\n");
+    return false;
+  }
+  std::printf("check: %s conforms to swperf-bench-optimize/v1\n",
+              path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string check_path;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--check" && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_optimize [--smoke] [--check FILE] "
+                   "[--out FILE]\n");
+      return 2;
+    }
+  }
+
+  bool ok = true;
+  if (!check_path.empty()) ok = check_file(check_path) && ok;
+
+  if (smoke) {
+    ok = smoke_pass() && ok;
+    return ok ? 0 : 1;
+  }
+  if (!check_path.empty() && out_path.empty()) return ok ? 0 : 1;
+
+  swperf::bench::print_header(
+      "Guarded closed-loop optimization from the Table II naive launches",
+      "repo performance record (BENCH_optimize.json), not a paper figure");
+
+  serde::Json kernels_json = serde::Json::array();
+  for (const std::string& name : kernels::table2_kernels()) {
+    kernels_json.push_back(measure_kernel(name, &ok));
+  }
+
+  serde::Json root = serde::Json::object();
+  root.set("schema", std::string("swperf-bench-optimize/v1"));
+  root.set("kernels", std::move(kernels_json));
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << root.dump() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+      ok = false;
+    } else {
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,223 @@
+#include "transform/equivalence.h"
+
+#include <cstddef>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "sw/error.h"
+#include "sw/rng.h"
+#include "swacc/runtime.h"
+
+namespace swperf::transform {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+/// Observable size of an indirect array's main-memory blob.  Fixed, so the
+/// Gload samples of both runs address the same image.
+constexpr std::size_t kIndirectBlobBytes = 4096;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char ch : s) {
+    h = (h ^ static_cast<unsigned char>(ch)) * kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t mix(std::uint64_t z) { return sw::SplitMix64(z).next(); }
+
+/// Observable byte size of one array binding.
+std::size_t binding_bytes(const swacc::KernelDesc& k,
+                          const swacc::ArrayRef& a) {
+  if (a.staged()) {
+    return static_cast<std::size_t>(k.n_outer * a.bytes_per_outer);
+  }
+  if (a.access == swacc::Access::kBroadcast) {
+    return static_cast<std::size_t>(a.broadcast_bytes);
+  }
+  return kIndirectBlobBytes;
+}
+
+/// Schema compatibility: the candidate must observe and produce the same
+/// byte image as the reference.  Access *kind* may differ between staged
+/// kinds (contiguous/strided/2D-block are timing annotations over the same
+/// [n_outer][bytes_per_outer] row-major image); everything observable must
+/// match.
+bool compatible(const Candidate& ref, const Candidate& cand,
+                std::string* why) {
+  auto fail = [&](std::string w) {
+    *why = std::move(w);
+    return false;
+  };
+  if (ref.kernel.n_outer != cand.kernel.n_outer) {
+    return fail("n_outer differs (" + std::to_string(ref.kernel.n_outer) +
+                " vs " + std::to_string(cand.kernel.n_outer) + ")");
+  }
+  if (ref.kernel.inner_iters != cand.kernel.inner_iters) {
+    return fail("inner_iters differs");
+  }
+  if (ref.kernel.arrays.size() != cand.kernel.arrays.size()) {
+    return fail("array count differs");
+  }
+  std::map<std::string, const swacc::ArrayRef*> by_name;
+  for (const auto& a : cand.kernel.arrays) by_name[a.name] = &a;
+  for (const auto& a : ref.kernel.arrays) {
+    const auto it = by_name.find(a.name);
+    if (it == by_name.end()) {
+      return fail("array '" + a.name + "' missing from candidate");
+    }
+    const auto& b = *it->second;
+    if (a.dir != b.dir) return fail("array '" + a.name + "' changed dir");
+    if (a.staged() != b.staged() ||
+        (a.access == swacc::Access::kBroadcast) !=
+            (b.access == swacc::Access::kBroadcast)) {
+      return fail("array '" + a.name + "' changed staging class");
+    }
+    if (a.staged() && a.bytes_per_outer != b.bytes_per_outer) {
+      return fail("array '" + a.name + "' changed bytes_per_outer");
+    }
+    if (a.access == swacc::Access::kBroadcast &&
+        a.broadcast_bytes != b.broadcast_bytes) {
+      return fail("array '" + a.name + "' changed broadcast_bytes");
+    }
+  }
+  return true;
+}
+
+struct Image {
+  std::map<std::string, std::vector<std::byte>> buffers;
+};
+
+/// The identical pre-execution state both runs start from: inputs filled
+/// from a per-array keyed byte stream, outputs zeroed.
+Image initial_image(const swacc::KernelDesc& k, std::uint64_t seed) {
+  Image img;
+  for (const auto& a : k.arrays) {
+    std::vector<std::byte> buf(binding_bytes(k, a));
+    const bool is_input = a.copies_in() || !a.staged();
+    if (is_input) {
+      sw::SplitMix64 sm(seed ^ fnv1a(a.name));
+      std::size_t i = 0;
+      while (i < buf.size()) {
+        std::uint64_t word = sm.next();
+        for (int b = 0; b < 8 && i < buf.size(); ++b, ++i) {
+          buf[i] = static_cast<std::byte>(word & 0xff);
+          word >>= 8;
+        }
+      }
+    }
+    img.buffers[a.name] = std::move(buf);
+  }
+  return img;
+}
+
+/// Runs `c` over `img` (mutating its output buffers) with the canonical
+/// keyed byte-mixer body.
+void run_canonical(const Candidate& c, Image& img,
+                   const sw::ArchParams& arch, std::uint64_t seed) {
+  swacc::Runtime rt(c.kernel, c.params, arch);
+  swacc::ArrayBindings bind;
+  for (const auto& a : c.kernel.arrays) {
+    auto& buf = img.buffers.at(a.name);
+    if (a.staged() && a.copies_out()) {
+      bind.bind(a.name, std::span<std::byte>(buf));
+    } else {
+      bind.bind_const(a.name,
+                      std::span<const std::byte>(buf.data(), buf.size()));
+    }
+  }
+  const auto& k = c.kernel;
+  const std::uint64_t inner_key =
+      k.inner_iters * 0xff51afd7ed558ccdULL;
+  rt.run(bind, [&](swacc::ChunkContext& ctx) {
+    for (std::uint64_t i = 0; i < ctx.size(); ++i) {
+      const std::uint64_t outer = ctx.begin() + i;
+      // Phase 1: fold every input byte of this outer element into the
+      // accumulator.  Nothing chunk- or CPE-dependent enters the mix.
+      std::uint64_t acc =
+          mix(seed ^ (outer * 0x9e3779b97f4a7c15ULL) ^ inner_key);
+      for (const auto& a : k.arrays) {
+        if (a.staged() && a.copies_in()) {
+          const auto v = ctx.spm_bytes(a.name);
+          const std::size_t base = i * a.bytes_per_outer;
+          for (std::uint64_t e = 0; e < a.bytes_per_outer; ++e) {
+            acc = (acc ^ std::to_integer<std::uint64_t>(v[base + e])) *
+                  kFnvPrime;
+          }
+        } else if (a.access == swacc::Access::kBroadcast) {
+          const auto v = ctx.broadcast_bytes_of(a.name);
+          for (std::uint64_t s = 0; s < 8 && !v.empty(); ++s) {
+            const std::size_t at = (outer * 13 + s * 7) % v.size();
+            acc = (acc ^ std::to_integer<std::uint64_t>(v[at])) * kFnvPrime;
+          }
+        } else if (a.access == swacc::Access::kIndirect) {
+          const auto v = ctx.global_bytes(a.name);
+          for (std::uint64_t s = 0; s < 4 && !v.empty(); ++s) {
+            const std::size_t at = (outer * 31 + s * 11) % v.size();
+            acc = (acc ^ std::to_integer<std::uint64_t>(v[at])) * kFnvPrime;
+          }
+        }
+      }
+      // Phase 2: write every output byte of this element as a keyed mix
+      // of the accumulator — all reads above happen before any write.
+      for (const auto& a : k.arrays) {
+        if (!a.staged() || !a.copies_out()) continue;
+        auto v = ctx.spm_bytes(a.name);
+        const std::uint64_t name_key = fnv1a(a.name);
+        const std::size_t base = i * a.bytes_per_outer;
+        for (std::uint64_t e = 0; e < a.bytes_per_outer; ++e) {
+          const std::uint64_t m =
+              mix(acc ^ (name_key + e * 0x9e3779b97f4a7c15ULL));
+          v[base + e] = static_cast<std::byte>(m & 0xff);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+
+EquivalenceReport check_equivalence(const Candidate& reference,
+                                    const Candidate& candidate,
+                                    const sw::ArchParams& arch,
+                                    std::uint64_t seed) {
+  EquivalenceReport rep;
+  std::string why;
+  if (!compatible(reference, candidate, &why)) {
+    rep.detail = "schema mismatch: " + why;
+    return rep;
+  }
+  rep.comparable = true;
+  Image ref_img = initial_image(reference.kernel, seed);
+  Image cand_img = initial_image(candidate.kernel, seed);
+  try {
+    run_canonical(reference, ref_img, arch, seed);
+    run_canonical(candidate, cand_img, arch, seed);
+  } catch (const sw::Error& e) {
+    rep.comparable = false;
+    rep.detail = std::string("runtime error: ") + e.what();
+    return rep;
+  }
+  rep.equivalent = true;
+  for (const auto& a : reference.kernel.arrays) {
+    if (!a.staged() || !a.copies_out()) continue;
+    const auto& rbuf = ref_img.buffers.at(a.name);
+    const auto& cbuf = cand_img.buffers.at(a.name);
+    rep.bytes_compared += rbuf.size();
+    if (rbuf == cbuf) continue;
+    rep.equivalent = false;
+    for (std::size_t i = 0; i < rbuf.size(); ++i) {
+      if (rbuf[i] != cbuf[i]) {
+        rep.detail = "array '" + a.name + "' differs at byte " +
+                     std::to_string(i) + " of " +
+                     std::to_string(rbuf.size());
+        break;
+      }
+    }
+    break;
+  }
+  return rep;
+}
+
+}  // namespace swperf::transform

@@ -1,0 +1,49 @@
+// Differential testing of kernel transformations.
+//
+// A transformation is only admissible when the rewritten kernel moves
+// exactly the bytes the original moved.  This harness proves it the way a
+// host-reference comparison would on the real machine: both candidates are
+// executed for real through the functional runtime (swacc::Runtime) over
+// identical seeded inputs with one canonical compute body, and every
+// output buffer is compared bit for bit.
+//
+// The canonical body is a keyed byte mixer: each output byte of outer
+// element i is a deterministic function of (i, every input byte of element
+// i, broadcast samples, Gload samples, the array's name, and the kernel's
+// inner_iters) — and of nothing else.  Because the function never sees the
+// chunk/CPE/tile shape, any two decompositions of the *same* kernel
+// produce identical outputs, while any transport bug (wrong offsets,
+// dropped rows, mis-dealt chunks) or semantic change (different n_outer,
+// resized arrays, altered iteration count) perturbs at least one byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sw/arch.h"
+#include "transform/step.h"
+
+namespace swperf::transform {
+
+struct EquivalenceReport {
+  /// The two candidates' array schemas admit a differential run (same
+  /// n_outer, inner_iters, and per-array observable sizes).
+  bool comparable = false;
+  /// Every output buffer matched byte for byte.
+  bool equivalent = false;
+  std::uint64_t bytes_compared = 0;
+  std::string detail;  // incompatibility reason or first mismatch
+
+  bool holds() const { return comparable && equivalent; }
+};
+
+/// Executes `reference` and `candidate` through the functional runtime on
+/// identical seeded inputs and compares every output array bit for bit.
+/// Throws only on internal runtime errors for *legal* launches (callers
+/// gate candidates on analysis::launch_legality first).
+EquivalenceReport check_equivalence(const Candidate& reference,
+                                    const Candidate& candidate,
+                                    const sw::ArchParams& arch,
+                                    std::uint64_t seed = 0x5eedd1ffULL);
+
+}  // namespace swperf::transform

@@ -1,0 +1,229 @@
+#include "transform/optimizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "analysis/diagnostic.h"
+#include "sw/error.h"
+#include "sw/pool.h"
+#include "swacc/lower.h"
+#include "tuning/eval_cache.h"
+
+namespace swperf::transform {
+namespace {
+
+/// The warning-and-above fingerprint of a diagnostics report.  A candidate
+/// is checker-clean when it has no errors and this fingerprint is a subset
+/// of the original launch's — optimization must never *introduce* a
+/// finding, but pre-existing ones don't block it.
+using Sig = std::multiset<std::pair<std::string, int>>;
+
+Sig warn_signature(const analysis::Diagnostics& diags) {
+  Sig sig;
+  for (const auto& d : diags) {
+    if (d.severity >= analysis::Severity::kWarning) {
+      sig.insert({d.code, static_cast<int>(d.severity)});
+    }
+  }
+  return sig;
+}
+
+}  // namespace
+
+bool OptimizeResult::kernel_mutated() const {
+  return std::any_of(steps.begin(), steps.end(), [](const StepRecord& s) {
+    return s.accepted && s.step.kernel_mutated;
+  });
+}
+
+Optimizer::Optimizer(pipeline::Session& session, OptimizerOptions opts)
+    : Optimizer(session, opts, standard_passes()) {}
+
+Optimizer::Optimizer(pipeline::Session& session, OptimizerOptions opts,
+                     std::vector<std::unique_ptr<Pass>> passes)
+    : session_(session), opts_(opts), passes_(std::move(passes)) {}
+
+OptimizeResult Optimizer::optimize(const swacc::KernelDesc& kernel,
+                                   const swacc::LaunchParams& initial) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto& arch = session_.arch();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  const auto facts0 = analysis::launch_legality(kernel, initial, arch);
+  if (!facts0.launch_legal) {
+    std::string codes;
+    for (const auto& c : facts0.error_codes) {
+      if (!codes.empty()) codes += ", ";
+      codes += c;
+    }
+    throw sw::Error("optimize: initial launch of kernel '" + kernel.name +
+                    "' is illegal (" + codes + ")");
+  }
+
+  Candidate inc{kernel, initial};
+  const Candidate original = inc;  // the reference the harness compares to
+  const Sig baseline_sig = warn_signature(session_.check(kernel, initial));
+  double inc_pred = session_.predict(inc.kernel, inc.params).t_total;
+  double inc_meas = session_.simulate(inc.kernel, inc.params).total_cycles();
+
+  OptimizeResult res;
+  res.kernel = kernel.name;
+  res.initial_kernel = kernel;
+  res.initial_params = initial;
+  res.initial_predicted = inc_pred;
+  res.initial_measured = inc_meas;
+
+  // Every candidate ever tried (by canonical content key): a rejected
+  // rewrite is never proposed again, which also keeps involutions
+  // (double-buffer on/off) from cycling.
+  std::set<std::string> tried{
+      tuning::prelower_key(inc.kernel, inc.params, arch)};
+
+  int round = 0;
+  while (res.accepted_steps < opts_.max_steps) {
+    ++round;
+    const auto facts = analysis::launch_legality(inc.kernel, inc.params, arch);
+    std::vector<Proposal> proposals;
+    for (const auto& pass : passes_) {
+      auto v = pass->propose(inc, facts, arch);
+      std::move(v.begin(), v.end(), std::back_inserter(proposals));
+    }
+    {
+      // Drop candidates already tried, and duplicates within the round.
+      std::set<std::string> this_round;
+      std::vector<Proposal> fresh;
+      for (auto& p : proposals) {
+        std::string key =
+            tuning::prelower_key(p.candidate.kernel, p.candidate.params, arch);
+        if (tried.count(key) != 0 || !this_round.insert(key).second) continue;
+        fresh.push_back(std::move(p));
+      }
+      proposals = std::move(fresh);
+    }
+    if (proposals.empty()) break;
+
+    // Parallel scoring: pure lower + model per proposal, results in slots,
+    // every decision below taken serially — bit-identical at any jobs.
+    std::vector<double> score(proposals.size(), kInf);
+    const model::PerfModel& model = session_.model();
+    sw::parallel_for(proposals.size(), opts_.jobs, [&](std::uint64_t i) {
+      try {
+        const auto lk = swacc::lower(proposals[i].candidate.kernel,
+                                     proposals[i].candidate.params, arch);
+        score[i] = model.predict(lk.summary).t_total;
+      } catch (const sw::Error&) {
+        score[i] = kInf;  // refused at scoring: recorded as illegal_launch
+      }
+    });
+
+    std::vector<std::size_t> order(proposals.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return score[a] < score[b];
+                     });
+
+    bool accepted = false;
+    const std::size_t beam =
+        static_cast<std::size_t>(std::max(1, opts_.beam));
+    for (std::size_t rank = 0;
+         rank < order.size() && rank < beam && !accepted; ++rank) {
+      const std::size_t idx = order[rank];
+      const Proposal& prop = proposals[idx];
+      tried.insert(
+          tuning::prelower_key(prop.candidate.kernel, prop.candidate.params,
+                               arch));
+
+      StepRecord rec;
+      rec.round = round;
+      rec.step = prop.step;
+      rec.predicted_before = inc_pred;
+      rec.predicted_after = std::isfinite(score[idx]) ? score[idx] : 0.0;
+
+      if (!std::isfinite(score[idx])) {
+        rec.rejection = reject::kIllegalLaunch;
+        res.steps.push_back(std::move(rec));
+        continue;
+      }
+      if (!(score[idx] < inc_pred)) {
+        rec.rejection = reject::kPredictedNoImprovement;
+        res.steps.push_back(std::move(rec));
+        continue;
+      }
+      rec.verdicts.model_improved = true;
+
+      // Transactional acceptance: install the candidate, then let each
+      // remaining guard veto it.  rollback() restores the incumbent.
+      const Candidate saved = inc;
+      const double saved_pred = inc_pred;
+      const double saved_meas = inc_meas;
+      inc = prop.candidate;
+      inc_pred = score[idx];
+      const auto rollback = [&] {
+        inc = saved;
+        inc_pred = saved_pred;
+        inc_meas = saved_meas;
+      };
+
+      rec.measured_before = saved_meas;
+      const double meas =
+          session_.simulate(inc.kernel, inc.params).total_cycles();
+      rec.measured_after = meas;
+      if (!(meas < saved_meas)) {
+        rec.rejection = reject::kSimulatorRegression;
+        rollback();
+        res.steps.push_back(std::move(rec));
+        continue;
+      }
+      rec.verdicts.sim_confirmed = true;
+
+      const auto diags = session_.check(inc.kernel, inc.params);
+      const Sig sig = warn_signature(diags);
+      const bool clean =
+          !analysis::has_errors(diags) &&
+          std::includes(baseline_sig.begin(), baseline_sig.end(),
+                        sig.begin(), sig.end());
+      if (!clean) {
+        rec.rejection = reject::kCheckerFindings;
+        rollback();
+        res.steps.push_back(std::move(rec));
+        continue;
+      }
+      rec.verdicts.checker_clean = true;
+
+      const EquivalenceReport eq =
+          check_equivalence(original, inc, arch, opts_.equivalence_seed);
+      if (!eq.holds()) {
+        rec.rejection = reject::kNotEquivalent;
+        rollback();
+        res.steps.push_back(std::move(rec));
+        continue;
+      }
+      rec.verdicts.equivalent = true;
+
+      rec.accepted = true;
+      inc_meas = meas;
+      ++res.accepted_steps;
+      accepted = true;
+      res.steps.push_back(std::move(rec));
+    }
+    if (!accepted) break;
+  }
+
+  res.rounds = round;
+  res.final_kernel = inc.kernel;
+  res.final_params = inc.params;
+  res.final_predicted = inc_pred;
+  res.final_measured = inc_meas;
+  res.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return res;
+}
+
+}  // namespace swperf::transform

@@ -1,0 +1,136 @@
+// The guarded closed-loop kernel optimizer.
+//
+// The driver behind `swperf optimize`: a beam search over transformation
+// sequences where every candidate must clear four independent guards, in
+// order, before it replaces the incumbent —
+//
+//   1. model_improved   — the analytic model (Section III) predicts
+//                         strictly fewer cycles than the incumbent;
+//   2. sim_confirmed    — the cycle-level simulator measures strictly
+//                         fewer cycles (the model proposes, the machine
+//                         disposes);
+//   3. checker_clean    — the full static checker (swcheck + the SWA
+//                         dataflow analyses) reports no errors and no
+//                         finding the *original* launch did not already
+//                         carry;
+//   4. equivalent       — the differential harness proves the candidate
+//                         bit-identical to the original kernel's reference
+//                         execution (transform/equivalence.h).
+//
+// Acceptance is transactional: the candidate is installed as the incumbent
+// before guards 2–4 run and rolled back the moment any guard fails, with
+// the failure recorded in the provenance log (StepRecord::rejection).  The
+// log is complete — every candidate the search *tried* appears in steps[],
+// accepted or not — so a rejected transformation is as auditable as an
+// accepted one.
+//
+// Scoring is embarrassingly parallel (OptimizerOptions::jobs); decisions
+// are taken serially in enumeration order, so any job count yields the
+// bit-identical accepted sequence (tests/transform/determinism_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/session.h"
+#include "transform/equivalence.h"
+#include "transform/passes.h"
+#include "transform/step.h"
+
+namespace swperf::transform {
+
+struct OptimizerOptions {
+  /// Maximum accepted transformations (search rounds).
+  int max_steps = 8;
+  /// Candidates guard-checked per round, best-predicted-first.
+  int beam = 4;
+  /// Worker threads for model scoring; any value gives bit-identical
+  /// results (0 = hardware concurrency).
+  int jobs = 1;
+  /// Seed of the differential harness's input images.
+  std::uint64_t equivalence_seed = 0x5eedd1ffULL;
+};
+
+/// The four guards' verdicts for one tried candidate.  Later guards stay
+/// false when an earlier one already rejected (guards run in order and
+/// short-circuit).
+struct GuardVerdicts {
+  bool model_improved = false;
+  bool sim_confirmed = false;
+  bool checker_clean = false;
+  bool equivalent = false;
+
+  bool all() const {
+    return model_improved && sim_confirmed && checker_clean && equivalent;
+  }
+};
+
+/// Stable rejection reasons of the provenance log ("" = accepted).
+namespace reject {
+inline constexpr const char* kIllegalLaunch = "illegal_launch";
+inline constexpr const char* kPredictedNoImprovement =
+    "predicted_no_improvement";
+inline constexpr const char* kSimulatorRegression = "simulator_regression";
+inline constexpr const char* kCheckerFindings = "checker_findings";
+inline constexpr const char* kNotEquivalent = "not_equivalent";
+}  // namespace reject
+
+/// One tried candidate: the typed step, both scores before/after, the
+/// guard verdicts, and the accept/rollback outcome.
+struct StepRecord {
+  int round = 0;
+  TransformStep step;
+  double predicted_before = 0.0;
+  double predicted_after = 0.0;
+  /// Simulated cycles; 0 when the candidate never reached the simulator.
+  double measured_before = 0.0;
+  double measured_after = 0.0;
+  GuardVerdicts verdicts;
+  bool accepted = false;
+  std::string rejection;  // reject::* constant, or "" when accepted
+};
+
+struct OptimizeResult {
+  std::string kernel;  // kernel name
+  swacc::KernelDesc initial_kernel;
+  swacc::KernelDesc final_kernel;
+  swacc::LaunchParams initial_params;
+  swacc::LaunchParams final_params;
+  double initial_predicted = 0.0;
+  double final_predicted = 0.0;
+  double initial_measured = 0.0;
+  double final_measured = 0.0;
+  int rounds = 0;
+  int accepted_steps = 0;
+  /// Every candidate tried, in trial order (accepted and rejected).
+  std::vector<StepRecord> steps;
+  double host_seconds = 0.0;
+
+  bool kernel_mutated() const;
+  double speedup() const {
+    return final_measured > 0.0 ? initial_measured / final_measured : 0.0;
+  }
+};
+
+class Optimizer {
+ public:
+  /// Uses the standard pass registry.
+  Optimizer(pipeline::Session& session, OptimizerOptions opts = {});
+  /// Custom pass registry (tests inject adversarial passes through this).
+  Optimizer(pipeline::Session& session, OptimizerOptions opts,
+            std::vector<std::unique_ptr<Pass>> passes);
+
+  /// Optimizes `kernel` starting from `initial`.  Throws sw::Error when
+  /// the initial launch itself is illegal.
+  OptimizeResult optimize(const swacc::KernelDesc& kernel,
+                          const swacc::LaunchParams& initial);
+
+ private:
+  pipeline::Session& session_;
+  OptimizerOptions opts_;
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace swperf::transform

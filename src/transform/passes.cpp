@@ -1,0 +1,358 @@
+#include "transform/passes.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "swacc/decompose.h"
+
+namespace swperf::transform {
+namespace {
+
+/// True when the rewritten candidate is a legal launch.  Exceptions (from
+/// structurally broken rewrites) count as refusal, never escape: the pass
+/// contract is apply-or-cleanly-refuse.
+bool legal(const Candidate& c, const sw::ArchParams& arch) {
+  try {
+    return analysis::launch_legality(c.kernel, c.params, arch).launch_legal;
+  } catch (...) {
+    return false;
+  }
+}
+
+/// Emits `cand` as a proposal of `pass` when it is legal and differs from
+/// the incumbent.
+void emit(std::vector<Proposal>& out, const Pass& pass, const Candidate& base,
+          Candidate cand, std::string detail, const sw::ArchParams& arch,
+          bool kernel_mutated = false) {
+  if (!legal(cand, arch)) return;
+  Proposal p;
+  p.step.kind = pass.kind();
+  p.step.pass = pass.name();
+  p.step.detail = std::move(detail);
+  p.step.params_before = base.params;
+  p.step.params_after = cand.params;
+  p.step.kernel_mutated = kernel_mutated;
+  p.candidate = std::move(cand);
+  out.push_back(std::move(p));
+}
+
+bool has_staged_arrays(const swacc::KernelDesc& k) {
+  return std::any_of(k.arrays.begin(), k.arrays.end(),
+                     [](const swacc::ArrayRef& a) { return a.staged(); });
+}
+
+// ---- Double buffering (Section IV-2) --------------------------------------
+
+class DoubleBufferPass final : public Pass {
+ public:
+  const char* name() const override { return "double-buffer"; }
+  PassKind kind() const override { return PassKind::kDoubleBuffer; }
+
+  std::vector<Proposal> propose(const Candidate& c,
+                                const analysis::Legality& facts,
+                                const sw::ArchParams& arch) const override {
+    std::vector<Proposal> out;
+    if (!facts.launch_legal) return out;
+    if (!c.params.double_buffer) {
+      // Enabling doubles the staged SPM footprint; emit() drops the
+      // proposal when the 2x footprint overflows the scratchpad.
+      if (!has_staged_arrays(c.kernel)) return out;
+      Candidate cand = c;
+      cand.params.double_buffer = true;
+      emit(out, *this, c, std::move(cand),
+           "enable double buffering: prefetch chunk c+1 during compute on "
+           "chunk c (Eq. 14 saving)",
+           arch);
+    } else {
+      // Disabling halves the footprint, freeing SPM for larger tiles; on
+      // compute-bound kernels the Eq. 14 saving is ~0 and the simpler
+      // schedule can win.
+      Candidate cand = c;
+      cand.params.double_buffer = false;
+      emit(out, *this, c, std::move(cand),
+           "disable double buffering: halve the staged SPM footprint", arch);
+    }
+    return out;
+  }
+};
+
+// ---- Copy-granularity retiling (SWD006 fix-it arithmetic) -----------------
+
+class RetilePass final : public Pass {
+ public:
+  const char* name() const override { return "retile"; }
+  PassKind kind() const override { return PassKind::kRetile; }
+
+  std::vector<Proposal> propose(const Candidate& c,
+                                const analysis::Legality& facts,
+                                const sw::ArchParams& arch) const override {
+    std::vector<Proposal> out;
+    if (!facts.launch_legal || !has_staged_arrays(c.kernel)) return out;
+    const auto& k = c.kernel;
+    const auto& p = c.params;
+
+    // Candidate granularities, each with its closed-form rationale.
+    std::vector<std::pair<std::uint64_t, std::string>> tiles;
+    if (p.tile >= 2) {
+      tiles.push_back({p.tile / 2, "halve copy granularity"});
+    }
+    tiles.push_back({p.tile * 2, "double copy granularity"});
+    // The SWD006 fix-it arithmetic: the largest tile whose chunk count
+    // still reaches every requested CPE.
+    const std::uint64_t fit_tile =
+        std::max<std::uint64_t>(1, k.n_outer / std::max(1u, p.requested_cpes));
+    tiles.push_back(
+        {fit_tile, "largest tile that keeps every requested CPE active "
+                   "(SWD006 arithmetic)"});
+    // The Fig. 7(a) Gload-fallback cliff: staging stops below dma_min_tile.
+    if (p.tile < k.dma_min_tile) {
+      tiles.push_back({k.dma_min_tile,
+                       "raise granularity to the staging threshold "
+                       "(Fig. 7(a) Gload-fallback cliff)"});
+    }
+    // The SWD005 arithmetic: for 2D-block arrays, the smallest tile whose
+    // segments each cover a whole DRAM transaction.
+    for (const auto& a : k.arrays) {
+      if (a.access != swacc::Access::kBlock2D || a.bytes_per_outer == 0) {
+        continue;
+      }
+      const std::uint64_t want =
+          (static_cast<std::uint64_t>(arch.trans_size_bytes) *
+               a.segments_per_outer +
+           a.bytes_per_outer - 1) /
+          a.bytes_per_outer;
+      if (want > p.tile) {
+        tiles.push_back({want, "raise tile so each '" + a.name +
+                                   "' segment fills a whole transaction "
+                                   "(SWD005 arithmetic)"});
+      }
+    }
+
+    std::set<std::uint64_t> seen{p.tile};
+    for (auto& [tile, why] : tiles) {
+      if (tile < 1 || !seen.insert(tile).second) continue;
+      Candidate cand = c;
+      cand.params.tile = tile;
+      emit(out, *this, c, std::move(cand),
+           "retile " + std::to_string(p.tile) + " -> " +
+               std::to_string(tile) + ": " + why,
+           arch);
+    }
+    return out;
+  }
+};
+
+// ---- Strided-copy merging (Section IV-3) ----------------------------------
+
+class MergeStridedPass final : public Pass {
+ public:
+  const char* name() const override { return "merge-strided"; }
+  PassKind kind() const override { return PassKind::kMergeStrided; }
+
+  std::vector<Proposal> propose(const Candidate& c,
+                                const analysis::Legality& facts,
+                                const sw::ArchParams& arch) const override {
+    std::vector<Proposal> out;
+    if (!facts.launch_legal) return out;
+    // Merge adjacent rows of one outer element into a single DMA segment:
+    // legal whenever the rows are consecutive in the [n_outer]
+    // [bytes_per_outer] row-major image every staged array uses, i.e.
+    // whenever the per-row byte count stays integral after the merge.  The
+    // bytes moved are identical — only the segment count (and with it the
+    // per-transaction rounding waste of Eq. 5) changes; the differential
+    // harness re-proves the byte identity per candidate.
+    for (std::size_t i = 0; i < c.kernel.arrays.size(); ++i) {
+      const auto& a = c.kernel.arrays[i];
+      if ((a.access != swacc::Access::kStrided &&
+           a.access != swacc::Access::kBlock2D) ||
+          a.segments_per_outer < 2) {
+        continue;
+      }
+      // Pairwise merge: halve the segment count.
+      if (a.segments_per_outer % 2 == 0 &&
+          a.bytes_per_outer % (a.segments_per_outer / 2) == 0) {
+        Candidate cand = c;
+        cand.kernel.arrays[i].segments_per_outer = a.segments_per_outer / 2;
+        emit(out, *this, c, std::move(cand),
+             "merge adjacent rows of '" + a.name + "': " +
+                 std::to_string(a.segments_per_outer) + " -> " +
+                 std::to_string(a.segments_per_outer / 2) +
+                 " DMA segments per outer element",
+             arch, /*kernel_mutated=*/true);
+      }
+      // Full merge: one segment per outer element.
+      Candidate cand = c;
+      cand.kernel.arrays[i].segments_per_outer = 1;
+      emit(out, *this, c, std::move(cand),
+           "merge all " + std::to_string(a.segments_per_outer) +
+               " rows of '" + a.name +
+               "' into one DMA segment per outer element",
+           arch, /*kernel_mutated=*/true);
+    }
+    return out;
+  }
+};
+
+// ---- #active CPEs (Section IV-3 / Fig. 9) ---------------------------------
+
+class ActiveCpesPass final : public Pass {
+ public:
+  const char* name() const override { return "active-cpes"; }
+  PassKind kind() const override { return PassKind::kActiveCpes; }
+
+  std::vector<Proposal> propose(const Candidate& c,
+                                const analysis::Legality& facts,
+                                const sw::ArchParams& arch) const override {
+    std::vector<Proposal> out;
+    if (!facts.launch_legal) return out;
+    const auto& p = c.params;
+    std::vector<std::pair<std::uint32_t, std::string>> counts;
+    const auto d =
+        swacc::decompose(c.kernel.n_outer, p.tile, p.requested_cpes);
+    if (d.active_cpes < p.requested_cpes) {
+      counts.push_back({d.active_cpes,
+                        "request only the CPEs the decomposition activates "
+                        "(SWD006 fix)"});
+    }
+    if (p.requested_cpes != arch.cpes_per_cg) {
+      counts.push_back({arch.cpes_per_cg, "use the full core group"});
+    }
+    if (p.requested_cpes >= 2) {
+      counts.push_back({p.requested_cpes / 2,
+                        "halve the active CPEs: larger per-CPE segments "
+                        "waste fewer transaction bytes (Fig. 9)"});
+    }
+    std::set<std::uint32_t> seen{p.requested_cpes};
+    for (auto& [cpes, why] : counts) {
+      if (cpes < 1 || !seen.insert(cpes).second) continue;
+      Candidate cand = c;
+      cand.params.requested_cpes = cpes;
+      emit(out, *this, c, std::move(cand),
+           "active CPEs " + std::to_string(p.requested_cpes) + " -> " +
+               std::to_string(cpes) + ": " + why,
+           arch);
+    }
+    return out;
+  }
+};
+
+// ---- Inner-loop unrolling (Section V-D) -----------------------------------
+
+class UnrollPass final : public Pass {
+ public:
+  const char* name() const override { return "unroll"; }
+  PassKind kind() const override { return PassKind::kUnroll; }
+
+  std::vector<Proposal> propose(const Candidate& c,
+                                const analysis::Legality& facts,
+                                const sw::ArchParams& arch) const override {
+    std::vector<Proposal> out;
+    if (!facts.launch_legal) return out;
+    // Unrolling needs independent iterations to deliver ILP; a loop-carried
+    // dependence makes the wider body a pure code-size cost.
+    if (facts.loop_carried_independent == analysis::Legality::Fact::kFails) {
+      return out;
+    }
+    const std::uint32_t u = c.params.unroll;
+    if (u < 8) {
+      Candidate cand = c;
+      cand.params.unroll = u * 2;
+      emit(out, *this, c, std::move(cand),
+           "unroll " + std::to_string(u) + " -> " + std::to_string(u * 2) +
+               ": expose more independent chains to the dual pipes",
+           arch);
+    }
+    if (u >= 2) {
+      Candidate cand = c;
+      cand.params.unroll = u / 2;
+      emit(out, *this, c, std::move(cand),
+           "unroll " + std::to_string(u) + " -> " + std::to_string(u / 2) +
+               ": shrink the body (loop overhead already amortized)",
+           arch);
+    }
+    return out;
+  }
+};
+
+// ---- Vector width ----------------------------------------------------------
+
+class VectorWidthPass final : public Pass {
+ public:
+  const char* name() const override { return "vector-width"; }
+  PassKind kind() const override { return PassKind::kVectorWidth; }
+
+  std::vector<Proposal> propose(const Candidate& c,
+                                const analysis::Legality& facts,
+                                const sw::ArchParams& arch) const override {
+    std::vector<Proposal> out;
+    if (!facts.launch_legal) return out;
+    // Precondition: the description must be marked vectorizable AND the
+    // liveness analysis must not have found a loop-carried dependence.
+    if (!c.kernel.vectorizable ||
+        facts.loop_carried_independent == analysis::Legality::Fact::kFails) {
+      return out;
+    }
+    for (const std::uint32_t w : {4u, 2u, 1u}) {
+      if (w == c.params.vector_width) continue;
+      Candidate cand = c;
+      cand.params.vector_width = w;
+      emit(out, *this, c, std::move(cand),
+           "vector width " + std::to_string(c.params.vector_width) + " -> " +
+               std::to_string(w) +
+               (w > 1 ? ": engage the 256-bit vector unit"
+                      : ": scalar fallback"),
+           arch);
+    }
+    return out;
+  }
+};
+
+// ---- Gload coalescing (Section V-B) ---------------------------------------
+
+class CoalesceGloadsPass final : public Pass {
+ public:
+  const char* name() const override { return "coalesce-gloads"; }
+  PassKind kind() const override { return PassKind::kCoalesceGloads; }
+
+  std::vector<Proposal> propose(const Candidate& c,
+                                const analysis::Legality& facts,
+                                const sw::ArchParams& arch) const override {
+    std::vector<Proposal> out;
+    if (!facts.launch_legal) return out;
+    if (!c.params.coalesce_gloads) {
+      // Only worthwhile when there are Gloads and some fraction of them
+      // target adjacent addresses.
+      if (!c.kernel.has_indirect() || c.kernel.gload_coalesceable <= 0.0) {
+        return out;
+      }
+      Candidate cand = c;
+      cand.params.coalesce_gloads = true;
+      emit(out, *this, c, std::move(cand),
+           "coalesce adjacent Gloads into wider requests (Section V-B)",
+           arch);
+    } else {
+      Candidate cand = c;
+      cand.params.coalesce_gloads = false;
+      emit(out, *this, c, std::move(cand), "disable Gload coalescing", arch);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Pass>> standard_passes() {
+  std::vector<std::unique_ptr<Pass>> passes;
+  passes.push_back(std::make_unique<DoubleBufferPass>());
+  passes.push_back(std::make_unique<RetilePass>());
+  passes.push_back(std::make_unique<MergeStridedPass>());
+  passes.push_back(std::make_unique<ActiveCpesPass>());
+  passes.push_back(std::make_unique<UnrollPass>());
+  passes.push_back(std::make_unique<VectorWidthPass>());
+  passes.push_back(std::make_unique<CoalesceGloadsPass>());
+  return passes;
+}
+
+}  // namespace swperf::transform

@@ -1,0 +1,53 @@
+// The transformation pass library.
+//
+// Each pass proposes legal rewrites of a Candidate — exactly the program
+// optimizations the paper analyses in closed form (Section IV): double
+// buffering, copy-granularity retiling (reusing the SWD006 fix-it
+// arithmetic), merging strided copies into fewer DMA segments, adjusting
+// the number of active CPEs, inner-loop unrolling, vectorization, and
+// Gload coalescing.
+//
+// Contract: propose() never throws.  Preconditions are checked against the
+// incumbent's analysis::Legality facts plus the kernel description; every
+// emitted Proposal has already passed analysis::launch_legality() for the
+// rewritten candidate, so a pass either *applies* (emits legal proposals)
+// or *cleanly refuses* (returns an empty list).  Semantic equivalence of
+// the rewrite is NOT assumed here — the optimizer proves it per candidate
+// with the differential harness (transform/equivalence.h) before
+// accepting.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/legality.h"
+#include "sw/arch.h"
+#include "transform/step.h"
+
+namespace swperf::transform {
+
+/// One legal rewrite of a candidate, with its typed provenance record.
+struct Proposal {
+  TransformStep step;
+  Candidate candidate;
+};
+
+/// A transformation pass.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+  virtual PassKind kind() const = 0;
+
+  /// Proposes legal rewrites of `c`.  `facts` are the incumbent's legality
+  /// facts (from analysis::launch_legality).  Never throws; an empty
+  /// result is a clean refusal.
+  virtual std::vector<Proposal> propose(const Candidate& c,
+                                        const analysis::Legality& facts,
+                                        const sw::ArchParams& arch) const = 0;
+};
+
+/// The standard pass registry, in deterministic order.
+std::vector<std::unique_ptr<Pass>> standard_passes();
+
+}  // namespace swperf::transform

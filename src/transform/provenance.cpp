@@ -1,0 +1,73 @@
+#include "transform/provenance.h"
+
+#include "serde/serde.h"
+
+namespace swperf::serde {
+
+Json to_json(const transform::TransformStep& s) {
+  Json j = Json::object();
+  j.set("pass", s.pass);
+  j.set("kind", transform::pass_kind_name(s.kind));
+  j.set("detail", s.detail);
+  j.set("params_before", to_json(s.params_before));
+  j.set("params_after", to_json(s.params_after));
+  j.set("kernel_mutated", s.kernel_mutated);
+  return j;
+}
+
+Json to_json(const transform::GuardVerdicts& v) {
+  Json j = Json::object();
+  j.set("model_improved", v.model_improved);
+  j.set("sim_confirmed", v.sim_confirmed);
+  j.set("checker_clean", v.checker_clean);
+  j.set("equivalent", v.equivalent);
+  return j;
+}
+
+Json to_json(const transform::StepRecord& r) {
+  Json j = Json::object();
+  j.set("round", r.round);
+  j.set("step", to_json(r.step));
+  j.set("predicted_before", r.predicted_before);
+  j.set("predicted_after", r.predicted_after);
+  j.set("measured_before", r.measured_before);
+  j.set("measured_after", r.measured_after);
+  j.set("verdicts", to_json(r.verdicts));
+  j.set("accepted", r.accepted);
+  j.set("rejection", r.rejection);
+  return j;
+}
+
+Json to_json(const transform::OptimizeResult& r) {
+  Json j = Json::object();
+  j.set("kernel", r.kernel);
+  j.set("initial_params", to_json(r.initial_params));
+  j.set("final_params", to_json(r.final_params));
+  j.set("kernel_mutated", r.kernel_mutated());
+  // The full final description only when a pass rewrote it — otherwise it
+  // is the input kernel and would bloat every log.
+  j.set("final_kernel",
+        r.kernel_mutated() ? to_json(r.final_kernel) : Json());
+  j.set("initial_predicted", r.initial_predicted);
+  j.set("final_predicted", r.final_predicted);
+  j.set("initial_measured", r.initial_measured);
+  j.set("final_measured", r.final_measured);
+  j.set("speedup", r.speedup());
+  j.set("rounds", r.rounds);
+  j.set("accepted_steps", r.accepted_steps);
+  Json steps = Json::array();
+  for (const auto& s : r.steps) steps.push_back(to_json(s));
+  j.set("steps", std::move(steps));
+  j.set("host_seconds", r.host_seconds);
+  return j;
+}
+
+Json optimize_report_json(const transform::OptimizeResult& r,
+                          bool deterministic) {
+  if (!deterministic) return to_json(r);
+  transform::OptimizeResult copy = r;
+  copy.host_seconds = 0.0;
+  return to_json(copy);
+}
+
+}  // namespace swperf::serde

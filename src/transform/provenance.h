@@ -1,0 +1,27 @@
+// JSON provenance of optimizer runs, rendered through the serde layer.
+//
+// Same contract as the result-side types in serde/serde.h: deterministic
+// to_json only — fixed field order, every field always emitted — so two
+// equal OptimizeResults render to equal bytes.  optimize_report_json() is
+// the one assembly point shared by `swperf optimize --json`, the eval
+// batch stage, and the golden provenance-log tests, so the checked-in
+// fixtures pin exactly what the CLI emits.
+#pragma once
+
+#include "serde/json.h"
+#include "transform/optimizer.h"
+
+namespace swperf::serde {
+
+Json to_json(const transform::TransformStep& s);
+Json to_json(const transform::GuardVerdicts& v);
+Json to_json(const transform::StepRecord& r);
+Json to_json(const transform::OptimizeResult& r);
+
+/// The `swperf optimize` report: to_json(result) with host timing zeroed
+/// when `deterministic` (the --deterministic-json contract: repeated runs
+/// are byte-identical).
+Json optimize_report_json(const transform::OptimizeResult& r,
+                          bool deterministic);
+
+}  // namespace swperf::serde

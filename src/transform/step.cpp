@@ -1,0 +1,25 @@
+#include "transform/step.h"
+
+namespace swperf::transform {
+
+const char* pass_kind_name(PassKind k) {
+  switch (k) {
+    case PassKind::kDoubleBuffer:
+      return "double-buffer";
+    case PassKind::kRetile:
+      return "retile";
+    case PassKind::kMergeStrided:
+      return "merge-strided";
+    case PassKind::kActiveCpes:
+      return "active-cpes";
+    case PassKind::kUnroll:
+      return "unroll";
+    case PassKind::kVectorWidth:
+      return "vector-width";
+    case PassKind::kCoalesceGloads:
+      return "coalesce-gloads";
+  }
+  return "?";
+}
+
+}  // namespace swperf::transform

@@ -1,0 +1,53 @@
+// Typed transformation steps over SWACC kernels.
+//
+// The paper's end goal (Section IV) is not predicting SW26010 performance
+// but *improving programs* with the model's closed-form guidance.  The
+// transform layer makes those improvements first-class values: a Candidate
+// is a (KernelDesc, LaunchParams) pair a pass may rewrite, and every
+// rewrite is described by a TransformStep — which pass fired, what changed,
+// and the launch parameters before and after — so the optimizer's
+// provenance log can replay exactly what was tried and why it was kept or
+// rolled back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "swacc/kernel.h"
+
+namespace swperf::transform {
+
+/// The transformation families of Section IV, one per pass.
+enum class PassKind : std::uint8_t {
+  kDoubleBuffer,    // Section IV-2: overlap DMA with compute (Eq. 14)
+  kRetile,          // Section IV-1 / SWD006 arithmetic: copy granularity
+  kMergeStrided,    // Section IV-3: fewer, larger DMA segments
+  kActiveCpes,      // Section IV-3 / Fig. 9: #active CPEs
+  kUnroll,          // Section V-D: inner-loop unroll factor
+  kVectorWidth,     // 256-bit vector unit engagement
+  kCoalesceGloads,  // Section V-B: merge adjacent Gloads
+};
+
+const char* pass_kind_name(PassKind k);
+
+/// One rewritable unit: the kernel description plus its launch parameters.
+/// Most passes touch only the parameters; kernel-mutating passes (strided
+/// merge) must preserve the byte-level semantics the differential harness
+/// (transform/equivalence.h) verifies.
+struct Candidate {
+  swacc::KernelDesc kernel;
+  swacc::LaunchParams params;
+};
+
+/// A typed record of one applied rewrite.
+struct TransformStep {
+  PassKind kind = PassKind::kRetile;
+  std::string pass;    // registry name of the emitting pass
+  std::string detail;  // human-readable description of the change
+  swacc::LaunchParams params_before;
+  swacc::LaunchParams params_after;
+  /// True when the KernelDesc itself changed (not just launch parameters).
+  bool kernel_mutated = false;
+};
+
+}  // namespace swperf::transform

@@ -79,6 +79,22 @@ cmp -s "$workdir/det3.json" "$workdir/det4.json" || \
 grep -q '"tuning_seconds":0' "$workdir/det1.json" || \
     fail "--deterministic-json should zero tuning_seconds"
 
+# 1d. optimize: valid JSON on --json, byte-stable provenance on
+#     --deterministic-json (the golden-fixture contract, exercised through
+#     the real CLI), and the eval batch stage.
+out=$("$swperf" optimize vecadd --small --json)
+status=$?
+[ "$status" -eq 0 ] || fail "optimize --json exited $status"
+printf '%s\n' "$out" | json_valid || fail "optimize --json invalid JSON"
+"$swperf" optimize vecadd --small --deterministic-json > "$workdir/opt1.json"
+"$swperf" optimize vecadd --small --deterministic-json > "$workdir/opt2.json"
+cmp -s "$workdir/opt1.json" "$workdir/opt2.json" || \
+    fail "optimize --deterministic-json output is not byte-stable"
+grep -q '"host_seconds":0' "$workdir/opt1.json" || \
+    fail "optimize --deterministic-json should zero host_seconds"
+grep -q '"steps":\[' "$workdir/opt1.json" || \
+    fail "optimize provenance log should carry a steps array"
+
 # 2. Strict number parsing: garbage and trailing-garbage values are usage
 #    errors (exit 2), not silently-zero launches.
 "$swperf" simulate vecadd --tile garbage >/dev/null 2>&1
@@ -89,18 +105,27 @@ grep -q '"tuning_seconds":0' "$workdir/det1.json" || \
 [ $? -eq 2 ] || fail "non-numeric --tile should exit 2"
 "$swperf" tune vecadd --small --jobs 1.5 >/dev/null 2>&1
 [ $? -eq 2 ] || fail "--jobs 1.5 should exit 2"
+"$swperf" optimize vecadd --beam garbage >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--beam garbage should exit 2"
+"$swperf" optimize vecadd --max-steps 4x >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--max-steps 4x should exit 2"
+"$swperf" optimize >/dev/null 2>&1
+[ $? -eq 2 ] || fail "optimize without a kernel should exit 2"
 
-# 3. eval: a 3-entry batch over stdin -> exit 0 and exactly 3 JSON lines.
+# 3. eval: a 4-entry batch over stdin -> exit 0 and exactly 4 JSON lines.
 req='[{"kernel":"vecadd","scale":"small"},
       {"kernel":"kmeans","scale":"small","stages":["check","model"]},
       {"kernel":"vecadd","scale":"small","params":{"tile":64},
-       "stages":["sim"]}]'
+       "stages":["sim"]},
+      {"kernel":"vecadd","scale":"small","stages":["optimize"]}]'
 out=$(printf '%s' "$req" | "$swperf" eval)
 status=$?
-[ "$status" -eq 0 ] || fail "3-entry eval batch exited $status, expected 0"
+[ "$status" -eq 0 ] || fail "4-entry eval batch exited $status, expected 0"
 printf '%s\n' "$out" | json_valid || fail "eval batch emitted invalid JSON"
 n=$(printf '%s\n' "$out" | line_count)
-[ "$n" -eq 3 ] || fail "eval batch emitted $n lines, expected 3"
+[ "$n" -eq 4 ] || fail "eval batch emitted $n lines, expected 4"
+printf '%s\n' "$out" | grep -q '"optimize":{' || \
+    fail "eval optimize stage should emit an optimize report"
 
 # 4. eval reads from a file argument too.
 printf '%s' "$req" > "$workdir/req.json"

@@ -1,0 +1,51 @@
+// The optimizer's determinism contract: any --jobs value yields the
+// bit-identical run.  Scoring fans out over the worker pool (results into
+// pre-sized slots), every decision is taken serially in enumeration order
+// — so the accepted sequence, the rejected candidates, their recorded
+// numbers, and the final kernel/launch must all match between a serial and
+// a heavily oversubscribed run.  Lives under the `concurrency` label so
+// the tsan preset audits the pool fan-out.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kernels/suite.h"
+#include "pipeline/session.h"
+#include "transform/optimizer.h"
+#include "transform/provenance.h"
+
+namespace {
+
+using namespace swperf;
+
+/// The whole observable run, canonically rendered: the deterministic JSON
+/// report covers every field two runs could disagree on.
+std::string run_with_jobs(const std::string& kernel, int jobs) {
+  pipeline::Session session;  // fresh session: no cross-run memoization
+  const auto spec = kernels::make(kernel, kernels::Scale::kSmall);
+  transform::OptimizerOptions opts;
+  opts.jobs = jobs;
+  transform::Optimizer opt(session, opts);
+  const auto r = opt.optimize(spec.desc, spec.naive);
+  return serde::optimize_report_json(r, /*deterministic=*/true).dump();
+}
+
+class OptimizerDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OptimizerDeterminism, JobsOneAndEightBitIdentical) {
+  const std::string serial = run_with_jobs(GetParam(), 1);
+  const std::string parallel = run_with_jobs(GetParam(), 8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_P(OptimizerDeterminism, RepeatedSerialRunsBitIdentical) {
+  // The baseline the parallel comparison rests on: the run itself is a
+  // pure function of (kernel, options).
+  EXPECT_EQ(run_with_jobs(GetParam(), 1), run_with_jobs(GetParam(), 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, OptimizerDeterminism,
+                         ::testing::ValuesIn(kernels::table2_kernels()),
+                         [](const auto& pinfo) { return pinfo.param; });
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Golden provenance logs: the full `swperf optimize --deterministic-json`
+// report for every Table II kernel (naive launch, small scale), pinned
+// byte-for-byte against a checked-in fixture.  This freezes three
+// contracts at once: the optimizer's decisions (which steps are tried, in
+// which order, which are accepted and why the rest are rejected), the
+// model/simulator numbers those decisions rest on, and the provenance
+// JSON schema itself (field order, number formatting).
+//
+// Refreshing after an intentional change to any of the three:
+//   SWPERF_REGEN_GOLDEN=1 ctest -R TransformGolden
+// then review the fixture diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "kernels/suite.h"
+#include "pipeline/session.h"
+#include "transform/optimizer.h"
+#include "transform/provenance.h"
+
+namespace {
+
+using namespace swperf;
+
+std::string fixture_path(const std::string& kernel) {
+  return std::string(SWPERF_TRANSFORM_GOLDEN_DIR) + "/" + kernel + ".json";
+}
+
+/// Exactly what `swperf optimize <kernel> --small --deterministic-json`
+/// prints: the default-options report with host timing zeroed.
+std::string current_report(const std::string& kernel) {
+  pipeline::Session session;
+  const auto spec = kernels::make(kernel, kernels::Scale::kSmall);
+  transform::Optimizer opt(session);
+  const auto r = opt.optimize(spec.desc, spec.naive);
+  return serde::optimize_report_json(r, /*deterministic=*/true).dump() + "\n";
+}
+
+class TransformGolden : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TransformGolden, ProvenanceLogPinned) {
+  const std::string kernel = GetParam();
+  const std::string report = current_report(kernel);
+
+  if (const char* regen = std::getenv("SWPERF_REGEN_GOLDEN");
+      regen != nullptr && std::string(regen) == "1") {
+    std::ofstream out(fixture_path(kernel), std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << fixture_path(kernel);
+    out << report;
+    GTEST_SKIP() << "regenerated " << fixture_path(kernel);
+  }
+
+  std::ifstream in(fixture_path(kernel), std::ios::binary);
+  ASSERT_TRUE(in) << "missing fixture " << fixture_path(kernel)
+                  << " (regenerate with SWPERF_REGEN_GOLDEN=1)";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(report, buf.str()) << "provenance log for " << kernel
+                               << " drifted from the checked-in fixture";
+}
+
+TEST_P(TransformGolden, FixtureIsSerdeCanonical) {
+  // The checked-in log round-trips through the parser unchanged — the
+  // byte-stability contract the serde fixtures pin, extended here.
+  std::ifstream in(fixture_path(GetParam()), std::ios::binary);
+  if (!in) GTEST_SKIP() << "fixture not present";
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const auto r = serde::Json::parse(line);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.dump(), line);
+  // Schema spot checks the docs promise (docs/OPTIMIZE.md).
+  for (const char* field :
+       {"kernel", "initial_params", "final_params", "kernel_mutated",
+        "initial_predicted", "final_predicted", "initial_measured",
+        "final_measured", "speedup", "rounds", "accepted_steps", "steps",
+        "host_seconds"}) {
+    EXPECT_TRUE(r.value.contains(field)) << field;
+  }
+  EXPECT_EQ(r.value.at("host_seconds").as_double(), 0.0)
+      << "deterministic report must zero host timing";
+  ASSERT_TRUE(r.value.at("steps").is_array());
+  for (const auto& s : r.value.at("steps").items()) {
+    for (const char* field : {"round", "step", "predicted_before",
+                              "predicted_after", "measured_before",
+                              "measured_after", "verdicts", "accepted",
+                              "rejection"}) {
+      EXPECT_TRUE(s.contains(field)) << field;
+    }
+    const bool accepted = s.at("accepted").as_bool();
+    EXPECT_EQ(s.at("rejection").as_string().empty(), accepted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, TransformGolden,
+                         ::testing::ValuesIn(kernels::table2_kernels()),
+                         [](const auto& pinfo) { return pinfo.param; });
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Property test of the transformation pass library: every pass, driven
+// over 100+ seeded random kernels, either *applies* (emits proposals) or
+// *cleanly refuses* (returns an empty list without throwing) — and every
+// emitted proposal upholds the pass contract:
+//
+//   1. the rewritten launch passes analysis::launch_legality;
+//   2. the rewritten launch introduces no checker *errors* the incumbent
+//      did not already carry (random kernels legitimately carry warnings);
+//   3. the rewrite is bit-identical to the incumbent under the
+//      differential harness — the outputs the functional runtime produces
+//      for the rewritten candidate match the incumbent's byte for byte;
+//   4. the provenance step is faithfully typed: pass name and kind match
+//      the emitting pass, params_before is the incumbent's launch.
+//
+// The generator is the same one the tuning bound/b&b tests use
+// (tests/tuning/random_kernel_testutil.h): bodies and arrays span every
+// Access kind, so each pass sees kernels inside and outside its
+// preconditions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/checker.h"
+#include "analysis/legality.h"
+#include "sw/arch.h"
+#include "sw/rng.h"
+#include "transform/equivalence.h"
+#include "transform/passes.h"
+#include "tuning/random_kernel_testutil.h"
+
+namespace {
+
+using namespace swperf;
+using transform::Candidate;
+
+constexpr int kKernelsPerPass = 120;
+
+/// Multiset of checker error signatures: a proposal may keep pre-existing
+/// errors' absence (random_valid_pair guarantees none) but must not mint
+/// new ones.
+int error_count(const analysis::Diagnostics& diags) {
+  return analysis::count_at_least(diags, analysis::Severity::kError);
+}
+
+class PassProperty : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  PassProperty() : passes_(transform::standard_passes()) {}
+  const transform::Pass& pass() const { return *passes_[GetParam()]; }
+
+ private:
+  std::vector<std::unique_ptr<transform::Pass>> passes_;
+};
+
+TEST_P(PassProperty, AppliesOrCleanlyRefusesOnRandomKernels) {
+  const auto arch = sw::ArchParams::sw26010();
+  // Seed varies per pass so the populations are independent draws.
+  sw::Rng rng(0xbadc0ffeeULL + 0x9e37ULL * GetParam());
+  int applied = 0;
+  int refused = 0;
+  for (int i = 0; i < kKernelsPerPass; ++i) {
+    const auto [kernel, params] =
+        tuning::testutil::random_valid_pair(rng, arch);
+    const Candidate incumbent{kernel, params};
+    const auto facts = analysis::launch_legality(kernel, params, arch);
+
+    // propose() never throws: a pass whose preconditions fail refuses by
+    // returning an empty list.
+    std::vector<transform::Proposal> proposals;
+    ASSERT_NO_THROW(proposals = pass().propose(incumbent, facts, arch))
+        << pass().name() << " threw on kernel " << i;
+    if (proposals.empty()) {
+      ++refused;
+      continue;
+    }
+    ++applied;
+
+    for (const auto& p : proposals) {
+      const std::string where =
+          std::string(pass().name()) + " on kernel " + std::to_string(i) +
+          ": " + p.step.detail;
+
+      // (4) typed provenance.
+      EXPECT_EQ(p.step.pass, pass().name()) << where;
+      EXPECT_EQ(p.step.kind, pass().kind()) << where;
+      EXPECT_EQ(p.step.params_before.to_string(), params.to_string())
+          << where;
+      EXPECT_EQ(p.step.params_after.to_string(),
+                p.candidate.params.to_string())
+          << where;
+
+      // (1) emitted proposals are already launch-legal.
+      const auto legality = analysis::launch_legality(
+          p.candidate.kernel, p.candidate.params, arch);
+      EXPECT_TRUE(legality.launch_legal) << where;
+
+      // (2) no new checker errors (the incumbent is error-free by
+      // construction of random_valid_pair).
+      const auto diags = analysis::check_launch(p.candidate.kernel,
+                                                p.candidate.params, arch);
+      EXPECT_EQ(error_count(diags), 0) << where;
+
+      // (3) bit-identical under the differential harness.  A kernel with
+      // no output arrays compares zero bytes (vacuously equivalent); any
+      // output array must actually be compared.
+      const auto eq =
+          transform::check_equivalence(incumbent, p.candidate, arch);
+      EXPECT_TRUE(eq.holds()) << where << " — " << eq.detail;
+      const bool has_output = std::any_of(
+          kernel.arrays.begin(), kernel.arrays.end(), [](const auto& a) {
+            return a.dir != swacc::Dir::kIn;
+          });
+      if (has_output) {
+        EXPECT_GT(eq.bytes_compared, 0u) << where;
+      }
+    }
+  }
+  // Sanity on the population: over 120 diverse kernels every standard pass
+  // must fire at least once, or the test is vacuous for it.
+  EXPECT_GT(applied, 0) << pass().name() << " never applied";
+  EXPECT_EQ(applied + refused, kKernelsPerPass);
+}
+
+std::string pass_test_name(
+    const ::testing::TestParamInfo<std::size_t>& info) {
+  const auto passes = transform::standard_passes();
+  std::string name = passes[info.param]->name();
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPasses, PassProperty,
+    ::testing::Range<std::size_t>(0, transform::standard_passes().size()),
+    pass_test_name);
+
+TEST(PassRegistry, DeterministicOrderAndDistinctNames) {
+  const auto a = transform::standard_passes();
+  const auto b = transform::standard_passes();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_STREQ(a[i]->name(), b[i]->name()) << "registry order unstable";
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      EXPECT_STRNE(a[i]->name(), a[j]->name());
+    }
+  }
+}
+
+}  // namespace

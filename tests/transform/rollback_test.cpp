@@ -1,0 +1,171 @@
+// Forced-regression proof of the optimizer's accept-or-rollback contract:
+// adversarial passes are injected through the custom-registry constructor
+// and must be rejected with the right provenance, leaving the incumbent
+// untouched.
+//
+//   WorsePass    — proposes a strictly worse launch (1 CPE).  Guard 1
+//                  (model improvement) rejects it before anything is
+//                  installed: predicted_no_improvement.
+//   BreakerPass  — halves n_outer: the model and simulator both *love* it
+//                  (half the work) and the checker stays clean, so it
+//                  survives guards 1–3 and must be caught by the
+//                  differential harness: not_equivalent, then rollback.
+//
+// Both cases assert the three observable consequences of a rejection: the
+// step is recorded with its reason, the final state equals the initial
+// state bit for bit, and nothing was accepted.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "kernels/suite.h"
+#include "pipeline/session.h"
+#include "transform/optimizer.h"
+#include "transform/passes.h"
+
+namespace {
+
+using namespace swperf;
+using transform::Candidate;
+using transform::Proposal;
+using transform::TransformStep;
+
+/// Emits one proposal built by `mutate`; refuses once the incumbent
+/// already matches it (so the optimizer terminates).
+template <typename Fn>
+class InjectedPass : public transform::Pass {
+ public:
+  InjectedPass(const char* name, Fn mutate)
+      : name_(name), mutate_(std::move(mutate)) {}
+  const char* name() const override { return name_; }
+  transform::PassKind kind() const override {
+    return transform::PassKind::kRetile;
+  }
+  std::vector<Proposal> propose(const Candidate& c,
+                                const analysis::Legality&,
+                                const sw::ArchParams&) const override {
+    Proposal p;
+    p.candidate = c;
+    mutate_(p.candidate);
+    p.step.kind = kind();
+    p.step.pass = name_;
+    p.step.detail = "injected";
+    p.step.params_before = c.params;
+    p.step.params_after = p.candidate.params;
+    p.step.kernel_mutated =
+        p.candidate.kernel.inner_iters != c.kernel.inner_iters;
+    return {std::move(p)};
+  }
+
+ private:
+  const char* name_;
+  Fn mutate_;
+};
+
+template <typename Fn>
+std::vector<std::unique_ptr<transform::Pass>> registry_of(const char* name,
+                                                          Fn mutate) {
+  std::vector<std::unique_ptr<transform::Pass>> v;
+  v.push_back(
+      std::make_unique<InjectedPass<Fn>>(name, std::move(mutate)));
+  return v;
+}
+
+TEST(Rollback, WorseScoringPassIsRejectedByTheModelGuard) {
+  pipeline::Session session;
+  const auto spec = kernels::make("kmeans", kernels::Scale::kSmall);
+
+  transform::Optimizer opt(
+      session, {},
+      registry_of("worse", [](Candidate& c) { c.params.requested_cpes = 1; }));
+  const auto r = opt.optimize(spec.desc, spec.tuned);
+
+  ASSERT_EQ(r.steps.size(), 1u);
+  const auto& rec = r.steps[0];
+  EXPECT_FALSE(rec.accepted);
+  EXPECT_EQ(rec.rejection, transform::reject::kPredictedNoImprovement);
+  EXPECT_FALSE(rec.verdicts.model_improved);
+  // Guards short-circuit: the candidate never reached the simulator.
+  EXPECT_EQ(rec.measured_after, 0.0);
+
+  // Incumbent restored (it was never installed).
+  EXPECT_EQ(r.accepted_steps, 0);
+  EXPECT_EQ(r.final_params.to_string(), spec.tuned.to_string());
+  EXPECT_EQ(r.final_predicted, r.initial_predicted);
+  EXPECT_EQ(r.final_measured, r.initial_measured);
+  EXPECT_FALSE(r.kernel_mutated());
+}
+
+TEST(Rollback, EquivalenceFailingPassIsRejectedAndRolledBack) {
+  pipeline::Session session;
+  const auto spec = kernels::make("kmeans", kernels::Scale::kSmall);
+
+  // Halving the inner loop is the classic wrong-but-fast rewrite: the
+  // model and simulator both report fewer cycles and the checker sees a
+  // perfectly well-formed launch — only the differential harness can tell
+  // the kernel no longer computes the same thing.  (Shrinking n_outer
+  // would be caught earlier: the checker flags the changed decomposition.)
+  transform::Optimizer opt(
+      session, {},
+      registry_of("break", [](Candidate& c) { c.kernel.inner_iters /= 2; }));
+  const auto r = opt.optimize(spec.desc, spec.tuned);
+
+  ASSERT_EQ(r.steps.size(), 1u);
+  const auto& rec = r.steps[0];
+  EXPECT_FALSE(rec.accepted);
+  EXPECT_EQ(rec.rejection, transform::reject::kNotEquivalent);
+  // It survived the first three guards — that is the point of the test.
+  EXPECT_TRUE(rec.verdicts.model_improved);
+  EXPECT_TRUE(rec.verdicts.sim_confirmed);
+  EXPECT_TRUE(rec.verdicts.checker_clean);
+  EXPECT_FALSE(rec.verdicts.equivalent);
+  EXPECT_LT(rec.measured_after, rec.measured_before);
+
+  // Rollback restored the incumbent wholesale, kernel included.
+  EXPECT_EQ(r.accepted_steps, 0);
+  EXPECT_EQ(r.final_kernel.inner_iters, spec.desc.inner_iters);
+  EXPECT_EQ(r.final_params.to_string(), spec.tuned.to_string());
+  EXPECT_EQ(r.final_predicted, r.initial_predicted);
+  EXPECT_EQ(r.final_measured, r.initial_measured);
+  EXPECT_FALSE(r.kernel_mutated());
+}
+
+TEST(Rollback, AcceptedStepsClearAllFourGuards) {
+  pipeline::Session session;
+  const auto spec = kernels::make("kmeans", kernels::Scale::kSmall);
+  transform::Optimizer opt(session);
+  const auto r = opt.optimize(spec.desc, spec.naive);
+
+  ASSERT_GT(r.accepted_steps, 0) << "kmeans naive must be optimizable";
+  double last_measured = r.initial_measured;
+  for (const auto& rec : r.steps) {
+    if (!rec.accepted) {
+      EXPECT_FALSE(rec.rejection.empty());
+      EXPECT_FALSE(rec.verdicts.all());
+      continue;
+    }
+    EXPECT_TRUE(rec.rejection.empty());
+    EXPECT_TRUE(rec.verdicts.all());
+    EXPECT_LT(rec.predicted_after, rec.predicted_before);
+    EXPECT_LT(rec.measured_after, rec.measured_before);
+    // Accepted steps chain: each starts from the previous incumbent.
+    EXPECT_EQ(rec.measured_before, last_measured);
+    last_measured = rec.measured_after;
+  }
+  EXPECT_EQ(r.final_measured, last_measured);
+  EXPECT_LT(r.final_measured, r.initial_measured);
+  EXPECT_GT(r.speedup(), 1.0);
+}
+
+TEST(Rollback, IllegalInitialLaunchThrows) {
+  pipeline::Session session;
+  const auto spec = kernels::make("kmeans", kernels::Scale::kSmall);
+  auto params = spec.tuned;
+  params.tile = 1ull << 40;  // no SPM holds this
+  transform::Optimizer opt(session);
+  EXPECT_THROW(opt.optimize(spec.desc, params), sw::Error);
+}
+
+}  // namespace

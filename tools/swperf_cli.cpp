@@ -4,6 +4,12 @@
 //   swperf report   <kernel> [opts]      static performance report
 //   swperf simulate <kernel> [opts]      run the cycle-level simulator
 //   swperf tune     <kernel> [opts]      static (default) or empirical tuning
+//   swperf optimize <kernel> [opts]      guarded closed-loop optimization:
+//                                        beam search over transformation
+//                                        passes; every accepted step is
+//                                        model-improved, sim-confirmed,
+//                                        checker-clean and bit-equivalent
+//                                        to the host reference
 //   swperf timeline <kernel> [opts]      ASCII execution trace
 //   swperf check    <kernel> [opts]      static diagnostics (swcheck)
 //   swperf check    --all                swcheck over the whole suite
@@ -16,8 +22,10 @@
 //
 // Options: --tile N  --unroll N  --cpes N  --db  --vw N  --coalesce
 //          --small (reduced problem size)  --empirical  --vector (tuning)
-//          --jobs N (tuning: parallel variant evaluation; results are
+//          --jobs N (tuning/optimize: parallel evaluation; results are
 //          bit-identical to --jobs 1 at any N; 0 = all hardware threads)
+//          --beam N --max-steps N (optimize: candidates guard-checked per
+//          round / accepted-step budget)
 //          --json (structured output on any subcommand)  --Werror  --all
 //          --list-codes (check)  --analyze (check: legality facts per
 //          kernel — launch legality plus the dataflow facts of
@@ -61,6 +69,8 @@
 #include "sw/error.h"
 #include "sw/stats.h"
 #include "sw/table.h"
+#include "transform/optimizer.h"
+#include "transform/provenance.h"
 #include "tuning/tuner.h"
 
 using namespace swperf;
@@ -76,6 +86,8 @@ struct Options {
   bool empirical = false;
   bool vector_space = false;
   int jobs = 1;
+  int beam = 4;
+  int max_steps = 8;
   bool bnb = false;
   bool deterministic_json = false;
   bool json = false;
@@ -89,11 +101,12 @@ struct Options {
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: swperf <list|report|simulate|tune|timeline|check|suite|"
-      "calibrate|eval> [kernel|file] [--tile N] [--unroll N] [--cpes N] "
-      "[--db] [--vw N] [--coalesce] [--small] [--empirical] [--vector] "
-      "[--jobs N] [--bnb] [--json] [--deterministic-json] [--time] "
-      "[--Werror] [--all] [--list-codes] [--analyze]\n");
+      "usage: swperf <list|report|simulate|tune|optimize|timeline|check|"
+      "suite|calibrate|eval> [kernel|file] [--tile N] [--unroll N] "
+      "[--cpes N] [--db] [--vw N] [--coalesce] [--small] [--empirical] "
+      "[--vector] [--jobs N] [--beam N] [--max-steps N] [--bnb] [--json] "
+      "[--deterministic-json] [--time] [--Werror] [--all] [--list-codes] "
+      "[--analyze]\n");
   std::exit(2);
 }
 
@@ -159,6 +172,10 @@ Options parse(int argc, char** argv) {
       o.scale = kernels::Scale::kSmall;
     } else if (a == "--jobs") {
       o.jobs = static_cast<int>(next_u64("--jobs"));
+    } else if (a == "--beam") {
+      o.beam = static_cast<int>(next_u64("--beam"));
+    } else if (a == "--max-steps") {
+      o.max_steps = static_cast<int>(next_u64("--max-steps"));
     } else if (a == "--empirical") {
       o.empirical = true;
     } else if (a == "--vector") {
@@ -341,6 +358,50 @@ int cmd_tune(const Options& o, pipeline::Session& session) {
               static_cast<unsigned long long>(r.stats.lowers_skipped),
               static_cast<unsigned long long>(r.stats.bound_pruned),
               static_cast<unsigned long long>(r.stats.skeleton_reuses));
+  return 0;
+}
+
+int cmd_optimize(const Options& o, pipeline::Session& session) {
+  const auto spec = kernels::make(o.kernel, o.scale);
+  // The closed loop starts from the Table II naive launch (or an explicit
+  // override) — the point is to *discover* the tuned configuration, not to
+  // start from it.
+  const auto initial = o.have_params ? o.params : spec.naive;
+  transform::OptimizerOptions topt;
+  topt.max_steps = o.max_steps;
+  topt.beam = o.beam;
+  topt.jobs = o.jobs;
+  transform::Optimizer optimizer(session, topt);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto r = optimizer.optimize(spec.desc, initial);
+  r.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (o.json) {
+    print_json_line(serde::optimize_report_json(r, o.deterministic_json));
+    return 0;
+  }
+  const auto& arch = session.arch();
+  std::printf("%s: %d accepted steps over %d rounds (%zu tried), "
+              "%.2f s host\n",
+              o.kernel.c_str(), r.accepted_steps, r.rounds, r.steps.size(),
+              r.host_seconds);
+  for (const auto& s : r.steps) {
+    if (s.accepted) {
+      std::printf("  + %-14s %-34s %.1f -> %.1f us measured\n",
+                  s.step.pass.c_str(), s.step.detail.c_str(),
+                  sw::cycles_to_us(s.measured_before, arch.freq_ghz),
+                  sw::cycles_to_us(s.measured_after, arch.freq_ghz));
+    } else {
+      std::printf("  - %-14s %-34s rejected: %s\n", s.step.pass.c_str(),
+                  s.step.detail.c_str(), s.rejection.c_str());
+    }
+  }
+  std::printf("initial: %s -> %.1f us\n", r.initial_params.to_string().c_str(),
+              sw::cycles_to_us(r.initial_measured, arch.freq_ghz));
+  std::printf("final  : %s -> %.1f us (%.2fx)\n",
+              r.final_params.to_string().c_str(),
+              sw::cycles_to_us(r.final_measured, arch.freq_ghz), r.speedup());
   return 0;
 }
 
@@ -546,7 +607,8 @@ int cmd_calibrate(const Options& o, const sw::ArchParams& arch) {
 //     "params": {LaunchParams object}       (default: tuned preset for
 //                                            named kernels, defaults for
 //                                            inline descriptions),
-//     "stages": ["check","sim","model","tune"]  (default check+sim+model) }
+//     "stages": ["check","sim","model","tune","optimize"]
+//                                            (default check+sim+model) }
 // Response: one JSON object per entry, in order. Entries that fail report
 // {"kernel":..., "ok": false, "message": ...} without aborting the batch.
 
@@ -605,9 +667,15 @@ serde::Json eval_entry(const serde::Json& entry, pipeline::Session& session,
         const auto space =
             tuning::SearchSpace::standard(desc, session.arch());
         out.set("tune", serde::to_json(session.tune(desc, space)));
+      } else if (stage == "optimize") {
+        transform::Optimizer optimizer(session);
+        // Batch results are consumed by diff-based tooling, so the
+        // deterministic (host-timing-free) rendering is the right default.
+        out.set("optimize", serde::optimize_report_json(
+                                optimizer.optimize(desc, params), true));
       } else {
         throw sw::Error("unknown stage '" + stage +
-                        "' (expected check, sim, model or tune)");
+                        "' (expected check, sim, model, tune or optimize)");
       }
     }
     if (did_sim || did_model) {
@@ -681,6 +749,7 @@ int main(int argc, char** argv) {
     if (o.command == "report") return cmd_report(o, session);
     if (o.command == "simulate") return cmd_simulate(o, session);
     if (o.command == "tune") return cmd_tune(o, session);
+    if (o.command == "optimize") return cmd_optimize(o, session);
     if (o.command == "timeline") return cmd_timeline(o, session);
   } catch (const sw::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
