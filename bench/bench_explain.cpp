@@ -1,0 +1,267 @@
+// Explain-engine record: what the causal trace + critical-path analysis
+// cost over a plain simulation, and what the bottleneck labels buy the
+// closed-loop optimizer.
+//
+// Two measurements per Table II kernel, each on a fresh pipeline::Session:
+//
+//   * overhead — host seconds for a full explanation (traced simulation +
+//     execution DAG + classifier) vs. a plain untraced simulation of the
+//     same launch, both cold;
+//   * guidance — `swperf optimize` from the naive launch with label-guided
+//     proposal ordering vs. the pure best-predicted-first order
+//     (OptimizerOptions::label_guided off).  Guidance must never lose:
+//     the guided winner's measured cycles are <= the unguided winner's,
+//     with at most as many tried candidates.
+//
+// Modes (same contract as the other bench records):
+//   bench_explain                 full measurement, human-readable
+//   bench_explain --out FILE      ... and write the JSON record
+//   bench_explain --smoke         seconds-fast pass on two kernels
+//   bench_explain --check FILE    validate FILE against the
+//                                 BENCH_explain.json schema + headlines
+// --smoke and --check compose; the perf_smoke_explain ctest runs both.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.h"
+#include "explain/explain.h"
+#include "kernels/suite.h"
+#include "pipeline/session.h"
+#include "serde/json.h"
+#include "transform/optimizer.h"
+
+namespace {
+
+using namespace swperf;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+serde::Json measure_kernel(const std::string& name, bool* ok) {
+  const kernels::KernelSpec spec = kernels::make(name, kernels::Scale::kSmall);
+
+  // Overhead: cold plain simulation vs. cold full explanation.
+  double simulate_seconds = 0.0;
+  {
+    pipeline::Session session;
+    const auto t0 = std::chrono::steady_clock::now();
+    session.simulate(spec.desc, spec.tuned);
+    simulate_seconds = seconds_since(t0);
+  }
+  std::string label;
+  double explain_seconds = 0.0;
+  {
+    pipeline::Session session;
+    const auto t0 = std::chrono::steady_clock::now();
+    const explain::Explanation e = session.explain(spec.desc, spec.tuned);
+    explain_seconds = seconds_since(t0);
+    label = explain::label_name(e.label);
+  }
+  const double overhead =
+      simulate_seconds > 0.0 ? explain_seconds / simulate_seconds : 0.0;
+
+  // Guidance: the same campaign with and without label-guided ordering.
+  transform::OptimizeResult guided;
+  {
+    pipeline::Session session;
+    transform::Optimizer opt(session);  // label_guided defaults on
+    guided = opt.optimize(spec.desc, spec.naive);
+  }
+  transform::OptimizeResult unguided;
+  {
+    pipeline::Session session;
+    transform::OptimizerOptions topt;
+    topt.label_guided = false;
+    transform::Optimizer opt(session, topt);
+    unguided = opt.optimize(spec.desc, spec.naive);
+  }
+
+  const bool no_worse =
+      guided.final_measured <= unguided.final_measured &&
+      guided.steps.size() <= unguided.steps.size();
+  if (!no_worse) {
+    std::fprintf(stderr,
+                 "FAIL %s: guided %.0f cycles / %zu tried vs unguided "
+                 "%.0f / %zu — guidance must never lose\n",
+                 name.c_str(), guided.final_measured, guided.steps.size(),
+                 unguided.final_measured, unguided.steps.size());
+    *ok = false;
+  }
+
+  std::printf("%-10s %-24s explain %.3fs vs simulate %.3fs (%.1fx)\n",
+              name.c_str(), label.c_str(), explain_seconds, simulate_seconds,
+              overhead);
+  std::printf("  guided:   %.2fx in %zu tried (%d accepted)\n",
+              guided.speedup(), guided.steps.size(), guided.accepted_steps);
+  std::printf("  unguided: %.2fx in %zu tried (%d accepted)\n",
+              unguided.speedup(), unguided.steps.size(),
+              unguided.accepted_steps);
+
+  serde::Json j = serde::Json::object();
+  j.set("name", name);
+  j.set("label", label);
+  j.set("simulate_seconds", simulate_seconds);
+  j.set("explain_seconds", explain_seconds);
+  j.set("explain_overhead", overhead);
+  j.set("guided_speedup", guided.speedup());
+  j.set("guided_tried", static_cast<std::uint64_t>(guided.steps.size()));
+  j.set("guided_accepted", guided.accepted_steps);
+  j.set("unguided_speedup", unguided.speedup());
+  j.set("unguided_tried",
+        static_cast<std::uint64_t>(unguided.steps.size()));
+  j.set("unguided_accepted", unguided.accepted_steps);
+  j.set("guided_no_worse", no_worse);
+  return j;
+}
+
+bool smoke_pass() {
+  bool ok = true;
+  for (const char* name : {"kmeans", "hotspot"}) {
+    const serde::Json j = measure_kernel(name, &ok);
+    if (j.at("label").as_string().empty()) {
+      std::fprintf(stderr, "FAIL smoke %s: empty bottleneck label\n", name);
+      ok = false;
+    }
+  }
+  std::printf("smoke: %s\n", ok ? "OK" : "FAILED");
+  return ok;
+}
+
+// ---- BENCH_explain.json schema check ---------------------------------------
+
+bool check_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "FAIL check: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  serde::Json j;
+  try {
+    j = serde::Json::parse_or_throw(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL check: %s does not parse: %s\n", path.c_str(),
+                 e.what());
+    return false;
+  }
+  if (!j.contains("schema") ||
+      j.at("schema").as_string() != "swperf-bench-explain/v1") {
+    std::fprintf(stderr, "FAIL check: bad or missing schema tag\n");
+    return false;
+  }
+  if (!j.contains("kernels") || !j.at("kernels").is_array() ||
+      j.at("kernels").size() == 0) {
+    std::fprintf(stderr, "FAIL check: kernels missing or empty\n");
+    return false;
+  }
+  bool headline = false;  // >= 1 kernel where guidance hits >= 1.5x
+  for (std::size_t i = 0; i < j.at("kernels").size(); ++i) {
+    const serde::Json& k = j.at("kernels").items()[i];
+    for (const char* f :
+         {"name", "label", "simulate_seconds", "explain_seconds",
+          "explain_overhead", "guided_speedup", "guided_tried",
+          "guided_accepted", "unguided_speedup", "unguided_tried",
+          "unguided_accepted", "guided_no_worse"}) {
+      if (!k.contains(f)) {
+        std::fprintf(stderr, "FAIL check: kernel %zu missing %s\n", i, f);
+        return false;
+      }
+    }
+    if (k.at("label").as_string().empty()) {
+      std::fprintf(stderr, "FAIL check: kernel %zu has an empty label\n", i);
+      return false;
+    }
+    if (!k.at("guided_no_worse").as_bool()) {
+      std::fprintf(stderr, "FAIL check: kernel %zu: guidance lost\n", i);
+      return false;
+    }
+    if (k.at("guided_speedup").as_double() <
+        k.at("unguided_speedup").as_double()) {
+      std::fprintf(stderr,
+                   "FAIL check: kernel %zu speedups inconsistent with "
+                   "guided_no_worse\n",
+                   i);
+      return false;
+    }
+    // Tracing + DAG must stay a small constant factor over plain
+    // simulation; the bound is an order of magnitude above the observed
+    // overhead so only a complexity regression trips it.
+    if (k.at("explain_overhead").as_double() > 50.0) {
+      std::fprintf(stderr, "FAIL check: kernel %zu explain overhead %.1fx\n",
+                   i, k.at("explain_overhead").as_double());
+      return false;
+    }
+    if (k.at("guided_speedup").as_double() >= 1.5) headline = true;
+  }
+  if (!headline) {
+    std::fprintf(stderr,
+                 "FAIL check: no kernel shows >= 1.5x guided speedup\n");
+    return false;
+  }
+  std::printf("check: %s conforms to swperf-bench-explain/v1\n",
+              path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string check_path;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--check" && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_explain [--smoke] [--check FILE] "
+                   "[--out FILE]\n");
+      return 2;
+    }
+  }
+
+  bool ok = true;
+  if (!check_path.empty()) ok = check_file(check_path) && ok;
+
+  if (smoke) {
+    ok = smoke_pass() && ok;
+    return ok ? 0 : 1;
+  }
+  if (!check_path.empty() && out_path.empty()) return ok ? 0 : 1;
+
+  swperf::bench::print_header(
+      "Explain-engine overhead and label-guided optimization gains",
+      "repo performance record (BENCH_explain.json), not a paper figure");
+
+  serde::Json kernels_json = serde::Json::array();
+  for (const std::string& name : kernels::table2_kernels()) {
+    kernels_json.push_back(measure_kernel(name, &ok));
+  }
+
+  serde::Json root = serde::Json::object();
+  root.set("schema", std::string("swperf-bench-explain/v1"));
+  root.set("kernels", std::move(kernels_json));
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << root.dump() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+      ok = false;
+    } else {
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+  }
+  return ok ? 0 : 1;
+}

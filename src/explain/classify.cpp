@@ -1,0 +1,147 @@
+#include "explain/classify.h"
+
+#include <cstdio>
+
+namespace swperf::explain {
+
+namespace {
+
+std::string pct(double frac) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f%%", frac * 100.0);
+  return buf;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* label_name(Label l) {
+  switch (l) {
+    case Label::kMemoryBandwidthBound: return "memory-bandwidth-bound";
+    case Label::kDmaLatencyBound: return "dma-latency-bound";
+    case Label::kIssueBound: return "issue-bound";
+    case Label::kGloadLatencyBound: return "gload-latency-bound";
+    case Label::kUnderOccupied: return "under-occupied";
+    case Label::kComputeBound: return "compute-bound";
+    case Label::kBarrierBound: return "barrier-bound";
+    case Label::kBalanced: return "balanced";
+  }
+  return "?";
+}
+
+Signals gather_signals(const swacc::StaticSummary& summary,
+                       const sim::SimResult& actual,
+                       const model::Prediction& predicted,
+                       const model::RooflinePrediction& roofline,
+                       const sw::ArchParams& arch) {
+  Signals s;
+  s.span_cycles = actual.total_cycles();
+  const double capacity =
+      static_cast<double>(arch.cpes_per_cg) * summary.core_groups;
+  s.occupancy = capacity > 0.0 ? summary.active_cpes / capacity : 0.0;
+  if (s.span_cycles > 0.0) {
+    s.mem_busy_frac = sw::ticks_to_cycles(actual.mem_busy_ticks) /
+                      (s.span_cycles * summary.core_groups);
+    s.comp_frac = actual.avg_comp_cycles() / s.span_cycles;
+    s.dma_stall_frac = actual.avg_dma_wait_cycles() / s.span_cycles;
+    s.gload_stall_frac = actual.avg_gload_wait_cycles() / s.span_cycles;
+    s.barrier_frac = actual.avg_barrier_wait_cycles() / s.span_cycles;
+  }
+  s.roofline_memory_bound = roofline.memory_bound;
+  s.ng_dma = predicted.ng_dma;
+  // Eq. 11 splits a request's latency into the fixed L_base and the
+  // issue-serialization tail (MRT−1)·Δ; when the tail dominates, widening
+  // bandwidth or overlapping more requests cannot help — the CPE's own
+  // issue rate is the limit.
+  if (predicted.l_avg_dma > 0.0 && predicted.avg_mrt_dma > 1.0) {
+    s.issue_gap_frac = (predicted.avg_mrt_dma - 1.0) *
+                       arch.delta_delay_cycles / predicted.l_avg_dma;
+  }
+  return s;
+}
+
+// The rule chain, first match wins.  Thresholds are fixed constants so
+// the labels are stable artifacts (golden fixtures pin them per kernel):
+//   1. saturated controllers        -> memory-bandwidth-bound
+//   2. Gload stalls dominate        -> gload-latency-bound
+//   3. DMA stalls dominate:
+//        enough in-flight requests  -> memory-bandwidth-bound
+//        issue tail dominates L_avg -> issue-bound
+//        otherwise                  -> dma-latency-bound
+//   4. most CPEs idle, nothing saturated -> under-occupied
+//   5. compute dominates            -> compute-bound
+//   6. barrier imbalance dominates  -> barrier-bound
+//   7. otherwise                    -> balanced
+Classification classify(const Signals& s) {
+  constexpr double kSaturated = 0.75;
+  constexpr double kStall = 0.30;
+  constexpr double kIssueTail = 0.50;
+  constexpr double kOccupied = 0.50;
+  constexpr double kCompute = 0.60;
+  constexpr double kBarrier = 0.25;
+
+  if (s.span_cycles <= 0.0) {
+    return {Label::kBalanced, "empty launch: nothing executed"};
+  }
+  if (s.mem_busy_frac >= kSaturated) {
+    return {Label::kMemoryBandwidthBound,
+            "memory controllers busy " + pct(s.mem_busy_frac) +
+                " of the span (>= " + pct(kSaturated) +
+                (s.roofline_memory_bound ? "); roofline agrees: memory-bound"
+                                         : ")")};
+  }
+  if (s.gload_stall_frac >= kStall &&
+      s.gload_stall_frac >= s.dma_stall_frac) {
+    return {Label::kGloadLatencyBound,
+            "CPEs stalled on serial Gload round-trips " +
+                pct(s.gload_stall_frac) + " of the span (>= " + pct(kStall) +
+                ")"};
+  }
+  if (s.dma_stall_frac >= kStall) {
+    if (s.ng_dma > 1.0) {
+      return {Label::kMemoryBandwidthBound,
+              "DMA stalls " + pct(s.dma_stall_frac) + " of the span with NG=" +
+                  num(s.ng_dma) +
+                  " > 1 virtual groups: enough requests in flight to "
+                  "saturate bandwidth"};
+    }
+    if (s.issue_gap_frac >= kIssueTail) {
+      return {Label::kIssueBound,
+              "DMA stalls " + pct(s.dma_stall_frac) +
+                  " of the span and the (MRT-1)*delta issue tail is " +
+                  pct(s.issue_gap_frac) + " of request latency (>= " +
+                  pct(kIssueTail) + ")"};
+    }
+    return {Label::kDmaLatencyBound,
+            "DMA stalls " + pct(s.dma_stall_frac) + " of the span with NG=" +
+                num(s.ng_dma) +
+                " <= 1 virtual groups: round-trip latency, not bandwidth"};
+  }
+  if (s.occupancy <= kOccupied) {
+    return {Label::kUnderOccupied,
+            "only " + pct(s.occupancy) +
+                " of CPEs active and no resource saturated (memory busy " +
+                pct(s.mem_busy_frac) + ")"};
+  }
+  if (s.comp_frac >= kCompute) {
+    return {Label::kComputeBound,
+            "CPE pipelines computing " + pct(s.comp_frac) +
+                " of the span (>= " + pct(kCompute) + ")"};
+  }
+  if (s.barrier_frac >= kBarrier) {
+    return {Label::kBarrierBound,
+            "CPEs parked at barriers " + pct(s.barrier_frac) +
+                " of the span (>= " + pct(kBarrier) + "): load imbalance"};
+  }
+  return {Label::kBalanced,
+          "no signal clears its threshold (memory " + pct(s.mem_busy_frac) +
+              ", compute " + pct(s.comp_frac) + ", dma stalls " +
+              pct(s.dma_stall_frac) + ")"};
+}
+
+}  // namespace swperf::explain

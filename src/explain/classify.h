@@ -1,0 +1,74 @@
+// Deterministic bottleneck classification — the rule-based half of the
+// explain engine (modeled on rocm-perf-lab's analysis.json classifier
+// and Kerncraft's automated roofline/ECM attribution).
+//
+// The signals come only from trace-free artifacts — the static summary,
+// the untraced SimResult, the analytic model's virtual-grouping
+// internals (Eq. 9–12), and the roofline position — so the same label is
+// produced whether or not a trace was recorded: `swperf explain` and the
+// optimizer's cheap per-round query agree by construction.  classify()
+// is a pure, total, ordered rule chain: every input gets exactly one
+// label, and equal signals always get equal labels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/model.h"
+#include "model/roofline.h"
+#include "sim/machine.h"
+#include "sw/arch.h"
+#include "swacc/summary.h"
+
+namespace swperf::explain {
+
+enum class Label : std::uint8_t {
+  kMemoryBandwidthBound,  // controllers saturated; less traffic, not less
+                          // latency, is the cure
+  kDmaLatencyBound,       // stalled on request round-trips with bandwidth
+                          // to spare; overlap/double-buffer first
+  kIssueBound,            // the (MRT−1)·Δ issue serialization dominates
+                          // request latency; restructure requests
+  kGloadLatencyBound,     // serial Gload round-trips dominate
+  kUnderOccupied,         // most CPEs idle and no resource saturated
+  kComputeBound,          // CPE pipelines dominate the span
+  kBarrierBound,          // imbalance parked at barriers
+  kBalanced,              // nothing clears a threshold
+};
+
+/// Stable kebab-case name ("memory-bandwidth-bound", ...).
+const char* label_name(Label l);
+
+/// The classifier's inputs, all span-normalized fractions unless noted.
+struct Signals {
+  double span_cycles = 0.0;
+  double occupancy = 0.0;       // active CPEs / machine capacity
+  double mem_busy_frac = 0.0;   // controller busy / (span × controllers)
+  double comp_frac = 0.0;       // avg CPE compute / span
+  double dma_stall_frac = 0.0;  // avg CPE dma wait / span
+  double gload_stall_frac = 0.0;
+  double barrier_frac = 0.0;
+  bool roofline_memory_bound = false;  // transaction-aware roofline
+  double ng_dma = 0.0;          // Eq. 9: virtual groups; >1 ⇒ the launch
+                                // has enough requests in flight to saturate
+  double issue_gap_frac = 0.0;  // (avg_MRT−1)·Δ / L_avg (Eq. 11 split)
+};
+
+struct Classification {
+  Label label = Label::kBalanced;
+  /// One deterministic sentence naming the signal(s) that fired the rule.
+  std::string evidence;
+};
+
+/// Derives the classifier signals for one evaluated launch.  `actual`
+/// may be traced or untraced — only its aggregate stats are read.
+Signals gather_signals(const swacc::StaticSummary& summary,
+                       const sim::SimResult& actual,
+                       const model::Prediction& predicted,
+                       const model::RooflinePrediction& roofline,
+                       const sw::ArchParams& arch);
+
+/// First-match ordered rule chain; see classify.cpp for the rules.
+Classification classify(const Signals& s);
+
+}  // namespace swperf::explain

@@ -1,0 +1,124 @@
+#include "explain/dag.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sw/error.h"
+
+namespace swperf::explain {
+
+namespace {
+
+using sim::Activity;
+using sim::TraceEvent;
+
+/// A candidate predecessor: following it hands the walk off at
+/// `eff_end` (the tick up to which the candidate's chain explains time).
+struct Candidate {
+  std::uint64_t event = sim::kNoPred;
+  sw::Tick eff_end = 0;
+};
+
+void consider(Candidate& best, std::uint64_t event, sw::Tick eff_end) {
+  if (event == sim::kNoPred) return;
+  // Latest handoff wins; ties break toward the smallest event id so the
+  // walk is deterministic and engine-independent.
+  if (best.event == sim::kNoPred || eff_end > best.eff_end ||
+      (eff_end == best.eff_end && event < best.event)) {
+    best = {event, eff_end};
+  }
+}
+
+}  // namespace
+
+ExecutionDag::ExecutionDag(const sim::Trace& trace) {
+  const auto& ev = trace.events;
+  const std::uint32_t n_lanes = trace.n_cpes + trace.n_controllers;
+  lanes_.resize(n_lanes);
+  for (std::uint32_t l = 0; l < n_lanes; ++l) {
+    lanes_[l].lane = l;
+    lanes_[l].busy = trace.lane_busy(l);
+  }
+  span_ = trace.span();
+  if (ev.empty() || span_ == 0) {
+    for (auto& l : lanes_) l.slack = span_;
+    return;
+  }
+
+  // Per-lane emission order is time order; remember each event's
+  // predecessor on its own lane.
+  std::vector<std::uint64_t> lane_pred(ev.size(), sim::kNoPred);
+  std::vector<std::uint64_t> last_on_lane(n_lanes, sim::kNoPred);
+  // Barrier joins: ordinal -> member events.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> barriers;
+  std::uint64_t finish = 0;
+  for (std::uint64_t i = 0; i < ev.size(); ++i) {
+    const TraceEvent& e = ev[i];
+    SWPERF_CHECK(e.lane < n_lanes, "trace event lane out of range");
+    lane_pred[i] = last_on_lane[e.lane];
+    last_on_lane[e.lane] = i;
+    if (e.what == Activity::kBarrier) barriers[e.req].push_back(i);
+    const TraceEvent& f = ev[finish];
+    if (e.end > f.end || (e.end == f.end && i < finish)) finish = i;
+  }
+
+  // Backward walk from the finish event.  Each hop picks the predecessor
+  // whose chain hands off latest: the same-lane predecessor, the causal
+  // link, or — at a barrier — the chain that produced the latest arrival
+  // among all the barrier's members.
+  std::vector<CriticalStep> rpath;
+  std::uint64_t cur = finish;
+  // Guard against cycles (impossible by construction: every edge points
+  // to a smaller id or an earlier same-lane event, but keep the walk
+  // total anyway).
+  for (std::size_t hops = 0; hops <= ev.size(); ++hops) {
+    const TraceEvent& e = ev[cur];
+    Candidate best;
+    consider(best, lane_pred[cur], lane_pred[cur] == sim::kNoPred
+                                       ? 0
+                                       : ev[lane_pred[cur]].end);
+    if (e.pred != sim::kNoPred) consider(best, e.pred, ev[e.pred].end);
+    if (e.what == Activity::kBarrier) {
+      for (const std::uint64_t m : barriers[e.req]) {
+        if (m == cur) continue;
+        // The member's own wait is not on the path — the chain *leading
+        // to* its arrival is, so hand off through its lane predecessor.
+        consider(best, lane_pred[m], lane_pred[m] == sim::kNoPred
+                                         ? 0
+                                         : ev[lane_pred[m]].end);
+      }
+    }
+
+    const sw::Tick handoff =
+        best.event == sim::kNoPred ? 0 : std::min(best.eff_end, e.end);
+    const sw::Tick covered = std::max(handoff, e.begin);
+    rpath.push_back({cur, e.end > covered ? e.end - covered : 0});
+    if (covered > handoff) breakdown_.idle += covered - handoff;
+    if (best.event == sim::kNoPred) break;
+    cur = best.event;
+  }
+
+  path_.assign(rpath.rbegin(), rpath.rend());
+  for (const auto& step : path_) {
+    const TraceEvent& e = ev[step.event];
+    lanes_[e.lane].critical += step.attributed;
+    switch (e.what) {
+      case Activity::kCompute: breakdown_.compute += step.attributed; break;
+      case Activity::kDmaWait: breakdown_.dma_wait += step.attributed; break;
+      case Activity::kGloadWait:
+        breakdown_.gload_wait += step.attributed;
+        break;
+      case Activity::kBarrier: breakdown_.barrier += step.attributed; break;
+      case Activity::kMemService:
+        breakdown_.mem_service += step.attributed;
+        break;
+      case Activity::kDmaIssue: break;  // zero-duration by construction
+    }
+  }
+  for (auto& l : lanes_) l.slack = span_ - l.critical;
+  SWPERF_CHECK(breakdown_.total() == span_,
+               "critical path attribution " << breakdown_.total()
+                                            << " != span " << span_);
+}
+
+}  // namespace swperf::explain

@@ -1,0 +1,77 @@
+// Execution DAG over the simulator's causal trace events.
+//
+// The trace (sim/trace.h) already carries the edges: same-lane program
+// order, per-request DMA chains (issue → service → ... → wait), Gload
+// grant → interleaved compute, and barrier joins (all arrivals sharing a
+// barrier ordinal gate the release).  This module walks those edges
+// backward from the finish event to extract the *critical path* — the
+// single causal chain that determines the span — attributing every tick
+// of the span either to an event on the path or to idle gaps, plus the
+// per-lane slack (how far off the critical path each CPE / memory
+// controller sits).  The walk is deterministic: ties between equally
+// late predecessors break toward the smallest event id, so two runs (or
+// the two engines) produce byte-identical paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/trace.h"
+#include "sw/time.h"
+
+namespace swperf::explain {
+
+/// One hop of the critical path, in time order.  `attributed` is the
+/// slice of the span this hop is responsible for: its event's duration
+/// clipped against the handoff from the previous hop, so the hops'
+/// attributed ticks plus the recorded idle gaps sum exactly to the span.
+struct CriticalStep {
+  std::uint64_t event = 0;
+  sw::Tick attributed = 0;
+};
+
+/// Span ticks attributed per activity class along the critical path.
+/// kDmaWait attribution is the latency tail between the request's last
+/// memory grant and the CPE's resume — the part no bandwidth increase
+/// can remove — because the wait event's predecessor is that grant.
+struct CriticalBreakdown {
+  sw::Tick compute = 0;
+  sw::Tick dma_wait = 0;
+  sw::Tick gload_wait = 0;
+  sw::Tick barrier = 0;
+  sw::Tick mem_service = 0;
+  sw::Tick idle = 0;  // gaps between consecutive hops (and before the first)
+
+  sw::Tick total() const {
+    return compute + dma_wait + gload_wait + barrier + mem_service + idle;
+  }
+};
+
+/// How much of the span one lane spends on the critical path.
+struct LaneSlack {
+  std::uint32_t lane = 0;
+  sw::Tick busy = 0;      // useful work (compute / service) on the lane
+  sw::Tick critical = 0;  // ticks attributed to this lane's events
+  sw::Tick slack = 0;     // span − critical
+};
+
+class ExecutionDag {
+ public:
+  explicit ExecutionDag(const sim::Trace& trace);
+
+  sw::Tick span() const { return span_; }
+  /// The critical path in time order (first hop starts the chain).  Empty
+  /// for an empty trace.
+  const std::vector<CriticalStep>& critical_path() const { return path_; }
+  const CriticalBreakdown& breakdown() const { return breakdown_; }
+  /// One entry per lane (CPEs first, then controllers), lane order.
+  const std::vector<LaneSlack>& lane_slack() const { return lanes_; }
+
+ private:
+  sw::Tick span_ = 0;
+  std::vector<CriticalStep> path_;
+  CriticalBreakdown breakdown_;
+  std::vector<LaneSlack> lanes_;
+};
+
+}  // namespace swperf::explain

@@ -1,0 +1,148 @@
+#include "explain/explain.h"
+
+#include "model/roofline.h"
+#include "serde/serde.h"
+#include "sw/error.h"
+
+namespace swperf::explain {
+
+Explanation explain(const swacc::LoweredKernel& lk,
+                    const sim::SimResult& traced,
+                    const model::PerfModel& model) {
+  const swacc::StaticSummary& summary = lk.summary;
+  const model::Prediction pred = model.predict(summary);
+  const model::RooflinePrediction roof =
+      model::RooflineModel(model.arch(), /*transaction_aware=*/true)
+          .predict(summary);
+
+  Explanation e;
+  e.kernel = summary.kernel;
+  e.params = summary.params;
+  e.time_cycles = traced.total_cycles();
+  e.operational_intensity = roof.arithmetic_intensity;
+  e.roofline_memory_bound = roof.memory_bound;
+  e.signals = gather_signals(summary, traced, pred, roof, model.arch());
+
+  const ExecutionDag dag(traced.trace);
+  e.span_cycles = sw::ticks_to_cycles(dag.span());
+  e.trace_events = traced.trace.events.size();
+  e.path = dag.critical_path();
+  e.breakdown = dag.breakdown();
+
+  // Aggregate lane slack into the schedulable resources: the CPE compute
+  // array as one resource, each memory controller on its own, and the
+  // barrier network.
+  const auto& lanes = dag.lane_slack();
+  const double span = sw::ticks_to_cycles(dag.span());
+  const std::uint32_t n_cpes = traced.trace.n_cpes;
+  {
+    ResourceSlack cpe;
+    cpe.resource = "cpe_compute";
+    double critical = 0.0;
+    for (std::uint32_t l = 0; l < n_cpes; ++l) {
+      cpe.busy_cycles += sw::ticks_to_cycles(lanes[l].busy);
+    }
+    critical = sw::ticks_to_cycles(dag.breakdown().compute);
+    cpe.critical_cycles = critical;
+    cpe.slack_cycles = span - critical;
+    cpe.utilization =
+        span > 0.0 && n_cpes > 0 ? cpe.busy_cycles / (span * n_cpes) : 0.0;
+    e.slack.push_back(cpe);
+  }
+  for (std::uint32_t mc = 0; mc < traced.trace.n_controllers; ++mc) {
+    const LaneSlack& lane = lanes[n_cpes + mc];
+    ResourceSlack r;
+    r.resource = "mem" + std::to_string(mc);
+    r.busy_cycles = sw::ticks_to_cycles(lane.busy);
+    r.critical_cycles = sw::ticks_to_cycles(lane.critical);
+    r.slack_cycles = sw::ticks_to_cycles(lane.slack);
+    r.utilization = span > 0.0 ? r.busy_cycles / span : 0.0;
+    e.slack.push_back(r);
+  }
+  {
+    ResourceSlack bar;
+    bar.resource = "barrier";
+    double waited = 0.0;
+    for (const auto& c : traced.cpes) {
+      waited += sw::ticks_to_cycles(c.barrier_wait);
+    }
+    bar.busy_cycles = waited;
+    bar.critical_cycles = sw::ticks_to_cycles(dag.breakdown().barrier);
+    bar.slack_cycles = span - bar.critical_cycles;
+    bar.utilization = span > 0.0 && n_cpes > 0
+                          ? waited / (span * n_cpes)
+                          : 0.0;
+    e.slack.push_back(bar);
+  }
+
+  const Classification c = classify(e.signals);
+  e.label = c.label;
+  e.evidence = c.evidence;
+  return e;
+}
+
+namespace {
+
+serde::Json to_json(const CriticalBreakdown& b) {
+  serde::Json j = serde::Json::object();
+  j.set("compute", sw::ticks_to_cycles(b.compute));
+  j.set("dma_latency", sw::ticks_to_cycles(b.dma_wait));
+  j.set("gload", sw::ticks_to_cycles(b.gload_wait));
+  j.set("barrier", sw::ticks_to_cycles(b.barrier));
+  j.set("mem_service", sw::ticks_to_cycles(b.mem_service));
+  j.set("idle", sw::ticks_to_cycles(b.idle));
+  return j;
+}
+
+serde::Json to_json(const ResourceSlack& r) {
+  serde::Json j = serde::Json::object();
+  j.set("resource", r.resource);
+  j.set("busy_cycles", r.busy_cycles);
+  j.set("critical_cycles", r.critical_cycles);
+  j.set("slack_cycles", r.slack_cycles);
+  j.set("utilization", r.utilization);
+  return j;
+}
+
+serde::Json to_json(const Signals& s) {
+  serde::Json j = serde::Json::object();
+  j.set("occupancy", s.occupancy);
+  j.set("mem_busy_frac", s.mem_busy_frac);
+  j.set("comp_frac", s.comp_frac);
+  j.set("dma_stall_frac", s.dma_stall_frac);
+  j.set("gload_stall_frac", s.gload_stall_frac);
+  j.set("barrier_frac", s.barrier_frac);
+  j.set("ng_dma", s.ng_dma);
+  j.set("issue_gap_frac", s.issue_gap_frac);
+  return j;
+}
+
+}  // namespace
+
+serde::Json to_json(const Explanation& e) {
+  serde::Json j = serde::Json::object();
+  j.set("kernel", e.kernel);
+  j.set("params", serde::to_json(e.params));
+  j.set("time_cycles", e.time_cycles);
+  j.set("operational_intensity", e.operational_intensity);
+  j.set("roofline_position",
+        e.roofline_memory_bound ? "memory-bound" : "compute-bound");
+
+  serde::Json cp = serde::Json::object();
+  cp.set("span_cycles", e.span_cycles);
+  cp.set("trace_events", e.trace_events);
+  cp.set("path_events", static_cast<std::uint64_t>(e.path.size()));
+  cp.set("breakdown_cycles", to_json(e.breakdown));
+  j.set("critical_path", std::move(cp));
+
+  serde::Json slack = serde::Json::array();
+  for (const auto& r : e.slack) slack.push_back(to_json(r));
+  j.set("slack", std::move(slack));
+
+  j.set("signals", to_json(e.signals));
+  j.set("bottleneck", label_name(e.label));
+  j.set("evidence", e.evidence);
+  return j;
+}
+
+}  // namespace swperf::explain

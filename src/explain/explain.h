@@ -1,0 +1,67 @@
+// The explain engine: turns one traced simulation into an explanation —
+// critical path, per-resource slack, and a deterministic bottleneck
+// label — rendered as an `analysis.json`-shaped artifact.
+//
+// Consumes the causal trace (sim/trace.h) through the execution DAG
+// (explain/dag.h) and the trace-free classifier (explain/classify.h);
+// surfaced as `pipeline::Session::explain()`, the `swperf explain`
+// subcommand, and the `explain` stage of `swperf eval`.  The label also
+// drives the closed-loop optimizer's proposal ordering (src/transform/).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "explain/classify.h"
+#include "explain/dag.h"
+#include "model/model.h"
+#include "serde/json.h"
+#include "swacc/lower.h"
+
+namespace swperf::explain {
+
+/// Slack of one schedulable resource against the critical path.
+struct ResourceSlack {
+  std::string resource;  // "cpe_compute", "mem<i>", "barrier"
+  double busy_cycles = 0.0;      // useful work booked on the resource
+  double critical_cycles = 0.0;  // span attributed to it on the path
+  double slack_cycles = 0.0;     // span − critical
+  double utilization = 0.0;      // busy / available span on the resource
+};
+
+/// The complete explanation of one kernel launch.
+struct Explanation {
+  std::string kernel;
+  swacc::LaunchParams params;
+
+  double time_cycles = 0.0;
+  double operational_intensity = 0.0;  // transaction-aware roofline AI
+  bool roofline_memory_bound = false;
+
+  // Critical path over the causal trace.  `span_cycles` is the trace's
+  // own span (what the breakdown telescopes to exactly); it equals
+  // time_cycles whenever the last thing a CPE does is observable.
+  double span_cycles = 0.0;
+  std::uint64_t trace_events = 0;
+  std::vector<CriticalStep> path;
+  CriticalBreakdown breakdown;
+  std::vector<ResourceSlack> slack;
+
+  Signals signals;
+  Label label = Label::kBalanced;
+  std::string evidence;
+};
+
+/// Explains one lowered launch from its traced simulation.  The label is
+/// computed from trace-free signals only, so it matches what
+/// Session::bottleneck() returns for the same launch without a trace.
+Explanation explain(const swacc::LoweredKernel& lk,
+                    const sim::SimResult& traced,
+                    const model::PerfModel& model);
+
+/// Deterministic JSON rendering (the analysis.json-shaped artifact);
+/// schema documented in docs/EXPLAIN.md.  Contains no wall-clock or
+/// host-dependent fields, so equal explanations render to equal bytes.
+serde::Json to_json(const Explanation& e);
+
+}  // namespace swperf::explain

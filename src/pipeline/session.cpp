@@ -95,6 +95,24 @@ model::Prediction Session::predict(const swacc::KernelDesc& kernel,
   return model_.predict(lower(kernel, params).summary);
 }
 
+explain::Explanation Session::explain(const swacc::KernelDesc& kernel,
+                                      const swacc::LaunchParams& params) {
+  const auto& lk = lower(kernel, params);
+  return explain::explain(lk, simulate_traced(kernel, params), model_);
+}
+
+explain::Classification Session::bottleneck(
+    const swacc::KernelDesc& kernel, const swacc::LaunchParams& params) {
+  const auto& lk = lower(kernel, params);
+  const sim::SimResult& actual = simulate(kernel, params);
+  const model::Prediction pred = model_.predict(lk.summary);
+  const model::RooflinePrediction roof =
+      model::RooflineModel(arch_, /*transaction_aware=*/true)
+          .predict(lk.summary);
+  return explain::classify(
+      explain::gather_signals(lk.summary, actual, pred, roof, arch_));
+}
+
 Evaluation Session::evaluate(const swacc::KernelDesc& kernel,
                              const swacc::LaunchParams& params) {
   Evaluation e;

@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "analysis/checker.h"
+#include "explain/explain.h"
 #include "model/model.h"
 #include "serde/json.h"
 #include "sim/machine.h"
@@ -94,6 +95,19 @@ class Session {
   /// Static model prediction from the memoized lowering's summary.
   model::Prediction predict(const swacc::KernelDesc& kernel,
                             const swacc::LaunchParams& params);
+
+  /// Full explanation of the launch: critical path and per-resource slack
+  /// over a traced simulation plus the bottleneck label.  The trace is
+  /// one-shot (not memoized, like simulate_traced); the label always
+  /// equals bottleneck()'s for the same launch.
+  explain::Explanation explain(const swacc::KernelDesc& kernel,
+                               const swacc::LaunchParams& params);
+
+  /// The bottleneck label alone, from trace-free signals (memoized
+  /// lowering + simulation) — cheap enough for the optimizer to query
+  /// every round.
+  explain::Classification bottleneck(const swacc::KernelDesc& kernel,
+                                     const swacc::LaunchParams& params);
 
   /// lower + simulate + predict in one call, sharing the memo tables.
   Evaluation evaluate(const swacc::KernelDesc& kernel,

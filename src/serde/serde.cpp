@@ -427,6 +427,46 @@ Json to_json(const sim::SimResult& r) {
   return j;
 }
 
+Json to_json(const sim::TraceEvent& e) {
+  Json j = Json::object();
+  j.set("lane", e.lane);
+  j.set("what", sim::activity_name(e.what));
+  j.set("begin_ticks", e.begin);
+  j.set("end_ticks", e.end);
+  j.set("op", e.op == sim::kNoOp ? Json() : Json(e.op));
+  j.set("handle", e.handle == sim::kNoHandle ? Json() : Json(e.handle));
+  j.set("req", e.req == sim::kNoReq ? Json() : Json(e.req));
+  j.set("pred", e.pred == sim::kNoPred ? Json() : Json(e.pred));
+  return j;
+}
+
+Json to_json(const sim::Trace& t) {
+  Json j = Json::object();
+  j.set("n_cpes", t.n_cpes);
+  j.set("n_controllers", t.n_controllers);
+  const sw::Tick span = t.span();
+  j.set("span_ticks", span);
+  j.set("span_cycles", sw::ticks_to_cycles(span));
+  Json lanes = Json::array();
+  const std::uint32_t n_lanes = t.n_cpes + t.n_controllers;
+  for (std::uint32_t lane = 0; lane < n_lanes; ++lane) {
+    Json l = Json::object();
+    l.set("lane", lane);
+    l.set("kind", lane < t.n_cpes ? "cpe" : "mem");
+    const sw::Tick busy = t.lane_busy(lane);
+    l.set("busy_ticks", busy);
+    l.set("utilization", span > 0 ? static_cast<double>(busy) /
+                                        static_cast<double>(span)
+                                  : 0.0);
+    lanes.push_back(std::move(l));
+  }
+  j.set("lanes", std::move(lanes));
+  Json events = Json::array();
+  for (const auto& e : t.events) events.push_back(to_json(e));
+  j.set("events", std::move(events));
+  return j;
+}
+
 Json to_json(const analysis::Diagnostic& d) {
   Json j = Json::object();
   j.set("severity", analysis::severity_name(d.severity));

@@ -59,6 +59,12 @@ Json to_json(const model::CalibratedParams& c);
 Json to_json(const sim::CpeStats& s);
 Json to_json(const sim::SimCounters& c);
 Json to_json(const sim::SimResult& r);
+/// One causal trace event; sentinel fields (no op / no handle / no
+/// request / no predecessor) render as null.
+Json to_json(const sim::TraceEvent& e);
+/// The full causal trace (`swperf timeline --json`): lane shape, span in
+/// ticks and cycles, per-lane busy time and utilization, and the events.
+Json to_json(const sim::Trace& t);
 Json to_json(const analysis::Diagnostic& d);
 Json to_json(const analysis::Diagnostics& diags);
 /// Legality facts of one launch (`swperf check --analyze`): launch_legal,

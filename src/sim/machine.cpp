@@ -32,6 +32,12 @@ std::uint64_t handle_slot(int handle) {
                                    : static_cast<std::uint64_t>(handle) + 1;
 }
 
+/// The handle as exposed in TraceEvent: -1 for the blocking pseudo-handle
+/// (the DmaOp spelling), the async handle id otherwise.
+std::int32_t public_handle(int handle) {
+  return handle == kBlockingHandle ? -1 : handle;
+}
+
 enum class EvKind : std::uint8_t {
   kResume = 0,
   kDmaArrival = 1,  // one transaction (reference engine only)
@@ -61,6 +67,16 @@ struct Request {
   // so the pop order — and with it every result byte — is unchanged.
   std::uint64_t issue_remaining = 0;
   std::uint64_t train_seq = 0;
+
+  // Causal identity for the trace.  Request ids are assigned at issue in
+  // program-step order, which both engines share, so the ids — and the
+  // event links built from them — are engine-independent.  They stay
+  // valid after completion (a dma_wait may observe an already-complete
+  // request) until the slot is reissued.
+  std::uint64_t req_id = kNoReq;
+  std::uint32_t issue_op = kNoOp;       // DmaOp index in the program
+  std::uint64_t issue_ev = kNoPred;     // kDmaIssue event id
+  std::uint64_t last_service_ev = kNoPred;  // latest kMemService event id
 };
 
 struct Cpe {
@@ -68,10 +84,12 @@ struct Cpe {
   std::size_t pc = 0;
   bool done = false;
 
-  // Gload loop progress at the current op.
+  // Gload loop progress at the current op.  Each serial Gload round-trip
+  // is its own request for trace purposes.
   bool in_gload = false;
   std::uint64_t gload_remaining = 0;
   sw::Tick gload_issue = 0;
+  std::uint64_t gload_req = kNoReq;
 
   // Waiting state: kNoWait, kBlockingHandle, or an async handle id.
   static constexpr int kNoWait = -1;
@@ -125,7 +143,7 @@ class Engine {
       total_ops += programs[i].ops.size();
     }
     if (cfg_.trace) {
-      trace_.intervals.reserve(std::min<std::size_t>(4 * total_ops, 1 << 20));
+      trace_.events.reserve(std::min<std::size_t>(5 * total_ops, 1 << 20));
     }
   }
 
@@ -196,11 +214,15 @@ class Engine {
     events_.push(Ev{tick, seq_++, kind, cpe, handle});
   }
 
-  void record(std::uint32_t lane, Activity what, sw::Tick begin,
-              sw::Tick end) {
-    if (cfg_.trace && end > begin) {
-      trace_.intervals.push_back(Interval{lane, what, begin, end});
-    }
+  /// Appends a causal event and returns its id (its index in the event
+  /// vector).  Zero-length spans are dropped — except kDmaIssue, which is
+  /// a point event by design — and tracing-off returns kNoPred, so causal
+  /// links degrade to "no predecessor" rather than dangling.
+  std::uint64_t record(TraceEvent e) {
+    if (!cfg_.trace) return kNoPred;
+    if (e.end <= e.begin && e.what != Activity::kDmaIssue) return kNoPred;
+    trace_.events.push_back(e);
+    return trace_.events.size() - 1;
   }
 
   /// Routes a transaction to a controller (cross-section memory interleaves
@@ -216,16 +238,45 @@ class Engine {
   /// Handles a granted transaction: schedules the controller's next service
   /// slot and routes the data-return to the owning request/gload.
   void deliver(std::uint32_t mc_idx, const mem::MemoryController::Grant& g) {
+    schedule(controllers_[mc_idx].busy_until(), EvKind::kMcService, mc_idx);
+    serve(mc_idx, g);
+  }
+
+  /// Records the service slot as a causal kMemService event — linked back
+  /// to the owning request's issue point through its per-request service
+  /// chain — then routes the data-return.  Shared verbatim by the event
+  /// loop and the fast-forward replay, so both paths emit the same events.
+  void serve(std::uint32_t mc_idx, const mem::MemoryController::Grant& g) {
     auto& mc = controllers_[mc_idx];
-    schedule(mc.busy_until(), EvKind::kMcService, mc_idx);
-    record(trace_.n_cpes + mc_idx, Activity::kMemService,
-           mc.busy_until() - mc.service_ticks(), mc.busy_until());
-    data_return(g);
+    const sw::Tick svc_begin = mc.busy_until() - mc.service_ticks();
+    const sw::Tick svc_end = mc.busy_until();
+    const std::uint32_t lane = trace_.n_cpes + mc_idx;
+
+    const auto cpe_id = static_cast<std::uint32_t>(g.stream / kSlotsPerCpe);
+    const std::uint64_t slot = g.stream % kSlotsPerCpe;
+    Cpe& c = cpes_[cpe_id];
+    std::uint64_t service_ev = kNoPred;
+    if (slot == kSlotGload) {
+      service_ev = record({lane, Activity::kMemService, svc_begin, svc_end,
+                           static_cast<std::uint32_t>(c.pc), kNoHandle,
+                           c.gload_req, kNoPred});
+    } else {
+      const int handle =
+          slot == kSlotBlocking ? kBlockingHandle : static_cast<int>(slot) - 1;
+      Request& r = request_slot(c, handle);
+      const std::uint64_t pred =
+          r.last_service_ev != kNoPred ? r.last_service_ev : r.issue_ev;
+      service_ev = record({lane, Activity::kMemService, svc_begin, svc_end,
+                           r.issue_op, public_handle(handle), r.req_id, pred});
+      r.last_service_ev = service_ev;
+    }
+    data_return(g, service_ev);
   }
 
   /// Routes a grant's data-return to the owning request/gload and wakes
   /// the CPE when that completes the thing it is blocked on.
-  void data_return(const mem::MemoryController::Grant& g) {
+  void data_return(const mem::MemoryController::Grant& g,
+                   std::uint64_t service_ev) {
     const auto cpe_id = static_cast<std::uint32_t>(g.stream / kSlotsPerCpe);
     const std::uint64_t slot = g.stream % kSlotsPerCpe;
     Cpe& c = cpes_[cpe_id];
@@ -233,11 +284,15 @@ class Engine {
     if (slot == kSlotGload) {
       SWPERF_ASSERT(c.in_gload && c.gload_remaining > 0);
       const auto& op = std::get<GloadLoopOp>(c.prog->ops[c.pc]);
+      const auto op_idx = static_cast<std::uint32_t>(c.pc);
       c.stats.gload_wait += g.data_ready - c.gload_issue;
       c.stats.comp += op.compute_ticks_per_elem;
-      record(cpe_id, Activity::kGloadWait, c.gload_issue, g.data_ready);
-      record(cpe_id, Activity::kCompute, g.data_ready,
-             g.data_ready + op.compute_ticks_per_elem);
+      const std::uint64_t wait_ev =
+          record({cpe_id, Activity::kGloadWait, c.gload_issue, g.data_ready,
+                  op_idx, kNoHandle, c.gload_req, service_ev});
+      record({cpe_id, Activity::kCompute, g.data_ready,
+              g.data_ready + op.compute_ticks_per_elem, op_idx, kNoHandle,
+              kNoReq, wait_ev});
       --c.gload_remaining;
       schedule(g.data_ready + op.compute_ticks_per_elem, EvKind::kResume,
                cpe_id);
@@ -256,7 +311,9 @@ class Engine {
         // ran ahead through compute before blocking on an async handle).
         const sw::Tick resume = std::max(r.latest_done, c.wait_start);
         c.stats.dma_wait += resume - c.wait_start;
-        record(cpe_id, Activity::kDmaWait, c.wait_start, resume);
+        record({cpe_id, Activity::kDmaWait, c.wait_start, resume,
+                static_cast<std::uint32_t>(c.pc - 1), public_handle(handle),
+                r.req_id, r.last_service_ev});
         c.wait_handle = Cpe::kNoWait;
         schedule(resume, EvKind::kResume, cpe_id);
       }
@@ -311,11 +368,7 @@ class Engine {
         } else {
           g = mc.service(ts);
         }
-        if (g) {
-          record(trace_.n_cpes, Activity::kMemService,
-                 mc.busy_until() - mc.service_ticks(), mc.busy_until());
-          data_return(*g);
-        }
+        if (g) serve(0, *g);
       }
       r.issue_remaining = 0;
       ++counters_.trains_fast_forwarded;
@@ -341,9 +394,17 @@ class Engine {
   /// Issues a DMA request's transactions.  Fast engine: one train event
   /// whose seq block [seq_, seq_ + MRT) is reserved up front; reference:
   /// MRT individual arrival events (which consume the same seq values).
+  /// Both record the same zero-duration kDmaIssue point event, the root
+  /// of the request's causal chain.
   void issue_dma(sw::Tick t, std::uint32_t cpe_id, int slot, Request& r,
-                 const DmaOp& dma, std::uint64_t mrt) {
-    r = Request{mrt, 0, false};
+                 const DmaOp& dma, std::uint64_t mrt, std::uint32_t op_idx) {
+    r = Request{};
+    r.remaining = mrt;
+    r.complete = false;
+    r.req_id = next_req_++;
+    r.issue_op = op_idx;
+    r.issue_ev = record({cpe_id, Activity::kDmaIssue, t, t, op_idx,
+                         public_handle(slot), r.req_id, kNoPred});
     if constexpr (kFastPath) {
       r.issue_remaining = mrt;
       r.train_seq = seq_;
@@ -368,6 +429,7 @@ class Engine {
         if (c.gload_remaining > 0) {
           // Issue the next serial Gload; its data-return resumes us.
           c.gload_issue = t;
+          c.gload_req = next_req_++;
           schedule(t, EvKind::kGloadArrival, cpe_id);
           ++c.stats.gload_requests;
           return;
@@ -382,10 +444,11 @@ class Engine {
       }
 
       const Op& op = ops[c.pc];
+      const auto op_idx = static_cast<std::uint32_t>(c.pc);
       if (const auto* comp = std::get_if<ComputeOp>(&op)) {
         const sw::Tick dur = block_ticks(comp->block_id, comp->iters);
         c.stats.comp += dur;
-        record(cpe_id, Activity::kCompute, t, t + dur);
+        record({cpe_id, Activity::kCompute, t, t + dur, op_idx});
         t += dur;
         ++c.pc;
       } else if (const auto* delay = std::get_if<DelayOp>(&op)) {
@@ -403,7 +466,7 @@ class Engine {
         ++c.stats.dma_requests;
         ++c.pc;
         if (mrt == 0) continue;
-        issue_dma(t, cpe_id, slot, r, *dma, mrt);
+        issue_dma(t, cpe_id, slot, r, *dma, mrt, op_idx);
         if (slot == kBlockingHandle) {
           c.wait_handle = kBlockingHandle;
           c.wait_start = t;
@@ -421,7 +484,8 @@ class Engine {
         }
         if (r.latest_done > t) {
           c.stats.dma_wait += r.latest_done - t;
-          record(cpe_id, Activity::kDmaWait, t, r.latest_done);
+          record({cpe_id, Activity::kDmaWait, t, r.latest_done, op_idx,
+                  wait->handle, r.req_id, r.last_service_ev});
           t = r.latest_done;
         }
       } else if (const auto* gl = std::get_if<GloadLoopOp>(&op)) {
@@ -432,18 +496,22 @@ class Engine {
         c.gload_remaining = gl->count;
       } else if (std::get_if<BarrierOp>(&op)) {
         ++c.pc;
-        barrier_waiters_.push_back({cpe_id, t});
+        barrier_waiters_.push_back({cpe_id, t, op_idx});
         if (barrier_waiters_.size() == cpes_.size()) {
           // CPEs may run ahead of the event clock through local compute, so
           // the release time is the max arrival tick, not this event's tick.
           sw::Tick release = 0;
-          for (const auto& [wid, arrive] : barrier_waiters_) {
-            release = std::max(release, arrive);
+          for (const auto& w : barrier_waiters_) {
+            release = std::max(release, w.arrive);
           }
-          for (const auto& [wid, arrive] : barrier_waiters_) {
-            cpes_[wid].stats.barrier_wait += release - arrive;
-            record(wid, Activity::kBarrier, arrive, release);
-            schedule(release, EvKind::kResume, wid);
+          // All arrivals at one barrier share a req (the barrier ordinal):
+          // the explain DAG joins them into one synchronization node.
+          const std::uint64_t ordinal = next_barrier_++;
+          for (const auto& w : barrier_waiters_) {
+            cpes_[w.cpe].stats.barrier_wait += release - w.arrive;
+            record({w.cpe, Activity::kBarrier, w.arrive, release, w.op,
+                    kNoHandle, ordinal, kNoPred});
+            schedule(release, EvKind::kResume, w.cpe);
           }
           barrier_waiters_.clear();
         }
@@ -454,14 +522,22 @@ class Engine {
     }
   }
 
+  struct BarrierWaiter {
+    std::uint32_t cpe;
+    sw::Tick arrive;
+    std::uint32_t op;
+  };
+
   SimConfig cfg_;
   mem::DmaEngine dma_;
   std::vector<mem::MemoryController> controllers_;
   std::vector<isa::LoopSchedule> schedules_;
   std::vector<Cpe> cpes_;
-  std::vector<std::pair<std::uint32_t, sw::Tick>> barrier_waiters_;
+  std::vector<BarrierWaiter> barrier_waiters_;
   Queue events_;
   std::uint64_t seq_ = 0;
+  std::uint64_t next_req_ = 0;      // request ids, engine-independent
+  std::uint64_t next_barrier_ = 0;  // barrier ordinals
   std::size_t rr_ = 0;
   Trace trace_;
   SimCounters counters_;

@@ -15,14 +15,37 @@ char activity_glyph(Activity a) {
     case Activity::kGloadWait: return 'G';
     case Activity::kBarrier: return 'B';
     case Activity::kMemService: return '=';
+    case Activity::kDmaIssue: return '^';
   }
   return '?';
 }
 
+const char* activity_name(Activity a) {
+  switch (a) {
+    case Activity::kCompute: return "compute";
+    case Activity::kDmaWait: return "dma_wait";
+    case Activity::kGloadWait: return "gload_wait";
+    case Activity::kBarrier: return "barrier";
+    case Activity::kMemService: return "mem_service";
+    case Activity::kDmaIssue: return "dma_issue";
+  }
+  return "?";
+}
+
 sw::Tick Trace::span() const {
   sw::Tick m = 0;
-  for (const auto& i : intervals) m = std::max(m, i.end);
+  for (const auto& e : events) m = std::max(m, e.end);
   return m;
+}
+
+sw::Tick Trace::lane_busy(std::uint32_t lane) const {
+  const Activity busy =
+      lane < n_cpes ? Activity::kCompute : Activity::kMemService;
+  sw::Tick total = 0;
+  for (const auto& e : events) {
+    if (e.lane == lane && e.what == busy) total += e.end - e.begin;
+  }
+  return total;
 }
 
 std::string render_timeline(const Trace& trace, std::size_t width,
@@ -37,34 +60,39 @@ std::string render_timeline(const Trace& trace, std::size_t width,
   // Per visible lane, per column: ticks of each activity; densest wins.
   std::vector<std::vector<std::map<Activity, sw::Tick>>> cells(
       lanes, std::vector<std::map<Activity, sw::Tick>>(width));
+  std::vector<sw::Tick> busy(lanes, 0);
   const double ticks_per_col =
       static_cast<double>(span) / static_cast<double>(width);
 
-  for (const auto& iv : trace.intervals) {
-    if (iv.lane >= lanes || iv.end <= iv.begin) continue;
+  for (const auto& e : trace.events) {
+    if (e.lane >= lanes || e.end <= e.begin) continue;
+    const Activity lane_work =
+        e.lane < trace.n_cpes ? Activity::kCompute : Activity::kMemService;
+    if (e.what == lane_work) busy[e.lane] += e.end - e.begin;
     const auto c0 = static_cast<std::size_t>(
-        static_cast<double>(iv.begin) / ticks_per_col);
+        static_cast<double>(e.begin) / ticks_per_col);
     const auto c1 = std::min<std::size_t>(
         width - 1,
-        static_cast<std::size_t>(static_cast<double>(iv.end - 1) /
+        static_cast<std::size_t>(static_cast<double>(e.end - 1) /
                                  ticks_per_col));
     for (std::size_t c = c0; c <= c1; ++c) {
       const sw::Tick col_begin =
           static_cast<sw::Tick>(static_cast<double>(c) * ticks_per_col);
       const sw::Tick col_end = static_cast<sw::Tick>(
           static_cast<double>(c + 1) * ticks_per_col);
-      const sw::Tick overlap = std::min(iv.end, col_end) -
-                               std::max(iv.begin, col_begin);
-      cells[iv.lane][c][iv.what] += overlap;
+      const sw::Tick overlap = std::min(e.end, col_end) -
+                               std::max(e.begin, col_begin);
+      cells[e.lane][c][e.what] += overlap;
     }
   }
 
   std::ostringstream os;
-  os << "timeline: " << sw::ticks_to_cycles(span) << " cycles, "
-     << "one column = " << sw::ticks_to_cycles(static_cast<sw::Tick>(
-                               ticks_per_col))
-     << " cycles   [#]=compute [D]=dma wait [G]=gload [B]=barrier "
-        "[=]=memory busy\n";
+  os << "timeline: span " << sw::ticks_to_cycles(span) << " cycles ("
+     << span << " ticks), one column = "
+     << sw::ticks_to_cycles(static_cast<sw::Tick>(ticks_per_col))
+     << " cycles\n"
+     << "  [#]=compute [D]=dma wait [G]=gload [B]=barrier [=]=memory busy; "
+        "rows end with lane busy%\n";
   auto emit_lane = [&](std::uint32_t lane, const std::string& label) {
     os << label;
     for (std::size_t c = 0; c < width; ++c) {
@@ -79,7 +107,9 @@ std::string render_timeline(const Trace& trace, std::size_t width,
       }
       os << activity_glyph(best->first);
     }
-    os << '\n';
+    const auto pct = static_cast<unsigned>(
+        (200 * busy[lane] / span + 1) / 2);  // round-to-nearest percent
+    os << ' ' << pct << "%\n";
   };
 
   for (std::uint32_t cpe = 0; cpe < cpe_rows; ++cpe) {

@@ -1,14 +1,23 @@
-// Execution traces and timeline rendering.
+// Causal execution traces and timeline rendering.
 //
-// When enabled (SimConfig::trace), the simulator records every interval a
-// CPE spends computing, waiting on DMA, waiting on Gloads, or parked at a
-// barrier, plus every memory controller's service busy intervals.  The
-// renderer turns the trace into an ASCII Gantt chart — the picture of the
-// paper's Figure 4 (virtual groups' staggered requests overlapping other
-// groups' computation), regenerated from an actual simulation.
+// When enabled (SimConfig::trace), the simulator records a typed causal
+// event for every span a CPE spends computing, waiting on DMA, waiting on
+// Gloads, or parked at a barrier, plus every memory controller service
+// slot and every DMA issue point.  Each event carries the program op that
+// caused it, the DMA handle and request sequence number it belongs to,
+// and a predecessor link — enough to rebuild the execution DAG
+// (DMA issue → grant → data-return → compute block → barrier) that
+// src/explain/ walks for critical paths.  Both engines emit the exact
+// same event stream (pinned by tests/sim/fast_engine_test.cpp), so the
+// causal structure is engine-independent ground truth, not a rendering
+// artifact.  The renderer still turns the trace into an ASCII Gantt
+// chart — the picture of the paper's Figure 4 (virtual groups' staggered
+// requests overlapping other groups' computation), regenerated from an
+// actual simulation.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -22,32 +31,67 @@ enum class Activity : std::uint8_t {
   kGloadWait,   // 'G'
   kBarrier,     // 'B'
   kMemService,  // '=' (controller lanes)
+  kDmaIssue,    // zero-duration issue point on the CPE lane
 };
 
 char activity_glyph(Activity a);
+const char* activity_name(Activity a);  // "compute", "dma_wait", ...
 
-/// One traced interval on one lane.
-struct Interval {
+/// Sentinels for TraceEvent fields that do not apply to an event.
+inline constexpr std::uint32_t kNoOp = std::numeric_limits<std::uint32_t>::max();
+inline constexpr std::int32_t kNoHandle = std::numeric_limits<std::int32_t>::min();
+inline constexpr std::uint64_t kNoReq = std::numeric_limits<std::uint64_t>::max();
+inline constexpr std::uint64_t kNoPred = std::numeric_limits<std::uint64_t>::max();
+
+/// One traced causal event on one lane.  An event's id is its index in
+/// Trace::events; both engines emit events in the same order, so ids are
+/// engine-independent.  `pred` always points backward (pred < id).
+struct TraceEvent {
   std::uint32_t lane = 0;  // CPE id, or n_cpes + controller index
   Activity what = Activity::kCompute;
   sw::Tick begin = 0;
-  sw::Tick end = 0;
+  sw::Tick end = 0;  // == begin only for kDmaIssue points
+
+  /// Index of the CpeProgram op that caused this event (kNoOp if none):
+  /// the ComputeOp / GloadLoopOp / BarrierOp itself, the DmaOp for issue
+  /// and service events, the DmaOp or DmaWaitOp the CPE blocked on.
+  std::uint32_t op = kNoOp;
+  /// DMA handle: >= 0 async, -1 blocking, kNoHandle for non-DMA events.
+  std::int32_t handle = kNoHandle;
+  /// Request sequence number (global, monotone in issue order) for DMA
+  /// and Gload events; the barrier ordinal for kBarrier events (all
+  /// arrivals at one barrier share it); kNoReq otherwise.
+  std::uint64_t req = kNoReq;
+  /// Causal predecessor event id: the issue / previous service event for
+  /// kMemService, the last service event for kDmaWait/kGloadWait, the
+  /// Gload-wait event for a Gload's interleaved compute slice.  Same-lane
+  /// program order is implicit (events on one lane are emitted in time
+  /// order) and not repeated here.
+  std::uint64_t pred = kNoPred;
+
+  bool operator==(const TraceEvent&) const = default;
 };
 
 /// A complete trace of one simulation.
 struct Trace {
   std::uint32_t n_cpes = 0;
   std::uint32_t n_controllers = 0;
-  std::vector<Interval> intervals;
+  std::vector<TraceEvent> events;
 
-  bool empty() const { return intervals.empty(); }
+  bool empty() const { return events.empty(); }
   sw::Tick span() const;
+  /// Ticks lane `lane` spent doing useful work: compute on CPE lanes,
+  /// service slots on controller lanes.  Waits and barriers don't count.
+  sw::Tick lane_busy(std::uint32_t lane) const;
 };
 
 /// Renders `trace` as an ASCII Gantt chart `width` columns wide covering
 /// [0, trace.span()]. One row per CPE lane (capped at `max_cpe_rows`, the
-/// rest elided) plus one row per memory controller. When activities share
-/// a cell, the busier one wins.
+/// rest elided) plus one row per memory controller.  The header reports
+/// the total span; every row ends with that lane's utilization (busy% of
+/// span, compute for CPEs / service for controllers).  When activities
+/// share a cell, the busier one wins; zero-duration issue events are not
+/// drawn.
 std::string render_timeline(const Trace& trace, std::size_t width = 100,
                             std::uint32_t max_cpe_rows = 16);
 

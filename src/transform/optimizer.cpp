@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "analysis/diagnostic.h"
+#include "explain/classify.h"
 #include "sw/error.h"
 #include "sw/pool.h"
 #include "swacc/lower.h"
@@ -31,6 +32,56 @@ Sig warn_signature(const analysis::Diagnostics& diags) {
     }
   }
   return sig;
+}
+
+/// Priority of a pass family under a bottleneck label: lower ranks are
+/// tried first, the predicted score breaking ties within a rank.  The
+/// table encodes the paper's cures — saturated bandwidth wants less
+/// traffic (merge/retile/coalesce), exposed latency wants overlap
+/// (double-buffer), idle CPEs want occupancy — and leaves everything the
+/// label says nothing about at a common low priority, so guidance
+/// reorders the beam without ever excluding a candidate.
+int pass_rank(explain::Label label, PassKind kind) {
+  using explain::Label;
+  switch (label) {
+    case Label::kDmaLatencyBound:
+      if (kind == PassKind::kDoubleBuffer) return 0;
+      if (kind == PassKind::kRetile) return 1;
+      if (kind == PassKind::kMergeStrided) return 2;
+      return 3;
+    case Label::kIssueBound:
+      if (kind == PassKind::kRetile) return 0;
+      if (kind == PassKind::kMergeStrided) return 1;
+      if (kind == PassKind::kDoubleBuffer) return 2;
+      return 3;
+    case Label::kMemoryBandwidthBound:
+      if (kind == PassKind::kMergeStrided) return 0;
+      if (kind == PassKind::kRetile) return 1;
+      if (kind == PassKind::kCoalesceGloads) return 2;
+      if (kind == PassKind::kActiveCpes) return 3;
+      return 4;
+    case Label::kGloadLatencyBound:
+      if (kind == PassKind::kCoalesceGloads) return 0;
+      if (kind == PassKind::kDoubleBuffer) return 1;
+      return 2;
+    case Label::kUnderOccupied:
+      if (kind == PassKind::kActiveCpes) return 0;
+      if (kind == PassKind::kRetile) return 1;
+      return 2;
+    case Label::kComputeBound:
+      // The vector unit is the bigger lever (up to 4 lanes) — engage it
+      // before unrolling for latency.
+      if (kind == PassKind::kVectorWidth) return 0;
+      if (kind == PassKind::kUnroll) return 1;
+      return 2;
+    case Label::kBarrierBound:
+      if (kind == PassKind::kActiveCpes) return 0;
+      if (kind == PassKind::kRetile) return 1;
+      return 2;
+    case Label::kBalanced:
+      return 0;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -121,10 +172,28 @@ OptimizeResult Optimizer::optimize(const swacc::KernelDesc& kernel,
       }
     });
 
+    // Label guidance: classify the incumbent's bottleneck (from the
+    // memoized, trace-free simulation — the incumbent has always been
+    // simulated by this point, so this is a table lookup plus arithmetic)
+    // and rank each proposal by how directly its pass family addresses
+    // that label.  The sort key is (rank, score): guidance reorders the
+    // beam, the model still breaks ties.
+    std::string round_label;
+    std::vector<int> rank(proposals.size(), 0);
+    if (opts_.label_guided) {
+      const explain::Classification cls =
+          session_.bottleneck(inc.kernel, inc.params);
+      round_label = explain::label_name(cls.label);
+      for (std::size_t i = 0; i < proposals.size(); ++i) {
+        rank[i] = pass_rank(cls.label, proposals[i].step.kind);
+      }
+    }
+
     std::vector<std::size_t> order(proposals.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) {
+                       if (rank[a] != rank[b]) return rank[a] < rank[b];
                        return score[a] < score[b];
                      });
 
@@ -142,6 +211,7 @@ OptimizeResult Optimizer::optimize(const swacc::KernelDesc& kernel,
       StepRecord rec;
       rec.round = round;
       rec.step = prop.step;
+      rec.label = round_label;
       rec.predicted_before = inc_pred;
       rec.predicted_after = std::isfinite(score[idx]) ? score[idx] : 0.0;
 

@@ -27,6 +27,14 @@
 // Scoring is embarrassingly parallel (OptimizerOptions::jobs); decisions
 // are taken serially in enumeration order, so any job count yields the
 // bit-identical accepted sequence (tests/transform/determinism_test.cpp).
+//
+// Proposal ordering is label-guided by default: each round classifies the
+// incumbent's bottleneck (explain/classify.h, from the already-memoized
+// simulation — no trace) and tries the passes that address that label
+// first, predicted score breaking ties.  A DMA-latency-bound incumbent
+// sees double-buffer/retile candidates before anything else; a
+// memory-bandwidth-bound one sees traffic reducers first.  The label that
+// motivated each trial is part of its provenance record.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +59,9 @@ struct OptimizerOptions {
   int jobs = 1;
   /// Seed of the differential harness's input images.
   std::uint64_t equivalence_seed = 0x5eedd1ffULL;
+  /// Order each round's beam by the incumbent's bottleneck label before
+  /// predicted score; false restores pure best-predicted-first order.
+  bool label_guided = true;
 };
 
 /// The four guards' verdicts for one tried candidate.  Later guards stay
@@ -90,6 +101,9 @@ struct StepRecord {
   GuardVerdicts verdicts;
   bool accepted = false;
   std::string rejection;  // reject::* constant, or "" when accepted
+  /// The incumbent's bottleneck label that ordered this round's proposals
+  /// ("" when label guidance is off).
+  std::string label;
 };
 
 struct OptimizeResult {

@@ -35,6 +35,7 @@ Json to_json(const transform::StepRecord& r) {
   j.set("verdicts", to_json(r.verdicts));
   j.set("accepted", r.accepted);
   j.set("rejection", r.rejection);
+  j.set("label", r.label);
   return j;
 }
 

@@ -46,8 +46,8 @@ line_count() {
 # 1. Every --json subcommand emits valid JSON and exits 0.
 for cmd in "list" "report vecadd --small" "simulate vecadd --small" \
            "tune vecadd --small" "timeline vecadd --small" \
-           "suite --small" "calibrate" "check vecadd" \
-           "check --list-codes"; do
+           "explain vecadd --small" "suite --small" "calibrate" \
+           "check vecadd" "check --list-codes"; do
     # shellcheck disable=SC2086
     out=$("$swperf" $cmd --json)
     status=$?
@@ -95,6 +95,23 @@ grep -q '"host_seconds":0' "$workdir/opt1.json" || \
 grep -q '"steps":\[' "$workdir/opt1.json" || \
     fail "optimize provenance log should carry a steps array"
 
+# 1e. explain: deterministic artifact (no host-dependent fields at all,
+#     so --json alone is already byte-stable), carrying the label; the
+#     timeline --json surface carries the causal event stream.
+"$swperf" explain vecadd --small --json > "$workdir/exp1.json"
+"$swperf" explain vecadd --small --deterministic-json > "$workdir/exp2.json"
+cmp -s "$workdir/exp1.json" "$workdir/exp2.json" || \
+    fail "explain --json output is not byte-stable"
+grep -q '"bottleneck":"' "$workdir/exp1.json" || \
+    fail "explain artifact should carry a bottleneck label"
+grep -q '"critical_path":{' "$workdir/exp1.json" || \
+    fail "explain artifact should carry the critical path"
+"$swperf" timeline vecadd --small --json > "$workdir/tl.json"
+grep -q '"events":\[' "$workdir/tl.json" || \
+    fail "timeline --json should carry the causal event stream"
+grep -q '"lanes":\[' "$workdir/tl.json" || \
+    fail "timeline --json should carry per-lane utilization"
+
 # 2. Strict number parsing: garbage and trailing-garbage values are usage
 #    errors (exit 2), not silently-zero launches.
 "$swperf" simulate vecadd --tile garbage >/dev/null 2>&1
@@ -117,15 +134,18 @@ req='[{"kernel":"vecadd","scale":"small"},
       {"kernel":"kmeans","scale":"small","stages":["check","model"]},
       {"kernel":"vecadd","scale":"small","params":{"tile":64},
        "stages":["sim"]},
-      {"kernel":"vecadd","scale":"small","stages":["optimize"]}]'
+      {"kernel":"vecadd","scale":"small","stages":["optimize"]},
+      {"kernel":"vecadd","scale":"small","stages":["explain"]}]'
 out=$(printf '%s' "$req" | "$swperf" eval)
 status=$?
-[ "$status" -eq 0 ] || fail "4-entry eval batch exited $status, expected 0"
+[ "$status" -eq 0 ] || fail "5-entry eval batch exited $status, expected 0"
 printf '%s\n' "$out" | json_valid || fail "eval batch emitted invalid JSON"
 n=$(printf '%s\n' "$out" | line_count)
-[ "$n" -eq 4 ] || fail "eval batch emitted $n lines, expected 4"
+[ "$n" -eq 5 ] || fail "eval batch emitted $n lines, expected 5"
 printf '%s\n' "$out" | grep -q '"optimize":{' || \
     fail "eval optimize stage should emit an optimize report"
+printf '%s\n' "$out" | grep -q '"explain":{' || \
+    fail "eval explain stage should emit an explanation"
 
 # 4. eval reads from a file argument too.
 printf '%s' "$req" > "$workdir/req.json"

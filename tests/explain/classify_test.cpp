@@ -1,0 +1,138 @@
+// The deterministic bottleneck classifier: every label is reachable
+// through its rule, the rule chain is total (exactly one label per
+// input), and — on the real suite — the cheap trace-free query
+// (Session::bottleneck) agrees with the full traced explanation
+// (Session::explain) by construction.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "explain/classify.h"
+#include "explain/explain.h"
+#include "kernels/suite.h"
+#include "pipeline/session.h"
+
+namespace swperf::explain {
+namespace {
+
+/// A busy, healthy launch that trips no rule — the base the per-label
+/// cases perturb one signal at a time.
+Signals balanced_signals() {
+  Signals s;
+  s.span_cycles = 10000.0;
+  s.occupancy = 1.0;
+  s.mem_busy_frac = 0.40;
+  s.comp_frac = 0.50;
+  s.dma_stall_frac = 0.10;
+  s.gload_stall_frac = 0.0;
+  s.barrier_frac = 0.05;
+  s.roofline_memory_bound = false;
+  s.ng_dma = 0.5;
+  s.issue_gap_frac = 0.1;
+  return s;
+}
+
+TEST(Classify, EveryLabelReachable) {
+  EXPECT_EQ(classify(balanced_signals()).label, Label::kBalanced);
+
+  Signals s = balanced_signals();
+  s.mem_busy_frac = 0.80;
+  EXPECT_EQ(classify(s).label, Label::kMemoryBandwidthBound);
+
+  s = balanced_signals();
+  s.gload_stall_frac = 0.35;
+  EXPECT_EQ(classify(s).label, Label::kGloadLatencyBound);
+
+  s = balanced_signals();
+  s.dma_stall_frac = 0.35;
+  s.ng_dma = 0.5;
+  s.issue_gap_frac = 0.1;
+  EXPECT_EQ(classify(s).label, Label::kDmaLatencyBound);
+
+  s = balanced_signals();
+  s.dma_stall_frac = 0.35;
+  s.ng_dma = 2.0;  // enough in-flight requests: bandwidth, not latency
+  EXPECT_EQ(classify(s).label, Label::kMemoryBandwidthBound);
+
+  s = balanced_signals();
+  s.dma_stall_frac = 0.35;
+  s.ng_dma = 0.5;
+  s.issue_gap_frac = 0.6;  // the (MRT−1)·Δ tail dominates
+  EXPECT_EQ(classify(s).label, Label::kIssueBound);
+
+  s = balanced_signals();
+  s.occupancy = 0.25;
+  EXPECT_EQ(classify(s).label, Label::kUnderOccupied);
+
+  s = balanced_signals();
+  s.comp_frac = 0.90;
+  EXPECT_EQ(classify(s).label, Label::kComputeBound);
+
+  s = balanced_signals();
+  s.comp_frac = 0.30;
+  s.barrier_frac = 0.40;
+  EXPECT_EQ(classify(s).label, Label::kBarrierBound);
+
+  s = Signals{};  // nothing executed
+  EXPECT_EQ(classify(s).label, Label::kBalanced);
+}
+
+TEST(Classify, RuleOrderIsFirstMatchWins) {
+  // Saturated controllers outrank a simultaneous gload stall...
+  Signals s = balanced_signals();
+  s.mem_busy_frac = 0.90;
+  s.gload_stall_frac = 0.50;
+  EXPECT_EQ(classify(s).label, Label::kMemoryBandwidthBound);
+
+  // ...and gload stalls outrank dma stalls only when at least as large.
+  s = balanced_signals();
+  s.gload_stall_frac = 0.32;
+  s.dma_stall_frac = 0.45;
+  s.ng_dma = 0.5;
+  EXPECT_EQ(classify(s).label, Label::kDmaLatencyBound);
+}
+
+TEST(Classify, EqualSignalsGetEqualLabelsAndEvidence) {
+  const Signals s = balanced_signals();
+  const Classification a = classify(s);
+  const Classification b = classify(s);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.evidence, b.evidence);
+  EXPECT_FALSE(a.evidence.empty());
+}
+
+TEST(Classify, LabelNamesAreStableKebabCase) {
+  const std::set<std::string> names = {
+      "memory-bandwidth-bound", "dma-latency-bound",   "issue-bound",
+      "gload-latency-bound",    "under-occupied",      "compute-bound",
+      "barrier-bound",          "balanced"};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(names.count(label_name(static_cast<Label>(i))), 1u) << i;
+  }
+}
+
+// Every suite kernel (tuned, small) gets exactly one label,
+// deterministically, and the full traced explanation carries the same
+// label as the cheap trace-free query.
+TEST(Classify, SuiteKernelsGetExactlyOneStableLabel) {
+  pipeline::Session session;
+  for (const auto& name : kernels::suite_names()) {
+    const auto spec = kernels::make(name, kernels::Scale::kSmall);
+
+    const Classification first = session.bottleneck(spec.desc, spec.tuned);
+    const Classification again = session.bottleneck(spec.desc, spec.tuned);
+    EXPECT_EQ(first.label, again.label) << name;
+    EXPECT_EQ(first.evidence, again.evidence) << name;
+    EXPECT_FALSE(first.evidence.empty()) << name;
+    EXPECT_STRNE(label_name(first.label), "?") << name;
+
+    const Explanation e = session.explain(spec.desc, spec.tuned);
+    EXPECT_EQ(e.label, first.label)
+        << name << ": explain() and bottleneck() must agree by construction";
+    EXPECT_EQ(e.evidence, first.evidence) << name;
+  }
+}
+
+}  // namespace
+}  // namespace swperf::explain

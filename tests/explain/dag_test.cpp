@@ -1,0 +1,181 @@
+// The execution DAG and critical-path walk, on hand-built traces whose
+// critical path is known in closed form, then on real simulated traces
+// where only the invariants (exact span attribution, time-ordered path,
+// lane accounting) can be pinned.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "explain/dag.h"
+#include "kernels/suite.h"
+#include "pipeline/session.h"
+#include "sim/trace.h"
+
+namespace swperf::explain {
+namespace {
+
+using sim::Activity;
+using sim::TraceEvent;
+
+TraceEvent ev(std::uint32_t lane, Activity what, sw::Tick begin, sw::Tick end,
+              std::uint64_t req = sim::kNoReq,
+              std::uint64_t pred = sim::kNoPred) {
+  TraceEvent e;
+  e.lane = lane;
+  e.what = what;
+  e.begin = begin;
+  e.end = end;
+  e.req = req;
+  e.pred = pred;
+  return e;
+}
+
+TEST(ExecutionDag, EmptyTraceHasEmptyPath) {
+  sim::Trace t;
+  t.n_cpes = 4;
+  t.n_controllers = 1;
+  const ExecutionDag dag(t);
+  EXPECT_EQ(dag.span(), 0u);
+  EXPECT_TRUE(dag.critical_path().empty());
+  EXPECT_EQ(dag.breakdown().total(), 0u);
+  ASSERT_EQ(dag.lane_slack().size(), 5u);
+  for (const auto& l : dag.lane_slack()) EXPECT_EQ(l.slack, 0u);
+}
+
+// One CPE, one controller: compute, a DMA round-trip through the
+// controller, compute again.  Every hop's attribution is known exactly.
+//
+//   lane 0: [0  compute  100][issue][--- dma wait ---300][compute 400]
+//   lane 1:                     [150  mem service  250]
+TEST(ExecutionDag, DmaRoundTripAttributesExactly) {
+  sim::Trace t;
+  t.n_cpes = 1;
+  t.n_controllers = 1;
+  t.events.push_back(ev(0, Activity::kCompute, 0, 100));
+  t.events.push_back(ev(0, Activity::kDmaIssue, 100, 100, 0));
+  t.events.push_back(ev(1, Activity::kMemService, 150, 250, 0, 1));
+  t.events.push_back(ev(0, Activity::kDmaWait, 100, 300, 0, 2));
+  t.events.push_back(ev(0, Activity::kCompute, 300, 400));
+
+  const ExecutionDag dag(t);
+  EXPECT_EQ(dag.span(), 400u);
+
+  // The walk visits every event in the chain, in time order.
+  ASSERT_EQ(dag.critical_path().size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(dag.critical_path()[i].event, i);
+  }
+
+  // compute 100 + issue 0 + (idle 50: issue→service start) + service 100
+  // + wait tail 50 + compute 100 == span 400.
+  const CriticalBreakdown& b = dag.breakdown();
+  EXPECT_EQ(b.compute, 200u);
+  EXPECT_EQ(b.mem_service, 100u);
+  EXPECT_EQ(b.dma_wait, 50u);
+  EXPECT_EQ(b.idle, 50u);
+  EXPECT_EQ(b.gload_wait, 0u);
+  EXPECT_EQ(b.barrier, 0u);
+  EXPECT_EQ(b.total(), dag.span());
+
+  // Lane accounting: the controller carries exactly its service slice.
+  EXPECT_EQ(dag.lane_slack()[1].critical, 100u);
+  EXPECT_EQ(dag.lane_slack()[1].slack, 300u);
+  // 100 + 50 + 100 on lane 0; the 50 idle ticks belong to no lane.
+  EXPECT_EQ(dag.lane_slack()[0].critical, 250u);
+}
+
+// Three CPEs meet at a barrier; the straggler (lane 2) arrives exactly at
+// the release, so its zero-duration wait is never recorded.  The walk
+// must still cross lanes through the latest *recorded* arrival's chain.
+//
+//   lane 0: [0 compute 100][100   barrier   200][200 compute 260]
+//   lane 1: [0   compute    180][180 bar 200]
+//   lane 2: [0     compute      200]
+TEST(ExecutionDag, BarrierJoinCrossesToLatestRecordedArrival) {
+  sim::Trace t;
+  t.n_cpes = 3;
+  t.n_controllers = 1;
+  t.events.push_back(ev(0, Activity::kCompute, 0, 100));
+  t.events.push_back(ev(1, Activity::kCompute, 0, 180));
+  t.events.push_back(ev(2, Activity::kCompute, 0, 200));
+  t.events.push_back(ev(0, Activity::kBarrier, 100, 200, 7));
+  t.events.push_back(ev(1, Activity::kBarrier, 180, 200, 7));
+  t.events.push_back(ev(0, Activity::kCompute, 200, 260));
+
+  const ExecutionDag dag(t);
+  EXPECT_EQ(dag.span(), 260u);
+
+  // Finish is lane 0's trailing compute; its barrier hands off to lane
+  // 1's chain (the latest recorded arrival), not lane 0's own history.
+  ASSERT_EQ(dag.critical_path().size(), 3u);
+  EXPECT_EQ(dag.critical_path()[0].event, 1u);  // lane 1 compute
+  EXPECT_EQ(dag.critical_path()[1].event, 3u);  // lane 0 barrier
+  EXPECT_EQ(dag.critical_path()[2].event, 5u);  // lane 0 compute
+
+  const CriticalBreakdown& b = dag.breakdown();
+  EXPECT_EQ(b.compute, 240u);  // 180 on lane 1 + 60 on lane 0
+  EXPECT_EQ(b.barrier, 20u);   // 180 → 200 release gap
+  EXPECT_EQ(b.idle, 0u);
+  EXPECT_EQ(b.total(), dag.span());
+
+  EXPECT_EQ(dag.lane_slack()[0].critical, 80u);
+  EXPECT_EQ(dag.lane_slack()[1].critical, 180u);
+  EXPECT_EQ(dag.lane_slack()[2].critical, 0u);
+}
+
+// Ties between equally late predecessors break toward the smallest event
+// id, so the path is deterministic.
+TEST(ExecutionDag, TiesBreakTowardSmallestEventId) {
+  sim::Trace t;
+  t.n_cpes = 2;
+  t.n_controllers = 1;
+  t.events.push_back(ev(0, Activity::kCompute, 0, 100));
+  t.events.push_back(ev(1, Activity::kCompute, 0, 100));
+  t.events.push_back(ev(0, Activity::kBarrier, 100, 150, 0));
+  t.events.push_back(ev(1, Activity::kBarrier, 100, 150, 0));
+
+  const ExecutionDag dag(t);
+  // Finish: both barriers end at 150; smallest id (2) wins.  Its best
+  // predecessor: own lane pred (0, end 100) vs mate's lane pred (1, end
+  // 100) — tie, smallest id (0) wins.
+  ASSERT_EQ(dag.critical_path().size(), 2u);
+  EXPECT_EQ(dag.critical_path()[0].event, 0u);
+  EXPECT_EQ(dag.critical_path()[1].event, 2u);
+  EXPECT_EQ(dag.breakdown().total(), dag.span());
+}
+
+// Real traces: the invariants hold on every simulated kernel — the
+// attribution telescopes exactly to the span, the path is in time order,
+// and per-lane critical time never exceeds the span.
+TEST(ExecutionDag, SimulatedTracesAttributeExactly) {
+  pipeline::Session session;
+  for (const char* name : {"kmeans", "cfd", "leukocyte", "srad"}) {
+    const auto spec = kernels::make(name, kernels::Scale::kSmall);
+    const auto r = session.simulate_traced(spec.desc, spec.tuned);
+    ASSERT_FALSE(r.trace.empty()) << name;
+
+    const ExecutionDag dag(r.trace);
+    EXPECT_EQ(dag.span(), r.trace.span()) << name;
+    EXPECT_EQ(dag.breakdown().total(), dag.span()) << name;
+    ASSERT_FALSE(dag.critical_path().empty()) << name;
+
+    sw::Tick last_end = 0;
+    for (const auto& step : dag.critical_path()) {
+      ASSERT_LT(step.event, r.trace.events.size()) << name;
+      const auto& e = r.trace.events[step.event];
+      EXPECT_GE(e.end, last_end) << name << ": path not in time order";
+      last_end = e.end;
+    }
+    // The last hop is the finish event.
+    EXPECT_EQ(r.trace.events[dag.critical_path().back().event].end,
+              dag.span())
+        << name;
+    for (const auto& l : dag.lane_slack()) {
+      EXPECT_LE(l.critical, dag.span()) << name << " lane " << l.lane;
+      EXPECT_EQ(l.slack, dag.span() - l.critical) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swperf::explain

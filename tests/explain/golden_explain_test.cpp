@@ -1,0 +1,105 @@
+// Golden explanations: the full `swperf explain <kernel> --small --json`
+// artifact for every Table II kernel (tuned launch), pinned byte-for-byte
+// against a checked-in fixture.  This freezes the explanation schema
+// (field order, number formatting), the critical-path numbers, and the
+// bottleneck label + evidence sentence per kernel — a drift in any of
+// the three shows up as a fixture diff, not a silent behaviour change.
+//
+// Refreshing after an intentional change:
+//   SWPERF_REGEN_GOLDEN=1 ctest -R ExplainGolden
+// then review the fixture diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "explain/explain.h"
+#include "kernels/suite.h"
+#include "pipeline/session.h"
+#include "serde/json.h"
+
+namespace {
+
+using namespace swperf;
+
+std::string fixture_path(const std::string& kernel) {
+  return std::string(SWPERF_EXPLAIN_GOLDEN_DIR) + "/" + kernel + ".json";
+}
+
+/// Exactly what `swperf explain <kernel> --small --json` prints (the
+/// explanation has no host-dependent fields, so --deterministic-json is
+/// the same bytes).
+std::string current_explanation(const std::string& kernel) {
+  pipeline::Session session;
+  const auto spec = kernels::make(kernel, kernels::Scale::kSmall);
+  const auto e = session.explain(spec.desc, spec.tuned);
+  return explain::to_json(e).dump() + "\n";
+}
+
+class ExplainGolden : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExplainGolden, ArtifactPinned) {
+  const std::string kernel = GetParam();
+  const std::string artifact = current_explanation(kernel);
+
+  // Byte-stability within a process first: two explanations of the same
+  // launch render identically (the trace is re-recorded each time).
+  EXPECT_EQ(artifact, current_explanation(kernel));
+
+  if (const char* regen = std::getenv("SWPERF_REGEN_GOLDEN");
+      regen != nullptr && std::string(regen) == "1") {
+    std::ofstream out(fixture_path(kernel), std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << fixture_path(kernel);
+    out << artifact;
+    GTEST_SKIP() << "regenerated " << fixture_path(kernel);
+  }
+
+  std::ifstream in(fixture_path(kernel), std::ios::binary);
+  ASSERT_TRUE(in) << "missing fixture " << fixture_path(kernel)
+                  << " (regenerate with SWPERF_REGEN_GOLDEN=1)";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(artifact, buf.str())
+      << "explanation for " << kernel << " drifted from the fixture";
+}
+
+TEST_P(ExplainGolden, FixtureIsSerdeCanonicalAndWellFormed) {
+  std::ifstream in(fixture_path(GetParam()), std::ios::binary);
+  if (!in) GTEST_SKIP() << "fixture not present";
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const auto r = serde::Json::parse(line);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.dump(), line);
+
+  // Schema spot checks of the docs/EXPLAIN.md contract.
+  for (const char* field :
+       {"kernel", "params", "time_cycles", "operational_intensity",
+        "roofline_position", "critical_path", "slack", "signals",
+        "bottleneck", "evidence"}) {
+    EXPECT_TRUE(r.value.contains(field)) << field;
+  }
+  const auto& cp = r.value.at("critical_path");
+  for (const char* field :
+       {"span_cycles", "trace_events", "path_events", "breakdown_cycles"}) {
+    EXPECT_TRUE(cp.contains(field)) << field;
+  }
+  // The breakdown telescopes: its six classes sum to the span.
+  const auto& b = cp.at("breakdown_cycles");
+  double sum = 0.0;
+  for (const auto& [key, v] : b.members()) sum += v.as_double();
+  EXPECT_DOUBLE_EQ(sum, cp.at("span_cycles").as_double());
+  // Exactly one label, from the stable set.
+  EXPECT_FALSE(r.value.at("bottleneck").as_string().empty());
+  EXPECT_FALSE(r.value.at("evidence").as_string().empty());
+  ASSERT_TRUE(r.value.at("slack").is_array());
+  EXPECT_GE(r.value.at("slack").size(), 3u);  // cpe_compute, mem0, barrier
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, ExplainGolden,
+                         ::testing::ValuesIn(kernels::table2_kernels()),
+                         [](const auto& pinfo) { return pinfo.param; });
+
+}  // namespace

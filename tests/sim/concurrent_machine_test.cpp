@@ -83,16 +83,16 @@ TEST(ConcurrentMachine, TracingRunsAreIndependent) {
 
   const auto reference = simulate(lk.sim_config, lk.binary, lk.programs);
   constexpr std::uint64_t kRuns = 6;
-  std::vector<std::size_t> intervals(kRuns);
+  std::vector<std::size_t> events(kRuns);
   std::vector<std::uint64_t> ticks(kRuns);
   sw::parallel_for(kRuns, 6, [&](std::uint64_t i) {
     const auto r = simulate(lk.sim_config, lk.binary, lk.programs);
-    intervals[i] = r.trace.intervals.size();
+    events[i] = r.trace.events.size();
     ticks[i] = r.total_ticks;
   });
   for (std::uint64_t i = 0; i < kRuns; ++i) {
     EXPECT_EQ(ticks[i], reference.total_ticks);
-    EXPECT_EQ(intervals[i], reference.trace.intervals.size());
+    EXPECT_EQ(events[i], reference.trace.events.size());
   }
 }
 

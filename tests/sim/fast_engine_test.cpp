@@ -44,14 +44,20 @@ void expect_identical_but_counters(const SimResult& fast,
     EXPECT_EQ(fast.cpes[i].dma_requests, ref.cpes[i].dma_requests);
     EXPECT_EQ(fast.cpes[i].gload_requests, ref.cpes[i].gload_requests);
   }
-  ASSERT_EQ(fast.trace.intervals.size(), ref.trace.intervals.size());
-  for (std::size_t i = 0; i < fast.trace.intervals.size(); ++i) {
-    const Interval& a = fast.trace.intervals[i];
-    const Interval& b = ref.trace.intervals[i];
-    EXPECT_EQ(a.lane, b.lane) << "interval " << i;
-    EXPECT_EQ(a.what, b.what) << "interval " << i;
-    EXPECT_EQ(a.begin, b.begin) << "interval " << i;
-    EXPECT_EQ(a.end, b.end) << "interval " << i;
+  // The causal event streams must be bit-identical too — ids, request
+  // seqs, and predecessor links, not just the rendered spans.
+  ASSERT_EQ(fast.trace.events.size(), ref.trace.events.size());
+  for (std::size_t i = 0; i < fast.trace.events.size(); ++i) {
+    const TraceEvent& a = fast.trace.events[i];
+    const TraceEvent& b = ref.trace.events[i];
+    EXPECT_EQ(a.lane, b.lane) << "event " << i;
+    EXPECT_EQ(a.what, b.what) << "event " << i;
+    EXPECT_EQ(a.begin, b.begin) << "event " << i;
+    EXPECT_EQ(a.end, b.end) << "event " << i;
+    EXPECT_EQ(a.op, b.op) << "event " << i;
+    EXPECT_EQ(a.handle, b.handle) << "event " << i;
+    EXPECT_EQ(a.req, b.req) << "event " << i;
+    EXPECT_EQ(a.pred, b.pred) << "event " << i;
   }
 }
 

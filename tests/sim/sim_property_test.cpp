@@ -123,7 +123,7 @@ TEST_P(SimProperty, TraceDurationsMatchStats) {
   const auto r = simulate(cfg, l.bin, l.programs);
   std::vector<sw::Tick> comp(r.cpes.size(), 0), dma(r.cpes.size(), 0),
       gload(r.cpes.size(), 0);
-  for (const auto& iv : r.trace.intervals) {
+  for (const auto& iv : r.trace.events) {
     if (iv.lane >= r.cpes.size()) continue;
     const auto d = iv.end - iv.begin;
     if (iv.what == Activity::kCompute) comp[iv.lane] += d;

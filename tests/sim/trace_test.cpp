@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "sim/machine.h"
 #include "sw/error.h"
 
@@ -38,41 +40,96 @@ TEST(Trace, RecordsAllActivityClasses) {
   ASSERT_FALSE(r.trace.empty());
   EXPECT_EQ(r.trace.n_cpes, 8u);
   EXPECT_EQ(r.trace.n_controllers, 1u);
-  bool has_comp = false, has_dma = false, has_mem = false;
-  for (const auto& iv : r.trace.intervals) {
-    EXPECT_LT(iv.begin, iv.end);
-    EXPECT_LE(iv.end, r.total_ticks);
-    has_comp |= iv.what == Activity::kCompute;
-    has_dma |= iv.what == Activity::kDmaWait;
-    has_mem |= iv.what == Activity::kMemService;
+  bool has_comp = false, has_dma = false, has_mem = false, has_issue = false;
+  for (const auto& e : r.trace.events) {
+    if (e.what == Activity::kDmaIssue) {
+      EXPECT_EQ(e.begin, e.end);  // issue points are zero-duration
+    } else {
+      EXPECT_LT(e.begin, e.end);
+    }
+    EXPECT_LE(e.end, r.total_ticks);
+    has_comp |= e.what == Activity::kCompute;
+    has_dma |= e.what == Activity::kDmaWait;
+    has_mem |= e.what == Activity::kMemService;
+    has_issue |= e.what == Activity::kDmaIssue;
   }
   EXPECT_TRUE(has_comp);
   EXPECT_TRUE(has_dma);
   EXPECT_TRUE(has_mem);
+  EXPECT_TRUE(has_issue);
   EXPECT_EQ(r.trace.span(), r.total_ticks);
 }
 
-TEST(Trace, IntervalDurationsMatchStats) {
+TEST(Trace, EventDurationsMatchStats) {
   const auto r = traced_run(4);
   std::vector<sw::Tick> comp(4, 0), dma(4, 0);
-  for (const auto& iv : r.trace.intervals) {
-    if (iv.lane >= 4) continue;
-    if (iv.what == Activity::kCompute) comp[iv.lane] += iv.end - iv.begin;
-    if (iv.what == Activity::kDmaWait) dma[iv.lane] += iv.end - iv.begin;
+  for (const auto& e : r.trace.events) {
+    if (e.lane >= 4) continue;
+    if (e.what == Activity::kCompute) comp[e.lane] += e.end - e.begin;
+    if (e.what == Activity::kDmaWait) dma[e.lane] += e.end - e.begin;
   }
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_EQ(comp[i], r.cpes[i].comp);
     EXPECT_EQ(dma[i], r.cpes[i].dma_wait);
+    EXPECT_EQ(r.trace.lane_busy(static_cast<std::uint32_t>(i)), comp[i]);
   }
 }
 
 TEST(Trace, MemServiceCoversAllTransactions) {
   const auto r = traced_run(8);
   sw::Tick service = 0;
-  for (const auto& iv : r.trace.intervals) {
-    if (iv.what == Activity::kMemService) service += iv.end - iv.begin;
+  for (const auto& e : r.trace.events) {
+    if (e.what == Activity::kMemService) service += e.end - e.begin;
   }
   EXPECT_EQ(service, r.mem_busy_ticks);
+  EXPECT_EQ(r.trace.lane_busy(r.trace.n_cpes), r.mem_busy_ticks);
+}
+
+// The causal chain the explain DAG walks: every DMA event names its
+// request, every service links back through the request's chain to its
+// issue point, every wait links to the request's last service, and all
+// links point strictly backward (an event's pred has a smaller id).
+TEST(Trace, CausalLinksAreWellFormed) {
+  const auto r = traced_run(4);
+  const auto& ev = r.trace.events;
+  std::uint64_t issues = 0;
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    const TraceEvent& e = ev[i];
+    if (e.pred != kNoPred) {
+      ASSERT_LT(e.pred, i) << "pred must point backward";
+    }
+    switch (e.what) {
+      case Activity::kDmaIssue:
+        ++issues;
+        EXPECT_NE(e.req, kNoReq);
+        EXPECT_NE(e.op, kNoOp);
+        EXPECT_NE(e.handle, kNoHandle);
+        break;
+      case Activity::kMemService: {
+        EXPECT_NE(e.req, kNoReq);
+        ASSERT_NE(e.pred, kNoPred) << "service must chain to its issue";
+        const TraceEvent& p = ev[e.pred];
+        EXPECT_EQ(p.req, e.req) << "service chains within one request";
+        EXPECT_TRUE(p.what == Activity::kDmaIssue ||
+                    p.what == Activity::kMemService);
+        break;
+      }
+      case Activity::kDmaWait: {
+        EXPECT_NE(e.req, kNoReq);
+        ASSERT_NE(e.pred, kNoPred) << "wait must link to the last service";
+        const TraceEvent& p = ev[e.pred];
+        EXPECT_EQ(p.what, Activity::kMemService);
+        EXPECT_EQ(p.req, e.req);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  // Every DMA request with traffic has exactly one issue point; here all
+  // 4 CPEs issue 6 requests each.
+  EXPECT_EQ(issues, 24u);
+  EXPECT_EQ(issues, r.counters.dma_trains);
 }
 
 TEST(Trace, OffByDefault) {
@@ -94,18 +151,61 @@ TEST(Timeline, RendersLanesAndGlyphs) {
   EXPECT_NE(s.find('='), std::string::npos);  // memory busy
 }
 
+TEST(Timeline, HeaderReportsSpanAndRowsReportUtilization) {
+  const auto r = traced_run(4);
+  const auto s = render_timeline(r.trace, 60);
+  std::ostringstream want;
+  want << "timeline: span " << sw::ticks_to_cycles(r.trace.span())
+       << " cycles (" << r.trace.span() << " ticks)";
+  EXPECT_EQ(s.find(want.str()), 0u) << s;
+  EXPECT_NE(s.find("rows end with lane busy%"), std::string::npos);
+  // Every lane row (not the two header lines) ends with "<pct>%".
+  std::istringstream lines(s);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("cpe", 0) != 0 && line.rfind("mem", 0) != 0) continue;
+    ++rows;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '%') << line;
+  }
+  EXPECT_EQ(rows, 5u);  // 4 CPE lanes + 1 controller
+  // The controller's percentage is the exact busy fraction, rounded.
+  const auto pct = static_cast<unsigned>(
+      (200 * r.trace.lane_busy(4) / r.trace.span() + 1) / 2);
+  std::ostringstream mem_row;
+  mem_row << " " << pct << "%";
+  EXPECT_NE(s.find(mem_row.str()), std::string::npos) << s;
+}
+
 TEST(Timeline, ElidesExcessCpeRows) {
   const auto r = traced_run(32);
   const auto s = render_timeline(r.trace, 60, /*max_cpe_rows=*/8);
   EXPECT_NE(s.find("cpe7"), std::string::npos);
   EXPECT_EQ(s.find("cpe8 "), std::string::npos);
   EXPECT_NE(s.find("24 more CPEs"), std::string::npos);
+  // The elision note still renders between the CPE block and mem lanes.
+  EXPECT_LT(s.find("24 more CPEs"), s.find("mem0"));
+}
+
+TEST(Timeline, CpeRowCapZeroElidesAllCpes) {
+  const auto r = traced_run(4);
+  const auto s = render_timeline(r.trace, 60, /*max_cpe_rows=*/0);
+  EXPECT_EQ(s.find("cpe0"), std::string::npos);
+  EXPECT_NE(s.find("4 more CPEs"), std::string::npos);
+  EXPECT_NE(s.find("mem0"), std::string::npos);
 }
 
 TEST(Timeline, EmptyTraceHandled) {
   Trace t;
   EXPECT_EQ(render_timeline(t), "(empty trace)\n");
   EXPECT_THROW(render_timeline(t, 2), sw::Error);
+  // A trace holding only zero-duration issue points has no span either.
+  Trace issue_only;
+  issue_only.n_cpes = 1;
+  issue_only.events.push_back(
+      TraceEvent{0, Activity::kDmaIssue, 0, 0, 0, 0, 0, kNoPred});
+  EXPECT_EQ(render_timeline(issue_only), "(empty trace)\n");
 }
 
 }  // namespace

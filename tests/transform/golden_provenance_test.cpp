@@ -87,7 +87,7 @@ TEST_P(TransformGolden, FixtureIsSerdeCanonical) {
     for (const char* field : {"round", "step", "predicted_before",
                               "predicted_after", "measured_before",
                               "measured_after", "verdicts", "accepted",
-                              "rejection"}) {
+                              "rejection", "label"}) {
       EXPECT_TRUE(s.contains(field)) << field;
     }
     const bool accepted = s.at("accepted").as_bool();

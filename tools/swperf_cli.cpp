@@ -10,7 +10,13 @@
 //                                        model-improved, sim-confirmed,
 //                                        checker-clean and bit-equivalent
 //                                        to the host reference
-//   swperf timeline <kernel> [opts]      ASCII execution trace
+//   swperf timeline <kernel> [opts]      ASCII execution trace (--json: the
+//                                        causal event stream + per-lane
+//                                        utilization)
+//   swperf explain  <kernel> [opts]      why is it this fast: critical path
+//                                        over the causal trace, per-resource
+//                                        slack, and a deterministic
+//                                        bottleneck label with evidence
 //   swperf check    <kernel> [opts]      static diagnostics (swcheck)
 //   swperf check    --all                swcheck over the whole suite
 //   swperf check    --list-codes         the diagnostic code catalogue
@@ -59,6 +65,7 @@
 
 #include "analysis/checker.h"
 #include "analysis/legality.h"
+#include "explain/explain.h"
 #include "kernels/suite.h"
 #include "model/calibrate.h"
 #include "model/report.h"
@@ -101,8 +108,8 @@ struct Options {
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
-      "usage: swperf <list|report|simulate|tune|optimize|timeline|check|"
-      "suite|calibrate|eval> [kernel|file] [--tile N] [--unroll N] "
+      "usage: swperf <list|report|simulate|tune|optimize|timeline|explain|"
+      "check|suite|calibrate|eval> [kernel|file] [--tile N] [--unroll N] "
       "[--cpes N] [--db] [--vw N] [--coalesce] [--small] [--empirical] "
       "[--vector] [--jobs N] [--beam N] [--max-steps N] [--bnb] [--json] "
       "[--deterministic-json] [--time] [--Werror] [--all] [--list-codes] "
@@ -410,16 +417,53 @@ int cmd_timeline(const Options& o, pipeline::Session& session) {
   const auto params = o.have_params ? o.params : spec.tuned;
   const auto r = session.simulate_traced(spec.desc, params);
   if (o.json) {
-    // The structured view of a timeline run is the (trace-free) result;
-    // the trace itself is an ASCII rendering concern.
     serde::Json j = serde::Json::object();
     j.set("kernel", o.kernel);
     j.set("params", serde::to_json(params));
     j.set("actual", serde::to_json(r));
+    j.set("trace", serde::to_json(r.trace));
     print_json_line(j);
     return 0;
   }
   std::cout << sim::render_timeline(r.trace, 110);
+  return 0;
+}
+
+int cmd_explain(const Options& o, pipeline::Session& session) {
+  const auto spec = kernels::make(o.kernel, o.scale);
+  const auto params = o.have_params ? o.params : spec.tuned;
+  const auto e = session.explain(spec.desc, params);
+  if (o.json) {
+    print_json_line(explain::to_json(e));
+    return 0;
+  }
+  const auto& arch = session.arch();
+  std::printf("%s @ %s\n", e.kernel.c_str(), e.params.to_string().c_str());
+  std::printf("time      : %.1f us (%.0f cycles), roofline %s "
+              "(AI %.2f flops/byte)\n",
+              sw::cycles_to_us(e.time_cycles, arch.freq_ghz), e.time_cycles,
+              e.roofline_memory_bound ? "memory-bound" : "compute-bound",
+              e.operational_intensity);
+  std::printf("bottleneck: %s — %s\n", explain::label_name(e.label),
+              e.evidence.c_str());
+  const auto& b = e.breakdown;
+  std::printf("critical path (%zu of %llu events): comp %.0f, dma wait "
+              "%.0f, gload %.0f, barrier %.0f, mem service %.0f, idle %.0f "
+              "cycles\n",
+              e.path.size(),
+              static_cast<unsigned long long>(e.trace_events),
+              sw::ticks_to_cycles(b.compute), sw::ticks_to_cycles(b.dma_wait),
+              sw::ticks_to_cycles(b.gload_wait),
+              sw::ticks_to_cycles(b.barrier),
+              sw::ticks_to_cycles(b.mem_service),
+              sw::ticks_to_cycles(b.idle));
+  std::printf("%-12s %12s %12s %12s %6s\n", "resource", "busy cyc",
+              "critical cyc", "slack cyc", "util");
+  for (const auto& r : e.slack) {
+    std::printf("%-12s %12.0f %12.0f %12.0f %5.0f%%\n", r.resource.c_str(),
+                r.busy_cycles, r.critical_cycles, r.slack_cycles,
+                100.0 * r.utilization);
+  }
   return 0;
 }
 
@@ -607,7 +651,7 @@ int cmd_calibrate(const Options& o, const sw::ArchParams& arch) {
 //     "params": {LaunchParams object}       (default: tuned preset for
 //                                            named kernels, defaults for
 //                                            inline descriptions),
-//     "stages": ["check","sim","model","tune","optimize"]
+//     "stages": ["check","sim","model","explain","tune","optimize"]
 //                                            (default check+sim+model) }
 // Response: one JSON object per entry, in order. Entries that fail report
 // {"kernel":..., "ok": false, "message": ...} without aborting the batch.
@@ -663,6 +707,9 @@ serde::Json eval_entry(const serde::Json& entry, pipeline::Session& session,
       } else if (stage == "model") {
         out.set("predicted", serde::to_json(session.predict(desc, params)));
         did_model = true;
+      } else if (stage == "explain") {
+        out.set("explain",
+                explain::to_json(session.explain(desc, params)));
       } else if (stage == "tune") {
         const auto space =
             tuning::SearchSpace::standard(desc, session.arch());
@@ -675,7 +722,8 @@ serde::Json eval_entry(const serde::Json& entry, pipeline::Session& session,
                                 optimizer.optimize(desc, params), true));
       } else {
         throw sw::Error("unknown stage '" + stage +
-                        "' (expected check, sim, model, tune or optimize)");
+                        "' (expected check, sim, model, explain, tune or "
+                        "optimize)");
       }
     }
     if (did_sim || did_model) {
@@ -751,6 +799,7 @@ int main(int argc, char** argv) {
     if (o.command == "tune") return cmd_tune(o, session);
     if (o.command == "optimize") return cmd_optimize(o, session);
     if (o.command == "timeline") return cmd_timeline(o, session);
+    if (o.command == "explain") return cmd_explain(o, session);
   } catch (const sw::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
