@@ -9,6 +9,7 @@
 #include "kernels/vecadd.h"
 
 #include "bench_common.h"
+#include "sim/chip.h"
 
 int main() {
   using swperf::sw::Table;
@@ -47,5 +48,56 @@ int main() {
                "slightly below local;\n our cross-section efficiency "
                "parameter is "
             << arch.cross_section_bw_efficiency << ")\n";
+
+  // Whole-chip cross-check: the same aggregate work expressed as g
+  // concurrent single-CG jobs gang-scheduled on a g-CG chip (the scenario
+  // layer's view) must land where the analytic Eq. 4/10 multi-CG
+  // prediction and the single multi-CG launch simulation land — the three
+  // answers describe one machine, so the error columns keep them honest
+  // against each other.
+  Table t2("Chip scenarios vs analytic multi-CG prediction");
+  t2.header({"jobs x 1 CG", "chip us", "launch us", "analytic us",
+             "chip vs launch", "chip vs model"});
+  swperf::pipeline::Session session(arch);
+  for (const std::uint32_t g : {1u, 2u, 3u, 4u}) {
+    const std::uint64_t n = 1ull << 20;  // elements per job (weak scaling)
+    const auto spec = swperf::kernels::vecadd_n(n);
+    auto params = spec.tuned;
+    params.requested_cpes = arch.cpes_per_cg;
+    params.double_buffer = false;
+    const auto& lk = session.lower(spec.desc, params);
+
+    swperf::sim::ChipScenario scn;
+    scn.arch = arch;
+    scn.core_groups = g;
+    for (std::uint32_t j = 0; j < g; ++j) {
+      swperf::sim::ChipJob job;
+      job.name = "stream" + std::to_string(j);
+      job.binary = lk.binary;
+      job.programs = lk.programs;
+      job.core_groups = 1;
+      scn.jobs.push_back(std::move(job));
+    }
+    const auto chip = swperf::sim::simulate_chip(scn);
+    const double chip_us =
+        swperf::sw::cycles_to_us(chip.sim.total_cycles(), arch.freq_ghz);
+
+    const auto wspec = swperf::kernels::vecadd_n(g * n);
+    auto wparams = wspec.tuned;
+    wparams.requested_cpes = g * arch.cpes_per_cg;
+    wparams.double_buffer = false;
+    const auto e = bench::evaluate(wspec.desc, wparams, arch);
+    const double launch_us = e.actual_us(arch);
+    const double model_us = e.predicted_us(arch);
+
+    t2.row({std::to_string(g), Table::num(chip_us, 1),
+            Table::num(launch_us, 1), Table::num(model_us, 1),
+            Table::pct(std::abs(chip_us - launch_us) / launch_us),
+            Table::pct(std::abs(chip_us - model_us) / model_us)});
+  }
+  t2.print(std::cout);
+  std::cout << "(the chip scenario's concurrent 1-CG jobs share "
+               "cross-section bandwidth through\n the same queueing as a "
+               "single multi-CG launch, so all three views should agree)\n";
   return 0;
 }

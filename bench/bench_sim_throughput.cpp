@@ -18,7 +18,15 @@
 //                                        cache skips every lowering
 //   bench_sim_throughput --check FILE    validate FILE against the
 //                                        BENCH_sim.json schema
-// --smoke and --check compose; the perf_smoke ctest runs both.
+//   bench_sim_throughput --smoke-contended --check FILE
+//                                        contended-regime floor: the
+//                                        checked-in record claims >= 2.5x
+//                                        on dma_train_contended, and a
+//                                        live scaled-down contended run
+//                                        holds a conservative 1.5x with
+//                                        batching + absorption engaged
+// --smoke and --check compose; the perf_smoke ctest runs both, and
+// perf_smoke_sim_contended runs --smoke-contended.
 //
 // Throughput convention: "events/sec" for BOTH engines uses the
 // *reference* engine's event count as the numerator (divided by each
@@ -84,8 +92,9 @@ Workload dma_train_uncontended(std::uint64_t requests, std::uint64_t kb) {
 }
 
 /// `cpes` CPEs issuing interleaved blocking DMA reads.  Streams overlap at
-/// the controller, so fast-forward rarely fires; this isolates the gain
-/// from train events + the bucketed queue alone.
+/// the controller, so fast-forward rarely fires; the contended gain comes
+/// from train events, the bucketed queue, batched grants and train-arrival
+/// absorption.
 Workload dma_train_contended(std::uint32_t cpes, std::uint64_t requests,
                              std::uint64_t kb) {
   Workload w;
@@ -101,6 +110,57 @@ Workload dma_train_contended(std::uint32_t cpes, std::uint64_t requests,
   for (std::uint32_t c = 0; c < cpes; ++c) {
     sim::CpeProgram p;
     p.delay(c * 37);  // stagger starts so arrivals interleave, not stack
+    for (std::uint64_t i = 0; i < requests; ++i) p.dma(req);
+    w.programs.push_back(std::move(p));
+  }
+  return w;
+}
+
+/// Contended with mixed transaction counts: requests cycle through 2, 8
+/// and 16 KB, so train lengths (and the absorption horizons they feed)
+/// keep changing instead of settling into one steady pattern.
+Workload dma_train_contended_mixed(std::uint32_t cpes,
+                                   std::uint64_t requests) {
+  Workload w;
+  w.name = "dma_train_contended_mixed";
+  std::ostringstream d;
+  d << cpes << " CPEs x " << requests
+    << " blocking DMA reads cycling 2/8/16 KB (mixed train lengths)";
+  w.description = d.str();
+  const std::uint64_t kbs[] = {2, 8, 16};
+  for (std::uint32_t c = 0; c < cpes; ++c) {
+    sim::CpeProgram p;
+    p.delay(c * 37);
+    for (std::uint64_t i = 0; i < requests; ++i) {
+      mem::DmaRequest req;
+      req.segs = {{kbs[(c + i) % 3] * 1024, 1}};
+      req.dir = mem::Direction::kRead;
+      p.dma(req);
+    }
+    w.programs.push_back(std::move(p));
+  }
+  return w;
+}
+
+/// Whole-chip cross-section interference: 4 CGs' worth of CPEs whose
+/// transactions round-robin over all four controllers at the reduced
+/// cross-section efficiency.  The single-controller fast paths (train
+/// fast-forward, batching, absorption) are guarded off here, so this pins
+/// the multi-controller gain: service slots + the bucketed queue.
+Workload dma_train_cross_section(std::uint64_t requests, std::uint64_t kb) {
+  Workload w;
+  w.name = "dma_train_cross_section";
+  std::ostringstream d;
+  d << "4 CGs x 64 CPEs x " << requests << " blocking " << kb
+    << " KB DMA reads (cross-section memory, round-robin controllers)";
+  w.description = d.str();
+  w.cfg.core_groups = 4;
+  mem::DmaRequest req;
+  req.segs = {{kb * 1024, 1}};
+  req.dir = mem::Direction::kRead;
+  for (std::uint32_t c = 0; c < 256; ++c) {
+    sim::CpeProgram p;
+    p.delay(c * 11);
     for (std::uint64_t i = 0; i < requests; ++i) p.dma(req);
     w.programs.push_back(std::move(p));
   }
@@ -141,6 +201,12 @@ serde::Json engine_json(const EngineRun& run, std::uint64_t ref_events) {
   j.set("dma_trains", run.result.counters.dma_trains);
   j.set("trains_fast_forwarded", run.result.counters.trains_fast_forwarded);
   j.set("ff_transactions", run.result.counters.ff_transactions);
+  j.set("batched_grants", run.result.counters.batched_grants);
+  j.set("batched_transactions", run.result.counters.batched_transactions);
+  j.set("train_arrivals_absorbed",
+        run.result.counters.train_arrivals_absorbed);
+  j.set("mc_enqueued", run.result.counters.mc_enqueued);
+  j.set("mc_max_queued", run.result.counters.mc_max_queued);
   return j;
 }
 
@@ -193,12 +259,16 @@ serde::Json measure_workload(const Workload& w, int reps, bool* ok) {
               ref_events / ref.host_seconds / 1e6);
   std::printf(
       "  fast:      %8.3f ms  %10.2f Mevents/s  (popped %llu, trains %llu, "
-      "ff %llu)\n",
+      "ff %llu, batched %llu, absorbed %llu)\n",
       fast.host_seconds * 1e3, ref_events / fast.host_seconds / 1e6,
       static_cast<unsigned long long>(fast.result.counters.events_popped),
       static_cast<unsigned long long>(fast.result.counters.dma_trains),
       static_cast<unsigned long long>(
-          fast.result.counters.trains_fast_forwarded));
+          fast.result.counters.trains_fast_forwarded),
+      static_cast<unsigned long long>(
+          fast.result.counters.batched_transactions),
+      static_cast<unsigned long long>(
+          fast.result.counters.train_arrivals_absorbed));
   std::printf("  speedup:   %8.2fx\n\n", speedup);
 
   serde::Json j = serde::Json::object();
@@ -338,13 +408,113 @@ bool smoke_pass() {
   return ok;
 }
 
+// ---- Contended perf smoke --------------------------------------------------
+
+/// Enforces the contended-regime speedup two ways:
+///   * the checked-in record's dma_train_contended speedup claim holds the
+///     >= 2.5x floor, and the two new contended workloads are recorded;
+///   * a live scaled-down contended run (same shape, fewer requests) beats
+///     a conservative >= 1.5x floor on this machine, with the batching and
+///     absorption fast paths demonstrably engaged and the result still
+///     bit-identical to the reference.
+/// The live floor is far under the recorded claim on purpose: this ctest
+/// also runs on debug builds and loaded CI machines, where absolute ratios
+/// compress but a regression that disables the fast paths still shows.
+bool smoke_contended_pass(const std::string& record_path) {
+  bool ok = true;
+
+  if (record_path.empty()) {
+    std::fprintf(stderr,
+                 "FAIL smoke-contended: needs --check FILE for the record "
+                 "claim\n");
+    return false;
+  }
+  std::ifstream in(record_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  serde::Json record;
+  try {
+    record = serde::Json::parse_or_throw(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL smoke-contended: %s does not parse: %s\n",
+                 record_path.c_str(), e.what());
+    return false;
+  }
+  bool found_contended = false;
+  bool found_mixed = false;
+  bool found_cross = false;
+  for (const auto& w : record.at("workloads").items()) {
+    const std::string& name = w.at("name").as_string();
+    if (name == "dma_train_contended") {
+      found_contended = true;
+      const double claim = w.at("speedup").as_double();
+      if (claim < 2.5) {
+        std::fprintf(stderr,
+                     "FAIL smoke-contended: recorded contended speedup "
+                     "%.2fx is below the 2.5x floor\n",
+                     claim);
+        ok = false;
+      }
+    } else if (name == "dma_train_contended_mixed") {
+      found_mixed = true;
+    } else if (name == "dma_train_cross_section") {
+      found_cross = true;
+    }
+  }
+  if (!found_contended || !found_mixed || !found_cross) {
+    std::fprintf(stderr,
+                 "FAIL smoke-contended: record lacks the contended "
+                 "workloads (contended=%d mixed=%d cross=%d)\n",
+                 found_contended, found_mixed, found_cross);
+    ok = false;
+  }
+
+  // Live floor, scaled to seconds: same contended shape, fewer requests.
+  const Workload w = dma_train_contended(64, 60, 8);
+  EngineRun ref = time_engine(w, sim::simulate_reference, 3);
+  EngineRun fast = time_engine(w, sim::simulate, 3);
+  std::string why;
+  if (!same_result(ref.result, fast.result, &why)) {
+    std::fprintf(stderr, "FAIL smoke-contended: engines disagree on %s\n",
+                 why.c_str());
+    ok = false;
+  }
+  const sim::SimCounters& c = fast.result.counters;
+  if (c.batched_grants == 0 || c.batched_transactions <= c.batched_grants ||
+      c.train_arrivals_absorbed == 0) {
+    std::fprintf(stderr,
+                 "FAIL smoke-contended: contended fast paths idle "
+                 "(batched=%llu/%llu absorbed=%llu)\n",
+                 static_cast<unsigned long long>(c.batched_grants),
+                 static_cast<unsigned long long>(c.batched_transactions),
+                 static_cast<unsigned long long>(c.train_arrivals_absorbed));
+    ok = false;
+  }
+  const double live = fast.host_seconds > 0.0
+                          ? ref.host_seconds / fast.host_seconds
+                          : 0.0;
+  std::printf("smoke-contended: live %.2fx (floor 1.5x), recorded claim "
+              "checked against %s\n",
+              live, record_path.c_str());
+  if (live < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL smoke-contended: live contended speedup %.2fx is "
+                 "below the 1.5x floor\n",
+                 live);
+    ok = false;
+  }
+  std::printf("smoke-contended: %s\n", ok ? "OK" : "FAILED");
+  return ok;
+}
+
 // ---- BENCH_sim.json schema check -------------------------------------------
 
 bool check_engine_obj(const serde::Json& e, const char* where) {
   for (const char* f :
        {"host_seconds", "events_popped", "events_per_sec",
         "heap_pushes_avoided", "dma_trains", "trains_fast_forwarded",
-        "ff_transactions"}) {
+        "ff_transactions", "batched_grants", "batched_transactions",
+        "train_arrivals_absorbed", "mc_enqueued", "mc_max_queued"}) {
     if (!e.contains(f) || !e.at(f).is_number()) {
       std::fprintf(stderr, "FAIL check: %s.%s missing or not a number\n",
                    where, f);
@@ -407,20 +577,23 @@ bool check_file(const std::string& path) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool smoke_contended = false;
   std::string check_path;
   std::string out_path;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--smoke") {
       smoke = true;
+    } else if (a == "--smoke-contended") {
+      smoke_contended = true;
     } else if (a == "--check" && i + 1 < argc) {
       check_path = argv[++i];
     } else if (a == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: bench_sim_throughput [--smoke] [--check FILE] "
-                   "[--out FILE]\n");
+                   "usage: bench_sim_throughput [--smoke] "
+                   "[--smoke-contended] [--check FILE] [--out FILE]\n");
       return 2;
     }
   }
@@ -428,8 +601,9 @@ int main(int argc, char** argv) {
   bool ok = true;
   if (!check_path.empty()) ok = check_file(check_path) && ok;
 
-  if (smoke) {
-    ok = smoke_pass() && ok;
+  if (smoke || smoke_contended) {
+    if (smoke) ok = smoke_pass() && ok;
+    if (smoke_contended) ok = smoke_contended_pass(check_path) && ok;
     return ok ? 0 : 1;
   }
   if (!check_path.empty() && out_path.empty()) return ok ? 0 : 1;
@@ -443,6 +617,10 @@ int main(int argc, char** argv) {
       measure_workload(dma_train_uncontended(20000, 8), 3, &ok));
   workloads.push_back(
       measure_workload(dma_train_contended(64, 400, 8), 3, &ok));
+  workloads.push_back(
+      measure_workload(dma_train_contended_mixed(64, 300), 3, &ok));
+  workloads.push_back(
+      measure_workload(dma_train_cross_section(100, 8), 3, &ok));
 
   serde::Json tuning = measure_tuning(/*smoke=*/false, &ok);
 

@@ -6,6 +6,13 @@
 
 namespace swperf::mem {
 
+namespace {
+// Streams are dense small integers in the simulator (cpe * 18 + slot); a
+// huge id is a caller bug, not a sparse workload.
+constexpr std::uint64_t kMaxStreamId = std::uint64_t{1} << 22;
+constexpr std::size_t kInitialCapacity = 256;
+}  // namespace
+
 MemoryController::MemoryController(const sw::ArchParams& params,
                                    double bw_scale) {
   SWPERF_CHECK(bw_scale > 0.0, "bw_scale=" << bw_scale);
@@ -28,15 +35,79 @@ MemoryController::Grant MemoryController::start(sw::Tick t,
   return Grant{stream, t + l_base_ticks_};
 }
 
+void MemoryController::grow() {
+  const std::size_t ncap = capacity_ == 0 ? kInitialCapacity : capacity_ * 2;
+  std::vector<sw::Tick> arrival(ncap);
+  std::vector<std::uint64_t> stream_of(ncap);
+  std::vector<std::uint64_t> next(ncap);
+  std::vector<std::uint8_t> granted(ncap);
+  // Live positions span less than the old capacity, so position & (ncap-1)
+  // stays collision-free across the move.
+  for (std::uint64_t p = head_pos_; p < tail_pos_; ++p) {
+    const std::size_t from = slot(p);
+    const std::size_t to = static_cast<std::size_t>(p) & (ncap - 1);
+    arrival[to] = arrival_[from];
+    stream_of[to] = stream_of_[from];
+    next[to] = next_[from];
+    granted[to] = granted_[from];
+  }
+  arrival_ = std::move(arrival);
+  stream_of_ = std::move(stream_of);
+  next_ = std::move(next);
+  granted_ = std::move(granted);
+  capacity_ = ncap;
+}
+
+void MemoryController::enqueue(sw::Tick t, std::uint64_t stream) {
+  SWPERF_CHECK(queued_ == 0 || t >= last_queued_arrival_,
+               "arrival at " << t << " behind queued arrival at "
+                             << last_queued_arrival_
+                             << " (drivers must arrive in time order)");
+  SWPERF_CHECK(stream < kMaxStreamId, "stream id " << stream);
+  last_queued_arrival_ = t;
+  if (capacity_ == 0 || tail_pos_ - head_pos_ == capacity_) grow();
+  const std::uint64_t pos = tail_pos_++;
+  const std::size_t s = slot(pos);
+  arrival_[s] = t;
+  stream_of_[s] = stream;
+  next_[s] = kNone;
+  granted_[s] = 0;
+  if (stream >= streams_.size()) {
+    streams_.resize(std::max<std::size_t>(static_cast<std::size_t>(stream) + 1,
+                                          streams_.size() * 2));
+  }
+  StreamChain& chain = streams_[static_cast<std::size_t>(stream)];
+  if (chain.count == 0) {
+    chain.head = pos;
+  } else {
+    next_[slot(chain.tail)] = pos;
+  }
+  chain.tail = pos;
+  ++chain.count;
+  ++queued_;
+  ++enqueued_total_;
+  max_queued_ = std::max(max_queued_, queued_);
+}
+
+std::uint64_t MemoryController::pop_waiter(std::uint64_t stream) {
+  StreamChain& chain = streams_[static_cast<std::size_t>(stream)];
+  SWPERF_ASSERT(chain.count > 0);
+  const std::uint64_t pos = chain.head;
+  const std::size_t s = slot(pos);
+  chain.head = next_[s];
+  if (--chain.count == 0) chain.tail = kNone;
+  granted_[s] = 1;
+  if (pos == head_pos_) ++head_pos_;
+  --queued_;
+  return pos;
+}
+
 std::optional<MemoryController::Grant> MemoryController::arrive(
     sw::Tick t, std::uint64_t stream) {
   if (!service_pending_ && t >= busy_until_ && queued_ == 0) {
     return start(t, stream);
   }
-  const std::uint64_t s = seq_++;
-  per_stream_[stream].push_back(Entry{t, s});
-  order_.emplace(std::make_pair(t, s), stream);
-  ++queued_;
+  enqueue(t, stream);
   return std::nullopt;
 }
 
@@ -48,26 +119,19 @@ std::optional<MemoryController::Grant> MemoryController::service(sw::Tick t) {
   if (queued_ == 0) return std::nullopt;
 
   // Stream affinity: keep draining the last-served stream while it has
-  // queued transactions; otherwise take the globally oldest.
+  // queued transactions; otherwise take the globally oldest.  Ring
+  // positions are (arrival, admission) order, so the oldest ungranted
+  // entry is wherever the lazy head cursor lands — and it is necessarily
+  // the head of its stream's chain.
   std::uint64_t stream;
-  if (has_last_) {
-    auto it = per_stream_.find(last_stream_);
-    if (it != per_stream_.end() && !it->second.empty()) {
-      stream = last_stream_;
-    } else {
-      stream = order_.begin()->second;
-    }
+  if (has_last_ && last_stream_ < streams_.size() &&
+      streams_[static_cast<std::size_t>(last_stream_)].count > 0) {
+    stream = last_stream_;
   } else {
-    stream = order_.begin()->second;
+    while (granted_[slot(head_pos_)] != 0) ++head_pos_;
+    stream = stream_of_[slot(head_pos_)];
   }
-
-  auto& dq = per_stream_[stream];
-  SWPERF_ASSERT(!dq.empty());
-  const Entry e = dq.front();
-  dq.pop_front();
-  if (dq.empty()) per_stream_.erase(stream);
-  order_.erase(std::make_pair(e.arrival, e.seq));
-  --queued_;
+  pop_waiter(stream);
   return start(t, stream);
 }
 

@@ -25,12 +25,24 @@
 //   * service(t) starts the oldest/affine queued transaction, if any.
 // The simulator drives this through its event queue; unit tests drive it
 // directly.
+//
+// Queue storage is a pre-sized SoA ring arena, not node-based maps: the
+// simulator's contended regime funnels hundreds of thousands of queued
+// transactions through arrive()/service(), and per-entry allocation plus
+// pointer-chasing dominated both engines' wall time before the rewrite.
+// Entries live at monotone positions in power-of-two ring arrays (arrival
+// tick / stream / per-stream chain / granted flag each in its own array);
+// a stream's waiters form an intrusive chain through `next_`, and the
+// globally oldest entry is found by advancing a lazy head cursor past
+// granted slots.  Correctness leans on an invariant the simulator already
+// guarantees (events pop in time order): queued arrivals are nondecreasing
+// in time, so ring position order IS (arrival, admission) order — checked
+// here, not assumed.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <optional>
+#include <vector>
 
 #include "sw/arch.h"
 #include "sw/time.h"
@@ -53,7 +65,9 @@ class MemoryController {
   };
 
   /// Transaction of `stream` arrives at `t`. Starts service immediately if
-  /// the controller is idle (grant returned); otherwise queues.
+  /// the controller is idle (grant returned); otherwise queues.  Queued
+  /// arrivals must be nondecreasing in `t` (the simulator pops events in
+  /// time order; direct drivers must do the same).
   std::optional<Grant> arrive(sw::Tick t, std::uint64_t stream);
 
   /// Service slot at `t` (>= busy_until of the previous grant): starts the
@@ -70,6 +84,22 @@ class MemoryController {
   std::uint64_t transactions() const { return transactions_; }
   std::uint64_t queued() const { return queued_; }
 
+  /// Queued transactions of the last-served stream — the affinity target:
+  /// the next affine_queued() service() calls are guaranteed to grant that
+  /// stream's current waiters in arrival order, regardless of interleaved
+  /// enqueues (which only append behind them).  The simulator's batched
+  /// grant fast path leans on this guarantee.
+  std::uint64_t affine_queued() const {
+    if (!has_last_ || last_stream_ >= streams_.size()) return 0;
+    return streams_[static_cast<std::size_t>(last_stream_)].count;
+  }
+
+  /// Arrivals that found the controller busy and had to queue.
+  std::uint64_t enqueued_total() const { return enqueued_total_; }
+  /// High-water mark of the wait queue (the paper's contended regime in
+  /// one number: how deep the backlog behind one controller got).
+  std::uint64_t max_queued() const { return max_queued_; }
+
   /// Ticks spent actually transferring data.
   sw::Tick busy_ticks() const { return busy_ticks_; }
   /// Idle gaps between transactions ("memory idle cycles" — nonzero
@@ -84,12 +114,21 @@ class MemoryController {
   sw::Tick l_base_ticks() const { return l_base_ticks_; }
 
  private:
-  struct Entry {
-    sw::Tick arrival;
-    std::uint64_t seq;
+  static constexpr std::uint64_t kNone = ~std::uint64_t{0};
+
+  struct StreamChain {
+    std::uint64_t head = kNone;  // ring position of the oldest waiter
+    std::uint64_t tail = kNone;
+    std::uint32_t count = 0;
   };
 
   Grant start(sw::Tick t, std::uint64_t stream);
+  void enqueue(sw::Tick t, std::uint64_t stream);
+  std::uint64_t pop_waiter(std::uint64_t stream);
+  void grow();
+  std::size_t slot(std::uint64_t pos) const {
+    return static_cast<std::size_t>(pos) & (capacity_ - 1);
+  }
 
   sw::Tick service_ticks_;
   sw::Tick l_base_ticks_;
@@ -100,13 +139,24 @@ class MemoryController {
   bool ever_busy_ = false;
   std::uint64_t transactions_ = 0;
   std::uint64_t queued_ = 0;
-  std::uint64_t seq_ = 0;
+  std::uint64_t enqueued_total_ = 0;
+  std::uint64_t max_queued_ = 0;
   std::uint64_t last_stream_ = 0;
   bool has_last_ = false;
 
-  std::map<std::uint64_t, std::deque<Entry>> per_stream_;
-  /// Global FIFO order: (arrival, seq) -> stream.
-  std::map<std::pair<sw::Tick, std::uint64_t>, std::uint64_t> order_;
+  // SoA ring arena over monotone positions [head_pos_, tail_pos_); slot
+  // index = position & (capacity_ - 1).  `granted_` marks entries already
+  // started out of ring order by stream affinity; the head cursor skips
+  // them lazily.
+  std::size_t capacity_ = 0;  // power of two; 0 until first enqueue
+  std::uint64_t head_pos_ = 0;
+  std::uint64_t tail_pos_ = 0;
+  sw::Tick last_queued_arrival_ = 0;
+  std::vector<sw::Tick> arrival_;
+  std::vector<std::uint64_t> stream_of_;
+  std::vector<std::uint64_t> next_;  // next waiter of the same stream
+  std::vector<std::uint8_t> granted_;
+  std::vector<StreamChain> streams_;  // indexed by stream id
 };
 
 }  // namespace swperf::mem

@@ -1,0 +1,147 @@
+#include "pipeline/chip.h"
+
+#include <limits>
+
+#include "kernels/suite.h"
+#include "serde/serde.h"
+#include "sw/error.h"
+
+namespace swperf::pipeline {
+
+namespace {
+
+std::uint32_t as_u32_field(const serde::Json& j, const char* what) {
+  const std::uint64_t v = j.as_u64();
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    throw sw::Error(std::string(what) + " overflows uint32");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+ChipJobSpec job_from_json(const serde::Json& j) {
+  if (!j.is_object()) {
+    throw sw::Error("chip scenario job must be a JSON object");
+  }
+  ChipJobSpec job;
+  bool have_kernel = false;
+  bool have_scale = false;
+  for (const auto& [key, value] : j.members()) {
+    if (key == "kernel") {
+      have_kernel = true;
+      if (value.is_string()) {
+        job.named_kernel = true;
+        job.kernel_name = value.as_string();
+      } else {
+        job.named_kernel = false;
+        job.kernel_desc = serde::kernel_desc_from_json(value);
+      }
+    } else if (key == "name") {
+      job.name = value.as_string();
+    } else if (key == "scale") {
+      have_scale = true;
+      const std::string& s = value.as_string();
+      if (s == "small") {
+        job.scale = kernels::Scale::kSmall;
+      } else if (s == "full") {
+        job.scale = kernels::Scale::kFull;
+      } else {
+        throw sw::Error("chip scenario job: unknown scale '" + s +
+                        "' (expected \"small\" or \"full\")");
+      }
+    } else if (key == "params") {
+      job.have_params = true;
+      job.params = serde::launch_params_from_json(value);
+    } else if (key == "core_groups") {
+      job.core_groups = as_u32_field(value, "chip scenario job core_groups");
+      if (job.core_groups == 0) {
+        throw sw::Error("chip scenario job: core_groups must be >= 1");
+      }
+    } else {
+      throw sw::Error("chip scenario job: unknown field \"" + key + "\"");
+    }
+  }
+  if (!have_kernel) {
+    throw sw::Error("chip scenario job: missing \"kernel\"");
+  }
+  if (have_scale && !job.named_kernel) {
+    throw sw::Error(
+        "chip scenario job: \"scale\" applies to named suite kernels only");
+  }
+  if (job.name.empty()) {
+    job.name = job.named_kernel ? job.kernel_name : job.kernel_desc.name;
+  }
+  return job;
+}
+
+}  // namespace
+
+ChipScenarioSpec chip_scenario_spec_from_json(const serde::Json& j) {
+  if (!j.is_object()) {
+    throw sw::Error("chip scenario must be a JSON object");
+  }
+  ChipScenarioSpec spec;
+  bool have_jobs = false;
+  for (const auto& [key, value] : j.members()) {
+    if (key == "core_groups") {
+      spec.core_groups = as_u32_field(value, "chip scenario core_groups");
+      if (spec.core_groups == 0) {
+        throw sw::Error("chip scenario: core_groups must be >= 1");
+      }
+    } else if (key == "trace") {
+      spec.trace = value.as_bool();
+    } else if (key == "jobs") {
+      have_jobs = true;
+      if (!value.is_array()) {
+        throw sw::Error("chip scenario: \"jobs\" must be an array");
+      }
+      for (const auto& job : value.items()) {
+        spec.jobs.push_back(job_from_json(job));
+      }
+    } else {
+      throw sw::Error("chip scenario: unknown field \"" + key + "\"");
+    }
+  }
+  if (!have_jobs || spec.jobs.empty()) {
+    throw sw::Error("chip scenario: needs a non-empty \"jobs\" array");
+  }
+  return spec;
+}
+
+sim::ChipScenario assemble_chip_scenario(const ChipScenarioSpec& spec,
+                                         Session& session) {
+  sim::ChipScenario scenario;
+  scenario.arch = session.arch();
+  scenario.core_groups = spec.core_groups;
+  scenario.trace = spec.trace;
+  scenario.jobs.reserve(spec.jobs.size());
+  for (const auto& job : spec.jobs) {
+    swacc::KernelDesc desc;
+    swacc::LaunchParams params;
+    if (job.named_kernel) {
+      const auto kspec = kernels::make(job.kernel_name, job.scale);
+      desc = kspec.desc;
+      params = kspec.tuned;
+    } else {
+      desc = job.kernel_desc;
+    }
+    if (job.have_params) params = job.params;
+
+    const auto& lk = session.lower(desc, params);
+    const std::uint32_t demand = lk.sim_config.core_groups;
+    std::uint32_t slots = job.core_groups == 0 ? demand : job.core_groups;
+    if (slots < demand) {
+      throw sw::Error("chip scenario job '" + job.name + "' reserves " +
+                      std::to_string(slots) + " CGs but its launch needs " +
+                      std::to_string(demand));
+    }
+    sim::ChipJob cj;
+    cj.name = job.name;
+    cj.binary = lk.binary;
+    cj.programs = lk.programs;
+    cj.core_groups = slots;
+    scenario.jobs.push_back(std::move(cj));
+  }
+  return scenario;
+}
+
+}  // namespace swperf::pipeline

@@ -1,0 +1,65 @@
+// Chip-scenario specs: the JSON front door of sim::simulate_chip().
+//
+// A scenario file describes a whole-chip run — several kernel launches
+// queued on the SW26010's CG slots, sharing cross-section memory — in
+// terms of the same building blocks the rest of the pipeline speaks:
+// suite kernel names (or inline KernelDesc objects) plus LaunchParams.
+// Parsing is strict in the serde style (unknown fields and type
+// mismatches raise sw::Error); assembly lowers each job through a
+// Session, so repeated jobs share one lowering via the session memo.
+//
+// Schema (swperf.chip_scenario.v1, documented in docs/PIPELINE.md):
+//   { "core_groups": 4,                  // optional; CG slots on the chip
+//     "trace": false,                    // optional; record a causal trace
+//     "jobs": [                          // required, non-empty, in queue
+//       { "kernel": "vecadd" | {KernelDesc},   //   order
+//         "name": "a",                   // optional; default kernel name
+//         "scale": "small" | "full",     // named kernels only
+//         "params": {LaunchParams},      // optional; default tuned preset
+//         "core_groups": 2 } ] }         // optional; >= the lowering's
+//                                        //   own CG demand
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/spec.h"
+#include "pipeline/session.h"
+#include "serde/json.h"
+#include "sim/chip.h"
+#include "swacc/kernel.h"
+
+namespace swperf::pipeline {
+
+/// One job of a scenario file, before lowering.
+struct ChipJobSpec {
+  std::string name;               // display name (defaulted on parse)
+  bool named_kernel = true;       // suite name vs. inline description
+  std::string kernel_name;        // when named_kernel
+  swacc::KernelDesc kernel_desc;  // when !named_kernel
+  kernels::Scale scale = kernels::Scale::kFull;
+  bool have_params = false;
+  swacc::LaunchParams params;     // when have_params
+  std::uint32_t core_groups = 0;  // 0 = take the lowering's CG demand
+};
+
+/// A parsed scenario file: chip shape plus the job queue.
+struct ChipScenarioSpec {
+  std::uint32_t core_groups = 4;
+  bool trace = false;
+  std::vector<ChipJobSpec> jobs;
+};
+
+/// Strict parse of a scenario file; throws sw::Error on unknown fields,
+/// type mismatches, or an empty job list.
+ChipScenarioSpec chip_scenario_spec_from_json(const serde::Json& j);
+
+/// Lowers every job through `session` (named kernels resolve their preset
+/// params unless the spec overrides them) and assembles the runnable
+/// scenario.  A job's explicit core_groups must cover the lowering's own
+/// CG demand; left unset, the demand is used as-is.
+sim::ChipScenario assemble_chip_scenario(const ChipScenarioSpec& spec,
+                                         Session& session);
+
+}  // namespace swperf::pipeline

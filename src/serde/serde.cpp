@@ -406,6 +406,11 @@ Json to_json(const sim::SimCounters& c) {
   j.set("dma_trains", c.dma_trains);
   j.set("trains_fast_forwarded", c.trains_fast_forwarded);
   j.set("ff_transactions", c.ff_transactions);
+  j.set("batched_grants", c.batched_grants);
+  j.set("batched_transactions", c.batched_transactions);
+  j.set("train_arrivals_absorbed", c.train_arrivals_absorbed);
+  j.set("mc_enqueued", c.mc_enqueued);
+  j.set("mc_max_queued", c.mc_max_queued);
   return j;
 }
 
@@ -424,6 +429,28 @@ Json to_json(const sim::SimResult& r) {
   Json cpes = Json::array();
   for (const auto& c : r.cpes) cpes.push_back(to_json(c));
   j.set("cpes", std::move(cpes));
+  return j;
+}
+
+Json to_json(const sim::ChipJobResult& r) {
+  Json j = Json::object();
+  j.set("name", r.name);
+  j.set("core_groups", r.core_groups);
+  j.set("cpes", r.cpes);
+  j.set("launch_ticks", r.launch_ticks);
+  j.set("finish_ticks", r.finish_ticks);
+  j.set("makespan_ticks", r.makespan_ticks());
+  j.set("makespan_cycles", sw::ticks_to_cycles(r.makespan_ticks()));
+  return j;
+}
+
+Json to_json(const sim::ChipResult& r) {
+  Json j = Json::object();
+  j.set("schema", "swperf.chip_result.v1");
+  Json jobs = Json::array();
+  for (const auto& job : r.jobs) jobs.push_back(to_json(job));
+  j.set("jobs", std::move(jobs));
+  j.set("sim", to_json(r.sim));
   return j;
 }
 

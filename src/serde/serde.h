@@ -22,6 +22,7 @@
 #include "model/model.h"
 #include "model/report.h"
 #include "serde/json.h"
+#include "sim/chip.h"
 #include "sim/machine.h"
 #include "swacc/kernel.h"
 #include "swacc/summary.h"
@@ -65,6 +66,12 @@ Json to_json(const sim::TraceEvent& e);
 /// The full causal trace (`swperf timeline --json`): lane shape, span in
 /// ticks and cycles, per-lane busy time and utilization, and the events.
 Json to_json(const sim::Trace& t);
+/// One job's window inside a chip scenario: CG slots held, CPE count,
+/// launch/finish/makespan on the shared chip clock.
+Json to_json(const sim::ChipJobResult& r);
+/// A whole-chip scenario outcome (`swperf simulate --chip --json`): the
+/// merged simulation result plus one window per job, in queue order.
+Json to_json(const sim::ChipResult& r);
 Json to_json(const analysis::Diagnostic& d);
 Json to_json(const analysis::Diagnostics& diags);
 /// Legality facts of one launch (`swperf check --analyze`): launch_legal,

@@ -1,0 +1,93 @@
+#include "sim/chip.h"
+
+#include <utility>
+#include <variant>
+
+#include "sw/error.h"
+
+namespace swperf::sim {
+
+namespace {
+
+ChipResult run_scenario(const ChipScenario& scenario, bool fast_engine) {
+  SWPERF_CHECK(!scenario.jobs.empty(), "chip scenario with no jobs");
+
+  // Merge the jobs' code objects into one binary, re-basing each job's
+  // ComputeOp block ids past the blocks already merged.  Programs are
+  // copied (the patch must not touch the caller's job), concatenated in
+  // job order so each job is a contiguous slice — the layout
+  // detail::JobSpec expects.
+  KernelBinary merged;
+  std::vector<CpeProgram> programs;
+  std::vector<detail::JobSpec> specs;
+  std::size_t total_blocks = 0;
+  std::size_t total_programs = 0;
+  for (const auto& job : scenario.jobs) {
+    total_blocks += job.binary.blocks.size();
+    total_programs += job.programs.size();
+  }
+  merged.blocks.reserve(total_blocks);
+  programs.reserve(total_programs);
+  specs.reserve(scenario.jobs.size());
+
+  for (const auto& job : scenario.jobs) {
+    SWPERF_CHECK(!job.programs.empty(),
+                 "chip job '" << job.name << "' has no programs");
+    const auto base = static_cast<std::uint32_t>(merged.blocks.size());
+    for (const auto& b : job.binary.blocks) merged.blocks.push_back(b);
+
+    detail::JobSpec spec;
+    spec.first_program = static_cast<std::uint32_t>(programs.size());
+    spec.program_count = static_cast<std::uint32_t>(job.programs.size());
+    spec.core_groups = job.core_groups;
+    specs.push_back(spec);
+
+    for (const auto& p : job.programs) {
+      CpeProgram copy = p;
+      for (auto& op : copy.ops) {
+        if (auto* comp = std::get_if<ComputeOp>(&op)) {
+          SWPERF_CHECK(comp->block_id < job.binary.blocks.size(),
+                       "chip job '" << job.name
+                                    << "' references unknown block "
+                                    << comp->block_id);
+          comp->block_id += base;
+        }
+      }
+      programs.push_back(std::move(copy));
+    }
+  }
+
+  SimConfig cfg;
+  cfg.arch = scenario.arch;
+  cfg.core_groups = scenario.core_groups;
+  cfg.trace = scenario.trace;
+
+  ChipResult out;
+  std::vector<detail::JobWindow> windows;
+  out.sim = detail::simulate_jobs(cfg, merged, programs, specs, &windows,
+                                  fast_engine);
+
+  out.jobs.reserve(scenario.jobs.size());
+  for (std::size_t j = 0; j < scenario.jobs.size(); ++j) {
+    ChipJobResult r;
+    r.name = scenario.jobs[j].name;
+    r.core_groups = specs[j].core_groups;
+    r.cpes = specs[j].program_count;
+    r.launch_ticks = windows[j].launch;
+    r.finish_ticks = windows[j].finish;
+    out.jobs.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+ChipResult simulate_chip(const ChipScenario& scenario) {
+  return run_scenario(scenario, /*fast_engine=*/true);
+}
+
+ChipResult simulate_chip_reference(const ChipScenario& scenario) {
+  return run_scenario(scenario, /*fast_engine=*/false);
+}
+
+}  // namespace swperf::sim

@@ -1,0 +1,80 @@
+// Whole-chip scenarios: concurrent kernels gang-scheduled across the
+// SW26010's four core groups.
+//
+// A single simulate() call models one kernel launch on a fixed set of
+// CGs.  Real workloads on the chip run several kernels at once — each
+// claiming some CGs, all sharing cross-section memory bandwidth — and the
+// paper's contended-regime analysis (Section V-C3) is really about this
+// whole-chip picture: a kernel's DMA throughput degrades when a neighbour
+// job saturates the shared controllers.
+//
+// A ChipScenario is a queue of jobs.  The FIFO gang scheduler launches
+// the head job as soon as its CG demand fits in the free slots; jobs
+// launched concurrently interleave their transactions round-robin over
+// *all* the chip's controllers (cross-section memory at the measured
+// reduced efficiency), so bandwidth interference between jobs emerges
+// from the same queueing that produces single-kernel contention.
+// Barriers stay scoped to each job's CPEs.
+//
+// Determinism contract: like simulate()/simulate_reference(), the fast
+// and reference chip engines are bit-identical on every result field
+// except SimResult::counters, and repeated runs of the same scenario are
+// byte-identical (pinned by tests/sim/chip_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/program.h"
+#include "sw/arch.h"
+#include "sw/time.h"
+
+namespace swperf::sim {
+
+/// One kernel launch inside a chip scenario.  Each job carries its own
+/// code object and per-CPE programs; simulate_chip() merges the binaries
+/// (re-basing block ids) so jobs stay independently lowerable.
+struct ChipJob {
+  std::string name;
+  KernelBinary binary;
+  std::vector<CpeProgram> programs;  // one per CPE the job occupies
+  std::uint32_t core_groups = 1;     // CG slots held while running
+};
+
+/// A whole-chip run: jobs queued in order on `core_groups` CG slots.
+struct ChipScenario {
+  sw::ArchParams arch = sw::ArchParams::sw26010();
+  std::uint32_t core_groups = 4;  // CG slots the chip offers
+  bool trace = false;
+  std::vector<ChipJob> jobs;
+};
+
+/// Per-job outcome: when the gang scheduler launched it and when its last
+/// CPE finished (ticks on the shared chip clock).
+struct ChipJobResult {
+  std::string name;
+  std::uint32_t core_groups = 0;
+  std::uint32_t cpes = 0;
+  sw::Tick launch_ticks = 0;
+  sw::Tick finish_ticks = 0;
+
+  sw::Tick makespan_ticks() const { return finish_ticks - launch_ticks; }
+};
+
+/// Result of one chip scenario: the merged simulation (totals, counters,
+/// optional trace over every CPE of every job) plus per-job windows.
+struct ChipResult {
+  SimResult sim;
+  std::vector<ChipJobResult> jobs;
+};
+
+/// Runs `scenario` on the fast engine.
+ChipResult simulate_chip(const ChipScenario& scenario);
+
+/// Runs `scenario` on the reference oracle (bit-identical to
+/// simulate_chip() on everything except SimResult::counters).
+ChipResult simulate_chip_reference(const ChipScenario& scenario);
+
+}  // namespace swperf::sim

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <optional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "sw/time.h"
@@ -67,6 +68,14 @@ class HeapEventQueue {
   std::optional<sw::Tick> peek_tick() const {
     if (q_.empty()) return std::nullopt;
     return q_.top().tick;
+  }
+
+  /// Full (tick, seq) key of the next event to pop, if any.  Lets the
+  /// engine order its out-of-queue controller service slots against the
+  /// queued events without popping anything.
+  std::optional<std::pair<sw::Tick, std::uint64_t>> peek_key() {
+    if (q_.empty()) return std::nullopt;
+    return std::make_pair(q_.top().tick, q_.top().seq);
   }
 
  private:
@@ -121,6 +130,91 @@ class BucketEventQueue {
     const sw::Tick t = base_ + ((idx - cursor_ + kSpan) & (kSpan - 1));
     if (!overflow_.empty() && overflow_.top().tick < t) return overflow_.top().tick;
     return t;
+  }
+
+  /// Full (tick, seq) key of the next event to pop, if any.  Not const:
+  /// it may lazily sort the head bucket (the same sort pop() would do), but
+  /// the observable queue state — contents and pop order — is unchanged.
+  std::optional<std::pair<sw::Tick, std::uint64_t>> peek_key() {
+    if (size_ == 0) return std::nullopt;
+    if (wheel_size_ == 0) {
+      return std::make_pair(overflow_.top().tick, overflow_.top().seq);
+    }
+    const std::size_t idx = next_occupied(cursor_);
+    const sw::Tick t = base_ + ((idx - cursor_ + kSpan) & (kSpan - 1));
+    Bucket& b = wheel_[idx];
+    if (!b.sorted) sort_bucket(b);
+    auto key = std::make_pair(t, b.items.back().seq);
+    if (!overflow_.empty()) {
+      const auto far = std::make_pair(overflow_.top().tick,
+                                      overflow_.top().seq);
+      if (far < key) return far;
+    }
+    return key;
+  }
+
+  /// Smallest tick of any queued event in (lo, hi] that fails `pred`, or
+  /// nullopt when every event in the range passes.  Overflow events at or
+  /// below `hi` conservatively count as violations at the overflow's top
+  /// tick (the heap's interior cannot be inspected cheaply).  Read-only:
+  /// lets the engine's batched-grant guard prove a window free of
+  /// order-perturbing events without popping anything.
+  template <typename Pred>
+  std::optional<sw::Tick> first_violation(sw::Tick lo, sw::Tick hi,
+                                          Pred pred) const {
+    // An overflow event at or below `hi` conservatively counts as a
+    // violation at the overflow's top tick (the heap's interior cannot be
+    // inspected cheaply) — but only as a *fallback*: the wheel may hold an
+    // earlier violation, so it is scanned first with the range clamped to
+    // the overflow top, and the smaller of the two wins.
+    std::optional<sw::Tick> far;
+    if (!overflow_.empty() && overflow_.top().tick <= hi) {
+      far = overflow_.top().tick;
+      hi = *far;
+    }
+    if (wheel_size_ != 0) {
+      // Each wheel bucket holds exactly one tick in [base_, base_ + kSpan);
+      // hop occupied buckets in tick order via the bitmap.  A wrapped jump
+      // (next occupied bucket lands behind `t` in time) means the remaining
+      // occupied buckets all precede the range — done.
+      sw::Tick t = std::max<sw::Tick>(lo + 1, base_);
+      const sw::Tick end =
+          std::min<sw::Tick>(hi, base_ + static_cast<sw::Tick>(kSpan) - 1);
+      while (t <= end) {
+        const std::size_t from = index_of(t);
+        const std::size_t idx = next_occupied(from);
+        const sw::Tick bt =
+            t + static_cast<sw::Tick>((idx - from + kSpan) & (kSpan - 1));
+        if (bt > end) break;
+        for (const Item& it : wheel_[idx].items) {
+          if (!pred(it)) return bt;  // bt <= clamped hi <= far
+        }
+        t = bt + 1;
+      }
+    }
+    return far;
+  }
+
+  /// Test oracle for first_violation: the same contract by brute force — a
+  /// linear scan of every queued item plus the same conservative overflow
+  /// fallback.  O(kSpan + items); only for tests pinning the bitmap walk.
+  template <typename Pred>
+  std::optional<sw::Tick> first_violation_naive(sw::Tick lo, sw::Tick hi,
+                                                Pred pred) const {
+    std::optional<sw::Tick> best;
+    for (std::size_t i = 0; i < kSpan; ++i) {
+      for (const Item& it : wheel_[i].items) {
+        if (it.tick > lo && it.tick <= hi && !pred(it) &&
+            (!best || it.tick < *best)) {
+          best = it.tick;
+        }
+      }
+    }
+    if (!overflow_.empty() && overflow_.top().tick <= hi &&
+        (!best || overflow_.top().tick < *best)) {
+      best = overflow_.top().tick;
+    }
+    return best;
   }
 
  private:

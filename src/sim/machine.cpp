@@ -42,15 +42,17 @@ enum class EvKind : std::uint8_t {
   kResume = 0,
   kDmaArrival = 1,  // one transaction (reference engine only)
   kGloadArrival = 2,
-  kMcService = 3,
-  kDmaTrain = 4,  // self-rescheduling whole-request train (fast engine)
+  kMcService = 3,  // reference engine only: the fast engine keeps its
+                   // controller service events in per-controller slots
+  kDmaTrain = 4,   // self-rescheduling whole-request train (fast engine)
+  kJobLaunch = 5,  // gang scheduler releasing a queued job onto freed CGs
 };
 
 struct Ev {
   sw::Tick tick;
   std::uint64_t seq;  // insertion order: deterministic tie-break
   EvKind kind;
-  std::uint32_t cpe;  // or controller index for kMcService
+  std::uint32_t cpe;  // or controller index (kMcService) / job (kJobLaunch)
   int handle;         // for kDmaArrival / kDmaTrain
 };
 
@@ -111,7 +113,8 @@ template <typename Queue, bool kFastPath>
 class Engine {
  public:
   Engine(const SimConfig& cfg, const KernelBinary& binary,
-         const std::vector<CpeProgram>& programs)
+         const std::vector<CpeProgram>& programs,
+         const std::vector<detail::JobSpec>* jobs = nullptr)
       : cfg_(cfg), dma_(cfg.arch) {
     cfg_.arch.validate();
     SWPERF_CHECK(cfg_.core_groups >= 1 &&
@@ -119,8 +122,12 @@ class Engine {
                  "core_groups=" << cfg_.core_groups);
     const std::size_t capacity =
         static_cast<std::size_t>(cfg_.arch.cpes_per_cg) * cfg_.core_groups;
-    SWPERF_CHECK(!programs.empty() && programs.size() <= capacity,
-                 programs.size() << " programs for " << capacity << " CPEs");
+    SWPERF_CHECK(!programs.empty(), "no programs");
+    if (jobs == nullptr || jobs->empty()) {
+      SWPERF_CHECK(programs.size() <= capacity,
+                   programs.size() << " programs for " << capacity
+                                   << " CPEs");
+    }
 
     // Cross-section memory (multi-CG) runs at slightly reduced efficiency.
     const double bw_scale =
@@ -145,16 +152,89 @@ class Engine {
     if (cfg_.trace) {
       trace_.events.reserve(std::min<std::size_t>(5 * total_ops, 1 << 20));
     }
+
+    // The job table: explicit gang-scheduled jobs in chip mode, or one
+    // implicit job spanning every program (the classic single-launch
+    // behaviour, byte-for-byte) otherwise.
+    if (jobs != nullptr && !jobs->empty()) {
+      std::uint32_t at = 0;
+      for (const auto& spec : *jobs) {
+        SWPERF_CHECK(spec.program_count >= 1, "job with no programs");
+        SWPERF_CHECK(spec.first_program == at,
+                     "job slices must tile the program vector in order");
+        SWPERF_CHECK(spec.core_groups >= 1 &&
+                         spec.core_groups <= cfg_.core_groups,
+                     "job wants " << spec.core_groups << " CGs on a "
+                                  << cfg_.core_groups << "-CG chip");
+        SWPERF_CHECK(
+            spec.program_count <=
+                static_cast<std::size_t>(cfg_.arch.cpes_per_cg) *
+                    spec.core_groups,
+            "job has " << spec.program_count << " programs for "
+                       << spec.core_groups << " CGs");
+        at += spec.program_count;
+        jobs_.push_back(JobState{spec, spec.program_count, 0, 0});
+      }
+      SWPERF_CHECK(at == programs.size(),
+                   "job slices cover " << at << " of " << programs.size()
+                                       << " programs");
+    } else {
+      detail::JobSpec spec;
+      spec.first_program = 0;
+      spec.program_count = static_cast<std::uint32_t>(programs.size());
+      spec.core_groups = cfg_.core_groups;
+      jobs_.push_back(JobState{spec, spec.program_count, 0, 0});
+    }
+    job_of_.resize(programs.size());
+    for (std::uint32_t j = 0; j < jobs_.size(); ++j) {
+      const auto& spec = jobs_[j].spec;
+      for (std::uint32_t i = 0; i < spec.program_count; ++i) {
+        job_of_[spec.first_program + i] = j;
+      }
+    }
+    barrier_waiters_.resize(jobs_.size());
+    free_cgs_ = cfg_.core_groups;
+    if constexpr (kFastPath) mc_slots_.resize(controllers_.size());
   }
 
   SimResult run() {
     trace_.n_cpes = static_cast<std::uint32_t>(cpes_.size());
     trace_.n_controllers = static_cast<std::uint32_t>(controllers_.size());
-    for (std::uint32_t i = 0; i < cpes_.size(); ++i) step(i, 0);
+    launch_ready(0, /*immediate=*/true);
 
-    while (!events_.empty()) {
+    while (true) {
+      if constexpr (kFastPath) {
+        // Controller service slots live outside the queue: at most one per
+        // controller, keyed (tick, seq) exactly like the kMcService events
+        // the reference engine pushes, so ordering them against the queue
+        // head reproduces the reference pop order.
+        int best = -1;
+        for (std::size_t m = 0; m < mc_slots_.size(); ++m) {
+          const McSlot& s = mc_slots_[m];
+          if (!s.armed) continue;
+          if (best < 0 || s.tick < mc_slots_[best].tick ||
+              (s.tick == mc_slots_[best].tick &&
+               s.seq < mc_slots_[best].seq)) {
+            best = static_cast<int>(m);
+          }
+        }
+        if (best >= 0) {
+          bool fire = true;
+          if (!events_.empty()) {
+            const auto qk = events_.peek_key();
+            fire = std::make_pair(mc_slots_[best].tick,
+                                  mc_slots_[best].seq) < *qk;
+          }
+          if (fire) {
+            fire_slot(static_cast<std::uint32_t>(best));
+            continue;
+          }
+        }
+      }
+      if (events_.empty()) break;
       const Ev ev = events_.pop();
       ++counters_.events_popped;
+      if constexpr (kFastPath) materialize(ev.tick, ev.seq);
       switch (ev.kind) {
         case EvKind::kResume:
           step(ev.cpe, ev.tick);
@@ -165,11 +245,21 @@ class Engine {
         case EvKind::kDmaTrain: {
           Request& r = request_slot(cpes_[ev.cpe], ev.handle);
           if (try_fast_forward(ev, r)) break;
-          if (--r.issue_remaining > 0) {
-            events_.push(Ev{ev.tick + dma_.delta_ticks(), r.train_seq++,
-                            EvKind::kDmaTrain, ev.cpe, ev.handle});
-          }
+          // This hop's own transaction first: its arrival may extend the
+          // controller backlog absorb_train's busy horizon counts on.  The
+          // re-entry hop's key is the preallocated (tick, train_seq), so
+          // pushing it after changes nothing the queue can observe.
           submit_transaction(ev.tick, stream_id(ev.cpe, handle_slot(ev.handle)));
+          if (--r.issue_remaining > 0) {
+            const std::uint64_t k = absorb_train(ev, r);
+            if (r.issue_remaining > 0) {
+              events_.push(Ev{ev.tick +
+                                  static_cast<sw::Tick>(k + 1) *
+                                      dma_.delta_ticks(),
+                              r.train_seq++, EvKind::kDmaTrain, ev.cpe,
+                              ev.handle});
+            }
+          }
           break;
         }
         case EvKind::kGloadArrival:
@@ -182,15 +272,31 @@ class Engine {
           }
           break;
         }
+        case EvKind::kJobLaunch: {
+          JobState& job = jobs_[ev.cpe];
+          job.launch = ev.tick;
+          for (std::uint32_t i = 0; i < job.spec.program_count; ++i) {
+            step(job.spec.first_program + i, ev.tick);
+          }
+          break;
+        }
       }
     }
 
+    if constexpr (kFastPath) {
+      // Every absorbed arrival lands strictly inside its burst's busy
+      // horizon, so the controller's slot chain stays alive past it and
+      // some fire_slot materialized it before the queue could drain.
+      SWPERF_ASSERT(bursts_.empty());
+    }
     std::size_t finished = 0;
     for (const auto& c : cpes_) finished += c.done ? 1 : 0;
     SWPERF_CHECK(finished == cpes_.size(),
-                 "simulation deadlocked: " << cpes_.size() - finished
-                                           << " CPEs blocked (barrier "
-                                              "mismatch or missing dma_wait)");
+                 "simulation deadlocked: "
+                     << cpes_.size() - finished << " CPEs blocked, "
+                     << jobs_.size() - next_launch_
+                     << " jobs never launched (barrier mismatch, missing "
+                        "dma_wait, or a job that cannot fit)");
 
     SimResult r;
     r.cpes.reserve(cpes_.size());
@@ -202,10 +308,21 @@ class Engine {
       r.transactions += mc.transactions();
       r.mem_busy_ticks += mc.busy_ticks();
       r.mem_idle_ticks += mc.idle_ticks();
+      counters_.mc_enqueued += mc.enqueued_total();
+      counters_.mc_max_queued =
+          std::max(counters_.mc_max_queued, mc.max_queued());
     }
     r.counters = counters_;
     if (cfg_.trace) r.trace = std::move(trace_);
     return r;
+  }
+
+  /// Launch/finish ticks per job, in job order (valid after run()).
+  std::vector<detail::JobWindow> job_windows() const {
+    std::vector<detail::JobWindow> w;
+    w.reserve(jobs_.size());
+    for (const auto& j : jobs_) w.push_back({j.launch, j.finish});
+    return w;
   }
 
  private:
@@ -236,10 +353,199 @@ class Engine {
   }
 
   /// Handles a granted transaction: schedules the controller's next service
-  /// slot and routes the data-return to the owning request/gload.
+  /// slot and routes the data-return to the owning request/gload.  The fast
+  /// engine keeps the service slot out of the event queue entirely — one
+  /// McSlot per controller, re-armed in place — which removes the dominant
+  /// push/pop churn of the contended regime; the slot's (tick, seq) key is
+  /// exactly the kMcService event's, so pop order is unchanged.
   void deliver(std::uint32_t mc_idx, const mem::MemoryController::Grant& g) {
-    schedule(controllers_[mc_idx].busy_until(), EvKind::kMcService, mc_idx);
+    if constexpr (kFastPath) {
+      arm_slot(mc_idx);
+    } else {
+      schedule(controllers_[mc_idx].busy_until(), EvKind::kMcService, mc_idx);
+    }
     serve(mc_idx, g);
+  }
+
+  /// Arms controller `m`'s service slot for busy_until.  Allocating seq
+  /// here — before serve() — mirrors the reference engine's deliver(),
+  /// which pushes kMcService before any data-return resume, so both
+  /// engines consume identical seq values.
+  void arm_slot(std::uint32_t m) {
+    mc_slots_[m] = McSlot{controllers_[m].busy_until(), seq_++, true};
+    ++counters_.heap_pushes_avoided;
+  }
+
+  /// Admits absorbed train arrivals (see absorb_train) whose (tick, seq)
+  /// key strictly precedes (t, s) — the key of the event or service slot
+  /// about to execute — to the single controller, in exact global arrival
+  /// order.  Called before every pop dispatch and every slot fire, so each
+  /// engine decision sees the same wait queue the reference engine built
+  /// one arrival event at a time.
+  void materialize(sw::Tick t, std::uint64_t s) {
+    while (!bursts_.empty()) {
+      const Burst& b = bursts_.front();
+      if (b.next_tick > t || (b.next_tick == t && b.next_seq >= s)) break;
+      // Inside the burst's busy horizon by construction: the arrival can
+      // only enqueue, never grant.
+      auto g = controllers_[0].arrive(b.next_tick, b.stream);
+      SWPERF_ASSERT(!g.has_value());
+      std::pop_heap(bursts_.begin(), bursts_.end(), BurstAfter{});
+      Burst& back = bursts_.back();
+      back.next_tick += back.delta;
+      ++back.next_seq;
+      if (--back.remaining == 0) {
+        bursts_.pop_back();
+      } else {
+        std::push_heap(bursts_.begin(), bursts_.end(), BurstAfter{});
+      }
+    }
+  }
+
+  /// Contended train absorption (fast engine, single controller): after a
+  /// train hop at ev.tick, absorb the next k arrivals — those provably
+  /// landing while the controller is still draining its current backlog —
+  /// into a Burst instead of scheduling them as events.  Busy horizon: the
+  /// in-flight service ends at busy_until(), then each queued transaction
+  /// occupies the controller for service_ticks() back to back, so until
+  /// busy_until() + queued()*S every arrival strictly earlier can only
+  /// enqueue; materialize() admits them in exact (tick, seq) order using
+  /// the train's preallocated seq block.  Returns k; the caller schedules
+  /// the train's re-entry hop after the absorbed stretch.
+  std::uint64_t absorb_train(const Ev& ev, Request& r) {
+    if constexpr (!kFastPath) {
+      (void)ev;
+      (void)r;
+      return 0;
+    } else {
+      if (controllers_.size() != 1) return 0;
+      auto& mc = controllers_[0];
+      if (!mc.service_pending()) return 0;
+      const sw::Tick delta = dma_.delta_ticks();
+      if (delta == 0) return 0;
+      const sw::Tick horizon =
+          mc.busy_until() +
+          static_cast<sw::Tick>(mc.queued()) * mc.service_ticks();
+      if (ev.tick + delta >= horizon) return 0;
+      const std::uint64_t k = std::min<std::uint64_t>(
+          r.issue_remaining,
+          static_cast<std::uint64_t>((horizon - 1 - ev.tick) / delta));
+      if (k == 0) return 0;
+      bursts_.push_back(Burst{ev.tick + delta, r.train_seq, delta, k,
+                              stream_id(ev.cpe, handle_slot(ev.handle))});
+      std::push_heap(bursts_.begin(), bursts_.end(), BurstAfter{});
+      r.train_seq += k;
+      r.issue_remaining -= k;
+      counters_.train_arrivals_absorbed += k;
+      counters_.heap_pushes_avoided += k;
+      return k;
+    }
+  }
+
+  /// Fires controller `m`'s armed service slot: the fast-engine equivalent
+  /// of popping its kMcService event (counted as a logical pop).
+  void fire_slot(std::uint32_t m) {
+    const sw::Tick now = mc_slots_[m].tick;
+    const std::uint64_t sseq = mc_slots_[m].seq;
+    mc_slots_[m].armed = false;
+    ++counters_.events_popped;
+    materialize(now, sseq);
+    auto& mc = controllers_[m];
+    auto g = mc.service(now);
+    if (!g) return;
+    arm_slot(m);
+    serve(m, *g);
+    try_batch(m, now);
+  }
+
+  /// Contended batched grant: after the grant at `t0`, serve up to j more
+  /// queued transactions back-to-back at t0+S, t0+2S, ... analytically,
+  /// when the grant decisions provably come out the same as the reference
+  /// engine's event-at-a-time interleaving.  Guards (all conservative):
+  ///   * j*S < L (i.e. j <= (L-1)/S): the slot fire at t0 already granted
+  ///     once, so the batch's decisions land at t0+S .. t0+j*S; keeping the
+  ///     whole window strictly inside one data-return latency means every
+  ///     resume or arrival the window's own grants schedule — t0+L at the
+  ///     earliest — lands past the last batched decision.  L <= S disables
+  ///     batching outright;
+  ///   * every other controller's armed slot sits strictly past t0+j*S
+  ///     (strict because a slot at an equal tick carries a smaller seq than
+  ///     the batch's freshly armed slot, and would fire first in between);
+  ///   * single controller: j <= affine_queued() — every batched decision
+  ///     grants a waiter of the affine stream that is already queued, and
+  ///     the controller pops those in arrival order no matter what arrives
+  ///     meanwhile.  Queued events inside the window [t0, t0+j*S] are then
+  ///     harmless as long as they are pure arrivals (kDmaTrain /
+  ///     kGloadArrival): popped before or after the batch, they only
+  ///     enqueue (the controller stays busy through the window, so they
+  ///     cannot grant) at the same ring positions (admission order is push
+  ///     order either way), leaving every controller decision unchanged.
+  ///     kResume / kJobLaunch events run CPE steps with arbitrary effects,
+  ///     so the first one in the window caps j below its tick.  This is
+  ///     what makes batching engage in the paper's contended regime, where
+  ///     DMA trains keep dribbling arrivals into the backlog every few
+  ///     hundred ticks while the controller drains one request's
+  ///     transactions back-to-back.
+  ///   * multiple controllers: arrivals round-robin across controllers and
+  ///     could grant idle neighbours immediately, so fall back to the
+  ///     strict guard — no queued event of any kind inside the window
+  ///     (j <= queued() then bounds the grants the backlog can supply).
+  /// The grant at t0's own data-return was pushed before this runs, so the
+  /// window scan (or peek) covers it.
+  void try_batch(std::uint32_t m, sw::Tick t0) {
+    auto& mc = controllers_[m];
+    const std::uint64_t q =
+        controllers_.size() == 1 ? mc.affine_queued() : mc.queued();
+    if (q == 0) return;
+    const sw::Tick S = mc.service_ticks();
+    const sw::Tick L = mc.l_base_ticks();
+    if (L <= S) return;
+    // The slot fire at t0 already granted once; the batch's decisions land
+    // at t0+S .. t0+jS.  Keep the whole window strictly inside one
+    // data-return latency (jS < L) so the resumes and arrivals the batch's
+    // own grants schedule — t0+L at the earliest — land past the window.
+    std::uint64_t j =
+        std::min<std::uint64_t>(q, static_cast<std::uint64_t>((L - 1) / S));
+    if (controllers_.size() == 1) {
+      const auto viol = events_.first_violation(
+          t0 - 1, t0 + static_cast<sw::Tick>(j) * S, [](const Ev& e) {
+            return e.kind == EvKind::kDmaTrain ||
+                   e.kind == EvKind::kGloadArrival;
+          });
+      if (viol) {
+        if (*viol <= t0) return;
+        j = std::min<std::uint64_t>(
+            j, static_cast<std::uint64_t>((*viol - t0 - 1) / S));
+      }
+    } else {
+      if (const auto next = events_.peek_tick()) {
+        if (*next <= t0) return;
+        j = std::min<std::uint64_t>(
+            j, static_cast<std::uint64_t>((*next - t0 - 1) / S));
+      }
+      for (std::size_t o = 0; o < mc_slots_.size(); ++o) {
+        if (o == m || !mc_slots_[o].armed) continue;
+        const sw::Tick ft = mc_slots_[o].tick;
+        if (ft <= t0) return;
+        j = std::min<std::uint64_t>(
+            j, static_cast<std::uint64_t>((ft - t0 - 1) / S));
+      }
+    }
+    if (j == 0) return;
+    for (std::uint64_t i = 0; i < j; ++i) {
+      const sw::Tick ts = mc_slots_[m].tick;
+      mc_slots_[m].armed = false;
+      auto g = mc.service(ts);
+      SWPERF_ASSERT(g.has_value());
+      arm_slot(m);
+      serve(m, *g);
+    }
+    // The slot-fired grant at t0 plus the j analytic ones; the reference
+    // engine pops one kMcService per grant, this path popped only the
+    // first (counter reconciliation: ref pops exceed fast pops by exactly
+    // batched_transactions - batched_grants).
+    ++counters_.batched_grants;
+    counters_.batched_transactions += j + 1;
   }
 
   /// Records the service slot as a causal kMemService event — linked back
@@ -336,6 +642,9 @@ class Engine {
       // Multi-CG runs interleave round-robin over controllers; the train
       // would perturb rr_, so restrict to the single-controller case.
       if (controllers_.size() != 1) return false;
+      // Absorbed arrivals are invisible to the queue peeks below; while any
+      // are pending the controller is busy anyway, so nothing is lost.
+      if (!bursts_.empty()) return false;
       auto& mc = controllers_[0];
       const std::uint64_t n = r.issue_remaining;
       if (n < 2) return false;
@@ -440,6 +749,14 @@ class Engine {
       if (c.pc >= ops.size()) {
         c.done = true;
         c.stats.finish = t;
+        JobState& job = jobs_[job_of_[cpe_id]];
+        job.finish = std::max(job.finish, t);
+        if (--job.remaining == 0) {
+          // Last CPE of the job: its CG slots free up at the job's finish
+          // tick, and the gang scheduler may release queued jobs onto them.
+          free_cgs_ += job.spec.core_groups;
+          launch_ready(job.finish, /*immediate=*/false);
+        }
         return;
       }
 
@@ -496,28 +813,57 @@ class Engine {
         c.gload_remaining = gl->count;
       } else if (std::get_if<BarrierOp>(&op)) {
         ++c.pc;
-        barrier_waiters_.push_back({cpe_id, t, op_idx});
-        if (barrier_waiters_.size() == cpes_.size()) {
+        // Barriers are scoped to the CPE's job: athread barriers never
+        // cross kernel launches, so concurrent jobs synchronize
+        // independently.  With the implicit single job this is the classic
+        // all-CPEs barrier, byte-for-byte.
+        const std::uint32_t job = job_of_[cpe_id];
+        auto& waiters = barrier_waiters_[job];
+        waiters.push_back({cpe_id, t, op_idx});
+        if (waiters.size() == jobs_[job].spec.program_count) {
           // CPEs may run ahead of the event clock through local compute, so
           // the release time is the max arrival tick, not this event's tick.
           sw::Tick release = 0;
-          for (const auto& w : barrier_waiters_) {
+          for (const auto& w : waiters) {
             release = std::max(release, w.arrive);
           }
           // All arrivals at one barrier share a req (the barrier ordinal):
           // the explain DAG joins them into one synchronization node.
           const std::uint64_t ordinal = next_barrier_++;
-          for (const auto& w : barrier_waiters_) {
+          for (const auto& w : waiters) {
             cpes_[w.cpe].stats.barrier_wait += release - w.arrive;
             record({w.cpe, Activity::kBarrier, w.arrive, release, w.op,
                     kNoHandle, ordinal, kNoPred});
             schedule(release, EvKind::kResume, w.cpe);
           }
-          barrier_waiters_.clear();
+          waiters.clear();
         }
         return;
       } else {
         SWPERF_ASSERT(false);
+      }
+    }
+  }
+
+  /// FIFO gang scheduler: launches queued jobs, in order, while the head
+  /// job fits in the free CG slots.  `immediate` (the tick-0 kickoff)
+  /// steps the job's CPEs directly — matching the classic engine's
+  /// straight-line launch loop — while completion-time launches go through
+  /// a kJobLaunch event so they interleave deterministically with pending
+  /// events at the same tick.
+  void launch_ready(sw::Tick t, bool immediate) {
+    while (next_launch_ < jobs_.size() &&
+           jobs_[next_launch_].spec.core_groups <= free_cgs_) {
+      const auto j = static_cast<std::uint32_t>(next_launch_++);
+      JobState& job = jobs_[j];
+      free_cgs_ -= job.spec.core_groups;
+      if (immediate) {
+        job.launch = t;
+        for (std::uint32_t i = 0; i < job.spec.program_count; ++i) {
+          step(job.spec.first_program + i, t);
+        }
+      } else {
+        schedule(t, EvKind::kJobLaunch, j);
       }
     }
   }
@@ -528,12 +874,56 @@ class Engine {
     std::uint32_t op;
   };
 
+  /// Fast-engine controller service slot: the kMcService event, held out
+  /// of the queue.  At most one per controller (the controller serves one
+  /// transaction at a time), keyed like any event.
+  struct McSlot {
+    sw::Tick tick = 0;
+    std::uint64_t seq = 0;
+    bool armed = false;
+  };
+
+  /// Fast-engine absorbed DMA train remainder: `remaining` arrivals delta
+  /// apart starting at next_tick, carrying the request's preallocated seq
+  /// block — exactly the (tick, seq) keys the per-arrival events would
+  /// have had.  Admitted to the controller lazily by materialize().
+  struct Burst {
+    sw::Tick next_tick = 0;
+    std::uint64_t next_seq = 0;
+    sw::Tick delta = 0;
+    std::uint64_t remaining = 0;
+    std::uint64_t stream = 0;
+  };
+
+  /// Min-first on the next arrival's (tick, seq) key, for std heap ops.
+  struct BurstAfter {
+    bool operator()(const Burst& a, const Burst& b) const {
+      if (a.next_tick != b.next_tick) return a.next_tick > b.next_tick;
+      return a.next_seq > b.next_seq;
+    }
+  };
+
+  /// One gang-scheduled job's runtime state.
+  struct JobState {
+    detail::JobSpec spec;
+    std::uint64_t remaining = 0;  // member CPEs not yet finished
+    sw::Tick launch = 0;
+    sw::Tick finish = 0;  // max finish tick over member CPEs
+  };
+
   SimConfig cfg_;
   mem::DmaEngine dma_;
   std::vector<mem::MemoryController> controllers_;
   std::vector<isa::LoopSchedule> schedules_;
   std::vector<Cpe> cpes_;
-  std::vector<BarrierWaiter> barrier_waiters_;
+  std::vector<std::vector<BarrierWaiter>> barrier_waiters_;  // per job
+  std::vector<JobState> jobs_;
+  std::vector<std::uint32_t> job_of_;  // cpe index -> job index
+  std::uint32_t free_cgs_ = 0;         // CG slots not held by a running job
+  std::size_t next_launch_ = 0;        // first job not yet launched
+  std::vector<McSlot> mc_slots_;       // fast engine only
+  std::vector<Burst> bursts_;          // fast engine only; min-heap on
+                                       // (next_tick, next_seq)
   Queue events_;
   std::uint64_t seq_ = 0;
   std::uint64_t next_req_ = 0;      // request ids, engine-independent
@@ -588,5 +978,27 @@ SimResult simulate_reference(const SimConfig& cfg, const KernelBinary& binary,
                                                          programs);
   return engine.run();
 }
+
+namespace detail {
+
+SimResult simulate_jobs(const SimConfig& cfg, const KernelBinary& binary,
+                        const std::vector<CpeProgram>& programs,
+                        const std::vector<JobSpec>& jobs,
+                        std::vector<JobWindow>* windows, bool fast_engine) {
+  if (fast_engine) {
+    Engine<BucketEventQueue<Ev>, /*kFastPath=*/true> engine(cfg, binary,
+                                                            programs, &jobs);
+    SimResult r = engine.run();
+    if (windows != nullptr) *windows = engine.job_windows();
+    return r;
+  }
+  Engine<HeapEventQueue<Ev>, /*kFastPath=*/false> engine(cfg, binary,
+                                                         programs, &jobs);
+  SimResult r = engine.run();
+  if (windows != nullptr) *windows = engine.job_windows();
+  return r;
+}
+
+}  // namespace detail
 
 }  // namespace swperf::sim

@@ -58,11 +58,38 @@ struct CpeStats {
 /// agree on every other SimResult field are bit-identical even when their
 /// counters differ (the reference engine never fast-forwards).
 struct SimCounters {
-  std::uint64_t events_popped = 0;     // events taken off the queue
-  std::uint64_t heap_pushes_avoided = 0;  // pushes the train/FF paths skipped
+  std::uint64_t events_popped = 0;     // events taken off the queue (the
+                                       // fast engine's controller service
+                                       // slots count as logical pops)
+  std::uint64_t heap_pushes_avoided = 0;  // pushes the train/FF/slot paths
+                                          // skipped
   std::uint64_t dma_trains = 0;        // DMA requests issued as train events
   std::uint64_t trains_fast_forwarded = 0;  // trains granted analytically
   std::uint64_t ff_transactions = 0;   // transactions inside those trains
+
+  // Contended batched grant (fast engine): one controller service slot
+  // serving k back-to-back transactions analytically when no other event
+  // can land between the grant decisions (Eq. 11's contended analogue of
+  // the uncontended train fast-forward).
+  std::uint64_t batched_grants = 0;        // batch windows executed
+  std::uint64_t batched_transactions = 0;  // transactions granted inside
+                                           // those windows (>= 2 each)
+
+  // Contended train absorption (fast engine): arrivals of a DMA train that
+  // provably land while the controller is still busy draining its current
+  // backlog carry no events at all — they are admitted to the wait queue
+  // analytically, in exact (tick, seq) arrival order, when the engine next
+  // touches the controller.  Each absorbed arrival is one event pop the
+  // reference engine pays and the fast engine skips.
+  std::uint64_t train_arrivals_absorbed = 0;
+
+  // Controller queue pressure: how hard the contended regime actually hit
+  // the memory system.  mc_enqueued is identical across engines (both
+  // drive the same arrivals to the same verdicts); mc_max_queued can read
+  // lower on the fast engine, whose batched grants pop waiters before the
+  // arrivals interleaved through the window are admitted.
+  std::uint64_t mc_enqueued = 0;    // transactions that had to queue
+  std::uint64_t mc_max_queued = 0;  // deepest controller backlog high-water
 };
 
 /// Aggregate result of one simulated kernel launch.
@@ -110,5 +137,37 @@ SimResult simulate(const SimConfig& cfg, const KernelBinary& binary,
 /// the fast engine against.
 SimResult simulate_reference(const SimConfig& cfg, const KernelBinary& binary,
                              const std::vector<CpeProgram>& programs);
+
+namespace detail {
+
+/// One gang-scheduled job inside a whole-chip run: a contiguous slice of
+/// the merged program vector plus the CG slots it occupies while running.
+/// Barriers are scoped to the job's programs; the FIFO gang scheduler
+/// launches a job as soon as the head of the queue fits in the free CGs.
+struct JobSpec {
+  std::uint32_t first_program = 0;
+  std::uint32_t program_count = 0;
+  std::uint32_t core_groups = 1;  // CG slots reserved while running
+};
+
+/// Launch/finish window of one job, in ticks.
+struct JobWindow {
+  sw::Tick launch = 0;
+  sw::Tick finish = 0;
+};
+
+/// Multi-job entry point behind simulate_chip(): runs `jobs` (slices of
+/// `programs`) under the FIFO gang scheduler on `cfg.core_groups` CG
+/// slots sharing cross-section memory.  `fast_engine` selects the
+/// production engine vs. the reference oracle; both are bit-identical on
+/// every SimResult field except `counters` (the same contract as
+/// simulate()/simulate_reference()).  `windows`, when non-null, receives
+/// one launch/finish record per job.
+SimResult simulate_jobs(const SimConfig& cfg, const KernelBinary& binary,
+                        const std::vector<CpeProgram>& programs,
+                        const std::vector<JobSpec>& jobs,
+                        std::vector<JobWindow>* windows, bool fast_engine);
+
+}  // namespace detail
 
 }  // namespace swperf::sim

@@ -112,6 +112,58 @@ grep -q '"events":\[' "$workdir/tl.json" || \
 grep -q '"lanes":\[' "$workdir/tl.json" || \
     fail "timeline --json should carry per-lane utilization"
 
+# 1f. simulate --time: the engine-throughput surface carries the
+#     contended fast-path counters in both renderings.
+out=$("$swperf" simulate vecadd --small --time --json)
+status=$?
+[ "$status" -eq 0 ] || fail "simulate --time --json exited $status"
+printf '%s\n' "$out" | json_valid || fail "simulate --time --json invalid"
+for field in batched_grants batched_transactions train_arrivals_absorbed \
+             mc_enqueued mc_max_queued; do
+    printf '%s\n' "$out" | grep -q "\"$field\":" || \
+        fail "simulate --time --json should carry $field"
+done
+"$swperf" simulate vecadd --small --time | grep -q 'fast path' || \
+    fail "simulate --time text should carry the fast-path counter line"
+"$swperf" simulate vecadd --small --time | grep -q 'mem queue' || \
+    fail "simulate --time text should carry the memory-queue line"
+
+# 1g. simulate --chip: whole-chip scenarios. Valid JSON, byte-stable
+#     across repeated runs and across --jobs values, sane text table,
+#     exit 2 on missing/malformed files, exit 1 on schema errors.
+cat > "$workdir/chip.json" <<'EOF'
+{"core_groups":4,"jobs":[
+  {"name":"va0","kernel":"vecadd","scale":"small"},
+  {"name":"va1","kernel":"vecadd","scale":"small"},
+  {"kernel":"hotspot","scale":"small"},
+  {"kernel":"pathfinder","scale":"small"}]}
+EOF
+"$swperf" simulate --chip "$workdir/chip.json" --json > "$workdir/chip1.json"
+status=$?
+[ "$status" -eq 0 ] || fail "simulate --chip --json exited $status"
+json_valid < "$workdir/chip1.json" || fail "simulate --chip --json invalid"
+grep -q '"schema":"swperf.chip_result.v1"' "$workdir/chip1.json" || \
+    fail "chip result should carry its schema tag"
+grep -q '"jobs":\[' "$workdir/chip1.json" || \
+    fail "chip result should carry per-job windows"
+"$swperf" simulate --chip "$workdir/chip.json" --json > "$workdir/chip2.json"
+cmp -s "$workdir/chip1.json" "$workdir/chip2.json" || \
+    fail "simulate --chip --json is not byte-stable across runs"
+"$swperf" simulate --chip "$workdir/chip.json" --json --jobs 2 \
+    > "$workdir/chip3.json"
+cmp -s "$workdir/chip1.json" "$workdir/chip3.json" || \
+    fail "simulate --chip --json should not depend on --jobs"
+"$swperf" simulate --chip "$workdir/chip.json" | grep -q 'makespan' || \
+    fail "simulate --chip text should carry the makespan table"
+"$swperf" simulate --chip "$workdir/nonexistent.json" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "simulate --chip with a missing file should exit 2"
+printf 'not json' > "$workdir/chip_bad.json"
+"$swperf" simulate --chip "$workdir/chip_bad.json" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "simulate --chip on malformed JSON should exit 2"
+printf '{"bogus":1,"jobs":[{"kernel":"vecadd"}]}' > "$workdir/chip_schema.json"
+"$swperf" simulate --chip "$workdir/chip_schema.json" >/dev/null 2>&1
+[ $? -eq 1 ] || fail "simulate --chip on a schema error should exit 1"
+
 # 2. Strict number parsing: garbage and trailing-garbage values are usage
 #    errors (exit 2), not silently-zero launches.
 "$swperf" simulate vecadd --tile garbage >/dev/null 2>&1
@@ -159,6 +211,24 @@ status=$?
 printf '%s\n' "$out" | json_valid || fail "failing eval emitted invalid JSON"
 printf '%s\n' "$out" | grep -q '"ok":false' || \
     fail "failing entry should report \"ok\":false"
+
+# 5b. eval chip entries: {"chip": {...}} runs a whole-chip scenario and
+#     emits a chip result; a chip entry mixed with kernel fields fails
+#     that entry (exit 1) without killing the batch.
+req_chip='[{"chip":{"jobs":[{"kernel":"vecadd","scale":"small"},{"kernel":"hotspot","scale":"small"}]}}]'
+out=$(printf '%s' "$req_chip" | "$swperf" eval)
+status=$?
+[ "$status" -eq 0 ] || fail "eval chip entry exited $status, expected 0"
+printf '%s\n' "$out" | json_valid || fail "eval chip entry invalid JSON"
+printf '%s\n' "$out" | grep -q '"chip":{' || \
+    fail "eval chip entry should emit a chip result"
+printf '%s\n' "$out" | grep -q '"schema":"swperf.chip_result.v1"' || \
+    fail "eval chip result should carry the chip schema tag"
+out=$(printf '[{"chip":{"jobs":[{"kernel":"vecadd"}]},"kernel":"vecadd"}]' \
+      | "$swperf" eval)
+[ $? -eq 1 ] || fail "chip entry with kernel fields should exit 1"
+printf '%s\n' "$out" | grep -q '"ok":false' || \
+    fail "mixed chip entry should report \"ok\":false"
 
 # 6. Malformed requests are usage errors (exit 2), with nothing on stdout.
 out=$(printf 'not json' | "$swperf" eval 2>/dev/null)

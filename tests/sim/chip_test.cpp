@@ -1,0 +1,302 @@
+// Whole-chip scenario layer: FIFO gang scheduling of concurrent jobs over
+// shared cross-section memory (src/sim/chip.h), the swperf.chip_scenario.v1
+// schema parser (src/pipeline/chip.h), and the determinism contract —
+// fast/reference bit-identity, byte-stable JSON across repeated runs and
+// across concurrent simulations, and a golden chip-result artifact pinned
+// byte-for-byte.
+//
+// Refreshing the fixture after an intentional change:
+//   SWPERF_REGEN_GOLDEN=1 ctest -R ChipGolden
+// then review the fixture diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "isa/block.h"
+#include "mem/request.h"
+#include "pipeline/chip.h"
+#include "pipeline/session.h"
+#include "serde/json.h"
+#include "serde/serde.h"
+#include "sim/chip.h"
+#include "sim/program.h"
+#include "sw/error.h"
+#include "sw/rng.h"
+
+namespace swperf::sim {
+namespace {
+
+/// A small job: every CPE runs compute interleaved with blocking DMA, so
+/// concurrent jobs contend on the shared controllers.
+ChipJob make_job(const std::string& name, std::uint32_t cgs,
+                 std::size_t cpes, std::uint64_t seed) {
+  sw::Rng rng(seed);
+  ChipJob job;
+  job.name = name;
+  job.core_groups = cgs;
+  isa::BlockBuilder b(name + "_body");
+  const auto x = b.reg();
+  const int n_ops = 2 + static_cast<int>(rng.next_below(6));
+  for (int i = 0; i < n_ops; ++i) b.fmul(x, x);
+  job.binary.add_block(std::move(b).build());
+  job.programs.resize(cpes);
+  std::uint64_t c = 0;
+  for (auto& p : job.programs) {
+    p.delay(17 * (c % 4) + rng.next_below(150));
+    const int chunks = 1 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < chunks; ++i) {
+      p.dma(mem::DmaRequest::contiguous(256 * (4 + rng.next_below(24))));
+      p.compute(0, 4 + rng.next_below(24));
+    }
+    p.barrier();
+    ++c;
+  }
+  return job;
+}
+
+/// Four jobs on a four-CG chip: two fit at tick 0, the wide job must wait
+/// for frees, the tail job queues behind it (FIFO — no skipping).
+ChipScenario make_scenario(bool trace) {
+  ChipScenario s;
+  s.core_groups = 4;
+  s.trace = trace;
+  s.jobs.push_back(make_job("alpha", 2, 48, 101));
+  s.jobs.push_back(make_job("beta", 2, 32, 202));
+  s.jobs.push_back(make_job("gamma", 3, 40, 303));
+  s.jobs.push_back(make_job("delta", 1, 16, 404));
+  return s;
+}
+
+void expect_identical_but_counters(const ChipResult& fast,
+                                   const ChipResult& ref) {
+  EXPECT_EQ(fast.sim.total_ticks, ref.sim.total_ticks);
+  EXPECT_EQ(fast.sim.transactions, ref.sim.transactions);
+  EXPECT_EQ(fast.sim.mem_busy_ticks, ref.sim.mem_busy_ticks);
+  EXPECT_EQ(fast.sim.mem_idle_ticks, ref.sim.mem_idle_ticks);
+  ASSERT_EQ(fast.sim.cpes.size(), ref.sim.cpes.size());
+  for (std::size_t i = 0; i < fast.sim.cpes.size(); ++i) {
+    EXPECT_EQ(fast.sim.cpes[i].finish, ref.sim.cpes[i].finish) << "cpe " << i;
+    EXPECT_EQ(fast.sim.cpes[i].comp, ref.sim.cpes[i].comp) << "cpe " << i;
+    EXPECT_EQ(fast.sim.cpes[i].dma_wait, ref.sim.cpes[i].dma_wait)
+        << "cpe " << i;
+    EXPECT_EQ(fast.sim.cpes[i].barrier_wait, ref.sim.cpes[i].barrier_wait)
+        << "cpe " << i;
+  }
+  ASSERT_EQ(fast.sim.trace.events.size(), ref.sim.trace.events.size());
+  for (std::size_t i = 0; i < fast.sim.trace.events.size(); ++i) {
+    const TraceEvent& a = fast.sim.trace.events[i];
+    const TraceEvent& b = ref.sim.trace.events[i];
+    EXPECT_EQ(a.lane, b.lane) << "event " << i;
+    EXPECT_EQ(a.what, b.what) << "event " << i;
+    EXPECT_EQ(a.begin, b.begin) << "event " << i;
+    EXPECT_EQ(a.end, b.end) << "event " << i;
+    EXPECT_EQ(a.req, b.req) << "event " << i;
+    EXPECT_EQ(a.pred, b.pred) << "event " << i;
+  }
+  ASSERT_EQ(fast.jobs.size(), ref.jobs.size());
+  for (std::size_t j = 0; j < fast.jobs.size(); ++j) {
+    EXPECT_EQ(fast.jobs[j].name, ref.jobs[j].name);
+    EXPECT_EQ(fast.jobs[j].core_groups, ref.jobs[j].core_groups);
+    EXPECT_EQ(fast.jobs[j].cpes, ref.jobs[j].cpes);
+    EXPECT_EQ(fast.jobs[j].launch_ticks, ref.jobs[j].launch_ticks)
+        << "job " << fast.jobs[j].name;
+    EXPECT_EQ(fast.jobs[j].finish_ticks, ref.jobs[j].finish_ticks)
+        << "job " << fast.jobs[j].name;
+  }
+}
+
+TEST(ChipScenarioTest, FastMatchesReferenceIncludingTraces) {
+  const ChipScenario s = make_scenario(/*trace=*/true);
+  const ChipResult fast = simulate_chip(s);
+  const ChipResult ref = simulate_chip_reference(s);
+  expect_identical_but_counters(fast, ref);
+  EXPECT_LE(fast.sim.counters.events_popped, ref.sim.counters.events_popped);
+}
+
+TEST(ChipScenarioTest, RepeatedRunsAreByteIdentical) {
+  const ChipScenario s = make_scenario(/*trace=*/false);
+  const std::string first = serde::to_json(simulate_chip(s)).dump();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(serde::to_json(simulate_chip(s)).dump(), first) << "run " << i;
+  }
+}
+
+TEST(ChipScenarioTest, FifoGangSchedulerLaunchesOnFrees) {
+  // Two-CG chip, jobs A(1), B(2), C(1): A launches at tick 0; B does not
+  // fit beside it and launches exactly when A's slots free; C queues
+  // behind B (FIFO never skips the head) and launches at B's finish even
+  // though it would have fit beside A the whole time.
+  ChipScenario s;
+  s.core_groups = 2;
+  s.jobs.push_back(make_job("a", 1, 12, 11));
+  s.jobs.push_back(make_job("b", 2, 24, 22));
+  s.jobs.push_back(make_job("c", 1, 12, 33));
+  const ChipResult r = simulate_chip(s);
+  ASSERT_EQ(r.jobs.size(), 3u);
+  const ChipJobResult& a = r.jobs[0];
+  const ChipJobResult& b = r.jobs[1];
+  const ChipJobResult& c = r.jobs[2];
+  EXPECT_EQ(a.launch_ticks, 0u);
+  EXPECT_EQ(b.launch_ticks, a.finish_ticks);
+  EXPECT_EQ(c.launch_ticks, b.finish_ticks);
+  for (const auto& j : r.jobs) {
+    EXPECT_GT(j.finish_ticks, j.launch_ticks) << j.name;
+    EXPECT_GT(j.cpes, 0u) << j.name;
+  }
+  EXPECT_EQ(r.sim.total_ticks, c.finish_ticks);
+}
+
+TEST(ChipScenarioTest, WideJobWaitsForEnoughFreeSlots) {
+  const ChipScenario s = make_scenario(/*trace=*/false);
+  const ChipResult r = simulate_chip(s);
+  ASSERT_EQ(r.jobs.size(), 4u);
+  // alpha(2) + beta(2) fill the chip at tick 0; gamma(3) must wait for
+  // both of the first frees that add up to >= 3, delta(1) rides behind.
+  EXPECT_EQ(r.jobs[0].launch_ticks, 0u);
+  EXPECT_EQ(r.jobs[1].launch_ticks, 0u);
+  EXPECT_GT(r.jobs[2].launch_ticks, 0u);
+  EXPECT_GE(r.jobs[3].launch_ticks, r.jobs[2].launch_ticks);
+}
+
+// Re-entrancy: concurrent simulate_chip() calls on the same scenario are
+// independent and deterministic (runs under the tsan preset via the
+// `concurrency` label).
+TEST(ChipScenarioTest, ConcurrentSimulationsAgree) {
+  const ChipScenario s = make_scenario(/*trace=*/true);
+  const std::string expected = serde::to_json(simulate_chip(s)).dump();
+  std::vector<std::string> got(4);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(got.size());
+    for (auto& out : got) {
+      workers.emplace_back(
+          [&s, &out] { out = serde::to_json(simulate_chip(s)).dump(); });
+    }
+    for (auto& w : workers) w.join();
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expected) << "thread " << i;
+  }
+}
+
+// ---- swperf.chip_scenario.v1 schema parser ---------------------------------
+
+serde::Json parse_json(const std::string& text) {
+  const auto r = serde::Json::parse(text);
+  EXPECT_TRUE(r.ok) << r.error;
+  return r.value;
+}
+
+TEST(ChipScenarioSchema, ParsesNamedJobsWithDefaults) {
+  const auto spec = pipeline::chip_scenario_spec_from_json(parse_json(
+      R"({"jobs":[{"kernel":"vecadd","scale":"small"},)"
+      R"({"name":"hs","kernel":"hotspot","scale":"small","core_groups":2}]})"));
+  EXPECT_EQ(spec.core_groups, 4u);
+  EXPECT_FALSE(spec.trace);
+  ASSERT_EQ(spec.jobs.size(), 2u);
+  EXPECT_EQ(spec.jobs[0].name, "vecadd");  // defaults to the kernel name
+  EXPECT_EQ(spec.jobs[0].core_groups, 0u);  // 0 = take the lowering's demand
+  EXPECT_EQ(spec.jobs[1].name, "hs");
+  EXPECT_EQ(spec.jobs[1].core_groups, 2u);
+}
+
+TEST(ChipScenarioSchema, RejectsMalformedScenarios) {
+  EXPECT_THROW(pipeline::chip_scenario_spec_from_json(
+                   parse_json(R"({"jobs":[]})")),
+               sw::Error);
+  EXPECT_THROW(pipeline::chip_scenario_spec_from_json(
+                   parse_json(R"({"jobs":[{"scale":"small"}]})")),
+               sw::Error) << "job without a kernel";
+  EXPECT_THROW(pipeline::chip_scenario_spec_from_json(parse_json(
+                   R"({"jobs":[{"kernel":"vecadd","scale":"huge"}]})")),
+               sw::Error) << "unknown scale";
+  EXPECT_THROW(pipeline::chip_scenario_spec_from_json(parse_json(
+                   R"({"bogus":1,"jobs":[{"kernel":"vecadd"}]})")),
+               sw::Error) << "unknown scenario field";
+  EXPECT_THROW(pipeline::chip_scenario_spec_from_json(parse_json(
+                   R"({"jobs":[{"kernel":"vecadd","core_groups":0}]})")),
+               sw::Error) << "zero CG reservation";
+}
+
+// ---- Golden chip-result artifact -------------------------------------------
+
+/// The scenario the fixture pins: exactly what a user would put in a
+/// --chip file — four Table II kernels (tuned small-scale launches)
+/// gang-scheduled over the chip's four CGs.
+const char kGoldenScenario[] =
+    R"({"core_groups":4,"jobs":[)"
+    R"({"name":"va0","kernel":"vecadd","scale":"small"},)"
+    R"({"name":"va1","kernel":"vecadd","scale":"small"},)"
+    R"({"kernel":"hotspot","scale":"small"},)"
+    R"({"kernel":"pathfinder","scale":"small"}]})";
+
+std::string golden_path() {
+  return std::string(SWPERF_CHIP_GOLDEN_DIR) + "/chip_scenario.json";
+}
+
+/// Exactly what `swperf simulate --chip <file> --json` prints for
+/// kGoldenScenario.
+std::string current_artifact() {
+  pipeline::Session session;
+  const auto spec =
+      pipeline::chip_scenario_spec_from_json(parse_json(kGoldenScenario));
+  const auto scenario = pipeline::assemble_chip_scenario(spec, session);
+  return serde::to_json(simulate_chip(scenario)).dump() + "\n";
+}
+
+TEST(ChipGolden, ArtifactPinned) {
+  const std::string artifact = current_artifact();
+  EXPECT_EQ(artifact, current_artifact());  // byte-stable within a process
+
+  if (const char* regen = std::getenv("SWPERF_REGEN_GOLDEN");
+      regen != nullptr && std::string(regen) == "1") {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << golden_path();
+    out << artifact;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in) << "missing fixture " << golden_path()
+                  << " (regenerate with SWPERF_REGEN_GOLDEN=1)";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(artifact, buf.str())
+      << "chip-scenario result drifted from the fixture";
+}
+
+TEST(ChipGolden, FixtureIsSerdeCanonicalAndWellFormed) {
+  std::ifstream in(golden_path(), std::ios::binary);
+  if (!in) GTEST_SKIP() << "fixture not present";
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const auto r = serde::Json::parse(line);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.dump(), line);
+
+  EXPECT_EQ(r.value.at("schema").as_string(), "swperf.chip_result.v1");
+  ASSERT_TRUE(r.value.at("jobs").is_array());
+  ASSERT_EQ(r.value.at("jobs").size(), 4u);
+  for (const auto& job : r.value.at("jobs").items()) {
+    for (const char* field : {"name", "core_groups", "cpes", "launch_ticks",
+                              "finish_ticks", "makespan_ticks",
+                              "makespan_cycles"}) {
+      EXPECT_TRUE(job.contains(field)) << field;
+    }
+  }
+  const auto& sim = r.value.at("sim");
+  for (const char* field : {"total_ticks", "transactions", "counters"}) {
+    EXPECT_TRUE(sim.contains(field)) << field;
+  }
+  EXPECT_TRUE(sim.at("counters").contains("batched_grants"));
+  EXPECT_TRUE(sim.at("counters").contains("train_arrivals_absorbed"));
+}
+
+}  // namespace
+}  // namespace swperf::sim

@@ -231,5 +231,118 @@ TEST(FastForwardGuard, UncontendedTrainCountsAndSavings) {
   EXPECT_EQ(ref.counters.heap_pushes_avoided, 0u);
 }
 
+// ---- Contended regime: batched grants + train absorption -------------------
+//
+// Many CPEs flood one controller with overlapping blocking DMA trains, so
+// the aggregate arrival rate (one transaction per CPE per Δ) far outruns
+// the service rate and the backlog stays deep.  This is the regime where
+// the batched grant and the virtual-burst absorption fast paths carry the
+// run; both must stay bit-identical to the reference, traces included.
+
+Launch make_contended_launch(std::uint64_t seed) {
+  sw::Rng rng(seed);
+  Launch l;
+  isa::BlockBuilder b("body");
+  const auto x = b.reg();
+  b.fmul(x, x);
+  l.bin.add_block(std::move(b).build());
+
+  const std::size_t n_cpes = 48 + rng.next_below(17);
+  l.programs.resize(n_cpes);
+  std::uint64_t c = 0;
+  for (auto& p : l.programs) {
+    p.delay(37 * (c % 8) + rng.next_below(200));
+    const int bursts = 2 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < bursts; ++i) {
+      const std::uint64_t kb = 4 + rng.next_below(13);
+      p.dma(mem::DmaRequest::contiguous(kb * 1024));
+      p.compute(0, rng.next_below(32));
+    }
+    ++c;
+  }
+  return l;
+}
+
+class ContendedEngineProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContendedEngineProperty, MatchesReferenceWithFastPathsEngaged) {
+  const Launch l = make_contended_launch(GetParam());
+  SimConfig cfg{kArch, 1};
+  cfg.trace = true;
+  const SimResult fast = simulate(cfg, l.bin, l.programs);
+  const SimResult ref = simulate_reference(cfg, l.bin, l.programs);
+  expect_identical_but_counters(fast, ref);
+  // The point of the workload: the contended fast paths must actually
+  // engage — and only in the fast engine.
+  EXPECT_GT(fast.counters.batched_grants, 0u);
+  EXPECT_GT(fast.counters.batched_transactions, fast.counters.batched_grants);
+  EXPECT_GT(fast.counters.train_arrivals_absorbed, 0u);
+  EXPECT_LT(fast.counters.events_popped, ref.counters.events_popped);
+  EXPECT_EQ(ref.counters.batched_grants, 0u);
+  EXPECT_EQ(ref.counters.batched_transactions, 0u);
+  EXPECT_EQ(ref.counters.train_arrivals_absorbed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContendedEngineProperty,
+                         ::testing::Values(3, 11, 19, 27, 35, 43, 51, 59, 67,
+                                           75));
+
+// ---- Batching guard boundary -----------------------------------------------
+//
+// The batched grant keeps its whole decision window strictly inside one
+// data-return latency (j·S < L), so L <= S disables batching outright and
+// the smallest L with L > S admits exactly one extra transaction per
+// grant.  Straddle that edge with the same contended workload: one cycle
+// of l_base separates "no batching at all" from "exactly one transaction
+// inside every batch window".  Bit-identity must hold on both sides.
+
+sw::ArchParams arch_with_l_base(std::uint32_t cycles) {
+  sw::ArchParams a;
+  a.l_base_cycles = cycles;
+  return a;
+}
+
+/// Largest l_base (cycles) whose tick latency still sits at or below the
+/// controller's service ticks — the last value where batching stays off.
+std::uint32_t max_disabled_l_base_cycles() {
+  const sw::Tick S = mem::MemoryController(sw::ArchParams{}).service_ticks();
+  std::uint32_t c = 1;
+  while (mem::MemoryController(arch_with_l_base(c + 1)).l_base_ticks() <= S) {
+    ++c;
+  }
+  return c;
+}
+
+TEST(BatchGuardBoundary, LatencyAtOrBelowServiceDisablesBatching) {
+  const Launch l = make_contended_launch(5);
+  SimConfig cfg{arch_with_l_base(max_disabled_l_base_cycles()), 1};
+  cfg.trace = true;
+  ASSERT_LE(mem::MemoryController(cfg.arch).l_base_ticks(),
+            mem::MemoryController(cfg.arch).service_ticks());
+  const SimResult fast = simulate(cfg, l.bin, l.programs);
+  const SimResult ref = simulate_reference(cfg, l.bin, l.programs);
+  expect_identical_but_counters(fast, ref);
+  EXPECT_EQ(fast.counters.batched_grants, 0u);
+  EXPECT_EQ(fast.counters.batched_transactions, 0u);
+}
+
+TEST(BatchGuardBoundary, OneCycleAboveServiceBatchesOneTransactionPerGrant) {
+  const Launch l = make_contended_launch(5);
+  SimConfig cfg{arch_with_l_base(max_disabled_l_base_cycles() + 1), 1};
+  cfg.trace = true;
+  const mem::MemoryController mc(cfg.arch);
+  ASSERT_GT(mc.l_base_ticks(), mc.service_ticks());
+  // Depth bound (L-1)/S is exactly 1 for this arch: each batch window can
+  // hold one transaction beyond the slot-fired grant, never more.
+  ASSERT_EQ((mc.l_base_ticks() - 1) / mc.service_ticks(), 1);
+  const SimResult fast = simulate(cfg, l.bin, l.programs);
+  const SimResult ref = simulate_reference(cfg, l.bin, l.programs);
+  expect_identical_but_counters(fast, ref);
+  EXPECT_GT(fast.counters.batched_grants, 0u);
+  EXPECT_EQ(fast.counters.batched_transactions,
+            2 * fast.counters.batched_grants);
+}
+
 }  // namespace
 }  // namespace swperf::sim

@@ -126,11 +126,29 @@ TEST_P(TraceCounterProperty, CountersReconcileAcrossEngines) {
   EXPECT_EQ(ref.counters.trains_fast_forwarded, 0u);
   EXPECT_EQ(ref.counters.ff_transactions, 0u);
 
+  // The reference engine never batches contended grants nor absorbs
+  // train arrivals.
+  EXPECT_EQ(ref.counters.batched_grants, 0u);
+  EXPECT_EQ(ref.counters.batched_transactions, 0u);
+  EXPECT_EQ(ref.counters.train_arrivals_absorbed, 0u);
+
+  // Both engines drive the same arrivals to the same enqueue verdicts.
+  // The high-water mark may read lower on the fast engine (batched grants
+  // pop waiters before the window's interleaved arrivals are admitted).
+  EXPECT_EQ(ref.counters.mc_enqueued, fast.counters.mc_enqueued);
+  EXPECT_LE(fast.counters.mc_max_queued, ref.counters.mc_max_queued);
+
   // A fast-forwarded train of n transactions costs the fast engine one
   // pop; the reference pays n arrival pops + n service-completion pops.
+  // A batched grant window of k transactions costs the fast engine one
+  // service pop; the reference pays k.  Each absorbed train arrival is
+  // one arrival pop the reference pays and the fast engine skips.
   EXPECT_EQ(ref.counters.events_popped,
             fast.counters.events_popped + 2 * fast.counters.ff_transactions -
-                fast.counters.trains_fast_forwarded);
+                fast.counters.trains_fast_forwarded +
+                fast.counters.batched_transactions -
+                fast.counters.batched_grants +
+                fast.counters.train_arrivals_absorbed);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceCounterProperty,

@@ -3,6 +3,10 @@
 //   swperf list                          registered kernels
 //   swperf report   <kernel> [opts]      static performance report
 //   swperf simulate <kernel> [opts]      run the cycle-level simulator
+//   swperf simulate --chip <file>        whole-chip scenario: concurrent
+//                                        kernels gang-scheduled across the
+//                                        CG slots, sharing cross-section
+//                                        memory (schema in docs/PIPELINE.md)
 //   swperf tune     <kernel> [opts]      static (default) or empirical tuning
 //   swperf optimize <kernel> [opts]      guarded closed-loop optimization:
 //                                        beam search over transformation
@@ -69,8 +73,10 @@
 #include "kernels/suite.h"
 #include "model/calibrate.h"
 #include "model/report.h"
+#include "pipeline/chip.h"
 #include "pipeline/session.h"
 #include "serde/serde.h"
+#include "sim/chip.h"
 #include "sim/machine.h"
 #include "sim/trace.h"
 #include "sw/error.h"
@@ -103,6 +109,7 @@ struct Options {
   bool all_kernels = false;
   bool list_codes = false;
   bool analyze = false;
+  std::string chip;  // chip-scenario file for `simulate --chip`
 };
 
 [[noreturn]] void usage() {
@@ -113,7 +120,7 @@ struct Options {
       "[--cpes N] [--db] [--vw N] [--coalesce] [--small] [--empirical] "
       "[--vector] [--jobs N] [--beam N] [--max-steps N] [--bnb] [--json] "
       "[--deterministic-json] [--time] [--Werror] [--all] [--list-codes] "
-      "[--analyze]\n");
+      "[--analyze] [--chip scenario.json]\n");
   std::exit(2);
 }
 
@@ -204,6 +211,12 @@ Options parse(int argc, char** argv) {
       o.list_codes = true;
     } else if (a == "--analyze") {
       o.analyze = true;
+    } else if (a == "--chip") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --chip\n");
+        usage();
+      }
+      o.chip = argv[++i];
     } else {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       usage();
@@ -253,7 +266,59 @@ int cmd_report(const Options& o, pipeline::Session& session) {
   return 0;
 }
 
+/// `swperf simulate --chip scenario.json`: run a whole-chip scenario —
+/// concurrent kernels gang-scheduled over the chip's CG slots, sharing
+/// cross-section memory.  Output is deterministic: repeated runs (at any
+/// --jobs value; the chip engine is single-threaded) render byte-identical
+/// JSON.
+int cmd_simulate_chip(const Options& o, pipeline::Session& session) {
+  std::ifstream in(o.chip, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "swperf: cannot open chip scenario '%s'\n",
+                 o.chip.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto parsed = serde::Json::parse(ss.str());
+  if (!parsed.ok) {
+    std::fprintf(stderr, "swperf: malformed chip scenario: %s\n",
+                 parsed.error.c_str());
+    return 2;
+  }
+  const auto spec = pipeline::chip_scenario_spec_from_json(parsed.value);
+  const auto scenario = pipeline::assemble_chip_scenario(spec, session);
+  const auto result = sim::simulate_chip(scenario);
+
+  if (o.json) {
+    print_json_line(serde::to_json(result));
+    return 0;
+  }
+  const auto& arch = session.arch();
+  std::printf("chip: %u CG slots, %zu jobs, %.1f us makespan\n",
+              scenario.core_groups, result.jobs.size(),
+              sw::cycles_to_us(result.sim.total_cycles(), arch.freq_ghz));
+  std::printf("%-16s %3s %5s %12s %12s %12s\n", "job", "cgs", "cpes",
+              "launch us", "finish us", "makespan us");
+  for (const auto& j : result.jobs) {
+    std::printf("%-16s %3u %5u %12.1f %12.1f %12.1f\n", j.name.c_str(),
+                j.core_groups, j.cpes,
+                sw::cycles_to_us(sw::ticks_to_cycles(j.launch_ticks),
+                                 arch.freq_ghz),
+                sw::cycles_to_us(sw::ticks_to_cycles(j.finish_ticks),
+                                 arch.freq_ghz),
+                sw::cycles_to_us(sw::ticks_to_cycles(j.makespan_ticks()),
+                                 arch.freq_ghz));
+  }
+  std::printf("memory    : %llu transactions, %.1f us busy\n",
+              static_cast<unsigned long long>(result.sim.transactions),
+              sw::cycles_to_us(sw::ticks_to_cycles(result.sim.mem_busy_ticks),
+                               arch.freq_ghz));
+  return 0;
+}
+
 int cmd_simulate(const Options& o, pipeline::Session& session) {
+  if (!o.chip.empty()) return cmd_simulate_chip(o, session);
   const auto spec = kernels::make(o.kernel, o.scale);
   const auto params = o.have_params ? o.params : spec.tuned;
 
@@ -287,6 +352,12 @@ int cmd_simulate(const Options& o, pipeline::Session& session) {
       t.set("host_seconds", host_seconds);
       t.set("events_popped", e.actual.counters.events_popped);
       t.set("events_per_sec", events_per_sec);
+      t.set("batched_grants", e.actual.counters.batched_grants);
+      t.set("batched_transactions", e.actual.counters.batched_transactions);
+      t.set("train_arrivals_absorbed",
+            e.actual.counters.train_arrivals_absorbed);
+      t.set("mc_enqueued", e.actual.counters.mc_enqueued);
+      t.set("mc_max_queued", e.actual.counters.mc_max_queued);
       j.set("timing", std::move(t));
     }
     print_json_line(j);
@@ -311,6 +382,15 @@ int cmd_simulate(const Options& o, pipeline::Session& session) {
                 static_cast<unsigned long long>(
                     e.actual.counters.events_popped),
                 1e-6 * events_per_sec);
+    const auto& c = e.actual.counters;
+    std::printf("fast path : %llu batched grants (%llu transactions), "
+                "%llu arrivals absorbed\n",
+                static_cast<unsigned long long>(c.batched_grants),
+                static_cast<unsigned long long>(c.batched_transactions),
+                static_cast<unsigned long long>(c.train_arrivals_absorbed));
+    std::printf("mem queue : %llu enqueued, max depth %llu\n",
+                static_cast<unsigned long long>(c.mc_enqueued),
+                static_cast<unsigned long long>(c.mc_max_queued));
   }
   return 0;
 }
@@ -663,6 +743,24 @@ serde::Json eval_entry(const serde::Json& entry, pipeline::Session& session,
     if (!entry.is_object()) {
       throw sw::Error("eval entry must be a JSON object");
     }
+    // A chip entry runs a whole-chip scenario instead of a single launch:
+    // { "chip": {chip scenario object} } — no other fields.
+    if (const auto* cj = entry.find("chip")) {
+      name = "chip";
+      for (const auto& [key, value] : entry.members()) {
+        (void)value;
+        if (key != "chip") {
+          throw sw::Error("chip eval entry: unknown field \"" + key + "\"");
+        }
+      }
+      const auto spec = pipeline::chip_scenario_spec_from_json(*cj);
+      const auto scenario = pipeline::assemble_chip_scenario(spec, session);
+      serde::Json out = serde::Json::object();
+      out.set("kernel", name);
+      out.set("ok", true);
+      out.set("chip", serde::to_json(sim::simulate_chip(scenario)));
+      return out;
+    }
     kernels::Scale scale = kernels::Scale::kFull;
     if (const auto* sj = entry.find("scale")) {
       const std::string& s = sj->as_string();
@@ -793,6 +891,9 @@ int main(int argc, char** argv) {
     if (o.command == "calibrate") return cmd_calibrate(o, arch);
     if (o.command == "check") return cmd_check(o, session);
     if (o.command == "eval") return cmd_eval(o, session);
+    if (o.command == "simulate" && !o.chip.empty()) {
+      return cmd_simulate(o, session);
+    }
     if (o.kernel.empty()) usage();
     if (o.command == "report") return cmd_report(o, session);
     if (o.command == "simulate") return cmd_simulate(o, session);
