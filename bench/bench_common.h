@@ -10,7 +10,10 @@
 // under the bench namespace and adds print formatting.
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "model/model.h"
 #include "pipeline/session.h"
@@ -30,6 +33,30 @@ inline Evaluation evaluate(const swacc::KernelDesc& kernel,
                            const sw::ArchParams& arch,
                            const model::ModelOptions& opts = {}) {
   return pipeline::Session(arch, opts).evaluate(kernel, params);
+}
+
+/// Writes `content` to `path` atomically: the bytes land in `path + ".tmp"`
+/// first and are renamed into place only after a successful close, so a
+/// crash or signal mid-write can never leave a truncated record where a
+/// previously good one (e.g. a checked-in BENCH_*.json) used to be.
+/// Returns false (with the partial .tmp removed) on any I/O failure.
+inline bool write_file_atomic(const std::string& path,
+                              const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << content;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 inline void print_header(const char* what, const char* paper_ref) {

@@ -1,0 +1,651 @@
+// Evaluation-service record: what `swperf serve` sustains under
+// concurrent JSONL clients over loopback TCP, cold vs. warm.
+//
+// Three workloads, each against a fresh in-process serve::Server (the
+// exact object behind `swperf serve`, driven through real sockets):
+//
+//   * cold_single_client — one client, one mixed batch
+//     (check/model/sim over five suite kernels plus one tune and one
+//     explain), every cache empty.  This is the baseline: the cost of
+//     actually computing the mix.
+//   * warm_multi_client — the same server after a warm-up pass, then
+//     N concurrent clients each firing a pipelined mixed batch.  Almost
+//     every request hits the shard's Session memos / EvalCaches, so the
+//     sustained throughput measures the serving layer, not the simulator;
+//     the record's headline claim is warm/cold throughput >= 5x.
+//   * overload — queue depth 1, batch 1, four clients firing pipelined
+//     bursts.  Backpressure must answer *every* request: each reply is a
+//     result or a structured "overloaded" error, and dropped == 0.
+//
+// Latency is measured client-side (send to matching reply, pipelined, so
+// queueing is included) and reported as p50/p95/p99 over the pooled
+// sorted samples.
+//
+// Modes (same contract as the other bench records):
+//   bench_serve                 full measurement, human-readable
+//   bench_serve --out FILE      ... and write the JSON record (atomic:
+//                               temp file + rename)
+//   bench_serve --smoke         the same workloads with relaxed live
+//                               floors (warm/cold >= 2x — CI machines are
+//                               noisy; the checked-in record still claims
+//                               >= 5x) plus the overload invariants
+//   bench_serve --check FILE    validate FILE against the
+//                               BENCH_serve.json schema + claims
+// --smoke and --check compose; the perf_smoke_serve ctest runs both.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serde/json.h"
+#include "serve/server.h"
+#include "serve/shard.h"
+
+namespace {
+
+using namespace swperf;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---- In-process server harness ---------------------------------------------
+
+/// A serve::Server on an ephemeral loopback port with run() on its own
+/// thread — the production object and transport, minus the process spawn.
+struct ServerHarness {
+  explicit ServerHarness(serve::ServeOptions opts) : server(opts) {
+    std::string error;
+    if (!server.listen_on(&error)) {
+      std::fprintf(stderr, "FATAL: serve harness: %s\n", error.c_str());
+      std::exit(1);
+    }
+    runner = std::thread([this] { run_rc = server.run(); });
+  }
+  /// Graceful drain; returns run()'s exit status (0 on a clean drain).
+  int stop() {
+    server.request_stop();
+    if (runner.joinable()) runner.join();
+    return run_rc;
+  }
+  ~ServerHarness() { stop(); }
+
+  serve::Server server;
+  std::thread runner;
+  int run_rc = -1;
+};
+
+// ---- Request mixes ---------------------------------------------------------
+
+std::string request_line(const std::string& id, const char* kernel,
+                         const char* stage) {
+  serde::Json j = serde::Json::object();
+  j.set("id", id);
+  j.set("kernel", std::string(kernel));
+  j.set("scale", std::string("small"));
+  serde::Json stages = serde::Json::array();
+  stages.push_back(serde::Json(std::string(stage)));
+  j.set("stages", std::move(stages));
+  return j.dump();
+}
+
+/// The full mixed batch: check/model/sim across five suite kernels plus
+/// one tune and one explain — the two stages that exercise the tuner's
+/// EvalCaches and the (deliberately never-memoized) traced simulation.
+std::vector<std::string> full_mix(const std::string& prefix) {
+  std::vector<std::string> lines;
+  int seq = 0;
+  auto add = [&](const char* kernel, const char* stage) {
+    lines.push_back(
+        request_line(prefix + "-" + std::to_string(seq++), kernel, stage));
+  };
+  add("vecadd", "check");
+  add("vecadd", "model");
+  add("vecadd", "sim");
+  add("kmeans", "check");
+  add("kmeans", "model");
+  add("kmeans", "sim");
+  add("lud", "model");
+  add("lud", "sim");
+  add("hotspot", "model");
+  add("backprop", "sim");
+  add("vecadd", "tune");
+  add("kmeans", "explain");
+  return lines;
+}
+
+/// The cheap variant for the other warm clients: same breadth, no
+/// tune/explain (explain is one-shot by design — a mix where every client
+/// re-traces would measure the simulator, not the serving layer).
+std::vector<std::string> cheap_mix(const std::string& prefix) {
+  std::vector<std::string> lines;
+  int seq = 0;
+  auto add = [&](const char* kernel, const char* stage) {
+    lines.push_back(
+        request_line(prefix + "-" + std::to_string(seq++), kernel, stage));
+  };
+  add("vecadd", "check");
+  add("vecadd", "model");
+  add("vecadd", "sim");
+  add("kmeans", "check");
+  add("kmeans", "model");
+  add("kmeans", "sim");
+  add("lud", "model");
+  add("lud", "sim");
+  add("hotspot", "model");
+  add("backprop", "sim");
+  add("hotspot", "check");
+  add("lud", "check");
+  return lines;
+}
+
+// ---- The socket client -----------------------------------------------------
+
+struct ClientResult {
+  std::vector<double> latency_us;  // one sample per matched reply
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t other_errors = 0;
+  std::uint64_t replies = 0;
+};
+
+/// Connects, fires every request pipelined, and reads until each request's
+/// id has been answered.  Latency is send-to-matching-reply.
+ClientResult run_client(int port, const std::vector<std::string>& requests) {
+  ClientResult r;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return r;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return r;
+  }
+  std::map<std::string, Clock::time_point> sent_at;
+  std::string payload;
+  for (const auto& line : requests) {
+    payload += line;
+    payload.push_back('\n');
+  }
+  // Pipelined load: every request is in flight at once, so latency
+  // includes queueing — that is the point of the measurement.
+  const Clock::time_point t_send = Clock::now();
+  for (const auto& line : requests) {
+    const auto parsed = serde::Json::parse(line);
+    sent_at[parsed.value.at("id").as_string()] = t_send;
+  }
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const ssize_t n = ::send(fd, payload.data() + off, payload.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string pending;
+  char buf[65536];
+  while (r.replies < requests.size()) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // server gone: remaining requests count as dropped
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = pending.find('\n', start);
+      if (nl == std::string::npos) break;
+      const Clock::time_point now = Clock::now();
+      const auto parsed = serde::Json::parse(
+          std::string_view(pending).substr(start, nl - start));
+      start = nl + 1;
+      if (!parsed.ok) continue;
+      ++r.replies;
+      const serde::Json* id = parsed.value.find("id");
+      if (id != nullptr && id->is_string()) {
+        const auto it = sent_at.find(id->as_string());
+        if (it != sent_at.end()) {
+          r.latency_us.push_back(
+              std::chrono::duration<double, std::micro>(now - it->second)
+                  .count());
+        }
+      }
+      const serde::Json* okj = parsed.value.find("ok");
+      if (okj != nullptr && okj->is_bool() && okj->as_bool()) {
+        ++r.ok;
+      } else {
+        const serde::Json* err = parsed.value.find("error");
+        const serde::Json* code =
+            err != nullptr ? err->find("code") : nullptr;
+        if (code != nullptr && code->is_string() &&
+            code->as_string() == "overloaded") {
+          ++r.overloaded;
+        } else {
+          ++r.other_errors;
+        }
+      }
+    }
+    pending.erase(0, start);
+  }
+  ::close(fd);
+  return r;
+}
+
+double percentile_us(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = std::ceil(q * static_cast<double>(samples.size()));
+  const std::size_t idx = static_cast<std::size_t>(
+      std::max(1.0, std::min(rank, static_cast<double>(samples.size()))));
+  return samples[idx - 1];
+}
+
+// ---- Workloads -------------------------------------------------------------
+
+struct WorkloadResult {
+  std::uint64_t requests = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t other_errors = 0;
+  double seconds = 0.0;
+  double throughput_rps = 0.0;
+  std::vector<double> latency_us;
+
+  serde::Json to_json() const {
+    serde::Json j = serde::Json::object();
+    j.set("requests", requests);
+    j.set("replies", replies);
+    j.set("ok", ok);
+    j.set("overloaded", overloaded);
+    j.set("other_errors", other_errors);
+    j.set("dropped", requests - replies);
+    j.set("seconds", seconds);
+    j.set("throughput_rps", throughput_rps);
+    j.set("p50_us", percentile_us(latency_us, 0.50));
+    j.set("p95_us", percentile_us(latency_us, 0.95));
+    j.set("p99_us", percentile_us(latency_us, 0.99));
+    return j;
+  }
+};
+
+void fold(WorkloadResult& w, const ClientResult& c, std::size_t sent) {
+  w.requests += sent;
+  w.replies += c.replies;
+  w.ok += c.ok;
+  w.overloaded += c.overloaded;
+  w.other_errors += c.other_errors;
+  w.latency_us.insert(w.latency_us.end(), c.latency_us.begin(),
+                      c.latency_us.end());
+}
+
+/// cold_single_client: fresh server, one client, the full mixed batch.
+WorkloadResult run_cold(bool* drain_ok) {
+  ServerHarness h(serve::ServeOptions{});
+  WorkloadResult w;
+  const auto mix = full_mix("cold");
+  const auto t0 = Clock::now();
+  fold(w, run_client(h.server.port(), mix), mix.size());
+  w.seconds = seconds_since(t0);
+  w.throughput_rps =
+      w.seconds > 0.0 ? static_cast<double>(w.replies) / w.seconds : 0.0;
+  *drain_ok = h.stop() == 0 && *drain_ok;
+  return w;
+}
+
+/// warm_multi_client: one warm-up pass, then `clients` concurrent mixed
+/// batches against the same (now cache-hot) server.
+WorkloadResult run_warm(int clients, bool* drain_ok,
+                        serde::Json* server_stats) {
+  ServerHarness h(serve::ServeOptions{});
+  // Warm-up: both mix shapes once, serially, so the measured pass hits
+  // the Session memos and EvalCaches (explain stays one-shot by design).
+  run_client(h.server.port(), full_mix("warmup-full"));
+  run_client(h.server.port(), cheap_mix("warmup-cheap"));
+
+  WorkloadResult w;
+  std::vector<std::vector<std::string>> mixes;
+  for (int c = 0; c < clients; ++c) {
+    const std::string prefix = "warm" + std::to_string(c);
+    mixes.push_back(c == 0 ? full_mix(prefix) : cheap_mix(prefix));
+  }
+  std::vector<ClientResult> results(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      results[static_cast<std::size_t>(c)] =
+          run_client(h.server.port(), mixes[static_cast<std::size_t>(c)]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  w.seconds = seconds_since(t0);
+  for (int c = 0; c < clients; ++c) {
+    fold(w, results[static_cast<std::size_t>(c)],
+         mixes[static_cast<std::size_t>(c)].size());
+  }
+  w.throughput_rps =
+      w.seconds > 0.0 ? static_cast<double>(w.replies) / w.seconds : 0.0;
+
+  // One stats request so the record carries the server's own view
+  // (cache hit rates, batch sizes, queue behaviour).
+  serde::Json probe = serde::Json::object();
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(h.server.port()));
+    if (fd >= 0 &&
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      const std::string line = "{\"stats\":true}\n";
+      (void)!::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+      std::string reply;
+      char buf[65536];
+      while (reply.find('\n') == std::string::npos) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        reply.append(buf, static_cast<std::size_t>(n));
+      }
+      const auto parsed =
+          serde::Json::parse(reply.substr(0, reply.find('\n')));
+      if (parsed.ok) {
+        if (const auto* s = parsed.value.find("stats")) probe = *s;
+      }
+    }
+    if (fd >= 0) ::close(fd);
+  }
+  *server_stats = std::move(probe);
+  *drain_ok = h.stop() == 0 && *drain_ok;
+  return w;
+}
+
+/// overload: queue depth 1, batch 1, four clients firing pipelined cheap
+/// bursts.  Every request must be answered — result or "overloaded".
+WorkloadResult run_overload(bool* drain_ok) {
+  serve::ServeOptions opts;
+  opts.queue_depth = 1;
+  opts.batch = 1;
+  ServerHarness h(opts);
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 25;
+  WorkloadResult w;
+  std::vector<std::vector<std::string>> mixes;
+  for (int c = 0; c < kClients; ++c) {
+    std::vector<std::string> lines;
+    for (int i = 0; i < kPerClient; ++i) {
+      lines.push_back(request_line(
+          "ov" + std::to_string(c) + "-" + std::to_string(i), "vecadd",
+          "model"));
+    }
+    mixes.push_back(std::move(lines));
+  }
+  std::vector<ClientResult> results(kClients);
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      results[static_cast<std::size_t>(c)] =
+          run_client(h.server.port(), mixes[static_cast<std::size_t>(c)]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  w.seconds = seconds_since(t0);
+  for (int c = 0; c < kClients; ++c) {
+    fold(w, results[static_cast<std::size_t>(c)],
+         mixes[static_cast<std::size_t>(c)].size());
+  }
+  w.throughput_rps =
+      w.seconds > 0.0 ? static_cast<double>(w.replies) / w.seconds : 0.0;
+  *drain_ok = h.stop() == 0 && *drain_ok;
+  return w;
+}
+
+// ---- Measurement + record --------------------------------------------------
+
+constexpr int kWarmClients = 8;
+
+serde::Json measure(bool* ok) {
+  bool drain_ok = true;
+
+  std::printf("cold single client (full mix, empty caches)...\n");
+  const WorkloadResult cold = run_cold(&drain_ok);
+  std::printf("  %llu replies in %.3fs: %.1f req/s, p50 %.0fus p99 %.0fus\n",
+              static_cast<unsigned long long>(cold.replies), cold.seconds,
+              cold.throughput_rps, percentile_us(cold.latency_us, 0.50),
+              percentile_us(cold.latency_us, 0.99));
+
+  std::printf("warm %d concurrent clients (cache-hot server)...\n",
+              kWarmClients);
+  serde::Json server_stats;
+  const WorkloadResult warm =
+      run_warm(kWarmClients, &drain_ok, &server_stats);
+  std::printf("  %llu replies in %.3fs: %.1f req/s, p50 %.0fus p99 %.0fus\n",
+              static_cast<unsigned long long>(warm.replies), warm.seconds,
+              warm.throughput_rps, percentile_us(warm.latency_us, 0.50),
+              percentile_us(warm.latency_us, 0.99));
+
+  std::printf("overload (queue depth 1, 4 pipelined clients)...\n");
+  const WorkloadResult over = run_overload(&drain_ok);
+  std::printf(
+      "  %llu requests: %llu ok + %llu overloaded, %llu dropped\n",
+      static_cast<unsigned long long>(over.requests),
+      static_cast<unsigned long long>(over.ok),
+      static_cast<unsigned long long>(over.overloaded),
+      static_cast<unsigned long long>(over.requests - over.replies));
+
+  const double ratio = cold.throughput_rps > 0.0
+                           ? warm.throughput_rps / cold.throughput_rps
+                           : 0.0;
+  std::printf("warm/cold throughput: %.1fx\n", ratio);
+
+  if (over.requests != over.replies || over.other_errors != 0) {
+    std::fprintf(stderr,
+                 "FAIL overload: %llu dropped, %llu non-overloaded errors "
+                 "— backpressure must answer every request\n",
+                 static_cast<unsigned long long>(over.requests -
+                                                 over.replies),
+                 static_cast<unsigned long long>(over.other_errors));
+    *ok = false;
+  }
+  if (cold.other_errors != 0 || warm.other_errors != 0 ||
+      cold.replies != cold.requests || warm.replies != warm.requests) {
+    std::fprintf(stderr, "FAIL: cold/warm workloads saw errors or drops\n");
+    *ok = false;
+  }
+  if (!drain_ok) {
+    std::fprintf(stderr, "FAIL: a server drain returned nonzero\n");
+    *ok = false;
+  }
+
+  serde::Json root = serde::Json::object();
+  root.set("schema", std::string("swperf-bench-serve/v1"));
+  serde::Json config = serde::Json::object();
+  config.set("warm_clients", kWarmClients);
+  config.set("mix_requests_per_client",
+             static_cast<std::uint64_t>(full_mix("x").size()));
+  config.set("mix", std::string("check/model/sim over vecadd, kmeans, lud, "
+                                "hotspot, backprop + 1 tune + 1 explain"));
+  root.set("config", std::move(config));
+  root.set("cold_single_client", cold.to_json());
+  root.set("warm_multi_client", warm.to_json());
+  serde::Json overload = over.to_json();
+  overload.set("queue_depth", 1);
+  overload.set("clients", 4);
+  root.set("overload", std::move(overload));
+  root.set("server_stats", std::move(server_stats));
+  serde::Json claims = serde::Json::object();
+  claims.set("warm_over_cold_throughput", ratio);
+  claims.set("overload_zero_dropped", over.requests == over.replies);
+  claims.set("clean_drains", drain_ok);
+  root.set("claims", std::move(claims));
+  return root;
+}
+
+bool smoke_pass(const serde::Json& record) {
+  bool ok = true;
+  const double ratio =
+      record.at("claims").at("warm_over_cold_throughput").as_double();
+  // Relaxed live floor: CI boxes are noisy and often single-core; the
+  // checked-in record (measured properly) must still claim >= 5x.
+  if (ratio < 2.0) {
+    std::fprintf(stderr, "FAIL smoke: warm/cold %.2fx < 2x live floor\n",
+                 ratio);
+    ok = false;
+  }
+  if (!record.at("claims").at("overload_zero_dropped").as_bool()) {
+    std::fprintf(stderr, "FAIL smoke: overload run dropped requests\n");
+    ok = false;
+  }
+  if (record.at("overload").at("overloaded").as_u64() == 0) {
+    std::fprintf(stderr,
+                 "FAIL smoke: queue depth 1 never answered overloaded — "
+                 "backpressure is not engaging\n");
+    ok = false;
+  }
+  if (!record.at("claims").at("clean_drains").as_bool()) {
+    std::fprintf(stderr, "FAIL smoke: unclean server drain\n");
+    ok = false;
+  }
+  std::printf("smoke: %s\n", ok ? "OK" : "FAILED");
+  return ok;
+}
+
+// ---- BENCH_serve.json schema check -----------------------------------------
+
+bool check_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "FAIL check: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  serde::Json j;
+  try {
+    j = serde::Json::parse_or_throw(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL check: %s does not parse: %s\n", path.c_str(),
+                 e.what());
+    return false;
+  }
+  if (!j.contains("schema") ||
+      j.at("schema").as_string() != "swperf-bench-serve/v1") {
+    std::fprintf(stderr, "FAIL check: bad or missing schema tag\n");
+    return false;
+  }
+  for (const char* section :
+       {"config", "cold_single_client", "warm_multi_client", "overload",
+        "claims"}) {
+    if (!j.contains(section)) {
+      std::fprintf(stderr, "FAIL check: missing %s\n", section);
+      return false;
+    }
+  }
+  for (const char* section : {"cold_single_client", "warm_multi_client",
+                              "overload"}) {
+    for (const char* f : {"requests", "replies", "ok", "overloaded",
+                          "dropped", "seconds", "throughput_rps", "p50_us",
+                          "p95_us", "p99_us"}) {
+      if (!j.at(section).contains(f)) {
+        std::fprintf(stderr, "FAIL check: %s missing %s\n", section, f);
+        return false;
+      }
+    }
+  }
+  if (j.at("config").at("warm_clients").as_u64() < 8) {
+    std::fprintf(stderr, "FAIL check: record measured fewer than 8 warm "
+                         "clients\n");
+    return false;
+  }
+  const double ratio =
+      j.at("claims").at("warm_over_cold_throughput").as_double();
+  if (ratio < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL check: recorded warm/cold throughput %.2fx < 5x\n",
+                 ratio);
+    return false;
+  }
+  if (j.at("overload").at("dropped").as_u64() != 0 ||
+      !j.at("claims").at("overload_zero_dropped").as_bool()) {
+    std::fprintf(stderr,
+                 "FAIL check: recorded overload run dropped requests\n");
+    return false;
+  }
+  if (j.at("overload").at("overloaded").as_u64() == 0) {
+    std::fprintf(stderr,
+                 "FAIL check: recorded overload run never shed load\n");
+    return false;
+  }
+  if (!j.at("claims").at("clean_drains").as_bool()) {
+    std::fprintf(stderr, "FAIL check: recorded run had an unclean drain\n");
+    return false;
+  }
+  std::printf("check: %s conforms to swperf-bench-serve/v1\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string check_path;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--check" && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--smoke] [--check FILE] "
+                   "[--out FILE]\n");
+      return 2;
+    }
+  }
+
+  bool ok = true;
+  if (!check_path.empty()) ok = check_file(check_path) && ok;
+  if (smoke) {
+    const serde::Json record = measure(&ok);
+    ok = smoke_pass(record) && ok;
+    return ok ? 0 : 1;
+  }
+  if (!check_path.empty() && out_path.empty()) return ok ? 0 : 1;
+
+  swperf::bench::print_header(
+      "swperf serve: concurrent-client throughput, latency and "
+      "backpressure",
+      "repo performance record (BENCH_serve.json), not a paper figure");
+
+  const serde::Json root = measure(&ok);
+
+  if (!out_path.empty()) {
+    if (!swperf::bench::write_file_atomic(out_path, root.dump() + "\n")) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+      ok = false;
+    } else {
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -309,9 +309,7 @@ int main(int argc, char** argv) {
   root.set("kernels", std::move(kernels_json));
 
   if (!out_path.empty()) {
-    std::ofstream out(out_path);
-    out << root.dump() << "\n";
-    if (!out) {
+    if (!swperf::bench::write_file_atomic(out_path, root.dump() + "\n")) {
       std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
       ok = false;
     } else {

@@ -27,6 +27,16 @@ serde::Json to_json(const Evaluation& e) {
   return j;
 }
 
+serde::Json to_json(const SessionStats& s) {
+  serde::Json j = serde::Json::object();
+  j.set("hits", s.hits);
+  j.set("misses", s.misses);
+  j.set("lowers_skipped", s.lowers_skipped);
+  j.set("skeleton_reuses", s.skeleton_reuses);
+  j.set("hit_rate", s.hit_rate());
+  return j;
+}
+
 std::string Session::key(const swacc::KernelDesc& kernel,
                          const swacc::LaunchParams& params) const {
   // The tuners' pre-lowering encoding is a canonical content key: two
@@ -39,28 +49,42 @@ std::string Session::key(const swacc::KernelDesc& kernel,
 const swacc::LoweredKernel& Session::lower(const swacc::KernelDesc& kernel,
                                            const swacc::LaunchParams& params) {
   std::string k = key(kernel, params);
-  auto it = lowered_.find(k);
-  if (it == lowered_.end()) {
-    // Share the tile-independent code-generation artifact across lowerings
-    // of the same kernel: variants differing only in tile/CPEs/
-    // double-buffer/coalescing reuse one unroll×vectorize×schedule pass.
-    // Illegal launches still throw exactly like swacc::lower() and cache
-    // nothing: both build_skeleton and lower_with_skeleton validate before
-    // this code inserts into either table.
-    std::string sk = tuning::skeleton_key(kernel, params, arch_);
-    auto skel = skeletons_.find(sk);
-    if (skel == skeletons_.end()) {
-      skel = skeletons_
-                 .emplace(std::move(sk),
-                          swacc::build_skeleton(kernel, params, arch_))
-                 .first;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = lowered_.find(k);
+    if (it != lowered_.end()) {
+      ++counters_.hits;
+      ++counters_.lowers_skipped;
+      return it->second;
     }
-    it = lowered_
-             .emplace(std::move(k), swacc::lower_with_skeleton(
-                                        kernel, params, arch_, skel->second))
-             .first;
   }
-  return it->second;
+  // Share the tile-independent code-generation artifact across lowerings
+  // of the same kernel: variants differing only in tile/CPEs/
+  // double-buffer/coalescing reuse one unroll×vectorize×schedule pass.
+  // Illegal launches still throw exactly like swacc::lower() and cache
+  // nothing: both build_skeleton and lower_with_skeleton validate before
+  // this code inserts into either table.
+  std::string sk = tuning::skeleton_key(kernel, params, arch_);
+  const swacc::LoweredSkeleton* skel = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = skeletons_.find(sk);
+    if (it != skeletons_.end()) {
+      ++counters_.skeleton_reuses;
+      skel = &it->second;
+    }
+  }
+  if (skel == nullptr) {
+    // Build outside the lock; on a first-seen race the first insert wins
+    // (codegen is a pure function, so the discarded copy was identical).
+    auto built = swacc::build_skeleton(kernel, params, arch_);
+    std::lock_guard<std::mutex> lock(mu_);
+    skel = &skeletons_.emplace(std::move(sk), std::move(built)).first->second;
+  }
+  auto lowered = swacc::lower_with_skeleton(kernel, params, arch_, *skel);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.misses;
+  return lowered_.emplace(std::move(k), std::move(lowered)).first->second;
 }
 
 analysis::Diagnostics Session::check(const swacc::KernelDesc& kernel,
@@ -71,15 +95,21 @@ analysis::Diagnostics Session::check(const swacc::KernelDesc& kernel,
 const sim::SimResult& Session::simulate(const swacc::KernelDesc& kernel,
                                         const swacc::LaunchParams& params) {
   std::string k = key(kernel, params);
-  auto it = simulated_.find(k);
-  if (it == simulated_.end()) {
-    const auto& lk = lower(kernel, params);
-    it = simulated_
-             .emplace(std::move(k),
-                      sim::simulate(lk.sim_config, lk.binary, lk.programs))
-             .first;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = simulated_.find(k);
+    if (it != simulated_.end()) {
+      ++counters_.hits;
+      return it->second;
+    }
   }
-  return it->second;
+  const auto& lk = lower(kernel, params);
+  // Simulate outside the lock (the deterministic simulator is a pure
+  // function of the lowered artifact); first insert wins on a race.
+  auto r = sim::simulate(lk.sim_config, lk.binary, lk.programs);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.misses;
+  return simulated_.emplace(std::move(k), std::move(r)).first->second;
 }
 
 sim::SimResult Session::simulate_traced(const swacc::KernelDesc& kernel,
@@ -126,12 +156,48 @@ tuning::TuningResult Session::tune(const swacc::KernelDesc& kernel,
                                    const tuning::SearchSpace& space,
                                    bool empirical,
                                    tuning::TuningOptions options) const {
+  if (options.cache == nullptr) {
+    options.cache = empirical ? empirical_cache_ : static_cache_;
+  }
   if (empirical) {
     return tuning::EmpiricalTuner(arch_, {}, std::move(options))
         .tune(kernel, space);
   }
   return tuning::StaticTuner(arch_, {}, std::move(options))
       .tune(kernel, space);
+}
+
+SessionStats Session::stats() const {
+  SessionStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = counters_;
+  }
+  // Fold in the shared tuning caches (internally sharded + thread-safe;
+  // their stats() aggregates across shards).
+  for (const auto& cache : {static_cache_, empirical_cache_}) {
+    const tuning::EvalCacheStats cs = cache->stats();
+    s.hits += cs.hits;
+    s.misses += cs.misses;
+    s.lowers_skipped += cs.lowers_skipped;
+    s.skeleton_reuses += cs.skeleton_hits;
+  }
+  return s;
+}
+
+std::size_t Session::lowered_cached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lowered_.size();
+}
+
+std::size_t Session::simulated_cached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return simulated_.size();
+}
+
+std::size_t Session::skeletons_cached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return skeletons_.size();
 }
 
 }  // namespace swperf::pipeline

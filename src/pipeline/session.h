@@ -14,13 +14,21 @@
 // swacc::lower() without serializing anything to JSON.  predict() and
 // evaluate() reuse the memoized artifacts; check() is stateless and cheap.
 //
-// Sessions are NOT thread-safe (the memo tables are unsynchronized); use
-// one Session per thread, or the tuners' own parallel engine for fan-out.
-// References returned by lower()/simulate() stay valid for the Session's
-// lifetime (node-based map storage).
+// Sessions ARE thread-safe: the memo tables sit behind a mutex, and the
+// expensive work (skeleton build, lowering, simulation) runs outside it.
+// Concurrent first-seen callers may both compute; the first insert wins
+// and every caller observes the stored artifact, so results are
+// bit-identical to serial use at any thread count — the re-entrancy
+// contract the serve shard pool fans out on
+// (tests/pipeline/concurrent_session_test.cpp pins it).  References
+// returned by lower()/simulate() stay valid for the Session's lifetime
+// (node-based map storage; nodes are never erased).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -31,6 +39,7 @@
 #include "sim/machine.h"
 #include "swacc/lower.h"
 #include "swacc/skeleton.h"
+#include "tuning/eval_cache.h"
 #include "tuning/tuner.h"
 
 namespace swperf::pipeline {
@@ -64,11 +73,43 @@ struct Evaluation {
 /// (trace-free sim result), predicted, and the relative error.
 serde::Json to_json(const Evaluation& e);
 
+/// Aggregate cache statistics of one Session: its own memo tables plus the
+/// tuning EvalCaches its campaigns share.  The counters follow the
+/// EvalCacheStats vocabulary so `swperf eval --stats` and the serve
+/// daemon's `--stats` endpoint report the same numbers:
+///   hits / misses        — memo probes (lower + simulate) and tuning-cache
+///                          evaluations, hit or paid for;
+///   lowers_skipped       — probes served without running swacc::lower()
+///                          (always <= hits);
+///   skeleton_reuses      — lowerings that reused a stored code-generation
+///                          skeleton instead of re-running codegen.
+struct SessionStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t lowers_skipped = 0;
+  std::uint64_t skeleton_reuses = 0;
+  std::uint64_t probes() const { return hits + misses; }
+  double hit_rate() const {
+    const std::uint64_t n = probes();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+/// Deterministic JSON rendering of SessionStats (fixed field order).
+serde::Json to_json(const SessionStats& s);
+
 class Session {
  public:
   explicit Session(sw::ArchParams arch = sw::ArchParams::sw26010(),
                    model::ModelOptions opts = {})
-      : arch_(arch), model_(arch, opts) {}
+      : arch_(arch),
+        model_(arch, opts),
+        static_cache_(std::make_shared<tuning::EvalCache>()),
+        empirical_cache_(std::make_shared<tuning::EvalCache>()) {}
+
+  // The memo tables and their mutex pin the Session in place.
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
 
   const sw::ArchParams& arch() const { return arch_; }
   const model::PerfModel& model() const { return model_; }
@@ -114,16 +155,25 @@ class Session {
                       const swacc::LaunchParams& params);
 
   /// Auto-tuning over `space`: the model-driven StaticTuner by default,
-  /// the simulate-everything EmpiricalTuner when `empirical`.
+  /// the simulate-everything EmpiricalTuner when `empirical`.  Campaigns
+  /// without an explicit options.cache share this Session's persistent
+  /// EvalCache (one per tuner kind — they memoize different functions), so
+  /// repeated campaigns over overlapping spaces hit warm: results are
+  /// bit-identical either way (memoized values equal computed ones), only
+  /// the campaign's hit/miss stats change.
   tuning::TuningResult tune(const swacc::KernelDesc& kernel,
                             const tuning::SearchSpace& space,
                             bool empirical = false,
                             tuning::TuningOptions options = {}) const;
 
+  /// Aggregate cache statistics: the Session memo tables plus both shared
+  /// tuning EvalCaches.  Safe to call concurrently with evaluations.
+  SessionStats stats() const;
+
   // Memo-table introspection (tests pin the memoization behaviour).
-  std::size_t lowered_cached() const { return lowered_.size(); }
-  std::size_t simulated_cached() const { return simulated_.size(); }
-  std::size_t skeletons_cached() const { return skeletons_.size(); }
+  std::size_t lowered_cached() const;
+  std::size_t simulated_cached() const;
+  std::size_t skeletons_cached() const;
 
  private:
   std::string key(const swacc::KernelDesc& kernel,
@@ -131,11 +181,21 @@ class Session {
 
   sw::ArchParams arch_;
   model::PerfModel model_;
+  /// Guards the memo tables and counters below.  Never held while
+  /// lowering, simulating or building a skeleton: concurrent first-seen
+  /// callers recompute the identical pure function and the first insert
+  /// wins, which keeps slow work off the lock.
+  mutable std::mutex mu_;
+  SessionStats counters_;
   std::unordered_map<std::string, swacc::LoweredKernel> lowered_;
   std::unordered_map<std::string, sim::SimResult> simulated_;
   /// Code-generation skeletons shared across lowerings that differ only in
   /// tile/CPEs/double-buffer/coalescing (keyed by tuning::skeleton_key).
   std::unordered_map<std::string, swacc::LoweredSkeleton> skeletons_;
+  /// Persistent tuning caches handed to campaigns that bring none (see
+  /// tune()); EvalCache is internally sharded and thread-safe.
+  std::shared_ptr<tuning::EvalCache> static_cache_;
+  std::shared_ptr<tuning::EvalCache> empirical_cache_;
 };
 
 }  // namespace swperf::pipeline

@@ -81,6 +81,67 @@ isa::OpClass op_class_from_name(const std::string& s) {
 
 }  // namespace
 
+// ---- ArchParams ------------------------------------------------------------
+
+Json to_json(const sw::ArchParams& a) {
+  Json j = Json::object();
+  j.set("mem_bw_gbps", a.mem_bw_gbps);
+  j.set("freq_ghz", a.freq_ghz);
+  j.set("trans_size_bytes", a.trans_size_bytes);
+  j.set("delta_delay_cycles", a.delta_delay_cycles);
+  j.set("l_base_cycles", a.l_base_cycles);
+  j.set("l_float_cycles", a.l_float_cycles);
+  j.set("l_fixed_cycles", a.l_fixed_cycles);
+  j.set("l_spm_cycles", a.l_spm_cycles);
+  j.set("l_div_sqrt_cycles", a.l_div_sqrt_cycles);
+  j.set("cpes_per_cg", a.cpes_per_cg);
+  j.set("core_groups", a.core_groups);
+  j.set("spm_bytes", a.spm_bytes);
+  j.set("gload_max_bytes", a.gload_max_bytes);
+  j.set("cross_section_bw_efficiency", a.cross_section_bw_efficiency);
+  return j;
+}
+
+sw::ArchParams arch_params_from_json(const Json& j) {
+  require_object(j, "ArchParams");
+  sw::ArchParams a;  // absent fields keep their Table I defaults
+  for (const auto& [k, v] : j.members()) {
+    if (k == "mem_bw_gbps") {
+      a.mem_bw_gbps = v.as_double();
+    } else if (k == "freq_ghz") {
+      a.freq_ghz = v.as_double();
+    } else if (k == "trans_size_bytes") {
+      a.trans_size_bytes = as_u32(v);
+    } else if (k == "delta_delay_cycles") {
+      a.delta_delay_cycles = as_u32(v);
+    } else if (k == "l_base_cycles") {
+      a.l_base_cycles = as_u32(v);
+    } else if (k == "l_float_cycles") {
+      a.l_float_cycles = as_u32(v);
+    } else if (k == "l_fixed_cycles") {
+      a.l_fixed_cycles = as_u32(v);
+    } else if (k == "l_spm_cycles") {
+      a.l_spm_cycles = as_u32(v);
+    } else if (k == "l_div_sqrt_cycles") {
+      a.l_div_sqrt_cycles = as_u32(v);
+    } else if (k == "cpes_per_cg") {
+      a.cpes_per_cg = as_u32(v);
+    } else if (k == "core_groups") {
+      a.core_groups = as_u32(v);
+    } else if (k == "spm_bytes") {
+      a.spm_bytes = as_u32(v);
+    } else if (k == "gload_max_bytes") {
+      a.gload_max_bytes = as_u32(v);
+    } else if (k == "cross_section_bw_efficiency") {
+      a.cross_section_bw_efficiency = v.as_double();
+    } else {
+      bad_field("ArchParams", k);
+    }
+  }
+  a.validate();  // nonsense values throw sw::Error, never reach a Session
+  return a;
+}
+
 // ---- LaunchParams ----------------------------------------------------------
 
 Json to_json(const swacc::LaunchParams& p) {

@@ -24,6 +24,7 @@
 #include "serde/json.h"
 #include "sim/chip.h"
 #include "sim/machine.h"
+#include "sw/arch.h"
 #include "swacc/kernel.h"
 #include "swacc/summary.h"
 #include "tuning/tuner.h"
@@ -31,6 +32,14 @@
 namespace swperf::serde {
 
 // ---- Request side: serialize + parse (round-trip guaranteed) --------------
+
+/// Machine parameters (Table I + structural constants).  from_json treats
+/// absent fields as their SW26010 defaults — a request that only says
+/// {"mem_bw_gbps": 24} describes a bandwidth-derated chip — rejects
+/// unknown fields, and validates the result.  Used by the serve daemon to
+/// key its per-tenant Session shards.
+Json to_json(const sw::ArchParams& a);
+sw::ArchParams arch_params_from_json(const Json& j);
 
 Json to_json(const swacc::LaunchParams& p);
 swacc::LaunchParams launch_params_from_json(const Json& j);

@@ -1,0 +1,223 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+namespace swperf::serve {
+
+namespace {
+
+/// Thread-safe line writer over a connected socket.  Owns the fd: the
+/// last reply (or the reaper) dropping its shared_ptr closes it, so the
+/// descriptor is never reused while a queued request could still answer
+/// on it.  Write errors (client gone) are swallowed — a reply to a dead
+/// client is simply discarded.
+class FdSinkImpl final : public ReplySink {
+ public:
+  explicit FdSinkImpl(int fd) : fd_(fd) {}
+  ~FdSinkImpl() override { ::close(fd_); }
+
+  void write_line(const std::string& line) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return;  // client closed; drop the rest of this reply
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  const int fd_;
+};
+
+}  // namespace
+
+Server::Server(ServeOptions opts) : opts_(opts), pool_(opts) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_[0] >= 0) ::close(wake_fd_[0]);
+  if (wake_fd_[1] >= 0) ::close(wake_fd_[1]);
+  // run() joins readers before returning; this covers listen_on-then-drop.
+  const std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto& c : connections_) {
+    if (c.reader.joinable()) c.reader.join();
+  }
+}
+
+bool Server::listen_on(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (::pipe(wake_fd_) != 0) return fail("pipe");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind 127.0.0.1:" + std::to_string(opts_.port));
+  }
+  if (::listen(listen_fd_, 64) != 0) return fail("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return fail("getsockname");
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  return true;
+}
+
+void Server::request_stop() {
+  if (wake_fd_[1] < 0) return;
+  const char byte = 's';
+  // write() is async-signal-safe; a full pipe just means a stop is
+  // already pending, so the result is deliberately ignored either way.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_[1], &byte, 1);
+}
+
+void Server::reader_loop(int fd, std::shared_ptr<ReplySink> sink,
+                         std::shared_ptr<bool> done) {
+  std::string pending;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, error, or shutdown(SHUT_RD) during drain
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = pending.find('\n', start);
+      if (nl == std::string::npos) break;
+      pool_.handle_line(
+          std::string_view(pending).substr(start, nl - start), sink);
+      start = nl + 1;
+    }
+    pending.erase(0, start);
+  }
+  // A final line without a terminating newline still counts.
+  if (!pending.empty()) pool_.handle_line(pending, sink);
+  *done = true;
+}
+
+void Server::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (*it->done) {
+      it->reader.join();
+      // Dropping our sink reference lets the last in-flight reply (or
+      // this erase, if none are queued) close the fd.
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int Server::run() {
+  pollfd fds[2];
+  fds[0].fd = listen_fd_;
+  fds[0].events = POLLIN;
+  fds[1].fd = wake_fd_[0];
+  fds[1].events = POLLIN;
+  bool stopping = false;
+  while (!stopping) {
+    fds[0].revents = 0;
+    fds[1].revents = 0;
+    const int rc = ::poll(fds, 2, 500);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // the signal handler woke the pipe
+      break;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(conn_mu_);
+      reap_finished_locked();
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      stopping = true;
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) continue;
+      auto sink = std::make_shared<FdSinkImpl>(fd);
+      auto done = std::make_shared<bool>(false);
+      const std::lock_guard<std::mutex> lock(conn_mu_);
+      connections_.push_back(Connection{});
+      Connection& c = connections_.back();
+      c.fd = fd;
+      c.sink = sink;
+      c.done = done;
+      c.reader = std::thread(
+          [this, fd, sink, done] { reader_loop(fd, sink, done); });
+    }
+  }
+  // Graceful drain: stop accepting, unblock every reader, let them flush
+  // the lines they already received, answer everything queued, exit 0.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& c : connections_) ::shutdown(c.fd, SHUT_RD);
+    for (auto& c : connections_) {
+      if (c.reader.joinable()) c.reader.join();
+    }
+  }
+  pool_.drain();
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.clear();  // drops the sink references; fds close here
+  }
+  return 0;
+}
+
+// ---- stdio mode ------------------------------------------------------------
+
+namespace {
+std::atomic<bool> g_stdio_stop{false};
+}  // namespace
+
+void request_stdio_stop() { g_stdio_stop.store(true); }
+
+int serve_stdio(std::istream& in, std::ostream& out,
+                const ServeOptions& opts) {
+  g_stdio_stop.store(false);
+  ShardPool pool(opts);
+  auto sink = std::make_shared<OstreamSink>(out);
+  std::string line;
+  while (!g_stdio_stop.load() && std::getline(in, line)) {
+    pool.handle_line(line, sink);
+  }
+  pool.drain();
+  return 0;
+}
+
+}  // namespace swperf::serve

@@ -1,0 +1,90 @@
+// Transports of the evaluation service: a loopback TCP daemon and a
+// stdio mode, both thin line pumps into the same ShardPool.
+//
+// TCP (`swperf serve --port N`): the server binds 127.0.0.1 only, accepts
+// in a poll() loop, and runs one reader thread per connection.  Replies go
+// through a per-connection FdSink that requests keep alive by shared_ptr,
+// so a client that disconnects with work still queued costs nothing but
+// discarded writes (EPIPE is swallowed; MSG_NOSIGNAL, never SIGPIPE).
+//
+// Shutdown is a graceful drain and the only supported exit: request_stop()
+// — async-signal-safe, it writes one byte to a self-pipe — makes run()
+// stop accepting, shutdown(SHUT_RD) every connection so readers see EOF,
+// join them, drain the pool (every accepted request answered), and
+// return 0.
+//
+// Stdio (`swperf serve --stdio`): one line in, replies out, EOF or
+// request_stdio_stop() drains and exits — same code path, no sockets, so
+// shell tests can pipe the full protocol without port management.
+#pragma once
+
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serde/json.h"
+#include "serve/shard.h"
+
+namespace swperf::serve {
+
+/// The loopback TCP daemon.
+class Server {
+ public:
+  explicit Server(ServeOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens on 127.0.0.1:opts.port (port 0 picks an ephemeral
+  /// port, readable via port() afterwards).  On failure fills *error and
+  /// returns false without touching the process state.
+  bool listen_on(std::string* error);
+
+  /// The bound port (valid after listen_on succeeded).
+  int port() const { return port_; }
+
+  /// Accept loop; blocks until request_stop(), then drains gracefully.
+  /// Returns 0 on a clean drain.
+  int run();
+
+  /// Stops run() from a signal handler: async-signal-safe (one write()
+  /// to a self-pipe), callable any number of times.
+  void request_stop();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    /// Keeps the fd open (the sink owns it) while this entry exists, so
+    /// shutdown(fd) during drain can never hit a recycled descriptor.
+    std::shared_ptr<ReplySink> sink;
+    std::thread reader;
+    std::shared_ptr<bool> done;  // heap flag: set by reader, read by reaper
+  };
+
+  void reader_loop(int fd, std::shared_ptr<ReplySink> sink,
+                   std::shared_ptr<bool> done);
+  void reap_finished_locked();
+
+  ServeOptions opts_;
+  ShardPool pool_;
+  int listen_fd_ = -1;
+  int wake_fd_[2] = {-1, -1};  // self-pipe: [0] polled, [1] signal-written
+  int port_ = 0;
+
+  std::mutex conn_mu_;
+  std::list<Connection> connections_;
+};
+
+/// Runs the service over an istream/ostream pair until EOF or
+/// request_stdio_stop(); drains and returns 0.
+int serve_stdio(std::istream& in, std::ostream& out,
+                const ServeOptions& opts);
+
+/// Makes the running serve_stdio() drain after its current line.
+/// Async-signal-safe (one atomic store).
+void request_stdio_stop();
+
+}  // namespace swperf::serve

@@ -1,0 +1,218 @@
+#include "serve/service.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "explain/explain.h"
+#include "kernels/suite.h"
+#include "pipeline/chip.h"
+#include "serde/serde.h"
+#include "sim/chip.h"
+#include "sw/error.h"
+#include "transform/optimizer.h"
+#include "transform/provenance.h"
+#include "tuning/space.h"
+
+namespace swperf::serve {
+
+serde::Json execute_entry(const serde::Json& entry,
+                          pipeline::Session& session, bool& failed) {
+  std::string name = "?";
+  try {
+    if (!entry.is_object()) {
+      throw sw::Error("eval entry must be a JSON object");
+    }
+    // A chip entry runs a whole-chip scenario instead of a single launch:
+    // { "chip": {chip scenario object} } — no other fields.
+    if (const auto* cj = entry.find("chip")) {
+      name = "chip";
+      for (const auto& [key, value] : entry.members()) {
+        (void)value;
+        if (key != "chip") {
+          throw sw::Error("chip eval entry: unknown field \"" + key + "\"");
+        }
+      }
+      const auto spec = pipeline::chip_scenario_spec_from_json(*cj);
+      const auto scenario = pipeline::assemble_chip_scenario(spec, session);
+      serde::Json out = serde::Json::object();
+      out.set("kernel", name);
+      out.set("ok", true);
+      out.set("chip", serde::to_json(sim::simulate_chip(scenario)));
+      return out;
+    }
+    kernels::Scale scale = kernels::Scale::kFull;
+    if (const auto* sj = entry.find("scale")) {
+      const std::string& s = sj->as_string();
+      if (s == "small") {
+        scale = kernels::Scale::kSmall;
+      } else if (s != "full") {
+        throw sw::Error("unknown scale '" + s +
+                        "' (expected \"small\" or \"full\")");
+      }
+    }
+    swacc::KernelDesc desc;
+    swacc::LaunchParams params;
+    const serde::Json& kj = entry.at("kernel");
+    if (kj.is_string()) {
+      const auto spec = kernels::make(kj.as_string(), scale);
+      desc = spec.desc;
+      params = spec.tuned;
+    } else {
+      desc = serde::kernel_desc_from_json(kj);
+    }
+    name = desc.name;
+    if (const auto* pj = entry.find("params")) {
+      params = serde::launch_params_from_json(*pj);
+    }
+    std::vector<std::string> stages = {"check", "sim", "model"};
+    if (const auto* sj = entry.find("stages")) {
+      stages.clear();
+      for (const auto& s : sj->items()) stages.push_back(s.as_string());
+    }
+    serde::Json out = serde::Json::object();
+    out.set("kernel", name);
+    out.set("ok", true);
+    out.set("params", serde::to_json(params));
+    bool did_sim = false;
+    bool did_model = false;
+    for (const auto& stage : stages) {
+      if (stage == "check") {
+        out.set("check", serde::to_json(session.check(desc, params)));
+      } else if (stage == "sim") {
+        out.set("actual", serde::to_json(session.simulate(desc, params)));
+        did_sim = true;
+      } else if (stage == "model") {
+        out.set("predicted", serde::to_json(session.predict(desc, params)));
+        did_model = true;
+      } else if (stage == "explain") {
+        out.set("explain",
+                explain::to_json(session.explain(desc, params)));
+      } else if (stage == "tune") {
+        const auto space =
+            tuning::SearchSpace::standard(desc, session.arch());
+        out.set("tune", serde::to_json(session.tune(desc, space)));
+      } else if (stage == "optimize") {
+        transform::Optimizer optimizer(session);
+        // Batch results are consumed by diff-based tooling, so the
+        // deterministic (host-timing-free) rendering is the right default.
+        out.set("optimize", serde::optimize_report_json(
+                                optimizer.optimize(desc, params), true));
+      } else {
+        throw sw::Error("unknown stage '" + stage +
+                        "' (expected check, sim, model, explain, tune or "
+                        "optimize)");
+      }
+    }
+    if (did_sim || did_model) {
+      out.set("summary", serde::to_json(session.lower(desc, params).summary));
+    }
+    if (did_sim && did_model) {
+      out.set("error",
+              pipeline::relative_error(
+                  session.predict(desc, params).t_total,
+                  session.simulate(desc, params).total_cycles()));
+    }
+    return out;
+  } catch (const sw::Error& e) {
+    failed = true;
+    serde::Json out = serde::Json::object();
+    out.set("kernel", name);
+    out.set("ok", false);
+    out.set("message", e.what());
+    return out;
+  }
+}
+
+Request parse_request(const serde::Json& value) {
+  if (!value.is_object()) {
+    throw sw::Error("request must be a JSON object");
+  }
+  Request req;
+  serde::Json entry = serde::Json::object();
+  for (const auto& [key, member] : value.members()) {
+    if (key == "id") {
+      req.id = member;
+      req.has_id = true;
+    } else if (key == "arch") {
+      req.arch = serde::arch_params_from_json(member);
+    } else if (key == "stats") {
+      if (!member.is_bool() || !member.as_bool()) {
+        throw sw::Error("\"stats\" must be true when present");
+      }
+      req.stats = true;
+    } else {
+      entry.set(key, member);
+    }
+  }
+  if (req.stats && entry.size() > 0) {
+    throw sw::Error("a stats request carries no other fields");
+  }
+  req.arch_key = arch_key(req.arch);
+  req.entry = std::move(entry);
+  return req;
+}
+
+std::string arch_key(const sw::ArchParams& arch) {
+  return serde::to_json(arch).dump();
+}
+
+std::string arch_key_digest(const std::string& key) {
+  // FNV-1a, 64 bit: stable across platforms, purely for display.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  static const char* hex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+serde::Json error_reply(const serde::Json& id, bool has_id,
+                        std::string_view code, std::string message) {
+  serde::Json out = serde::Json::object();
+  if (has_id) out.set("id", id);
+  out.set("ok", false);
+  serde::Json err = serde::Json::object();
+  err.set("code", std::string(code));
+  err.set("message", std::move(message));
+  out.set("error", std::move(err));
+  return out;
+}
+
+serde::Json finish_reply(const Request& req, serde::Json result,
+                         bool failed) {
+  if (failed) {
+    // execute_entry's failure shape is {"kernel", "ok":false, "message"};
+    // the wire contract wraps it into the structured error object so
+    // clients key on error.code uniformly.
+    const auto* message = result.find("message");
+    serde::Json out =
+        error_reply(req.id, req.has_id, "invalid",
+                    message != nullptr && message->is_string()
+                        ? message->as_string()
+                        : std::string("request failed"));
+    if (const auto* kernel = result.find("kernel")) {
+      // Keep the kernel name visible for log correlation.
+      serde::Json named = serde::Json::object();
+      if (req.has_id) named.set("id", req.id);
+      named.set("kernel", *kernel);
+      named.set("ok", false);
+      named.set("error", *out.find("error"));
+      return named;
+    }
+    return out;
+  }
+  if (!req.has_id) return result;
+  serde::Json out = serde::Json::object();
+  out.set("id", req.id);
+  for (const auto& [key, member] : result.members()) out.set(key, member);
+  return out;
+}
+
+}  // namespace swperf::serve

@@ -1,0 +1,74 @@
+// Request execution and the wire envelope of the evaluation service.
+//
+// One request vocabulary serves two consumers: the one-shot `swperf eval`
+// batch subcommand and the long-running `swperf serve` daemon.  Both
+// execute the same entry schema (kernel/scale/params/stages/chip,
+// docs/PIPELINE.md) through execute_entry(); the daemon wraps it in a thin
+// envelope — an optional client "id" echoed on the reply, an optional
+// "arch" object selecting the tenant's machine parameters (and with them
+// the Session shard), and the out-of-band {"stats": true} request.
+//
+// Reply contract (docs/SERVE.md):
+//   * success        {"id":..., "kernel":..., "ok":true, ...stage outputs}
+//   * request error  {"id":..., "ok":false,
+//                     "error":{"code":"malformed"|"invalid"|"overloaded"|
+//                              "internal", "message":...}}
+//   * stats          {"id":..., "ok":true, "stats":{...}}
+// Every accepted line gets exactly one reply; a malformed line gets an
+// error reply and the connection stays up.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "pipeline/session.h"
+#include "serde/json.h"
+#include "sw/arch.h"
+
+namespace swperf::serve {
+
+/// Executes one eval-entry request against `session` and renders the
+/// result object ({"kernel":..., "ok":true, ...} on success,
+/// {"kernel":..., "ok":false, "message":...} on failure — the exact
+/// `swperf eval` output line).  Never throws on request-level failures;
+/// `failed` is set instead so batch drivers can report exit status 1.
+serde::Json execute_entry(const serde::Json& entry,
+                          pipeline::Session& session, bool& failed);
+
+/// One parsed serve request: the envelope fields split off, the entry
+/// left for execute_entry().
+struct Request {
+  serde::Json id;       // echoed verbatim; null when the client sent none
+  bool has_id = false;  // distinguishes "id":null from no id at all
+  bool stats = false;   // {"stats": true}: answer out of band, skip entry
+  sw::ArchParams arch;  // defaults to sw26010 when "arch" is absent
+  std::string arch_key;  // canonical fingerprint keying the Session shard
+  serde::Json entry;    // the request minus "id"/"arch" (what executes)
+};
+
+/// Splits a request object into envelope + entry.  Throws sw::Error on a
+/// non-object request, a bad "arch" object, or a non-true "stats" value;
+/// the caller turns that into an "invalid" error reply.
+Request parse_request(const serde::Json& value);
+
+/// Canonical fingerprint of a machine configuration: the deterministic
+/// serde rendering, so two tenants share a shard exactly when their
+/// ArchParams are field-for-field equal.
+std::string arch_key(const sw::ArchParams& arch);
+
+/// Short display form of an arch key for stats output (16 hex digits of a
+/// 64-bit FNV-1a over the canonical fingerprint).
+std::string arch_key_digest(const std::string& key);
+
+/// Renders a structured error reply. `id` may be null (malformed lines
+/// have none to echo); `has_id` controls whether the member is emitted.
+serde::Json error_reply(const serde::Json& id, bool has_id,
+                        std::string_view code, std::string message);
+
+/// Prepends the envelope's id (when present) and the "ok" flag to an
+/// execute_entry() result, wrapping failures into the structured error
+/// shape with code "invalid".
+serde::Json finish_reply(const Request& req, serde::Json result,
+                         bool failed);
+
+}  // namespace swperf::serve

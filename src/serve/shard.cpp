@@ -1,0 +1,300 @@
+#include "serve/shard.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "sw/error.h"
+#include "sw/pool.h"
+
+namespace swperf::serve {
+
+void OstreamSink::write_line(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+  out_.flush();
+}
+
+// ---- Shard -----------------------------------------------------------------
+
+Shard::Shard(const sw::ArchParams& arch, std::string key,
+             const ServeOptions& opts)
+    : key_(std::move(key)), opts_(opts), session_(arch) {
+  if (opts_.auto_start) start();
+}
+
+Shard::~Shard() { drain(); }
+
+void Shard::start() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+void Shard::enqueue(QueuedItem item) {
+  bool draining = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_ && queue_.size() < opts_.queue_depth) {
+      queue_.push_back(std::move(item));
+      cv_.notify_one();
+      return;
+    }
+    draining = stopping_;
+    ++rejected_;
+  }
+  item.sink->write_line(
+      error_reply(item.req.id, item.req.has_id, "overloaded",
+                  draining ? "server is draining"
+                           : "shard queue full (depth " +
+                                 std::to_string(opts_.queue_depth) + ")")
+          .dump());
+}
+
+void Shard::drain() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Never-started shards (auto_start=false, or paused tests) still owe a
+  // reply for everything accepted into the queue.
+  std::deque<QueuedItem> leftover;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+  }
+  for (auto& item : leftover) {
+    const std::string reply = execute(item);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++served_;
+      ++batches_;
+      max_batch_ = std::max<std::uint64_t>(max_batch_, 1);
+      latency_.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - item.enqueued)
+              .count()));
+    }
+    item.sink->write_line(reply);
+  }
+}
+
+void Shard::dispatch_loop() {
+  for (;;) {
+    std::vector<QueuedItem> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      const std::size_t n =
+          std::min<std::size_t>(queue_.size(), std::max<std::size_t>(
+                                                   opts_.batch, 1));
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++batches_;
+      max_batch_ = std::max<std::uint64_t>(max_batch_, batch.size());
+    }
+    std::vector<std::string> replies(batch.size());
+    sw::parallel_for(batch.size(), opts_.jobs, [&](std::size_t i) {
+      replies[i] = execute(batch[i]);
+    });
+    // Batch order is queue order, so a single-shard client sees replies
+    // in the order it sent requests.
+    const auto now = std::chrono::steady_clock::now();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      served_ += batch.size();
+      for (const auto& item : batch) {
+        latency_.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                now - item.enqueued)
+                .count()));
+      }
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].sink->write_line(replies[i]);
+    }
+  }
+}
+
+std::string Shard::execute(QueuedItem& item) {
+  bool failed = false;
+  serde::Json result;
+  try {
+    result = execute_entry(item.req.entry, session_, failed);
+  } catch (const std::exception& e) {
+    // execute_entry absorbs sw::Error itself; anything else (bad_alloc,
+    // logic errors) must still produce a reply, not kill the dispatcher.
+    return error_reply(item.req.id, item.req.has_id, "internal", e.what())
+        .dump();
+  }
+  return finish_reply(item.req, std::move(result), failed).dump();
+}
+
+serde::Json Shard::stats_json() {
+  // Session::stats() takes the session lock; ours only guards counters.
+  const auto session_stats = session_.stats();
+  const std::lock_guard<std::mutex> lock(mu_);
+  serde::Json out = serde::Json::object();
+  out.set("arch", arch_key_digest(key_));
+  out.set("queue_depth", static_cast<std::uint64_t>(queue_.size()));
+  out.set("queue_limit", static_cast<std::uint64_t>(opts_.queue_depth));
+  out.set("served", served_);
+  out.set("overloaded", rejected_);
+  out.set("batches", batches_);
+  out.set("max_batch", max_batch_);
+  out.set("session", pipeline::to_json(session_stats));
+  serde::Json lat = serde::Json::object();
+  lat.set("count", latency_.count());
+  lat.set("p50", latency_.quantile_us(0.50));
+  lat.set("p95", latency_.quantile_us(0.95));
+  lat.set("p99", latency_.quantile_us(0.99));
+  lat.set("max", latency_.max_us());
+  out.set("latency_us", std::move(lat));
+  return out;
+}
+
+// ---- ShardPool -------------------------------------------------------------
+
+ShardPool::ShardPool(ServeOptions opts) : opts_([&] {
+  // A zero depth or batch would deadlock the dispatcher; clamp, never throw.
+  opts.queue_depth = std::max<std::size_t>(opts.queue_depth, 1);
+  opts.batch = std::max<std::size_t>(opts.batch, 1);
+  return opts;
+}()) {}
+
+ShardPool::~ShardPool() { drain(); }
+
+void ShardPool::handle_line(std::string_view line,
+                            const std::shared_ptr<ReplySink>& sink) {
+  if (line.find_first_not_of(" \t\r\n") == std::string_view::npos) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  serde::JsonParseResult parsed = serde::Json::parse(line);
+  std::string parse_error = parsed.ok ? std::string() : parsed.error;
+  if (parsed.ok && !parsed.value.is_object()) {
+    parse_error = "request must be a JSON object";
+  }
+  const serde::Json& value = parsed.value;
+  if (!parse_error.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++requests_;
+      ++malformed_;
+    }
+    sink->write_line(
+        error_reply(serde::Json(), false, "malformed", parse_error).dump());
+    return;
+  }
+  Request req;
+  try {
+    req = parse_request(value);
+  } catch (const sw::Error& e) {
+    const serde::Json* id = value.find("id");
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++requests_;
+      ++invalid_;
+    }
+    sink->write_line(error_reply(id != nullptr ? *id : serde::Json(),
+                                 id != nullptr, "invalid", e.what())
+                         .dump());
+    return;
+  }
+  if (req.stats) {
+    serde::Json stats;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++requests_;
+      ++stats_requests_;
+    }
+    // The reader thread answers stats inline — out of band with respect
+    // to queued work, so a loaded server still reports its own state.
+    stats = stats_json();
+    serde::Json out = serde::Json::object();
+    if (req.has_id) out.set("id", req.id);
+    out.set("ok", true);
+    out.set("stats", std::move(stats));
+    sink->write_line(out.dump());
+    return;
+  }
+  Shard* shard = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+    shard = &shard_for(req);
+  }
+  shard->enqueue(QueuedItem{std::move(req), sink, t0});
+}
+
+Shard& ShardPool::shard_for(const Request& req) {
+  auto it = shards_.find(req.arch_key);
+  if (it == shards_.end()) {
+    it = shards_
+             .emplace(req.arch_key, std::make_unique<Shard>(
+                                        req.arch, req.arch_key, opts_))
+             .first;
+  }
+  return *it->second;
+}
+
+void ShardPool::start_shards() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, shard] : shards_) {
+    (void)key;
+    shard->start();
+  }
+}
+
+void ShardPool::drain() {
+  std::vector<Shard*> shards;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shards.reserve(shards_.size());
+    for (auto& [key, shard] : shards_) {
+      (void)key;
+      shards.push_back(shard.get());
+    }
+  }
+  for (Shard* shard : shards) shard->drain();
+}
+
+serde::Json ShardPool::stats_json() {
+  serde::Json server = serde::Json::object();
+  serde::Json shard_list = serde::Json::array();
+  std::vector<Shard*> shards;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    server.set("requests", requests_);
+    server.set("malformed", malformed_);
+    server.set("invalid", invalid_);
+    server.set("stats_requests", stats_requests_);
+    server.set("shards", static_cast<std::uint64_t>(shards_.size()));
+    server.set("queue_limit", static_cast<std::uint64_t>(opts_.queue_depth));
+    server.set("batch_limit", static_cast<std::uint64_t>(opts_.batch));
+    shards.reserve(shards_.size());
+    // shards_ is an ordered map over canonical fingerprints, so the stats
+    // document is deterministic for a given request history.
+    for (auto& [key, shard] : shards_) {
+      (void)key;
+      shards.push_back(shard.get());
+    }
+  }
+  for (Shard* shard : shards) shard_list.push_back(shard->stats_json());
+  serde::Json out = serde::Json::object();
+  out.set("server", std::move(server));
+  out.set("shards", std::move(shard_list));
+  return out;
+}
+
+std::size_t ShardPool::shard_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+}  // namespace swperf::serve

@@ -1,0 +1,171 @@
+// The sharded, batching, backpressured core of the evaluation service.
+//
+// A ShardPool owns one Session shard per distinct ArchParams fingerprint
+// (serve::arch_key): unrelated tenants — a default-SW26010 client and a
+// bandwidth-derated what-if sweep — never contend on one memo-table
+// mutex.  Each shard runs a dispatcher thread over a *bounded* FIFO queue:
+//
+//   * enqueue past the depth limit answers immediately with the
+//     structured {"error":{"code":"overloaded"}} reply (429-style
+//     backpressure) instead of growing memory without bound;
+//   * the dispatcher drains up to `batch` queued requests per wakeup and
+//     fans them out on sw::parallel_for — the work-stealing executor the
+//     tuners use — against the shard's (thread-safe) Session, so one slow
+//     request does not serialize its whole batch;
+//   * replies are written in batch order through each request's ReplySink,
+//     so a connection that keeps its requests on one shard reads replies
+//     in request order;
+//   * drain() stops the dispatchers only after their queues are empty:
+//     every accepted request is answered before shutdown completes.
+//
+// Latency is measured enqueue-to-reply (queue wait included) into a
+// fixed-bucket sw::LatencyHistogram per shard; stats_json() renders the
+// whole pool deterministically (sorted shards, fixed field order).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "pipeline/session.h"
+#include "serde/json.h"
+#include "serve/service.h"
+#include "sw/stats.h"
+
+namespace swperf::serve {
+
+/// Configuration shared by the TCP daemon, the stdio mode and the pool.
+struct ServeOptions {
+  /// TCP listen port (0 = kernel-assigned ephemeral port).
+  int port = 7077;
+  /// Workers fanning out one drained batch (0 = hardware concurrency).
+  int jobs = 0;
+  /// Bound on each shard's queue; an enqueue past it is answered with the
+  /// "overloaded" error reply.
+  std::size_t queue_depth = 256;
+  /// Maximum requests drained per dispatcher wakeup (K).
+  std::size_t batch = 8;
+  /// Tests only: construct shards with their dispatcher paused, so
+  /// overload behaviour can be pinned deterministically (see
+  /// ShardPool::start_shards).
+  bool auto_start = true;
+};
+
+/// A thread-safe whole-line reply writer.  Requests hold a shared_ptr to
+/// their connection's sink, so replies outlive an early client close.
+class ReplySink {
+ public:
+  virtual ~ReplySink() = default;
+  /// Writes one complete reply line (terminator added by the sink).
+  virtual void write_line(const std::string& line) = 0;
+};
+
+/// Sink over a std::ostream (the --stdio mode and the in-process tests).
+class OstreamSink final : public ReplySink {
+ public:
+  explicit OstreamSink(std::ostream& out) : out_(out) {}
+  void write_line(const std::string& line) override;
+
+ private:
+  std::mutex mu_;
+  std::ostream& out_;
+};
+
+/// One queued request: the parsed envelope, where to answer, and when it
+/// arrived (latency is enqueue-to-reply).
+struct QueuedItem {
+  Request req;
+  std::shared_ptr<ReplySink> sink;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+/// One Session shard: a bounded queue plus its batching dispatcher.
+class Shard {
+ public:
+  Shard(const sw::ArchParams& arch, std::string key,
+        const ServeOptions& opts);
+  ~Shard();
+
+  /// Spawns the dispatcher (no-op if already running).
+  void start();
+  /// Enqueues or — when the queue is at depth, or the shard is draining —
+  /// answers with the "overloaded" error reply immediately.  Every call
+  /// produces exactly one reply, now or from the dispatcher.
+  void enqueue(QueuedItem item);
+  /// Stops accepting, finishes every queued request, joins the
+  /// dispatcher.  Idempotent.
+  void drain();
+
+  /// Deterministically ordered stats object for this shard.
+  serde::Json stats_json();
+
+ private:
+  void dispatch_loop();
+  std::string execute(QueuedItem& item);
+
+  const std::string key_;
+  const ServeOptions opts_;
+  pipeline::Session session_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<QueuedItem> queue_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::uint64_t served_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t max_batch_ = 0;
+  sw::LatencyHistogram latency_;
+  std::thread dispatcher_;
+};
+
+/// The shard map plus the line-level front door shared by every transport
+/// (TCP connections, --stdio, in-process tests).
+class ShardPool {
+ public:
+  explicit ShardPool(ServeOptions opts);
+  ~ShardPool();
+
+  /// Handles one request line end-to-end: parse, classify, route — and
+  /// guarantee exactly one reply per non-blank line (inline for
+  /// malformed/invalid/stats/overloaded, from a dispatcher otherwise).
+  /// Blank lines are ignored.
+  void handle_line(std::string_view line,
+                   const std::shared_ptr<ReplySink>& sink);
+
+  /// Starts every paused shard dispatcher (tests with auto_start=false).
+  void start_shards();
+  /// Finishes all queued work and joins every dispatcher.  Idempotent;
+  /// handle_line afterwards still answers (with "overloaded").
+  void drain();
+
+  /// The deterministic stats document served for {"stats": true}.
+  serde::Json stats_json();
+
+  std::size_t shard_count() const;
+
+ private:
+  Shard& shard_for(const Request& req);
+
+  const ServeOptions opts_;
+  mutable std::mutex mu_;  // guards shards_ and the counters below
+  /// Ordered by canonical arch fingerprint, so stats output is stable.
+  std::map<std::string, std::unique_ptr<Shard>> shards_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t invalid_ = 0;
+  std::uint64_t stats_requests_ = 0;
+};
+
+}  // namespace swperf::serve

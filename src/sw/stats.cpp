@@ -1,7 +1,9 @@
 #include "sw/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 
 #include "sw/error.h"
 
@@ -62,5 +64,50 @@ void ErrorAccumulator::add(double predicted, double actual) {
 double ErrorAccumulator::mean_error() const { return mean(errors_); }
 
 double ErrorAccumulator::max_error() const { return max_of(errors_); }
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t us) {
+  if (us == 0) return 0;
+  // Bucket i >= 1 covers [2^(i-1), 2^i); 64 - countl_zero(us) is the bit
+  // width of us, so us in [2^(w-1), 2^w) lands in bucket w.
+  const std::size_t width =
+      64u - static_cast<std::size_t>(std::countl_zero(us));
+  return std::min(width, kBuckets - 1);
+}
+
+std::uint64_t LatencyHistogram::bucket_ceil(std::size_t i) {
+  SWPERF_CHECK(i < kBuckets, "histogram bucket out of range");
+  if (i == 0) return 0;                        // [0,1) reports 0 us
+  if (i == kBuckets - 1) return 0;             // overflow: use max_us()
+  return std::uint64_t{1} << i;                // [2^(i-1), 2^i) reports 2^i
+}
+
+void LatencyHistogram::record(std::uint64_t us) {
+  ++buckets_[bucket_of(us)];
+  ++count_;
+  max_us_ = std::max(max_us_, us);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  max_us_ = std::max(max_us_, other.max_us_);
+}
+
+std::uint64_t LatencyHistogram::quantile_us(double q) const {
+  if (count_ == 0) return 0;
+  q = std::min(std::max(q, std::numeric_limits<double>::min()), 1.0);
+  // ceil(q * count) without float rounding surprises at the top end.
+  const std::uint64_t rank = std::min(
+      count_, static_cast<std::uint64_t>(
+                  std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return i == kBuckets - 1 ? max_us_ : bucket_ceil(i);
+    }
+  }
+  return max_us_;  // unreachable: seen reaches count_ in the loop
+}
 
 }  // namespace swperf::sw

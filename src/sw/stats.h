@@ -1,7 +1,9 @@
 // Small summary-statistics helpers used by benches and tests.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -41,6 +43,52 @@ class ErrorAccumulator {
 
  private:
   std::vector<double> errors_;
+};
+
+/// Fixed-bucket latency histogram for the serving layer's tail-latency
+/// accounting (`swperf serve` stats, bench_serve).
+///
+/// Buckets are powers of two in microseconds — [0,1), [1,2), [2,4), …,
+/// [2^25,2^26), [2^26,∞) — so the layout is identical on every machine and
+/// run: reported quantiles are a pure function of the recorded counts
+/// ("deterministic rendering"), never of sampling order or wall clock.
+/// A quantile reports its bucket's inclusive upper bound (the histogram
+/// overestimates by at most 2x, never underestimates), except the overflow
+/// bucket, which reports the exact maximum recorded value.
+///
+/// Not internally synchronized; callers hold their own lock (the serve
+/// shard records under its queue mutex).
+class LatencyHistogram {
+ public:
+  /// [0,1) plus one bucket per power of two up to 2^26 us (~67 s), plus
+  /// the overflow bucket.
+  static constexpr std::size_t kBuckets = 28;
+
+  /// Records one latency sample, in microseconds.
+  void record(std::uint64_t us);
+  /// Merges another histogram's samples into this one.
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  /// Exact maximum recorded value; 0 when empty.
+  std::uint64_t max_us() const { return max_us_; }
+  /// Upper bound (us) of the first bucket whose cumulative count reaches
+  /// ceil(q * count); 0 when empty. q is clamped to (0, 1].
+  std::uint64_t quantile_us(double q) const;
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  /// Bucket index a sample lands in.
+  static std::size_t bucket_of(std::uint64_t us);
+  /// Inclusive upper bound (us) reported for bucket `i`; the overflow
+  /// bucket has none and defers to max_us().
+  static std::uint64_t bucket_ceil(std::size_t i);
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t max_us_ = 0;
 };
 
 }  // namespace swperf::sw

@@ -1,0 +1,104 @@
+#!/bin/sh
+# Exit-code and wire contract of `swperf serve`:
+#   * background TCP server + SIGINT  -> graceful drain, exit 0
+#   * background TCP server + SIGTERM -> graceful drain, exit 0
+#   * bad flags (port out of range, zero queue depth, unknown flag,
+#     positional operand)             -> exit 2
+#   * --stdio: a malformed line gets a structured JSON error reply and the
+#     connection survives — a later valid request on the same stream is
+#     still served; every reply line is valid JSON.
+#
+# Usage: serve_cli_test.sh <path-to-swperf>
+set -u
+
+swperf="$1"
+failures=0
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+fail() {
+    echo "FAIL: $1" >&2
+    failures=$((failures + 1))
+}
+
+# Validates that stdin is one JSON object per line. Prefers python3, falls
+# back to jq, degrades to a shape check so the test runs on bare images.
+json_valid() {
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -c '
+import json, sys
+lines = [l for l in sys.stdin if l.strip()]
+assert lines, "no output"
+for l in lines:
+    json.loads(l)
+'
+    elif command -v jq >/dev/null 2>&1; then
+        jq -e . >/dev/null
+    else
+        grep -q '{'
+    fi
+}
+
+# Starts `swperf serve --port 0` in the background, waits for the
+# listening banner, sends $1 (INT or TERM), and checks the exit code.
+drain_test() {
+    sig="$1"
+    log="$tmpdir/serve_$sig.jsonl"
+    "$swperf" serve --port 0 > "$log" 2>/dev/null &
+    pid=$!
+    # Wait (up to ~5s) until the server announces its port; killing before
+    # the banner would race server start-up, not test the drain.
+    i=0
+    while [ $i -lt 50 ]; do
+        grep -q '"listening"' "$log" 2>/dev/null && break
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    grep -q '"listening"' "$log" || fail "serve never announced a port (SIG$sig)"
+    kill -s "$sig" "$pid"
+    wait "$pid"
+    status=$?
+    [ "$status" -eq 0 ] || fail "SIG$sig drain exited $status, expected 0"
+    json_valid < "$log" || fail "serve banner is not valid JSON: $(cat "$log")"
+}
+
+# 1. Graceful drain on SIGINT and SIGTERM: exit 0, banner is valid JSON.
+drain_test INT
+drain_test TERM
+
+# 2. Bad invocations are usage errors: exit 2, nothing listening.
+"$swperf" serve --port 99999 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "serve --port 99999 should exit 2"
+"$swperf" serve --queue-depth 0 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "serve --queue-depth 0 should exit 2"
+"$swperf" serve --no-such-flag >/dev/null 2>&1
+[ $? -eq 2 ] || fail "serve with an unknown flag should exit 2"
+"$swperf" serve vecadd >/dev/null 2>&1
+[ $? -eq 2 ] || fail "serve with a positional operand should exit 2"
+
+# 3. Malformed round-trip over --stdio: the bad line gets a structured
+#    error, the connection survives, and the later request is served.
+out=$(printf '%s\n' \
+    '{"id": 1, "kernel": "vecadd", "scale": "small", "stages": ["check"]}' \
+    'this is not json' \
+    '{"id": 2, "kernel": "vecadd", "scale": "small", "stages": ["model"]}' \
+    | "$swperf" serve --stdio)
+status=$?
+[ "$status" -eq 0 ] || fail "--stdio run exited $status, expected 0"
+printf '%s\n' "$out" | json_valid || fail "--stdio replies are not valid JSON: $out"
+printf '%s\n' "$out" | grep -q '"malformed"' \
+    || fail "malformed line got no structured error: $out"
+printf '%s\n' "$out" | grep -q '"id":2' \
+    || fail "request after the malformed line was not served: $out"
+printf '%s\n' "$out" | grep -q '"ok":true' \
+    || fail "no successful reply in --stdio output: $out"
+n_replies=$(printf '%s\n' "$out" | grep -c '[^[:space:]]')
+[ "$n_replies" -eq 3 ] || fail "expected 3 reply lines, got $n_replies: $out"
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures check(s) failed" >&2
+    exit 1
+fi
+echo "swperf serve exit-code and wire contract holds"

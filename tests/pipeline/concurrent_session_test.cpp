@@ -1,0 +1,105 @@
+// The Session re-entrancy contract the serve shard pool fans out on:
+// eight threads hammering ONE Session with a mixed check / predict /
+// simulate workload over the paper suite produce results bit-identical
+// to a serial Session, and the memo tables end up with exactly one entry
+// per distinct launch (first insert wins; no duplicate keys, no torn
+// artifacts).  Runs under the `concurrency` label so the tsan preset
+// audits the probe-under-lock / compute-outside-lock protocol.
+#include "pipeline/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernels/suite.h"
+#include "serde/serde.h"
+
+namespace swperf::pipeline {
+namespace {
+
+struct WorkItem {
+  kernels::KernelSpec spec;
+  enum class Op { kCheck, kPredict, kSimulate } op;
+};
+
+std::vector<WorkItem> mixed_workload() {
+  std::vector<WorkItem> items;
+  for (const char* name : {"vecadd", "kmeans", "lud", "hotspot", "backprop"}) {
+    const auto spec = kernels::make(name, kernels::Scale::kSmall);
+    items.push_back({spec, WorkItem::Op::kCheck});
+    items.push_back({spec, WorkItem::Op::kPredict});
+    items.push_back({spec, WorkItem::Op::kSimulate});
+  }
+  return items;
+}
+
+std::string run_item(Session& s, const WorkItem& item) {
+  switch (item.op) {
+    case WorkItem::Op::kCheck:
+      return serde::to_json(s.check(item.spec.desc, item.spec.tuned)).dump();
+    case WorkItem::Op::kPredict:
+      return serde::to_json(s.predict(item.spec.desc, item.spec.tuned))
+          .dump();
+    case WorkItem::Op::kSimulate:
+      return serde::to_json(s.simulate(item.spec.desc, item.spec.tuned))
+          .dump();
+  }
+  return {};
+}
+
+TEST(ConcurrentSession, EightThreadsMatchSerialBitForBit) {
+  const auto items = mixed_workload();
+
+  // Serial baseline: a fresh Session, every item once, in order.
+  Session serial;
+  std::vector<std::string> expected;
+  expected.reserve(items.size());
+  for (const auto& item : items) expected.push_back(run_item(serial, item));
+
+  // Concurrent run: one shared Session, eight threads, three rounds each,
+  // every thread starting at a different offset so first-seen compute
+  // races actually happen on the shared memo tables.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 3;
+  Session shared;
+  std::vector<std::vector<std::string>> got(
+      kThreads, std::vector<std::string>(items.size()));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          const std::size_t at = (i + t) % items.size();
+          got[t][at] = run_item(shared, items[at]);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      EXPECT_EQ(got[t][i], expected[i]) << "thread " << t << " item " << i;
+    }
+  }
+
+  // First insert wins: the shared tables hold exactly the serial entry
+  // counts — one lowering and one simulation per distinct launch.
+  EXPECT_EQ(shared.lowered_cached(), serial.lowered_cached());
+  EXPECT_EQ(shared.simulated_cached(), serial.simulated_cached());
+
+  // The counters saw every probe: 8 threads x 3 rounds x the memoized ops
+  // (predict probes lower; simulate probes lower + sim; check is
+  // stateless), minus nothing — probes() must dominate the serial count
+  // and hits must dominate misses after warmup.
+  const auto stats = shared.stats();
+  EXPECT_GT(stats.probes(), serial.stats().probes());
+  EXPECT_GT(stats.hits, stats.misses);
+}
+
+}  // namespace
+}  // namespace swperf::pipeline

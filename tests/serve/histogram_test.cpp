@@ -1,0 +1,95 @@
+// sw::LatencyHistogram: the fixed power-of-two bucket layout, the
+// deterministic quantile contract (inclusive bucket upper bound; exact max
+// from the overflow bucket), and merge.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sw/stats.h"
+
+namespace swperf::sw {
+namespace {
+
+TEST(LatencyHistogram, BucketLayout) {
+  // Bucket 0 is [0,1); bucket i >= 1 is [2^(i-1), 2^i).
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(4), 3u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1023), 10u);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1024), 11u);
+  // Everything past 2^26 us lands in the overflow bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_of(std::uint64_t{1} << 26),
+            LatencyHistogram::kBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::bucket_of(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+}
+
+TEST(LatencyHistogram, BucketCeilIsInclusiveUpperBound) {
+  EXPECT_EQ(LatencyHistogram::bucket_ceil(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_ceil(1), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_ceil(2), 4u);
+  EXPECT_EQ(LatencyHistogram::bucket_ceil(10), 1024u);
+  // The overflow bucket has no finite ceiling; quantile_us falls back to
+  // the exact maximum there.
+  EXPECT_EQ(LatencyHistogram::bucket_ceil(LatencyHistogram::kBuckets - 1),
+            0u);
+}
+
+TEST(LatencyHistogram, EmptyQuantilesAreZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_us(), 0u);
+  EXPECT_EQ(h.quantile_us(0.5), 0u);
+  EXPECT_EQ(h.quantile_us(0.99), 0u);
+}
+
+TEST(LatencyHistogram, QuantilesNeverUnderestimate) {
+  LatencyHistogram h;
+  for (std::uint64_t us : {3u, 5u, 9u, 100u, 1000u}) h.record(us);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.max_us(), 1000u);
+  // rank(0.5) = ceil(0.5*5) = 3 -> third sample (9) -> bucket [8,16) -> 16.
+  EXPECT_EQ(h.quantile_us(0.5), 16u);
+  // rank(1.0) = 5 -> 1000 -> bucket [512,1024) -> 1024.
+  EXPECT_EQ(h.quantile_us(1.0), 1024u);
+  // The reported bound is >= the true quantile and <= 2x above it.
+  EXPECT_GE(h.quantile_us(0.5), 9u);
+  EXPECT_LE(h.quantile_us(0.5), 18u);
+}
+
+TEST(LatencyHistogram, QuantileIsDeterministicUnderPermutation) {
+  LatencyHistogram forward;
+  LatencyHistogram backward;
+  for (std::uint64_t us = 1; us <= 1000; ++us) forward.record(us);
+  for (std::uint64_t us = 1000; us >= 1; --us) backward.record(us);
+  for (double q : {0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(forward.quantile_us(q), backward.quantile_us(q)) << q;
+  }
+}
+
+TEST(LatencyHistogram, OverflowBucketReportsExactMax) {
+  LatencyHistogram h;
+  h.record(1);
+  h.record((std::uint64_t{1} << 26) + 12345);
+  EXPECT_EQ(h.quantile_us(1.0), (std::uint64_t{1} << 26) + 12345);
+}
+
+TEST(LatencyHistogram, MergeIsCountPreserving) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (std::uint64_t us : {1u, 2u, 3u}) a.record(us);
+  for (std::uint64_t us : {1000u, 2000u}) b.record(us);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.max_us(), 2000u);
+  LatencyHistogram all;
+  for (std::uint64_t us : {1u, 2u, 3u, 1000u, 2000u}) all.record(us);
+  for (double q : {0.2, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(a.quantile_us(q), all.quantile_us(q)) << q;
+  }
+}
+
+}  // namespace
+}  // namespace swperf::sw

@@ -1,0 +1,294 @@
+// The serve request core, driven in-process through the same ShardPool +
+// OstreamSink path that `swperf serve --stdio` uses: envelope parsing,
+// the exactly-one-reply-per-line contract (malformed lines included — the
+// connection survives), id echoing, per-arch sharding, the stats request,
+// and the deterministic queue-depth-1 overload behaviour (paused
+// dispatchers, so backpressure is pinned without racing a consumer).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serde/json.h"
+#include "serve/service.h"
+#include "serve/shard.h"
+#include "sw/error.h"
+
+namespace swperf::serve {
+namespace {
+
+std::vector<serde::Json> parse_lines(const std::string& text) {
+  std::vector<serde::Json> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    out.push_back(serde::Json::parse_or_throw(line));
+  }
+  return out;
+}
+
+/// Finds the reply whose "id" equals `id` (numeric); fails the test when
+/// absent.  Replies are matched by id, never position: the dispatcher
+/// answers asynchronously, so inline replies (stats, errors) can overtake
+/// queued work.
+const serde::Json& reply_for(const std::vector<serde::Json>& replies,
+                             std::uint64_t id) {
+  for (const auto& r : replies) {
+    const serde::Json* rid = r.find("id");
+    if (rid != nullptr && rid->is_number() && rid->as_u64() == id) return r;
+  }
+  static const serde::Json missing;
+  EXPECT_TRUE(false) << "no reply with id " << id;
+  return missing;
+}
+
+TEST(ServeService, ParseRequestSplitsEnvelope) {
+  const auto v = serde::Json::parse_or_throw(
+      R"({"id": 7, "kernel": "vecadd", "stages": ["model"]})");
+  const Request req = parse_request(v);
+  EXPECT_TRUE(req.has_id);
+  EXPECT_EQ(req.id.as_u64(), 7u);
+  EXPECT_FALSE(req.stats);
+  // The entry keeps everything that is not envelope.
+  EXPECT_TRUE(req.entry.contains("kernel"));
+  EXPECT_TRUE(req.entry.contains("stages"));
+  EXPECT_FALSE(req.entry.contains("id"));
+  // No "arch" member: the default fingerprint.
+  EXPECT_EQ(req.arch_key, arch_key(sw::ArchParams::sw26010()));
+}
+
+TEST(ServeService, ParseRequestRejectsBadStats) {
+  const auto bad = serde::Json::parse_or_throw(R"({"stats": "yes"})");
+  EXPECT_THROW(parse_request(bad), sw::Error);
+  const auto mixed =
+      serde::Json::parse_or_throw(R"({"stats": true, "kernel": "vecadd"})");
+  EXPECT_THROW(parse_request(mixed), sw::Error);
+}
+
+TEST(ServeService, ArchKeyDistinguishesTenants) {
+  const auto base = sw::ArchParams::sw26010();
+  auto derated = base;
+  derated.mem_bw_gbps = 24.0;
+  EXPECT_EQ(arch_key(base), arch_key(base));
+  EXPECT_NE(arch_key(base), arch_key(derated));
+  const std::string digest = arch_key_digest(arch_key(base));
+  EXPECT_EQ(digest.size(), 16u);
+  EXPECT_EQ(digest, arch_key_digest(arch_key(base)));
+  EXPECT_NE(digest, arch_key_digest(arch_key(derated)));
+}
+
+TEST(ServeService, RoundTripEchoesIdAndServesResult) {
+  std::ostringstream out;
+  auto sink = std::make_shared<OstreamSink>(out);
+  {
+    ShardPool pool(ServeOptions{});
+    pool.handle_line(
+        R"({"id": 1, "kernel": "vecadd", "scale": "small", "stages": ["model"]})",
+        sink);
+    pool.drain();
+  }
+  const auto replies = parse_lines(out.str());
+  ASSERT_EQ(replies.size(), 1u);
+  const serde::Json& r = reply_for(replies, 1);
+  EXPECT_TRUE(r.at("ok").as_bool());
+  EXPECT_EQ(r.at("kernel").as_string(), "vecadd");
+  EXPECT_TRUE(r.contains("predicted"));
+}
+
+TEST(ServeService, MalformedLineGetsErrorAndConnectionSurvives) {
+  std::ostringstream out;
+  auto sink = std::make_shared<OstreamSink>(out);
+  {
+    ShardPool pool(ServeOptions{});
+    pool.handle_line("this is not json", sink);
+    pool.handle_line("[1, 2, 3]", sink);  // parses, but not an object
+    pool.handle_line(
+        R"({"id": 5, "kernel": "vecadd", "scale": "small", "stages": ["check"]})",
+        sink);
+    pool.drain();
+  }
+  const auto replies = parse_lines(out.str());
+  ASSERT_EQ(replies.size(), 3u);
+  int malformed = 0;
+  for (const auto& r : replies) {
+    const serde::Json* err = r.find("error");
+    if (err != nullptr && err->at("code").as_string() == "malformed") {
+      ++malformed;
+      EXPECT_FALSE(r.at("ok").as_bool());
+    }
+  }
+  EXPECT_EQ(malformed, 2);
+  // The request after the malformed lines was still served.
+  const serde::Json& ok = reply_for(replies, 5);
+  EXPECT_TRUE(ok.at("ok").as_bool());
+}
+
+TEST(ServeService, InvalidEntryKeepsKernelNameAndId) {
+  std::ostringstream out;
+  auto sink = std::make_shared<OstreamSink>(out);
+  {
+    ShardPool pool(ServeOptions{});
+    pool.handle_line(R"({"id": 9, "kernel": "no-such-kernel"})", sink);
+    pool.drain();
+  }
+  const auto replies = parse_lines(out.str());
+  ASSERT_EQ(replies.size(), 1u);
+  const serde::Json& r = reply_for(replies, 9);
+  EXPECT_FALSE(r.at("ok").as_bool());
+  EXPECT_EQ(r.at("error").at("code").as_string(), "invalid");
+}
+
+TEST(ServeService, BlankLinesAreIgnored) {
+  std::ostringstream out;
+  auto sink = std::make_shared<OstreamSink>(out);
+  {
+    ShardPool pool(ServeOptions{});
+    pool.handle_line("", sink);
+    pool.handle_line("   \t", sink);
+    pool.drain();
+  }
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(ServeService, StatsRequestReportsShardsAndCounters) {
+  std::ostringstream out;
+  auto sink = std::make_shared<OstreamSink>(out);
+  {
+    ShardPool pool(ServeOptions{});
+    pool.handle_line(
+        R"({"id": 1, "kernel": "vecadd", "scale": "small", "stages": ["model"]})",
+        sink);
+    pool.drain();  // the request is answered before stats are sampled
+    pool.handle_line(R"({"id": 2, "stats": true})", sink);
+  }
+  const auto replies = parse_lines(out.str());
+  ASSERT_EQ(replies.size(), 2u);
+  const serde::Json& s = reply_for(replies, 2);
+  EXPECT_TRUE(s.at("ok").as_bool());
+  const serde::Json& stats = s.at("stats");
+  EXPECT_EQ(stats.at("server").at("requests").as_u64(), 2u);
+  ASSERT_EQ(stats.at("shards").size(), 1u);
+  const serde::Json& shard = stats.at("shards").items()[0];
+  EXPECT_EQ(shard.at("served").as_u64(), 1u);
+  EXPECT_EQ(shard.at("arch").as_string().size(), 16u);
+  EXPECT_TRUE(shard.contains("session"));
+  EXPECT_TRUE(shard.at("latency_us").contains("p99"));
+  EXPECT_EQ(shard.at("latency_us").at("count").as_u64(), 1u);
+}
+
+TEST(ServeService, DistinctArchObjectsGetDistinctShards) {
+  std::ostringstream out;
+  auto sink = std::make_shared<OstreamSink>(out);
+  ShardPool pool(ServeOptions{});
+  const char* base =
+      R"({"id": 1, "kernel": "vecadd", "scale": "small", "stages": ["model"]})";
+  const char* derated =
+      R"({"id": 2, "arch": {"mem_bw_gbps": 24}, "kernel": "vecadd", "scale": "small", "stages": ["model"]})";
+  const char* derated_again =
+      R"({"id": 3, "arch": {"mem_bw_gbps": 24}, "kernel": "vecadd", "scale": "small", "stages": ["model"]})";
+  pool.handle_line(base, sink);
+  pool.handle_line(derated, sink);
+  pool.handle_line(derated_again, sink);
+  pool.drain();
+  EXPECT_EQ(pool.shard_count(), 2u);
+  const auto replies = parse_lines(out.str());
+  ASSERT_EQ(replies.size(), 3u);
+  // The derated tenant must see different numbers than the default one.
+  const double base_t =
+      reply_for(replies, 1).at("predicted").at("t_total").as_double();
+  const double derated_t =
+      reply_for(replies, 2).at("predicted").at("t_total").as_double();
+  EXPECT_NE(base_t, derated_t);
+  EXPECT_EQ(derated_t,
+            reply_for(replies, 3).at("predicted").at("t_total").as_double());
+}
+
+TEST(ServeService, QueueDepthOneOverloadIsDeterministic) {
+  std::ostringstream out;
+  auto sink = std::make_shared<OstreamSink>(out);
+  ServeOptions opts;
+  opts.queue_depth = 1;
+  opts.batch = 1;
+  opts.auto_start = false;  // paused dispatcher: enqueue order is pinned
+  ShardPool pool(opts);
+  const char* line =
+      R"({"id": %d, "kernel": "vecadd", "scale": "small", "stages": ["model"]})";
+  for (int id = 1; id <= 3; ++id) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), line, id);
+    pool.handle_line(buf, sink);
+  }
+  // With the dispatcher paused, request 1 occupies the queue and 2, 3 are
+  // answered "overloaded" immediately.
+  {
+    const auto replies = parse_lines(out.str());
+    ASSERT_EQ(replies.size(), 2u);
+    for (std::uint64_t id : {2u, 3u}) {
+      const serde::Json& r = reply_for(replies, id);
+      EXPECT_FALSE(r.at("ok").as_bool());
+      EXPECT_EQ(r.at("error").at("code").as_string(), "overloaded");
+    }
+  }
+  pool.start_shards();
+  pool.drain();
+  // Every request got exactly one reply: the queued one a result, the
+  // shed ones the structured overload error.  Zero dropped.
+  const auto replies = parse_lines(out.str());
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_TRUE(reply_for(replies, 1).at("ok").as_bool());
+}
+
+TEST(ServeService, DrainedShardStillAnswersAccepted) {
+  // A never-started pool (auto_start=false) must still answer everything
+  // it accepted when drained — the graceful-drain contract.
+  std::ostringstream out;
+  auto sink = std::make_shared<OstreamSink>(out);
+  ServeOptions opts;
+  opts.auto_start = false;
+  ShardPool pool(opts);
+  pool.handle_line(
+      R"({"id": 1, "kernel": "vecadd", "scale": "small", "stages": ["model"]})",
+      sink);
+  pool.drain();
+  const auto replies = parse_lines(out.str());
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(reply_for(replies, 1).at("ok").as_bool());
+}
+
+TEST(ServeService, RepeatedRequestsHitTheSessionCache) {
+  std::ostringstream out;
+  auto sink = std::make_shared<OstreamSink>(out);
+  // batch=1 serializes the four identical requests, so 2..4 must hit the
+  // memo (a wider batch may fan them out concurrently, where
+  // first-insert-wins legitimately records several misses).
+  ServeOptions opts;
+  opts.batch = 1;
+  ShardPool pool(opts);
+  const char* line =
+      R"({"id": %d, "kernel": "kmeans", "scale": "small", "stages": ["sim"]})";
+  for (int id = 1; id <= 4; ++id) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), line, id);
+    pool.handle_line(buf, sink);
+  }
+  pool.drain();
+  pool.handle_line(R"({"id": 99, "stats": true})", sink);
+  const auto replies = parse_lines(out.str());
+  ASSERT_EQ(replies.size(), 5u);
+  const serde::Json& session =
+      reply_for(replies, 99).at("stats").at("shards").items()[0].at(
+          "session");
+  EXPECT_GE(session.at("hits").as_u64(), 3u);
+  // All four sim replies are byte-identical modulo the id.
+  const std::string first =
+      reply_for(replies, 1).at("actual").dump();
+  for (std::uint64_t id : {2u, 3u, 4u}) {
+    EXPECT_EQ(reply_for(replies, id).at("actual").dump(), first);
+  }
+}
+
+}  // namespace
+}  // namespace swperf::serve

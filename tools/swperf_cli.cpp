@@ -28,7 +28,19 @@
 //   swperf calibrate                     microbenchmark Table I recovery
 //   swperf eval     [file]               batch evaluation of a JSON request
 //                                        ("-" or no file: read stdin); one
-//                                        JSON result per entry on stdout
+//                                        JSON result per entry on stdout;
+//                                        --stats appends a final
+//                                        {"stats": ...} line with the
+//                                        session's cache counters
+//   swperf serve    [opts]               long-running evaluation service:
+//                                        JSONL over TCP on 127.0.0.1
+//                                        (--port N; 0 = ephemeral, the
+//                                        bound port is announced on
+//                                        stdout) or over stdin/stdout
+//                                        (--stdio); --queue-depth and
+//                                        --batch bound each shard's queue
+//                                        and its per-dispatch batch
+//                                        (docs/SERVE.md)
 //
 // Options: --tile N  --unroll N  --cpes N  --db  --vw N  --coalesce
 //          --small (reduced problem size)  --empirical  --vector (tuning)
@@ -45,15 +57,22 @@
 // `check --json` per-kernel objects carry a "summary" object (total,
 // errors, warnings, notes, by_code) alongside the diagnostics array.
 //
-// Exit codes: 0 success; 1 failures (check findings, eval entry errors,
-// runtime errors); 2 usage errors and malformed input (bad option values,
-// unparsable eval requests).
+// Exit codes: 0 success (including a signal-triggered graceful serve
+// drain); 1 failures (check findings, eval entry errors, runtime errors);
+// 2 usage errors and malformed input (bad option values, unparsable eval
+// requests); 130 one-shot commands interrupted by SIGINT.  --json output
+// is never truncated by a signal: SIGINT/SIGTERM are blocked while a JSON
+// line is being written.
 //
 // All kernel evaluation goes through pipeline::Session — the CLI owns no
 // lowering/simulation plumbing of its own — and every --json surface is
 // rendered by the serde writer, so escaping and number formatting are
 // uniform across subcommands.
+#include <csignal>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <map>
 #include <cerrno>
@@ -76,6 +95,9 @@
 #include "pipeline/chip.h"
 #include "pipeline/session.h"
 #include "serde/serde.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/shard.h"
 #include "sim/chip.h"
 #include "sim/machine.h"
 #include "sim/trace.h"
@@ -110,17 +132,60 @@ struct Options {
   bool list_codes = false;
   bool analyze = false;
   std::string chip;  // chip-scenario file for `simulate --chip`
+  bool stats = false;  // eval: append a final {"stats": ...} line
+  // serve transport + shard configuration (docs/SERVE.md).
+  bool stdio = false;
+  int port = 7077;
+  std::size_t queue_depth = 256;
+  std::size_t batch = 8;
 };
+
+// ---- Signal handling -------------------------------------------------------
+//
+// One handler covers both modes.  For the long-running `serve` command the
+// signal requests a graceful drain (stop accepting, answer everything
+// queued, exit 0); for one-shot commands it exits 130 immediately — except
+// while a JSON line is mid-write, where signals are blocked so `--json`
+// output can never be truncated.
+
+std::atomic<serve::Server*> g_server{nullptr};
+std::atomic<bool> g_stdio_serving{false};
+
+void on_signal(int) {
+  serve::Server* server = g_server.load();
+  if (server != nullptr) {
+    server->request_stop();  // async-signal-safe: one write to a self-pipe
+    return;
+  }
+  if (g_stdio_serving.load()) {
+    serve::request_stdio_stop();
+    return;
+  }
+  _exit(130);
+}
+
+void install_signal_handlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: serve's blocking poll/read calls must return EINTR so
+  // the drain actually starts instead of waiting for the next request.
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
 
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
       "usage: swperf <list|report|simulate|tune|optimize|timeline|explain|"
-      "check|suite|calibrate|eval> [kernel|file] [--tile N] [--unroll N] "
-      "[--cpes N] [--db] [--vw N] [--coalesce] [--small] [--empirical] "
-      "[--vector] [--jobs N] [--beam N] [--max-steps N] [--bnb] [--json] "
-      "[--deterministic-json] [--time] [--Werror] [--all] [--list-codes] "
-      "[--analyze] [--chip scenario.json]\n");
+      "check|suite|calibrate|eval|serve> [kernel|file] [--tile N] "
+      "[--unroll N] [--cpes N] [--db] [--vw N] [--coalesce] [--small] "
+      "[--empirical] [--vector] [--jobs N] [--beam N] [--max-steps N] "
+      "[--bnb] [--json] [--deterministic-json] [--time] [--Werror] [--all] "
+      "[--list-codes] [--analyze] [--chip scenario.json] [--stats] "
+      "[--stdio] [--port N] [--queue-depth N] [--batch N]\n");
   std::exit(2);
 }
 
@@ -211,6 +276,32 @@ Options parse(int argc, char** argv) {
       o.list_codes = true;
     } else if (a == "--analyze") {
       o.analyze = true;
+    } else if (a == "--stats") {
+      o.stats = true;
+    } else if (a == "--stdio") {
+      o.stdio = true;
+    } else if (a == "--port") {
+      const std::uint64_t port = next_u64("--port");
+      if (port > 65535) {
+        std::fprintf(stderr, "swperf: --port expects 0..65535, got %llu\n",
+                     static_cast<unsigned long long>(port));
+        std::exit(2);
+      }
+      o.port = static_cast<int>(port);
+    } else if (a == "--queue-depth") {
+      const std::uint64_t depth = next_u64("--queue-depth");
+      if (depth == 0) {
+        std::fprintf(stderr, "swperf: --queue-depth expects at least 1\n");
+        std::exit(2);
+      }
+      o.queue_depth = static_cast<std::size_t>(depth);
+    } else if (a == "--batch") {
+      const std::uint64_t batch = next_u64("--batch");
+      if (batch == 0) {
+        std::fprintf(stderr, "swperf: --batch expects at least 1\n");
+        std::exit(2);
+      }
+      o.batch = static_cast<std::size_t>(batch);
     } else if (a == "--chip") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for --chip\n");
@@ -228,7 +319,18 @@ Options parse(int argc, char** argv) {
 void print_json_line(const serde::Json& j) {
   std::string out = j.dump();
   out.push_back('\n');
+  // Block SIGINT/SIGTERM for the duration of the write: the handler exits
+  // the process for one-shot commands, and a half-written JSON line is
+  // worse for a consumer than one extra complete line.
+  sigset_t block;
+  sigemptyset(&block);
+  sigaddset(&block, SIGINT);
+  sigaddset(&block, SIGTERM);
+  sigset_t previous;
+  sigprocmask(SIG_BLOCK, &block, &previous);
   std::fputs(out.c_str(), stdout);
+  std::fflush(stdout);
+  sigprocmask(SIG_SETMASK, &previous, nullptr);
 }
 
 int cmd_list(const Options& o) {
@@ -723,126 +825,14 @@ int cmd_calibrate(const Options& o, const sw::ArchParams& arch) {
   return 0;
 }
 
-// ---- swperf eval: batch evaluation service --------------------------------
+// ---- swperf eval: batch evaluation ----------------------------------------
 //
-// Request: a JSON array of entries
-//   { "kernel": "<suite name>" | {KernelDesc object},
-//     "scale":  "small" | "full"            (named kernels; default full),
-//     "params": {LaunchParams object}       (default: tuned preset for
-//                                            named kernels, defaults for
-//                                            inline descriptions),
-//     "stages": ["check","sim","model","explain","tune","optimize"]
-//                                            (default check+sim+model) }
+// Request: a JSON array of entries (the schema serve::execute_entry
+// documents — kernel/scale/params/stages/chip; docs/PIPELINE.md).
 // Response: one JSON object per entry, in order. Entries that fail report
 // {"kernel":..., "ok": false, "message": ...} without aborting the batch.
-
-serde::Json eval_entry(const serde::Json& entry, pipeline::Session& session,
-                       bool& failed) {
-  std::string name = "?";
-  try {
-    if (!entry.is_object()) {
-      throw sw::Error("eval entry must be a JSON object");
-    }
-    // A chip entry runs a whole-chip scenario instead of a single launch:
-    // { "chip": {chip scenario object} } — no other fields.
-    if (const auto* cj = entry.find("chip")) {
-      name = "chip";
-      for (const auto& [key, value] : entry.members()) {
-        (void)value;
-        if (key != "chip") {
-          throw sw::Error("chip eval entry: unknown field \"" + key + "\"");
-        }
-      }
-      const auto spec = pipeline::chip_scenario_spec_from_json(*cj);
-      const auto scenario = pipeline::assemble_chip_scenario(spec, session);
-      serde::Json out = serde::Json::object();
-      out.set("kernel", name);
-      out.set("ok", true);
-      out.set("chip", serde::to_json(sim::simulate_chip(scenario)));
-      return out;
-    }
-    kernels::Scale scale = kernels::Scale::kFull;
-    if (const auto* sj = entry.find("scale")) {
-      const std::string& s = sj->as_string();
-      if (s == "small") {
-        scale = kernels::Scale::kSmall;
-      } else if (s != "full") {
-        throw sw::Error("unknown scale '" + s +
-                        "' (expected \"small\" or \"full\")");
-      }
-    }
-    swacc::KernelDesc desc;
-    swacc::LaunchParams params;
-    const serde::Json& kj = entry.at("kernel");
-    if (kj.is_string()) {
-      const auto spec = kernels::make(kj.as_string(), scale);
-      desc = spec.desc;
-      params = spec.tuned;
-    } else {
-      desc = serde::kernel_desc_from_json(kj);
-    }
-    name = desc.name;
-    if (const auto* pj = entry.find("params")) {
-      params = serde::launch_params_from_json(*pj);
-    }
-    std::vector<std::string> stages = {"check", "sim", "model"};
-    if (const auto* sj = entry.find("stages")) {
-      stages.clear();
-      for (const auto& s : sj->items()) stages.push_back(s.as_string());
-    }
-    serde::Json out = serde::Json::object();
-    out.set("kernel", name);
-    out.set("ok", true);
-    out.set("params", serde::to_json(params));
-    bool did_sim = false;
-    bool did_model = false;
-    for (const auto& stage : stages) {
-      if (stage == "check") {
-        out.set("check", serde::to_json(session.check(desc, params)));
-      } else if (stage == "sim") {
-        out.set("actual", serde::to_json(session.simulate(desc, params)));
-        did_sim = true;
-      } else if (stage == "model") {
-        out.set("predicted", serde::to_json(session.predict(desc, params)));
-        did_model = true;
-      } else if (stage == "explain") {
-        out.set("explain",
-                explain::to_json(session.explain(desc, params)));
-      } else if (stage == "tune") {
-        const auto space =
-            tuning::SearchSpace::standard(desc, session.arch());
-        out.set("tune", serde::to_json(session.tune(desc, space)));
-      } else if (stage == "optimize") {
-        transform::Optimizer optimizer(session);
-        // Batch results are consumed by diff-based tooling, so the
-        // deterministic (host-timing-free) rendering is the right default.
-        out.set("optimize", serde::optimize_report_json(
-                                optimizer.optimize(desc, params), true));
-      } else {
-        throw sw::Error("unknown stage '" + stage +
-                        "' (expected check, sim, model, explain, tune or "
-                        "optimize)");
-      }
-    }
-    if (did_sim || did_model) {
-      out.set("summary", serde::to_json(session.lower(desc, params).summary));
-    }
-    if (did_sim && did_model) {
-      out.set("error",
-              pipeline::relative_error(
-                  session.predict(desc, params).t_total,
-                  session.simulate(desc, params).total_cycles()));
-    }
-    return out;
-  } catch (const sw::Error& e) {
-    failed = true;
-    serde::Json out = serde::Json::object();
-    out.set("kernel", name);
-    out.set("ok", false);
-    out.set("message", e.what());
-    return out;
-  }
-}
+// The entry executor itself lives in src/serve/service.cpp, shared
+// verbatim with the `swperf serve` daemon.
 
 int cmd_eval(const Options& o, pipeline::Session& session) {
   std::string text;
@@ -874,18 +864,65 @@ int cmd_eval(const Options& o, pipeline::Session& session) {
   }
   bool failed = false;
   for (const auto& entry : parsed.value.items()) {
-    print_json_line(eval_entry(entry, session, failed));
+    print_json_line(serve::execute_entry(entry, session, failed));
+  }
+  if (o.stats) {
+    // The final line reports the session's cache effectiveness over the
+    // whole batch — the same counters `swperf serve` serves per shard.
+    serde::Json j = serde::Json::object();
+    j.set("stats", pipeline::to_json(session.stats()));
+    print_json_line(j);
   }
   return failed ? 1 : 0;
+}
+
+// ---- swperf serve: the long-running evaluation service --------------------
+
+int cmd_serve(const Options& o) {
+  if (!o.kernel.empty()) {
+    std::fprintf(stderr, "swperf: serve takes no positional argument\n");
+    return 2;
+  }
+  serve::ServeOptions opts;
+  opts.port = o.port;
+  opts.jobs = o.jobs;
+  opts.queue_depth = o.queue_depth;
+  opts.batch = o.batch;
+  if (o.stdio) {
+    g_stdio_serving.store(true);
+    const int rc = serve::serve_stdio(std::cin, std::cout, opts);
+    g_stdio_serving.store(false);
+    return rc;
+  }
+  serve::Server server(opts);
+  std::string error;
+  if (!server.listen_on(&error)) {
+    std::fprintf(stderr, "swperf: serve: %s\n", error.c_str());
+    return 2;
+  }
+  // Announce the bound address on stdout (essential with --port 0) so
+  // drivers can connect without racing the listener.
+  serde::Json hello = serde::Json::object();
+  serde::Json addr = serde::Json::object();
+  addr.set("host", "127.0.0.1");
+  addr.set("port", server.port());
+  hello.set("listening", std::move(addr));
+  print_json_line(hello);
+  g_server.store(&server);
+  const int rc = server.run();
+  g_server.store(nullptr);
+  return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto o = parse(argc, argv);
+  install_signal_handlers();
   const auto arch = sw::ArchParams::sw26010();
   pipeline::Session session(arch);
   try {
+    if (o.command == "serve") return cmd_serve(o);
     if (o.command == "list") return cmd_list(o);
     if (o.command == "suite") return cmd_suite(o, session);
     if (o.command == "calibrate") return cmd_calibrate(o, arch);
